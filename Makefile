@@ -1,0 +1,31 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test bench reproduce race cover examples clean
+
+all: build test
+
+build:
+	go build ./...
+
+test:
+	go vet ./...
+	go test ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+reproduce:
+	go run ./cmd/reproduce -out results
+
+race:
+	go test -race ./...
+
+cover:
+	go test -cover ./internal/...
+
+examples:
+	@for ex in quickstart figure1 tunnel voipqos hwsw signaling mmio; do \
+		echo "== $$ex =="; go run ./examples/$$ex; echo; done
+
+clean:
+	rm -rf results

@@ -1,0 +1,84 @@
+// lsmtrace regenerates the waveform figures of the paper's evaluation
+// (Figures 14-16) from the cycle-accurate label stack modifier, as a
+// transition table, an ASCII waveform, or a VCD file for a waveform
+// viewer.
+//
+// Usage:
+//
+//	lsmtrace -fig 14 [-format table|wave|vcd] [-o out.vcd]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"embeddedmpls/internal/lsm"
+)
+
+func main() {
+	fig := flag.Int("fig", 14, "figure to regenerate: 14, 15 or 16")
+	op := flag.String("op", "", "trace an update operation instead: swap, pop, push or miss")
+	format := flag.String("format", "table", "output format: table, wave or vcd")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var (
+		trace *lsm.FigureTrace
+		err   error
+	)
+	switch {
+	case *op != "":
+		trace, err = lsm.TraceUpdate(*op)
+	case *fig == 14:
+		trace, err = lsm.Figure14()
+	case *fig == 15:
+		trace, err = lsm.Figure15()
+	case *fig == 16:
+		trace, err = lsm.Figure16()
+	default:
+		log.Fatalf("lsmtrace: no figure %d (have 14, 15, 16)", *fig)
+	}
+	if err != nil {
+		log.Fatalf("lsmtrace: %v", err)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("lsmtrace: %v", err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatalf("lsmtrace: close: %v", err)
+			}
+		}()
+		w = f
+	}
+
+	fmt.Fprintf(w, "%s — %s\n", trace.Name, trace.Caption)
+	if *op == "" {
+		fmt.Fprintf(w, "lookup: found=%v label_out=%d operation_out=%v position=%d cycles=%d (3n+5 model: %d)\n",
+			trace.Result.Found, trace.Result.Label, trace.Result.Op,
+			trace.Result.SearchPos, trace.Cycles, lsm.SearchCycles(trace.Result.SearchPos))
+	}
+	fmt.Fprintln(w)
+
+	switch *format {
+	case "table":
+		err = trace.Tracer.WriteTable(w)
+	case "wave":
+		err = trace.Tracer.WriteWave(w)
+	case "vcd":
+		err = trace.Tracer.WriteVCD(w, fmt.Sprintf("figure%d", *fig), time.Now())
+	default:
+		log.Fatalf("lsmtrace: unknown format %q", *format)
+	}
+	if err != nil {
+		log.Fatalf("lsmtrace: %v", err)
+	}
+}

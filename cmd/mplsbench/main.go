@@ -1,0 +1,205 @@
+// mplsbench regenerates the quantitative results of the paper's
+// evaluation from the cycle-accurate label stack modifier:
+//
+//	-table6     Table 6 (worst-case clock cycles per operation), measured
+//	-worstcase  the 6167-cycle composite scenario and its 50 MHz wall time
+//	-sweep      search cost vs table occupancy, hardware vs software
+//
+// With no flags it runs everything.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"embeddedmpls/internal/infobase"
+	"embeddedmpls/internal/label"
+	"embeddedmpls/internal/lsm"
+	"embeddedmpls/internal/packet"
+	"embeddedmpls/internal/swmpls"
+)
+
+func main() {
+	table6 := flag.Bool("table6", false, "measure Table 6 per-operation cycle counts")
+	worst := flag.Bool("worstcase", false, "run the 6167-cycle worst-case scenario")
+	sweep := flag.Bool("sweep", false, "sweep search cost vs table size, hardware vs software")
+	cam := flag.Bool("cam", false, "compare the linear search against the CAM ablation on the RTL model")
+	resources := flag.Bool("resources", false, "estimate the FPGA resource footprint")
+	flag.Parse()
+	if !*table6 && !*worst && !*sweep && !*cam && !*resources {
+		*table6, *worst, *sweep, *cam, *resources = true, true, true, true, true
+	}
+	if *table6 {
+		runTable6()
+	}
+	if *worst {
+		runWorstCase()
+	}
+	if *sweep {
+		runSweep()
+	}
+	if *cam {
+		runCAM()
+	}
+	if *resources {
+		runResources()
+	}
+}
+
+func runResources() {
+	r := lsm.EstimateResources()
+	fits, frac := r.FitsStratixEP1S40()
+	fmt.Println("Resource estimate — \"satisfies the space requirements of most reconfigurable computing environments\"")
+	fmt.Printf("  information base block RAM: %d bits (%d KiB)\n", r.RAMBits, r.RAMBits/8/1024)
+	fmt.Printf("  data path + control registers: %d bits\n", r.RegisterBits)
+	fmt.Printf("  comparators: %v bit widths\n", r.Comparators)
+	fmt.Printf("  Stratix EP1S40 block RAM: %d bits -> fits=%v at %.1f%% utilisation\n",
+		lsm.StratixEP1S40RAMBits, fits, frac*100)
+	fmt.Println()
+}
+
+func runCAM() {
+	fmt.Println("X3 ablation — linear information base search vs associative (CAM), on the RTL model")
+	fmt.Printf("%8s %15s %15s\n", "entries", "linear cycles", "cam cycles")
+	for _, n := range []int{16, 256, 1024} {
+		row := make(map[lsm.SearchKind]int, 2)
+		for _, kind := range []lsm.SearchKind{lsm.SearchLinear, lsm.SearchCAM} {
+			b := lsm.NewBenchWith(lsm.LSR, lsm.Options{Search: kind})
+			for i := 0; i < n; i++ {
+				_, err := b.WritePair(infobase.Level2, infobase.Pair{Index: infobase.Key(i + 1), NewLabel: 5, Op: label.OpSwap})
+				check(err)
+			}
+			res, cycles, err := b.Lookup(infobase.Level2, infobase.Key(n)) // worst-case hit
+			check(err)
+			if !res.Found {
+				log.Fatal("worst-case key not found")
+			}
+			row[kind] = cycles
+		}
+		fmt.Printf("%8d %15d %15d\n", n, row[lsm.SearchLinear], row[lsm.SearchCAM])
+	}
+	fmt.Println()
+}
+
+func runTable6() {
+	fmt.Println("Table 6 — processing times for different tasks (measured on the RTL model)")
+	fmt.Printf("%-28s %10s %10s\n", "operation", "measured", "paper")
+	b := lsm.NewBench(lsm.LSR)
+
+	cycles, err := b.ResetOp()
+	check(err)
+	row("Reset", cycles, "3")
+
+	cycles, err = b.UserPush(label.Entry{Label: 40, TTL: 64})
+	check(err)
+	row("push from the user", cycles, "3")
+
+	_, cycles, err = b.UserPop()
+	check(err)
+	row("pop from the user", cycles, "3")
+
+	cycles, err = b.WritePair(infobase.Level2, infobase.Pair{Index: 1, NewLabel: 2, Op: label.OpSwap})
+	check(err)
+	row("Write label pair", cycles, "3")
+
+	// Search over n entries: measure a miss at a few sizes and show the
+	// 3n+5 fit.
+	for _, n := range []int{1, 10, 100} {
+		bb := lsm.NewBench(lsm.LSR)
+		for i := 0; i < n; i++ {
+			_, err := bb.WritePair(infobase.Level2, infobase.Pair{Index: infobase.Key(i + 1), NewLabel: 5, Op: label.OpSwap})
+			check(err)
+		}
+		_, cycles, err := bb.Lookup(infobase.Level2, 999999)
+		check(err)
+		row(fmt.Sprintf("Search info base (n=%d)", n), cycles, fmt.Sprintf("3n+5 = %d", 3*n+5))
+	}
+
+	// Swap from the information base: total minus the search component.
+	bb := lsm.NewBench(lsm.LSR)
+	_, err = bb.UserPush(label.Entry{Label: 42, TTL: 64})
+	check(err)
+	_, err = bb.WritePair(infobase.Level2, infobase.Pair{Index: 42, NewLabel: 9, Op: label.OpSwap})
+	check(err)
+	res, cycles, err := bb.Update(lsm.UpdateRequest{})
+	check(err)
+	row("swap from the info base", cycles-lsm.SearchCycles(res.SearchPos), "6")
+	fmt.Println()
+}
+
+func row(name string, measured int, paper string) {
+	fmt.Printf("%-28s %10d %10s\n", name, measured, paper)
+}
+
+func runWorstCase() {
+	fmt.Println("Worst case — reset + 3 pushes + 1024 pair writes + full-level swap")
+	b := lsm.NewBench(lsm.LSR)
+	total := 0
+	start := time.Now()
+
+	c, err := b.ResetOp()
+	check(err)
+	total += c
+	for i := 0; i < 3; i++ {
+		c, err = b.UserPush(label.Entry{Label: label.Label(40 + i), TTL: 64})
+		check(err)
+		total += c
+	}
+	for i := 0; i < infobase.EntriesPerLevel; i++ {
+		idx := infobase.Key(10000 + i)
+		if i == infobase.EntriesPerLevel-1 {
+			idx = 42
+		}
+		c, err = b.WritePair(infobase.Level3, infobase.Pair{Index: idx, NewLabel: 900, Op: label.OpSwap})
+		check(err)
+		total += c
+	}
+	res, c, err := b.Update(lsm.UpdateRequest{})
+	check(err)
+	total += c
+
+	fmt.Printf("  measured total:     %d cycles (paper: 6167)\n", total)
+	fmt.Printf("  swap found at:      position %d of %d\n", res.SearchPos, infobase.EntriesPerLevel)
+	fmt.Printf("  at 50 MHz:          %.4f ms (paper: ~0.1233 ms)\n", lsm.DefaultClock.Seconds(total)*1e3)
+	fmt.Printf("  simulated in:       %v of host time\n", time.Since(start).Round(time.Millisecond))
+	fmt.Println()
+}
+
+func runSweep() {
+	fmt.Println("Search cost sweep — hardware linear search vs software hash ILM (worst-case hit)")
+	fmt.Printf("%8s %15s %15s %15s\n", "entries", "hw cycles", "hw ns @50MHz", "sw ns (host)")
+	for _, n := range []int{1, 4, 16, 64, 256, 1024} {
+		hwCycles := lsm.SearchCycles(n) + lsm.CyclesSwapFromIB + lsm.CyclesUserPush
+		fmt.Printf("%8d %15d %15.0f %15.1f\n",
+			n, hwCycles, lsm.DefaultClock.Nanos(hwCycles), softwareSwapNs(n))
+	}
+	fmt.Println()
+}
+
+func softwareSwapNs(n int) float64 {
+	f := swmpls.New()
+	for i := 0; i < n; i++ {
+		err := f.MapLabel(label.Label(16+i), swmpls.NHLFE{NextHop: "x", Op: label.OpSwap, PushLabels: []label.Label{label.Label(200000 + i)}})
+		check(err)
+	}
+	target := label.Label(16 + n - 1)
+	p := packet.New(1, 2, 64, nil)
+	const iters = 100000
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		p.Stack.Reset()
+		_ = p.Stack.Push(label.Entry{Label: target, TTL: 64})
+		if res := f.Forward(p); res.Action != swmpls.Forward {
+			log.Fatal("software swap failed")
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / iters
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

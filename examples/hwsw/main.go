@@ -1,0 +1,89 @@
+// HWSW: the hardware/software comparison the paper's premise rests on —
+// "most existing MPLS solutions are entirely software based. MPLS
+// performance can be enhanced by executing core tasks in hardware."
+//
+// The example computes per-packet label operation cost and the implied
+// forwarding rate for the embedded device (from its verified cycle model
+// at 50 MHz) as the information base grows, and measures the actual Go
+// software forwarder on this machine for comparison. It also shows where
+// the hardware's linear search loses to the software hash map.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"embeddedmpls/internal/device"
+	"embeddedmpls/internal/label"
+	"embeddedmpls/internal/lsm"
+	"embeddedmpls/internal/packet"
+	"embeddedmpls/internal/swmpls"
+)
+
+func main() {
+	fmt.Println("Per-packet swap cost vs information base size")
+	fmt.Println("hardware: cycle model at 50 MHz; software: measured on this machine")
+	fmt.Println()
+	fmt.Printf("%8s  %14s  %14s  %14s  %14s\n",
+		"entries", "hw best (ns)", "hw worst (ns)", "hw worst kpps", "sw (ns)")
+
+	for _, n := range []int{1, 16, 64, 256, 1024} {
+		// Hardware: load one entry (3 cycles) + search at position 1 or n
+		// + swap tail.
+		best := lsm.CyclesUserPush + lsm.SearchCycles(1) + lsm.CyclesSwapFromIB
+		worst := lsm.CyclesUserPush + lsm.SearchCycles(n) + lsm.CyclesSwapFromIB
+		bestNs := lsm.DefaultClock.Nanos(best)
+		worstNs := lsm.DefaultClock.Nanos(worst)
+		kpps := 1e9 / worstNs / 1e3
+
+		swNs := measureSoftwareSwap(n)
+
+		fmt.Printf("%8d  %14.0f  %14.0f  %14.1f  %14.1f\n", n, bestNs, worstNs, kpps, swNs)
+	}
+
+	fmt.Println()
+	fmt.Println("The hardware wins on small tables (its swap is a handful of cycles)")
+	fmt.Println("but its linear search makes worst-case cost grow 3 cycles per entry,")
+	fmt.Println("while the software ILM is a hash map — the crossover is the case for")
+	fmt.Println("the paper's future work on associative (CAM) lookup hardware.")
+	fmt.Println()
+	sanityCheckDevice()
+}
+
+// measureSoftwareSwap times the software forwarder's transit swap with n
+// installed labels, returning ns per packet.
+func measureSoftwareSwap(n int) float64 {
+	f := swmpls.New()
+	for i := 0; i < n; i++ {
+		in := label.Label(16 + i)
+		if err := f.MapLabel(in, swmpls.NHLFE{NextHop: "x", Op: label.OpSwap, PushLabels: []label.Label{label.Label(100000 + i)}}); err != nil {
+			panic(err)
+		}
+	}
+	target := label.Label(16 + n - 1) // the hardware's worst-case entry
+	p := packet.New(1, 2, 64, nil)
+	const iters = 200_000
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		p.Stack.Reset()
+		_ = p.Stack.Push(label.Entry{Label: target, TTL: 64})
+		if res := f.Forward(p); res.Action != swmpls.Forward {
+			panic("software swap failed")
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / iters
+}
+
+// sanityCheckDevice runs one packet through a real device so the printed
+// model numbers are backed by an executed path.
+func sanityCheckDevice() {
+	d := device.New(lsm.LSR, lsm.DefaultClock)
+	if err := d.InstallILM(42, swmpls.NHLFE{NextHop: "n", Op: label.OpSwap, PushLabels: []label.Label{99}}); err != nil {
+		panic(err)
+	}
+	p := packet.New(1, 2, 64, nil)
+	_ = p.Stack.Push(label.Entry{Label: 42, TTL: 64})
+	res, cycles := d.Process(p)
+	fmt.Printf("sanity: device swap executed in %d cycles (%.0f ns) -> %v\n",
+		cycles, d.Clock().Nanos(cycles), res.Action)
+}

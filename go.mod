@@ -1,0 +1,3 @@
+module embeddedmpls
+
+go 1.22

@@ -1,0 +1,354 @@
+// Package config loads declarative network scenarios from JSON: nodes,
+// links, tunnels, LSPs (explicit or CSPF-routed) and traffic flows. The
+// mplssim command runs these files so experiments are reproducible
+// artifacts instead of flag soup.
+package config
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"embeddedmpls/internal/label"
+	"embeddedmpls/internal/ldp"
+	"embeddedmpls/internal/lsm"
+	"embeddedmpls/internal/netsim"
+	"embeddedmpls/internal/packet"
+	"embeddedmpls/internal/qos"
+	"embeddedmpls/internal/router"
+	"embeddedmpls/internal/te"
+	"embeddedmpls/internal/trafficgen"
+)
+
+// Scenario is the root of a scenario file.
+type Scenario struct {
+	Name    string   `json:"name"`
+	Nodes   []Node   `json:"nodes"`
+	Links   []Link   `json:"links"`
+	Tunnels []Tunnel `json:"tunnels,omitempty"`
+	LSPs    []LSP    `json:"lsps,omitempty"`
+	Flows   []Flow   `json:"flows,omitempty"`
+	// DurationS bounds the traffic generators ("stop" defaults to it).
+	DurationS float64 `json:"duration_s"`
+}
+
+// Node declares one router.
+type Node struct {
+	Name string `json:"name"`
+	// Plane is "hardware" (the embedded device) or "software".
+	Plane string `json:"plane"`
+	// Type is "ler" or "lsr" (hardware planes only; default ler).
+	Type string `json:"type,omitempty"`
+}
+
+// Link declares one duplex connection.
+type Link struct {
+	A        string  `json:"a"`
+	B        string  `json:"b"`
+	RateMbps float64 `json:"rate_mbps"`
+	DelayMs  float64 `json:"delay_ms"`
+	// Queue is "fifo" (default), "priority" or "wrr".
+	Queue    string  `json:"queue,omitempty"`
+	QueueCap int     `json:"queue_cap,omitempty"`
+	Metric   float64 `json:"metric,omitempty"`
+}
+
+// Tunnel declares a hierarchical LSP.
+type Tunnel struct {
+	ID            string   `json:"id"`
+	Path          []string `json:"path"`
+	BandwidthMbps float64  `json:"bandwidth_mbps,omitempty"`
+}
+
+// LSP declares a label switched path. Give either an explicit Path or
+// From/To for CSPF routing.
+type LSP struct {
+	ID            string   `json:"id"`
+	Dst           string   `json:"dst"` // dotted quad
+	PrefixLen     int      `json:"prefix_len"`
+	Path          []string `json:"path,omitempty"`
+	From          string   `json:"from,omitempty"`
+	To            string   `json:"to,omitempty"`
+	BandwidthMbps float64  `json:"bandwidth_mbps,omitempty"`
+	CoS           uint8    `json:"cos,omitempty"`
+	PHP           bool     `json:"php,omitempty"`
+}
+
+// Flow declares a traffic generator.
+type Flow struct {
+	ID   uint16 `json:"id"`
+	Kind string `json:"kind"` // voip, cbr, bulk, poisson, onoff
+	From string `json:"from"`
+	Dst  string `json:"dst"`
+	// Kind-specific knobs (unused ones ignored).
+	SizeBytes  int     `json:"size_bytes,omitempty"`
+	IntervalMs float64 `json:"interval_ms,omitempty"`
+	RateMbps   float64 `json:"rate_mbps,omitempty"`
+	RatePPS    float64 `json:"rate_pps,omitempty"`
+	OnMs       float64 `json:"on_ms,omitempty"`
+	OffMs      float64 `json:"off_ms,omitempty"`
+	StartS     float64 `json:"start_s,omitempty"`
+	StopS      float64 `json:"stop_s,omitempty"`
+	Seed       int64   `json:"seed,omitempty"`
+}
+
+// Errors.
+var (
+	ErrValidation = errors.New("config: invalid scenario")
+)
+
+// Load parses and validates a scenario.
+func Load(r io.Reader) (*Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+func (s *Scenario) validate() error {
+	if len(s.Nodes) == 0 {
+		return fmt.Errorf("%w: no nodes", ErrValidation)
+	}
+	names := map[string]bool{}
+	for _, n := range s.Nodes {
+		if n.Name == "" {
+			return fmt.Errorf("%w: node without a name", ErrValidation)
+		}
+		if names[n.Name] {
+			return fmt.Errorf("%w: duplicate node %q", ErrValidation, n.Name)
+		}
+		names[n.Name] = true
+		switch n.Plane {
+		case "", "software", "hardware":
+		default:
+			return fmt.Errorf("%w: node %q plane %q", ErrValidation, n.Name, n.Plane)
+		}
+		switch n.Type {
+		case "", "ler", "lsr":
+		default:
+			return fmt.Errorf("%w: node %q type %q", ErrValidation, n.Name, n.Type)
+		}
+	}
+	for i, l := range s.Links {
+		if !names[l.A] || !names[l.B] {
+			return fmt.Errorf("%w: link %d endpoints %q-%q", ErrValidation, i, l.A, l.B)
+		}
+		if l.RateMbps <= 0 {
+			return fmt.Errorf("%w: link %d rate %v", ErrValidation, i, l.RateMbps)
+		}
+		switch l.Queue {
+		case "", "fifo", "priority", "wrr":
+		default:
+			return fmt.Errorf("%w: link %d queue %q", ErrValidation, i, l.Queue)
+		}
+	}
+	for _, l := range s.LSPs {
+		if l.ID == "" || l.Dst == "" {
+			return fmt.Errorf("%w: LSP needs id and dst", ErrValidation)
+		}
+		if len(l.Path) == 0 && (l.From == "" || l.To == "") {
+			return fmt.Errorf("%w: LSP %q needs a path or from/to", ErrValidation, l.ID)
+		}
+		if _, err := ParseAddr(l.Dst); err != nil {
+			return fmt.Errorf("%w: LSP %q: %v", ErrValidation, l.ID, err)
+		}
+	}
+	for _, f := range s.Flows {
+		if !names[f.From] {
+			return fmt.Errorf("%w: flow %d source %q", ErrValidation, f.ID, f.From)
+		}
+		if _, err := ParseAddr(f.Dst); err != nil {
+			return fmt.Errorf("%w: flow %d: %v", ErrValidation, f.ID, err)
+		}
+		switch f.Kind {
+		case "voip", "cbr", "bulk", "poisson", "onoff":
+		default:
+			return fmt.Errorf("%w: flow %d kind %q", ErrValidation, f.ID, f.Kind)
+		}
+	}
+	return nil
+}
+
+// ParseAddr parses a dotted-quad address.
+func ParseAddr(s string) (packet.Addr, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("address %q is not dotted quad", s)
+	}
+	var out packet.Addr
+	for _, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 || v > 255 {
+			return 0, fmt.Errorf("address %q has bad octet %q", s, p)
+		}
+		out = out<<8 | packet.Addr(v)
+	}
+	return out, nil
+}
+
+// Built is a constructed scenario ready to run.
+type Built struct {
+	Scenario  *Scenario
+	Net       *router.Network
+	Collector *trafficgen.Collector
+	// Egresses lists the routers where flows terminate.
+	Egresses []string
+}
+
+// Build constructs the network, establishes tunnels and LSPs, installs
+// the traffic generators and wires collectors at every LSP egress.
+func (s *Scenario) Build() (*Built, error) {
+	var nodes []router.NodeSpec
+	for _, n := range s.Nodes {
+		rt := lsm.LER
+		if n.Type == "lsr" {
+			rt = lsm.LSR
+		}
+		nodes = append(nodes, router.NodeSpec{
+			Name:       n.Name,
+			Hardware:   n.Plane == "hardware",
+			RouterType: rt,
+		})
+	}
+	var links []router.LinkSpec
+	for _, l := range s.Links {
+		spec := router.LinkSpec{
+			A: l.A, B: l.B,
+			RateBPS:  l.RateMbps * 1e6,
+			Delay:    l.DelayMs / 1e3,
+			QueueCap: l.QueueCap,
+			Metric:   l.Metric,
+		}
+		switch l.Queue {
+		case "priority":
+			spec.NewQueue = func(c int) qos.Scheduler { return qos.NewPriority(c) }
+		case "wrr":
+			spec.NewQueue = func(c int) qos.Scheduler {
+				return qos.NewWRR(c, [qos.NumClasses]int{1, 1, 1, 1, 2, 2, 4, 4})
+			}
+		}
+		links = append(links, spec)
+	}
+	net, err := router.Build(nodes, links)
+	if err != nil {
+		return nil, err
+	}
+
+	for _, tn := range s.Tunnels {
+		if _, err := net.LDP.SetupTunnel(tn.ID, tn.Path, tn.BandwidthMbps*1e6); err != nil {
+			return nil, fmt.Errorf("config: tunnel %q: %w", tn.ID, err)
+		}
+	}
+
+	egressSet := map[string]bool{}
+	for _, l := range s.LSPs {
+		dst, err := ParseAddr(l.Dst)
+		if err != nil {
+			return nil, err
+		}
+		path := l.Path
+		if len(path) == 0 {
+			path, err = net.Topo.CSPF(te.PathRequest{
+				From: l.From, To: l.To, BandwidthBPS: l.BandwidthMbps * 1e6,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("config: LSP %q: %w", l.ID, err)
+			}
+		}
+		plen := l.PrefixLen
+		if plen == 0 {
+			plen = 32
+		}
+		if _, err := net.LDP.SetupLSP(ldp.SetupRequest{
+			ID:        l.ID,
+			FEC:       ldp.FEC{Dst: dst, PrefixLen: plen},
+			Path:      path,
+			Bandwidth: l.BandwidthMbps * 1e6,
+			CoS:       label.CoS(l.CoS),
+			PHP:       l.PHP,
+		}); err != nil {
+			return nil, fmt.Errorf("config: LSP %q: %w", l.ID, err)
+		}
+		egressSet[path[len(path)-1]] = true
+	}
+
+	collector := trafficgen.NewCollector(net.Sim)
+	var egresses []string
+	for name := range egressSet {
+		collector.Attach(net.Router(name))
+		egresses = append(egresses, name)
+	}
+
+	for _, f := range s.Flows {
+		gen, err := s.generator(f)
+		if err != nil {
+			return nil, err
+		}
+		gen.Install(net.Sim, net.Router(f.From), collector)
+	}
+	return &Built{Scenario: s, Net: net, Collector: collector, Egresses: egresses}, nil
+}
+
+func (s *Scenario) generator(f Flow) (trafficgen.Generator, error) {
+	dst, err := ParseAddr(f.Dst)
+	if err != nil {
+		return nil, err
+	}
+	flow := trafficgen.Flow{ID: f.ID, Dst: dst}
+	stop := f.StopS
+	if stop == 0 {
+		stop = s.DurationS
+	}
+	if stop <= f.StartS {
+		return nil, fmt.Errorf("%w: flow %d stops (%gs) before it starts (%gs)", ErrValidation, f.ID, stop, f.StartS)
+	}
+	size := f.SizeBytes
+	if size == 0 {
+		size = 512
+	}
+	switch f.Kind {
+	case "voip":
+		return trafficgen.VoIP(flow, f.StartS, stop), nil
+	case "cbr":
+		if f.IntervalMs <= 0 {
+			return nil, fmt.Errorf("%w: cbr flow %d needs interval_ms", ErrValidation, f.ID)
+		}
+		return trafficgen.CBR{Flow: flow, Size: size, Interval: f.IntervalMs / 1e3, Start: f.StartS, Stop: stop}, nil
+	case "bulk":
+		if f.RateMbps <= 0 {
+			return nil, fmt.Errorf("%w: bulk flow %d needs rate_mbps", ErrValidation, f.ID)
+		}
+		return trafficgen.Bulk{Flow: flow, Size: size, RateBPS: f.RateMbps * 1e6, Start: f.StartS, Stop: stop}, nil
+	case "poisson":
+		if f.RatePPS <= 0 {
+			return nil, fmt.Errorf("%w: poisson flow %d needs rate_pps", ErrValidation, f.ID)
+		}
+		return trafficgen.Poisson{Flow: flow, Size: size, RatePPS: f.RatePPS, Start: f.StartS, Stop: stop, Seed: f.Seed}, nil
+	case "onoff":
+		if f.RateMbps <= 0 || f.OnMs <= 0 {
+			return nil, fmt.Errorf("%w: onoff flow %d needs rate_mbps and on_ms", ErrValidation, f.ID)
+		}
+		return trafficgen.OnOff{
+			Flow: flow, Size: size, PeakBPS: f.RateMbps * 1e6,
+			On: f.OnMs / 1e3, Off: f.OffMs / 1e3, Start: f.StartS, Stop: stop,
+		}, nil
+	default:
+		return nil, fmt.Errorf("%w: flow %d kind %q", ErrValidation, f.ID, f.Kind)
+	}
+}
+
+// Run executes the scenario until the event queue drains and returns the
+// simulated end time.
+func (b *Built) Run() netsim.Time {
+	b.Net.Sim.Run()
+	return b.Net.Sim.Now()
+}

@@ -1,0 +1,175 @@
+package config
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"embeddedmpls/internal/packet"
+)
+
+const goodScenario = `{
+  "name": "qos demo",
+  "duration_s": 0.5,
+  "nodes": [
+    {"name": "in", "plane": "hardware", "type": "ler"},
+    {"name": "core", "plane": "hardware", "type": "lsr"},
+    {"name": "out", "plane": "software"}
+  ],
+  "links": [
+    {"a": "in", "b": "core", "rate_mbps": 10, "delay_ms": 1, "queue": "priority"},
+    {"a": "core", "b": "out", "rate_mbps": 2, "delay_ms": 1, "queue": "priority", "queue_cap": 32}
+  ],
+  "lsps": [
+    {"id": "voice", "dst": "10.9.0.1", "path": ["in", "core", "out"], "cos": 5},
+    {"id": "bulk", "dst": "10.9.0.2", "from": "in", "to": "out", "bandwidth_mbps": 1}
+  ],
+  "flows": [
+    {"id": 1, "kind": "voip", "from": "in", "dst": "10.9.0.1"},
+    {"id": 2, "kind": "bulk", "from": "in", "dst": "10.9.0.2", "rate_mbps": 4, "size_bytes": 1000}
+  ]
+}`
+
+func TestParseAddr(t *testing.T) {
+	a, err := ParseAddr("192.168.1.10")
+	if err != nil || a != packet.AddrFrom(192, 168, 1, 10) {
+		t.Errorf("ParseAddr = %v, %v", a, err)
+	}
+	for _, bad := range []string{"", "1.2.3", "1.2.3.4.5", "1.2.3.x", "1.2.3.300", "-1.2.3.4"} {
+		if _, err := ParseAddr(bad); err == nil {
+			t.Errorf("ParseAddr(%q) accepted", bad)
+		}
+	}
+}
+
+func TestLoadGoodScenario(t *testing.T) {
+	s, err := Load(strings.NewReader(goodScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "qos demo" || len(s.Nodes) != 3 || len(s.LSPs) != 2 || len(s.Flows) != 2 {
+		t.Errorf("parsed scenario %+v", s)
+	}
+}
+
+func TestLoadRejectsBadScenarios(t *testing.T) {
+	cases := map[string]string{
+		"unknown field": `{"nodes":[{"name":"a"}], "bogus": 1}`,
+		"no nodes":      `{"nodes":[]}`,
+		"dup node":      `{"nodes":[{"name":"a"},{"name":"a"}]}`,
+		"bad plane":     `{"nodes":[{"name":"a","plane":"fpga"}]}`,
+		"bad type":      `{"nodes":[{"name":"a","type":"core"}]}`,
+		"bad link":      `{"nodes":[{"name":"a"}],"links":[{"a":"a","b":"ghost","rate_mbps":1}]}`,
+		"zero rate":     `{"nodes":[{"name":"a"},{"name":"b"}],"links":[{"a":"a","b":"b"}]}`,
+		"bad queue":     `{"nodes":[{"name":"a"},{"name":"b"}],"links":[{"a":"a","b":"b","rate_mbps":1,"queue":"lifo"}]}`,
+		"lsp no path":   `{"nodes":[{"name":"a"}],"lsps":[{"id":"l","dst":"1.2.3.4"}]}`,
+		"lsp bad dst":   `{"nodes":[{"name":"a"}],"lsps":[{"id":"l","dst":"zzz","path":["a","b"]}]}`,
+		"flow bad src":  `{"nodes":[{"name":"a"}],"flows":[{"id":1,"kind":"voip","from":"x","dst":"1.2.3.4"}]}`,
+		"flow bad kind": `{"nodes":[{"name":"a"}],"flows":[{"id":1,"kind":"warp","from":"a","dst":"1.2.3.4"}]}`,
+	}
+	for name, body := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Load(strings.NewReader(body)); err == nil {
+				t.Errorf("accepted: %s", body)
+			}
+		})
+	}
+}
+
+func TestBuildAndRunScenario(t *testing.T) {
+	s, err := Load(strings.NewReader(goodScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Egresses) != 1 || b.Egresses[0] != "out" {
+		t.Errorf("egresses = %v", b.Egresses)
+	}
+	end := b.Run()
+	if end < 0.5 {
+		t.Errorf("simulation ended at %gs, want >= duration", end)
+	}
+	voice := b.Collector.Flow(1)
+	bulk := b.Collector.Flow(2)
+	if voice.Sent.Events == 0 || bulk.Sent.Events == 0 {
+		t.Fatal("flows generated no traffic")
+	}
+	// Priority queues on a congested core: voice delivers cleanly.
+	if voice.LossRate() != 0 {
+		t.Errorf("voice loss %.1f%%", 100*voice.LossRate())
+	}
+	if bulk.LossRate() == 0 {
+		t.Error("bulk saw no loss at 2x overload")
+	}
+}
+
+func TestBuildFailures(t *testing.T) {
+	// CSPF cannot satisfy the bandwidth.
+	s, err := Load(strings.NewReader(`{
+	  "duration_s": 1,
+	  "nodes": [{"name":"a"},{"name":"b"}],
+	  "links": [{"a":"a","b":"b","rate_mbps":1,"delay_ms":1}],
+	  "lsps": [{"id":"l","dst":"10.0.0.1","from":"a","to":"b","bandwidth_mbps":5}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Build(); err == nil {
+		t.Error("infeasible LSP built")
+	}
+	// Flow that stops before it starts.
+	s2, err := Load(strings.NewReader(`{
+	  "duration_s": 1,
+	  "nodes": [{"name":"a"},{"name":"b"}],
+	  "links": [{"a":"a","b":"b","rate_mbps":1,"delay_ms":1}],
+	  "lsps": [{"id":"l","dst":"10.0.0.1","path":["a","b"]}],
+	  "flows": [{"id":1,"kind":"voip","from":"a","dst":"10.0.0.1","start_s":2}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Build(); !errors.Is(err, ErrValidation) {
+		t.Errorf("bad flow window: %v", err)
+	}
+	// Generator knobs missing.
+	for _, kind := range []string{"cbr", "bulk", "poisson", "onoff"} {
+		sc := &Scenario{DurationS: 1}
+		if _, err := sc.generator(Flow{ID: 1, Kind: kind, Dst: "10.0.0.1"}); err == nil {
+			t.Errorf("%s with no knobs accepted", kind)
+		}
+	}
+}
+
+// TestShippedScenarioFiles keeps the repository's scenarios/ directory
+// loadable and buildable — a stale example file is a broken quickstart.
+func TestShippedScenarioFiles(t *testing.T) {
+	matches, err := filepath.Glob(filepath.Join("..", "..", "scenarios", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("no shipped scenario files found")
+	}
+	for _, path := range matches {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			s, err := Load(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Build(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

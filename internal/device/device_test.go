@@ -1,0 +1,290 @@
+package device
+
+import (
+	"testing"
+
+	"embeddedmpls/internal/infobase"
+	"embeddedmpls/internal/label"
+	"embeddedmpls/internal/lsm"
+	"embeddedmpls/internal/packet"
+	"embeddedmpls/internal/swmpls"
+)
+
+var dst = packet.AddrFrom(10, 0, 0, 1)
+
+func lerWithFEC(t *testing.T) *Device {
+	t.Helper()
+	d := New(lsm.LER, lsm.DefaultClock)
+	err := d.InstallFEC(dst, 32, swmpls.NHLFE{NextHop: "core", Op: label.OpPush, PushLabels: []label.Label{100}, CoS: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestIngressPushCyclesAndResult(t *testing.T) {
+	d := lerWithFEC(t)
+	p := packet.New(1, dst, 64, nil)
+	res, cycles := d.Process(p)
+	if res.Action != swmpls.Forward || res.NextHop != "core" {
+		t.Fatalf("result = %+v", res)
+	}
+	top, _ := p.Stack.Top()
+	if top.Label != 100 || top.TTL != 63 || top.CoS != 4 {
+		t.Errorf("pushed entry = %v", top)
+	}
+	// Empty stack to load (0 pushes) + update hitting at level-1
+	// position 1 with a push tail.
+	want := lsm.SearchCycles(1) + lsm.CyclesPushFromIB
+	if cycles != want {
+		t.Errorf("cycles = %d, want %d", cycles, want)
+	}
+	if d.TotalCycles != uint64(want) {
+		t.Errorf("TotalCycles = %d", d.TotalCycles)
+	}
+	// ~300 ns at 50 MHz.
+	if s := d.Seconds(cycles); s <= 0 || s > 1e-6 {
+		t.Errorf("processing time = %v s", s)
+	}
+}
+
+func TestTransitSwapUsesLoadedStack(t *testing.T) {
+	d := New(lsm.LSR, lsm.DefaultClock)
+	if err := d.InstallILM(100, swmpls.NHLFE{NextHop: "next", Op: label.OpSwap, PushLabels: []label.Label{200}}); err != nil {
+		t.Fatal(err)
+	}
+	p := packet.New(1, dst, 64, nil)
+	_ = p.Stack.Push(label.Entry{Label: 100, CoS: 2, TTL: 9})
+	res, cycles := d.Process(p)
+	if res.Action != swmpls.Forward || res.NextHop != "next" {
+		t.Fatalf("result = %+v", res)
+	}
+	top, _ := p.Stack.Top()
+	if top.Label != 200 || top.TTL != 8 || top.CoS != 2 {
+		t.Errorf("top = %v", top)
+	}
+	// One user push to load the stack + the swap update at level-2
+	// position 1.
+	want := lsm.CyclesUserPush + lsm.SearchCycles(1) + lsm.CyclesSwapFromIB
+	if cycles != want {
+		t.Errorf("cycles = %d, want %d", cycles, want)
+	}
+}
+
+func TestILMInstalledAtBothDepths(t *testing.T) {
+	d := New(lsm.LSR, lsm.DefaultClock)
+	if err := d.InstallILM(300, swmpls.NHLFE{NextHop: "x", Op: label.OpSwap, PushLabels: []label.Label{301}}); err != nil {
+		t.Fatal(err)
+	}
+	// Depth 1: level-2 search.
+	p := packet.New(1, dst, 64, nil)
+	_ = p.Stack.Push(label.Entry{Label: 300, TTL: 10})
+	if res, _ := d.Process(p); res.Action != swmpls.Forward {
+		t.Fatalf("depth-1: %+v", res)
+	}
+	// Depth 2: level-3 search must find the same binding.
+	q := packet.New(1, dst, 64, nil)
+	_ = q.Stack.Push(label.Entry{Label: 50, TTL: 10})
+	_ = q.Stack.Push(label.Entry{Label: 300, TTL: 10})
+	res, _ := d.Process(q)
+	if res.Action != swmpls.Forward {
+		t.Fatalf("depth-2: %+v", res)
+	}
+	top, _ := q.Stack.Top()
+	if top.Label != 301 || q.Stack.Depth() != 2 {
+		t.Errorf("depth-2 swap result: %v", q.Stack)
+	}
+	sizes := d.TableSizes()
+	if sizes[1] != 1 || sizes[2] != 1 {
+		t.Errorf("table sizes = %v, want level2=1 level3=1", sizes)
+	}
+}
+
+func TestEgressPopWritesTTLBack(t *testing.T) {
+	d := New(lsm.LSR, lsm.DefaultClock)
+	if err := d.InstallILM(100, swmpls.NHLFE{Op: label.OpPop}); err != nil {
+		t.Fatal(err)
+	}
+	p := packet.New(1, dst, 64, nil)
+	_ = p.Stack.Push(label.Entry{Label: 100, TTL: 7})
+	res, _ := d.Process(p)
+	if res.Action != swmpls.Deliver {
+		t.Fatalf("result = %+v", res)
+	}
+	if p.Labelled() || p.Header.TTL != 6 {
+		t.Errorf("after pop: %v", p)
+	}
+}
+
+func TestDropPaths(t *testing.T) {
+	t.Run("no route", func(t *testing.T) {
+		d := New(lsm.LER, lsm.DefaultClock)
+		p := packet.New(1, dst, 64, nil)
+		if res, _ := d.Process(p); res.Drop != swmpls.DropNoRoute {
+			t.Errorf("result = %+v", res)
+		}
+	})
+	t.Run("unknown label", func(t *testing.T) {
+		d := New(lsm.LSR, lsm.DefaultClock)
+		p := packet.New(1, dst, 64, nil)
+		_ = p.Stack.Push(label.Entry{Label: 999, TTL: 9})
+		if res, _ := d.Process(p); res.Drop != swmpls.DropNoLabel {
+			t.Errorf("result = %+v", res)
+		}
+	})
+	t.Run("ttl expired", func(t *testing.T) {
+		d := New(lsm.LSR, lsm.DefaultClock)
+		_ = d.InstallILM(100, swmpls.NHLFE{NextHop: "n", Op: label.OpSwap, PushLabels: []label.Label{101}})
+		p := packet.New(1, dst, 64, nil)
+		_ = p.Stack.Push(label.Entry{Label: 100, TTL: 1})
+		if res, _ := d.Process(p); res.Drop != swmpls.DropTTLExpired {
+			t.Errorf("result = %+v", res)
+		}
+	})
+	t.Run("unlabelled at LSR", func(t *testing.T) {
+		d := New(lsm.LSR, lsm.DefaultClock)
+		_ = d.InstallFEC(dst, 32, swmpls.NHLFE{NextHop: "n", Op: label.OpPush, PushLabels: []label.Label{100}})
+		p := packet.New(1, dst, 64, nil)
+		res, _ := d.Process(p)
+		if res.Action != swmpls.Drop {
+			t.Errorf("LSR forwarded an unlabelled packet: %+v", res)
+		}
+	})
+}
+
+func TestInstallRestrictions(t *testing.T) {
+	d := New(lsm.LER, lsm.DefaultClock)
+	if err := d.InstallFEC(dst, 24, swmpls.NHLFE{Op: label.OpPush, PushLabels: []label.Label{100}}); err == nil {
+		t.Error("prefix FEC accepted by exact-match hardware")
+	}
+	if err := d.InstallFEC(dst, 32, swmpls.NHLFE{Op: label.OpPush, PushLabels: []label.Label{100, 200}}); err == nil {
+		t.Error("multi-label ingress push accepted")
+	}
+	if err := d.InstallILM(100, swmpls.NHLFE{Op: label.OpNone}); err == nil {
+		t.Error("no-op NHLFE accepted")
+	}
+	if err := d.InstallILM(label.RouterAlert, swmpls.NHLFE{Op: label.OpPop}); err == nil {
+		t.Error("reserved incoming label accepted")
+	}
+	if err := d.InstallILM(100, swmpls.NHLFE{Op: label.OpSwap, PushLabels: []label.Label{1, 2}}); err == nil {
+		t.Error("multi-label swap accepted")
+	}
+}
+
+func TestRemoveBindings(t *testing.T) {
+	d := lerWithFEC(t)
+	_ = d.InstallILM(100, swmpls.NHLFE{NextHop: "n", Op: label.OpPop})
+	d.RemoveFEC(dst, 32)
+	d.RemoveFEC(dst, 24) // wrong prefix: no-op, must not panic
+	p := packet.New(1, dst, 64, nil)
+	if res, _ := d.Process(p); res.Drop != swmpls.DropNoRoute {
+		t.Errorf("after RemoveFEC: %+v", res)
+	}
+	d.RemoveILM(100)
+	q := packet.New(1, dst, 64, nil)
+	_ = q.Stack.Push(label.Entry{Label: 100, TTL: 9})
+	if res, _ := d.Process(q); res.Drop != swmpls.DropNoLabel {
+		t.Errorf("after RemoveILM: %+v", res)
+	}
+	sizes := d.TableSizes()
+	if sizes != [infobase.NumLevels]int{0, 0, 0} {
+		t.Errorf("tables not empty: %v", sizes)
+	}
+}
+
+// TestDeviceMatchesSoftwareForwarder runs identical single-label LSP
+// configurations through the device and the software forwarder and
+// demands the same packet transformations and decisions.
+func TestDeviceMatchesSoftwareForwarder(t *testing.T) {
+	hw := New(lsm.LER, lsm.DefaultClock)
+	sw := swmpls.New()
+
+	fec := swmpls.NHLFE{NextHop: "n1", Op: label.OpPush, PushLabels: []label.Label{100}}
+	swapN := swmpls.NHLFE{NextHop: "n2", Op: label.OpSwap, PushLabels: []label.Label{200}}
+	popN := swmpls.NHLFE{Op: label.OpPop}
+	for _, err := range []error{
+		hw.InstallFEC(dst, 32, fec), sw.MapFEC(dst, 32, fec),
+		hw.InstallILM(100, swapN), sw.MapLabel(100, swapN),
+		hw.InstallILM(200, popN), sw.MapLabel(200, popN),
+	} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	mk := func() *packet.Packet { return packet.New(1, dst, 64, []byte("x")) }
+	ph, ps := mk(), mk()
+	for hop := 0; hop < 3; hop++ {
+		rh, _ := hw.Process(ph)
+		rs := sw.Forward(ps)
+		if rh.Action != rs.Action || rh.NextHop != rs.NextHop || rh.Drop != rs.Drop {
+			t.Fatalf("hop %d: hw=%+v sw=%+v", hop, rh, rs)
+		}
+		if !ph.Stack.Equal(ps.Stack) || ph.Header.TTL != ps.Header.TTL {
+			t.Fatalf("hop %d: packet divergence hw=%v sw=%v", hop, ph, ps)
+		}
+	}
+	if ph.Labelled() || ph.Header.TTL != 61 {
+		t.Errorf("final packet %v, want unlabelled ttl=61", ph)
+	}
+}
+
+func TestSearchCostGrowsWithTablePosition(t *testing.T) {
+	d := New(lsm.LSR, lsm.DefaultClock)
+	for i := 0; i < 32; i++ {
+		if err := d.InstallILM(label.Label(100+i), swmpls.NHLFE{NextHop: "n", Op: label.OpSwap, PushLabels: []label.Label{label.Label(500 + i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cost := func(l label.Label) int {
+		p := packet.New(1, dst, 64, nil)
+		_ = p.Stack.Push(label.Entry{Label: l, TTL: 64})
+		_, c := d.Process(p)
+		return c
+	}
+	first, last := cost(100), cost(131)
+	// Entry 1 vs entry 32: 3 cycles per position.
+	if last-first != 3*31 {
+		t.Errorf("cost(last)-cost(first) = %d, want %d", last-first, 3*31)
+	}
+}
+
+func TestCAMDeviceConstantCost(t *testing.T) {
+	lin := NewWithSearch(lsm.LSR, lsm.DefaultClock, lsm.SearchLinear)
+	cam := NewWithSearch(lsm.LSR, lsm.DefaultClock, lsm.SearchCAM)
+	for _, d := range []*Device{lin, cam} {
+		for i := 0; i < 64; i++ {
+			if err := d.InstallILM(label.Label(100+i), swmpls.NHLFE{NextHop: "n", Op: label.OpSwap, PushLabels: []label.Label{label.Label(500 + i)}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	run := func(d *Device, l label.Label) int {
+		p := packet.New(1, dst, 64, nil)
+		_ = p.Stack.Push(label.Entry{Label: l, TTL: 64})
+		res, c := d.Process(p)
+		if res.Action != swmpls.Forward {
+			t.Fatalf("swap failed: %+v", res)
+		}
+		return c
+	}
+	// Linear: last entry costs 3*63 more than the first. CAM: identical.
+	if diff := run(lin, 163) - run(lin, 100); diff != 3*63 {
+		t.Errorf("linear last-first = %d, want %d", diff, 3*63)
+	}
+	if diff := run(cam, 163) - run(cam, 100); diff != 0 {
+		t.Errorf("CAM last-first = %d, want 0", diff)
+	}
+	// The CAM cost matches the RTL-pinned constant: load (3) + search
+	// constant + swap tail.
+	if got, want := run(cam, 163), lsm.CyclesUserPush+lsm.CyclesSearchCAM+lsm.CyclesSwapFromIB; got != want {
+		t.Errorf("CAM swap = %d cycles, want %d", got, want)
+	}
+}
+
+func TestClockAccessor(t *testing.T) {
+	d := New(lsm.LER, lsm.DefaultClock)
+	if d.Clock() != lsm.DefaultClock {
+		t.Errorf("Clock() = %+v", d.Clock())
+	}
+}

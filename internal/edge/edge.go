@@ -1,0 +1,141 @@
+// Package edge attaches layer-2 networks to label edge routers,
+// completing the paper's Figure 1 picture: "LERs ... are used as an
+// interface between layer 2 networks (ATM, Frame Relay or Ethernet) and
+// an MPLS core network". A Port owns one layer-2 adapter; frames arriving
+// from the segment are integrity-checked, decapsulated and injected into
+// the LER, and packets the LER delivers for hosts on the segment are
+// encapsulated back into frames (or ATM cell trains) and handed to the
+// wire.
+package edge
+
+import (
+	"fmt"
+
+	"embeddedmpls/internal/frame"
+	"embeddedmpls/internal/packet"
+	"embeddedmpls/internal/router"
+	"embeddedmpls/internal/stats"
+)
+
+// Port is one layer-2 attachment point on an LER.
+type Port struct {
+	name    string
+	adapter frame.Adapter
+	router  *router.Router
+	hosts   map[packet.Addr]bool
+
+	// OnTransmit receives the layer-2 units of each outbound packet;
+	// a Host or a test bench hooks it. Nil drops outbound traffic (with
+	// accounting).
+	OnTransmit func(units [][]byte)
+
+	// RxFrames / TxFrames count layer-2 units; RxPackets / TxPackets
+	// count network packets; Errors counts undecodable arrivals.
+	RxFrames  stats.Counter
+	TxFrames  stats.Counter
+	RxPackets stats.Counter
+	TxPackets stats.Counter
+	Errors    uint64
+}
+
+// NewPort creates a port on r using the given layer-2 adapter.
+func NewPort(name string, r *router.Router, a frame.Adapter) *Port {
+	return &Port{
+		name:    name,
+		adapter: a,
+		router:  r,
+		hosts:   make(map[packet.Addr]bool),
+	}
+}
+
+// Name returns the port name.
+func (p *Port) Name() string { return p.name }
+
+// Medium returns the port's layer-2 technology.
+func (p *Port) Medium() frame.Medium { return p.adapter.Medium() }
+
+// AttachHost declares addr reachable on this segment: the LER delivers
+// its packets here, and registers the address as local so unlabelled
+// arrivals terminate.
+func (p *Port) AttachHost(addr packet.Addr) {
+	p.hosts[addr] = true
+	p.router.AddLocal(addr)
+}
+
+// FromWire accepts the layer-2 units of one packet from the segment:
+// decapsulate, integrity-check, parse and inject into the LER.
+func (p *Port) FromWire(units [][]byte) error {
+	for _, u := range units {
+		p.RxFrames.Add(len(u))
+	}
+	payload, err := p.adapter.Decap(units)
+	if err != nil {
+		p.Errors++
+		return fmt.Errorf("edge %s: %w", p.name, err)
+	}
+	pkt, err := packet.Unmarshal(payload)
+	if err != nil {
+		p.Errors++
+		return fmt.Errorf("edge %s: %w", p.name, err)
+	}
+	p.RxPackets.Add(pkt.Size())
+	p.router.Inject(pkt)
+	return nil
+}
+
+// SendFromHost is the convenience path for tests and generators: build a
+// packet from a host on this segment, frame it, and push it through
+// FromWire — exercising the full layer-2 round trip on ingress too.
+func (p *Port) SendFromHost(pkt *packet.Packet) error {
+	payload, err := pkt.Marshal()
+	if err != nil {
+		return fmt.Errorf("edge %s: %w", p.name, err)
+	}
+	units, err := p.adapter.Encap(payload, pkt.Labelled())
+	if err != nil {
+		return fmt.Errorf("edge %s: %w", p.name, err)
+	}
+	return p.FromWire(units)
+}
+
+// deliver encapsulates an outbound packet onto the segment.
+func (p *Port) deliver(pkt *packet.Packet) error {
+	payload, err := pkt.Marshal()
+	if err != nil {
+		p.Errors++
+		return fmt.Errorf("edge %s: %w", p.name, err)
+	}
+	units, err := p.adapter.Encap(payload, pkt.Labelled())
+	if err != nil {
+		p.Errors++
+		return fmt.Errorf("edge %s: %w", p.name, err)
+	}
+	p.TxPackets.Add(pkt.Size())
+	for _, u := range units {
+		p.TxFrames.Add(len(u))
+	}
+	if p.OnTransmit != nil {
+		p.OnTransmit(units)
+	}
+	return nil
+}
+
+// Attach installs the ports as the router's delivery sink: delivered
+// packets are dispatched to the port whose segment hosts the destination.
+// Packets for destinations on no port are counted as errors on the first
+// port (there is always at least one).
+func Attach(r *router.Router, ports ...*Port) {
+	if len(ports) == 0 {
+		panic("edge: Attach needs at least one port")
+	}
+	r.OnDeliver = func(pkt *packet.Packet) {
+		for _, p := range ports {
+			if p.hosts[pkt.Header.Dst] {
+				// Encap failures are already accounted on the port.
+				_ = p.deliver(pkt)
+				return
+			}
+		}
+		ports[0].Errors++
+	}
+}

@@ -1,0 +1,166 @@
+package frame
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Medium names a layer-2 technology at an MPLS network edge.
+type Medium int
+
+// Supported media, matching the networks of the paper's Figure 1.
+const (
+	Ethernet Medium = iota
+	ATM
+	FrameRelay
+)
+
+// String names the medium.
+func (m Medium) String() string {
+	switch m {
+	case Ethernet:
+		return "ethernet"
+	case ATM:
+		return "atm"
+	case FrameRelay:
+		return "frame-relay"
+	default:
+		return fmt.Sprintf("medium(%d)", int(m))
+	}
+}
+
+// Adapter carries network-layer packets over one layer-2 medium: Encap
+// produces the wire units (one Ethernet/Frame Relay frame, or a train of
+// ATM cells) and Decap reverses it, verifying integrity.
+type Adapter interface {
+	Medium() Medium
+	Encap(payload []byte, mpls bool) ([][]byte, error)
+	Decap(units [][]byte) ([]byte, error)
+	// Overhead returns the layer-2 bytes added around a payload of the
+	// given size, for throughput accounting.
+	Overhead(payloadSize int) int
+}
+
+// ErrNoUnits reports a Decap call with nothing to decode.
+var ErrNoUnits = errors.New("frame: no layer-2 units to decode")
+
+// EthernetAdapter frames packets between two MACs.
+type EthernetAdapter struct {
+	Local, Remote MAC
+}
+
+// Medium implements Adapter.
+func (a *EthernetAdapter) Medium() Medium { return Ethernet }
+
+// Encap implements Adapter.
+func (a *EthernetAdapter) Encap(payload []byte, mpls bool) ([][]byte, error) {
+	et := EtherTypeIPv4
+	if mpls {
+		et = EtherTypeMPLS
+	}
+	f, err := EncodeEthernet(a.Remote, a.Local, et, payload)
+	if err != nil {
+		return nil, err
+	}
+	return [][]byte{f}, nil
+}
+
+// Decap implements Adapter.
+func (a *EthernetAdapter) Decap(units [][]byte) ([]byte, error) {
+	if len(units) != 1 {
+		return nil, fmt.Errorf("%w: ethernet expects 1 frame, got %d", ErrNoUnits, len(units))
+	}
+	f, err := DecodeEthernet(units[0])
+	if err != nil {
+		return nil, err
+	}
+	return f.Payload, nil
+}
+
+// Overhead implements Adapter.
+func (a *EthernetAdapter) Overhead(payloadSize int) int {
+	pad := 0
+	if payloadSize < EthMinPayload {
+		pad = EthMinPayload - payloadSize
+	}
+	return EthOverhead + pad
+}
+
+// ATMAdapter segments packets into AAL5 cell trains on one VC.
+type ATMAdapter struct {
+	Circuit VC
+}
+
+// Medium implements Adapter.
+func (a *ATMAdapter) Medium() Medium { return ATM }
+
+// Encap implements Adapter.
+func (a *ATMAdapter) Encap(payload []byte, _ bool) ([][]byte, error) {
+	cells, err := EncodeAAL5(a.Circuit, payload)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(cells))
+	for i, c := range cells {
+		out[i] = MarshalCell(c)
+	}
+	return out, nil
+}
+
+// Decap implements Adapter.
+func (a *ATMAdapter) Decap(units [][]byte) ([]byte, error) {
+	if len(units) == 0 {
+		return nil, ErrNoUnits
+	}
+	cells := make([]Cell, len(units))
+	for i, u := range units {
+		c, err := UnmarshalCell(u)
+		if err != nil {
+			return nil, err
+		}
+		cells[i] = c
+	}
+	return DecodeAAL5(a.Circuit, cells)
+}
+
+// Overhead implements Adapter.
+func (a *ATMAdapter) Overhead(payloadSize int) int {
+	total := payloadSize + aal5TrailerSize
+	cells := (total + CellPayloadSize - 1) / CellPayloadSize
+	return cells*CellSize - payloadSize
+}
+
+// FrameRelayAdapter frames packets on one DLCI.
+type FrameRelayAdapter struct {
+	DLCI uint16
+}
+
+// Medium implements Adapter.
+func (a *FrameRelayAdapter) Medium() Medium { return FrameRelay }
+
+// Encap implements Adapter.
+func (a *FrameRelayAdapter) Encap(payload []byte, _ bool) ([][]byte, error) {
+	f, err := EncodeFrameRelay(FrameRelayFrame{DLCI: a.DLCI, Payload: payload})
+	if err != nil {
+		return nil, err
+	}
+	return [][]byte{f}, nil
+}
+
+// Decap implements Adapter.
+func (a *FrameRelayAdapter) Decap(units [][]byte) ([]byte, error) {
+	if len(units) != 1 {
+		return nil, fmt.Errorf("%w: frame relay expects 1 frame, got %d", ErrNoUnits, len(units))
+	}
+	f, err := DecodeFrameRelay(units[0])
+	if err != nil {
+		return nil, err
+	}
+	if f.DLCI != a.DLCI {
+		return nil, fmt.Errorf("frame: DLCI %d, want %d", f.DLCI, a.DLCI)
+	}
+	return f.Payload, nil
+}
+
+// Overhead implements Adapter.
+func (a *FrameRelayAdapter) Overhead(int) int { return frHeaderSize + frFCSSize }

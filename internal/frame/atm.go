@@ -1,0 +1,123 @@
+package frame
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// ATM constants: 53-byte cells of a 5-byte header and 48-byte payload;
+// AAL5 packs a packet plus an 8-byte trailer into a whole number of
+// cells, marking the last cell of the PDU in the payload-type field.
+const (
+	CellSize        = 53
+	cellHeaderSize  = 5
+	CellPayloadSize = 48
+	aal5TrailerSize = 8
+)
+
+// ATM framing errors.
+var (
+	ErrCellSize     = errors.New("frame: ATM cell is not 53 bytes")
+	ErrCellVC       = errors.New("frame: ATM cell from a different VC")
+	ErrNoLastCell   = errors.New("frame: AAL5 PDU missing last-cell marker")
+	ErrAAL5Trailer  = errors.New("frame: AAL5 trailer corrupt")
+	ErrAAL5Length   = errors.New("frame: AAL5 length field out of range")
+	ErrAAL5Checksum = errors.New("frame: AAL5 CRC mismatch")
+)
+
+// VC identifies an ATM virtual circuit.
+type VC struct {
+	VPI uint8  // virtual path, 8 bits at the UNI
+	VCI uint16 // virtual channel
+}
+
+// Cell is one ATM cell.
+type Cell struct {
+	VC   VC
+	Last bool // AAL5 end-of-PDU marker (PT bit 0)
+	Data [CellPayloadSize]byte
+}
+
+// EncodeAAL5 segments payload into ATM cells on the given VC: payload,
+// zero padding, and an 8-byte trailer (UU, CPI, 16-bit length, CRC-32)
+// aligned to a whole number of cells.
+func EncodeAAL5(vc VC, payload []byte) ([]Cell, error) {
+	if len(payload) > 0xffff {
+		return nil, fmt.Errorf("%w: %d", ErrAAL5Length, len(payload))
+	}
+	total := len(payload) + aal5TrailerSize
+	cells := (total + CellPayloadSize - 1) / CellPayloadSize
+	pdu := make([]byte, cells*CellPayloadSize)
+	copy(pdu, payload)
+	tr := pdu[len(pdu)-aal5TrailerSize:]
+	// tr[0]=UU, tr[1]=CPI stay zero.
+	binary.BigEndian.PutUint16(tr[2:], uint16(len(payload)))
+	binary.BigEndian.PutUint32(tr[4:], crc32.ChecksumIEEE(pdu[:len(pdu)-4]))
+
+	out := make([]Cell, cells)
+	for i := range out {
+		out[i].VC = vc
+		out[i].Last = i == cells-1
+		copy(out[i].Data[:], pdu[i*CellPayloadSize:])
+	}
+	return out, nil
+}
+
+// DecodeAAL5 reassembles a cell train back into the payload, validating
+// the VC, the last-cell marker, the length field and the CRC.
+func DecodeAAL5(vc VC, cells []Cell) ([]byte, error) {
+	if len(cells) == 0 {
+		return nil, ErrNoLastCell
+	}
+	pdu := make([]byte, 0, len(cells)*CellPayloadSize)
+	for i, c := range cells {
+		if c.VC != vc {
+			return nil, fmt.Errorf("%w: cell %d on %+v, want %+v", ErrCellVC, i, c.VC, vc)
+		}
+		if c.Last != (i == len(cells)-1) {
+			return nil, fmt.Errorf("%w (cell %d)", ErrNoLastCell, i)
+		}
+		pdu = append(pdu, c.Data[:]...)
+	}
+	if len(pdu) < aal5TrailerSize {
+		return nil, ErrAAL5Trailer
+	}
+	tr := pdu[len(pdu)-aal5TrailerSize:]
+	n := int(binary.BigEndian.Uint16(tr[2:]))
+	if n > len(pdu)-aal5TrailerSize {
+		return nil, fmt.Errorf("%w: %d > %d", ErrAAL5Length, n, len(pdu)-aal5TrailerSize)
+	}
+	if crc32.ChecksumIEEE(pdu[:len(pdu)-4]) != binary.BigEndian.Uint32(tr[4:]) {
+		return nil, ErrAAL5Checksum
+	}
+	return append([]byte(nil), pdu[:n]...), nil
+}
+
+// MarshalCell serialises a cell to its 53-byte wire form: a simplified
+// header of VPI, VCI and a PT byte whose low bit is the last-cell marker.
+func MarshalCell(c Cell) []byte {
+	buf := make([]byte, CellSize)
+	buf[0] = c.VC.VPI
+	binary.BigEndian.PutUint16(buf[1:], c.VC.VCI)
+	if c.Last {
+		buf[3] = 1
+	}
+	// buf[4] is the HEC slot; left zero in the simulation.
+	copy(buf[cellHeaderSize:], c.Data[:])
+	return buf
+}
+
+// UnmarshalCell parses a 53-byte wire cell.
+func UnmarshalCell(buf []byte) (Cell, error) {
+	var c Cell
+	if len(buf) != CellSize {
+		return c, fmt.Errorf("%w: %d bytes", ErrCellSize, len(buf))
+	}
+	c.VC.VPI = buf[0]
+	c.VC.VCI = binary.BigEndian.Uint16(buf[1:])
+	c.Last = buf[3]&1 != 0
+	copy(c.Data[:], buf[cellHeaderSize:])
+	return c, nil
+}

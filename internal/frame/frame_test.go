@@ -1,0 +1,237 @@
+package frame
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+var (
+	macA = MAC{0, 1, 2, 3, 4, 5}
+	macB = MAC{6, 7, 8, 9, 10, 11}
+)
+
+func TestEthernetRoundTrip(t *testing.T) {
+	payload := []byte("a network-layer packet that is longer than the minimum payload")
+	buf, err := EncodeEthernet(macA, macB, EtherTypeMPLS, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := DecodeEthernet(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Dst != macA || f.Src != macB || f.EtherType != EtherTypeMPLS {
+		t.Errorf("header fields wrong: %+v", f)
+	}
+	if !bytes.Equal(f.Payload, payload) {
+		t.Errorf("payload mismatch: %q", f.Payload)
+	}
+}
+
+func TestEthernetPadding(t *testing.T) {
+	buf, err := EncodeEthernet(macA, macB, EtherTypeIPv4, []byte{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != ethHeaderSize+EthMinPayload+ethFCSSize {
+		t.Errorf("frame size %d, want minimum %d", len(buf), ethHeaderSize+EthMinPayload+ethFCSSize)
+	}
+	f, err := DecodeEthernet(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Payload) != EthMinPayload || !bytes.Equal(f.Payload[:3], []byte{1, 2, 3}) {
+		t.Errorf("padded payload wrong: %v", f.Payload[:8])
+	}
+}
+
+func TestEthernetErrors(t *testing.T) {
+	if _, err := EncodeEthernet(macA, macB, 0, make([]byte, EthMaxPayload+1)); err == nil {
+		t.Error("oversized payload accepted")
+	}
+	buf, _ := EncodeEthernet(macA, macB, 0, []byte("hello"))
+	buf[20] ^= 0xff
+	if _, err := DecodeEthernet(buf); err != ErrBadFCS {
+		t.Errorf("corrupted frame: err = %v, want ErrBadFCS", err)
+	}
+	if _, err := DecodeEthernet(buf[:10]); err != ErrFrameTooShort {
+		t.Errorf("short frame: err = %v", err)
+	}
+}
+
+func TestMACString(t *testing.T) {
+	if got := macA.String(); got != "00:01:02:03:04:05" {
+		t.Errorf("MAC string = %q", got)
+	}
+}
+
+func TestAAL5RoundTripSizes(t *testing.T) {
+	vc := VC{VPI: 1, VCI: 100}
+	for _, n := range []int{0, 1, 39, 40, 41, 48, 100, 1500} {
+		payload := make([]byte, n)
+		for i := range payload {
+			payload[i] = byte(i)
+		}
+		cells, err := EncodeAAL5(vc, payload)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		wantCells := (n + aal5TrailerSize + CellPayloadSize - 1) / CellPayloadSize
+		if len(cells) != wantCells {
+			t.Errorf("n=%d: %d cells, want %d", n, len(cells), wantCells)
+		}
+		got, err := DecodeAAL5(vc, cells)
+		if err != nil {
+			t.Fatalf("n=%d decode: %v", n, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Errorf("n=%d: payload mismatch", n)
+		}
+	}
+}
+
+func TestAAL5Errors(t *testing.T) {
+	vc := VC{VPI: 1, VCI: 2}
+	cells, _ := EncodeAAL5(vc, []byte("data"))
+	if _, err := DecodeAAL5(vc, nil); err != ErrNoLastCell {
+		t.Errorf("no cells: %v", err)
+	}
+	if _, err := DecodeAAL5(VC{VPI: 9}, cells); err == nil {
+		t.Error("wrong VC accepted")
+	}
+	// Flip a payload bit: CRC must catch it.
+	cells[0].Data[0] ^= 0xff
+	if _, err := DecodeAAL5(vc, cells); err != ErrAAL5Checksum {
+		t.Errorf("corrupted PDU: %v", err)
+	}
+	cells[0].Data[0] ^= 0xff
+	// Drop the last-cell marker.
+	cells[len(cells)-1].Last = false
+	if _, err := DecodeAAL5(vc, cells); err == nil {
+		t.Error("missing last-cell marker accepted")
+	}
+	if _, err := EncodeAAL5(vc, make([]byte, 1<<16)); err == nil {
+		t.Error("oversized AAL5 payload accepted")
+	}
+}
+
+func TestCellWireRoundTrip(t *testing.T) {
+	c := Cell{VC: VC{VPI: 3, VCI: 777}, Last: true}
+	for i := range c.Data {
+		c.Data[i] = byte(i * 3)
+	}
+	buf := MarshalCell(c)
+	if len(buf) != CellSize {
+		t.Fatalf("cell size %d", len(buf))
+	}
+	got, err := UnmarshalCell(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != c {
+		t.Errorf("cell round trip mismatch")
+	}
+	if _, err := UnmarshalCell(buf[:52]); err == nil {
+		t.Error("short cell accepted")
+	}
+}
+
+func TestFrameRelayRoundTrip(t *testing.T) {
+	f := FrameRelayFrame{DLCI: 666, FECN: true, DE: true, Payload: []byte("fr payload")}
+	buf, err := EncodeFrameRelay(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFrameRelay(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DLCI != 666 || !got.FECN || got.BECN || !got.DE {
+		t.Errorf("fields: %+v", got)
+	}
+	if !bytes.Equal(got.Payload, f.Payload) {
+		t.Error("payload mismatch")
+	}
+}
+
+func TestFrameRelayErrors(t *testing.T) {
+	if _, err := EncodeFrameRelay(FrameRelayFrame{DLCI: MaxDLCI + 1}); err == nil {
+		t.Error("oversized DLCI accepted")
+	}
+	buf, _ := EncodeFrameRelay(FrameRelayFrame{DLCI: 1, Payload: []byte("x")})
+	buf[2] ^= 0x55
+	if _, err := DecodeFrameRelay(buf); err != ErrBadFRFCS {
+		t.Errorf("corrupt frame: %v", err)
+	}
+	if _, err := DecodeFrameRelay([]byte{1, 2}); err != ErrFrameTooShort {
+		t.Errorf("short frame: %v", err)
+	}
+}
+
+func TestCRC16KnownVector(t *testing.T) {
+	// CCITT-FALSE("123456789") = 0x29B1, a standard check value.
+	if got := crc16CCITT([]byte("123456789")); got != 0x29b1 {
+		t.Errorf("crc16 = %#x, want 0x29b1", got)
+	}
+}
+
+func TestAdaptersRoundTripAllMedia(t *testing.T) {
+	adapters := []Adapter{
+		&EthernetAdapter{Local: macA, Remote: macB},
+		&ATMAdapter{Circuit: VC{VPI: 2, VCI: 42}},
+		&FrameRelayAdapter{DLCI: 99},
+	}
+	rng := rand.New(rand.NewSource(5))
+	for _, a := range adapters {
+		t.Run(a.Medium().String(), func(t *testing.T) {
+			for trial := 0; trial < 50; trial++ {
+				payload := make([]byte, 1+rng.Intn(1200))
+				rng.Read(payload)
+				units, err := a.Encap(payload, trial%2 == 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := a.Decap(units)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Ethernet pads short payloads; the prefix must match and
+				// the rest must be zeros.
+				if len(got) < len(payload) || !bytes.Equal(got[:len(payload)], payload) {
+					t.Fatalf("trial %d: payload mismatch", trial)
+				}
+				for _, b := range got[len(payload):] {
+					if b != 0 {
+						t.Fatalf("trial %d: nonzero padding", trial)
+					}
+				}
+				// Overhead accounting must match the actual bytes sent.
+				total := 0
+				for _, u := range units {
+					total += len(u)
+				}
+				if total != len(payload)+a.Overhead(len(payload)) {
+					t.Errorf("trial %d: wire=%d, payload+overhead=%d",
+						trial, total, len(payload)+a.Overhead(len(payload)))
+				}
+			}
+		})
+	}
+}
+
+func TestAdapterDecapErrors(t *testing.T) {
+	eth := &EthernetAdapter{Local: macA, Remote: macB}
+	if _, err := eth.Decap(nil); err == nil {
+		t.Error("ethernet Decap(nil) accepted")
+	}
+	atm := &ATMAdapter{Circuit: VC{VCI: 1}}
+	if _, err := atm.Decap(nil); err != ErrNoUnits {
+		t.Errorf("atm Decap(nil): %v", err)
+	}
+	fr := &FrameRelayAdapter{DLCI: 5}
+	other, _ := (&FrameRelayAdapter{DLCI: 6}).Encap([]byte("x"), false)
+	if _, err := fr.Decap(other); err == nil {
+		t.Error("frame relay accepted a foreign DLCI")
+	}
+}

@@ -1,0 +1,96 @@
+package frame
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Frame Relay framing: a 2-byte address field carrying a 10-bit DLCI and
+// the FECN/BECN/DE congestion bits, the payload, and a CRC-16 frame check
+// sequence (CCITT polynomial, as used on Frame Relay links).
+const (
+	frHeaderSize = 2
+	frFCSSize    = 2
+	// MaxDLCI is the largest data link connection identifier (10 bits).
+	MaxDLCI = 1<<10 - 1
+)
+
+// Frame Relay errors.
+var (
+	ErrDLCIRange = errors.New("frame: DLCI exceeds 10 bits")
+	ErrBadFRFCS  = errors.New("frame: Frame Relay FCS mismatch")
+)
+
+// FrameRelayFrame is one Frame Relay frame.
+type FrameRelayFrame struct {
+	DLCI    uint16
+	FECN    bool // forward explicit congestion notification
+	BECN    bool // backward explicit congestion notification
+	DE      bool // discard eligibility
+	Payload []byte
+}
+
+// EncodeFrameRelay wraps payload in a Frame Relay frame.
+func EncodeFrameRelay(f FrameRelayFrame) ([]byte, error) {
+	if f.DLCI > MaxDLCI {
+		return nil, fmt.Errorf("%w: %d", ErrDLCIRange, f.DLCI)
+	}
+	// Address field: DLCI split 6/4 across the two bytes, with the
+	// congestion bits in the low half of the second byte and the EA bit
+	// terminating the field.
+	hi := byte(f.DLCI>>4) << 2
+	lo := byte(f.DLCI&0xf) << 4
+	if f.FECN {
+		lo |= 1 << 3
+	}
+	if f.BECN {
+		lo |= 1 << 2
+	}
+	if f.DE {
+		lo |= 1 << 1
+	}
+	lo |= 1 // EA: last address byte
+	buf := make([]byte, 0, frHeaderSize+len(f.Payload)+frFCSSize)
+	buf = append(buf, hi, lo)
+	buf = append(buf, f.Payload...)
+	buf = binary.BigEndian.AppendUint16(buf, crc16CCITT(buf))
+	return buf, nil
+}
+
+// DecodeFrameRelay validates the FCS and splits the frame.
+func DecodeFrameRelay(buf []byte) (*FrameRelayFrame, error) {
+	if len(buf) < frHeaderSize+frFCSSize {
+		return nil, ErrFrameTooShort
+	}
+	body, fcs := buf[:len(buf)-frFCSSize], binary.BigEndian.Uint16(buf[len(buf)-frFCSSize:])
+	if crc16CCITT(body) != fcs {
+		return nil, ErrBadFRFCS
+	}
+	hi, lo := body[0], body[1]
+	f := &FrameRelayFrame{
+		DLCI:    uint16(hi>>2)<<4 | uint16(lo>>4),
+		FECN:    lo&(1<<3) != 0,
+		BECN:    lo&(1<<2) != 0,
+		DE:      lo&(1<<1) != 0,
+		Payload: append([]byte(nil), body[frHeaderSize:]...),
+	}
+	return f, nil
+}
+
+// crc16CCITT computes the CCITT CRC-16 (polynomial 0x1021, initial value
+// 0xffff) used by Frame Relay and HDLC.
+func crc16CCITT(data []byte) uint16 {
+	crc := uint16(0xffff)
+	for _, b := range data {
+		crc ^= uint16(b) << 8
+		for i := 0; i < 8; i++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}

@@ -1,0 +1,46 @@
+package frame
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDecodersNeverPanic feeds random bytes to every layer-2 decoder.
+func TestDecodersNeverPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 3000; trial++ {
+		buf := make([]byte, rng.Intn(128))
+		rng.Read(buf)
+		_, _ = DecodeEthernet(buf)
+		_, _ = DecodeFrameRelay(buf)
+		_, _ = UnmarshalCell(buf)
+	}
+	// Random cell trains through AAL5 reassembly.
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(5)
+		cells := make([]Cell, n)
+		for i := range cells {
+			rng.Read(cells[i].Data[:])
+			cells[i].VC = VC{VPI: uint8(rng.Intn(4)), VCI: uint16(rng.Intn(16))}
+			cells[i].Last = rng.Intn(2) == 0
+		}
+		_, _ = DecodeAAL5(VC{VPI: 1, VCI: 1}, cells)
+	}
+}
+
+// TestBitFlipAlwaysDetected: single bit flips anywhere in an Ethernet
+// frame must be caught by the FCS.
+func TestBitFlipAlwaysDetected(t *testing.T) {
+	payload := []byte("integrity matters for label stacks")
+	buf, err := EncodeEthernet(MAC{1}, MAC{2}, EtherTypeMPLS, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bit := 0; bit < len(buf)*8; bit++ {
+		buf[bit/8] ^= 1 << (bit % 8)
+		if _, err := DecodeEthernet(buf); err == nil {
+			t.Fatalf("bit flip at %d undetected", bit)
+		}
+		buf[bit/8] ^= 1 << (bit % 8)
+	}
+}

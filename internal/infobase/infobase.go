@@ -1,0 +1,194 @@
+// Package infobase models the information base of the embedded MPLS
+// architecture: the central store of (index, new label, operation) triples
+// that the label stack modifier consults for every packet.
+//
+// The paper's hardware organises the base as three memory levels — one per
+// supported label stack level — each holding 1 KB of label pairs (1024
+// entries). Level 1 is indexed by the 32-bit packet identifier (for IP
+// packets, the destination address), because an ingress LER must be able
+// to push a label onto an *empty* stack; levels 2 and 3 are indexed by the
+// 20-bit top label. Each level is searched linearly, giving the paper's
+// 3n+5-cycle search cost.
+//
+// Two implementations share the Base interface: Behavioral (this package,
+// a reference model in plain Go) and the cycle-accurate RTL data path in
+// package lsm. Property tests drive both with the same traffic and demand
+// identical answers.
+package infobase
+
+import (
+	"errors"
+	"fmt"
+
+	"embeddedmpls/internal/label"
+)
+
+// Level identifies one of the three information base memories.
+type Level int
+
+// The three levels of the information base.
+const (
+	Level1 Level = 1 // indexed by 32-bit packet identifier (ingress push)
+	Level2 Level = 2 // indexed by 20-bit label, stack depth 1
+	Level3 Level = 3 // indexed by 20-bit label, stack depth 2 or 3
+)
+
+// NumLevels is the number of memory levels.
+const NumLevels = 3
+
+// EntriesPerLevel is the capacity of each level: "each memory component
+// supports 1 KB of label pairs", i.e. 1024 entries.
+const EntriesPerLevel = 1024
+
+// Valid reports whether lv names an existing level.
+func (lv Level) Valid() bool { return lv >= Level1 && lv <= Level3 }
+
+// LevelForDepth maps the current label stack depth to the level that must
+// be consulted: an empty stack uses level 1 (keyed by packet identifier),
+// a one-entry stack uses level 2, deeper stacks use level 3.
+func LevelForDepth(depth int) Level {
+	switch {
+	case depth <= 0:
+		return Level1
+	case depth == 1:
+		return Level2
+	default:
+		return Level3
+	}
+}
+
+// Key is a lookup index: the full 32-bit packet identifier at level 1, or
+// a 20-bit label value at levels 2 and 3.
+type Key uint32
+
+// Pair is one information base entry: when a packet's key matches Index,
+// apply Op using NewLabel.
+type Pair struct {
+	Index    Key
+	NewLabel label.Label
+	Op       label.Op
+}
+
+// Information base errors.
+var (
+	ErrLevelFull    = errors.New("infobase: level is full")
+	ErrInvalidLevel = errors.New("infobase: no such level")
+	ErrInvalidPair  = errors.New("infobase: pair field out of range")
+)
+
+// ValidatePair checks that p fits the wire widths of level lv: level-1
+// indices are 32 bits (any Key), level-2/3 indices must be valid labels,
+// the new label must fit 20 bits and the operation 2 bits.
+func ValidatePair(lv Level, p Pair) error {
+	if !lv.Valid() {
+		return fmt.Errorf("%w: %d", ErrInvalidLevel, lv)
+	}
+	if lv != Level1 && !label.Label(p.Index).Valid() {
+		return fmt.Errorf("%w: level-%d index %d exceeds 20 bits", ErrInvalidPair, lv, p.Index)
+	}
+	if !p.NewLabel.Valid() {
+		return fmt.Errorf("%w: new label %d exceeds 20 bits", ErrInvalidPair, p.NewLabel)
+	}
+	if !p.Op.Valid() {
+		return fmt.Errorf("%w: operation %d exceeds 2 bits", ErrInvalidPair, p.Op)
+	}
+	return nil
+}
+
+// Base is the information base contract shared by the behavioral model
+// and the cycle-accurate hardware data path.
+type Base interface {
+	// Write appends a pair to level lv, like the hardware's "write label
+	// pair" command. It fails when the level is full or the pair does not
+	// fit the field widths.
+	Write(lv Level, p Pair) error
+	// Lookup linearly searches level lv for the first pair whose index
+	// equals key, in insertion order, exactly as the search module scans
+	// memory addresses 0..n-1.
+	Lookup(lv Level, key Key) (label.Label, label.Op, bool)
+	// Count returns the number of pairs stored at level lv.
+	Count(lv Level) int
+	// Clear empties every level.
+	Clear()
+}
+
+// Behavioral is the software reference model of the information base.
+// The zero value is not usable; call NewBehavioral.
+type Behavioral struct {
+	levels [NumLevels][]Pair
+}
+
+var _ Base = (*Behavioral)(nil)
+
+// NewBehavioral returns an empty behavioral information base.
+func NewBehavioral() *Behavioral { return &Behavioral{} }
+
+// Write implements Base.
+func (b *Behavioral) Write(lv Level, p Pair) error {
+	if err := ValidatePair(lv, p); err != nil {
+		return err
+	}
+	s := &b.levels[lv-1]
+	if len(*s) >= EntriesPerLevel {
+		return fmt.Errorf("%w: level %d already holds %d pairs", ErrLevelFull, lv, EntriesPerLevel)
+	}
+	*s = append(*s, p)
+	return nil
+}
+
+// Lookup implements Base: first match in insertion order wins, matching
+// the hardware's incrementing read index.
+func (b *Behavioral) Lookup(lv Level, key Key) (label.Label, label.Op, bool) {
+	if !lv.Valid() {
+		return 0, label.OpNone, false
+	}
+	for _, p := range b.levels[lv-1] {
+		if p.Index == key {
+			return p.NewLabel, p.Op, true
+		}
+	}
+	return 0, label.OpNone, false
+}
+
+// Count implements Base.
+func (b *Behavioral) Count(lv Level) int {
+	if !lv.Valid() {
+		return 0
+	}
+	return len(b.levels[lv-1])
+}
+
+// Clear implements Base.
+func (b *Behavioral) Clear() {
+	for i := range b.levels {
+		b.levels[i] = b.levels[i][:0]
+	}
+}
+
+// Remove deletes the first pair at level lv whose index equals key and
+// reports whether one was removed. The hardware interface only writes;
+// removal is a software (routing functionality) operation performed when
+// an LSP is torn down.
+func (b *Behavioral) Remove(lv Level, key Key) bool {
+	if !lv.Valid() {
+		return false
+	}
+	s := b.levels[lv-1]
+	for i, p := range s {
+		if p.Index == key {
+			b.levels[lv-1] = append(s[:i], s[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Entries returns a copy of level lv in storage order.
+func (b *Behavioral) Entries(lv Level) []Pair {
+	if !lv.Valid() {
+		return nil
+	}
+	out := make([]Pair, len(b.levels[lv-1]))
+	copy(out, b.levels[lv-1])
+	return out
+}

@@ -1,0 +1,223 @@
+package infobase
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"embeddedmpls/internal/label"
+)
+
+func TestLevelValidity(t *testing.T) {
+	for _, lv := range []Level{Level1, Level2, Level3} {
+		if !lv.Valid() {
+			t.Errorf("level %d should be valid", lv)
+		}
+	}
+	for _, lv := range []Level{0, 4, -1} {
+		if lv.Valid() {
+			t.Errorf("level %d should be invalid", lv)
+		}
+	}
+}
+
+func TestLevelForDepth(t *testing.T) {
+	cases := map[int]Level{-1: Level1, 0: Level1, 1: Level2, 2: Level3, 3: Level3}
+	for depth, want := range cases {
+		if got := LevelForDepth(depth); got != want {
+			t.Errorf("LevelForDepth(%d) = %d, want %d", depth, got, want)
+		}
+	}
+}
+
+func TestValidatePair(t *testing.T) {
+	ok := Pair{Index: 600, NewLabel: 500, Op: label.OpSwap}
+	if err := ValidatePair(Level1, ok); err != nil {
+		t.Errorf("valid pair rejected: %v", err)
+	}
+	// Level 1 accepts a full 32-bit index (a packet identifier).
+	if err := ValidatePair(Level1, Pair{Index: 0xffffffff, NewLabel: 1, Op: label.OpPush}); err != nil {
+		t.Errorf("level 1 must accept 32-bit indices: %v", err)
+	}
+	// Levels 2-3 must reject indices above 20 bits.
+	if err := ValidatePair(Level2, Pair{Index: 1 << 20, NewLabel: 1, Op: label.OpSwap}); !errors.Is(err, ErrInvalidPair) {
+		t.Errorf("level 2 accepted a 21-bit index: %v", err)
+	}
+	if err := ValidatePair(Level1, Pair{Index: 1, NewLabel: label.MaxLabel + 1, Op: label.OpSwap}); !errors.Is(err, ErrInvalidPair) {
+		t.Errorf("oversized new label accepted: %v", err)
+	}
+	if err := ValidatePair(Level1, Pair{Index: 1, NewLabel: 1, Op: label.Op(4)}); !errors.Is(err, ErrInvalidPair) {
+		t.Errorf("3-bit operation accepted: %v", err)
+	}
+	if err := ValidatePair(Level(9), ok); !errors.Is(err, ErrInvalidLevel) {
+		t.Errorf("bad level accepted: %v", err)
+	}
+}
+
+func TestBehavioralWriteLookup(t *testing.T) {
+	b := NewBehavioral()
+	// The scenario of paper Figure 14: ids 600-609 -> labels 500-509.
+	for i := 0; i < 10; i++ {
+		p := Pair{Index: Key(600 + i), NewLabel: label.Label(500 + i), Op: label.Op(1 + i%3)}
+		if err := b.Write(Level1, p); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if b.Count(Level1) != 10 {
+		t.Fatalf("count = %d, want 10", b.Count(Level1))
+	}
+	lbl, op, found := b.Lookup(Level1, 604)
+	if !found || lbl != 504 {
+		t.Errorf("lookup 604 = (%d, %v, %v), want label 504", lbl, op, found)
+	}
+	if _, _, found := b.Lookup(Level1, 27); found {
+		t.Error("lookup of absent key reported found")
+	}
+	if _, _, found := b.Lookup(Level2, 604); found {
+		t.Error("lookup on the wrong level reported found")
+	}
+	if _, _, found := b.Lookup(Level(0), 604); found {
+		t.Error("lookup on an invalid level reported found")
+	}
+}
+
+func TestBehavioralFirstMatchWins(t *testing.T) {
+	b := NewBehavioral()
+	if err := b.Write(Level2, Pair{Index: 7, NewLabel: 100, Op: label.OpSwap}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(Level2, Pair{Index: 7, NewLabel: 200, Op: label.OpPop}); err != nil {
+		t.Fatal(err)
+	}
+	lbl, op, found := b.Lookup(Level2, 7)
+	if !found || lbl != 100 || op != label.OpSwap {
+		t.Errorf("lookup = (%d, %v, %v); the first-written pair must win", lbl, op, found)
+	}
+}
+
+func TestBehavioralLevelsIndependent(t *testing.T) {
+	b := NewBehavioral()
+	_ = b.Write(Level1, Pair{Index: 1, NewLabel: 11, Op: label.OpPush})
+	_ = b.Write(Level2, Pair{Index: 1, NewLabel: 22, Op: label.OpSwap})
+	_ = b.Write(Level3, Pair{Index: 1, NewLabel: 33, Op: label.OpPop})
+	for lv, want := range map[Level]label.Label{Level1: 11, Level2: 22, Level3: 33} {
+		lbl, _, found := b.Lookup(lv, 1)
+		if !found || lbl != want {
+			t.Errorf("level %d: lookup = (%d, %v), want %d", lv, lbl, found, want)
+		}
+		if b.Count(lv) != 1 {
+			t.Errorf("level %d count = %d, want 1", lv, b.Count(lv))
+		}
+	}
+}
+
+func TestBehavioralCapacity(t *testing.T) {
+	b := NewBehavioral()
+	for i := 0; i < EntriesPerLevel; i++ {
+		if err := b.Write(Level3, Pair{Index: Key(i), NewLabel: label.Label(i % 1000), Op: label.OpSwap}); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	err := b.Write(Level3, Pair{Index: 9999, NewLabel: 1, Op: label.OpSwap})
+	if !errors.Is(err, ErrLevelFull) {
+		t.Errorf("write past capacity: err = %v, want ErrLevelFull", err)
+	}
+	// Other levels must be unaffected by a full level 3.
+	if err := b.Write(Level2, Pair{Index: 1, NewLabel: 1, Op: label.OpSwap}); err != nil {
+		t.Errorf("level 2 write failed while level 3 full: %v", err)
+	}
+}
+
+func TestBehavioralWriteRejectsBadPair(t *testing.T) {
+	b := NewBehavioral()
+	if err := b.Write(Level2, Pair{Index: 1 << 21, NewLabel: 1, Op: label.OpSwap}); err == nil {
+		t.Error("oversized index accepted by Write")
+	}
+	if b.Count(Level2) != 0 {
+		t.Error("rejected write still stored a pair")
+	}
+}
+
+func TestBehavioralRemove(t *testing.T) {
+	b := NewBehavioral()
+	_ = b.Write(Level2, Pair{Index: 5, NewLabel: 50, Op: label.OpSwap})
+	_ = b.Write(Level2, Pair{Index: 6, NewLabel: 60, Op: label.OpSwap})
+	_ = b.Write(Level2, Pair{Index: 5, NewLabel: 70, Op: label.OpPop})
+	if !b.Remove(Level2, 5) {
+		t.Fatal("remove of present key failed")
+	}
+	// First occurrence removed; the later duplicate must now be visible.
+	lbl, op, found := b.Lookup(Level2, 5)
+	if !found || lbl != 70 || op != label.OpPop {
+		t.Errorf("after remove, lookup 5 = (%d, %v, %v), want (70, pop)", lbl, op, found)
+	}
+	if b.Remove(Level2, 999) {
+		t.Error("remove of absent key reported success")
+	}
+	if b.Remove(Level(0), 5) {
+		t.Error("remove on invalid level reported success")
+	}
+	if b.Count(Level2) != 2 {
+		t.Errorf("count = %d, want 2", b.Count(Level2))
+	}
+}
+
+func TestBehavioralClearAndEntries(t *testing.T) {
+	b := NewBehavioral()
+	_ = b.Write(Level1, Pair{Index: 1, NewLabel: 2, Op: label.OpPush})
+	_ = b.Write(Level2, Pair{Index: 3, NewLabel: 4, Op: label.OpSwap})
+	got := b.Entries(Level2)
+	if len(got) != 1 || got[0].Index != 3 {
+		t.Errorf("Entries = %v", got)
+	}
+	// The copy must be independent of the store.
+	got[0].Index = 99
+	if lbl, _, found := b.Lookup(Level2, 3); !found || lbl != 4 {
+		t.Error("mutating the Entries copy changed the store")
+	}
+	if b.Entries(Level(7)) != nil {
+		t.Error("Entries of invalid level should be nil")
+	}
+	b.Clear()
+	for _, lv := range []Level{Level1, Level2, Level3} {
+		if b.Count(lv) != 0 {
+			t.Errorf("level %d not empty after Clear", lv)
+		}
+	}
+}
+
+// TestBehavioralAgainstMapModel drives the behavioral base with random
+// traffic and checks every lookup against a simple first-write-wins map.
+func TestBehavioralAgainstMapModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	b := NewBehavioral()
+	type lvKey struct {
+		lv  Level
+		key Key
+	}
+	model := make(map[lvKey]Pair)
+	for i := 0; i < 2000; i++ {
+		lv := Level(1 + rng.Intn(NumLevels))
+		maxKey := 1 << 20
+		if lv == Level1 {
+			maxKey = 1 << 24
+		}
+		key := Key(rng.Intn(maxKey))
+		if rng.Intn(3) > 0 && b.Count(lv) < EntriesPerLevel {
+			p := Pair{Index: key, NewLabel: label.Label(rng.Intn(1 << 20)), Op: label.Op(rng.Intn(4))}
+			if err := b.Write(lv, p); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			k := lvKey{lv, key}
+			if _, dup := model[k]; !dup {
+				model[k] = p
+			}
+		}
+		lbl, op, found := b.Lookup(lv, key)
+		want, wantFound := model[lvKey{lv, key}]
+		if found != wantFound || (found && (lbl != want.NewLabel || op != want.Op)) {
+			t.Fatalf("step %d: lookup(%d, %d) = (%d, %v, %v), model says (%d, %v, %v)",
+				i, lv, key, lbl, op, found, want.NewLabel, want.Op, wantFound)
+		}
+	}
+}

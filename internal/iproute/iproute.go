@@ -1,0 +1,172 @@
+// Package iproute implements conventional hop-by-hop IP routing — the
+// "traditional IP forwarding" baseline that MPLS label switching
+// replaces. Each router holds a longest-prefix-match table mapping
+// destination prefixes to next-hop neighbours; tables are computed from
+// the link-state topology with per-node Dijkstra, the way an IGP
+// (OSPF-style) would. Routers fall back to these tables for unlabelled
+// packets with no FEC binding, so an MPLS network degrades gracefully to
+// IP and a pure-IP network needs no MPLS state at all.
+package iproute
+
+import (
+	"fmt"
+
+	"embeddedmpls/internal/packet"
+	"embeddedmpls/internal/te"
+)
+
+// Local is the next-hop value marking a destination attached to this
+// router (deliver instead of forwarding).
+const Local = ""
+
+// Table is one router's IP forwarding table: longest prefix match over
+// (prefix -> next-hop node name).
+type Table struct {
+	byLen [33]map[packet.Addr]string
+}
+
+// NewTable returns an empty table.
+func NewTable() *Table { return &Table{} }
+
+// Add binds prefix/plen to the given next hop (Local for attached
+// prefixes).
+func (t *Table) Add(prefix packet.Addr, plen int, nexthop string) error {
+	if plen < 0 || plen > 32 {
+		return fmt.Errorf("iproute: prefix length %d", plen)
+	}
+	if t.byLen[plen] == nil {
+		t.byLen[plen] = make(map[packet.Addr]string)
+	}
+	t.byLen[plen][mask(prefix, plen)] = nexthop
+	return nil
+}
+
+// Lookup returns the next hop for addr under longest-prefix match.
+func (t *Table) Lookup(addr packet.Addr) (string, bool) {
+	for plen := 32; plen >= 0; plen-- {
+		if m := t.byLen[plen]; m != nil {
+			if nh, ok := m[mask(addr, plen)]; ok {
+				return nh, true
+			}
+		}
+	}
+	return "", false
+}
+
+// Size returns the number of installed prefixes.
+func (t *Table) Size() int {
+	n := 0
+	for _, m := range t.byLen {
+		n += len(m)
+	}
+	return n
+}
+
+func mask(a packet.Addr, plen int) packet.Addr {
+	if plen <= 0 {
+		return 0
+	}
+	return a &^ (1<<(32-plen) - 1)
+}
+
+// PrefixOwner declares that a prefix is attached to a node.
+type PrefixOwner struct {
+	Prefix packet.Addr
+	Len    int
+	Node   string
+}
+
+// BuildTables computes every router's forwarding table: single-source
+// shortest paths (by the TE metric) from each node, then one route per
+// owned prefix. Owners attached to the node itself get Local routes.
+func BuildTables(topo *te.Topology, owners []PrefixOwner) (map[string]*Table, error) {
+	nodes := topo.Nodes()
+	known := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		known[n] = true
+	}
+	for _, o := range owners {
+		if !known[o.Node] {
+			return nil, fmt.Errorf("iproute: prefix owner %q not in topology", o.Node)
+		}
+	}
+	tables := make(map[string]*Table, len(nodes))
+	for _, src := range nodes {
+		next := nextHops(topo, src)
+		t := NewTable()
+		for _, o := range owners {
+			nh := Local
+			if o.Node != src {
+				var ok bool
+				nh, ok = next[o.Node]
+				if !ok {
+					continue // unreachable: leave no route, packets drop
+				}
+			}
+			if err := t.Add(o.Prefix, o.Len, nh); err != nil {
+				return nil, err
+			}
+		}
+		tables[src] = t
+	}
+	return tables, nil
+}
+
+// nextHops runs Dijkstra from src and returns, for every reachable node,
+// the neighbour of src on the shortest path. Ties break toward the
+// lexicographically smaller neighbour for determinism.
+func nextHops(topo *te.Topology, src string) map[string]string {
+	type state struct {
+		cost  float64
+		first string // first hop out of src
+		done  bool
+	}
+	states := map[string]*state{src: {}}
+	for {
+		var cur string
+		var cs *state
+		for n, s := range states {
+			if s.done {
+				continue
+			}
+			if cs == nil || s.cost < cs.cost || (s.cost == cs.cost && n < cur) {
+				cur, cs = n, s
+			}
+		}
+		if cs == nil {
+			break
+		}
+		cs.done = true
+		for _, nb := range topo.Neighbours(cur) {
+			attrs, _ := topo.Link(cur, nb)
+			m := attrs.Metric
+			if m <= 0 {
+				m = 1
+			}
+			first := cs.first
+			if cur == src {
+				first = nb
+			}
+			cand := state{cost: cs.cost + m, first: first}
+			nxt := states[nb]
+			if nxt == nil {
+				c := cand
+				states[nb] = &c
+				continue
+			}
+			if nxt.done {
+				continue
+			}
+			if cand.cost < nxt.cost || (cand.cost == nxt.cost && cand.first < nxt.first) {
+				*nxt = cand
+			}
+		}
+	}
+	out := make(map[string]string, len(states))
+	for n, s := range states {
+		if n != src {
+			out[n] = s.first
+		}
+	}
+	return out
+}

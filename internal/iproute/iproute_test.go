@@ -1,0 +1,138 @@
+package iproute
+
+import (
+	"testing"
+
+	"embeddedmpls/internal/packet"
+	"embeddedmpls/internal/te"
+)
+
+func TestTableLongestPrefixMatch(t *testing.T) {
+	tab := NewTable()
+	if err := tab.Add(packet.AddrFrom(10, 0, 0, 0), 8, "coarse"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Add(packet.AddrFrom(10, 1, 0, 0), 16, "fine"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Add(packet.AddrFrom(10, 1, 2, 3), 32, "host"); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[packet.Addr]string{
+		packet.AddrFrom(10, 1, 2, 3): "host",
+		packet.AddrFrom(10, 1, 9, 9): "fine",
+		packet.AddrFrom(10, 7, 0, 1): "coarse",
+	}
+	for addr, want := range cases {
+		nh, ok := tab.Lookup(addr)
+		if !ok || nh != want {
+			t.Errorf("lookup(%v) = %q,%v, want %q", addr, nh, ok, want)
+		}
+	}
+	if _, ok := tab.Lookup(packet.AddrFrom(11, 0, 0, 1)); ok {
+		t.Error("lookup outside all prefixes succeeded")
+	}
+	if tab.Size() != 3 {
+		t.Errorf("size = %d", tab.Size())
+	}
+}
+
+func TestTableDefaultRouteAndErrors(t *testing.T) {
+	tab := NewTable()
+	if err := tab.Add(0, 0, "default"); err != nil {
+		t.Fatal(err)
+	}
+	if nh, ok := tab.Lookup(packet.AddrFrom(8, 8, 8, 8)); !ok || nh != "default" {
+		t.Errorf("default route: %q, %v", nh, ok)
+	}
+	if err := tab.Add(0, 33, "x"); err == nil {
+		t.Error("prefix length 33 accepted")
+	}
+	if err := tab.Add(0, -1, "x"); err == nil {
+		t.Error("negative prefix length accepted")
+	}
+	// The prefix is canonicalised: host bits are masked away.
+	if err := tab.Add(packet.AddrFrom(10, 0, 0, 99), 24, "masked"); err != nil {
+		t.Fatal(err)
+	}
+	if nh, ok := tab.Lookup(packet.AddrFrom(10, 0, 0, 1)); !ok || nh != "masked" {
+		t.Error("host bits not masked on Add")
+	}
+}
+
+// lineTopo builds a-b-c-d with unit metrics.
+func lineTopo(t *testing.T) *te.Topology {
+	t.Helper()
+	topo := te.NewTopology()
+	names := []string{"a", "b", "c", "d"}
+	for _, n := range names {
+		topo.AddNode(n)
+	}
+	for i := 0; i+1 < len(names); i++ {
+		if err := topo.AddDuplex(names[i], names[i+1], te.LinkAttrs{CapacityBPS: 1, Metric: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return topo
+}
+
+func TestBuildTablesLine(t *testing.T) {
+	topo := lineTopo(t)
+	pfx := packet.AddrFrom(10, 0, 0, 0)
+	tables, err := BuildTables(topo, []PrefixOwner{{Prefix: pfx, Len: 24, Node: "d"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{"a": "b", "b": "c", "c": "d", "d": Local}
+	for node, wantNH := range want {
+		nh, ok := tables[node].Lookup(packet.AddrFrom(10, 0, 0, 7))
+		if !ok || nh != wantNH {
+			t.Errorf("%s: next hop %q,%v, want %q", node, nh, ok, wantNH)
+		}
+	}
+}
+
+func TestBuildTablesPrefersLowMetric(t *testing.T) {
+	topo := te.NewTopology()
+	for _, n := range []string{"a", "b", "c", "d"} {
+		topo.AddNode(n)
+	}
+	// a-b-d metric 2, a-c-d metric 10.
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(topo.AddDuplex("a", "b", te.LinkAttrs{Metric: 1}))
+	must(topo.AddDuplex("b", "d", te.LinkAttrs{Metric: 1}))
+	must(topo.AddDuplex("a", "c", te.LinkAttrs{Metric: 5}))
+	must(topo.AddDuplex("c", "d", te.LinkAttrs{Metric: 5}))
+	tables, err := BuildTables(topo, []PrefixOwner{{Prefix: packet.AddrFrom(10, 0, 0, 0), Len: 8, Node: "d"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nh, _ := tables["a"].Lookup(packet.AddrFrom(10, 1, 1, 1)); nh != "b" {
+		t.Errorf("a routes via %q, want b", nh)
+	}
+}
+
+func TestBuildTablesUnreachableAndUnknown(t *testing.T) {
+	topo := te.NewTopology()
+	topo.AddNode("a")
+	topo.AddNode("island")
+	tables, err := BuildTables(topo, []PrefixOwner{{Prefix: 0, Len: 8, Node: "island"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a cannot reach the island: no route installed.
+	if _, ok := tables["a"].Lookup(1); ok {
+		t.Error("route to unreachable node installed")
+	}
+	// The island itself has a local route.
+	if nh, ok := tables["island"].Lookup(1); !ok || nh != Local {
+		t.Error("island missing its local route")
+	}
+	if _, err := BuildTables(topo, []PrefixOwner{{Prefix: 0, Len: 8, Node: "ghost"}}); err == nil {
+		t.Error("unknown owner accepted")
+	}
+}

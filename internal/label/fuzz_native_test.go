@@ -1,0 +1,33 @@
+package label
+
+import "testing"
+
+// FuzzDecodeWire checks the stack decoder on arbitrary bytes: no panics,
+// and anything that decodes re-encodes to the bytes it consumed.
+func FuzzDecodeWire(f *testing.F) {
+	s, _ := NewStack(Entry{Label: 100, TTL: 64}, Entry{Label: 200, TTL: 64})
+	buf, _ := s.AppendWire(nil)
+	f.Add(buf)
+	f.Add([]byte{0, 0, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, n, err := DecodeWire(data)
+		if err != nil {
+			return
+		}
+		if !st.Consistent() {
+			t.Fatal("decoded stack violates the S-bit invariant")
+		}
+		out, err := st.AppendWire(nil)
+		if err != nil {
+			t.Fatalf("decoded stack does not encode: %v", err)
+		}
+		if len(out) != n {
+			t.Fatalf("re-encoded %d bytes, consumed %d", len(out), n)
+		}
+		for i := range out {
+			if out[i] != data[i] {
+				t.Fatal("re-encoding differs from consumed bytes")
+			}
+		}
+	})
+}

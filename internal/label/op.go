@@ -1,0 +1,37 @@
+package label
+
+import "fmt"
+
+// Op is a label stack operation as stored in the information base. The
+// hardware encodes it in a 2-bit memory component, so exactly four values
+// exist: no-operation, push, pop and swap.
+type Op uint8
+
+const (
+	OpNone Op = iota // leave the stack untouched (unused table slot)
+	OpPush           // push a new entry on top of the stack
+	OpPop            // remove the top entry
+	OpSwap           // replace the top entry's label
+)
+
+// NumOps is the number of distinct operations (the 2-bit field's range).
+const NumOps = 4
+
+// Valid reports whether o fits in the 2-bit operation field.
+func (o Op) Valid() bool { return o < NumOps }
+
+// String returns the conventional lowercase name of the operation.
+func (o Op) String() string {
+	switch o {
+	case OpNone:
+		return "none"
+	case OpPush:
+		return "push"
+	case OpPop:
+		return "pop"
+	case OpSwap:
+		return "swap"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}

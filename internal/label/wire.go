@@ -1,0 +1,65 @@
+package label
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// EntrySize is the wire size of one label stack entry in bytes.
+const EntrySize = 4
+
+// Wire encoding errors.
+var (
+	ErrShortBuffer = errors.New("label: buffer too short for label stack")
+	ErrNoBottom    = errors.New("label: stack encoding has no bottom-of-stack entry")
+)
+
+// AppendWire appends the stack in wire order (top entry first, as RFC 3032
+// lays entries after the layer-2 header) to dst and returns the extended
+// slice. An empty stack appends nothing.
+func (s *Stack) AppendWire(dst []byte) ([]byte, error) {
+	for i := len(s.entries) - 1; i >= 0; i-- {
+		w, err := s.entries[i].Pack()
+		if err != nil {
+			return nil, err
+		}
+		dst = binary.BigEndian.AppendUint32(dst, w)
+	}
+	return dst, nil
+}
+
+// WireSize returns the encoded size of the stack in bytes.
+func (s *Stack) WireSize() int { return len(s.entries) * EntrySize }
+
+// DecodeWire parses a label stack from the front of buf. It consumes
+// entries until one with the S bit set, returning the stack and the number
+// of bytes consumed. A buffer that ends before a bottom-of-stack entry is
+// an encoding error.
+func DecodeWire(buf []byte) (*Stack, int, error) {
+	var topToBottom []Entry
+	off := 0
+	for {
+		if off+EntrySize > len(buf) {
+			return nil, 0, fmt.Errorf("%w (offset %d)", ErrNoBottom, off)
+		}
+		e := Unpack(binary.BigEndian.Uint32(buf[off:]))
+		off += EntrySize
+		topToBottom = append(topToBottom, e)
+		if e.Bottom {
+			break
+		}
+		if len(topToBottom) > MaxDepth {
+			return nil, 0, fmt.Errorf("label: wire stack deeper than max depth %d without bottom bit", MaxDepth)
+		}
+	}
+	// Reverse into bottom-to-top order and rebuild through Push so the
+	// S-bit invariant is re-normalised.
+	s := &Stack{}
+	for i := len(topToBottom) - 1; i >= 0; i-- {
+		if err := s.Push(topToBottom[i]); err != nil {
+			return nil, 0, err
+		}
+	}
+	return s, off, nil
+}

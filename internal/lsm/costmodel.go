@@ -1,0 +1,129 @@
+package lsm
+
+import "embeddedmpls/internal/label"
+
+// Cycle cost model — the latencies of Table 6 of the paper, plus the
+// latencies it leaves implicit. Every constant and formula here is
+// verified against the cycle-accurate HW model by exact-equality tests
+// (timing_test.go), so the behavioral model and the network simulator can
+// account time without stepping the RTL.
+const (
+	// CyclesReset: "Reset — 3".
+	CyclesReset = 3
+	// CyclesUserPush: "push from the user — 3".
+	CyclesUserPush = 3
+	// CyclesUserPop: "pop from the user — 3".
+	CyclesUserPop = 3
+	// CyclesWritePair: "Write label pair — 3".
+	CyclesWritePair = 3
+
+	// searchPerEntry and searchOverhead give "Search information base —
+	// 3n+5": three cycles per scanned entry (read, wait, compare) plus
+	// five of command dispatch and completion signalling.
+	searchPerEntry = 3
+	searchOverhead = 5
+
+	// CyclesSwapFromIB: "swap from the information base — 6": the cycles
+	// from the end of the search component to operation completion
+	// (remove top, update TTL, verify, load new entry, push, done).
+	CyclesSwapFromIB = 6
+	// CyclesPopFromIB is the same tail for a pop (no entry to assemble
+	// and push, but the new top's TTL is rewritten). Not listed in
+	// Table 6; measured from the HW model.
+	CyclesPopFromIB = 5
+	// CyclesPushFromIB is the tail for a push: the old top is pushed
+	// back before the new entry. Not listed in Table 6; measured.
+	CyclesPushFromIB = 7
+	// CyclesDiscardNotFound is the tail after an unsuccessful search of
+	// an update (discard, done).
+	CyclesDiscardNotFound = 1
+	// CyclesDiscardVerify is the tail when verification rejects the
+	// packet (TTL expired or inconsistent operation) after a hit.
+	CyclesDiscardVerify = 5
+)
+
+// SearchCycles returns the cycle cost of searching an information base
+// level, where pos is the 1-based position of the matching pair, or the
+// total number of stored pairs for a miss: 3*pos + 5. The paper quotes
+// the worst case with pos = n = total entries.
+func SearchCycles(pos int) int {
+	if pos < 0 {
+		pos = 0
+	}
+	return searchPerEntry*pos + searchOverhead
+}
+
+// CyclesReadPair is the constant cost of reading one information base
+// entry by address (dispatch, address, memory wait, latch, done).
+const CyclesReadPair = 5
+
+// CyclesSearchCAM is the constant search cost of the associative (CAM)
+// information base ablation: match (1) + read (1) + resolve (1) plus the
+// same four dispatch/completion cycles as the linear design. Pinned by
+// exact-equality tests against the CAM-configured RTL model.
+const CyclesSearchCAM = 7
+
+// SearchCyclesFor returns the search cost under the given search kind.
+func SearchCyclesFor(kind SearchKind, pos int) int {
+	if kind == SearchCAM {
+		return CyclesSearchCAM
+	}
+	return SearchCycles(pos)
+}
+
+// UpdateCycles returns the total cycle cost of an update operation given
+// its result: the search component plus the operation tail.
+func UpdateCycles(r UpdateResult) int {
+	s := SearchCycles(r.SearchPos)
+	switch r.Discard {
+	case DiscardNotFound:
+		return s + CyclesDiscardNotFound
+	case DiscardTTLExpired, DiscardInconsistent:
+		return s + CyclesDiscardVerify
+	}
+	switch r.Op {
+	case label.OpPop:
+		return s + CyclesPopFromIB
+	case label.OpSwap:
+		return s + CyclesSwapFromIB
+	case label.OpPush:
+		return s + CyclesPushFromIB
+	default:
+		return s
+	}
+}
+
+// UpdateCyclesFor is UpdateCycles under the given search kind: the
+// operation tail is unchanged, only the search component differs.
+func UpdateCyclesFor(kind SearchKind, r UpdateResult) int {
+	return UpdateCycles(r) - SearchCycles(r.SearchPos) + SearchCyclesFor(kind, r.SearchPos)
+}
+
+// WorstCaseScenarioCycles computes the paper's headline worst case: reset
+// the architecture, push three stack entries, fill an entire level with
+// entries pairs, and perform a swap whose search scans the full level.
+// With entries = 1024 this is 6167 cycles.
+func WorstCaseScenarioCycles(entries int) int {
+	return CyclesReset +
+		3*CyclesUserPush +
+		entries*CyclesWritePair +
+		SearchCycles(entries) +
+		CyclesSwapFromIB
+}
+
+// Clock converts cycle counts to wall time at a fixed frequency, modelling
+// the FPGA clock (the paper assumes an Altera Stratix EP1S40F780C5 at
+// 50 MHz).
+type Clock struct {
+	// HZ is the clock frequency in cycles per second.
+	HZ uint64
+}
+
+// DefaultClock is the paper's 50 MHz device clock.
+var DefaultClock = Clock{HZ: 50_000_000}
+
+// Seconds returns the wall-clock duration of n cycles in seconds.
+func (c Clock) Seconds(n int) float64 { return float64(n) / float64(c.HZ) }
+
+// Nanos returns the wall-clock duration of n cycles in nanoseconds.
+func (c Clock) Nanos(n int) float64 { return c.Seconds(n) * 1e9 }

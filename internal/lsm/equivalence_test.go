@@ -1,0 +1,244 @@
+package lsm
+
+import (
+	"math/rand"
+	"testing"
+
+	"embeddedmpls/internal/infobase"
+	"embeddedmpls/internal/label"
+)
+
+// TestHWMatchesBehavioralRandomOps drives the cycle-accurate hardware and
+// the behavioral reference with the same random operation stream and
+// demands identical stacks, lookup answers, update outcomes and — via the
+// cost model — identical cycle accounting.
+func TestHWMatchesBehavioralRandomOps(t *testing.T) {
+	for _, rtype := range []RouterType{LER, LSR} {
+		rtype := rtype
+		t.Run(rtype.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(7 + rtype)))
+			hw := NewBench(rtype)
+			sw := NewBehavioral(rtype)
+			const steps = 400
+
+			for i := 0; i < steps; i++ {
+				switch rng.Intn(10) {
+				case 0, 1: // user push
+					if sw.Stack().Depth() >= label.MaxDepth {
+						continue
+					}
+					e := label.Entry{
+						Label: label.Label(rng.Intn(1 << 20)),
+						CoS:   label.CoS(rng.Intn(8)),
+						TTL:   uint8(1 + rng.Intn(255)),
+					}
+					if err := sw.UserPush(e); err != nil {
+						t.Fatalf("step %d: sw push: %v", i, err)
+					}
+					cycles, err := hw.UserPush(e)
+					if err != nil {
+						t.Fatalf("step %d: hw push: %v", i, err)
+					}
+					if cycles != CyclesUserPush {
+						t.Fatalf("step %d: push took %d cycles", i, cycles)
+					}
+				case 2: // user pop
+					if sw.Stack().Empty() {
+						continue
+					}
+					want, err := sw.UserPop()
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, _, err := hw.UserPop()
+					if err != nil {
+						t.Fatalf("step %d: hw pop: %v", i, err)
+					}
+					if got != want {
+						t.Fatalf("step %d: pop mismatch hw=%v sw=%v", i, got, want)
+					}
+				case 3, 4: // write pair
+					lv := infobase.Level(1 + rng.Intn(3))
+					if sw.InfoBase().Count(lv) >= 64 {
+						continue // keep searches short
+					}
+					maxIdx := 1 << 20
+					if lv == infobase.Level1 {
+						maxIdx = 1 << 28
+					}
+					p := infobase.Pair{
+						Index:    infobase.Key(rng.Intn(maxIdx)),
+						NewLabel: label.Label(rng.Intn(1 << 20)),
+						Op:       label.Op(rng.Intn(4)),
+					}
+					if err := sw.WritePair(lv, p); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := hw.WritePair(lv, p); err != nil {
+						t.Fatal(err)
+					}
+				case 5, 6: // lookup
+					lv := infobase.Level(1 + rng.Intn(3))
+					key := randomKnownKey(rng, sw, lv)
+					wantLbl, wantOp, wantPos, wantFound := sw.Lookup(lv, key)
+					got, cycles, err := hw.Lookup(lv, key)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got.Found != wantFound || got.SearchPos != wantPos ||
+						(wantFound && (got.Label != wantLbl || got.Op != wantOp)) {
+						t.Fatalf("step %d: lookup(%d,%d) hw=%+v sw=(%d,%v,%d,%v)",
+							i, lv, key, got, wantLbl, wantOp, wantPos, wantFound)
+					}
+					if cycles != SearchCycles(wantPos) {
+						t.Fatalf("step %d: lookup cycles=%d, model=%d", i, cycles, SearchCycles(wantPos))
+					}
+				default: // update
+					req := UpdateRequest{
+						PacketID: uint32(rng.Intn(1 << 28)),
+						TTLIn:    uint8(1 + rng.Intn(255)),
+						CoSIn:    label.CoS(rng.Intn(8)),
+					}
+					want := sw.Update(req)
+					got, cycles, err := hw.Update(req)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got.Discard != want.Discard || got.SearchPos != want.SearchPos {
+						t.Fatalf("step %d: update mismatch hw=%+v sw=%+v", i, got, want)
+					}
+					if !want.Discarded() && (got.Op != want.Op || got.NewLabel != want.NewLabel) {
+						t.Fatalf("step %d: update op mismatch hw=%+v sw=%+v", i, got, want)
+					}
+					if cycles != UpdateCycles(want) {
+						t.Fatalf("step %d: update cycles=%d, model=%d (result %+v)", i, cycles, UpdateCycles(want), want)
+					}
+				}
+
+				if hwStack := hw.StackSnapshot(); !hwStack.Equal(sw.Stack()) {
+					t.Fatalf("step %d: stack divergence:\n  hw: %v\n  sw: %v", i, hwStack, sw.Stack())
+				}
+			}
+		})
+	}
+}
+
+// randomKnownKey returns an existing key half the time so lookups exercise
+// both hit and miss paths.
+func randomKnownKey(rng *rand.Rand, sw *Behavioral, lv infobase.Level) infobase.Key {
+	entries := sw.InfoBase().Entries(lv)
+	if len(entries) > 0 && rng.Intn(2) == 0 {
+		return entries[rng.Intn(len(entries))].Index
+	}
+	if lv == infobase.Level1 {
+		return infobase.Key(rng.Intn(1 << 28))
+	}
+	return infobase.Key(rng.Intn(1 << 20))
+}
+
+// TestHWInfoBaseSnapshotMatchesWrites checks the RAM contents against the
+// behavioral store after a series of writes.
+func TestHWInfoBaseSnapshotMatchesWrites(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	hw := NewBench(LER)
+	sw := infobase.NewBehavioral()
+	for i := 0; i < 50; i++ {
+		lv := infobase.Level(1 + rng.Intn(3))
+		p := infobase.Pair{
+			Index:    infobase.Key(rng.Intn(1 << 20)),
+			NewLabel: label.Label(rng.Intn(1 << 20)),
+			Op:       label.Op(rng.Intn(4)),
+		}
+		if err := sw.Write(lv, p); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := hw.WritePair(lv, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := hw.HW.InfoBaseSnapshot()
+	for lv := infobase.Level1; lv <= infobase.Level3; lv++ {
+		got, want := snap.Entries(lv), sw.Entries(lv)
+		if len(got) != len(want) {
+			t.Fatalf("level %d: %d entries, want %d", lv, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("level %d entry %d: %+v, want %+v", lv, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestHWResetClearsState checks that the 3-cycle reset empties the stack
+// and the write counters but leaves the architecture usable.
+func TestHWResetClearsState(t *testing.T) {
+	b := NewBench(LER)
+	_, _ = b.UserPush(label.Entry{Label: 5, TTL: 9})
+	_, _ = b.WritePair(infobase.Level2, infobase.Pair{Index: 1, NewLabel: 2, Op: label.OpSwap})
+	if _, err := b.ResetOp(); err != nil {
+		t.Fatal(err)
+	}
+	if b.StackSnapshot().Depth() != 0 {
+		t.Error("stack survived reset")
+	}
+	res, _, err := b.Lookup(infobase.Level2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Error("information base write counter survived reset")
+	}
+	// The device must accept new work immediately after reset.
+	if _, err := b.UserPush(label.Entry{Label: 8, TTL: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if top, _ := b.StackSnapshot().Top(); top.Label != 8 {
+		t.Error("push after reset did not land")
+	}
+}
+
+// TestHWUserPopOnEmpty: popping an empty stack costs the usual 3 cycles
+// and reports the empty-stack error without corrupting state.
+func TestHWUserPopOnEmpty(t *testing.T) {
+	b := NewBench(LER)
+	_, cycles, err := b.UserPop()
+	if err != label.ErrStackEmpty {
+		t.Errorf("err = %v, want ErrStackEmpty", err)
+	}
+	if cycles != CyclesUserPop {
+		t.Errorf("cycles = %d, want %d", cycles, CyclesUserPop)
+	}
+	if b.StackSnapshot().Depth() != 0 {
+		t.Error("stack not empty")
+	}
+}
+
+// TestHWBackToBackOperations verifies there is no stale state between
+// consecutive commands (the sticky packetdiscard flag must clear when a
+// new command starts).
+func TestHWBackToBackOperations(t *testing.T) {
+	b := NewBench(LSR)
+	_, _ = b.UserPush(label.Entry{Label: 42, TTL: 64})
+	// First update misses -> discard flag set, stack reset.
+	res, _, err := b.Update(UpdateRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Discard != DiscardNotFound {
+		t.Fatalf("first update = %+v", res)
+	}
+	// Prepare a hit and run again; the discard flag must not leak.
+	_, _ = b.UserPush(label.Entry{Label: 42, TTL: 64})
+	_, _ = b.WritePair(infobase.Level2, infobase.Pair{Index: 42, NewLabel: 9, Op: label.OpSwap})
+	res, _, err = b.Update(UpdateRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Discarded() {
+		t.Fatalf("second update inherited the discard flag: %+v", res)
+	}
+	if top, _ := b.StackSnapshot().Top(); top.Label != 9 {
+		t.Errorf("top = %v, want label 9", top)
+	}
+}

@@ -1,0 +1,194 @@
+package lsm
+
+import (
+	"fmt"
+
+	"embeddedmpls/internal/infobase"
+	"embeddedmpls/internal/label"
+	"embeddedmpls/internal/rtl"
+	"embeddedmpls/internal/wave"
+)
+
+// FigureTrace is the reproduction of one of the paper's simulation
+// figures: the bench that ran it, the signal trace, and the lookup
+// outcome.
+type FigureTrace struct {
+	Name    string
+	Caption string
+	Bench   *Bench
+	Tracer  *wave.Tracer
+	Result  LookupResult
+	Cycles  int // cycle cost of the final lookup
+}
+
+// figureSignals are the signals shown in Figures 14-16, in the paper's
+// order.
+var figureSignals = []string{
+	"level", "packetid", "old_label", "new_label", "operation_in",
+	"label_lookup", "save", "lookup", "r_index", "w_index",
+	"label_out", "operation_out", "lookup_done", "packetdiscard",
+}
+
+// newFigureBench builds a bench with a tracer over the figure signals.
+func newFigureBench() (*Bench, *wave.Tracer) {
+	b := NewBench(LER)
+	sim := b.Sim()
+	sigs := make([]*rtl.Signal, 0, len(figureSignals))
+	for _, name := range figureSignals {
+		s := sim.Lookup(name)
+		if s == nil {
+			panic("lsm: figure signal " + name + " not in the design")
+		}
+		sigs = append(sigs, s)
+	}
+	return b, wave.NewTracer(sim, sigs...)
+}
+
+// Figure14 reproduces the paper's Figure 14: ten label pairs written to
+// level 1 with packet identifiers 600-609 and new labels 500-509 (the
+// operation alternating so no two consecutive entries share one), then a
+// lookup of packet identifier 604, which must return label 504 without
+// discarding the packet.
+func Figure14() (*FigureTrace, error) {
+	b, tr := newFigureBench()
+	for i := 0; i < 10; i++ {
+		p := infobase.Pair{
+			Index:    infobase.Key(600 + i),
+			NewLabel: label.Label(500 + i),
+			Op:       alternatingOp(i),
+		}
+		if _, err := b.WritePair(infobase.Level1, p); err != nil {
+			return nil, fmt.Errorf("figure 14 write %d: %w", i, err)
+		}
+	}
+	res, cycles, err := b.Lookup(infobase.Level1, 604)
+	if err != nil {
+		return nil, fmt.Errorf("figure 14 lookup: %w", err)
+	}
+	return &FigureTrace{
+		Name:    "Figure 14",
+		Caption: "level 1 label pair entries: write ids 600-609 -> labels 500-509, look up id 604",
+		Bench:   b, Tracer: tr, Result: res, Cycles: cycles,
+	}, nil
+}
+
+// Figure15 reproduces Figure 15: the same scenario against level 2, with
+// old labels 1-10 mapped to new labels 500-509, and a successful lookup.
+func Figure15() (*FigureTrace, error) {
+	b, tr := newFigureBench()
+	for i := 0; i < 10; i++ {
+		p := infobase.Pair{
+			Index:    infobase.Key(1 + i),
+			NewLabel: label.Label(500 + i),
+			Op:       alternatingOp(i),
+		}
+		if _, err := b.WritePair(infobase.Level2, p); err != nil {
+			return nil, fmt.Errorf("figure 15 write %d: %w", i, err)
+		}
+	}
+	res, cycles, err := b.Lookup(infobase.Level2, 5)
+	if err != nil {
+		return nil, fmt.Errorf("figure 15 lookup: %w", err)
+	}
+	return &FigureTrace{
+		Name:    "Figure 15",
+		Caption: "level 2 label pair entries: write labels 1-10 -> 500-509, look up label 5",
+		Bench:   b, Tracer: tr, Result: res, Cycles: cycles,
+	}, nil
+}
+
+// Figure16 reproduces Figure 16: labels 1-10 stored at level 2, then a
+// lookup of label 27, which does not exist. The read index must sweep all
+// stored pairs, lookup_done and packetdiscard must go high, and
+// label_out/operation_out must remain unchanged.
+func Figure16() (*FigureTrace, error) {
+	b, tr := newFigureBench()
+	for i := 0; i < 10; i++ {
+		p := infobase.Pair{
+			Index:    infobase.Key(1 + i),
+			NewLabel: label.Label(500 + i),
+			Op:       alternatingOp(i),
+		}
+		if _, err := b.WritePair(infobase.Level2, p); err != nil {
+			return nil, fmt.Errorf("figure 16 write %d: %w", i, err)
+		}
+	}
+	res, cycles, err := b.Lookup(infobase.Level2, 27)
+	if err != nil {
+		return nil, fmt.Errorf("figure 16 lookup: %w", err)
+	}
+	return &FigureTrace{
+		Name:    "Figure 16",
+		Caption: "packet discard: labels 1-10 stored, look up absent label 27",
+		Bench:   b, Tracer: tr, Result: res, Cycles: cycles,
+	}, nil
+}
+
+// TraceUpdate produces a control-unit trace of a full update operation —
+// not one of the paper's figures, but the view of Figures 8-11 in motion:
+// the four state machines, the TTL counter and the stack as a packet's
+// label is processed. op selects the stored operation ("swap", "pop",
+// "push") or "miss" for the discard path.
+func TraceUpdate(op string) (*FigureTrace, error) {
+	b := NewBench(LSR)
+	sim := b.Sim()
+	names := []string{
+		"main_state", "lsi_state", "ibi_state", "search_state",
+		"r_index", "ttl_q", "stack_size", "label_out", "operation_out",
+		"done", "packetdiscard",
+	}
+	sigs := make([]*rtl.Signal, 0, len(names))
+	for _, n := range names {
+		s := sim.Lookup(n)
+		if s == nil {
+			return nil, fmt.Errorf("lsm: trace signal %q not in the design", n)
+		}
+		sigs = append(sigs, s)
+	}
+
+	var stored label.Op
+	switch op {
+	case "swap":
+		stored = label.OpSwap
+	case "pop":
+		stored = label.OpPop
+	case "push":
+		stored = label.OpPush
+	case "miss":
+		stored = label.OpSwap // stored but the packet carries another label
+	default:
+		return nil, fmt.Errorf("lsm: unknown update trace op %q (swap, pop, push, miss)", op)
+	}
+	if _, err := b.WritePair(infobase.Level2, infobase.Pair{Index: 42, NewLabel: 777, Op: stored}); err != nil {
+		return nil, err
+	}
+	carried := label.Label(42)
+	if op == "miss" {
+		carried = 27
+	}
+	if _, err := b.UserPush(label.Entry{Label: carried, CoS: 3, TTL: 64}); err != nil {
+		return nil, err
+	}
+
+	tr := wave.NewTracer(sim, sigs...)
+	res, cycles, err := b.Update(UpdateRequest{})
+	if err != nil {
+		return nil, err
+	}
+	return &FigureTrace{
+		Name: "Update trace (" + op + ")",
+		Caption: fmt.Sprintf("label %d carried, stored op %v: %d cycles, discard=%v",
+			carried, stored, cycles, res.Discarded()),
+		Bench: b, Tracer: tr,
+		Result: LookupResult{Label: res.NewLabel, Op: res.Op, Found: !res.Discarded() || res.Discard != DiscardNotFound, SearchPos: res.SearchPos},
+		Cycles: cycles,
+	}, nil
+}
+
+// alternatingOp cycles push/pop/swap so that, as in the paper, "no two
+// consecutive entries are given the same operation". The phase is chosen
+// so the fifth entry (packet identifier 604 in Figure 14) carries
+// operation code 3, the value the paper's waveform reads back.
+func alternatingOp(i int) label.Op {
+	return label.Op(1 + (i+1)%3)
+}

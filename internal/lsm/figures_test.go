@@ -1,0 +1,204 @@
+package lsm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"embeddedmpls/internal/infobase"
+	"embeddedmpls/internal/label"
+	"embeddedmpls/internal/wave"
+)
+
+// TestFigure14Level1Entries asserts the observations the paper draws from
+// its Figure 14 simulation.
+func TestFigure14Level1Entries(t *testing.T) {
+	fig, err := Figure14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := fig.Tracer
+
+	// "As the values are entered we see w_index increment from 1 to 10,
+	// indicating the label pairs are being properly stored and not
+	// overwritten."
+	var wSeq []uint64
+	for _, ch := range tr.Changes("w_index") {
+		wSeq = append(wSeq, ch.Value)
+	}
+	want := []uint64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if len(wSeq) != len(want) {
+		t.Fatalf("w_index change sequence %v, want %v", wSeq, want)
+	}
+	for i := range want {
+		if wSeq[i] != want[i] {
+			t.Fatalf("w_index change sequence %v, want %v", wSeq, want)
+		}
+	}
+
+	// "Once the lookup begins, we see that r_index begins incrementing
+	// ... and stops at the index of the correct entry." Id 604 is the
+	// fifth pair, index 4.
+	if max := maxValue(t, tr, "r_index"); max != 4 {
+		t.Errorf("r_index peaked at %d, want 4 (entry for id 604)", max)
+	}
+
+	// "When the entry is found, the lookup_done signal goes high for a
+	// clock cycle."
+	if n := tr.CountCycles("lookup_done", isHigh); n != 1 {
+		t.Errorf("lookup_done high for %d cycles, want 1", n)
+	}
+
+	// "The new label (504) and operation (3) then appear and the
+	// packetdiscard signal remains low."
+	if fig.Result.Label != 504 {
+		t.Errorf("label_out = %d, want 504", fig.Result.Label)
+	}
+	if fig.Result.Op != label.OpSwap { // op code 3
+		t.Errorf("operation_out = %v (code %d), want swap (3)", fig.Result.Op, fig.Result.Op)
+	}
+	if n := tr.CountCycles("packetdiscard", isHigh); n != 0 {
+		t.Errorf("packetdiscard went high for %d cycles, want 0", n)
+	}
+	// The hit is at position 5: 3*5+5 = 20 cycles.
+	if fig.Cycles != SearchCycles(5) {
+		t.Errorf("lookup took %d cycles, want %d", fig.Cycles, SearchCycles(5))
+	}
+}
+
+// TestFigure15Level2Entries asserts the level-2 variant: all ten pairs
+// written and read back correctly.
+func TestFigure15Level2Entries(t *testing.T) {
+	fig, err := Figure15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fig.Result.Found || fig.Result.Label != 504 {
+		t.Errorf("lookup of label 5 = %+v, want label 504", fig.Result)
+	}
+	if n := fig.Tracer.CountCycles("packetdiscard", isHigh); n != 0 {
+		t.Errorf("packetdiscard high for %d cycles, want 0", n)
+	}
+	if n := fig.Tracer.CountCycles("lookup_done", isHigh); n != 1 {
+		t.Errorf("lookup_done high for %d cycles, want 1", n)
+	}
+	// Beyond the figure: every stored pair must read back.
+	for i := 0; i < 10; i++ {
+		res, _, err := fig.Bench.Lookup(infobase.Level2, infobase.Key(1+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found || res.Label != label.Label(500+i) {
+			t.Errorf("lookup %d = %+v, want label %d", 1+i, res, 500+i)
+		}
+	}
+}
+
+// TestFigure16PacketDiscard asserts the miss behaviour: the read index
+// sweeps all pairs, lookup_done and packetdiscard go high, and the output
+// registers keep their previous values.
+func TestFigure16PacketDiscard(t *testing.T) {
+	fig, err := Figure16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := fig.Tracer
+	if fig.Result.Found {
+		t.Fatal("lookup of label 27 reported found")
+	}
+	// "the r_index signal iterates to process all label pairs stored at
+	// that level": 10 pairs, indices 0..9.
+	if max := maxValue(t, tr, "r_index"); max != 9 {
+		t.Errorf("r_index peaked at %d, want 9", max)
+	}
+	// "the lookup_done and packetdiscard signals are sent high".
+	if _, ok := tr.FirstCycle("lookup_done", isHigh); !ok {
+		t.Error("lookup_done never went high")
+	}
+	if !fig.Bench.HW.PacketDiscard.Bool() {
+		t.Error("packetdiscard not high after the miss")
+	}
+	// "Signals label_out and operation_out remain unchanged": they were
+	// never loaded, so they hold their reset values throughout.
+	if n := tr.CountCycles("label_out", func(v uint64) bool { return v != 0 }); n != 0 {
+		t.Errorf("label_out changed during a miss-only run (%d cycles nonzero)", n)
+	}
+	// Miss over 10 entries: 3*10+5 = 35 cycles.
+	if fig.Cycles != SearchCycles(10) {
+		t.Errorf("miss took %d cycles, want %d", fig.Cycles, SearchCycles(10))
+	}
+}
+
+// TestFigureRenderings exercises the three output formats on a real
+// figure so the cmd/lsmtrace paths are covered.
+func TestFigureRenderings(t *testing.T) {
+	fig, err := Figure14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var table, waveOut, vcd bytes.Buffer
+	if err := fig.Tracer.WriteTable(&table); err != nil {
+		t.Fatal(err)
+	}
+	if err := fig.Tracer.WriteWave(&waveOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := fig.Tracer.WriteVCD(&vcd, "fig14", time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, out := range []string{table.String(), waveOut.String()} {
+		for _, sig := range []string{"packetid", "w_index", "lookup_done"} {
+			if !strings.Contains(out, sig) {
+				t.Errorf("rendering missing signal %s:\n%s", sig, out)
+			}
+		}
+	}
+	if !strings.Contains(table.String(), "604") {
+		t.Error("table never shows packet id 604")
+	}
+	if !strings.Contains(vcd.String(), "$var wire 32 ") {
+		t.Error("VCD missing 32-bit packetid declaration")
+	}
+}
+
+func isHigh(v uint64) bool { return v == 1 }
+
+func maxValue(t *testing.T, tr *wave.Tracer, name string) uint64 {
+	t.Helper()
+	var max uint64
+	for _, ch := range tr.Changes(name) {
+		if ch.Value > max {
+			max = ch.Value
+		}
+	}
+	return max
+}
+
+// TestTraceUpdateModes covers the control-unit trace helper across all
+// four operation modes.
+func TestTraceUpdateModes(t *testing.T) {
+	for _, op := range []string{"swap", "pop", "push", "miss"} {
+		op := op
+		t.Run(op, func(t *testing.T) {
+			tr, err := TraceUpdate(op)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr.Tracer.Len() == 0 {
+				t.Fatal("empty trace")
+			}
+			discarded := tr.Bench.HW.PacketDiscard.Bool()
+			if (op == "miss") != discarded {
+				t.Errorf("op %s: discard=%v", op, discarded)
+			}
+			// The done pulse must appear exactly once in the trace.
+			if n := tr.Tracer.CountCycles("done", isHigh); n != 1 {
+				t.Errorf("done pulsed %d times", n)
+			}
+		})
+	}
+	if _, err := TraceUpdate("teleport"); err == nil {
+		t.Error("unknown op accepted")
+	}
+}

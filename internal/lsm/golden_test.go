@@ -1,0 +1,58 @@
+package lsm
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden figure traces")
+
+// TestFigureTracesMatchGolden locks the complete cycle-by-cycle traces of
+// Figures 14-16 against committed golden files: any change to the control
+// unit, the data path or the trace machinery that moves a single signal
+// transition shows up as a diff. Regenerate deliberately with
+// `go test ./internal/lsm -run Golden -update`.
+func TestFigureTracesMatchGolden(t *testing.T) {
+	figures := []struct {
+		name string
+		run  func() (*FigureTrace, error)
+	}{
+		{"fig14", Figure14},
+		{"fig15", Figure15},
+		{"fig16", Figure16},
+	}
+	for _, f := range figures {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			tr, err := f.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := tr.Tracer.WriteTable(&buf); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", f.name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("%s trace diverged from golden.\n--- got ---\n%s\n--- want ---\n%s",
+					f.name, buf.String(), want)
+			}
+		})
+	}
+}

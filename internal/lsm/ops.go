@@ -1,0 +1,148 @@
+// Package lsm implements the label stack modifier — the core contribution
+// of Peterkin & Ionescu, "Embedded MPLS Architecture" (2005): the hardware
+// block that performs push/pop/swap on an MPLS label stack under the
+// control of an information base.
+//
+// The package provides two implementations with identical semantics:
+//
+//   - Behavioral: a plain-Go functional reference model, used by the
+//     network simulator's data plane and as the oracle in property tests.
+//   - HW: a cycle-accurate register-transfer-level model built on the rtl
+//     kernel, with the four control state machines (main, label stack
+//     interface, information base interface, search) and the data path of
+//     the paper's Figures 7-13. Its measured latencies reproduce Table 6
+//     exactly, and its signal traces reproduce Figures 14-16.
+package lsm
+
+import (
+	"fmt"
+
+	"embeddedmpls/internal/label"
+)
+
+// Command is the external operation requested of the label stack
+// modifier (the paper's "extoperation" input).
+type Command uint8
+
+// The command encoding. UserPush/UserPop manipulate the stack directly
+// ("push/pop from external user"); Update runs the full consult-the-
+// information-base sequence on the current packet; WritePair and Lookup
+// access the information base (the figures' "save" and "lookup" signals).
+const (
+	CmdNone Command = iota
+	CmdUserPush
+	CmdUserPop
+	CmdUpdate
+	CmdWritePair
+	CmdLookup
+	// CmdReadPair reads the information base entry at a given address
+	// directly — the paper's data path accepts "a search index when the
+	// user wants to read the contents of the information base directly".
+	// The address arrives on data_in; the entry appears on label_out,
+	// operation_out and index_out.
+	CmdReadPair
+)
+
+// String names the command.
+func (c Command) String() string {
+	switch c {
+	case CmdNone:
+		return "none"
+	case CmdUserPush:
+		return "user-push"
+	case CmdUserPop:
+		return "user-pop"
+	case CmdUpdate:
+		return "update"
+	case CmdWritePair:
+		return "write-pair"
+	case CmdLookup:
+		return "lookup"
+	case CmdReadPair:
+		return "read-pair"
+	default:
+		return fmt.Sprintf("cmd(%d)", uint8(c))
+	}
+}
+
+// RouterType is the paper's "rtrtype" input: logic low selects label edge
+// router behaviour, logic high label switch router behaviour. It selects
+// where the TTL and CoS of a pushed entry come from when the stack is
+// empty (the LER ingress case).
+type RouterType uint8
+
+// Router types.
+const (
+	LER RouterType = 0 // label edge router
+	LSR RouterType = 1 // label switch router
+)
+
+// String names the router type.
+func (r RouterType) String() string {
+	if r == LER {
+		return "LER"
+	}
+	return "LSR"
+}
+
+// DiscardReason explains why an update discarded the packet.
+type DiscardReason uint8
+
+// Discard reasons, in the order the hardware can detect them.
+const (
+	DiscardNone         DiscardReason = iota // packet not discarded
+	DiscardNotFound                          // no matching information base entry
+	DiscardTTLExpired                        // TTL reached zero after decrement
+	DiscardInconsistent                      // stored operation impossible in this state
+)
+
+// String names the discard reason.
+func (d DiscardReason) String() string {
+	switch d {
+	case DiscardNone:
+		return "none"
+	case DiscardNotFound:
+		return "not-found"
+	case DiscardTTLExpired:
+		return "ttl-expired"
+	case DiscardInconsistent:
+		return "inconsistent"
+	default:
+		return fmt.Sprintf("discard(%d)", uint8(d))
+	}
+}
+
+// UpdateRequest carries the per-packet inputs of an update operation.
+type UpdateRequest struct {
+	// PacketID is the 32-bit packet identifier used to search level 1
+	// when the label stack is empty (for IP packets, typically the
+	// destination address).
+	PacketID uint32
+	// TTLIn is the control-path TTL source: the TTL a label pushed onto
+	// an empty stack starts from (e.g. the packet's IP TTL). The uniform
+	// decrement still applies, so the entry carries TTLIn-1.
+	TTLIn uint8
+	// CoSIn is the control-path CoS source for an entry pushed onto an
+	// empty stack. For non-empty stacks the CoS is copied from the old
+	// top entry and never modified, as the paper specifies.
+	CoSIn label.CoS
+}
+
+// UpdateResult reports what an update did.
+type UpdateResult struct {
+	// Discard is DiscardNone on success; otherwise the packet was
+	// discarded (its label stack reset).
+	Discard DiscardReason
+	// Op is the information base operation that was applied (or would
+	// have been, when Discard is DiscardTTLExpired/DiscardInconsistent).
+	Op label.Op
+	// NewLabel is the label read from the information base.
+	NewLabel label.Label
+	// SearchPos is the 1-based position at which the search matched, or
+	// the number of entries scanned on a miss. It feeds the cycle cost
+	// model (the search cost is 3*SearchPos+5).
+	SearchPos int
+}
+
+// Discarded reports whether the update dropped the packet.
+func (r UpdateResult) Discarded() bool { return r.Discard != DiscardNone }

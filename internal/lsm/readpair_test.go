@@ -1,0 +1,127 @@
+package lsm
+
+import (
+	"math/rand"
+	"testing"
+
+	"embeddedmpls/internal/infobase"
+	"embeddedmpls/internal/label"
+)
+
+// TestReadPairRoundTrip: every written pair reads back by address, at a
+// constant cycle cost, through the command port.
+func TestReadPairRoundTrip(t *testing.T) {
+	b := NewBench(LSR)
+	rng := rand.New(rand.NewSource(6))
+	written := map[infobase.Level][]infobase.Pair{}
+	for i := 0; i < 30; i++ {
+		lv := infobase.Level(1 + rng.Intn(3))
+		maxIdx := 1 << 20
+		if lv == infobase.Level1 {
+			maxIdx = 1 << 30
+		}
+		p := infobase.Pair{
+			Index:    infobase.Key(rng.Intn(maxIdx)),
+			NewLabel: label.Label(rng.Intn(1 << 20)),
+			Op:       label.Op(rng.Intn(4)),
+		}
+		if _, err := b.WritePair(lv, p); err != nil {
+			t.Fatal(err)
+		}
+		written[lv] = append(written[lv], p)
+	}
+	for lv, pairs := range written {
+		for i, want := range pairs {
+			got, cycles, err := b.ReadPair(lv, i)
+			if err != nil {
+				t.Fatalf("read level %d addr %d: %v", lv, i, err)
+			}
+			if got != want {
+				t.Errorf("level %d addr %d: read %+v, wrote %+v", lv, i, got, want)
+			}
+			if cycles != CyclesReadPair {
+				t.Errorf("read cost %d cycles, want constant %d", cycles, CyclesReadPair)
+			}
+		}
+	}
+}
+
+func TestReadPairBounds(t *testing.T) {
+	b := NewBench(LSR)
+	if _, _, err := b.ReadPair(infobase.Level2, 0); err == nil {
+		t.Error("read from an empty level succeeded")
+	}
+	if _, err := b.WritePair(infobase.Level2, infobase.Pair{Index: 1, NewLabel: 2, Op: label.OpSwap}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.ReadPair(infobase.Level2, 1); err == nil {
+		t.Error("read past the write count succeeded")
+	}
+	if _, _, err := b.ReadPair(infobase.Level2, -1); err == nil {
+		t.Error("negative address succeeded")
+	}
+	if _, _, err := b.ReadPair(infobase.Level(7), 0); err == nil {
+		t.Error("invalid level succeeded")
+	}
+}
+
+// TestReadPairMatchesBehavioral cross-checks the RTL read-out against the
+// behavioral model's view.
+func TestReadPairMatchesBehavioral(t *testing.T) {
+	hw := NewBench(LER)
+	sw := NewBehavioral(LER)
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 20; i++ {
+		p := infobase.Pair{
+			Index:    infobase.Key(rng.Intn(1 << 16)),
+			NewLabel: label.Label(rng.Intn(1 << 20)),
+			Op:       label.Op(rng.Intn(4)),
+		}
+		if _, err := hw.WritePair(infobase.Level3, p); err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.WritePair(infobase.Level3, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		got, _, err := hw.ReadPair(infobase.Level3, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := sw.ReadPair(infobase.Level3, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("addr %d: hw %+v, behavioral %+v", i, got, want)
+		}
+	}
+	if _, err := sw.ReadPair(infobase.Level3, 99); err == nil {
+		t.Error("behavioral read past occupancy succeeded")
+	}
+}
+
+// TestReadPairDoesNotDisturbState: management reads leave the stack and
+// tables untouched, and a read between two halves of an update sequence
+// changes nothing.
+func TestReadPairDoesNotDisturbState(t *testing.T) {
+	b := NewBench(LSR)
+	_, _ = b.WritePair(infobase.Level2, infobase.Pair{Index: 42, NewLabel: 9, Op: label.OpSwap})
+	_, _ = b.UserPush(label.Entry{Label: 42, TTL: 64})
+	before := b.StackSnapshot()
+	if _, _, err := b.ReadPair(infobase.Level2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !b.StackSnapshot().Equal(before) {
+		t.Error("read-out disturbed the stack")
+	}
+	res, _, err := b.Update(UpdateRequest{})
+	if err != nil || res.Discarded() {
+		t.Fatalf("update after read: %+v, %v", res, err)
+	}
+	top, _ := b.StackSnapshot().Top()
+	if top.Label != 9 {
+		t.Errorf("swap after read-out: top = %v", top)
+	}
+}

@@ -1,0 +1,319 @@
+package lsm
+
+import (
+	"testing"
+
+	"embeddedmpls/internal/infobase"
+	"embeddedmpls/internal/label"
+)
+
+// TestTable6ConstantOps verifies the constant-latency rows of Table 6:
+// reset, user push, user pop and write label pair all take exactly 3
+// clock cycles.
+func TestTable6ConstantOps(t *testing.T) {
+	b := NewBench(LER)
+
+	cycles, err := b.ResetOp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles != CyclesReset {
+		t.Errorf("reset: %d cycles, want %d", cycles, CyclesReset)
+	}
+
+	cycles, err = b.UserPush(label.Entry{Label: 100, TTL: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles != CyclesUserPush {
+		t.Errorf("user push: %d cycles, want %d", cycles, CyclesUserPush)
+	}
+
+	_, cycles, err = b.UserPop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles != CyclesUserPop {
+		t.Errorf("user pop: %d cycles, want %d", cycles, CyclesUserPop)
+	}
+
+	cycles, err = b.WritePair(infobase.Level1, infobase.Pair{Index: 600, NewLabel: 500, Op: label.OpSwap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles != CyclesWritePair {
+		t.Errorf("write label pair: %d cycles, want %d", cycles, CyclesWritePair)
+	}
+}
+
+// TestTable6SearchCost verifies "search information base: 3n+5" across
+// level sizes and hit positions: a hit at 1-based position i costs 3i+5
+// and a miss over n entries costs 3n+5.
+func TestTable6SearchCost(t *testing.T) {
+	b := NewBench(LER)
+	const n = 10
+	for i := 0; i < n; i++ {
+		p := infobase.Pair{Index: infobase.Key(i + 1), NewLabel: label.Label(500 + i), Op: label.OpSwap}
+		if _, err := b.WritePair(infobase.Level2, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= n; i++ {
+		res, cycles, err := b.Lookup(infobase.Level2, infobase.Key(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found || res.SearchPos != i {
+			t.Fatalf("lookup %d: found=%v pos=%d", i, res.Found, res.SearchPos)
+		}
+		if want := SearchCycles(i); cycles != want {
+			t.Errorf("hit at position %d: %d cycles, want 3*%d+5 = %d", i, cycles, i, want)
+		}
+	}
+	// Miss: scans all n entries.
+	res, cycles, err := b.Lookup(infobase.Level2, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Fatal("lookup of absent label reported found")
+	}
+	if want := SearchCycles(n); cycles != want {
+		t.Errorf("miss over %d entries: %d cycles, want %d", n, cycles, want)
+	}
+	if res.SearchPos != n {
+		t.Errorf("miss SearchPos = %d, want %d", res.SearchPos, n)
+	}
+	// Empty level: 3*0+5.
+	res, cycles, err = b.Lookup(infobase.Level3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found || cycles != SearchCycles(0) || res.SearchPos != 0 {
+		t.Errorf("empty level: found=%v cycles=%d pos=%d, want miss in %d cycles",
+			res.Found, cycles, res.SearchPos, SearchCycles(0))
+	}
+}
+
+// TestTable6SwapFromInfoBase verifies "swap from the information base: 6":
+// an update whose search hits at position i completes in (3i+5)+6 cycles.
+func TestTable6SwapFromInfoBase(t *testing.T) {
+	b := NewBench(LSR)
+	// One entry on the stack -> level 2 search keyed by the top label.
+	if _, err := b.UserPush(label.Entry{Label: 42, CoS: 3, TTL: 64}); err != nil {
+		t.Fatal(err)
+	}
+	// Three pairs; the top label matches the third.
+	for i, idx := range []infobase.Key{7, 8, 42} {
+		p := infobase.Pair{Index: idx, NewLabel: label.Label(200 + i), Op: label.OpSwap}
+		if _, err := b.WritePair(infobase.Level2, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, cycles, err := b.Update(UpdateRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Discarded() {
+		t.Fatalf("swap discarded: %v", res.Discard)
+	}
+	if res.Op != label.OpSwap || res.NewLabel != 202 || res.SearchPos != 3 {
+		t.Fatalf("result = %+v, want swap to 202 at position 3", res)
+	}
+	want := SearchCycles(3) + CyclesSwapFromIB
+	if cycles != want {
+		t.Errorf("swap update: %d cycles, want (3*3+5)+6 = %d", cycles, want)
+	}
+	if got := UpdateCycles(res); got != cycles {
+		t.Errorf("cost model UpdateCycles = %d, measured %d", got, cycles)
+	}
+	top, _ := b.StackSnapshot().Top()
+	if top.Label != 202 || top.TTL != 63 || top.CoS != 3 {
+		t.Errorf("top after swap = %v, want lbl=202 ttl=63 cos=3", top)
+	}
+}
+
+// TestPopAndPushFromInfoBaseCycles pins the latencies Table 6 leaves
+// implicit: pop tail 5 cycles, push tail 7.
+func TestPopAndPushFromInfoBaseCycles(t *testing.T) {
+	t.Run("pop", func(t *testing.T) {
+		b := NewBench(LSR)
+		_, _ = b.UserPush(label.Entry{Label: 10, TTL: 9})
+		_, _ = b.UserPush(label.Entry{Label: 42, TTL: 64})
+		// Two entries -> level 3.
+		if _, err := b.WritePair(infobase.Level3, infobase.Pair{Index: 42, NewLabel: 0, Op: label.OpPop}); err != nil {
+			t.Fatal(err)
+		}
+		res, cycles, err := b.Update(UpdateRequest{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Discarded() || res.Op != label.OpPop {
+			t.Fatalf("pop result = %+v", res)
+		}
+		if want := SearchCycles(1) + CyclesPopFromIB; cycles != want {
+			t.Errorf("pop update: %d cycles, want %d", cycles, want)
+		}
+		st := b.StackSnapshot()
+		top, _ := st.Top()
+		if st.Depth() != 1 || top.Label != 10 || top.TTL != 63 {
+			t.Errorf("stack after pop: %v; want single entry lbl=10 ttl=63", st)
+		}
+	})
+	t.Run("push", func(t *testing.T) {
+		b := NewBench(LSR)
+		_, _ = b.UserPush(label.Entry{Label: 42, CoS: 2, TTL: 64})
+		if _, err := b.WritePair(infobase.Level2, infobase.Pair{Index: 42, NewLabel: 777, Op: label.OpPush}); err != nil {
+			t.Fatal(err)
+		}
+		res, cycles, err := b.Update(UpdateRequest{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Discarded() || res.Op != label.OpPush {
+			t.Fatalf("push result = %+v", res)
+		}
+		if want := SearchCycles(1) + CyclesPushFromIB; cycles != want {
+			t.Errorf("push update: %d cycles, want %d", cycles, want)
+		}
+		st := b.StackSnapshot()
+		if st.Depth() != 2 {
+			t.Fatalf("depth after tunnel push = %d, want 2", st.Depth())
+		}
+		top, _ := st.Top()
+		below, _ := st.At(0)
+		if top.Label != 777 || top.TTL != 63 || top.CoS != 2 {
+			t.Errorf("pushed top = %v, want lbl=777 ttl=63 cos=2", top)
+		}
+		if below.Label != 42 || below.TTL != 63 {
+			t.Errorf("old entry = %v, want lbl=42 ttl=63", below)
+		}
+	})
+}
+
+// TestWorstCaseScenario6167 reproduces the paper's headline number: reset
+// (3) + three user pushes (9) + 1024 pair writes (3072) + a swap whose
+// search scans the full level (3*1024+5 = 3077, + 6) = 6167 cycles, which
+// is ~0.1233 ms at the 50 MHz Stratix clock.
+func TestWorstCaseScenario6167(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1024 writes through the RTL model; skipped with -short")
+	}
+	b := NewBench(LSR)
+	total := 0
+
+	cycles, err := b.ResetOp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total += cycles
+
+	for i := 0; i < 3; i++ {
+		cycles, err = b.UserPush(label.Entry{Label: label.Label(40 + i), TTL: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += cycles
+	}
+
+	// Fill level 3 (the level a 3-deep stack consults). The top label 42
+	// matches only the very last pair, so the search scans all 1024.
+	for i := 0; i < infobase.EntriesPerLevel; i++ {
+		idx := infobase.Key(10_000 + i)
+		if i == infobase.EntriesPerLevel-1 {
+			idx = 42
+		}
+		cycles, err = b.WritePair(infobase.Level3, infobase.Pair{Index: idx, NewLabel: 900, Op: label.OpSwap})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += cycles
+	}
+
+	res, cycles, err := b.Update(UpdateRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Discarded() || res.Op != label.OpSwap || res.SearchPos != infobase.EntriesPerLevel {
+		t.Fatalf("worst-case swap result = %+v", res)
+	}
+	total += cycles
+
+	if total != 6167 {
+		t.Errorf("worst case total = %d cycles, paper says 6167", total)
+	}
+	if model := WorstCaseScenarioCycles(infobase.EntriesPerLevel); model != 6167 {
+		t.Errorf("cost model worst case = %d, want 6167", model)
+	}
+	// ~0.1233 ms at 50 MHz.
+	ms := DefaultClock.Seconds(total) * 1e3
+	if ms < 0.1233 || ms > 0.1234 {
+		t.Errorf("worst case at 50 MHz = %.6f ms, want ~0.1233 ms", ms)
+	}
+}
+
+// TestUpdateDiscardCycles pins the discard tails: a miss costs 3n+5+1, a
+// verification failure (TTL expired) costs 3i+5+5.
+func TestUpdateDiscardCycles(t *testing.T) {
+	t.Run("not found", func(t *testing.T) {
+		b := NewBench(LSR)
+		_, _ = b.UserPush(label.Entry{Label: 42, TTL: 64})
+		for i := 0; i < 4; i++ {
+			_, _ = b.WritePair(infobase.Level2, infobase.Pair{Index: infobase.Key(100 + i), NewLabel: 1, Op: label.OpSwap})
+		}
+		res, cycles, err := b.Update(UpdateRequest{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Discard != DiscardNotFound {
+			t.Fatalf("discard = %v, want not-found", res.Discard)
+		}
+		if want := SearchCycles(4) + CyclesDiscardNotFound; cycles != want {
+			t.Errorf("miss update: %d cycles, want %d", cycles, want)
+		}
+		if got := UpdateCycles(res); got != cycles {
+			t.Errorf("cost model = %d, measured %d", got, cycles)
+		}
+		if b.StackSnapshot().Depth() != 0 {
+			t.Error("discard did not reset the stack")
+		}
+	})
+	t.Run("ttl expired", func(t *testing.T) {
+		b := NewBench(LSR)
+		_, _ = b.UserPush(label.Entry{Label: 42, TTL: 1}) // decrements to 0
+		_, _ = b.WritePair(infobase.Level2, infobase.Pair{Index: 42, NewLabel: 7, Op: label.OpSwap})
+		res, cycles, err := b.Update(UpdateRequest{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Discard != DiscardTTLExpired {
+			t.Fatalf("discard = %v, want ttl-expired", res.Discard)
+		}
+		if want := SearchCycles(1) + CyclesDiscardVerify; cycles != want {
+			t.Errorf("ttl discard: %d cycles, want %d", cycles, want)
+		}
+		if got := UpdateCycles(res); got != cycles {
+			t.Errorf("cost model = %d, measured %d", got, cycles)
+		}
+	})
+}
+
+// TestRepeatedResetsCostThreeCyclesEach guards the bench protocol: a
+// reset immediately following another must still run the full 3-cycle
+// sequence (the driver drains sequencer residue between commands).
+func TestRepeatedResetsCostThreeCyclesEach(t *testing.T) {
+	b := NewBench(LSR)
+	for i := 0; i < 5; i++ {
+		cycles, err := b.ResetOp()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cycles != CyclesReset {
+			t.Fatalf("reset %d took %d cycles, want %d", i, cycles, CyclesReset)
+		}
+	}
+	// And a real command still works afterwards.
+	if _, err := b.UserPush(label.Entry{Label: 1, TTL: 1}); err != nil {
+		t.Fatal(err)
+	}
+}

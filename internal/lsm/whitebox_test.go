@@ -1,0 +1,203 @@
+package lsm
+
+import (
+	"testing"
+
+	"embeddedmpls/internal/infobase"
+	"embeddedmpls/internal/label"
+	"embeddedmpls/internal/wave"
+)
+
+// stateNames for readable failures.
+var lsiStateNames = map[uint64]string{
+	lsiIdle: "idle", lsiUserPush: "user-push", lsiUserPop: "user-pop",
+	lsiSearchEnable: "search-enable", lsiReadResult: "read-result",
+	lsiRemoveTop: "remove-top", lsiUpdateTTL: "update-ttl",
+	lsiVerifyInfo: "verify-info", lsiUpdateTop: "update-top",
+	lsiLoadNew: "load-new", lsiPushOld: "push-old", lsiPushNew: "push-new",
+	lsiDiscard: "discard", lsiDone: "done",
+}
+
+// traceLSIStates runs one update and returns the distinct label stack
+// interface states visited, in order.
+func traceLSIStates(t *testing.T, b *Bench, req UpdateRequest) []string {
+	t.Helper()
+	tr := wave.NewTracer(b.Sim(), b.HW.LSIState)
+	if _, _, err := b.Update(req); err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, ch := range tr.Changes("lsi_state") {
+		out = append(out, lsiStateNames[ch.Value])
+	}
+	return out
+}
+
+func assertSequence(t *testing.T, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("state sequence %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("state sequence %v, want %v", got, want)
+		}
+	}
+}
+
+// TestLSIStateSequenceSwap asserts the exact state walk of Figure 9 for
+// a swap: search, read result, remove top, update TTL, verify, load the
+// new entry, push it, done.
+func TestLSIStateSequenceSwap(t *testing.T) {
+	b := NewBench(LSR)
+	_, _ = b.WritePair(infobase.Level2, infobase.Pair{Index: 42, NewLabel: 9, Op: label.OpSwap})
+	_, _ = b.UserPush(label.Entry{Label: 42, TTL: 64})
+	got := traceLSIStates(t, b, UpdateRequest{})
+	assertSequence(t, got, []string{
+		"idle", "search-enable", "read-result", "remove-top",
+		"update-ttl", "verify-info", "load-new", "push-new", "done", "idle",
+	})
+}
+
+// TestLSIStateSequencePop: pop rewrites the new top instead of loading a
+// new entry.
+func TestLSIStateSequencePop(t *testing.T) {
+	b := NewBench(LSR)
+	_, _ = b.WritePair(infobase.Level3, infobase.Pair{Index: 42, NewLabel: 0, Op: label.OpPop})
+	_, _ = b.UserPush(label.Entry{Label: 5, TTL: 64})
+	_, _ = b.UserPush(label.Entry{Label: 42, TTL: 64})
+	got := traceLSIStates(t, b, UpdateRequest{})
+	assertSequence(t, got, []string{
+		"idle", "search-enable", "read-result", "remove-top",
+		"update-ttl", "verify-info", "update-top", "done", "idle",
+	})
+}
+
+// TestLSIStateSequencePush: "pushing the old and new stack entries for
+// the push operation" (Figure 9).
+func TestLSIStateSequencePush(t *testing.T) {
+	b := NewBench(LSR)
+	_, _ = b.WritePair(infobase.Level2, infobase.Pair{Index: 42, NewLabel: 100, Op: label.OpPush})
+	_, _ = b.UserPush(label.Entry{Label: 42, TTL: 64})
+	got := traceLSIStates(t, b, UpdateRequest{})
+	assertSequence(t, got, []string{
+		"idle", "search-enable", "read-result", "remove-top",
+		"update-ttl", "verify-info", "push-old", "load-new", "push-new", "done", "idle",
+	})
+}
+
+// TestLSIStateSequenceMiss: "the packet is immediately discarded if no
+// information is found".
+func TestLSIStateSequenceMiss(t *testing.T) {
+	b := NewBench(LSR)
+	_, _ = b.WritePair(infobase.Level2, infobase.Pair{Index: 7, NewLabel: 8, Op: label.OpSwap})
+	_, _ = b.UserPush(label.Entry{Label: 42, TTL: 64})
+	got := traceLSIStates(t, b, UpdateRequest{})
+	assertSequence(t, got, []string{
+		"idle", "search-enable", "discard", "done", "idle",
+	})
+}
+
+// TestLSIStateSequenceTTLExpired: found, but verification rejects.
+func TestLSIStateSequenceTTLExpired(t *testing.T) {
+	b := NewBench(LSR)
+	_, _ = b.WritePair(infobase.Level2, infobase.Pair{Index: 42, NewLabel: 9, Op: label.OpSwap})
+	_, _ = b.UserPush(label.Entry{Label: 42, TTL: 1})
+	got := traceLSIStates(t, b, UpdateRequest{})
+	assertSequence(t, got, []string{
+		"idle", "search-enable", "read-result", "remove-top",
+		"update-ttl", "verify-info", "discard", "done", "idle",
+	})
+}
+
+// TestMainInterlocksSubMachines: the main controller must never have the
+// label stack interface and the information base interface active at the
+// same time ("ensure that the remaining state machines are not working
+// at the same time and possibly generate inconsistent results").
+func TestMainInterlocksSubMachines(t *testing.T) {
+	b := NewBench(LSR)
+	violations := 0
+	b.Sim().OnSample(func(uint64) {
+		lsiBusy := b.HW.LSIState.Get() != lsiIdle
+		ibiBusy := b.HW.IBIState.Get() != ibiIdle
+		if lsiBusy && ibiBusy {
+			violations++
+		}
+	})
+	// Exercise every operation class.
+	_, _ = b.WritePair(infobase.Level2, infobase.Pair{Index: 42, NewLabel: 9, Op: label.OpSwap})
+	_, _ = b.UserPush(label.Entry{Label: 42, TTL: 64})
+	_, _, _ = b.Lookup(infobase.Level2, 42)
+	_, _, _ = b.Update(UpdateRequest{})
+	_, _, _ = b.UserPop()
+	_, _ = b.ResetOp()
+	if violations != 0 {
+		t.Errorf("label-stack and info-base interfaces active together on %d cycles", violations)
+	}
+}
+
+// TestSearchReadsAreSynchronous: the search module must spend exactly one
+// WAIT state between presenting a read address and comparing, matching
+// the information base's registered read port.
+func TestSearchReadsAreSynchronous(t *testing.T) {
+	b := NewBench(LSR)
+	for i := 0; i < 3; i++ {
+		_, _ = b.WritePair(infobase.Level2, infobase.Pair{Index: infobase.Key(i + 1), NewLabel: 1, Op: label.OpSwap})
+	}
+	tr := wave.NewTracer(b.Sim(), b.HW.SrchState)
+	if _, _, err := b.Lookup(infobase.Level2, 3); err != nil {
+		t.Fatal(err)
+	}
+	var seq []uint64
+	for _, ch := range tr.Changes("search_state") {
+		seq = append(seq, ch.Value)
+	}
+	want := []uint64{
+		srIdle,
+		srRead, srWait, srCompare, // entry 1: miss
+		srRead, srWait, srCompare, // entry 2: miss
+		srRead, srWait, srCompare, // entry 3: hit
+		srFound, srIdle,
+	}
+	if len(seq) != len(want) {
+		t.Fatalf("search walk %v, want %v", seq, want)
+	}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("search walk %v, want %v", seq, want)
+		}
+	}
+}
+
+// TestFiguresOnCAMVariant: the figure scenarios produce the same results
+// on the CAM-configured modifier, in constant time.
+func TestFiguresOnCAMVariant(t *testing.T) {
+	b := NewBenchWith(LER, Options{Search: SearchCAM})
+	for i := 0; i < 10; i++ {
+		p := infobase.Pair{Index: infobase.Key(600 + i), NewLabel: label.Label(500 + i), Op: alternatingOp(i)}
+		if _, err := b.WritePair(infobase.Level1, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, cycles, err := b.Lookup(infobase.Level1, 604)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.Label != 504 || res.Op != label.OpSwap {
+		t.Errorf("CAM figure-14 lookup = %+v", res)
+	}
+	if cycles != CyclesSearchCAM {
+		t.Errorf("CAM lookup = %d cycles, want %d", cycles, CyclesSearchCAM)
+	}
+	// Miss (figure 16 shape): discard flag raised, constant time.
+	res, cycles, err = b.Lookup(infobase.Level1, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found || cycles != CyclesSearchCAM {
+		t.Errorf("CAM miss = %+v in %d cycles", res, cycles)
+	}
+	if !b.HW.PacketDiscard.Bool() {
+		t.Error("packetdiscard not raised on CAM miss")
+	}
+}

@@ -1,0 +1,39 @@
+package netsim
+
+import (
+	"testing"
+
+	"embeddedmpls/internal/packet"
+	"embeddedmpls/internal/qos"
+)
+
+// BenchmarkEventThroughput measures raw scheduler capacity.
+func BenchmarkEventThroughput(b *testing.B) {
+	s := New()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(1, func() {})
+		s.RunUntil(s.Now() + 2)
+	}
+}
+
+// BenchmarkLinkPipeline measures a packet traversing a loaded link.
+func BenchmarkLinkPipeline(b *testing.B) {
+	s := New()
+	got := 0
+	dst := nodeFunc(func(*packet.Packet, string) { got++ })
+	l := NewLink(s, "src", dst, 1e9, 0.0001, qos.NewFIFO(1024))
+	p := packet.New(1, 2, 64, make([]byte, 500))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Send(p.Clone())
+		s.Run()
+	}
+	if got != b.N {
+		b.Fatalf("delivered %d of %d", got, b.N)
+	}
+}
+
+type nodeFunc func(*packet.Packet, string)
+
+func (nodeFunc) Name() string                            { return "sink" }
+func (f nodeFunc) Receive(p *packet.Packet, from string) { f(p, from) }

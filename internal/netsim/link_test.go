@@ -1,0 +1,69 @@
+package netsim
+
+import (
+	"testing"
+
+	"embeddedmpls/internal/packet"
+	"embeddedmpls/internal/qos"
+)
+
+func TestLinkAccessors(t *testing.T) {
+	sim := New()
+	dst := &sink{name: "dst", sim: sim}
+	l := NewLink(sim, "src", dst, 5e6, 0.002, qos.NewFIFO(4))
+	if l.To() != "dst" {
+		t.Errorf("To = %q", l.To())
+	}
+	if l.RateBPS() != 5e6 {
+		t.Errorf("RateBPS = %v", l.RateBPS())
+	}
+	if l.Down() {
+		t.Error("fresh link is down")
+	}
+	if u := l.Utilisation(); u != 0 {
+		t.Errorf("idle utilisation = %v at t=0", u)
+	}
+}
+
+func TestLinkDownDropsAndDrainsQueue(t *testing.T) {
+	sim := New()
+	dst := &sink{name: "dst", sim: sim}
+	l := NewLink(sim, "src", dst, 1e6, 0, qos.NewFIFO(16))
+	// Queue a few packets, then fail the link before stepping: the one
+	// in the transmitter completes, the queued ones are lost, and new
+	// sends are lost too.
+	for i := 0; i < 3; i++ {
+		l.Send(packet.New(1, 2, 64, make([]byte, 100)))
+	}
+	l.SetDown(true)
+	if !l.Down() {
+		t.Fatal("link not down")
+	}
+	l.Send(packet.New(1, 2, 64, make([]byte, 100)))
+	sim.Run()
+	if len(dst.arrivals) != 1 {
+		t.Errorf("%d arrivals, want 1 (the in-flight packet)", len(dst.arrivals))
+	}
+	if l.Lost.Events != 3 {
+		t.Errorf("lost = %d, want 3 (2 drained + 1 refused)", l.Lost.Events)
+	}
+	// Restore: service resumes.
+	l.SetDown(false)
+	l.Send(packet.New(1, 2, 64, make([]byte, 100)))
+	sim.Run()
+	if len(dst.arrivals) != 2 {
+		t.Errorf("%d arrivals after restore, want 2", len(dst.arrivals))
+	}
+}
+
+func TestLinkRestoreWhileIdleIsHarmless(t *testing.T) {
+	sim := New()
+	dst := &sink{name: "dst", sim: sim}
+	l := NewLink(sim, "src", dst, 1e6, 0, qos.NewFIFO(4))
+	l.SetDown(true)
+	l.SetDown(false) // nothing queued: must not panic or transmit
+	sim.Run()
+	if len(dst.arrivals) != 0 {
+		t.Error("phantom delivery")
+	}
+}

@@ -1,0 +1,215 @@
+// Package netsim is a discrete-event network simulator: a virtual clock,
+// an event queue, and links that model serialisation delay, propagation
+// delay and bounded queues with pluggable (QoS) schedulers. The MPLS
+// routers of package router and the traffic generators of package
+// trafficgen run on top of it.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"embeddedmpls/internal/packet"
+	"embeddedmpls/internal/qos"
+	"embeddedmpls/internal/stats"
+)
+
+// Time is simulated time in seconds.
+type Time = float64
+
+// event is one scheduled callback. seq breaks ties so same-time events
+// run in schedule order, keeping runs deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	run func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator owns the virtual clock and event queue.
+type Simulator struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	// Processed counts executed events, a cheap progress measure.
+	Processed uint64
+}
+
+// New returns a simulator at time zero.
+func New() *Simulator { return &Simulator{} }
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Schedule runs f after delay seconds of simulated time. Negative delays
+// are a programming error.
+func (s *Simulator) Schedule(delay Time, f func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("netsim: negative delay %g", delay))
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: s.now + delay, seq: s.seq, run: f})
+}
+
+// Pending returns the number of queued events.
+func (s *Simulator) Pending() int { return len(s.events) }
+
+// Run executes events until the queue is empty.
+func (s *Simulator) Run() {
+	for len(s.events) > 0 {
+		s.step()
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock
+// to exactly t.
+func (s *Simulator) RunUntil(t Time) {
+	for len(s.events) > 0 && s.events[0].at <= t {
+		s.step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+func (s *Simulator) step() {
+	e := heap.Pop(&s.events).(event)
+	if e.at < s.now {
+		panic(fmt.Sprintf("netsim: event at %g scheduled in the past of %g", e.at, s.now))
+	}
+	s.now = e.at
+	s.Processed++
+	e.run()
+}
+
+// Node is anything that can receive packets from a link.
+type Node interface {
+	Name() string
+	// Receive is called when a packet finishes arriving over a link.
+	Receive(p *packet.Packet, from string)
+}
+
+// Link is a unidirectional link: a bounded output queue feeding a
+// transmitter of RateBPS bits per second, followed by Delay seconds of
+// propagation. Build duplex connections from two Links.
+type Link struct {
+	sim   *Simulator
+	from  string
+	to    Node
+	rate  float64 // bits per second
+	delay Time
+	queue qos.Scheduler
+	busy  bool
+	down  bool
+
+	// Sent counts packets handed to the link; Delivered counts packets
+	// that completed transmission; queue drops are in Queue.Dropped().
+	Sent      stats.Counter
+	Delivered stats.Counter
+	// Lost counts packets discarded because the link was down.
+	Lost stats.Counter
+	// BusyTime accumulates transmitter occupancy for utilisation
+	// reporting.
+	BusyTime Time
+}
+
+// NewLink builds a link from the named source into node to.
+func NewLink(sim *Simulator, from string, to Node, rateBPS float64, delay Time, queue qos.Scheduler) *Link {
+	if rateBPS <= 0 {
+		panic(fmt.Sprintf("netsim: link rate %g", rateBPS))
+	}
+	if delay < 0 {
+		panic(fmt.Sprintf("netsim: link delay %g", delay))
+	}
+	return &Link{sim: sim, from: from, to: to, rate: rateBPS, delay: delay, queue: queue}
+}
+
+// To returns the name of the receiving node.
+func (l *Link) To() string { return l.to.Name() }
+
+// Queue exposes the link's scheduler for drop accounting.
+func (l *Link) Queue() qos.Scheduler { return l.queue }
+
+// RateBPS returns the configured transmission rate.
+func (l *Link) RateBPS() float64 { return l.rate }
+
+// Utilisation returns the fraction of the elapsed time the transmitter
+// was busy.
+func (l *Link) Utilisation() float64 {
+	if l.sim.now <= 0 {
+		return 0
+	}
+	return l.BusyTime / l.sim.now
+}
+
+// SetDown fails or restores the link. A down link discards everything
+// handed to it (counted in Lost) and drains its queue; transmissions
+// already in flight complete. Bringing the link back up resumes service.
+func (l *Link) SetDown(down bool) {
+	l.down = down
+	if down {
+		for {
+			p, ok := l.queue.Dequeue()
+			if !ok {
+				break
+			}
+			l.Lost.Add(p.Size())
+		}
+	} else if !l.busy {
+		l.startNext()
+	}
+}
+
+// Down reports whether the link is failed.
+func (l *Link) Down() bool { return l.down }
+
+// Send queues p for transmission; it is dropped silently (but counted) if
+// the queue is full or the link is down.
+func (l *Link) Send(p *packet.Packet) {
+	l.Sent.Add(p.Size())
+	if l.down {
+		l.Lost.Add(p.Size())
+		return
+	}
+	if !l.queue.Enqueue(p) {
+		return
+	}
+	if !l.busy {
+		l.startNext()
+	}
+}
+
+func (l *Link) startNext() {
+	p, ok := l.queue.Dequeue()
+	if !ok {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	tx := float64(p.Size()*8) / l.rate
+	l.BusyTime += tx
+	l.sim.Schedule(tx, func() {
+		l.Delivered.Add(p.Size())
+		// Propagation happens in parallel with the next transmission.
+		l.sim.Schedule(l.delay, func() { l.to.Receive(p, l.from) })
+		l.startNext()
+	})
+}

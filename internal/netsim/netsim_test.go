@@ -1,0 +1,207 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"embeddedmpls/internal/label"
+	"embeddedmpls/internal/packet"
+	"embeddedmpls/internal/qos"
+)
+
+func labelEntry(cos uint8) label.Entry {
+	return label.Entry{Label: 100, CoS: label.CoS(cos), TTL: 63}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	s.Schedule(2, func() { order = append(order, 2) })
+	s.Schedule(1, func() { order = append(order, 1) })
+	s.Schedule(1, func() { order = append(order, 11) }) // same time, later seq
+	s.Schedule(0, func() { order = append(order, 0) })
+	s.Run()
+	want := []int{0, 1, 11, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if s.Now() != 2 {
+		t.Errorf("clock = %g, want 2", s.Now())
+	}
+	if s.Processed != 4 {
+		t.Errorf("processed = %d", s.Processed)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New()
+	var times []Time
+	s.Schedule(1, func() {
+		times = append(times, s.Now())
+		s.Schedule(0.5, func() { times = append(times, s.Now()) })
+	})
+	s.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 1.5 {
+		t.Errorf("times = %v", times)
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	s := New()
+	fired := false
+	s.Schedule(5, func() { fired = true })
+	s.RunUntil(3)
+	if fired || s.Now() != 3 {
+		t.Errorf("fired=%v now=%g", fired, s.Now())
+	}
+	s.RunUntil(10)
+	if !fired || s.Now() != 10 {
+		t.Errorf("fired=%v now=%g", fired, s.Now())
+	}
+	if s.Pending() != 0 {
+		t.Errorf("pending = %d", s.Pending())
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay accepted")
+		}
+	}()
+	s.Schedule(-1, func() {})
+}
+
+// sink records arrivals with their times.
+type sink struct {
+	name     string
+	sim      *Simulator
+	arrivals []arrival
+}
+
+type arrival struct {
+	p    *packet.Packet
+	from string
+	at   Time
+}
+
+func (s *sink) Name() string { return s.name }
+func (s *sink) Receive(p *packet.Packet, from string) {
+	s.arrivals = append(s.arrivals, arrival{p, from, s.sim.Now()})
+}
+
+func TestLinkLatencyModel(t *testing.T) {
+	sim := New()
+	dst := &sink{name: "dst", sim: sim}
+	// 1 Mbit/s, 1 ms propagation.
+	l := NewLink(sim, "src", dst, 1e6, 0.001, qos.NewFIFO(16))
+	p := packet.New(1, 2, 64, make([]byte, 111)) // 111+14 = 125 bytes = 1000 bits
+	l.Send(p)
+	sim.Run()
+	if len(dst.arrivals) != 1 {
+		t.Fatalf("%d arrivals", len(dst.arrivals))
+	}
+	// 1000 bits / 1 Mbps = 1 ms serialisation + 1 ms propagation = 2 ms.
+	if got := dst.arrivals[0].at; math.Abs(got-0.002) > 1e-12 {
+		t.Errorf("arrival at %g, want 0.002", got)
+	}
+	if dst.arrivals[0].from != "src" {
+		t.Errorf("from = %q", dst.arrivals[0].from)
+	}
+	if l.Sent.Events != 1 || l.Delivered.Events != 1 {
+		t.Errorf("sent=%d delivered=%d", l.Sent.Events, l.Delivered.Events)
+	}
+}
+
+func TestLinkSerialisesBackToBack(t *testing.T) {
+	sim := New()
+	dst := &sink{name: "dst", sim: sim}
+	l := NewLink(sim, "src", dst, 1e6, 0, qos.NewFIFO(16))
+	for i := 0; i < 3; i++ {
+		l.Send(packet.New(1, 2, 64, make([]byte, 111))) // 1 ms each
+	}
+	sim.Run()
+	if len(dst.arrivals) != 3 {
+		t.Fatalf("%d arrivals", len(dst.arrivals))
+	}
+	for i, want := range []Time{0.001, 0.002, 0.003} {
+		if math.Abs(dst.arrivals[i].at-want) > 1e-12 {
+			t.Errorf("arrival %d at %g, want %g", i, dst.arrivals[i].at, want)
+		}
+	}
+	// Transmitter was busy the whole 3 ms.
+	if u := l.Utilisation(); math.Abs(u-1) > 1e-9 {
+		t.Errorf("utilisation = %g, want 1", u)
+	}
+}
+
+func TestLinkQueueOverflowDrops(t *testing.T) {
+	sim := New()
+	dst := &sink{name: "dst", sim: sim}
+	l := NewLink(sim, "src", dst, 1e6, 0, qos.NewFIFO(2))
+	// First Send dequeues immediately into the transmitter, so capacity
+	// 2 + 1 in flight = 3 accepted, 4th and 5th dropped.
+	for i := 0; i < 5; i++ {
+		l.Send(packet.New(1, 2, 64, make([]byte, 111)))
+	}
+	sim.Run()
+	if len(dst.arrivals) != 3 {
+		t.Errorf("%d arrivals, want 3", len(dst.arrivals))
+	}
+	if drops := l.Queue().Dropped(); drops != 2 {
+		t.Errorf("drops = %d, want 2", drops)
+	}
+	if l.Sent.Events != 5 {
+		t.Errorf("sent = %d", l.Sent.Events)
+	}
+}
+
+func TestLinkPriorityQueueReordersUnderLoad(t *testing.T) {
+	sim := New()
+	dst := &sink{name: "dst", sim: sim}
+	l := NewLink(sim, "src", dst, 1e6, 0, qos.NewPriority(16))
+	mk := func(cos uint8) *packet.Packet {
+		p := packet.New(1, 2, 64, make([]byte, 111))
+		if err := p.Stack.Push(labelEntry(cos)); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	// The first packet seizes the transmitter; the rest queue and must
+	// leave in priority order.
+	l.Send(mk(0))
+	l.Send(mk(1))
+	l.Send(mk(7))
+	l.Send(mk(3))
+	sim.Run()
+	var classes []uint8
+	for _, a := range dst.arrivals {
+		classes = append(classes, uint8(qos.ClassOf(a.p)))
+	}
+	want := []uint8{0, 7, 3, 1}
+	for i := range want {
+		if classes[i] != want[i] {
+			t.Fatalf("service order %v, want %v", classes, want)
+		}
+	}
+}
+
+func TestLinkConstructorPanics(t *testing.T) {
+	sim := New()
+	dst := &sink{name: "d", sim: sim}
+	assertPanics(t, "zero rate", func() { NewLink(sim, "s", dst, 0, 0, qos.NewFIFO(1)) })
+	assertPanics(t, "negative delay", func() { NewLink(sim, "s", dst, 1, -1, qos.NewFIFO(1)) })
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

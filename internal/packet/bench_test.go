@@ -1,0 +1,38 @@
+package packet
+
+import (
+	"testing"
+
+	"embeddedmpls/internal/label"
+)
+
+func benchMarshalPacket(b *testing.B, labels int) {
+	p := New(AddrFrom(10, 0, 0, 1), AddrFrom(10, 0, 0, 2), 64, make([]byte, 512))
+	for i := 0; i < labels; i++ {
+		if err := p.Stack.Push(label.Entry{Label: label.Label(100 + i), TTL: 64}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err := p.Marshal()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarshalUnlabelled(b *testing.B) { benchMarshalPacket(b, 0) }
+func BenchmarkMarshalOneLabel(b *testing.B)   { benchMarshalPacket(b, 1) }
+func BenchmarkMarshalFullStack(b *testing.B)  { benchMarshalPacket(b, label.MaxDepth) }
+
+func BenchmarkClone(b *testing.B) {
+	p := New(1, 2, 64, make([]byte, 512))
+	_ = p.Stack.Push(label.Entry{Label: 100, TTL: 64})
+	for i := 0; i < b.N; i++ {
+		_ = p.Clone()
+	}
+}

@@ -1,0 +1,46 @@
+package packet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestUnmarshalNeverPanics throws random byte soup at the decoder: every
+// input must either parse or error, never panic — a router that crashes
+// on a malformed wire packet is a remote denial of service.
+func TestUnmarshalNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 5000; trial++ {
+		buf := make([]byte, rng.Intn(64))
+		rng.Read(buf)
+		if rng.Intn(3) == 0 && len(buf) > 0 {
+			// Bias toward plausible magics so the parser gets deeper.
+			buf[0] = []byte{0x45, 0x88}[rng.Intn(2)]
+		}
+		p, err := Unmarshal(buf)
+		if err == nil {
+			// Whatever parsed must re-encode without error.
+			if _, err := p.Marshal(); err != nil {
+				t.Fatalf("trial %d: parsed packet fails to marshal: %v", trial, err)
+			}
+		}
+	}
+}
+
+// TestUnmarshalTruncationsOfValidPacket: every prefix of a valid encoding
+// must error cleanly (except the full buffer).
+func TestUnmarshalTruncationsOfValidPacket(t *testing.T) {
+	p := New(AddrFrom(1, 2, 3, 4), AddrFrom(5, 6, 7, 8), 64, []byte("payload!"))
+	buf, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(buf); n++ {
+		if _, err := Unmarshal(buf[:n]); err == nil {
+			t.Errorf("truncation to %d bytes parsed successfully", n)
+		}
+	}
+	if _, err := Unmarshal(buf); err != nil {
+		t.Errorf("full buffer failed: %v", err)
+	}
+}

@@ -1,0 +1,147 @@
+package packet
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"embeddedmpls/internal/label"
+)
+
+func TestAddrString(t *testing.T) {
+	a := AddrFrom(192, 168, 1, 1)
+	if a != 0xc0a80101 {
+		t.Errorf("AddrFrom = %#x", uint32(a))
+	}
+	if a.String() != "192.168.1.1" {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestNewPacketBasics(t *testing.T) {
+	p := New(AddrFrom(10, 0, 0, 1), AddrFrom(10, 0, 0, 2), 64, []byte("hello"))
+	if p.Labelled() {
+		t.Error("fresh packet should be unlabelled")
+	}
+	if p.Identifier() != uint32(AddrFrom(10, 0, 0, 2)) {
+		t.Error("identifier must be the destination address")
+	}
+	if p.Size() != 14+5 {
+		t.Errorf("size = %d, want 19", p.Size())
+	}
+	if err := p.Stack.Push(label.Entry{Label: 100, TTL: 63}); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Labelled() || p.Size() != 14+5+4 {
+		t.Errorf("after label: labelled=%v size=%d", p.Labelled(), p.Size())
+	}
+}
+
+func TestMarshalUnmarshalUnlabelled(t *testing.T) {
+	p := New(AddrFrom(10, 0, 0, 1), AddrFrom(10, 9, 8, 7), 64, []byte("payload"))
+	p.Header.Proto = 17
+	p.Header.FlowID = 4242
+	buf, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Header != p.Header || !bytes.Equal(q.Payload, p.Payload) || q.Labelled() {
+		t.Errorf("round trip: %v -> %v", p, q)
+	}
+}
+
+func TestMarshalUnmarshalLabelled(t *testing.T) {
+	p := New(AddrFrom(1, 2, 3, 4), AddrFrom(5, 6, 7, 8), 200, []byte{1, 2, 3})
+	_ = p.Stack.Push(label.Entry{Label: 100, CoS: 1, TTL: 63})
+	_ = p.Stack.Push(label.Entry{Label: 200, CoS: 2, TTL: 63})
+	buf, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Stack.Equal(p.Stack) {
+		t.Errorf("stack mismatch: %v vs %v", q.Stack, p.Stack)
+	}
+	if q.Header != p.Header {
+		t.Errorf("header mismatch: %+v vs %+v", q.Header, p.Header)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(nil); err != ErrTruncated {
+		t.Errorf("empty buffer: %v", err)
+	}
+	if _, err := Unmarshal([]byte{0x99, 0, 0}); err == nil {
+		t.Error("bad magic accepted")
+	}
+	p := New(1, 2, 3, nil)
+	buf, _ := p.Marshal()
+	if _, err := Unmarshal(buf[:len(buf)-1]); err != ErrTruncated {
+		t.Errorf("truncated header: %v", err)
+	}
+	// Labelled packet whose stack never ends.
+	bad := []byte{0x88, 0x00, 0x01, 0x00, 0x3f} // S bit clear, then EOF
+	if _, err := Unmarshal(bad); err == nil {
+		t.Error("unterminated label stack accepted")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := New(1, 2, 64, []byte{9})
+	_ = p.Stack.Push(label.Entry{Label: 7, TTL: 1})
+	q := p.Clone()
+	if _, err := q.Stack.Pop(); err != nil {
+		t.Fatal(err)
+	}
+	q.Payload[0] = 42
+	if p.Stack.Empty() || p.Payload[0] != 9 {
+		t.Error("clone shares state with the original")
+	}
+}
+
+// TestMarshalRoundTripProperty fuzzes the wire format.
+func TestMarshalRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		p := New(Addr(rng.Uint32()), Addr(rng.Uint32()), uint8(rng.Intn(256)), make([]byte, rng.Intn(64)))
+		rng.Read(p.Payload)
+		p.Header.Proto = uint8(rng.Intn(256))
+		p.Header.FlowID = uint16(rng.Intn(1 << 16))
+		for d := rng.Intn(label.MaxDepth + 1); d > 0; d-- {
+			_ = p.Stack.Push(label.Entry{
+				Label: label.Label(rng.Intn(1 << 20)),
+				CoS:   label.CoS(rng.Intn(8)),
+				TTL:   uint8(rng.Intn(256)),
+			})
+		}
+		buf, err := p.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := Unmarshal(buf)
+		if err != nil {
+			t.Fatalf("trial %d: %v", i, err)
+		}
+		if q.Header != p.Header || !bytes.Equal(q.Payload, p.Payload) || !q.Stack.Equal(p.Stack) {
+			t.Fatalf("trial %d: round trip mismatch\n%v\n%v", i, p, q)
+		}
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	p := New(AddrFrom(1, 0, 0, 1), AddrFrom(1, 0, 0, 2), 9, nil)
+	if s := p.String(); s == "" || !bytes.Contains([]byte(s), []byte("unlabelled")) {
+		t.Errorf("String = %q", s)
+	}
+	_ = p.Stack.Push(label.Entry{Label: 4, TTL: 2})
+	if s := p.String(); bytes.Contains([]byte(s), []byte("unlabelled")) {
+		t.Errorf("labelled String = %q", s)
+	}
+}

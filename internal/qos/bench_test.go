@@ -1,0 +1,45 @@
+package qos
+
+import (
+	"testing"
+
+	"embeddedmpls/internal/label"
+	"embeddedmpls/internal/packet"
+)
+
+func benchPacket(cos label.CoS) *packet.Packet {
+	p := packet.New(1, 2, 64, nil)
+	_ = p.Stack.Push(label.Entry{Label: 100, CoS: cos, TTL: 63})
+	return p
+}
+
+func benchScheduler(b *testing.B, s Scheduler) {
+	b.Helper()
+	pkts := make([]*packet.Packet, 8)
+	for i := range pkts {
+		pkts[i] = benchPacket(label.CoS(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Enqueue(pkts[i%8])
+		if _, ok := s.Dequeue(); !ok {
+			b.Fatal("dequeue failed")
+		}
+	}
+}
+
+func BenchmarkFIFO(b *testing.B) { benchScheduler(b, NewFIFO(64)) }
+
+func BenchmarkPriority(b *testing.B) { benchScheduler(b, NewPriority(64)) }
+
+func BenchmarkWRR(b *testing.B) {
+	benchScheduler(b, NewWRR(64, [NumClasses]int{1, 1, 1, 1, 2, 2, 4, 4}))
+}
+
+func BenchmarkWRED(b *testing.B) {
+	var profiles [NumClasses]REDParams
+	for i := range profiles {
+		profiles[i] = REDParams{MinTh: 16, MaxTh: 48, MaxP: 0.2}
+	}
+	benchScheduler(b, NewWRED(64, profiles, 1))
+}

@@ -1,0 +1,205 @@
+// Package qos implements class-of-service queueing for link transmitters
+// in the network simulator. The class of a packet is the 3-bit CoS field
+// of its top label stack entry — the bits the paper says "affect the
+// scheduling and/or discard algorithms applied to the packet as it is
+// transmitted through the network" — so eight classes exist, 7 the most
+// urgent.
+//
+// Three schedulers are provided: a plain FIFO (the no-QoS baseline), a
+// strict-priority scheduler, and a weighted round robin that divides
+// bandwidth by configured weights while avoiding starvation.
+package qos
+
+import (
+	"fmt"
+
+	"embeddedmpls/internal/label"
+	"embeddedmpls/internal/packet"
+)
+
+// NumClasses is the number of service classes (the CoS field's range).
+const NumClasses = 8
+
+// ClassOf returns the service class of a packet: the CoS bits of the top
+// label, or class 0 for unlabelled packets.
+func ClassOf(p *packet.Packet) label.CoS {
+	if p.Labelled() {
+		top, err := p.Stack.Top()
+		if err == nil {
+			return top.CoS
+		}
+	}
+	return 0
+}
+
+// Scheduler queues packets for transmission. Enqueue reports false when
+// the packet was dropped (queue full); Dequeue returns the next packet to
+// transmit.
+type Scheduler interface {
+	Enqueue(p *packet.Packet) bool
+	Dequeue() (*packet.Packet, bool)
+	// Len returns the number of queued packets across all classes.
+	Len() int
+	// Dropped returns how many packets Enqueue has rejected.
+	Dropped() uint64
+}
+
+// fifo is the no-QoS baseline: one tail-drop queue for every class.
+type fifo struct {
+	q       []*packet.Packet
+	cap     int
+	dropped uint64
+}
+
+// NewFIFO returns a single tail-drop queue holding at most capacity
+// packets.
+func NewFIFO(capacity int) Scheduler {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("qos: FIFO capacity %d", capacity))
+	}
+	return &fifo{cap: capacity}
+}
+
+func (f *fifo) Enqueue(p *packet.Packet) bool {
+	if len(f.q) >= f.cap {
+		f.dropped++
+		return false
+	}
+	f.q = append(f.q, p)
+	return true
+}
+
+func (f *fifo) Dequeue() (*packet.Packet, bool) {
+	if len(f.q) == 0 {
+		return nil, false
+	}
+	p := f.q[0]
+	f.q = f.q[1:]
+	if len(f.q) == 0 {
+		f.q = nil // allow the backing array to be reclaimed
+	}
+	return p, true
+}
+
+func (f *fifo) Len() int        { return len(f.q) }
+func (f *fifo) Dropped() uint64 { return f.dropped }
+
+// classQueues is the shared per-class storage of the CoS schedulers.
+type classQueues struct {
+	q       [NumClasses][]*packet.Packet
+	perCap  int
+	total   int
+	dropped uint64
+}
+
+func (c *classQueues) Enqueue(p *packet.Packet) bool {
+	cls := ClassOf(p)
+	if len(c.q[cls]) >= c.perCap {
+		c.dropped++
+		return false
+	}
+	c.q[cls] = append(c.q[cls], p)
+	c.total++
+	return true
+}
+
+func (c *classQueues) popFrom(cls int) *packet.Packet {
+	p := c.q[cls][0]
+	c.q[cls] = c.q[cls][1:]
+	if len(c.q[cls]) == 0 {
+		c.q[cls] = nil
+	}
+	c.total--
+	return p
+}
+
+func (c *classQueues) Len() int        { return c.total }
+func (c *classQueues) Dropped() uint64 { return c.dropped }
+
+// priority always serves the highest non-empty class first.
+type priority struct {
+	classQueues
+}
+
+// NewPriority returns a strict-priority scheduler with the given per-class
+// capacity. High classes can starve low ones — that is the point of
+// strict priority; use NewWRR when starvation matters.
+func NewPriority(perClassCapacity int) Scheduler {
+	if perClassCapacity <= 0 {
+		panic(fmt.Sprintf("qos: priority capacity %d", perClassCapacity))
+	}
+	return &priority{classQueues{perCap: perClassCapacity}}
+}
+
+func (s *priority) Dequeue() (*packet.Packet, bool) {
+	for cls := NumClasses - 1; cls >= 0; cls-- {
+		if len(s.q[cls]) > 0 {
+			return s.popFrom(cls), true
+		}
+	}
+	return nil, false
+}
+
+// wrr is a packet-based weighted round robin: each round, class k may
+// send up to weight[k] packets. Classes with zero weight are served only
+// when every weighted class is empty, so nothing deadlocks.
+type wrr struct {
+	classQueues
+	weights [NumClasses]int
+	credit  [NumClasses]int
+	cursor  int
+}
+
+// NewWRR returns a weighted-round-robin scheduler. Weights must be
+// non-negative and at least one must be positive.
+func NewWRR(perClassCapacity int, weights [NumClasses]int) Scheduler {
+	if perClassCapacity <= 0 {
+		panic(fmt.Sprintf("qos: WRR capacity %d", perClassCapacity))
+	}
+	any := false
+	for _, w := range weights {
+		if w < 0 {
+			panic(fmt.Sprintf("qos: negative WRR weight %d", w))
+		}
+		if w > 0 {
+			any = true
+		}
+	}
+	if !any {
+		panic("qos: all WRR weights are zero")
+	}
+	return &wrr{classQueues: classQueues{perCap: perClassCapacity}, weights: weights}
+}
+
+func (s *wrr) Dequeue() (*packet.Packet, bool) {
+	if s.total == 0 {
+		return nil, false
+	}
+	// Scan at most two full rounds: one to spend remaining credit, one
+	// after a refill.
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < NumClasses; i++ {
+			cls := (s.cursor + i) % NumClasses
+			if len(s.q[cls]) > 0 && s.credit[cls] > 0 {
+				s.credit[cls]--
+				if s.credit[cls] == 0 {
+					s.cursor = (cls + 1) % NumClasses
+				} else {
+					s.cursor = cls
+				}
+				return s.popFrom(cls), true
+			}
+		}
+		// Refill every class's credit for the next round.
+		for cls := range s.credit {
+			s.credit[cls] = s.weights[cls]
+		}
+	}
+	// Only zero-weight classes hold packets: serve the highest.
+	for cls := NumClasses - 1; cls >= 0; cls-- {
+		if len(s.q[cls]) > 0 {
+			return s.popFrom(cls), true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,167 @@
+package qos
+
+import (
+	"testing"
+
+	"embeddedmpls/internal/label"
+	"embeddedmpls/internal/packet"
+)
+
+func pkt(t *testing.T, cos label.CoS) *packet.Packet {
+	t.Helper()
+	p := packet.New(1, 2, 64, nil)
+	if err := p.Stack.Push(label.Entry{Label: 100, CoS: cos, TTL: 63}); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestClassOf(t *testing.T) {
+	if ClassOf(packet.New(1, 2, 64, nil)) != 0 {
+		t.Error("unlabelled packet should be class 0")
+	}
+	if got := ClassOf(pkt(t, 5)); got != 5 {
+		t.Errorf("class = %d, want 5", got)
+	}
+}
+
+func TestFIFOOrderAndDrop(t *testing.T) {
+	s := NewFIFO(2)
+	a, b, c := pkt(t, 1), pkt(t, 7), pkt(t, 3)
+	if !s.Enqueue(a) || !s.Enqueue(b) {
+		t.Fatal("enqueue within capacity failed")
+	}
+	if s.Enqueue(c) {
+		t.Error("enqueue beyond capacity accepted")
+	}
+	if s.Dropped() != 1 || s.Len() != 2 {
+		t.Errorf("dropped=%d len=%d", s.Dropped(), s.Len())
+	}
+	// FIFO ignores class: a (class 1) leaves before b (class 7).
+	if got, _ := s.Dequeue(); got != a {
+		t.Error("FIFO violated arrival order")
+	}
+	if got, _ := s.Dequeue(); got != b {
+		t.Error("FIFO violated arrival order")
+	}
+	if _, ok := s.Dequeue(); ok {
+		t.Error("dequeue from empty succeeded")
+	}
+}
+
+func TestPriorityServesHighClassFirst(t *testing.T) {
+	s := NewPriority(10)
+	low, mid, high := pkt(t, 0), pkt(t, 3), pkt(t, 7)
+	s.Enqueue(low)
+	s.Enqueue(mid)
+	s.Enqueue(high)
+	want := []*packet.Packet{high, mid, low}
+	for i, w := range want {
+		got, ok := s.Dequeue()
+		if !ok || got != w {
+			t.Fatalf("dequeue %d: got class %d, want class %d", i, ClassOf(got), ClassOf(w))
+		}
+	}
+}
+
+func TestPriorityPerClassCapacity(t *testing.T) {
+	s := NewPriority(1)
+	if !s.Enqueue(pkt(t, 2)) {
+		t.Fatal("first class-2 packet rejected")
+	}
+	if s.Enqueue(pkt(t, 2)) {
+		t.Error("second class-2 packet accepted beyond per-class capacity")
+	}
+	if !s.Enqueue(pkt(t, 3)) {
+		t.Error("class-3 packet rejected though its queue is empty")
+	}
+}
+
+func TestWRRProportions(t *testing.T) {
+	var weights [NumClasses]int
+	weights[1] = 1
+	weights[5] = 3
+	s := NewWRR(100, weights)
+	for i := 0; i < 40; i++ {
+		s.Enqueue(pkt(t, 1))
+		s.Enqueue(pkt(t, 5))
+	}
+	// Over the first 24 dequeues both queues stay backlogged, so class 5
+	// must get 3x the service of class 1.
+	counts := map[label.CoS]int{}
+	for i := 0; i < 24; i++ {
+		p, ok := s.Dequeue()
+		if !ok {
+			t.Fatal("scheduler ran dry while backlogged")
+		}
+		counts[ClassOf(p)]++
+	}
+	if counts[5] != 18 || counts[1] != 6 {
+		t.Errorf("service counts = %v, want class5:18 class1:6", counts)
+	}
+}
+
+func TestWRRDrainsEverything(t *testing.T) {
+	var weights [NumClasses]int
+	weights[0] = 1
+	weights[7] = 2
+	s := NewWRR(100, weights)
+	total := 0
+	for cls := 0; cls < NumClasses; cls++ {
+		for i := 0; i < 5; i++ {
+			if s.Enqueue(pkt(t, label.CoS(cls))) {
+				total++
+			}
+		}
+	}
+	got := 0
+	for {
+		if _, ok := s.Dequeue(); !ok {
+			break
+		}
+		got++
+	}
+	if got != total {
+		t.Errorf("drained %d packets, enqueued %d", got, total)
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len = %d after drain", s.Len())
+	}
+}
+
+func TestWRRZeroWeightClassNotStarvedForever(t *testing.T) {
+	var weights [NumClasses]int
+	weights[7] = 1
+	s := NewWRR(10, weights)
+	s.Enqueue(pkt(t, 0)) // zero-weight class
+	p, ok := s.Dequeue()
+	if !ok || ClassOf(p) != 0 {
+		t.Error("zero-weight class never served when alone")
+	}
+}
+
+func TestSchedulerConstructorPanics(t *testing.T) {
+	assertPanics(t, "fifo cap", func() { NewFIFO(0) })
+	assertPanics(t, "prio cap", func() { NewPriority(-1) })
+	assertPanics(t, "wrr cap", func() { NewWRR(0, [NumClasses]int{1}) })
+	assertPanics(t, "wrr zero weights", func() { NewWRR(1, [NumClasses]int{}) })
+	assertPanics(t, "wrr negative", func() { NewWRR(1, [NumClasses]int{0: -1, 1: 2}) })
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestDequeueEmptySchedulers(t *testing.T) {
+	for _, s := range []Scheduler{NewFIFO(1), NewPriority(1), NewWRR(1, [NumClasses]int{1})} {
+		if _, ok := s.Dequeue(); ok {
+			t.Errorf("%T: dequeue from empty succeeded", s)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package qos
+
+import (
+	"fmt"
+	"math/rand"
+
+	"embeddedmpls/internal/packet"
+)
+
+// REDParams configures random early detection for one profile: below
+// MinTh (average queue length, packets) everything is accepted; above
+// MaxTh everything is dropped; in between the drop probability ramps
+// linearly up to MaxP. The classic congestion-avoidance discard
+// algorithm the paper's CoS bits are meant to select between.
+type REDParams struct {
+	MinTh int
+	MaxTh int
+	MaxP  float64
+}
+
+// Valid checks the parameter ranges.
+func (p REDParams) Valid() error {
+	if p.MinTh < 0 || p.MaxTh <= p.MinTh {
+		return fmt.Errorf("qos: RED thresholds min=%d max=%d", p.MinTh, p.MaxTh)
+	}
+	if p.MaxP <= 0 || p.MaxP > 1 {
+		return fmt.Errorf("qos: RED max probability %g", p.MaxP)
+	}
+	return nil
+}
+
+// redWeight is the EWMA weight for the average queue length (the
+// conventional 0.002 reacts too slowly for short simulations; 1/16 is a
+// common hardware choice).
+const redWeight = 1.0 / 16
+
+// red is a single tail queue with RED admission; with per-class profiles
+// it becomes WRED (weighted RED), where the CoS bits pick the profile —
+// low classes are discarded earlier than high ones as the queue builds.
+type red struct {
+	q        []*packet.Packet
+	cap      int
+	profiles [NumClasses]REDParams
+	avg      float64
+	rng      *rand.Rand
+	dropped  uint64
+}
+
+// NewRED returns a RED queue applying one profile to every class.
+func NewRED(capacity int, params REDParams, seed int64) Scheduler {
+	var profiles [NumClasses]REDParams
+	for i := range profiles {
+		profiles[i] = params
+	}
+	return NewWRED(capacity, profiles, seed)
+}
+
+// NewWRED returns a weighted-RED queue with a drop profile per class.
+// The queue itself is FIFO; differentiation happens at admission.
+func NewWRED(capacity int, profiles [NumClasses]REDParams, seed int64) Scheduler {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("qos: WRED capacity %d", capacity))
+	}
+	for cls, p := range profiles {
+		if err := p.Valid(); err != nil {
+			panic(fmt.Sprintf("class %d: %v", cls, err))
+		}
+	}
+	return &red{cap: capacity, profiles: profiles, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (r *red) Enqueue(p *packet.Packet) bool {
+	r.avg = (1-redWeight)*r.avg + redWeight*float64(len(r.q))
+	prof := r.profiles[ClassOf(p)]
+	drop := false
+	switch {
+	case len(r.q) >= r.cap:
+		drop = true // hard tail drop
+	case r.avg < float64(prof.MinTh):
+	case r.avg >= float64(prof.MaxTh):
+		drop = true
+	default:
+		pd := prof.MaxP * (r.avg - float64(prof.MinTh)) / float64(prof.MaxTh-prof.MinTh)
+		drop = r.rng.Float64() < pd
+	}
+	if drop {
+		r.dropped++
+		return false
+	}
+	r.q = append(r.q, p)
+	return true
+}
+
+func (r *red) Dequeue() (*packet.Packet, bool) {
+	if len(r.q) == 0 {
+		return nil, false
+	}
+	p := r.q[0]
+	r.q = r.q[1:]
+	if len(r.q) == 0 {
+		r.q = nil
+	}
+	return p, true
+}
+
+func (r *red) Len() int        { return len(r.q) }
+func (r *red) Dropped() uint64 { return r.dropped }

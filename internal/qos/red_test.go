@@ -1,0 +1,145 @@
+package qos
+
+import (
+	"testing"
+
+	"embeddedmpls/internal/label"
+)
+
+func defaultProfile() REDParams { return REDParams{MinTh: 5, MaxTh: 15, MaxP: 0.5} }
+
+func TestREDParamsValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		p    REDParams
+		ok   bool
+	}{
+		{"good", REDParams{MinTh: 5, MaxTh: 15, MaxP: 0.1}, true},
+		{"min equals max", REDParams{MinTh: 5, MaxTh: 5, MaxP: 0.1}, false},
+		{"negative min", REDParams{MinTh: -1, MaxTh: 5, MaxP: 0.1}, false},
+		{"zero prob", REDParams{MinTh: 1, MaxTh: 5, MaxP: 0}, false},
+		{"prob over 1", REDParams{MinTh: 1, MaxTh: 5, MaxP: 1.5}, false},
+	}
+	for _, c := range cases {
+		if err := c.p.Valid(); (err == nil) != c.ok {
+			t.Errorf("%s: Valid() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestREDAcceptsEverythingWhenIdle(t *testing.T) {
+	s := NewRED(100, defaultProfile(), 1)
+	// Alternate enqueue/dequeue so the average stays near zero.
+	for i := 0; i < 50; i++ {
+		if !s.Enqueue(pkt(t, 0)) {
+			t.Fatalf("drop at iteration %d with an empty queue", i)
+		}
+		if _, ok := s.Dequeue(); !ok {
+			t.Fatal("dequeue failed")
+		}
+	}
+	if s.Dropped() != 0 {
+		t.Errorf("dropped %d while idle", s.Dropped())
+	}
+}
+
+func TestREDDropsUnderSustainedBacklog(t *testing.T) {
+	s := NewRED(100, defaultProfile(), 1)
+	// Fill without draining: the average climbs past MaxTh and drops
+	// must start well before the hard capacity.
+	accepted := 0
+	for i := 0; i < 100; i++ {
+		if s.Enqueue(pkt(t, 0)) {
+			accepted++
+		}
+	}
+	if s.Dropped() == 0 {
+		t.Fatal("no early drops under sustained backlog")
+	}
+	if accepted >= 100 {
+		t.Fatal("everything accepted")
+	}
+	if s.Len() != accepted {
+		t.Errorf("len=%d accepted=%d", s.Len(), accepted)
+	}
+}
+
+func TestREDHardCap(t *testing.T) {
+	// MaxTh far above capacity: only the tail-drop rule applies.
+	s := NewRED(10, REDParams{MinTh: 1000, MaxTh: 2000, MaxP: 0.5}, 1)
+	for i := 0; i < 20; i++ {
+		s.Enqueue(pkt(t, 0))
+	}
+	if s.Len() != 10 {
+		t.Errorf("len=%d, want hard cap 10", s.Len())
+	}
+	if s.Dropped() != 10 {
+		t.Errorf("dropped=%d, want 10", s.Dropped())
+	}
+}
+
+func TestWREDProtectsHighClass(t *testing.T) {
+	// Low class: aggressive profile. High class: tolerant profile.
+	var profiles [NumClasses]REDParams
+	for i := range profiles {
+		profiles[i] = REDParams{MinTh: 2, MaxTh: 8, MaxP: 1}
+	}
+	profiles[7] = REDParams{MinTh: 40, MaxTh: 80, MaxP: 0.1}
+	s := NewWRED(100, profiles, 42)
+
+	lowDrops, highDrops := 0, 0
+	for i := 0; i < 40; i++ {
+		if !s.Enqueue(pkt(t, 0)) {
+			lowDrops++
+		}
+		if !s.Enqueue(pkt(t, 7)) {
+			highDrops++
+		}
+	}
+	if lowDrops == 0 {
+		t.Fatal("aggressive profile never dropped")
+	}
+	if highDrops >= lowDrops {
+		t.Errorf("high class dropped %d >= low class %d", highDrops, lowDrops)
+	}
+}
+
+func TestREDFIFOOrderPreserved(t *testing.T) {
+	s := NewRED(100, REDParams{MinTh: 50, MaxTh: 99, MaxP: 0.1}, 1)
+	var in []*labelPkt
+	for i := 0; i < 10; i++ {
+		p := pkt(t, label.CoS(i%8))
+		in = append(in, &labelPkt{p: p})
+		s.Enqueue(p)
+	}
+	for i := 0; i < 10; i++ {
+		got, ok := s.Dequeue()
+		if !ok || got != in[i].p {
+			t.Fatalf("dequeue %d out of order", i)
+		}
+	}
+	if _, ok := s.Dequeue(); ok {
+		t.Error("dequeue from empty succeeded")
+	}
+}
+
+type labelPkt struct{ p interface{ Size() int } }
+
+func TestREDDeterministicWithSeed(t *testing.T) {
+	results := make([]uint64, 2)
+	for trial := range results {
+		s := NewRED(100, defaultProfile(), 77)
+		for i := 0; i < 200; i++ {
+			s.Enqueue(pkt(t, 0))
+		}
+		results[trial] = s.Dropped()
+	}
+	if results[0] != results[1] {
+		t.Errorf("same seed produced %d and %d drops", results[0], results[1])
+	}
+}
+
+func TestWREDConstructorPanics(t *testing.T) {
+	assertPanics(t, "capacity", func() { NewWRED(0, [NumClasses]REDParams{}, 1) })
+	assertPanics(t, "profiles", func() { NewRED(10, REDParams{MinTh: 9, MaxTh: 1, MaxP: 0.5}, 1) })
+}

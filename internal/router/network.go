@@ -1,0 +1,139 @@
+package router
+
+import (
+	"fmt"
+
+	"embeddedmpls/internal/device"
+	"embeddedmpls/internal/ldp"
+	"embeddedmpls/internal/lsm"
+	"embeddedmpls/internal/netsim"
+	"embeddedmpls/internal/qos"
+	"embeddedmpls/internal/te"
+)
+
+// NodeSpec describes one router of a simulated network.
+type NodeSpec struct {
+	Name string
+	// Hardware selects the embedded MPLS device data plane; otherwise
+	// the software forwarder is used.
+	Hardware bool
+	// RouterType configures a hardware plane as LER or LSR.
+	RouterType lsm.RouterType
+	// SoftwareCost overrides the software per-packet cost (<=0: default).
+	SoftwareCost netsim.Time
+}
+
+// LinkSpec describes one duplex connection.
+type LinkSpec struct {
+	A, B    string
+	RateBPS float64
+	Delay   netsim.Time
+	// QueueCap bounds each direction's queue (packets). <=0 means 64.
+	QueueCap int
+	// NewQueue builds the scheduler per direction; nil means FIFO.
+	NewQueue func(cap int) qos.Scheduler
+	// Metric is the TE metric (0 = 1).
+	Metric float64
+}
+
+// Network bundles a simulated MPLS network: event simulator, TE topology,
+// LDP manager and the routers themselves.
+type Network struct {
+	Sim     *netsim.Simulator
+	Topo    *te.Topology
+	LDP     *ldp.Manager
+	Routers map[string]*Router
+}
+
+// Build wires a network from specs: routers with their data planes, TE
+// topology nodes/links, netsim links in both directions, and an LDP
+// manager with every router registered.
+func Build(nodes []NodeSpec, links []LinkSpec) (*Network, error) {
+	n := &Network{
+		Sim:     netsim.New(),
+		Topo:    te.NewTopology(),
+		Routers: make(map[string]*Router),
+	}
+	for _, spec := range nodes {
+		if _, dup := n.Routers[spec.Name]; dup {
+			return nil, fmt.Errorf("router: duplicate node %q", spec.Name)
+		}
+		var plane DataPlane
+		if spec.Hardware {
+			plane = NewHardwarePlane(device.New(spec.RouterType, lsm.DefaultClock))
+		} else {
+			plane = NewSoftwarePlane(spec.SoftwareCost)
+		}
+		n.Routers[spec.Name] = New(n.Sim, spec.Name, plane)
+		n.Topo.AddNode(spec.Name)
+	}
+	for _, spec := range links {
+		ra, ok := n.Routers[spec.A]
+		if !ok {
+			return nil, fmt.Errorf("router: link references unknown node %q", spec.A)
+		}
+		rb, ok := n.Routers[spec.B]
+		if !ok {
+			return nil, fmt.Errorf("router: link references unknown node %q", spec.B)
+		}
+		capacity := spec.QueueCap
+		if capacity <= 0 {
+			capacity = 64
+		}
+		newQueue := spec.NewQueue
+		if newQueue == nil {
+			newQueue = func(c int) qos.Scheduler { return qos.NewFIFO(c) }
+		}
+		ra.AttachLink(netsim.NewLink(n.Sim, spec.A, rb, spec.RateBPS, spec.Delay, newQueue(capacity)))
+		rb.AttachLink(netsim.NewLink(n.Sim, spec.B, ra, spec.RateBPS, spec.Delay, newQueue(capacity)))
+		if err := n.Topo.AddDuplex(spec.A, spec.B, te.LinkAttrs{
+			CapacityBPS: spec.RateBPS,
+			Metric:      spec.Metric,
+			DelaySec:    spec.Delay,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	n.LDP = ldp.NewManager(n.Topo)
+	for name, r := range n.Routers {
+		if err := n.LDP.Register(name, r); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// Router returns a node by name, panicking on unknown names — network
+// construction is static, so a miss is a programming error.
+func (n *Network) Router(name string) *Router {
+	r, ok := n.Routers[name]
+	if !ok {
+		panic("router: unknown node " + name)
+	}
+	return r
+}
+
+// SetLinkDown fails (or restores) both directions of the a<->b
+// connection. Unknown endpoints or links are an error so a typo in a
+// failure script cannot silently test nothing.
+func (n *Network) SetLinkDown(a, b string, down bool) error {
+	ra, ok := n.Routers[a]
+	if !ok {
+		return fmt.Errorf("router: unknown node %q", a)
+	}
+	rb, ok := n.Routers[b]
+	if !ok {
+		return fmt.Errorf("router: unknown node %q", b)
+	}
+	lab, ok := ra.Link(b)
+	if !ok {
+		return fmt.Errorf("router: no link %s->%s", a, b)
+	}
+	lba, ok := rb.Link(a)
+	if !ok {
+		return fmt.Errorf("router: no link %s->%s", b, a)
+	}
+	lab.SetDown(down)
+	lba.SetDown(down)
+	return nil
+}

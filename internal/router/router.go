@@ -1,0 +1,266 @@
+// Package router implements MPLS router nodes for the network simulator:
+// a Router is a netsim.Node with attached links, local addresses, and a
+// pluggable data plane — either the embedded hardware device (package
+// device, timed by its verified cycle model) or the software forwarder
+// (package swmpls, timed by a configurable per-packet cost). The paper's
+// LER/LSR distinction is carried by the data plane's router type and by
+// which tables the control plane installs.
+package router
+
+import (
+	"fmt"
+
+	"embeddedmpls/internal/device"
+	"embeddedmpls/internal/iproute"
+	"embeddedmpls/internal/label"
+	"embeddedmpls/internal/netsim"
+	"embeddedmpls/internal/packet"
+	"embeddedmpls/internal/stats"
+	"embeddedmpls/internal/swmpls"
+)
+
+// DataPlane is a forwarding engine: it transforms a packet in place,
+// decides its fate, and reports how long the engine was occupied. It also
+// exposes the table programming surface used by ldp.Manager.
+type DataPlane interface {
+	Process(p *packet.Packet) (swmpls.Result, netsim.Time)
+	InstallFEC(dst packet.Addr, prefixLen int, n swmpls.NHLFE) error
+	InstallILM(in label.Label, n swmpls.NHLFE) error
+	RemoveILM(in label.Label)
+	RemoveFEC(dst packet.Addr, prefixLen int)
+}
+
+// SoftwarePlane runs the map-based software forwarder with a fixed
+// per-packet processing cost (the "entirely software based" baseline the
+// paper contrasts with).
+type SoftwarePlane struct {
+	*swmpls.Forwarder
+	// PerPacket is the engine occupancy per label operation. The default
+	// of 50 microseconds approximates an early-2000s software router's
+	// kernel forwarding path.
+	PerPacket netsim.Time
+}
+
+// DefaultSoftwareCost is the default per-packet software forwarding cost.
+const DefaultSoftwareCost netsim.Time = 50e-6
+
+// NewSoftwarePlane returns a software data plane. perPacket <= 0 selects
+// DefaultSoftwareCost.
+func NewSoftwarePlane(perPacket netsim.Time) *SoftwarePlane {
+	if perPacket <= 0 {
+		perPacket = DefaultSoftwareCost
+	}
+	return &SoftwarePlane{Forwarder: swmpls.New(), PerPacket: perPacket}
+}
+
+// Process implements DataPlane.
+func (s *SoftwarePlane) Process(p *packet.Packet) (swmpls.Result, netsim.Time) {
+	return s.Forward(p), s.PerPacket
+}
+
+// HardwarePlane runs the embedded MPLS device; engine occupancy is the
+// device's cycle count at its clock.
+type HardwarePlane struct {
+	*device.Device
+}
+
+// NewHardwarePlane wraps a device as a data plane.
+func NewHardwarePlane(d *device.Device) *HardwarePlane { return &HardwarePlane{Device: d} }
+
+// Process implements DataPlane.
+func (h *HardwarePlane) Process(p *packet.Packet) (swmpls.Result, netsim.Time) {
+	res, cycles := h.Device.Process(p)
+	return res, h.Seconds(cycles)
+}
+
+// Stats aggregates a router's forwarding outcomes.
+type Stats struct {
+	Forwarded stats.Counter
+	Delivered stats.Counter
+	Dropped   stats.Counter
+	// DropsByReason breaks drops down by cause.
+	DropsByReason map[swmpls.DropReason]uint64
+}
+
+// Router is one network node.
+type Router struct {
+	name  string
+	sim   *netsim.Simulator
+	plane DataPlane
+	links map[string]*netsim.Link
+	local map[packet.Addr]bool
+
+	// busyUntil models the forwarding engine as a serial resource: a
+	// packet's processing starts when the engine frees up.
+	busyUntil netsim.Time
+
+	// OnDeliver, when set, receives packets addressed to this router
+	// after decapsulation (traffic sinks hook it).
+	OnDeliver func(p *packet.Packet)
+
+	// ipTable, when set, carries unlabelled packets that have no FEC
+	// binding — conventional hop-by-hop IP forwarding, the pre-MPLS
+	// baseline. The data plane's engine time already covers the lookup
+	// cost (its FTN miss *is* the failed route lookup).
+	ipTable *iproute.Table
+
+	Stats Stats
+}
+
+// New creates a router on the simulator.
+func New(sim *netsim.Simulator, name string, plane DataPlane) *Router {
+	return &Router{
+		name:  name,
+		sim:   sim,
+		plane: plane,
+		links: make(map[string]*netsim.Link),
+		local: make(map[packet.Addr]bool),
+		Stats: Stats{DropsByReason: make(map[swmpls.DropReason]uint64)},
+	}
+}
+
+// Name implements netsim.Node.
+func (r *Router) Name() string { return r.name }
+
+// Plane exposes the data plane for table programming.
+func (r *Router) Plane() DataPlane { return r.plane }
+
+// InstallFEC, InstallILM, RemoveILM and RemoveFEC delegate to the data
+// plane so a Router satisfies ldp.Installer directly.
+
+// InstallFEC implements ldp.Installer.
+func (r *Router) InstallFEC(dst packet.Addr, prefixLen int, n swmpls.NHLFE) error {
+	return r.plane.InstallFEC(dst, prefixLen, n)
+}
+
+// InstallILM implements ldp.Installer.
+func (r *Router) InstallILM(in label.Label, n swmpls.NHLFE) error {
+	return r.plane.InstallILM(in, n)
+}
+
+// RemoveILM implements ldp.Installer.
+func (r *Router) RemoveILM(in label.Label) { r.plane.RemoveILM(in) }
+
+// RemoveFEC implements ldp.Installer.
+func (r *Router) RemoveFEC(dst packet.Addr, prefixLen int) { r.plane.RemoveFEC(dst, prefixLen) }
+
+// AttachLink registers an outgoing link, keyed by the receiving node's
+// name.
+func (r *Router) AttachLink(l *netsim.Link) { r.links[l.To()] = l }
+
+// Link returns the outgoing link toward the named neighbour.
+func (r *Router) Link(to string) (*netsim.Link, bool) {
+	l, ok := r.links[to]
+	return l, ok
+}
+
+// AddLocal marks addr as terminating at this router: unlabelled packets
+// for it are delivered instead of forwarded.
+func (r *Router) AddLocal(addr packet.Addr) { r.local[addr] = true }
+
+// Inject introduces a locally originated packet (from a traffic source).
+func (r *Router) Inject(p *packet.Packet) { r.Receive(p, r.name) }
+
+// Receive implements netsim.Node: run the packet through the forwarding
+// engine (serially) and act on the decision when processing completes.
+func (r *Router) Receive(p *packet.Packet, from string) {
+	// Local IP delivery needs no label operation.
+	if !p.Labelled() && r.local[p.Header.Dst] {
+		r.deliver(p)
+		return
+	}
+
+	start := r.sim.Now()
+	if r.busyUntil > start {
+		start = r.busyUntil
+	}
+	// The engine may need several passes for one packet (a tunnel tail
+	// pops, then re-examines the inner label); each pass costs engine
+	// time. label.MaxDepth+1 bounds the passes.
+	var res swmpls.Result
+	total := netsim.Time(0)
+	for pass := 0; pass < label.MaxDepth+1; pass++ {
+		var d netsim.Time
+		res, d = r.plane.Process(p)
+		total += d
+		if res.Action == swmpls.Forward && res.NextHop == "" && p.Labelled() {
+			continue
+		}
+		break
+	}
+	r.busyUntil = start + total
+	done := r.busyUntil - r.sim.Now()
+	r.sim.Schedule(done, func() { r.act(p, res) })
+}
+
+// SetIPTable installs the router's IP forwarding table (nil disables the
+// fallback).
+func (r *Router) SetIPTable(t *iproute.Table) { r.ipTable = t }
+
+func (r *Router) act(p *packet.Packet, res swmpls.Result) {
+	if res.Action == swmpls.Drop && res.Drop == swmpls.DropNoRoute &&
+		!p.Labelled() && r.ipTable != nil {
+		r.ipForward(p)
+		return
+	}
+	switch res.Action {
+	case swmpls.Forward:
+		l, ok := r.links[res.NextHop]
+		if !ok {
+			r.drop(p, swmpls.DropNoRoute)
+			return
+		}
+		r.Stats.Forwarded.Add(p.Size())
+		l.Send(p)
+	case swmpls.Deliver:
+		r.deliver(p)
+	default:
+		r.drop(p, res.Drop)
+	}
+}
+
+// ipForward carries an unlabelled packet one hop by longest-prefix match,
+// with the usual IP TTL handling.
+func (r *Router) ipForward(p *packet.Packet) {
+	nh, ok := r.ipTable.Lookup(p.Header.Dst)
+	if !ok {
+		r.drop(p, swmpls.DropNoRoute)
+		return
+	}
+	if nh == iproute.Local {
+		r.deliver(p)
+		return
+	}
+	if p.Header.TTL > 0 {
+		p.Header.TTL--
+	}
+	if p.Header.TTL == 0 {
+		r.drop(p, swmpls.DropTTLExpired)
+		return
+	}
+	l, ok := r.links[nh]
+	if !ok {
+		r.drop(p, swmpls.DropNoRoute)
+		return
+	}
+	r.Stats.Forwarded.Add(p.Size())
+	l.Send(p)
+}
+
+func (r *Router) deliver(p *packet.Packet) {
+	r.Stats.Delivered.Add(p.Size())
+	if r.OnDeliver != nil {
+		r.OnDeliver(p)
+	}
+}
+
+func (r *Router) drop(p *packet.Packet, reason swmpls.DropReason) {
+	r.Stats.Dropped.Add(p.Size())
+	r.Stats.DropsByReason[reason]++
+}
+
+// String summarises the router for logs.
+func (r *Router) String() string {
+	return fmt.Sprintf("router %s (fwd=%d dlv=%d drop=%d)",
+		r.name, r.Stats.Forwarded.Events, r.Stats.Delivered.Events, r.Stats.Dropped.Events)
+}

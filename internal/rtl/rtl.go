@@ -1,0 +1,195 @@
+// Package rtl is a small cycle-accurate synchronous-logic simulation
+// kernel. It stands in for the FPGA fabric that Peterkin & Ionescu's
+// embedded MPLS architecture targets (an Altera Stratix EP1S40F780C5):
+// the paper's entire evaluation consists of HDL simulation waveforms and
+// clock-cycle counts, and this kernel produces exactly those observables.
+//
+// The model is a single clock domain with two-phase semantics:
+//
+//  1. Combinational processes run to a fixed point (every registered
+//     comb function is re-evaluated until no signal changes).
+//  2. On Step (one rising clock edge), every sequential component first
+//     Latches its next state from the settled signal values, then every
+//     component Commits, so all state elements update simultaneously —
+//     exactly the semantics of synchronous RTL.
+//
+// Signals are named, width-masked wires; the wave package samples them to
+// render waveforms.
+package rtl
+
+import "fmt"
+
+// Signal is a named wire carrying an unsigned value of a fixed bit width.
+// Values wider than the signal are masked on Set, like an HDL assignment
+// to a narrower net.
+type Signal struct {
+	name  string
+	width uint
+	mask  uint64
+	val   uint64
+	sim   *Simulator
+}
+
+// Name returns the signal's name.
+func (s *Signal) Name() string { return s.name }
+
+// Width returns the signal's bit width.
+func (s *Signal) Width() uint { return s.width }
+
+// Get returns the current value of the signal.
+func (s *Signal) Get() uint64 { return s.val }
+
+// Set drives the signal to v (masked to the signal width) and marks the
+// simulator dirty if the value changed, so the settle loop knows to run
+// the combinational processes again.
+func (s *Signal) Set(v uint64) {
+	v &= s.mask
+	if v != s.val {
+		s.val = v
+		s.sim.dirty = true
+	}
+}
+
+// Bool returns the signal interpreted as a single-bit boolean.
+func (s *Signal) Bool() bool { return s.val != 0 }
+
+// SetBool drives a single-bit signal.
+func (s *Signal) SetBool(b bool) {
+	if b {
+		s.Set(1)
+	} else {
+		s.Set(0)
+	}
+}
+
+// Sequential is a clocked component. Latch computes the next state from
+// the settled combinational values; Commit drives output signals from that
+// next state. The split guarantees that every sequential element observes
+// the pre-edge value of every other, as real flip-flops do.
+type Sequential interface {
+	Latch()
+	Commit()
+}
+
+// maxSettleIterations bounds the combinational fixed-point loop. A design
+// that does not converge within it contains a combinational cycle, which
+// is a construction bug, so the simulator panics.
+const maxSettleIterations = 1000
+
+// Simulator owns the signals and components of one synchronous design and
+// advances them cycle by cycle.
+type Simulator struct {
+	signals []*Signal
+	byName  map[string]*Signal
+	combs   []func()
+	seqs    []Sequential
+	cycle   uint64
+	dirty   bool
+	samples []func(cycle uint64)
+}
+
+// New returns an empty simulator.
+func New() *Simulator {
+	return &Simulator{byName: make(map[string]*Signal)}
+}
+
+// Signal creates and registers a named signal of the given width (1-64
+// bits). Duplicate names and out-of-range widths are construction bugs and
+// panic.
+func (sim *Simulator) Signal(name string, width uint) *Signal {
+	if width == 0 || width > 64 {
+		panic(fmt.Sprintf("rtl: signal %q has unsupported width %d", name, width))
+	}
+	if _, dup := sim.byName[name]; dup {
+		panic(fmt.Sprintf("rtl: duplicate signal name %q", name))
+	}
+	var mask uint64 = ^uint64(0)
+	if width < 64 {
+		mask = 1<<width - 1
+	}
+	s := &Signal{name: name, width: width, mask: mask, sim: sim}
+	sim.signals = append(sim.signals, s)
+	sim.byName[name] = s
+	return s
+}
+
+// Lookup returns the signal registered under name, or nil.
+func (sim *Simulator) Lookup(name string) *Signal { return sim.byName[name] }
+
+// Signals returns the registered signals in creation order.
+func (sim *Simulator) Signals() []*Signal { return sim.signals }
+
+// Comb registers a combinational process: a function that reads signals
+// and drives others. It is re-run until the design settles, so it must be
+// a pure function of signal values.
+func (sim *Simulator) Comb(f func()) { sim.combs = append(sim.combs, f) }
+
+// Add registers a sequential component.
+func (sim *Simulator) Add(c Sequential) { sim.seqs = append(sim.seqs, c) }
+
+// OnSample registers a callback invoked after every Step with the cycle
+// number just completed; the wave tracer uses it.
+func (sim *Simulator) OnSample(f func(cycle uint64)) {
+	sim.samples = append(sim.samples, f)
+}
+
+// Cycle returns the number of clock edges stepped so far.
+func (sim *Simulator) Cycle() uint64 { return sim.cycle }
+
+// Settle runs the combinational processes to a fixed point. Step calls it
+// automatically; it is exported so a test bench can change inputs and
+// observe combinational outputs without advancing the clock.
+func (sim *Simulator) Settle() {
+	for i := 0; ; i++ {
+		if i >= maxSettleIterations {
+			panic("rtl: combinational logic did not settle (combinational cycle?)")
+		}
+		sim.dirty = false
+		for _, f := range sim.combs {
+			f()
+		}
+		if !sim.dirty {
+			return
+		}
+	}
+}
+
+// Step advances the design by one rising clock edge: settle, latch every
+// sequential component, commit them all, settle the new outputs, then
+// sample probes.
+func (sim *Simulator) Step() {
+	sim.Settle()
+	for _, c := range sim.seqs {
+		c.Latch()
+	}
+	for _, c := range sim.seqs {
+		c.Commit()
+	}
+	sim.Settle()
+	sim.cycle++
+	for _, f := range sim.samples {
+		f(sim.cycle)
+	}
+}
+
+// Run advances the design n cycles.
+func (sim *Simulator) Run(n int) {
+	for i := 0; i < n; i++ {
+		sim.Step()
+	}
+}
+
+// StepUntil advances the clock until cond is true at the end of a cycle,
+// or max cycles have elapsed. It returns the number of cycles stepped and
+// whether the condition was met. The paper's per-operation latencies are
+// measured exactly this way: assert a command, count edges until done.
+func (sim *Simulator) StepUntil(cond func() bool, max int) (cycles int, ok bool) {
+	for cycles = 0; cycles < max; {
+		sim.Step()
+		cycles++
+		if cond() {
+			return cycles, true
+		}
+	}
+	return cycles, false
+}

@@ -1,0 +1,351 @@
+package rtl
+
+import "testing"
+
+func TestSignalMasking(t *testing.T) {
+	sim := New()
+	s := sim.Signal("s", 4)
+	s.Set(0x1f)
+	if s.Get() != 0xf {
+		t.Errorf("4-bit signal holds %#x, want masked 0xf", s.Get())
+	}
+	b := sim.Signal("b", 1)
+	b.SetBool(true)
+	if !b.Bool() || b.Get() != 1 {
+		t.Error("SetBool(true) did not set the bit")
+	}
+	b.SetBool(false)
+	if b.Bool() {
+		t.Error("SetBool(false) did not clear the bit")
+	}
+	w := sim.Signal("w", 64)
+	w.Set(^uint64(0))
+	if w.Get() != ^uint64(0) {
+		t.Error("64-bit signal truncated")
+	}
+}
+
+func TestSignalRegistryAndPanics(t *testing.T) {
+	sim := New()
+	s := sim.Signal("x", 8)
+	if sim.Lookup("x") != s {
+		t.Error("Lookup did not return the registered signal")
+	}
+	if sim.Lookup("missing") != nil {
+		t.Error("Lookup of an unknown name should be nil")
+	}
+	if len(sim.Signals()) != 1 {
+		t.Error("Signals() should list one signal")
+	}
+	assertPanics(t, "duplicate name", func() { sim.Signal("x", 8) })
+	assertPanics(t, "zero width", func() { sim.Signal("z", 0) })
+	assertPanics(t, "width > 64", func() { sim.Signal("y", 65) })
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestCombSettlesChains(t *testing.T) {
+	sim := New()
+	a := sim.Signal("a", 8)
+	b := sim.Signal("b", 8)
+	c := sim.Signal("c", 8)
+	// Deliberately register dependent combs in reverse order to force the
+	// fixed-point loop to iterate: c = b + 1, b = a + 1.
+	sim.Comb(func() { c.Set(b.Get() + 1) })
+	sim.Comb(func() { b.Set(a.Get() + 1) })
+	a.Set(5)
+	sim.Settle()
+	if b.Get() != 6 || c.Get() != 7 {
+		t.Errorf("settled b=%d c=%d, want 6, 7", b.Get(), c.Get())
+	}
+}
+
+func TestCombinationalCyclePanics(t *testing.T) {
+	sim := New()
+	a := sim.Signal("a", 8)
+	b := sim.Signal("b", 8)
+	sim.Comb(func() { a.Set(b.Get() + 1) })
+	sim.Comb(func() { b.Set(a.Get() + 1) })
+	assertPanics(t, "comb cycle", sim.Settle)
+}
+
+func TestRegisterLoadEnableClear(t *testing.T) {
+	sim := New()
+	d := sim.Signal("d", 8)
+	q := sim.Signal("q", 8)
+	en := sim.Signal("en", 1)
+	clr := sim.Signal("clr", 1)
+	NewRegister(sim, d, q, en, clr)
+
+	d.Set(0xab)
+	sim.Step()
+	if q.Get() != 0 {
+		t.Error("register loaded with enable low")
+	}
+	en.SetBool(true)
+	sim.Step()
+	if q.Get() != 0xab {
+		t.Errorf("q=%#x after enabled load, want 0xab", q.Get())
+	}
+	en.SetBool(false)
+	d.Set(0x11)
+	sim.Step()
+	if q.Get() != 0xab {
+		t.Error("register changed while disabled")
+	}
+	clr.SetBool(true)
+	en.SetBool(true) // clear must dominate enable
+	sim.Step()
+	if q.Get() != 0 {
+		t.Error("clear did not zero the register")
+	}
+}
+
+func TestRegisterAlwaysLoadWithNilEnable(t *testing.T) {
+	sim := New()
+	d := sim.Signal("d", 8)
+	q := sim.Signal("q", 8)
+	NewRegister(sim, d, q, nil, nil)
+	d.Set(7)
+	sim.Step()
+	if q.Get() != 7 {
+		t.Errorf("q=%d, want 7", q.Get())
+	}
+}
+
+func TestRegistersUpdateSimultaneously(t *testing.T) {
+	// A two-stage shift register proves latch/commit ordering: both
+	// registers must see pre-edge values.
+	sim := New()
+	in := sim.Signal("in", 8)
+	q1 := sim.Signal("q1", 8)
+	q2 := sim.Signal("q2", 8)
+	NewRegister(sim, in, q1, nil, nil)
+	NewRegister(sim, q1, q2, nil, nil)
+	in.Set(1)
+	sim.Step()
+	if q1.Get() != 1 || q2.Get() != 0 {
+		t.Fatalf("after 1 step q1=%d q2=%d, want 1, 0", q1.Get(), q2.Get())
+	}
+	in.Set(2)
+	sim.Step()
+	if q1.Get() != 2 || q2.Get() != 1 {
+		t.Fatalf("after 2 steps q1=%d q2=%d, want 2, 1", q1.Get(), q2.Get())
+	}
+}
+
+func TestCounterUpDownLoadClearSaturate(t *testing.T) {
+	sim := New()
+	q := sim.Signal("q", 8)
+	en := sim.Signal("en", 1)
+	down := sim.Signal("down", 1)
+	ld := sim.Signal("ld", 1)
+	d := sim.Signal("d", 8)
+	clr := sim.Signal("clr", 1)
+	NewCounter(sim, q, en, down, ld, d, clr)
+
+	en.SetBool(true)
+	sim.Run(3)
+	if q.Get() != 3 {
+		t.Errorf("count=%d after 3 up steps, want 3", q.Get())
+	}
+	down.SetBool(true)
+	sim.Run(2)
+	if q.Get() != 1 {
+		t.Errorf("count=%d after 2 down steps, want 1", q.Get())
+	}
+	sim.Run(3)
+	if q.Get() != 0 {
+		t.Errorf("down count must saturate at 0, got %d", q.Get())
+	}
+	d.Set(42)
+	ld.SetBool(true)
+	sim.Step()
+	if q.Get() != 42 {
+		t.Errorf("load: count=%d, want 42", q.Get())
+	}
+	ld.SetBool(false)
+	clr.SetBool(true)
+	sim.Step()
+	if q.Get() != 0 {
+		t.Error("clear did not zero the counter")
+	}
+}
+
+func TestCounterLoadNeedsValue(t *testing.T) {
+	sim := New()
+	q := sim.Signal("q", 8)
+	ld := sim.Signal("ld", 1)
+	assertPanics(t, "load without value", func() { NewCounter(sim, q, nil, nil, ld, nil, nil) })
+}
+
+func TestRAMSynchronousReadWrite(t *testing.T) {
+	sim := New()
+	raddr := sim.Signal("raddr", 10)
+	rdata := sim.Signal("rdata", 32)
+	waddr := sim.Signal("waddr", 10)
+	wdata := sim.Signal("wdata", 32)
+	wen := sim.Signal("wen", 1)
+	m := NewRAM(sim, 1024, raddr, rdata, waddr, wdata, wen)
+
+	if m.Words() != 1024 {
+		t.Fatalf("Words=%d", m.Words())
+	}
+	waddr.Set(5)
+	wdata.Set(0xdead)
+	wen.SetBool(true)
+	sim.Step()
+	wen.SetBool(false)
+	if m.Peek(5) != 0xdead {
+		t.Fatalf("write did not land: %#x", m.Peek(5))
+	}
+	raddr.Set(5)
+	sim.Step() // read data appears one edge after the address
+	if rdata.Get() != 0xdead {
+		t.Errorf("rdata=%#x, want 0xdead", rdata.Get())
+	}
+}
+
+func TestRAMReadBeforeWrite(t *testing.T) {
+	sim := New()
+	raddr := sim.Signal("raddr", 4)
+	rdata := sim.Signal("rdata", 8)
+	waddr := sim.Signal("waddr", 4)
+	wdata := sim.Signal("wdata", 8)
+	wen := sim.Signal("wen", 1)
+	NewRAM(sim, 16, raddr, rdata, waddr, wdata, wen)
+
+	// Read and write address 3 on the same edge: the read must return the
+	// old word.
+	raddr.Set(3)
+	waddr.Set(3)
+	wdata.Set(9)
+	wen.SetBool(true)
+	sim.Step()
+	if rdata.Get() != 0 {
+		t.Errorf("simultaneous read returned the new word (%d), want old (0)", rdata.Get())
+	}
+	wen.SetBool(false)
+	sim.Step()
+	if rdata.Get() != 9 {
+		t.Errorf("next read = %d, want 9", rdata.Get())
+	}
+}
+
+func TestRAMAddressWrapsAndSizePanics(t *testing.T) {
+	sim := New()
+	raddr := sim.Signal("raddr", 8)
+	rdata := sim.Signal("rdata", 8)
+	waddr := sim.Signal("waddr", 8)
+	wdata := sim.Signal("wdata", 8)
+	wen := sim.Signal("wen", 1)
+	m := NewRAM(sim, 4, raddr, rdata, waddr, wdata, wen)
+	waddr.Set(6) // wraps to 2
+	wdata.Set(1)
+	wen.SetBool(true)
+	sim.Step()
+	if m.Peek(2) != 1 {
+		t.Error("out-of-range write address did not wrap")
+	}
+	assertPanics(t, "zero words", func() { NewRAM(sim, 0, raddr, rdata, waddr, wdata, wen) })
+}
+
+func TestComparator(t *testing.T) {
+	sim := New()
+	a := sim.Signal("a", 32)
+	b := sim.Signal("b", 32)
+	eq := sim.Signal("eq", 1)
+	Comparator(sim, a, b, eq)
+	a.Set(604)
+	b.Set(604)
+	sim.Settle()
+	if !eq.Bool() {
+		t.Error("comparator missed equal values")
+	}
+	b.Set(605)
+	sim.Settle()
+	if eq.Bool() {
+		t.Error("comparator matched unequal values")
+	}
+}
+
+func TestFSMStepsThroughStates(t *testing.T) {
+	const (
+		idle = iota
+		work
+		done
+	)
+	sim := New()
+	state := sim.Signal("state", 2)
+	start := sim.Signal("start", 1)
+	busy := sim.Signal("busy", 1)
+	NewFSM(sim, state, func() uint64 {
+		switch state.Get() {
+		case idle:
+			if start.Bool() {
+				return work
+			}
+			return idle
+		case work:
+			return done
+		default:
+			return idle
+		}
+	})
+	sim.Comb(func() { busy.SetBool(state.Get() == work) })
+
+	sim.Step()
+	if state.Get() != idle {
+		t.Fatal("FSM left idle without start")
+	}
+	start.SetBool(true)
+	sim.Step()
+	if state.Get() != work || !busy.Bool() {
+		t.Fatalf("state=%d busy=%v, want work/busy", state.Get(), busy.Bool())
+	}
+	sim.Step()
+	if state.Get() != done {
+		t.Fatal("FSM did not reach done")
+	}
+	sim.Step()
+	if state.Get() != idle {
+		t.Fatal("FSM did not wrap to idle")
+	}
+}
+
+func TestStepUntil(t *testing.T) {
+	sim := New()
+	q := sim.Signal("q", 8)
+	en := sim.Signal("en", 1)
+	NewCounter(sim, q, en, nil, nil, nil, nil)
+	en.SetBool(true)
+	cycles, ok := sim.StepUntil(func() bool { return q.Get() == 5 }, 100)
+	if !ok || cycles != 5 {
+		t.Errorf("StepUntil: cycles=%d ok=%v, want 5, true", cycles, ok)
+	}
+	_, ok = sim.StepUntil(func() bool { return false }, 3)
+	if ok {
+		t.Error("StepUntil reported success for an unreachable condition")
+	}
+	if sim.Cycle() != 8 {
+		t.Errorf("Cycle()=%d, want 8", sim.Cycle())
+	}
+}
+
+func TestOnSampleFires(t *testing.T) {
+	sim := New()
+	var cycles []uint64
+	sim.OnSample(func(c uint64) { cycles = append(cycles, c) })
+	sim.Run(3)
+	if len(cycles) != 3 || cycles[0] != 1 || cycles[2] != 3 {
+		t.Errorf("sampled cycles %v, want [1 2 3]", cycles)
+	}
+}

@@ -1,0 +1,354 @@
+// Package signal is a message-level label distribution protocol in the
+// style of CR-LDP (constraint-based LSP setup, which the paper cites as
+// the label distribution machinery that makes MPLS useful for traffic
+// engineering and QoS). Unlike package ldp — which programs every router
+// synchronously, as an omniscient management plane — this package
+// exchanges real protocol messages over the simulated network, so setup
+// takes a round trip of control latency, failures surface as PathError
+// messages, and state is held hop by hop:
+//
+//	ingress --LabelRequest-->  transit --LabelRequest--> egress
+//	ingress <--LabelMapping--  transit <--LabelMapping-- egress
+//
+// Labels are allocated downstream-on-demand from *per-router* label
+// spaces (the general MPLS model; package ldp's network-unique labels
+// are the special case needed for tunnel hierarchies, which this
+// signalling layer does not provide).
+package signal
+
+import (
+	"errors"
+	"fmt"
+
+	"embeddedmpls/internal/label"
+	"embeddedmpls/internal/ldp"
+	"embeddedmpls/internal/netsim"
+	"embeddedmpls/internal/swmpls"
+	"embeddedmpls/internal/te"
+)
+
+// MsgType enumerates the protocol messages.
+type MsgType int
+
+// The CR-LDP-style message set.
+const (
+	// LabelRequest travels downstream along the explicit route, asking
+	// each hop to reserve bandwidth and the egress to start mapping.
+	LabelRequest MsgType = iota
+	// LabelMapping travels upstream, carrying the label the sender
+	// allocated for this LSP.
+	LabelMapping
+	// PathError travels upstream when a hop cannot honour the request;
+	// every hop it passes releases its state.
+	PathError
+	// LabelRelease travels downstream at teardown, unwinding state.
+	LabelRelease
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	switch t {
+	case LabelRequest:
+		return "label-request"
+	case LabelMapping:
+		return "label-mapping"
+	case PathError:
+		return "path-error"
+	case LabelRelease:
+		return "label-release"
+	default:
+		return fmt.Sprintf("msg(%d)", int(t))
+	}
+}
+
+// Message is one signalling PDU.
+type Message struct {
+	Type      MsgType
+	LSP       string
+	FEC       ldp.FEC
+	Route     []string // remaining explicit route, including the receiver
+	Bandwidth float64
+	CoS       label.CoS
+	Label     label.Label // LabelMapping payload
+	Reason    string      // PathError payload
+}
+
+// Event is one delivered message, for tracing and tests.
+type Event struct {
+	At       netsim.Time
+	From, To string
+	Msg      Message
+}
+
+// Fabric delivers signalling messages between adjacent nodes with the
+// topology's per-link propagation delay — the control plane shares the
+// wires with the data plane.
+type Fabric struct {
+	sim   *netsim.Simulator
+	topo  *te.Topology
+	nodes map[string]*Node
+	// Log records every delivered message in order.
+	Log []Event
+}
+
+// NewFabric builds an empty signalling fabric.
+func NewFabric(sim *netsim.Simulator, topo *te.Topology) *Fabric {
+	return &Fabric{sim: sim, topo: topo, nodes: make(map[string]*Node)}
+}
+
+// AddNode registers a router's signalling agent.
+func (f *Fabric) AddNode(name string, installer ldp.Installer) *Node {
+	n := &Node{
+		name:      name,
+		fab:       f,
+		installer: installer,
+		nextLabel: label.FirstUnreserved,
+		sessions:  make(map[string]*session),
+	}
+	f.nodes[name] = n
+	return n
+}
+
+// Node returns a registered agent.
+func (f *Fabric) Node(name string) (*Node, bool) {
+	n, ok := f.nodes[name]
+	return n, ok
+}
+
+// send schedules delivery of m to an adjacent node after the link's
+// propagation delay. Unreachable neighbours bounce a PathError back to
+// the sender (after the same delay a timeout would notice in).
+func (f *Fabric) send(from, to string, m Message) {
+	attrs, linked := f.topo.Link(from, to)
+	dst, known := f.nodes[to]
+	if !linked || !known {
+		src := f.nodes[from]
+		bounce := Message{Type: PathError, LSP: m.LSP, Reason: fmt.Sprintf("no adjacency %s->%s", from, to)}
+		f.sim.Schedule(0, func() {
+			f.Log = append(f.Log, Event{At: f.sim.Now(), From: to, To: from, Msg: bounce})
+			src.receive(to, bounce)
+		})
+		return
+	}
+	f.sim.Schedule(attrs.DelaySec, func() {
+		f.Log = append(f.Log, Event{At: f.sim.Now(), From: from, To: to, Msg: m})
+		dst.receive(from, m)
+	})
+}
+
+// session is one LSP's state at one hop.
+type session struct {
+	fec        ldp.FEC
+	upstream   string // neighbour the request came from ("" at ingress)
+	downstream string // neighbour the request went to ("" at egress)
+	bandwidth  float64
+	cos        label.CoS
+	inLabel    label.Label // label this node allocated (0 at ingress)
+	reserved   bool        // bandwidth held on the downstream link
+	installed  bool
+	done       func(error) // ingress completion callback
+}
+
+// Node is one router's signalling agent.
+type Node struct {
+	name      string
+	fab       *Fabric
+	installer ldp.Installer
+	nextLabel label.Label
+	sessions  map[string]*session
+}
+
+// Signalling errors.
+var (
+	ErrDuplicateLSP = errors.New("signal: LSP id already in use")
+	ErrBadRoute     = errors.New("signal: invalid explicit route")
+	ErrSetupFailed  = errors.New("signal: setup failed")
+)
+
+// Setup initiates LSP establishment from this (ingress) node along the
+// explicit route, which must start with this node. done fires when the
+// mapping arrives (nil error) or a PathError unwinds the setup.
+func (n *Node) Setup(id string, fec ldp.FEC, route []string, bandwidth float64, cos label.CoS, done func(error)) error {
+	if _, dup := n.sessions[id]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicateLSP, id)
+	}
+	if len(route) < 2 || route[0] != n.name {
+		return fmt.Errorf("%w: %v from %s", ErrBadRoute, route, n.name)
+	}
+	s := &session{
+		fec: fec, bandwidth: bandwidth, cos: cos,
+		downstream: route[1], done: done,
+	}
+	if !n.reserveDownstream(s) {
+		return fmt.Errorf("%w: no bandwidth on %s->%s", te.ErrBandwidth, n.name, s.downstream)
+	}
+	n.sessions[id] = s
+	n.fab.send(n.name, s.downstream, Message{
+		Type: LabelRequest, LSP: id, FEC: fec,
+		Route: route[1:], Bandwidth: bandwidth, CoS: cos,
+	})
+	return nil
+}
+
+// Teardown releases an established LSP from the ingress: entries and
+// reservations unwind hop by hop via LabelRelease messages.
+func (n *Node) Teardown(id string) error {
+	s, ok := n.sessions[id]
+	if !ok {
+		return fmt.Errorf("signal: %s has no session %q", n.name, id)
+	}
+	n.releaseLocal(id, s)
+	if s.downstream != "" {
+		n.fab.send(n.name, s.downstream, Message{Type: LabelRelease, LSP: id})
+	}
+	return nil
+}
+
+// Sessions returns how many LSP sessions this node holds (for tests).
+func (n *Node) Sessions() int { return len(n.sessions) }
+
+func (n *Node) allocLabel() label.Label {
+	l := n.nextLabel
+	n.nextLabel++
+	return l
+}
+
+// reserveDownstream books the session's bandwidth on this node's
+// outgoing link and records it for release.
+func (n *Node) reserveDownstream(s *session) bool {
+	if s.bandwidth <= 0 || s.downstream == "" {
+		return true
+	}
+	if err := n.fab.topo.Reserve([]string{n.name, s.downstream}, s.bandwidth); err != nil {
+		return false
+	}
+	s.reserved = true
+	return true
+}
+
+func (n *Node) receive(from string, m Message) {
+	switch m.Type {
+	case LabelRequest:
+		n.handleRequest(from, m)
+	case LabelMapping:
+		n.handleMapping(from, m)
+	case PathError:
+		n.handleError(from, m)
+	case LabelRelease:
+		n.handleRelease(m)
+	}
+}
+
+func (n *Node) handleRequest(from string, m Message) {
+	if _, dup := n.sessions[m.LSP]; dup {
+		n.fab.send(n.name, from, Message{Type: PathError, LSP: m.LSP, Reason: "duplicate session at " + n.name})
+		return
+	}
+	if len(m.Route) == 0 || m.Route[0] != n.name {
+		n.fab.send(n.name, from, Message{Type: PathError, LSP: m.LSP, Reason: "misrouted request at " + n.name})
+		return
+	}
+	s := &session{fec: m.FEC, upstream: from, bandwidth: m.Bandwidth, cos: m.CoS}
+
+	if len(m.Route) == 1 {
+		// Egress: allocate, install the pop, map upstream.
+		s.inLabel = n.allocLabel()
+		if err := n.installer.InstallILM(s.inLabel, swmpls.NHLFE{Op: label.OpPop}); err != nil {
+			n.fab.send(n.name, from, Message{Type: PathError, LSP: m.LSP, Reason: err.Error()})
+			return
+		}
+		s.installed = true
+		n.sessions[m.LSP] = s
+		n.fab.send(n.name, from, Message{Type: LabelMapping, LSP: m.LSP, Label: s.inLabel})
+		return
+	}
+
+	// Transit: reserve downstream and forward the request.
+	s.downstream = m.Route[1]
+	if !n.reserveDownstream(s) {
+		n.fab.send(n.name, from, Message{
+			Type: PathError, LSP: m.LSP,
+			Reason: fmt.Sprintf("no bandwidth on %s->%s", n.name, s.downstream),
+		})
+		return
+	}
+	n.sessions[m.LSP] = s
+	fwd := m
+	fwd.Route = m.Route[1:]
+	n.fab.send(n.name, s.downstream, fwd)
+}
+
+func (n *Node) handleMapping(from string, m Message) {
+	s, ok := n.sessions[m.LSP]
+	if !ok || from != s.downstream {
+		return // stale or misdirected mapping
+	}
+	if s.upstream == "" {
+		// Ingress: install the FTN and report success.
+		err := n.installer.InstallFEC(s.fec.Dst, s.fec.PrefixLen, swmpls.NHLFE{
+			NextHop: s.downstream, Op: label.OpPush,
+			PushLabels: []label.Label{m.Label}, CoS: s.cos,
+		})
+		if err == nil {
+			s.installed = true
+		}
+		if s.done != nil {
+			s.done(err)
+		}
+		return
+	}
+	// Transit: bind our own incoming label to a swap toward downstream.
+	s.inLabel = n.allocLabel()
+	err := n.installer.InstallILM(s.inLabel, swmpls.NHLFE{
+		NextHop: s.downstream, Op: label.OpSwap, PushLabels: []label.Label{m.Label},
+	})
+	if err != nil {
+		n.fab.send(n.name, s.upstream, Message{Type: PathError, LSP: m.LSP, Reason: err.Error()})
+		n.releaseLocal(m.LSP, s)
+		n.fab.send(n.name, s.downstream, Message{Type: LabelRelease, LSP: m.LSP})
+		return
+	}
+	s.installed = true
+	n.fab.send(n.name, s.upstream, Message{Type: LabelMapping, LSP: m.LSP, Label: s.inLabel})
+}
+
+func (n *Node) handleError(from string, m Message) {
+	s, ok := n.sessions[m.LSP]
+	if !ok {
+		return
+	}
+	_ = from
+	n.releaseLocal(m.LSP, s)
+	if s.upstream != "" {
+		n.fab.send(n.name, s.upstream, m)
+	} else if s.done != nil {
+		s.done(fmt.Errorf("%w: %s", ErrSetupFailed, m.Reason))
+	}
+}
+
+func (n *Node) handleRelease(m Message) {
+	s, ok := n.sessions[m.LSP]
+	if !ok {
+		return
+	}
+	n.releaseLocal(m.LSP, s)
+	if s.downstream != "" {
+		n.fab.send(n.name, s.downstream, Message{Type: LabelRelease, LSP: m.LSP})
+	}
+}
+
+// releaseLocal unwinds this hop's state: forwarding entries, bandwidth
+// reservation, session record.
+func (n *Node) releaseLocal(id string, s *session) {
+	if s.installed {
+		if s.upstream == "" && s.inLabel == 0 {
+			n.installer.RemoveFEC(s.fec.Dst, s.fec.PrefixLen)
+		} else {
+			n.installer.RemoveILM(s.inLabel)
+		}
+	}
+	if s.reserved {
+		_ = n.fab.topo.Release([]string{n.name, s.downstream}, s.bandwidth)
+	}
+	delete(n.sessions, id)
+}

@@ -1,0 +1,318 @@
+package signal
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"embeddedmpls/internal/ldp"
+	"embeddedmpls/internal/lsm"
+	"embeddedmpls/internal/netsim"
+	"embeddedmpls/internal/packet"
+	"embeddedmpls/internal/router"
+	"embeddedmpls/internal/swmpls"
+)
+
+var dst = packet.AddrFrom(10, 0, 0, 9)
+
+// signalNet builds a 4-node line with routers (hardware planes) and a
+// signalling fabric over the same topology.
+func signalNet(t *testing.T) (*router.Network, *Fabric) {
+	t.Helper()
+	nodes := []router.NodeSpec{
+		{Name: "a", Hardware: true, RouterType: lsm.LER},
+		{Name: "b", Hardware: true, RouterType: lsm.LSR},
+		{Name: "c", Hardware: true, RouterType: lsm.LSR},
+		{Name: "d", Hardware: true, RouterType: lsm.LER},
+	}
+	links := []router.LinkSpec{
+		{A: "a", B: "b", RateBPS: 10e6, Delay: 0.002},
+		{A: "b", B: "c", RateBPS: 10e6, Delay: 0.002},
+		{A: "c", B: "d", RateBPS: 10e6, Delay: 0.002},
+	}
+	n, err := router.Build(nodes, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab := NewFabric(n.Sim, n.Topo)
+	for name, r := range n.Routers {
+		fab.AddNode(name, r)
+	}
+	return n, fab
+}
+
+func TestSetupEstablishesWorkingLSP(t *testing.T) {
+	n, fab := signalNet(t)
+	ingress, _ := fab.Node("a")
+
+	var setupErr error
+	var setupAt netsim.Time = -1
+	err := ingress.Setup("lsp1", ldp.FEC{Dst: dst, PrefixLen: 32},
+		[]string{"a", "b", "c", "d"}, 1e6, 3, func(e error) {
+			setupErr = e
+			setupAt = n.Sim.Now()
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Sim.Run()
+	if setupErr != nil {
+		t.Fatalf("setup failed: %v", setupErr)
+	}
+	// Three request hops down + three mapping hops up at 2 ms per hop.
+	if setupAt < 0.012-1e-9 {
+		t.Errorf("setup completed at %gs, want >= 12 ms of control latency", setupAt)
+	}
+
+	// The LSP forwards real traffic.
+	delivered := 0
+	n.Router("d").OnDeliver = func(p *packet.Packet) {
+		delivered++
+		if p.Labelled() {
+			t.Error("delivered packet still labelled")
+		}
+	}
+	n.Router("a").Inject(packet.New(1, dst, 64, []byte("x")))
+	n.Sim.Run()
+	if delivered != 1 {
+		t.Fatalf("delivered %d", delivered)
+	}
+
+	// Bandwidth is reserved on every hop.
+	for _, pair := range [][2]string{{"a", "b"}, {"b", "c"}, {"c", "d"}} {
+		attrs, _ := n.Topo.Link(pair[0], pair[1])
+		if attrs.ReservedBPS != 1e6 {
+			t.Errorf("%s->%s reserved %.0f", pair[0], pair[1], attrs.ReservedBPS)
+		}
+	}
+	// Message flow: requests downstream first, then mappings upstream.
+	var kinds []string
+	for _, e := range fab.Log {
+		kinds = append(kinds, e.Msg.Type.String())
+	}
+	want := []string{
+		"label-request", "label-request", "label-request",
+		"label-mapping", "label-mapping", "label-mapping",
+	}
+	if strings.Join(kinds, ",") != strings.Join(want, ",") {
+		t.Errorf("message sequence %v, want %v", kinds, want)
+	}
+}
+
+func TestPerRouterLabelSpaces(t *testing.T) {
+	n, fab := signalNet(t)
+	ingress, _ := fab.Node("a")
+	if err := ingress.Setup("l", ldp.FEC{Dst: dst, PrefixLen: 32}, []string{"a", "b", "c", "d"}, 0, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	n.Sim.Run()
+	// Every mapping can legitimately carry the same label value (each
+	// router allocates from its own space starting at 16).
+	var labels []uint32
+	for _, e := range fab.Log {
+		if e.Msg.Type == LabelMapping {
+			labels = append(labels, uint32(e.Msg.Label))
+		}
+	}
+	if len(labels) != 3 {
+		t.Fatalf("mappings = %v", labels)
+	}
+	for _, l := range labels {
+		if l != 16 {
+			t.Errorf("first allocation = %d, want 16 from a fresh per-router space", l)
+		}
+	}
+}
+
+func TestSetupFailsOnBandwidth(t *testing.T) {
+	n, fab := signalNet(t)
+	// Saturate c->d so the request dies two hops in.
+	if err := n.Topo.Reserve([]string{"c", "d"}, 10e6); err != nil {
+		t.Fatal(err)
+	}
+	ingress, _ := fab.Node("a")
+	var setupErr error
+	if err := ingress.Setup("l", ldp.FEC{Dst: dst, PrefixLen: 32},
+		[]string{"a", "b", "c", "d"}, 2e6, 0, func(e error) { setupErr = e }); err != nil {
+		t.Fatal(err)
+	}
+	n.Sim.Run()
+	if !errors.Is(setupErr, ErrSetupFailed) {
+		t.Fatalf("setup error = %v, want ErrSetupFailed", setupErr)
+	}
+	// All upstream reservations were released and no state lingers.
+	for _, pair := range [][2]string{{"a", "b"}, {"b", "c"}} {
+		attrs, _ := n.Topo.Link(pair[0], pair[1])
+		if attrs.ReservedBPS != 0 {
+			t.Errorf("%s->%s reservation leaked: %.0f", pair[0], pair[1], attrs.ReservedBPS)
+		}
+	}
+	for _, name := range []string{"a", "b", "c", "d"} {
+		node, _ := fab.Node(name)
+		if node.Sessions() != 0 {
+			t.Errorf("%s holds %d sessions after failure", name, node.Sessions())
+		}
+	}
+	// Ingress FTN must not exist.
+	if res, _ := n.Router("a").Plane().Process(packet.New(1, dst, 64, nil)); res.Drop != swmpls.DropNoRoute {
+		t.Errorf("ingress still routes: %+v", res)
+	}
+}
+
+func TestSetupFailsOnBadAdjacency(t *testing.T) {
+	n, fab := signalNet(t)
+	ingress, _ := fab.Node("a")
+	var setupErr error
+	// b is not adjacent to d.
+	if err := ingress.Setup("l", ldp.FEC{Dst: dst, PrefixLen: 32},
+		[]string{"a", "b", "d"}, 0, 0, func(e error) { setupErr = e }); err != nil {
+		t.Fatal(err)
+	}
+	n.Sim.Run()
+	if !errors.Is(setupErr, ErrSetupFailed) {
+		t.Fatalf("err = %v", setupErr)
+	}
+}
+
+func TestSetupValidation(t *testing.T) {
+	_, fab := signalNet(t)
+	ingress, _ := fab.Node("a")
+	fec := ldp.FEC{Dst: dst, PrefixLen: 32}
+	if err := ingress.Setup("l", fec, []string{"a"}, 0, 0, nil); !errors.Is(err, ErrBadRoute) {
+		t.Errorf("short route: %v", err)
+	}
+	if err := ingress.Setup("l", fec, []string{"b", "a"}, 0, 0, nil); !errors.Is(err, ErrBadRoute) {
+		t.Errorf("route not starting here: %v", err)
+	}
+	if err := ingress.Setup("l", fec, []string{"a", "b"}, 0, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ingress.Setup("l", fec, []string{"a", "b"}, 0, 0, nil); !errors.Is(err, ErrDuplicateLSP) {
+		t.Errorf("duplicate id: %v", err)
+	}
+}
+
+func TestTeardownUnwindsEverything(t *testing.T) {
+	n, fab := signalNet(t)
+	ingress, _ := fab.Node("a")
+	ok := false
+	if err := ingress.Setup("l", ldp.FEC{Dst: dst, PrefixLen: 32},
+		[]string{"a", "b", "c", "d"}, 1e6, 0, func(e error) { ok = e == nil }); err != nil {
+		t.Fatal(err)
+	}
+	n.Sim.Run()
+	if !ok {
+		t.Fatal("setup failed")
+	}
+	if err := ingress.Teardown("l"); err != nil {
+		t.Fatal(err)
+	}
+	n.Sim.Run()
+	for _, name := range []string{"a", "b", "c", "d"} {
+		node, _ := fab.Node(name)
+		if node.Sessions() != 0 {
+			t.Errorf("%s holds sessions after teardown", name)
+		}
+	}
+	for _, pair := range [][2]string{{"a", "b"}, {"b", "c"}, {"c", "d"}} {
+		attrs, _ := n.Topo.Link(pair[0], pair[1])
+		if attrs.ReservedBPS != 0 {
+			t.Errorf("%s->%s reservation leaked", pair[0], pair[1])
+		}
+	}
+	// Traffic now drops at the ingress.
+	dropped := packet.New(1, dst, 64, nil)
+	if res, _ := n.Router("a").Plane().Process(dropped); res.Drop != swmpls.DropNoRoute {
+		t.Errorf("ingress still routes after teardown: %+v", res)
+	}
+	if err := ingress.Teardown("l"); err == nil {
+		t.Error("double teardown accepted")
+	}
+}
+
+func TestSignalledLSPMatchesManagementPlane(t *testing.T) {
+	// The same route set up via signalling and via ldp.Manager must
+	// produce equivalent forwarding behaviour.
+	build := func(signalled bool) *packet.Packet {
+		n, fab := signalNet(t)
+		if signalled {
+			ingress, _ := fab.Node("a")
+			if err := ingress.Setup("l", ldp.FEC{Dst: dst, PrefixLen: 32},
+				[]string{"a", "b", "c", "d"}, 0, 5, nil); err != nil {
+				t.Fatal(err)
+			}
+			n.Sim.Run()
+		} else {
+			if _, err := n.LDP.SetupLSP(ldp.SetupRequest{
+				ID: "l", FEC: ldp.FEC{Dst: dst, PrefixLen: 32},
+				Path: []string{"a", "b", "c", "d"}, CoS: 5,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var got *packet.Packet
+		n.Router("d").OnDeliver = func(p *packet.Packet) { got = p }
+		n.Router("a").Inject(packet.New(1, dst, 64, []byte("same")))
+		n.Sim.Run()
+		if got == nil {
+			t.Fatal("not delivered")
+		}
+		return got
+	}
+	a, b := build(true), build(false)
+	if a.Header.TTL != b.Header.TTL || string(a.Payload) != string(b.Payload) || a.Labelled() != b.Labelled() {
+		t.Errorf("signalled delivery %v != management-plane delivery %v", a, b)
+	}
+}
+
+// TestStaleAndMisdirectedMessagesIgnored exercises the defensive paths:
+// mappings for unknown LSPs, mappings from the wrong neighbour and
+// releases for unknown sessions must all be ignored without state damage.
+func TestStaleAndMisdirectedMessagesIgnored(t *testing.T) {
+	n, fab := signalNet(t)
+	ingress, _ := fab.Node("a")
+	if err := ingress.Setup("l", ldp.FEC{Dst: dst, PrefixLen: 32}, []string{"a", "b", "c"}, 0, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	n.Sim.Run()
+	b, _ := fab.Node("b")
+	before := b.Sessions()
+	// Mapping for an unknown LSP.
+	b.receive("c", Message{Type: LabelMapping, LSP: "ghost", Label: 99})
+	// Mapping from the wrong direction (upstream, not downstream).
+	b.receive("a", Message{Type: LabelMapping, LSP: "l", Label: 99})
+	// Release for an unknown session.
+	b.receive("a", Message{Type: LabelRelease, LSP: "ghost"})
+	// Error for an unknown session.
+	b.receive("c", Message{Type: PathError, LSP: "ghost"})
+	n.Sim.Run()
+	if b.Sessions() != before {
+		t.Errorf("stale messages changed session count: %d -> %d", before, b.Sessions())
+	}
+	// The LSP still forwards.
+	delivered := 0
+	n.Router("c").OnDeliver = func(*packet.Packet) { delivered++ }
+	n.Router("a").Inject(packet.New(1, dst, 64, nil))
+	n.Sim.Run()
+	if delivered != 1 {
+		t.Errorf("LSP broken by stale messages: delivered=%d", delivered)
+	}
+}
+
+// TestDuplicateRequestRejectedMidPath: a second request with the same LSP
+// id arriving at a transit node bounces a PathError.
+func TestDuplicateRequestRejectedMidPath(t *testing.T) {
+	n, fab := signalNet(t)
+	ingress, _ := fab.Node("a")
+	if err := ingress.Setup("dup", ldp.FEC{Dst: dst, PrefixLen: 32}, []string{"a", "b", "c"}, 0, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	n.Sim.Run()
+	b, _ := fab.Node("b")
+	b.receive("a", Message{Type: LabelRequest, LSP: "dup", Route: []string{"b", "c"}})
+	n.Sim.Run()
+	last := fab.Log[len(fab.Log)-1]
+	if last.Msg.Type != PathError || last.To != "a" {
+		t.Errorf("duplicate request answered with %v to %s", last.Msg.Type, last.To)
+	}
+}

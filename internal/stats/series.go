@@ -1,0 +1,92 @@
+package stats
+
+import "math"
+
+// Series accumulates timestamped observations into fixed-width bins, for
+// rate-over-time and latency-over-time reporting (e.g. watching goodput
+// collapse and recover around a link failure).
+type Series struct {
+	width float64
+	bins  []seriesBin
+}
+
+type seriesBin struct {
+	count uint64
+	bytes uint64
+	sum   float64
+}
+
+// NewSeries creates a series with the given bin width in seconds.
+func NewSeries(binWidth float64) *Series {
+	if binWidth <= 0 {
+		panic("stats: series bin width must be positive")
+	}
+	return &Series{width: binWidth}
+}
+
+// BinWidth returns the configured bin width.
+func (s *Series) BinWidth() float64 { return s.width }
+
+func (s *Series) bin(t float64) *seriesBin {
+	if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+		t = 0
+	}
+	i := int(t / s.width)
+	for len(s.bins) <= i {
+		s.bins = append(s.bins, seriesBin{})
+	}
+	return &s.bins[i]
+}
+
+// Observe records a value (e.g. a latency) at time t.
+func (s *Series) Observe(t, v float64) {
+	b := s.bin(t)
+	b.count++
+	b.sum += v
+}
+
+// Count records an event of the given size at time t (for rates).
+func (s *Series) Count(t float64, bytes int) {
+	b := s.bin(t)
+	b.count++
+	b.bytes += uint64(bytes)
+}
+
+// BinStat summarises one bin.
+type BinStat struct {
+	Start float64 // bin start time, seconds
+	Count uint64
+	Mean  float64 // mean observed value (0 if none)
+	BPS   float64 // bytes recorded via Count, as bits/second
+}
+
+// Bins returns per-bin summaries in time order.
+func (s *Series) Bins() []BinStat {
+	out := make([]BinStat, len(s.bins))
+	for i, b := range s.bins {
+		st := BinStat{Start: float64(i) * s.width, Count: b.count}
+		if b.count > 0 {
+			st.Mean = b.sum / float64(b.count)
+		}
+		st.BPS = float64(b.bytes) * 8 / s.width
+		out[i] = st
+	}
+	return out
+}
+
+// MinCountBin returns the bin with the fewest events among bins that lie
+// strictly inside the observed range (the first and last bins are partial
+// by construction). It reports false if fewer than three bins exist.
+func (s *Series) MinCountBin() (BinStat, bool) {
+	bins := s.Bins()
+	if len(bins) < 3 {
+		return BinStat{}, false
+	}
+	min := bins[1]
+	for _, b := range bins[1 : len(bins)-1] {
+		if b.Count < min.Count {
+			min = b
+		}
+	}
+	return min, true
+}

@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSeriesBinning(t *testing.T) {
+	s := NewSeries(1.0)
+	if s.BinWidth() != 1.0 {
+		t.Fatalf("width = %v", s.BinWidth())
+	}
+	s.Observe(0.1, 10)
+	s.Observe(0.9, 20)
+	s.Observe(1.5, 30)
+	s.Observe(3.2, 40)
+	bins := s.Bins()
+	if len(bins) != 4 {
+		t.Fatalf("%d bins, want 4", len(bins))
+	}
+	if bins[0].Count != 2 || bins[0].Mean != 15 {
+		t.Errorf("bin 0 = %+v", bins[0])
+	}
+	if bins[1].Count != 1 || bins[1].Mean != 30 {
+		t.Errorf("bin 1 = %+v", bins[1])
+	}
+	if bins[2].Count != 0 || bins[2].Mean != 0 {
+		t.Errorf("empty bin 2 = %+v", bins[2])
+	}
+	if bins[3].Start != 3.0 {
+		t.Errorf("bin 3 start = %v", bins[3].Start)
+	}
+}
+
+func TestSeriesRates(t *testing.T) {
+	s := NewSeries(0.5)
+	// 1000 bytes in bin 0, 500 in bin 1.
+	s.Count(0.1, 600)
+	s.Count(0.2, 400)
+	s.Count(0.7, 500)
+	bins := s.Bins()
+	if got := bins[0].BPS; got != 1000*8/0.5 {
+		t.Errorf("bin 0 rate = %v", got)
+	}
+	if got := bins[1].BPS; got != 500*8/0.5 {
+		t.Errorf("bin 1 rate = %v", got)
+	}
+}
+
+func TestSeriesPathologicalTimes(t *testing.T) {
+	s := NewSeries(1)
+	s.Observe(-5, 1)
+	s.Observe(math.NaN(), 2)
+	s.Observe(math.Inf(1), 3)
+	bins := s.Bins()
+	if len(bins) != 1 || bins[0].Count != 3 {
+		t.Errorf("pathological times landed in %+v", bins)
+	}
+}
+
+func TestSeriesMinCountBin(t *testing.T) {
+	s := NewSeries(1)
+	if _, ok := s.MinCountBin(); ok {
+		t.Error("min bin reported with no data")
+	}
+	// Bins 0..4; bin 2 is the outage.
+	for _, tt := range []struct {
+		t float64
+		n int
+	}{{0.5, 10}, {1.5, 10}, {2.5, 2}, {3.5, 10}, {4.5, 10}} {
+		for i := 0; i < tt.n; i++ {
+			s.Count(tt.t, 100)
+		}
+	}
+	min, ok := s.MinCountBin()
+	if !ok || min.Start != 2.0 || min.Count != 2 {
+		t.Errorf("min bin = %+v ok=%v, want the outage bin at t=2", min, ok)
+	}
+}
+
+func TestSeriesPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero bin width accepted")
+		}
+	}()
+	NewSeries(0)
+}

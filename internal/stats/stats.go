@@ -1,0 +1,162 @@
+// Package stats provides the measurement primitives the benchmark
+// harness and the network simulator use: counters, latency samples with
+// percentile queries, and rate accounting. Everything is deterministic
+// and allocation-conscious so it can sit on the simulated fast path.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Counter counts events and bytes.
+type Counter struct {
+	Events uint64
+	Bytes  uint64
+}
+
+// Add records one event of the given size.
+func (c *Counter) Add(bytes int) {
+	c.Events++
+	c.Bytes += uint64(bytes)
+}
+
+// Merge folds o into c.
+func (c *Counter) Merge(o Counter) {
+	c.Events += o.Events
+	c.Bytes += o.Bytes
+}
+
+// Rate returns events/second and bits/second over an interval in seconds.
+func (c Counter) Rate(seconds float64) (eps, bps float64) {
+	if seconds <= 0 {
+		return 0, 0
+	}
+	return float64(c.Events) / seconds, float64(c.Bytes) * 8 / seconds
+}
+
+// Sample collects scalar observations (latencies, queue depths) and
+// answers summary queries. It keeps every observation: simulation runs
+// are bounded, and exact percentiles are worth the memory.
+type Sample struct {
+	xs     []float64
+	sorted bool
+	sum    float64
+}
+
+// Observe records one value.
+func (s *Sample) Observe(v float64) {
+	s.xs = append(s.xs, v)
+	s.sorted = false
+	s.sum += v
+}
+
+// Count returns the number of observations.
+func (s *Sample) Count() int { return len(s.xs) }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.xs))
+}
+
+// Min returns the smallest observation, or 0 with none.
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.xs[0]
+}
+
+// Max returns the largest observation, or 0 with none.
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.xs[len(s.xs)-1]
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using nearest-
+// rank interpolation, or 0 with no observations.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	if p <= 0 {
+		return s.xs[0]
+	}
+	if p >= 100 {
+		return s.xs[len(s.xs)-1]
+	}
+	rank := p / 100 * float64(len(s.xs)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := rank - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// StdDev returns the population standard deviation.
+func (s *Sample) StdDev() float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	mean := s.Mean()
+	var acc float64
+	for _, x := range s.xs {
+		d := x - mean
+		acc += d * d
+	}
+	return math.Sqrt(acc / float64(n))
+}
+
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Summary renders the usual five-number summary plus mean, with a unit
+// suffix: "n=100 mean=1.2ms p50=1.1ms p95=2.0ms p99=2.4ms max=3.0ms".
+func (s *Sample) Summary(unit string, scale float64) string {
+	if len(s.xs) == 0 {
+		return "n=0"
+	}
+	f := func(v float64) string { return fmt.Sprintf("%.3g%s", v*scale, unit) }
+	return fmt.Sprintf("n=%d mean=%s p50=%s p95=%s p99=%s max=%s",
+		s.Count(), f(s.Mean()), f(s.Percentile(50)), f(s.Percentile(95)), f(s.Percentile(99)), f(s.Max()))
+}
+
+// FlowStats aggregates the fate of one traffic flow.
+type FlowStats struct {
+	Sent      Counter
+	Delivered Counter
+	Dropped   Counter
+	// Latency holds one observation per delivered packet, in simulated
+	// seconds.
+	Latency Sample
+}
+
+// LossRate returns the fraction of sent packets that were not delivered.
+func (f *FlowStats) LossRate() float64 {
+	if f.Sent.Events == 0 {
+		return 0
+	}
+	return 1 - float64(f.Delivered.Events)/float64(f.Sent.Events)
+}
+
+// GoodputBPS returns delivered bits/second over the interval.
+func (f *FlowStats) GoodputBPS(seconds float64) float64 {
+	_, bps := f.Delivered.Rate(seconds)
+	return bps
+}

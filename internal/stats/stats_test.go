@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Add(100)
+	c.Add(200)
+	if c.Events != 2 || c.Bytes != 300 {
+		t.Errorf("counter = %+v", c)
+	}
+	var d Counter
+	d.Add(50)
+	c.Merge(d)
+	if c.Events != 3 || c.Bytes != 350 {
+		t.Errorf("after merge = %+v", c)
+	}
+	eps, bps := c.Rate(2)
+	if eps != 1.5 || bps != 1400 {
+		t.Errorf("rate = %v eps, %v bps", eps, bps)
+	}
+	if eps, bps := c.Rate(0); eps != 0 || bps != 0 {
+		t.Error("zero interval must give zero rates")
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.Count() != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 ||
+		s.Percentile(50) != 0 || s.StdDev() != 0 {
+		t.Error("empty sample must report zeros")
+	}
+	if s.Summary("ms", 1) != "n=0" {
+		t.Errorf("summary = %q", s.Summary("ms", 1))
+	}
+}
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		s.Observe(v)
+	}
+	if s.Count() != 5 || s.Mean() != 3 || s.Min() != 1 || s.Max() != 5 {
+		t.Errorf("count=%d mean=%v min=%v max=%v", s.Count(), s.Mean(), s.Min(), s.Max())
+	}
+	if got := s.Percentile(50); got != 3 {
+		t.Errorf("p50 = %v, want 3", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := s.Percentile(100); got != 5 {
+		t.Errorf("p100 = %v", got)
+	}
+	// Population stddev of 1..5 = sqrt(2).
+	if got := s.StdDev(); math.Abs(got-math.Sqrt2) > 1e-12 {
+		t.Errorf("stddev = %v, want sqrt(2)", got)
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	var s Sample
+	s.Observe(0)
+	s.Observe(10)
+	if got := s.Percentile(25); got != 2.5 {
+		t.Errorf("p25 of {0,10} = %v, want 2.5", got)
+	}
+}
+
+func TestObserveAfterQueryKeepsOrder(t *testing.T) {
+	var s Sample
+	s.Observe(3)
+	s.Observe(1)
+	_ = s.Min() // forces a sort
+	s.Observe(0)
+	if s.Min() != 0 {
+		t.Error("observation after query was lost or misordered")
+	}
+}
+
+func TestPercentileAgainstSortedScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var s Sample
+	var xs []float64
+	for i := 0; i < 500; i++ {
+		v := rng.NormFloat64() * 10
+		s.Observe(v)
+		xs = append(xs, v)
+	}
+	sort.Float64s(xs)
+	for _, p := range []float64{1, 10, 50, 90, 99} {
+		rank := p / 100 * float64(len(xs)-1)
+		lo, hi := int(math.Floor(rank)), int(math.Ceil(rank))
+		frac := rank - float64(lo)
+		want := xs[lo]*(1-frac) + xs[hi]*frac
+		if got := s.Percentile(p); math.Abs(got-want) > 1e-9 {
+			t.Errorf("p%v = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestSummaryFormat(t *testing.T) {
+	var s Sample
+	s.Observe(0.001)
+	s.Observe(0.002)
+	out := s.Summary("ms", 1000)
+	for _, want := range []string{"n=2", "mean=1.5ms", "p50=1.5ms", "max=2ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary %q missing %q", out, want)
+		}
+	}
+}
+
+func TestFlowStats(t *testing.T) {
+	var f FlowStats
+	for i := 0; i < 10; i++ {
+		f.Sent.Add(100)
+	}
+	for i := 0; i < 8; i++ {
+		f.Delivered.Add(100)
+		f.Latency.Observe(0.010)
+	}
+	f.Dropped.Add(100)
+	f.Dropped.Add(100)
+	if got := f.LossRate(); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("loss = %v, want 0.2", got)
+	}
+	if got := f.GoodputBPS(1); got != 8*100*8 {
+		t.Errorf("goodput = %v", got)
+	}
+	var empty FlowStats
+	if empty.LossRate() != 0 {
+		t.Error("empty flow loss must be 0")
+	}
+}

@@ -1,0 +1,77 @@
+package swmpls
+
+import (
+	"fmt"
+
+	"embeddedmpls/internal/packet"
+)
+
+// prefixTable is a binary trie keyed on address bits, giving
+// longest-prefix-match FEC classification at the ingress LER.
+type prefixTable struct {
+	root *trieNode
+}
+
+type trieNode struct {
+	child [2]*trieNode
+	entry *NHLFE
+}
+
+func newPrefixTable() *prefixTable { return &prefixTable{root: &trieNode{}} }
+
+// insert binds addr/prefixLen to n, replacing any existing binding for
+// exactly that prefix.
+func (t *prefixTable) insert(addr packet.Addr, prefixLen int, n NHLFE) error {
+	if prefixLen < 0 || prefixLen > 32 {
+		return fmt.Errorf("swmpls: prefix length %d out of range", prefixLen)
+	}
+	node := t.root
+	for i := 0; i < prefixLen; i++ {
+		bit := addr >> (31 - i) & 1
+		if node.child[bit] == nil {
+			node.child[bit] = &trieNode{}
+		}
+		node = node.child[bit]
+	}
+	e := n
+	node.entry = &e
+	return nil
+}
+
+// lookup returns the NHLFE of the longest prefix covering addr.
+func (t *prefixTable) lookup(addr packet.Addr) (NHLFE, bool) {
+	var best *NHLFE
+	node := t.root
+	for i := 0; node != nil; i++ {
+		if node.entry != nil {
+			best = node.entry
+		}
+		if i == 32 {
+			break
+		}
+		node = node.child[addr>>(31-i)&1]
+	}
+	if best == nil {
+		return NHLFE{}, false
+	}
+	return *best, true
+}
+
+// remove deletes the binding for exactly addr/prefixLen and reports
+// whether one existed. Interior nodes are left in place; the trie is
+// small enough that pruning is not worth the complexity.
+func (t *prefixTable) remove(addr packet.Addr, prefixLen int) bool {
+	if prefixLen < 0 || prefixLen > 32 {
+		return false
+	}
+	node := t.root
+	for i := 0; i < prefixLen; i++ {
+		node = node.child[addr>>(31-i)&1]
+		if node == nil {
+			return false
+		}
+	}
+	had := node.entry != nil
+	node.entry = nil
+	return had
+}

@@ -1,0 +1,291 @@
+// Package swmpls is a software MPLS forwarder in the style of RFC 3031:
+// an FTN (FEC-to-NHLFE map, longest-prefix match on the destination
+// address) for unlabelled packets and an ILM (incoming label map) for
+// labelled ones, both hash/trie based.
+//
+// It is the baseline the paper argues against — "most existing MPLS
+// solutions are entirely software based" — so the benchmark harness runs
+// the same workloads through this forwarder and through the embedded
+// device's cycle model to compare per-packet label operation costs.
+package swmpls
+
+import (
+	"errors"
+	"fmt"
+
+	"embeddedmpls/internal/label"
+	"embeddedmpls/internal/packet"
+)
+
+// NHLFE is a next hop label forwarding entry: where the packet goes next
+// and what happens to its label stack on the way out.
+type NHLFE struct {
+	// NextHop names the outgoing neighbour (or egress interface).
+	NextHop string
+	// Op is the label operation: push (PushLabels go on top), swap
+	// (PushLabels[0] replaces the top), or pop.
+	Op label.Op
+	// PushLabels are pushed bottom-first. A tunnel ingress pushes two at
+	// once; a plain ingress or swap uses exactly one.
+	PushLabels []label.Label
+	// CoS is stamped on labels pushed at ingress (unlabelled packets).
+	// Transit operations copy the CoS of the old top entry instead — the
+	// paper specifies that the embedded implementation never modifies
+	// the CoS bits in flight.
+	CoS label.CoS
+}
+
+// Validate checks the operation/label combination.
+func (n NHLFE) Validate() error {
+	switch n.Op {
+	case label.OpPush:
+		if len(n.PushLabels) == 0 || len(n.PushLabels) > label.MaxDepth {
+			return fmt.Errorf("swmpls: push NHLFE needs 1..%d labels, has %d", label.MaxDepth, len(n.PushLabels))
+		}
+	case label.OpSwap:
+		if len(n.PushLabels) != 1 {
+			return fmt.Errorf("swmpls: swap NHLFE needs exactly 1 label, has %d", len(n.PushLabels))
+		}
+	case label.OpPop:
+		if len(n.PushLabels) != 0 {
+			return errors.New("swmpls: pop NHLFE must not carry labels")
+		}
+	default:
+		return fmt.Errorf("swmpls: NHLFE with operation %v", n.Op)
+	}
+	for _, l := range n.PushLabels {
+		if !l.Valid() {
+			return fmt.Errorf("swmpls: label %d out of range", l)
+		}
+		if l.Reserved() {
+			return fmt.Errorf("swmpls: reserved label %d in NHLFE", l)
+		}
+	}
+	return nil
+}
+
+// Action classifies what the forwarder decided.
+type Action int
+
+// Forwarding outcomes.
+const (
+	// Forward: send the (possibly relabelled) packet to Result.NextHop.
+	Forward Action = iota
+	// Deliver: the stack emptied; hand the packet to the IP side.
+	Deliver
+	// Drop: discard the packet for Result.Drop.
+	Drop
+)
+
+// String names the action.
+func (a Action) String() string {
+	switch a {
+	case Forward:
+		return "forward"
+	case Deliver:
+		return "deliver"
+	case Drop:
+		return "drop"
+	default:
+		return fmt.Sprintf("action(%d)", int(a))
+	}
+}
+
+// DropReason explains a Drop action.
+type DropReason int
+
+// Drop reasons.
+const (
+	DropNone DropReason = iota
+	DropNoRoute
+	DropNoLabel
+	DropTTLExpired
+	DropStackOverflow
+)
+
+// String names the drop reason.
+func (d DropReason) String() string {
+	switch d {
+	case DropNone:
+		return "none"
+	case DropNoRoute:
+		return "no-route"
+	case DropNoLabel:
+		return "no-label"
+	case DropTTLExpired:
+		return "ttl-expired"
+	case DropStackOverflow:
+		return "stack-overflow"
+	default:
+		return fmt.Sprintf("drop(%d)", int(d))
+	}
+}
+
+// Result is the outcome of forwarding one packet.
+type Result struct {
+	Action  Action
+	NextHop string
+	Drop    DropReason
+}
+
+// Forwarder is one router's software MPLS tables.
+type Forwarder struct {
+	ftn *prefixTable
+	ilm map[label.Label]NHLFE
+}
+
+// New returns an empty forwarder.
+func New() *Forwarder {
+	return &Forwarder{ftn: newPrefixTable(), ilm: make(map[label.Label]NHLFE)}
+}
+
+// MapFEC binds the FEC (dst/prefixLen) to an NHLFE in the FTN.
+func (f *Forwarder) MapFEC(dst packet.Addr, prefixLen int, n NHLFE) error {
+	if err := n.Validate(); err != nil {
+		return err
+	}
+	if n.Op != label.OpPush {
+		return errors.New("swmpls: FTN entries must push")
+	}
+	return f.ftn.insert(dst, prefixLen, n)
+}
+
+// MapLabel binds an incoming label to an NHLFE in the ILM.
+func (f *Forwarder) MapLabel(in label.Label, n NHLFE) error {
+	if err := n.Validate(); err != nil {
+		return err
+	}
+	if !in.Valid() {
+		return fmt.Errorf("swmpls: incoming label %d out of range", in)
+	}
+	if in.Reserved() {
+		return fmt.Errorf("swmpls: cannot map reserved label %d", in)
+	}
+	f.ilm[in] = n
+	return nil
+}
+
+// UnmapLabel removes an ILM binding.
+func (f *Forwarder) UnmapLabel(in label.Label) { delete(f.ilm, in) }
+
+// UnmapFEC removes an FTN binding and reports whether one existed.
+func (f *Forwarder) UnmapFEC(dst packet.Addr, prefixLen int) bool {
+	return f.ftn.remove(dst, prefixLen)
+}
+
+// InstallFEC, InstallILM, RemoveILM and RemoveFEC mirror the embedded
+// device's table programming surface (the ldp.Installer contract), so a
+// label distribution manager can drive software and hardware routers
+// interchangeably.
+
+// InstallFEC is MapFEC under the installer contract.
+func (f *Forwarder) InstallFEC(dst packet.Addr, prefixLen int, n NHLFE) error {
+	return f.MapFEC(dst, prefixLen, n)
+}
+
+// InstallILM is MapLabel under the installer contract.
+func (f *Forwarder) InstallILM(in label.Label, n NHLFE) error { return f.MapLabel(in, n) }
+
+// RemoveILM is UnmapLabel under the installer contract.
+func (f *Forwarder) RemoveILM(in label.Label) { f.UnmapLabel(in) }
+
+// RemoveFEC is UnmapFEC under the installer contract.
+func (f *Forwarder) RemoveFEC(dst packet.Addr, prefixLen int) { f.UnmapFEC(dst, prefixLen) }
+
+// ILMSize returns the number of installed label bindings.
+func (f *Forwarder) ILMSize() int { return len(f.ilm) }
+
+// LookupILM returns the binding for an incoming label, if any — the bare
+// per-hop lookup, exposed for data-plane cost comparisons.
+func (f *Forwarder) LookupILM(in label.Label) (NHLFE, bool) {
+	n, ok := f.ilm[in]
+	return n, ok
+}
+
+// Forward applies the router's tables to p in place and says what to do
+// with it. TTL semantics follow the embedded architecture: the label TTL
+// is decremented at every hop and the packet is dropped when it reaches
+// zero; at ingress the label TTL is seeded from the IP TTL; at the final
+// pop the (already decremented) label TTL is written back to the IP
+// header.
+func (f *Forwarder) Forward(p *packet.Packet) Result {
+	if !p.Labelled() {
+		return f.ingress(p)
+	}
+	return f.transit(p)
+}
+
+func (f *Forwarder) ingress(p *packet.Packet) Result {
+	n, ok := f.ftn.lookup(p.Header.Dst)
+	if !ok {
+		return Result{Action: Drop, Drop: DropNoRoute}
+	}
+	ttl := p.Header.TTL
+	if ttl > 0 {
+		ttl--
+	}
+	if ttl == 0 {
+		return Result{Action: Drop, Drop: DropTTLExpired}
+	}
+	for _, l := range n.PushLabels {
+		if err := p.Stack.Push(label.Entry{Label: l, CoS: n.CoS, TTL: ttl}); err != nil {
+			return Result{Action: Drop, Drop: DropStackOverflow}
+		}
+	}
+	return Result{Action: Forward, NextHop: n.NextHop}
+}
+
+func (f *Forwarder) transit(p *packet.Packet) Result {
+	top, err := p.Stack.Top()
+	if err != nil {
+		return Result{Action: Drop, Drop: DropNoLabel}
+	}
+	n, ok := f.ilm[top.Label]
+	if !ok {
+		return Result{Action: Drop, Drop: DropNoLabel}
+	}
+	old, _ := p.Stack.Pop()
+	ttl := old.TTL
+	if ttl > 0 {
+		ttl--
+	}
+	if ttl == 0 {
+		return Result{Action: Drop, Drop: DropTTLExpired}
+	}
+	switch n.Op {
+	case label.OpPop:
+		if p.Stack.Empty() {
+			// End of the LSP: propagate the TTL to the IP header.
+			p.Header.TTL = ttl
+			if n.NextHop == "" {
+				return Result{Action: Deliver}
+			}
+			return Result{Action: Forward, NextHop: n.NextHop}
+		}
+		// TTL propagation to the exposed entry.
+		if err := p.Stack.SetTopTTL(ttl); err != nil {
+			return Result{Action: Drop, Drop: DropNoLabel}
+		}
+		return Result{Action: Forward, NextHop: n.NextHop}
+	case label.OpSwap:
+		if err := p.Stack.Push(label.Entry{Label: n.PushLabels[0], CoS: old.CoS, TTL: ttl}); err != nil {
+			return Result{Action: Drop, Drop: DropStackOverflow}
+		}
+		return Result{Action: Forward, NextHop: n.NextHop}
+	case label.OpPush:
+		// Tunnel ingress: the old entry goes back with the decremented
+		// TTL, then the tunnel labels on top.
+		old.TTL = ttl
+		if err := p.Stack.Push(old); err != nil {
+			return Result{Action: Drop, Drop: DropStackOverflow}
+		}
+		for _, l := range n.PushLabels {
+			if err := p.Stack.Push(label.Entry{Label: l, CoS: old.CoS, TTL: ttl}); err != nil {
+				return Result{Action: Drop, Drop: DropStackOverflow}
+			}
+		}
+		return Result{Action: Forward, NextHop: n.NextHop}
+	default:
+		return Result{Action: Drop, Drop: DropNoLabel}
+	}
+}

@@ -1,0 +1,303 @@
+package swmpls
+
+import (
+	"math/rand"
+	"testing"
+
+	"embeddedmpls/internal/label"
+	"embeddedmpls/internal/packet"
+)
+
+func mustMapFEC(t *testing.T, f *Forwarder, dst packet.Addr, plen int, n NHLFE) {
+	t.Helper()
+	if err := f.MapFEC(dst, plen, n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustMapLabel(t *testing.T, f *Forwarder, in label.Label, n NHLFE) {
+	t.Helper()
+	if err := f.MapLabel(in, n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNHLFEValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		n    NHLFE
+		ok   bool
+	}{
+		{"push one", NHLFE{Op: label.OpPush, PushLabels: []label.Label{100}}, true},
+		{"push three", NHLFE{Op: label.OpPush, PushLabels: []label.Label{100, 101, 102}}, true},
+		{"push none", NHLFE{Op: label.OpPush}, false},
+		{"push four", NHLFE{Op: label.OpPush, PushLabels: []label.Label{1, 2, 3, 4}}, false},
+		{"swap one", NHLFE{Op: label.OpSwap, PushLabels: []label.Label{100}}, true},
+		{"swap none", NHLFE{Op: label.OpSwap}, false},
+		{"pop", NHLFE{Op: label.OpPop}, true},
+		{"pop with label", NHLFE{Op: label.OpPop, PushLabels: []label.Label{1}}, false},
+		{"none op", NHLFE{Op: label.OpNone}, false},
+		{"reserved label", NHLFE{Op: label.OpPush, PushLabels: []label.Label{label.RouterAlert}}, false},
+		{"oversized label", NHLFE{Op: label.OpPush, PushLabels: []label.Label{label.MaxLabel + 1}}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.n.Validate(); (err == nil) != c.ok {
+				t.Errorf("Validate(%+v) = %v, want ok=%v", c.n, err, c.ok)
+			}
+		})
+	}
+}
+
+func TestIngressPushAndTTL(t *testing.T) {
+	f := New()
+	mustMapFEC(t, f, packet.AddrFrom(10, 1, 0, 0), 16, NHLFE{NextHop: "lsr1", Op: label.OpPush, PushLabels: []label.Label{100}, CoS: 5})
+
+	p := packet.New(packet.AddrFrom(192, 0, 2, 1), packet.AddrFrom(10, 1, 2, 3), 64, nil)
+	res := f.Forward(p)
+	if res.Action != Forward || res.NextHop != "lsr1" {
+		t.Fatalf("result = %+v", res)
+	}
+	top, _ := p.Stack.Top()
+	if top.Label != 100 || top.TTL != 63 || top.CoS != 5 || !top.Bottom {
+		t.Errorf("pushed entry = %v", top)
+	}
+
+	// No route.
+	q := packet.New(1, packet.AddrFrom(172, 16, 0, 1), 64, nil)
+	if res := f.Forward(q); res.Action != Drop || res.Drop != DropNoRoute {
+		t.Errorf("no-route result = %+v", res)
+	}
+
+	// TTL 1 expires at ingress.
+	r := packet.New(1, packet.AddrFrom(10, 1, 2, 3), 1, nil)
+	if res := f.Forward(r); res.Action != Drop || res.Drop != DropTTLExpired {
+		t.Errorf("ttl result = %+v", res)
+	}
+}
+
+func TestLongestPrefixMatchWins(t *testing.T) {
+	f := New()
+	mustMapFEC(t, f, packet.AddrFrom(10, 0, 0, 0), 8, NHLFE{NextHop: "coarse", Op: label.OpPush, PushLabels: []label.Label{100}})
+	mustMapFEC(t, f, packet.AddrFrom(10, 1, 0, 0), 16, NHLFE{NextHop: "fine", Op: label.OpPush, PushLabels: []label.Label{200}})
+
+	p := packet.New(1, packet.AddrFrom(10, 1, 9, 9), 64, nil)
+	if res := f.Forward(p); res.NextHop != "fine" {
+		t.Errorf("next hop = %q, want fine", res.NextHop)
+	}
+	q := packet.New(1, packet.AddrFrom(10, 2, 9, 9), 64, nil)
+	if res := f.Forward(q); res.NextHop != "coarse" {
+		t.Errorf("next hop = %q, want coarse", res.NextHop)
+	}
+}
+
+func TestDefaultRouteZeroLengthPrefix(t *testing.T) {
+	f := New()
+	mustMapFEC(t, f, 0, 0, NHLFE{NextHop: "default", Op: label.OpPush, PushLabels: []label.Label{99}})
+	p := packet.New(1, packet.AddrFrom(8, 8, 8, 8), 64, nil)
+	if res := f.Forward(p); res.Action != Forward || res.NextHop != "default" {
+		t.Errorf("default route result = %+v", res)
+	}
+}
+
+func TestSwapPreservesCoSDecrementsTTL(t *testing.T) {
+	f := New()
+	mustMapLabel(t, f, 100, NHLFE{NextHop: "next", Op: label.OpSwap, PushLabels: []label.Label{200}})
+	p := packet.New(1, 2, 64, nil)
+	_ = p.Stack.Push(label.Entry{Label: 100, CoS: 3, TTL: 10})
+	res := f.Forward(p)
+	if res.Action != Forward || res.NextHop != "next" {
+		t.Fatalf("result = %+v", res)
+	}
+	top, _ := p.Stack.Top()
+	if top.Label != 200 || top.CoS != 3 || top.TTL != 9 {
+		t.Errorf("top = %v, want lbl=200 cos=3 ttl=9", top)
+	}
+}
+
+func TestPopToEmptyDeliversAndWritesTTLBack(t *testing.T) {
+	f := New()
+	mustMapLabel(t, f, 100, NHLFE{Op: label.OpPop})
+	p := packet.New(1, 2, 64, nil)
+	_ = p.Stack.Push(label.Entry{Label: 100, TTL: 7})
+	res := f.Forward(p)
+	if res.Action != Deliver {
+		t.Fatalf("result = %+v", res)
+	}
+	if p.Labelled() || p.Header.TTL != 6 {
+		t.Errorf("after pop: labelled=%v ip ttl=%d, want unlabelled ttl=6", p.Labelled(), p.Header.TTL)
+	}
+}
+
+func TestPopWithNextHopForwards(t *testing.T) {
+	f := New()
+	mustMapLabel(t, f, 100, NHLFE{NextHop: "penult", Op: label.OpPop})
+	p := packet.New(1, 2, 64, nil)
+	_ = p.Stack.Push(label.Entry{Label: 50, TTL: 20})
+	_ = p.Stack.Push(label.Entry{Label: 100, TTL: 8})
+	res := f.Forward(p)
+	if res.Action != Forward || res.NextHop != "penult" {
+		t.Fatalf("result = %+v", res)
+	}
+	top, _ := p.Stack.Top()
+	// TTL propagation to the exposed entry.
+	if top.Label != 50 || top.TTL != 7 {
+		t.Errorf("exposed top = %v, want lbl=50 ttl=7", top)
+	}
+}
+
+func TestTunnelPushOnLabelled(t *testing.T) {
+	f := New()
+	mustMapLabel(t, f, 100, NHLFE{NextHop: "tun", Op: label.OpPush, PushLabels: []label.Label{500}})
+	p := packet.New(1, 2, 64, nil)
+	_ = p.Stack.Push(label.Entry{Label: 100, CoS: 2, TTL: 30})
+	res := f.Forward(p)
+	if res.Action != Forward {
+		t.Fatalf("result = %+v", res)
+	}
+	if p.Stack.Depth() != 2 {
+		t.Fatalf("depth = %d", p.Stack.Depth())
+	}
+	top, _ := p.Stack.Top()
+	below, _ := p.Stack.At(0)
+	if top.Label != 500 || top.TTL != 29 || top.CoS != 2 {
+		t.Errorf("tunnel label = %v", top)
+	}
+	if below.Label != 100 || below.TTL != 29 {
+		t.Errorf("inner label = %v", below)
+	}
+}
+
+func TestTransitDrops(t *testing.T) {
+	f := New()
+	mustMapLabel(t, f, 1000, NHLFE{NextHop: "x", Op: label.OpSwap, PushLabels: []label.Label{1001}})
+
+	// Unknown label.
+	p := packet.New(1, 2, 64, nil)
+	_ = p.Stack.Push(label.Entry{Label: 42, TTL: 9})
+	if res := f.Forward(p); res.Drop != DropNoLabel {
+		t.Errorf("unknown label: %+v", res)
+	}
+	// Expired TTL.
+	q := packet.New(1, 2, 64, nil)
+	_ = q.Stack.Push(label.Entry{Label: 1000, TTL: 1})
+	if res := f.Forward(q); res.Drop != DropTTLExpired {
+		t.Errorf("ttl: %+v", res)
+	}
+	// Stack overflow on tunnel push.
+	mustMapLabel(t, f, 2000, NHLFE{NextHop: "x", Op: label.OpPush, PushLabels: []label.Label{2001}})
+	r := packet.New(1, 2, 64, nil)
+	_ = r.Stack.Push(label.Entry{Label: 1, TTL: 9})
+	_ = r.Stack.Push(label.Entry{Label: 2, TTL: 9})
+	_ = r.Stack.Push(label.Entry{Label: 2000, TTL: 9})
+	if res := f.Forward(r); res.Drop != DropStackOverflow {
+		t.Errorf("overflow: %+v", res)
+	}
+}
+
+func TestMapErrors(t *testing.T) {
+	f := New()
+	if err := f.MapFEC(0, 33, NHLFE{Op: label.OpPush, PushLabels: []label.Label{100}}); err == nil {
+		t.Error("prefix length 33 accepted")
+	}
+	if err := f.MapFEC(0, 8, NHLFE{Op: label.OpSwap, PushLabels: []label.Label{100}}); err == nil {
+		t.Error("non-push FTN entry accepted")
+	}
+	if err := f.MapLabel(label.ImplicitNull, NHLFE{Op: label.OpPop}); err == nil {
+		t.Error("reserved incoming label accepted")
+	}
+	if err := f.MapLabel(label.MaxLabel+1, NHLFE{Op: label.OpPop}); err == nil {
+		t.Error("oversized incoming label accepted")
+	}
+}
+
+func TestUnmap(t *testing.T) {
+	f := New()
+	mustMapFEC(t, f, packet.AddrFrom(10, 0, 0, 0), 8, NHLFE{NextHop: "a", Op: label.OpPush, PushLabels: []label.Label{100}})
+	mustMapLabel(t, f, 100, NHLFE{NextHop: "b", Op: label.OpPop})
+	if f.ILMSize() != 1 {
+		t.Fatalf("ILM size = %d", f.ILMSize())
+	}
+	if !f.UnmapFEC(packet.AddrFrom(10, 0, 0, 0), 8) {
+		t.Error("UnmapFEC missed the binding")
+	}
+	if f.UnmapFEC(packet.AddrFrom(10, 0, 0, 0), 8) {
+		t.Error("UnmapFEC reported a second removal")
+	}
+	if f.UnmapFEC(packet.AddrFrom(99, 0, 0, 0), 24) {
+		t.Error("UnmapFEC removed an absent prefix")
+	}
+	f.UnmapLabel(100)
+	if f.ILMSize() != 0 {
+		t.Error("UnmapLabel did not remove the binding")
+	}
+	p := packet.New(1, packet.AddrFrom(10, 1, 1, 1), 64, nil)
+	if res := f.Forward(p); res.Drop != DropNoRoute {
+		t.Errorf("after unmap: %+v", res)
+	}
+}
+
+// TestPrefixTrieAgainstLinearModel fuzzes the trie against a brute-force
+// longest-prefix scan.
+func TestPrefixTrieAgainstLinearModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	trie := newPrefixTable()
+	type pfx struct {
+		addr packet.Addr
+		len  int
+		n    NHLFE
+	}
+	var model []pfx
+	mask := func(a packet.Addr, l int) packet.Addr {
+		if l == 0 {
+			return 0
+		}
+		return a &^ (1<<(32-l) - 1)
+	}
+	for i := 0; i < 200; i++ {
+		a := packet.Addr(rng.Uint32())
+		l := rng.Intn(33)
+		n := NHLFE{NextHop: string(rune('a' + i%26)), Op: label.OpPush, PushLabels: []label.Label{label.Label(16 + i)}}
+		if err := trie.insert(a, l, n); err != nil {
+			t.Fatal(err)
+		}
+		// Model stores canonical (masked) prefixes; later inserts of the
+		// same prefix replace earlier ones.
+		ca := mask(a, l)
+		replaced := false
+		for j := range model {
+			if model[j].addr == ca && model[j].len == l {
+				model[j].n = n
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			model = append(model, pfx{ca, l, n})
+		}
+	}
+	for trial := 0; trial < 2000; trial++ {
+		q := packet.Addr(rng.Uint32())
+		if trial%3 == 0 && len(model) > 0 {
+			// Bias toward addresses under known prefixes.
+			q = model[rng.Intn(len(model))].addr | packet.Addr(rng.Intn(256))
+		}
+		var want *pfx
+		for j := range model {
+			m := &model[j]
+			if mask(q, m.len) == m.addr && (want == nil || m.len > want.len) {
+				want = m
+			}
+		}
+		got, ok := trie.lookup(q)
+		if want == nil {
+			if ok {
+				t.Fatalf("trial %d: lookup(%v) found %+v, model says none", trial, q, got)
+			}
+			continue
+		}
+		if !ok || got.NextHop != want.n.NextHop {
+			t.Fatalf("trial %d: lookup(%v) = %+v ok=%v, want %+v", trial, q, got, ok, want.n)
+		}
+	}
+}

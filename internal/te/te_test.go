@@ -1,0 +1,243 @@
+package te
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// diamond builds:
+//
+//	  b
+//	 / \
+//	a   d --- e
+//	 \ /
+//	  c
+//
+// a-b-d is cheap (metric 1+1), a-c-d expensive (metric 5+5).
+func diamond(t *testing.T) *Topology {
+	t.Helper()
+	topo := NewTopology()
+	for _, n := range []string{"a", "b", "c", "d", "e"} {
+		topo.AddNode(n)
+	}
+	mk := func(x, y string, metric, cap float64) {
+		if err := topo.AddDuplex(x, y, LinkAttrs{CapacityBPS: cap, Metric: metric, DelaySec: 0.001}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("a", "b", 1, 10e6)
+	mk("b", "d", 1, 10e6)
+	mk("a", "c", 5, 100e6)
+	mk("c", "d", 5, 100e6)
+	mk("d", "e", 1, 10e6)
+	return topo
+}
+
+func pathString(p []string) string { return strings.Join(p, "-") }
+
+func TestCSPFShortestByMetric(t *testing.T) {
+	topo := diamond(t)
+	path, err := topo.CSPF(PathRequest{From: "a", To: "e"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pathString(path) != "a-b-d-e" {
+		t.Errorf("path = %v, want a-b-d-e", path)
+	}
+}
+
+func TestCSPFBandwidthConstraintDetours(t *testing.T) {
+	topo := diamond(t)
+	// 20 Mbps does not fit the cheap 10 Mbps links; CSPF must take the
+	// expensive 100 Mbps branch (and fail to reach e at all, whose only
+	// link is 10 Mbps).
+	path, err := topo.CSPF(PathRequest{From: "a", To: "d", BandwidthBPS: 20e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pathString(path) != "a-c-d" {
+		t.Errorf("path = %v, want a-c-d", path)
+	}
+	if _, err := topo.CSPF(PathRequest{From: "a", To: "e", BandwidthBPS: 20e6}); !errors.Is(err, ErrNoPath) {
+		t.Errorf("expected no feasible path to e, got %v", err)
+	}
+}
+
+func TestCSPFReservationShiftsTraffic(t *testing.T) {
+	topo := diamond(t)
+	first, err := topo.CSPF(PathRequest{From: "a", To: "d", BandwidthBPS: 6e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pathString(first) != "a-b-d" {
+		t.Fatalf("first path = %v", first)
+	}
+	if err := topo.Reserve(first, 6e6); err != nil {
+		t.Fatal(err)
+	}
+	// Only 4 Mbps left on a-b-d: the next 6 Mbps LSP must detour.
+	second, err := topo.CSPF(PathRequest{From: "a", To: "d", BandwidthBPS: 6e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pathString(second) != "a-c-d" {
+		t.Errorf("second path = %v, want a-c-d", second)
+	}
+	// Releasing restores the cheap path.
+	if err := topo.Release(first, 6e6); err != nil {
+		t.Fatal(err)
+	}
+	third, err := topo.CSPF(PathRequest{From: "a", To: "d", BandwidthBPS: 6e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pathString(third) != "a-b-d" {
+		t.Errorf("after release path = %v, want a-b-d", third)
+	}
+}
+
+func TestReserveIsAtomic(t *testing.T) {
+	topo := diamond(t)
+	// a-b has 10 Mbps but b-d gets pre-reserved to 9, so reserving 5 on
+	// a-b-d must fail and leave a-b untouched.
+	if err := topo.Reserve([]string{"b", "d"}, 9e6); err != nil {
+		t.Fatal(err)
+	}
+	err := topo.Reserve([]string{"a", "b", "d"}, 5e6)
+	if !errors.Is(err, ErrBandwidth) {
+		t.Fatalf("err = %v, want ErrBandwidth", err)
+	}
+	ab, _ := topo.Link("a", "b")
+	if ab.ReservedBPS != 0 {
+		t.Errorf("a-b reserved %.0f after failed reservation, want 0", ab.ReservedBPS)
+	}
+}
+
+func TestReleaseClampsAtZero(t *testing.T) {
+	topo := diamond(t)
+	if err := topo.Release([]string{"a", "b"}, 99e6); err != nil {
+		t.Fatal(err)
+	}
+	ab, _ := topo.Link("a", "b")
+	if ab.ReservedBPS != 0 {
+		t.Errorf("reserved = %.0f, want clamp at 0", ab.ReservedBPS)
+	}
+	if ab.Available() != 10e6 {
+		t.Errorf("available = %.0f", ab.Available())
+	}
+}
+
+func TestCSPFExcludeNodes(t *testing.T) {
+	topo := diamond(t)
+	path, err := topo.CSPF(PathRequest{From: "a", To: "d", ExcludeNodes: map[string]bool{"b": true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pathString(path) != "a-c-d" {
+		t.Errorf("path avoiding b = %v", path)
+	}
+	if _, err := topo.CSPF(PathRequest{From: "a", To: "d", ExcludeNodes: map[string]bool{"a": true}}); err == nil {
+		t.Error("excluded source accepted")
+	}
+}
+
+func TestCSPFMinDelayObjective(t *testing.T) {
+	topo := NewTopology()
+	for _, n := range []string{"a", "b", "c"} {
+		topo.AddNode(n)
+	}
+	// a->b direct: metric 1, delay 100 ms. a->c->b: metric 10, delay 2 ms.
+	if err := topo.AddLink("a", "b", LinkAttrs{CapacityBPS: 1e6, Metric: 1, DelaySec: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AddLink("a", "c", LinkAttrs{CapacityBPS: 1e6, Metric: 5, DelaySec: 0.001}); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AddLink("c", "b", LinkAttrs{CapacityBPS: 1e6, Metric: 5, DelaySec: 0.001}); err != nil {
+		t.Fatal(err)
+	}
+	byMetric, err := topo.CSPF(PathRequest{From: "a", To: "b"})
+	if err != nil || pathString(byMetric) != "a-b" {
+		t.Errorf("metric path = %v (%v)", byMetric, err)
+	}
+	byDelay, err := topo.CSPF(PathRequest{From: "a", To: "b", Objective: MinDelay})
+	if err != nil || pathString(byDelay) != "a-c-b" {
+		t.Errorf("delay path = %v (%v)", byDelay, err)
+	}
+}
+
+func TestTopologyErrors(t *testing.T) {
+	topo := NewTopology()
+	topo.AddNode("a")
+	if err := topo.AddLink("a", "ghost", LinkAttrs{}); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("link to ghost: %v", err)
+	}
+	if err := topo.AddLink("ghost", "a", LinkAttrs{}); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("link from ghost: %v", err)
+	}
+	if _, err := topo.CSPF(PathRequest{From: "ghost", To: "a"}); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("CSPF from ghost: %v", err)
+	}
+	if _, err := topo.CSPF(PathRequest{From: "a", To: "ghost"}); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("CSPF to ghost: %v", err)
+	}
+	if err := topo.Reserve([]string{"a"}, 1); !errors.Is(err, ErrNoLink) {
+		t.Errorf("short path reserve: %v", err)
+	}
+	if err := topo.Reserve([]string{"a", "b"}, 1); !errors.Is(err, ErrNoLink) {
+		t.Errorf("missing link reserve: %v", err)
+	}
+}
+
+func TestDisconnectedGraph(t *testing.T) {
+	topo := NewTopology()
+	topo.AddNode("a")
+	topo.AddNode("z")
+	if _, err := topo.CSPF(PathRequest{From: "a", To: "z"}); !errors.Is(err, ErrNoPath) {
+		t.Errorf("err = %v, want ErrNoPath", err)
+	}
+}
+
+func TestNodesAndNeighboursSorted(t *testing.T) {
+	topo := diamond(t)
+	nodes := topo.Nodes()
+	want := []string{"a", "b", "c", "d", "e"}
+	for i := range want {
+		if nodes[i] != want[i] {
+			t.Fatalf("nodes = %v", nodes)
+		}
+	}
+	nb := topo.Neighbours("a")
+	if len(nb) != 2 || nb[0] != "b" || nb[1] != "c" {
+		t.Errorf("neighbours(a) = %v", nb)
+	}
+	if topo.Neighbours("e") == nil {
+		// e has one neighbour d
+		t.Error("neighbours(e) should not be nil")
+	}
+}
+
+func TestCSPFMaxHops(t *testing.T) {
+	topo := diamond(t)
+	// a->e is 3 hops at best.
+	path, err := topo.CSPF(PathRequest{From: "a", To: "e", MaxHops: 3})
+	if err != nil || len(path) != 4 {
+		t.Errorf("MaxHops 3: path=%v err=%v", path, err)
+	}
+	if _, err := topo.CSPF(PathRequest{From: "a", To: "e", MaxHops: 2}); !errors.Is(err, ErrNoPath) {
+		t.Errorf("MaxHops 2 should fail: %v", err)
+	}
+	// Zero means unbounded.
+	if _, err := topo.CSPF(PathRequest{From: "a", To: "e"}); err != nil {
+		t.Errorf("unbounded: %v", err)
+	}
+}
+
+func TestSelfPath(t *testing.T) {
+	topo := diamond(t)
+	path, err := topo.CSPF(PathRequest{From: "a", To: "a"})
+	if err != nil || len(path) != 1 || path[0] != "a" {
+		t.Errorf("self path = %v (%v)", path, err)
+	}
+}

@@ -1,0 +1,269 @@
+// Package trafficgen generates the synthetic workloads the paper's
+// introduction motivates MPLS with — voice over IP, real-time streaming
+// video, and bulk data — plus Poisson background traffic, and collects
+// per-flow delivery statistics. Real traffic traces are replaced by these
+// generators (the reproduction has no production network); each model's
+// parameters are conventional for its application class.
+package trafficgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"embeddedmpls/internal/netsim"
+	"embeddedmpls/internal/packet"
+	"embeddedmpls/internal/router"
+	"embeddedmpls/internal/stats"
+)
+
+// Flow identifies one traffic stream.
+type Flow struct {
+	ID       uint16
+	Src, Dst packet.Addr
+	TTL      uint8
+}
+
+// Collector accumulates per-flow statistics at the receiving edge.
+type Collector struct {
+	sim      *netsim.Simulator
+	flows    map[uint16]*stats.FlowStats
+	series   map[uint16]*stats.Series
+	binWidth float64
+}
+
+// NewCollector builds a collector on the simulator.
+func NewCollector(sim *netsim.Simulator) *Collector {
+	return &Collector{sim: sim, flows: make(map[uint16]*stats.FlowStats)}
+}
+
+// TrackSeries enables per-flow delivery time series with the given bin
+// width (seconds) — goodput-over-time for failure and congestion plots.
+func (c *Collector) TrackSeries(binWidth float64) {
+	c.series = make(map[uint16]*stats.Series)
+	c.binWidth = binWidth
+}
+
+// Series returns a flow's delivery series, or nil if tracking is off or
+// the flow never delivered.
+func (c *Collector) Series(id uint16) *stats.Series {
+	if c.series == nil {
+		return nil
+	}
+	return c.series[id]
+}
+
+// Attach registers the collector as the router's delivery sink.
+func (c *Collector) Attach(r *router.Router) {
+	r.OnDeliver = func(p *packet.Packet) {
+		f := c.flow(p.Header.FlowID)
+		f.Delivered.Add(p.Size())
+		f.Latency.Observe(c.sim.Now() - p.SentAt)
+		if c.series != nil {
+			s := c.series[p.Header.FlowID]
+			if s == nil {
+				s = stats.NewSeries(c.binWidth)
+				c.series[p.Header.FlowID] = s
+			}
+			s.Count(c.sim.Now(), p.Size())
+		}
+	}
+}
+
+func (c *Collector) flow(id uint16) *stats.FlowStats {
+	f, ok := c.flows[id]
+	if !ok {
+		f = &stats.FlowStats{}
+		c.flows[id] = f
+	}
+	return f
+}
+
+// Flow returns the statistics of one flow (allocating an empty record if
+// it never appeared).
+func (c *Collector) Flow(id uint16) *stats.FlowStats { return c.flow(id) }
+
+// FlowIDs returns the observed flow ids, sorted.
+func (c *Collector) FlowIDs() []uint16 {
+	out := make([]uint16, 0, len(c.flows))
+	for id := range c.flows {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Generator schedules packet injections at a source router.
+type Generator interface {
+	// Install schedules the generator's packets on the simulator,
+	// injecting at src and accounting sends against the collector.
+	Install(sim *netsim.Simulator, src *router.Router, c *Collector)
+	// Describe names the workload for reports.
+	Describe() string
+}
+
+// send stamps and injects one packet.
+func send(sim *netsim.Simulator, src *router.Router, c *Collector, f Flow, seq uint64, size int) {
+	ttl := f.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	p := packet.New(f.Src, f.Dst, ttl, make([]byte, size))
+	p.Header.FlowID = f.ID
+	p.SeqNo = seq
+	p.SentAt = sim.Now()
+	c.flow(f.ID).Sent.Add(p.Size())
+	src.Inject(p)
+}
+
+// CBR is a constant-bit-rate source: Size-byte payloads every Interval
+// from Start to Stop. VoIP and paced bulk transfers are CBR instances.
+type CBR struct {
+	Flow     Flow
+	Size     int // payload bytes per packet
+	Interval netsim.Time
+	Start    netsim.Time
+	Stop     netsim.Time
+}
+
+// VoIP returns the conventional G.711-over-RTP model: 160-byte payloads
+// every 20 ms (50 packets/s, 64 kbit/s of media).
+func VoIP(f Flow, start, stop netsim.Time) CBR {
+	return CBR{Flow: f, Size: 160, Interval: 0.020, Start: start, Stop: stop}
+}
+
+// Install implements Generator.
+func (g CBR) Install(sim *netsim.Simulator, src *router.Router, c *Collector) {
+	if g.Interval <= 0 {
+		panic(fmt.Sprintf("trafficgen: CBR interval %g", g.Interval))
+	}
+	seq := uint64(0)
+	var tick func()
+	tick = func() {
+		if sim.Now() > g.Stop {
+			return
+		}
+		send(sim, src, c, g.Flow, seq, g.Size)
+		seq++
+		sim.Schedule(g.Interval, tick)
+	}
+	sim.Schedule(g.Start, tick)
+}
+
+// Describe implements Generator.
+func (g CBR) Describe() string {
+	return fmt.Sprintf("CBR flow %d: %dB every %.3gms", g.Flow.ID, g.Size, g.Interval*1e3)
+}
+
+// Poisson models aggregate background traffic: exponentially distributed
+// inter-arrival times at RatePPS packets per second.
+type Poisson struct {
+	Flow    Flow
+	Size    int
+	RatePPS float64
+	Start   netsim.Time
+	Stop    netsim.Time
+	Seed    int64
+}
+
+// Install implements Generator.
+func (g Poisson) Install(sim *netsim.Simulator, src *router.Router, c *Collector) {
+	if g.RatePPS <= 0 {
+		panic(fmt.Sprintf("trafficgen: poisson rate %g", g.RatePPS))
+	}
+	rng := rand.New(rand.NewSource(g.Seed))
+	seq := uint64(0)
+	var tick func()
+	next := func() netsim.Time { return rng.ExpFloat64() / g.RatePPS }
+	tick = func() {
+		if sim.Now() > g.Stop {
+			return
+		}
+		send(sim, src, c, g.Flow, seq, g.Size)
+		seq++
+		sim.Schedule(next(), tick)
+	}
+	sim.Schedule(g.Start+next(), tick)
+}
+
+// Describe implements Generator.
+func (g Poisson) Describe() string {
+	return fmt.Sprintf("poisson flow %d: %dB at %.0f pps", g.Flow.ID, g.Size, g.RatePPS)
+}
+
+// OnOff models streaming video: bursts of CBR packets (On seconds at
+// PeakBPS) separated by Off-second silences, the classic on/off model
+// for variable-rate video.
+type OnOff struct {
+	Flow    Flow
+	Size    int // payload bytes per packet
+	PeakBPS float64
+	On, Off netsim.Time
+	Start   netsim.Time
+	Stop    netsim.Time
+}
+
+// Install implements Generator.
+func (g OnOff) Install(sim *netsim.Simulator, src *router.Router, c *Collector) {
+	if g.PeakBPS <= 0 || g.Size <= 0 || g.On <= 0 {
+		panic("trafficgen: on/off generator misconfigured")
+	}
+	wire := g.Size + packet.HeaderSize // payload + network header
+	interval := float64(wire*8) / g.PeakBPS
+	perBurst := int(math.Max(1, math.Round(g.On/interval)))
+	seq := uint64(0)
+	var burst func()
+	burst = func() {
+		if sim.Now() > g.Stop {
+			return
+		}
+		for i := 0; i < perBurst; i++ {
+			i := i
+			sim.Schedule(netsim.Time(i)*interval, func() {
+				if sim.Now() <= g.Stop {
+					send(sim, src, c, g.Flow, seq, g.Size)
+					seq++
+				}
+			})
+		}
+		sim.Schedule(g.On+g.Off, burst)
+	}
+	sim.Schedule(g.Start, burst)
+}
+
+// Describe implements Generator.
+func (g OnOff) Describe() string {
+	return fmt.Sprintf("on/off flow %d: %.0f bps peak, %.3gs on / %.3gs off",
+		g.Flow.ID, g.PeakBPS, g.On, g.Off)
+}
+
+// Bulk models a greedy transfer paced at RateBPS (a TCP flow in steady
+// state, abstracted to its pacing rate).
+type Bulk struct {
+	Flow    Flow
+	Size    int
+	RateBPS float64
+	Start   netsim.Time
+	Stop    netsim.Time
+}
+
+// Install implements Generator.
+func (g Bulk) Install(sim *netsim.Simulator, src *router.Router, c *Collector) {
+	if g.RateBPS <= 0 || g.Size <= 0 {
+		panic("trafficgen: bulk generator misconfigured")
+	}
+	wire := g.Size + packet.HeaderSize
+	CBR{
+		Flow:     g.Flow,
+		Size:     g.Size,
+		Interval: float64(wire*8) / g.RateBPS,
+		Start:    g.Start,
+		Stop:     g.Stop,
+	}.Install(sim, src, c)
+}
+
+// Describe implements Generator.
+func (g Bulk) Describe() string {
+	return fmt.Sprintf("bulk flow %d: %dB packets at %.0f bps", g.Flow.ID, g.Size, g.RateBPS)
+}

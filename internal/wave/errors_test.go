@@ -1,0 +1,91 @@
+package wave
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"embeddedmpls/internal/rtl"
+)
+
+// failWriter errors after n successful writes — renderers must propagate
+// output errors instead of silently truncating artifacts.
+type failWriter struct{ left int }
+
+var errSink = errors.New("sink full")
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.left <= 0 {
+		return 0, errSink
+	}
+	w.left--
+	return len(p), nil
+}
+
+func TestRenderersPropagateWriteErrors(t *testing.T) {
+	sim := rtl.New()
+	q := sim.Signal("count", 4)
+	en := sim.Signal("en", 1)
+	rtl.NewCounter(sim, q, en, nil, nil, nil, nil)
+	en.SetBool(true)
+	tr := NewTracer(sim, q, en)
+	sim.Run(4)
+
+	renders := map[string]func(w *failWriter) error{
+		"table": func(w *failWriter) error { return tr.WriteTable(w) },
+		"wave":  func(w *failWriter) error { return tr.WriteWave(w) },
+		"vcd":   func(w *failWriter) error { return tr.WriteVCD(w, "m", time.Time{}) },
+	}
+	for name, render := range renders {
+		// Fail at every possible position and demand the error surfaces.
+		for budget := 0; budget < 24; budget++ {
+			err := render(&failWriter{left: budget})
+			if err == nil {
+				// Once the budget exceeds the full output, success is
+				// correct; verify by rendering fully once.
+				if render(&failWriter{left: 1 << 20}) != nil {
+					t.Errorf("%s: full render failed", name)
+				}
+				break
+			}
+			if !errors.Is(err, errSink) {
+				t.Fatalf("%s budget %d: unexpected error %v", name, budget, err)
+			}
+		}
+	}
+}
+
+func TestVCDHeaderWithTimestamp(t *testing.T) {
+	sim := rtl.New()
+	s := sim.Signal("s", 1)
+	tr := NewTracer(sim, s)
+	sim.Run(1)
+	w := &captureWriter{}
+	ts := time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+	if err := tr.WriteVCD(w, "", ts); err != nil {
+		t.Fatal(err)
+	}
+	out := string(w.buf)
+	if !contains(out, "scope module trace") {
+		t.Error("empty module name did not default to trace")
+	}
+	if !contains(out, "2026") {
+		t.Error("timestamp missing from header")
+	}
+}
+
+type captureWriter struct{ buf []byte }
+
+func (w *captureWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

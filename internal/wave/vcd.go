@@ -1,0 +1,75 @@
+package wave
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// WriteVCD writes the trace as a Value Change Dump file viewable in any
+// waveform viewer (GTKWave etc.). One VCD time unit equals one clock
+// cycle; ts stamps the header (pass the zero time for reproducible
+// output).
+func (t *Tracer) WriteVCD(w io.Writer, module string, ts time.Time) error {
+	if module == "" {
+		module = "trace"
+	}
+	date := "(reproducible run)"
+	if !ts.IsZero() {
+		date = ts.Format(time.RFC1123)
+	}
+	if _, err := fmt.Fprintf(w, "$date %s $end\n$version embeddedmpls wave $end\n$timescale 1 ns $end\n$scope module %s $end\n", date, module); err != nil {
+		return err
+	}
+	ids := make([]string, len(t.signals))
+	for i, s := range t.signals {
+		ids[i] = vcdID(i)
+		if _, err := fmt.Fprintf(w, "$var wire %d %s %s $end\n", s.Width(), ids[i], s.Name()); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprint(w, "$upscope $end\n$enddefinitions $end\n"); err != nil {
+		return err
+	}
+	last := make([]uint64, len(t.signals))
+	seen := false
+	for r, row := range t.rows {
+		wroteTime := false
+		for i, v := range row {
+			if seen && v == last[i] {
+				continue
+			}
+			if !wroteTime {
+				if _, err := fmt.Fprintf(w, "#%d\n", t.cycles[r]); err != nil {
+					return err
+				}
+				wroteTime = true
+			}
+			if err := writeVCDValue(w, t.signals[i].Width(), v, ids[i]); err != nil {
+				return err
+			}
+			last[i] = v
+		}
+		seen = true
+	}
+	return nil
+}
+
+// vcdID assigns each signal a short printable identifier code.
+func vcdID(i int) string {
+	const first, count = 33, 94 // printable ASCII '!'..'~'
+	if i < count {
+		return string(rune(first + i))
+	}
+	return string(rune(first+i%count)) + strconv.Itoa(i/count)
+}
+
+func writeVCDValue(w io.Writer, width uint, v uint64, id string) error {
+	if width == 1 {
+		_, err := fmt.Fprintf(w, "%d%s\n", v&1, id)
+		return err
+	}
+	_, err := fmt.Fprintf(w, "b%b %s\n", v, id)
+	return err
+}

@@ -1,0 +1,226 @@
+// Package wave captures per-cycle signal traces from an rtl.Simulator and
+// renders them as ASCII waveforms or VCD files. It is the stand-in for the
+// Quartus waveform viewer screenshots that form Figures 14-16 of Peterkin
+// & Ionescu's "Embedded MPLS Architecture": the same signal transitions,
+// in a form that is diffable and assertable in tests.
+package wave
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"embeddedmpls/internal/rtl"
+)
+
+// Tracer records the value of a chosen set of signals at the end of every
+// simulator cycle.
+type Tracer struct {
+	signals []*rtl.Signal
+	cycles  []uint64
+	rows    [][]uint64
+}
+
+// NewTracer attaches a tracer to sim, sampling the given signals after
+// every Step.
+func NewTracer(sim *rtl.Simulator, signals ...*rtl.Signal) *Tracer {
+	t := &Tracer{signals: signals}
+	sim.OnSample(func(cycle uint64) {
+		row := make([]uint64, len(t.signals))
+		for i, s := range t.signals {
+			row[i] = s.Get()
+		}
+		t.cycles = append(t.cycles, cycle)
+		t.rows = append(t.rows, row)
+	})
+	return t
+}
+
+// Len returns the number of sampled cycles.
+func (t *Tracer) Len() int { return len(t.rows) }
+
+// Names returns the traced signal names in column order.
+func (t *Tracer) Names() []string {
+	out := make([]string, len(t.signals))
+	for i, s := range t.signals {
+		out[i] = s.Name()
+	}
+	return out
+}
+
+// column returns the index of the named signal, or -1.
+func (t *Tracer) column(name string) int {
+	for i, s := range t.signals {
+		if s.Name() == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Value returns the sampled value of the named signal at row index i
+// (the i-th recorded cycle).
+func (t *Tracer) Value(name string, i int) (uint64, error) {
+	col := t.column(name)
+	if col < 0 {
+		return 0, fmt.Errorf("wave: signal %q is not traced", name)
+	}
+	if i < 0 || i >= len(t.rows) {
+		return 0, fmt.Errorf("wave: row %d out of range (have %d)", i, len(t.rows))
+	}
+	return t.rows[i][col], nil
+}
+
+// FirstCycle returns the earliest recorded cycle at which pred holds for
+// the named signal, and whether one exists. Tests use it to locate pulses
+// such as lookup_done going high.
+func (t *Tracer) FirstCycle(name string, pred func(v uint64) bool) (uint64, bool) {
+	col := t.column(name)
+	if col < 0 {
+		return 0, false
+	}
+	for i, row := range t.rows {
+		if pred(row[col]) {
+			return t.cycles[i], true
+		}
+	}
+	return 0, false
+}
+
+// CountCycles returns how many recorded cycles satisfy pred for the named
+// signal; a one-cycle pulse counts once.
+func (t *Tracer) CountCycles(name string, pred func(v uint64) bool) int {
+	col := t.column(name)
+	if col < 0 {
+		return 0
+	}
+	n := 0
+	for _, row := range t.rows {
+		if pred(row[col]) {
+			n++
+		}
+	}
+	return n
+}
+
+// Changes returns the sequence of (cycle, value) pairs at which the named
+// signal changed, including its initial sampled value.
+func (t *Tracer) Changes(name string) []Change {
+	col := t.column(name)
+	if col < 0 || len(t.rows) == 0 {
+		return nil
+	}
+	var out []Change
+	var last uint64
+	for i, row := range t.rows {
+		if i == 0 || row[col] != last {
+			out = append(out, Change{Cycle: t.cycles[i], Value: row[col]})
+			last = row[col]
+		}
+	}
+	return out
+}
+
+// Change is one observed signal transition.
+type Change struct {
+	Cycle uint64
+	Value uint64
+}
+
+// WriteTable renders the trace as a table with one row per cycle on which
+// any traced signal changed (plus the first cycle), like the transition
+// list of an HDL simulator.
+func (t *Tracer) WriteTable(w io.Writer) error {
+	names := t.Names()
+	widths := make([]int, len(names))
+	for i, n := range names {
+		widths[i] = len(n)
+		if widths[i] < 6 {
+			widths[i] = 6
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%7s", "cycle"); err != nil {
+		return err
+	}
+	for i, n := range names {
+		if _, err := fmt.Fprintf(w, "  %*s", widths[i], n); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	var prev []uint64
+	for r, row := range t.rows {
+		if prev != nil && equalRows(prev, row) {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%7d", t.cycles[r]); err != nil {
+			return err
+		}
+		for i, v := range row {
+			if _, err := fmt.Fprintf(w, "  %*d", widths[i], v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		prev = row
+	}
+	return nil
+}
+
+func equalRows(a, b []uint64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteWave renders single-bit signals as horizontal waveforms and
+// multi-bit signals as value change annotations:
+//
+//	lookup_done  ________/\______
+//	r_index      0 ->1@12 ->2@15 ...
+func (t *Tracer) WriteWave(w io.Writer) error {
+	nameW := 0
+	for _, s := range t.signals {
+		if len(s.Name()) > nameW {
+			nameW = len(s.Name())
+		}
+	}
+	for col, s := range t.signals {
+		if _, err := fmt.Fprintf(w, "%-*s  ", nameW, s.Name()); err != nil {
+			return err
+		}
+		if s.Width() == 1 {
+			var b strings.Builder
+			for _, row := range t.rows {
+				if row[col] != 0 {
+					b.WriteByte('#')
+				} else {
+					b.WriteByte('_')
+				}
+			}
+			if _, err := fmt.Fprintln(w, b.String()); err != nil {
+				return err
+			}
+			continue
+		}
+		parts := make([]string, 0, 8)
+		for i, ch := range t.Changes(s.Name()) {
+			if i == 0 {
+				parts = append(parts, fmt.Sprintf("%d", ch.Value))
+			} else {
+				parts = append(parts, fmt.Sprintf("->%d@%d", ch.Value, ch.Cycle))
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(parts, " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
