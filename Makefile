@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test bench reproduce race cover examples clean
+.PHONY: all build test bench bench-dataplane reproduce race cover examples clean
 
 all: build test
 
@@ -14,17 +14,26 @@ test:
 bench:
 	go test -bench=. -benchmem ./...
 
+# Sweep the concurrent engine from 1 to 4 workers and write
+# BENCH_dataplane.json.
+bench-dataplane:
+	go run ./cmd/mplsbench -engine=dataplane -workers=4 -json
+
 reproduce:
 	go run ./cmd/reproduce -out results
 
+# The concurrent dataplane is the package the race detector exists for:
+# run it explicitly (and with -count=2 for scheduling variety) on top of
+# the repo-wide pass.
 race:
 	go test -race ./...
+	go test -race -count=2 ./internal/dataplane
 
 cover:
 	go test -cover ./internal/...
 
 examples:
-	@for ex in quickstart figure1 tunnel voipqos hwsw signaling mmio; do \
+	@for ex in quickstart figure1 tunnel voipqos hwsw signaling mmio dataplane; do \
 		echo "== $$ex =="; go run ./examples/$$ex; echo; done
 
 clean:

@@ -1,0 +1,204 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"embeddedmpls/internal/dataplane"
+	"embeddedmpls/internal/label"
+	"embeddedmpls/internal/packet"
+	"embeddedmpls/internal/swmpls"
+)
+
+// The standard dataplane workload: a transit LSR with a full complement
+// of ILM entries, traffic spread over many flows so the shard hash
+// balances the workers.
+const (
+	dpFlows      = 1024
+	dpILMEntries = 1024
+	dpQueueCap   = 4096
+	dpBatch      = 128
+	dpReps       = 3
+)
+
+// dpResult is one row of the scaling sweep, as written to the JSON
+// trajectory file.
+type dpResult struct {
+	Workers int `json:"workers"`
+	// CapacityPPS is packets/sec over the engine's critical path
+	// (max per-worker busy time): the sustained throughput of the
+	// sharded engine with a core per worker. On a multi-core host it
+	// converges with WallPPS; on a core-limited host it is the honest
+	// scaling figure, since the workers' real parallelism is serialised
+	// by the machine, not the engine.
+	CapacityPPS float64 `json:"capacity_pps"`
+	// WallPPS is packets/sec over host wall-clock time for the whole
+	// submit+process run.
+	WallPPS   float64 `json:"wall_pps"`
+	Processed uint64  `json:"processed"`
+	DropRate  float64 `json:"drop_rate"`
+	// Speedup is CapacityPPS relative to the 1-worker row.
+	Speedup float64 `json:"speedup"`
+}
+
+type dpReport struct {
+	Benchmark  string     `json:"benchmark"`
+	Packets    int        `json:"packets"`
+	Flows      int        `json:"flows"`
+	ILMEntries int        `json:"ilm_entries"`
+	Results    []dpResult `json:"results"`
+}
+
+// dpWorkload pre-builds the packet set once; runs re-arm the label
+// stacks in place between sweeps (the swap rewrote them).
+type dpWorkload struct {
+	packets []*packet.Packet
+}
+
+func newDPWorkload(n int) *dpWorkload {
+	w := &dpWorkload{packets: make([]*packet.Packet, n)}
+	for i := range w.packets {
+		flow := i % dpFlows
+		p := packet.New(packet.AddrFrom(192, 0, 2, byte(flow)), packet.AddrFrom(10, 0, 0, 9), 64, nil)
+		p.Header.FlowID = uint16(flow)
+		w.packets[i] = p
+	}
+	w.arm()
+	return w
+}
+
+func (w *dpWorkload) arm() {
+	for i, p := range w.packets {
+		flow := i % dpFlows
+		p.Stack.Reset()
+		if err := p.Stack.Push(label.Entry{Label: label.Label(16 + flow%dpILMEntries), TTL: 64}); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func installDPTable(e *dataplane.Engine) error {
+	return e.Update(func(f *swmpls.Forwarder) error {
+		for i := 0; i < dpILMEntries; i++ {
+			err := f.InstallILM(label.Label(16+i), swmpls.NHLFE{
+				NextHop:    "peer",
+				Op:         label.OpSwap,
+				PushLabels: []label.Label{label.Label(20000 + i)},
+			})
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// dpRun pushes the workload through a fresh engine and returns the
+// measured row (without Speedup, which the sweep fills in).
+func dpRun(w *dpWorkload, workers int) (dpResult, error) {
+	w.arm()
+	e := dataplane.New(dataplane.Config{Workers: workers, QueueCap: dpQueueCap, Batch: dpBatch})
+	if err := installDPTable(e); err != nil {
+		return dpResult{}, err
+	}
+	start := time.Now()
+	for off := 0; off < len(w.packets); off += dpQueueCap {
+		end := off + dpQueueCap
+		if end > len(w.packets) {
+			end = len(w.packets)
+		}
+		e.SubmitBatch(w.packets[off:end], true)
+	}
+	e.Close()
+	wall := time.Since(start).Seconds()
+
+	snap := e.Snapshot()
+	processed := snap.Processed()
+	if processed == 0 {
+		return dpResult{}, fmt.Errorf("dataplane bench: nothing processed at %d workers", workers)
+	}
+	var critical float64
+	for _, busy := range snap.WorkerBusy {
+		if busy > critical {
+			critical = busy
+		}
+	}
+	offered := snap.Submitted.Events + snap.QueueDropped
+	res := dpResult{
+		Workers:   workers,
+		WallPPS:   float64(processed) / wall,
+		Processed: processed,
+		DropRate:  float64(snap.QueueDropped) / float64(offered),
+	}
+	if critical > 0 {
+		res.CapacityPPS = float64(processed) / critical
+	}
+	return res, nil
+}
+
+// runDataplane sweeps the engine from 1 to maxWorkers and reports the
+// scaling, optionally writing the machine-readable trajectory file.
+func runDataplane(maxWorkers, packets int, jsonPath string) error {
+	if maxWorkers < 1 {
+		maxWorkers = 1
+	}
+	fmt.Printf("Dataplane engine scaling — %d packets over %d flows through %d ILM entries (best of %d runs)\n",
+		packets, dpFlows, dpILMEntries, dpReps)
+	w := newDPWorkload(packets)
+
+	report := dpReport{
+		Benchmark:  "dataplane",
+		Packets:    packets,
+		Flows:      dpFlows,
+		ILMEntries: dpILMEntries,
+	}
+	fmt.Printf("%8s %15s %15s %10s %10s\n", "workers", "capacity pps", "wall pps", "speedup", "drop rate")
+	for workers := 1; workers <= maxWorkers; workers++ {
+		var best dpResult
+		for rep := 0; rep < dpReps; rep++ {
+			res, err := dpRun(w, workers)
+			if err != nil {
+				return err
+			}
+			if res.CapacityPPS > best.CapacityPPS {
+				best = res
+			}
+		}
+		if len(report.Results) > 0 {
+			best.Speedup = best.CapacityPPS / report.Results[0].CapacityPPS
+		} else {
+			best.Speedup = 1
+		}
+		report.Results = append(report.Results, best)
+		fmt.Printf("%8d %15.0f %15.0f %9.2fx %9.2f%%\n",
+			best.Workers, best.CapacityPPS, best.WallPPS, best.Speedup, best.DropRate*100)
+	}
+
+	monotonic := true
+	for i := 1; i < len(report.Results); i++ {
+		if report.Results[i].CapacityPPS <= report.Results[i-1].CapacityPPS {
+			monotonic = false
+		}
+	}
+	if monotonic {
+		fmt.Printf("scaling: capacity increases monotonically from 1 to %d workers\n", maxWorkers)
+	} else {
+		fmt.Println("scaling: WARNING — capacity is not monotonic (noisy host?)")
+	}
+
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(jsonPath, buf, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	fmt.Println()
+	return nil
+}

@@ -6,6 +6,11 @@
 //	-sweep      search cost vs table occupancy, hardware vs software
 //
 // With no flags it runs everything.
+//
+// -engine=dataplane switches to the concurrent forwarding engine
+// benchmark instead: packets/sec scaling from 1 to -workers shard
+// workers on the standard transit workload, with -json writing the
+// machine-readable trajectory file BENCH_dataplane.json.
 package main
 
 import (
@@ -27,7 +32,24 @@ func main() {
 	sweep := flag.Bool("sweep", false, "sweep search cost vs table size, hardware vs software")
 	cam := flag.Bool("cam", false, "compare the linear search against the CAM ablation on the RTL model")
 	resources := flag.Bool("resources", false, "estimate the FPGA resource footprint")
+	engine := flag.String("engine", "lsm", "benchmark target: lsm (paper tables) or dataplane (concurrent engine)")
+	workers := flag.Int("workers", 4, "dataplane engine: maximum shard workers to sweep to")
+	packets := flag.Int("packets", 200000, "dataplane engine: packets per run")
+	jsonOut := flag.Bool("json", false, "dataplane engine: write BENCH_dataplane.json")
 	flag.Parse()
+	if *engine == "dataplane" {
+		path := ""
+		if *jsonOut {
+			path = "BENCH_dataplane.json"
+		}
+		if err := runDataplane(*workers, *packets, path); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *engine != "lsm" {
+		log.Fatalf("unknown -engine %q (want lsm or dataplane)", *engine)
+	}
 	if !*table6 && !*worst && !*sweep && !*cam && !*resources {
 		*table6, *worst, *sweep, *cam, *resources = true, true, true, true, true
 	}

@@ -1,0 +1,57 @@
+package dataplane
+
+import (
+	"testing"
+
+	"embeddedmpls/internal/label"
+	"embeddedmpls/internal/packet"
+	"embeddedmpls/internal/swmpls"
+)
+
+// BenchmarkProcessInline measures the lock-free per-packet fast path: an
+// atomic table load plus one ILM swap.
+func BenchmarkProcessInline(b *testing.B) {
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	if err := e.InstallILM(100, swapNHLFE(200, "b")); err != nil {
+		b.Fatal(err)
+	}
+	p := labelled(100, 1, 0)
+	entry := label.Entry{Label: 100, TTL: 64}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Stack.Reset()
+		_ = p.Stack.Push(entry)
+		if res := e.ProcessInline(p); res.Action != swmpls.Forward {
+			b.Fatal("swap failed")
+		}
+	}
+}
+
+// BenchmarkEngineThroughput measures the full submit -> shard queue ->
+// worker -> deliver pipeline, recycling a fixed pool of packets.
+func BenchmarkEngineThroughput(b *testing.B) {
+	pool := make(chan *packet.Packet, 4096)
+	entry := label.Entry{Label: 100, TTL: 64}
+	e := New(Config{Deliver: func(p *packet.Packet, res swmpls.Result) {
+		p.Stack.Reset()
+		_ = p.Stack.Push(entry)
+		pool <- p
+	}})
+	if err := e.InstallILM(100, swapNHLFE(200, "b")); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < cap(pool); i++ {
+		pool <- labelled(100, uint16(i), 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !e.SubmitWait(<-pool) {
+			b.Fatal("engine closed")
+		}
+	}
+	b.StopTimer()
+	e.Close()
+}

@@ -1,0 +1,364 @@
+// Package dataplane is a concurrent, batch-oriented MPLS forwarding
+// engine: the software analogue of the paper's replicated label stack
+// modifier fast path. Where package swmpls forwards one packet at a time
+// on the caller's goroutine, this engine runs N shard workers, each
+// draining a bounded ingress queue in batches, all reading one immutable
+// forwarding-table snapshot published through an atomic pointer.
+//
+// The design splits the paper's hardware/software partition along the
+// same line in pure software:
+//
+//   - Fast path (workers): hash the packet to a shard by its flow
+//     identity (top label or packet identifier, plus the flow ID), apply
+//     the RFC 3031 label program from the current table snapshot, update
+//     worker-private counters. No locks, no shared mutable state.
+//   - Slow path (control plane): LDP/TE updates clone the live table,
+//     edit the clone, and publish it with one atomic store — RCU-style,
+//     so a table write never stalls a single packet.
+//
+// Per-flow order is preserved because a flow's packets always hash to
+// the same shard and each shard is serviced by exactly one worker over a
+// FIFO-per-class queue.
+package dataplane
+
+import (
+	"fmt"
+	"hash/maphash"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"embeddedmpls/internal/label"
+	"embeddedmpls/internal/packet"
+	"embeddedmpls/internal/stats"
+	"embeddedmpls/internal/swmpls"
+)
+
+// DropPolicy selects what an over-full ingress queue does.
+type DropPolicy int
+
+const (
+	// TailDrop rejects arrivals once the shard queue holds QueueCap
+	// packets, regardless of class.
+	TailDrop DropPolicy = iota
+	// CoSAware gives each service class its own slice of the shard queue
+	// (QueueCap/qos.NumClasses packets) and serves high classes first, so
+	// a flood of best-effort traffic can neither crowd out nor delay
+	// high-CoS packets. Reuses the qos strict-priority scheduler.
+	CoSAware
+)
+
+// Config parameterises an Engine.
+type Config struct {
+	// Workers is the number of shard workers. <=0 selects
+	// runtime.NumCPU().
+	Workers int
+	// QueueCap bounds each shard's ingress queue in packets. <=0 means
+	// 1024. Under CoSAware the capacity is split evenly across the eight
+	// classes.
+	QueueCap int
+	// Batch is the maximum number of packets a worker drains per queue
+	// visit. <=0 means 64. Larger batches amortise synchronisation;
+	// smaller ones bound added latency.
+	Batch int
+	// Policy is the queue admission policy (default TailDrop).
+	Policy DropPolicy
+	// Deliver receives every processed packet and its forwarding result.
+	// It is invoked on worker goroutines — concurrently across shards,
+	// sequentially (and in per-flow order) within one — so it must be
+	// safe for concurrent use. Nil discards packets after accounting.
+	Deliver func(p *packet.Packet, res swmpls.Result)
+}
+
+// Engine is the concurrent forwarding engine. Create one with New, feed
+// it with Submit/SubmitWait/SubmitBatch, reprogram it at any time with
+// Update or the ldp.Installer methods, and stop it with Close.
+type Engine struct {
+	table   atomic.Pointer[swmpls.Forwarder]
+	updates atomic.Uint64 // published snapshots, for observability/tests
+
+	// updateMu serialises writers (cloning is not atomic); readers never
+	// take it.
+	updateMu sync.Mutex
+
+	shards  []*shard
+	batch   int
+	deliver func(*packet.Packet, swmpls.Result)
+	seed    maphash.Seed
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// New starts an engine with an empty forwarding table.
+func New(cfg Config) *Engine {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	queueCap := cfg.QueueCap
+	if queueCap <= 0 {
+		queueCap = 1024
+	}
+	batch := cfg.Batch
+	if batch <= 0 {
+		batch = 64
+	}
+	e := &Engine{
+		shards:  make([]*shard, workers),
+		batch:   batch,
+		deliver: cfg.Deliver,
+		seed:    maphash.MakeSeed(),
+	}
+	e.table.Store(swmpls.New())
+	for i := range e.shards {
+		e.shards[i] = newShard(cfg.Policy, queueCap)
+	}
+	e.wg.Add(workers)
+	for i := range e.shards {
+		go e.worker(e.shards[i])
+	}
+	return e
+}
+
+// Workers returns the number of shard workers.
+func (e *Engine) Workers() int { return len(e.shards) }
+
+// Updates returns how many table snapshots have been published.
+func (e *Engine) Updates() uint64 { return e.updates.Load() }
+
+// shardOf hashes a packet to its shard. The key is the packet's flow
+// identity — top label for labelled packets, the packet identifier
+// (destination) otherwise, plus source and flow ID — so every packet of
+// a flow lands on the same shard while distinct flows on one LSP still
+// spread across workers.
+func (e *Engine) shardOf(p *packet.Packet) *shard {
+	if len(e.shards) == 1 {
+		return e.shards[0]
+	}
+	var key uint64
+	if top, err := p.Stack.Top(); err == nil {
+		key = uint64(top.Label)
+	} else {
+		key = uint64(p.Identifier()) | 1<<32
+	}
+	var buf [16]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(key >> (8 * i))
+	}
+	flow := uint64(p.Header.Src)<<16 | uint64(p.Header.FlowID)
+	for i := 0; i < 8; i++ {
+		buf[8+i] = byte(flow >> (8 * i))
+	}
+	h := maphash.Bytes(e.seed, buf[:])
+	return e.shards[h%uint64(len(e.shards))]
+}
+
+// Submit offers one packet to the engine without blocking. It reports
+// false when the shard queue's drop policy rejected the packet (or the
+// engine is closed); the drop is counted in the snapshot.
+func (e *Engine) Submit(p *packet.Packet) bool {
+	if e.closed.Load() {
+		return false
+	}
+	return e.shardOf(p).enqueue(p, false)
+}
+
+// SubmitWait offers one packet, blocking while the shard queue is full
+// (backpressure instead of loss). It reports false only when the engine
+// is closed.
+func (e *Engine) SubmitWait(p *packet.Packet) bool {
+	if e.closed.Load() {
+		return false
+	}
+	return e.shardOf(p).enqueue(p, true)
+}
+
+// SubmitBatch offers many packets, grouped by shard so each shard's lock
+// is taken once per group rather than once per packet. With wait set it
+// applies backpressure; otherwise the drop policy decides. It returns
+// how many packets were accepted.
+func (e *Engine) SubmitBatch(ps []*packet.Packet, wait bool) int {
+	if e.closed.Load() {
+		return 0
+	}
+	groups := make(map[*shard][]*packet.Packet, len(e.shards))
+	for _, p := range ps {
+		s := e.shardOf(p)
+		groups[s] = append(groups[s], p)
+	}
+	accepted := 0
+	for s, group := range groups {
+		accepted += s.enqueueBatch(group, wait)
+	}
+	return accepted
+}
+
+// Update publishes a new forwarding-table snapshot: the current table is
+// cloned, apply edits the clone, and the result is installed with one
+// atomic store. Workers observe either the old or the new table, never a
+// partially edited one, and are never blocked by the update. If apply
+// fails the snapshot is discarded and the live table is unchanged.
+func (e *Engine) Update(apply func(*swmpls.Forwarder) error) error {
+	e.updateMu.Lock()
+	defer e.updateMu.Unlock()
+	next := e.table.Load().Clone()
+	if err := apply(next); err != nil {
+		return err
+	}
+	e.table.Store(next)
+	e.updates.Add(1)
+	return nil
+}
+
+// InstallFEC, InstallILM, RemoveILM and RemoveFEC implement the
+// ldp.Installer contract, so an LDP manager (or a router wrapper) can
+// program the engine exactly like the serial data planes. Each call
+// publishes one snapshot; batch related changes through Update to
+// publish them atomically together.
+
+// InstallFEC implements ldp.Installer.
+func (e *Engine) InstallFEC(dst packet.Addr, prefixLen int, n swmpls.NHLFE) error {
+	return e.Update(func(f *swmpls.Forwarder) error { return f.InstallFEC(dst, prefixLen, n) })
+}
+
+// InstallILM implements ldp.Installer.
+func (e *Engine) InstallILM(in label.Label, n swmpls.NHLFE) error {
+	return e.Update(func(f *swmpls.Forwarder) error { return f.InstallILM(in, n) })
+}
+
+// RemoveILM implements ldp.Installer.
+func (e *Engine) RemoveILM(in label.Label) {
+	_ = e.Update(func(f *swmpls.Forwarder) error { f.RemoveILM(in); return nil })
+}
+
+// RemoveFEC implements ldp.Installer.
+func (e *Engine) RemoveFEC(dst packet.Addr, prefixLen int) {
+	_ = e.Update(func(f *swmpls.Forwarder) error { f.RemoveFEC(dst, prefixLen); return nil })
+}
+
+// forward applies the full label program to one packet against a table
+// snapshot. Like the router's engine loop, one packet may need several
+// passes (a tunnel tail pops, then re-examines the inner label);
+// label.MaxDepth+1 bounds the passes.
+func forward(tbl *swmpls.Forwarder, p *packet.Packet) swmpls.Result {
+	var res swmpls.Result
+	for pass := 0; pass < label.MaxDepth+1; pass++ {
+		res = tbl.Forward(p)
+		if res.Action == swmpls.Forward && res.NextHop == "" && p.Labelled() {
+			continue
+		}
+		break
+	}
+	return res
+}
+
+// ProcessInline forwards one packet synchronously on the caller's
+// goroutine against the current snapshot — the same lock-free table read
+// the workers perform, without queueing. The discrete-event router uses
+// it so simulated nodes get RCU table semantics while the simulator
+// stays single-threaded. Inline packets bypass the engine's queues and
+// statistics.
+func (e *Engine) ProcessInline(p *packet.Packet) swmpls.Result {
+	return forward(e.table.Load(), p)
+}
+
+// worker drains one shard until the engine closes and the queue empties.
+func (e *Engine) worker(s *shard) {
+	defer e.wg.Done()
+	batch := make([]*packet.Packet, 0, e.batch)
+	var acc batchAcc
+	for {
+		batch = s.drain(batch[:0], e.batch)
+		if batch == nil {
+			return
+		}
+		tbl := e.table.Load()
+		acc.reset()
+		start := time.Now()
+		for _, p := range batch {
+			res := forward(tbl, p)
+			acc.record(p, res)
+			if e.deliver != nil {
+				e.deliver(p, res)
+			}
+		}
+		acc.busy = time.Since(start).Seconds()
+		s.fold(&acc)
+	}
+}
+
+// Close stops the engine: no new packets are accepted, workers drain
+// what is already queued, and Close returns when they have exited. The
+// snapshot is final afterwards.
+func (e *Engine) Close() {
+	if e.closed.Swap(true) {
+		e.wg.Wait()
+		return
+	}
+	for _, s := range e.shards {
+		s.close()
+	}
+	e.wg.Wait()
+}
+
+// Snapshot aggregates every shard's accounting.
+type Snapshot struct {
+	// Submitted counts packets accepted into the queues; QueueDropped
+	// counts packets the admission policy rejected. Submitted + QueueDropped
+	// is everything offered.
+	Submitted    stats.Counter
+	QueueDropped uint64
+	// Forwarded/Delivered/Dropped classify processed packets by the
+	// forwarding decision; DropsByReason breaks the forwarding drops
+	// down.
+	Forwarded     stats.Counter
+	Delivered     stats.Counter
+	Dropped       stats.Counter
+	DropsByReason map[swmpls.DropReason]uint64
+	// BatchTime samples seconds of processing per worker batch, merged
+	// across workers. WorkerBusy is each worker's total processing time
+	// in seconds — max(WorkerBusy) is the engine's critical path, which
+	// is how the benchmark derives capacity on core-limited hosts.
+	BatchTime  stats.Sample
+	WorkerBusy []float64
+}
+
+// Processed returns how many packets the workers have finished.
+func (s *Snapshot) Processed() uint64 {
+	return s.Forwarded.Events + s.Delivered.Events + s.Dropped.Events
+}
+
+// Snapshot merges the per-worker statistics into one view. It is safe to
+// call while the engine runs (each shard is locked briefly); for exact
+// totals call it after Close.
+func (e *Engine) Snapshot() Snapshot {
+	out := Snapshot{
+		DropsByReason: make(map[swmpls.DropReason]uint64),
+		WorkerBusy:    make([]float64, len(e.shards)),
+	}
+	for i, s := range e.shards {
+		s.mu.Lock()
+		out.Submitted.Merge(s.agg.submitted)
+		out.QueueDropped += s.sched.Dropped()
+		out.Forwarded.Merge(s.agg.forwarded)
+		out.Delivered.Merge(s.agg.delivered)
+		out.Dropped.Merge(s.agg.dropped)
+		for r, n := range s.agg.dropsByReason {
+			if n > 0 {
+				out.DropsByReason[swmpls.DropReason(r)] += n
+			}
+		}
+		out.BatchTime.Merge(&s.agg.batchTime)
+		out.WorkerBusy[i] = s.agg.busy
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// String summarises the snapshot for logs.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("dataplane{submitted=%d qdrop=%d fwd=%d dlv=%d drop=%d}",
+		s.Submitted.Events, s.QueueDropped, s.Forwarded.Events, s.Delivered.Events, s.Dropped.Events)
+}

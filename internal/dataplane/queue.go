@@ -1,0 +1,165 @@
+package dataplane
+
+import (
+	"sync"
+
+	"embeddedmpls/internal/packet"
+	"embeddedmpls/internal/qos"
+	"embeddedmpls/internal/stats"
+	"embeddedmpls/internal/swmpls"
+)
+
+// shard is one worker's slice of the engine: a bounded ingress queue and
+// the statistics accumulated from that worker's batches. The mutex only
+// guards the queue handoff and the (per-batch, not per-packet) stats
+// fold, so producer/worker contention is brief and confined to one
+// shard.
+type shard struct {
+	mu       sync.Mutex
+	notEmpty *sync.Cond // queue gained a packet, or shard closed
+	notFull  *sync.Cond // worker drained, or shard closed
+	sched    qos.Scheduler
+	closed   bool
+	agg      shardAgg
+}
+
+// shardAgg is the shard's accumulated accounting, guarded by shard.mu.
+type shardAgg struct {
+	submitted     stats.Counter
+	forwarded     stats.Counter
+	delivered     stats.Counter
+	dropped       stats.Counter
+	dropsByReason [8]uint64
+	batchTime     stats.Sample
+	busy          float64
+}
+
+func newShard(policy DropPolicy, queueCap int) *shard {
+	var sched qos.Scheduler
+	switch policy {
+	case CoSAware:
+		perClass := queueCap / qos.NumClasses
+		if perClass < 1 {
+			perClass = 1
+		}
+		sched = qos.NewPriority(perClass)
+	default:
+		sched = qos.NewFIFO(queueCap)
+	}
+	s := &shard{sched: sched}
+	s.notEmpty = sync.NewCond(&s.mu)
+	s.notFull = sync.NewCond(&s.mu)
+	return s
+}
+
+// enqueue admits one packet, blocking for space when wait is set.
+func (s *shard) enqueue(p *packet.Packet, wait bool) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.enqueueLocked(p, wait)
+}
+
+// enqueueBatch admits a group of packets under one lock acquisition and
+// returns how many were accepted.
+func (s *shard) enqueueBatch(ps []*packet.Packet, wait bool) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	accepted := 0
+	for _, p := range ps {
+		if s.enqueueLocked(p, wait) {
+			accepted++
+		} else if s.closed {
+			break
+		}
+	}
+	return accepted
+}
+
+func (s *shard) enqueueLocked(p *packet.Packet, wait bool) bool {
+	if wait {
+		for s.sched.Full(p) && !s.closed {
+			s.notFull.Wait()
+		}
+	}
+	if s.closed {
+		return false
+	}
+	if !s.sched.Enqueue(p) {
+		return false // the scheduler counted the drop
+	}
+	s.agg.submitted.Add(p.Size())
+	s.notEmpty.Signal()
+	return true
+}
+
+// drain blocks until the queue holds packets (or the shard is closed and
+// empty, in which case it returns nil to stop the worker), then moves up
+// to max packets into buf.
+func (s *shard) drain(buf []*packet.Packet, max int) []*packet.Packet {
+	s.mu.Lock()
+	for s.sched.Len() == 0 && !s.closed {
+		s.notEmpty.Wait()
+	}
+	if s.sched.Len() == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	for len(buf) < max {
+		p, ok := s.sched.Dequeue()
+		if !ok {
+			break
+		}
+		buf = append(buf, p)
+	}
+	s.notFull.Broadcast()
+	s.mu.Unlock()
+	return buf
+}
+
+// fold merges one processed batch's accounting into the shard, one lock
+// acquisition per batch so the per-packet path stays contention-free.
+func (s *shard) fold(acc *batchAcc) {
+	s.mu.Lock()
+	s.agg.forwarded.Merge(acc.forwarded)
+	s.agg.delivered.Merge(acc.delivered)
+	s.agg.dropped.Merge(acc.dropped)
+	for r, n := range acc.dropsByReason {
+		s.agg.dropsByReason[r] += n
+	}
+	s.agg.batchTime.Observe(acc.busy)
+	s.agg.busy += acc.busy
+	s.mu.Unlock()
+}
+
+func (s *shard) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.notEmpty.Broadcast()
+	s.notFull.Broadcast()
+	s.mu.Unlock()
+}
+
+// batchAcc is a worker's lock-free per-batch accumulator.
+type batchAcc struct {
+	forwarded     stats.Counter
+	delivered     stats.Counter
+	dropped       stats.Counter
+	dropsByReason [8]uint64
+	busy          float64
+}
+
+func (a *batchAcc) reset() { *a = batchAcc{} }
+
+func (a *batchAcc) record(p *packet.Packet, res swmpls.Result) {
+	switch res.Action {
+	case swmpls.Forward:
+		a.forwarded.Add(p.Size())
+	case swmpls.Deliver:
+		a.delivered.Add(p.Size())
+	default:
+		a.dropped.Add(p.Size())
+		if int(res.Drop) < len(a.dropsByReason) {
+			a.dropsByReason[res.Drop]++
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package qos
+
+import (
+	"testing"
+
+	"embeddedmpls/internal/label"
+	"embeddedmpls/internal/packet"
+)
+
+func classedPacket(cos label.CoS) *packet.Packet {
+	p := packet.New(1, 2, 64, nil)
+	if err := p.Stack.Push(label.Entry{Label: 100, CoS: cos, TTL: 64}); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Full must predict Enqueue's hard rejections without ever counting a
+// drop — the dataplane engine polls it to apply backpressure.
+func TestFullPredictsEnqueue(t *testing.T) {
+	t.Run("fifo", func(t *testing.T) {
+		q := NewFIFO(2)
+		for i := 0; i < 2; i++ {
+			if q.Full(classedPacket(0)) {
+				t.Fatalf("full at %d/2", i)
+			}
+			if !q.Enqueue(classedPacket(0)) {
+				t.Fatalf("enqueue %d rejected", i)
+			}
+		}
+		if !q.Full(classedPacket(7)) {
+			t.Error("not full at capacity")
+		}
+		if q.Dropped() != 0 {
+			t.Errorf("Full counted %d drops", q.Dropped())
+		}
+		q.Dequeue()
+		if q.Full(classedPacket(0)) {
+			t.Error("still full after dequeue")
+		}
+	})
+	t.Run("priority-per-class", func(t *testing.T) {
+		q := NewPriority(1)
+		if !q.Enqueue(classedPacket(0)) {
+			t.Fatal("first class-0 packet rejected")
+		}
+		if !q.Full(classedPacket(0)) {
+			t.Error("class 0 not full at per-class capacity")
+		}
+		// Other classes still have room: Full is per class.
+		if q.Full(classedPacket(7)) {
+			t.Error("class 7 reported full while empty")
+		}
+		if q.Dropped() != 0 {
+			t.Errorf("Full counted %d drops", q.Dropped())
+		}
+	})
+	t.Run("wred-hard-limit", func(t *testing.T) {
+		q := NewRED(2, REDParams{MinTh: 1000, MaxTh: 2000, MaxP: 0.5}, 1)
+		for i := 0; i < 2; i++ {
+			if !q.Enqueue(classedPacket(0)) {
+				t.Fatalf("enqueue %d rejected below thresholds", i)
+			}
+		}
+		if !q.Full(classedPacket(0)) {
+			t.Error("RED not full at hard capacity")
+		}
+	})
+}

@@ -42,6 +42,12 @@ type Scheduler interface {
 	Len() int
 	// Dropped returns how many packets Enqueue has rejected.
 	Dropped() uint64
+	// Full reports whether Enqueue of p would certainly be rejected right
+	// now (its queue is at capacity). Probabilistic admission (RED) may
+	// still drop a packet that Full said fits; Full never counts a drop,
+	// so producers can poll it to apply backpressure instead of losing
+	// packets.
+	Full(p *packet.Packet) bool
 }
 
 // fifo is the no-QoS baseline: one tail-drop queue for every class.
@@ -81,8 +87,9 @@ func (f *fifo) Dequeue() (*packet.Packet, bool) {
 	return p, true
 }
 
-func (f *fifo) Len() int        { return len(f.q) }
-func (f *fifo) Dropped() uint64 { return f.dropped }
+func (f *fifo) Len() int                 { return len(f.q) }
+func (f *fifo) Dropped() uint64          { return f.dropped }
+func (f *fifo) Full(*packet.Packet) bool { return len(f.q) >= f.cap }
 
 // classQueues is the shared per-class storage of the CoS schedulers.
 type classQueues struct {
@@ -115,6 +122,11 @@ func (c *classQueues) popFrom(cls int) *packet.Packet {
 
 func (c *classQueues) Len() int        { return c.total }
 func (c *classQueues) Dropped() uint64 { return c.dropped }
+
+// Full reports whether p's class queue is at its per-class capacity.
+func (c *classQueues) Full(p *packet.Packet) bool {
+	return len(c.q[ClassOf(p)]) >= c.perCap
+}
 
 // priority always serves the highest non-empty class first.
 type priority struct {

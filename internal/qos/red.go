@@ -105,3 +105,7 @@ func (r *red) Dequeue() (*packet.Packet, bool) {
 
 func (r *red) Len() int        { return len(r.q) }
 func (r *red) Dropped() uint64 { return r.dropped }
+
+// Full reports hard-full only; RED's probabilistic early drops are not
+// predicted (they are the algorithm's point).
+func (r *red) Full(*packet.Packet) bool { return len(r.q) >= r.cap }

@@ -3,6 +3,7 @@ package router
 import (
 	"fmt"
 
+	"embeddedmpls/internal/dataplane"
 	"embeddedmpls/internal/device"
 	"embeddedmpls/internal/ldp"
 	"embeddedmpls/internal/lsm"
@@ -21,6 +22,11 @@ type NodeSpec struct {
 	RouterType lsm.RouterType
 	// SoftwareCost overrides the software per-packet cost (<=0: default).
 	SoftwareCost netsim.Time
+	// EngineWorkers, when > 0, gives this software-plane node the
+	// concurrent dataplane engine with that many shard workers instead
+	// of the serial forwarder: RCU table updates and a per-packet cost
+	// amortised across the workers. Ignored for hardware nodes.
+	EngineWorkers int
 }
 
 // LinkSpec describes one duplex connection.
@@ -59,9 +65,13 @@ func Build(nodes []NodeSpec, links []LinkSpec) (*Network, error) {
 			return nil, fmt.Errorf("router: duplicate node %q", spec.Name)
 		}
 		var plane DataPlane
-		if spec.Hardware {
+		switch {
+		case spec.Hardware:
 			plane = NewHardwarePlane(device.New(spec.RouterType, lsm.DefaultClock))
-		} else {
+		case spec.EngineWorkers > 0:
+			eng := dataplane.New(dataplane.Config{Workers: spec.EngineWorkers})
+			plane = NewEnginePlane(eng, spec.SoftwareCost)
+		default:
 			plane = NewSoftwarePlane(spec.SoftwareCost)
 		}
 		n.Routers[spec.Name] = New(n.Sim, spec.Name, plane)
@@ -101,6 +111,16 @@ func Build(nodes []NodeSpec, links []LinkSpec) (*Network, error) {
 		}
 	}
 	return n, nil
+}
+
+// Close stops the worker goroutines of any engine-backed data planes.
+// Networks using only serial planes need no cleanup.
+func (n *Network) Close() {
+	for _, r := range n.Routers {
+		if ep, ok := r.Plane().(*EnginePlane); ok {
+			ep.Engine.Close()
+		}
+	}
 }
 
 // Router returns a node by name, panicking on unknown names — network

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// The dataplane engine keeps one Counter/Sample/Series per worker and
+// merges them on snapshot; these tests pin the invariant that the merged
+// aggregate is indistinguishable from having recorded everything in one
+// global instance.
+
+func TestCounterWorkerMerge(t *testing.T) {
+	const workers = 8
+	var global, merged Counter
+	perWorker := make([]Counter, workers)
+	for i := 0; i < 10000; i++ {
+		size := 40 + i%1400
+		global.Add(size)
+		perWorker[i%workers].Add(size)
+	}
+	for _, w := range perWorker {
+		merged.Merge(w)
+	}
+	if merged != global {
+		t.Fatalf("merged %+v != global %+v", merged, global)
+	}
+	geps, gbps := global.Rate(2.5)
+	meps, mbps := merged.Rate(2.5)
+	if geps != meps || gbps != mbps {
+		t.Fatalf("rates diverge: (%g,%g) vs (%g,%g)", meps, mbps, geps, gbps)
+	}
+}
+
+func TestSampleWorkerMerge(t *testing.T) {
+	const workers = 4
+	var global Sample
+	perWorker := make([]*Sample, workers)
+	for i := range perWorker {
+		perWorker[i] = &Sample{}
+	}
+	for i := 0; i < 5000; i++ {
+		v := math.Sin(float64(i)) * 100
+		global.Observe(v)
+		perWorker[i%workers].Observe(v)
+	}
+	var merged Sample
+	for _, w := range perWorker {
+		merged.Merge(w)
+	}
+	if merged.Count() != global.Count() {
+		t.Fatalf("count %d != %d", merged.Count(), global.Count())
+	}
+	for _, p := range []float64{0, 50, 95, 99, 100} {
+		if got, want := merged.Percentile(p), global.Percentile(p); math.Abs(got-want) > 1e-9 {
+			t.Errorf("p%g: merged %g, global %g", p, got, want)
+		}
+	}
+	if math.Abs(merged.Mean()-global.Mean()) > 1e-9 {
+		t.Errorf("mean: merged %g, global %g", merged.Mean(), global.Mean())
+	}
+	// Merging an empty or nil sample changes nothing.
+	before := merged.Count()
+	merged.Merge(&Sample{})
+	merged.Merge(nil)
+	if merged.Count() != before {
+		t.Error("merging empty samples changed the count")
+	}
+}
+
+func TestSeriesWorkerMerge(t *testing.T) {
+	const workers = 3
+	global := NewSeries(0.5)
+	perWorker := make([]*Series, workers)
+	for i := range perWorker {
+		perWorker[i] = NewSeries(0.5)
+	}
+	for i := 0; i < 3000; i++ {
+		ts := float64(i) * 0.01
+		global.Observe(ts, float64(i%7))
+		global.Count(ts, 100+i%200)
+		perWorker[i%workers].Observe(ts, float64(i%7))
+		perWorker[i%workers].Count(ts, 100+i%200)
+	}
+	merged := NewSeries(0.5)
+	for _, w := range perWorker {
+		merged.Merge(w)
+	}
+	gb, mb := global.Bins(), merged.Bins()
+	if len(gb) != len(mb) {
+		t.Fatalf("bin count %d != %d", len(mb), len(gb))
+	}
+	for i := range gb {
+		if gb[i].Count != mb[i].Count || math.Abs(gb[i].Mean-mb[i].Mean) > 1e-9 || gb[i].BPS != mb[i].BPS {
+			t.Errorf("bin %d: merged %+v, global %+v", i, mb[i], gb[i])
+		}
+	}
+}
+
+func TestSeriesMergeWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging mismatched bin widths did not panic")
+		}
+	}()
+	NewSeries(0.5).Merge(NewSeries(1.0))
+}

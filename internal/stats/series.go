@@ -52,6 +52,26 @@ func (s *Series) Count(t float64, bytes int) {
 	b.bytes += uint64(bytes)
 }
 
+// Merge folds o's bins into s. Both series must use the same bin width —
+// the per-worker series of the dataplane engine are all created from one
+// config, so a mismatch is a programming error and panics.
+func (s *Series) Merge(o *Series) {
+	if o == nil {
+		return
+	}
+	if o.width != s.width {
+		panic("stats: merging series with different bin widths")
+	}
+	for len(s.bins) < len(o.bins) {
+		s.bins = append(s.bins, seriesBin{})
+	}
+	for i, b := range o.bins {
+		s.bins[i].count += b.count
+		s.bins[i].bytes += b.bytes
+		s.bins[i].sum += b.sum
+	}
+}
+
 // BinStat summarises one bin.
 type BinStat struct {
 	Start float64 // bin start time, seconds

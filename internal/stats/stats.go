@@ -55,6 +55,19 @@ func (s *Sample) Observe(v float64) {
 // Count returns the number of observations.
 func (s *Sample) Count() int { return len(s.xs) }
 
+// Merge folds every observation of o into s. The dataplane engine keeps
+// one Sample per worker so the hot path never shares memory, then merges
+// them on snapshot; the merged sample answers queries exactly as if every
+// observation had been recorded centrally.
+func (s *Sample) Merge(o *Sample) {
+	if o == nil || len(o.xs) == 0 {
+		return
+	}
+	s.xs = append(s.xs, o.xs...)
+	s.sorted = false
+	s.sum += o.sum
+}
+
 // Mean returns the arithmetic mean, or 0 with no observations.
 func (s *Sample) Mean() float64 {
 	if len(s.xs) == 0 {

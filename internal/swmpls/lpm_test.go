@@ -1,0 +1,170 @@
+package swmpls
+
+import (
+	"testing"
+
+	"embeddedmpls/internal/label"
+	"embeddedmpls/internal/packet"
+)
+
+// The FTN's longest-prefix match is now load-bearing for the sharded
+// dataplane engine, so its boundary behaviour is pinned down here: the
+// /0 default route, /32 host routes, and overlapping prefixes.
+
+func pushNHLFE(lbl label.Label, nh string) NHLFE {
+	return NHLFE{NextHop: nh, Op: label.OpPush, PushLabels: []label.Label{lbl}}
+}
+
+// ingressHop forwards an unlabelled packet for dst and returns the next
+// hop it was pushed toward.
+func ingressHop(t *testing.T, f *Forwarder, dst packet.Addr) (string, bool) {
+	t.Helper()
+	p := packet.New(packet.AddrFrom(192, 0, 2, 1), dst, 64, nil)
+	res := f.Forward(p)
+	switch res.Action {
+	case Forward:
+		return res.NextHop, true
+	case Drop:
+		return "", false
+	default:
+		t.Fatalf("unexpected action %v for %v", res.Action, dst)
+		return "", false
+	}
+}
+
+func TestLPMDefaultRoute(t *testing.T) {
+	f := New()
+	if err := f.MapFEC(0, 0, pushNHLFE(100, "default")); err != nil {
+		t.Fatal(err)
+	}
+	// A /0 entry matches absolutely everything.
+	for _, dst := range []packet.Addr{
+		0,
+		packet.AddrFrom(10, 0, 0, 1),
+		packet.AddrFrom(255, 255, 255, 255),
+	} {
+		nh, ok := ingressHop(t, f, dst)
+		if !ok || nh != "default" {
+			t.Errorf("dst %v: got (%q,%v), want default route", dst, nh, ok)
+		}
+	}
+}
+
+func TestLPMHostRoute(t *testing.T) {
+	f := New()
+	host := packet.AddrFrom(10, 0, 0, 9)
+	if err := f.MapFEC(host, 32, pushNHLFE(100, "host")); err != nil {
+		t.Fatal(err)
+	}
+	if nh, ok := ingressHop(t, f, host); !ok || nh != "host" {
+		t.Errorf("host route: got (%q,%v)", nh, ok)
+	}
+	// The immediate neighbours of the host address must miss.
+	for _, dst := range []packet.Addr{host - 1, host + 1} {
+		if nh, ok := ingressHop(t, f, dst); ok {
+			t.Errorf("dst %v wrongly matched /32 for %v (next hop %q)", dst, host, nh)
+		}
+	}
+}
+
+func TestLPMLongestWins(t *testing.T) {
+	f := New()
+	// Nested prefixes 10/8 ⊃ 10.1/16 ⊃ 10.1.2/24 ⊃ 10.1.2.3/32, plus a
+	// default route underneath them all.
+	for _, e := range []struct {
+		dst packet.Addr
+		len int
+		nh  string
+	}{
+		{0, 0, "default"},
+		{packet.AddrFrom(10, 0, 0, 0), 8, "eight"},
+		{packet.AddrFrom(10, 1, 0, 0), 16, "sixteen"},
+		{packet.AddrFrom(10, 1, 2, 0), 24, "twentyfour"},
+		{packet.AddrFrom(10, 1, 2, 3), 32, "thirtytwo"},
+	} {
+		if err := f.MapFEC(e.dst, e.len, pushNHLFE(100, e.nh)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		dst  packet.Addr
+		want string
+	}{
+		{packet.AddrFrom(10, 1, 2, 3), "thirtytwo"},
+		{packet.AddrFrom(10, 1, 2, 4), "twentyfour"},
+		{packet.AddrFrom(10, 1, 3, 1), "sixteen"},
+		{packet.AddrFrom(10, 2, 0, 1), "eight"},
+		{packet.AddrFrom(11, 0, 0, 1), "default"},
+	}
+	for _, c := range cases {
+		if nh, ok := ingressHop(t, f, c.dst); !ok || nh != c.want {
+			t.Errorf("dst %v: got (%q,%v), want %q", c.dst, nh, ok, c.want)
+		}
+	}
+	// Removing the most specific entry re-exposes the next-longest.
+	if !f.UnmapFEC(packet.AddrFrom(10, 1, 2, 3), 32) {
+		t.Fatal("UnmapFEC reported no /32 entry")
+	}
+	if nh, _ := ingressHop(t, f, packet.AddrFrom(10, 1, 2, 3)); nh != "twentyfour" {
+		t.Errorf("after removing /32: got %q, want twentyfour", nh)
+	}
+}
+
+func TestLPMPrefixLenValidation(t *testing.T) {
+	f := New()
+	for _, bad := range []int{-1, 33} {
+		if err := f.MapFEC(0, bad, pushNHLFE(100, "x")); err == nil {
+			t.Errorf("prefix length %d accepted", bad)
+		}
+		if f.UnmapFEC(0, bad) {
+			t.Errorf("UnmapFEC(%d) reported success", bad)
+		}
+	}
+}
+
+// TestCloneIndependence pins the copy-on-write contract the dataplane
+// engine's RCU snapshots rely on: edits to a clone never surface in the
+// original, and vice versa.
+func TestCloneIndependence(t *testing.T) {
+	orig := New()
+	dst := packet.AddrFrom(10, 1, 0, 0)
+	if err := orig.MapFEC(dst, 16, pushNHLFE(100, "old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.MapLabel(100, NHLFE{NextHop: "old", Op: label.OpSwap, PushLabels: []label.Label{200}}); err != nil {
+		t.Fatal(err)
+	}
+
+	clone := orig.Clone()
+	if err := clone.MapFEC(dst, 16, pushNHLFE(101, "new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := clone.MapLabel(100, NHLFE{NextHop: "new", Op: label.OpSwap, PushLabels: []label.Label{201}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := clone.MapLabel(300, NHLFE{NextHop: "extra", Op: label.OpSwap, PushLabels: []label.Label{301}}); err != nil {
+		t.Fatal(err)
+	}
+	clone.UnmapFEC(dst, 16)
+
+	// The original still answers from its own tables.
+	if nh, ok := ingressHop(t, orig, packet.AddrFrom(10, 1, 9, 9)); !ok || nh != "old" {
+		t.Errorf("original FTN changed by clone edits: (%q,%v)", nh, ok)
+	}
+	if n, ok := orig.LookupILM(100); !ok || n.NextHop != "old" {
+		t.Errorf("original ILM changed by clone edits: (%+v,%v)", n, ok)
+	}
+	if _, ok := orig.LookupILM(300); ok {
+		t.Error("clone-only ILM entry leaked into the original")
+	}
+	// And the clone answers from its edited tables.
+	if _, ok := ingressHop(t, clone, packet.AddrFrom(10, 1, 9, 9)); ok {
+		t.Error("clone FTN still holds the entry it removed")
+	}
+	if n, ok := clone.LookupILM(100); !ok || n.NextHop != "new" {
+		t.Errorf("clone ILM lost its edit: (%+v,%v)", n, ok)
+	}
+	if orig.ILMSize() != 1 || clone.ILMSize() != 2 {
+		t.Errorf("ILM sizes orig=%d clone=%d, want 1/2", orig.ILMSize(), clone.ILMSize())
+	}
+}

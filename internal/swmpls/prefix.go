@@ -57,6 +57,23 @@ func (t *prefixTable) lookup(addr packet.Addr) (NHLFE, bool) {
 	return *best, true
 }
 
+// clone deep-copies the trie structure. Entry pointers are shared: insert
+// never mutates an installed NHLFE in place (it always allocates a fresh
+// one), so shared entries are safe under concurrent readers.
+func (t *prefixTable) clone() *prefixTable {
+	return &prefixTable{root: t.root.clone()}
+}
+
+func (n *trieNode) clone() *trieNode {
+	if n == nil {
+		return nil
+	}
+	return &trieNode{
+		child: [2]*trieNode{n.child[0].clone(), n.child[1].clone()},
+		entry: n.entry,
+	}
+}
+
 // remove deletes the binding for exactly addr/prefixLen and reports
 // whether one existed. Interior nodes are left in place; the trie is
 // small enough that pruning is not worth the complexity.

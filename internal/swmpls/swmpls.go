@@ -139,6 +139,21 @@ func New() *Forwarder {
 	return &Forwarder{ftn: newPrefixTable(), ilm: make(map[label.Label]NHLFE)}
 }
 
+// Clone returns an independent copy of the forwarder's tables. NHLFE
+// values (including their PushLabels slices) are treated as immutable
+// after installation, so clones share them; everything mutable — the ILM
+// map and the FTN trie nodes — is copied. This is the copy-on-write
+// primitive behind the dataplane engine's RCU table snapshots: the
+// control plane clones the live table, edits the clone, and publishes it
+// atomically while readers keep traversing the old one.
+func (f *Forwarder) Clone() *Forwarder {
+	ilm := make(map[label.Label]NHLFE, len(f.ilm))
+	for in, n := range f.ilm {
+		ilm[in] = n
+	}
+	return &Forwarder{ftn: f.ftn.clone(), ilm: ilm}
+}
+
 // MapFEC binds the FEC (dst/prefixLen) to an NHLFE in the FTN.
 func (f *Forwarder) MapFEC(dst packet.Addr, prefixLen int, n NHLFE) error {
 	if err := n.Validate(); err != nil {
