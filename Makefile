@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test bench bench-dataplane reproduce race cover examples clean
+.PHONY: all build test bench bench-dataplane reproduce race cover metrics examples clean
 
 all: build test
 
@@ -29,12 +29,20 @@ race:
 	go test -race ./...
 	go test -race -count=2 ./internal/dataplane
 
+# Per-package coverage plus an aggregate profile with a per-function
+# report and a repo-wide total line.
 cover:
-	go test -cover ./internal/...
+	go test -coverprofile=coverage.out ./internal/...
+	go tool cover -func=coverage.out | tail -1
 
 examples:
 	@for ex in quickstart figure1 tunnel voipqos hwsw signaling mmio dataplane; do \
 		echo "== $$ex =="; go run ./examples/$$ex; echo; done
 
+# Run the metrics workload: forces every drop reason, prints the
+# Prometheus exposition and the label-operation trace.
+metrics:
+	go run ./cmd/mplsbench -engine=dataplane -metrics
+
 clean:
-	rm -rf results
+	rm -rf results coverage.out

@@ -16,7 +16,10 @@ import (
 	"os"
 	"time"
 
+	"embeddedmpls/internal/infobase"
+	"embeddedmpls/internal/label"
 	"embeddedmpls/internal/lsm"
+	"embeddedmpls/internal/telemetry"
 )
 
 func main() {
@@ -81,4 +84,45 @@ func main() {
 	if err != nil {
 		log.Fatalf("lsmtrace: %v", err)
 	}
+	if *op != "" {
+		if err := replayTelemetry(w, *op); err != nil {
+			log.Fatalf("lsmtrace: %v", err)
+		}
+	}
+}
+
+// replayTelemetry runs the same update the RTL waveform shows through
+// the behavioral reference model with a telemetry ring attached, so the
+// signal-level trace can be read side by side with the label-operation
+// event it amounts to.
+func replayTelemetry(w io.Writer, op string) error {
+	var stored label.Op
+	switch op {
+	case "swap":
+		stored = label.OpSwap
+	case "pop":
+		stored = label.OpPop
+	case "push":
+		stored = label.OpPush
+	case "miss":
+		stored = label.OpSwap
+	default:
+		return fmt.Errorf("unknown update trace op %q (swap, pop, push, miss)", op)
+	}
+	ring := telemetry.NewRing(4)
+	m := lsm.NewBehavioral(lsm.LSR)
+	m.SetTrace(ring, "lsm")
+	if err := m.WritePair(infobase.Level2, infobase.Pair{Index: 42, NewLabel: 777, Op: stored}); err != nil {
+		return err
+	}
+	carried := label.Label(42)
+	if op == "miss" {
+		carried = 27
+	}
+	if err := m.UserPush(label.Entry{Label: carried, CoS: 3, TTL: 64}); err != nil {
+		return err
+	}
+	m.Update(lsm.UpdateRequest{})
+	fmt.Fprintln(w, "\ntelemetry event (behavioral reference model):")
+	return ring.Dump(w)
 }

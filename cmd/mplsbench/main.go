@@ -36,8 +36,19 @@ func main() {
 	workers := flag.Int("workers", 4, "dataplane engine: maximum shard workers to sweep to")
 	packets := flag.Int("packets", 200000, "dataplane engine: packets per run")
 	jsonOut := flag.Bool("json", false, "dataplane engine: write BENCH_dataplane.json")
+	metrics := flag.Bool("metrics", false, "dataplane engine: run the drop-reason workload and print the Prometheus exposition")
 	flag.Parse()
 	if *engine == "dataplane" {
+		if *metrics {
+			path := ""
+			if *jsonOut {
+				path = "BENCH_dataplane.prom"
+			}
+			if err := runDataplaneMetrics(path); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
 		path := ""
 		if *jsonOut {
 			path = "BENCH_dataplane.json"
@@ -46,6 +57,9 @@ func main() {
 			log.Fatal(err)
 		}
 		return
+	}
+	if *metrics {
+		log.Fatal("-metrics requires -engine=dataplane")
 	}
 	if *engine != "lsm" {
 		log.Fatalf("unknown -engine %q (want lsm or dataplane)", *engine)

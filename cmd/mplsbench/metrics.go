@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"time"
+
+	"embeddedmpls/internal/dataplane"
+	"embeddedmpls/internal/label"
+	"embeddedmpls/internal/packet"
+	"embeddedmpls/internal/swmpls"
+	"embeddedmpls/internal/telemetry"
+)
+
+// runDataplaneMetrics drives a workload through the engine that forces
+// every drop reason in the telemetry taxonomy — the paper's three
+// discard transitions (information base lookup miss, TTL expiry,
+// inconsistent stored operation) plus the software-only no-route case
+// and a queue overflow — then prints the Prometheus text exposition and
+// the tail of the label-operation trace. With promPath set the
+// exposition is also written to that file.
+func runDataplaneMetrics(promPath string) error {
+	trace := telemetry.NewRing(32)
+	e := dataplane.New(dataplane.Config{
+		Workers: 2, QueueCap: 32, Batch: 8, Node: "bench-lsr", Trace: trace,
+		// A deliberately slow sink so non-blocking submits can outrun
+		// the workers and overflow the shard queues.
+		Deliver: func(*packet.Packet, swmpls.Result) { time.Sleep(5 * time.Microsecond) },
+	})
+	if err := e.Update(func(f *swmpls.Forwarder) error {
+		if err := f.InstallILM(100, swmpls.NHLFE{
+			NextHop: "peer", Op: label.OpSwap, PushLabels: []label.Label{200},
+		}); err != nil {
+			return err
+		}
+		// Label 300 stores a push: applied to an already full stack it
+		// is the paper's inconsistent-operation discard.
+		if err := f.InstallILM(300, swmpls.NHLFE{
+			NextHop: "peer", Op: label.OpPush, PushLabels: []label.Label{301},
+		}); err != nil {
+			return err
+		}
+		return f.InstallFEC(packet.AddrFrom(10, 0, 0, 0), 8, swmpls.NHLFE{
+			NextHop: "peer", Op: label.OpPush, PushLabels: []label.Label{400},
+		})
+	}); err != nil {
+		return err
+	}
+
+	const per = 200
+	for i := 0; i < per; i++ {
+		// Forwarded traffic: ingress pushes and transit swaps.
+		u := packet.New(packet.AddrFrom(192, 0, 2, 1), packet.AddrFrom(10, 1, 2, 3), 64, nil)
+		u.Header.FlowID = uint16(i)
+		e.SubmitWait(u)
+		e.SubmitWait(benchLabelled(100, uint16(i), 64))
+		// Lookup miss: no ILM binding for label 999.
+		e.SubmitWait(benchLabelled(999, uint16(i), 64))
+		// TTL expiry: a mapped label arriving with TTL 1.
+		e.SubmitWait(benchLabelled(100, uint16(i), 1))
+		// Inconsistent operation: label 300 wants a push but the stack
+		// is already at MaxDepth.
+		full := benchLabelled(20, uint16(i), 64)
+		_ = full.Stack.Push(label.Entry{Label: 21, TTL: 64})
+		_ = full.Stack.Push(label.Entry{Label: 300, TTL: 64})
+		e.SubmitWait(full)
+		// No route: unlabelled with no FEC covering the destination.
+		n := packet.New(packet.AddrFrom(192, 0, 2, 1), packet.AddrFrom(172, 16, 0, 1), 64, nil)
+		n.Header.FlowID = uint16(i)
+		e.SubmitWait(n)
+	}
+	// Queue overflow: non-blocking submits against the slow sink until
+	// an admission rejection lands (bounded so a fast host cannot hang).
+	for i := 0; i < 100000 && e.Drops().Get(telemetry.ReasonQueueOverfull) == 0; i++ {
+		e.Submit(benchLabelled(100, uint16(i), 64))
+	}
+	e.Close()
+
+	reg := telemetry.NewRegistry()
+	e.RegisterMetrics(reg, nil)
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		return err
+	}
+	os.Stdout.Write(buf.Bytes())
+	if promPath != "" {
+		if err := os.WriteFile(promPath, buf.Bytes(), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", promPath)
+	}
+
+	fmt.Printf("\nlabel-operation trace (last %d of %d events):\n", trace.Len(), trace.Total())
+	if err := trace.Dump(os.Stdout); err != nil {
+		return err
+	}
+	for _, r := range []telemetry.Reason{
+		telemetry.ReasonLookupMiss, telemetry.ReasonTTLExpired, telemetry.ReasonInconsistentOp,
+	} {
+		if e.Drops().Get(r) == 0 {
+			return fmt.Errorf("metrics workload failed to produce %v drops", r)
+		}
+	}
+	return nil
+}
+
+func benchLabelled(lbl label.Label, flow uint16, ttl uint8) *packet.Packet {
+	p := packet.New(packet.AddrFrom(192, 0, 2, 1), packet.AddrFrom(10, 0, 0, 9), 64, nil)
+	p.Header.FlowID = flow
+	if err := p.Stack.Push(label.Entry{Label: lbl, TTL: ttl}); err != nil {
+		panic(err)
+	}
+	return p
+}

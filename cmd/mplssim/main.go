@@ -28,8 +28,45 @@ import (
 	"embeddedmpls/internal/qos"
 	"embeddedmpls/internal/router"
 	"embeddedmpls/internal/te"
+	"embeddedmpls/internal/telemetry"
 	"embeddedmpls/internal/trafficgen"
 )
+
+// traceRing and traceDrops are shared by every network a scenario
+// builds (qos builds two), so the dump at the end of main covers the
+// whole run.
+var (
+	traceRing  *telemetry.Ring
+	traceDrops telemetry.DropCounters
+)
+
+// attachTelemetry hooks the shared drop counters — and, with -trace,
+// the label-operation ring — onto every router of a freshly built
+// network.
+func attachTelemetry(net *router.Network) {
+	net.SetDropCounters(&traceDrops)
+	if traceRing != nil {
+		net.SetTrace(traceRing)
+	}
+}
+
+// dumpTelemetry prints the trace ring and any nonzero per-reason drop
+// counts after the scenarios have run. Without -trace it prints
+// nothing extra unless packets were dropped.
+func dumpTelemetry() {
+	if traceRing != nil {
+		fmt.Printf("\nlabel-operation trace (last %d of %d events):\n", traceRing.Len(), traceRing.Total())
+		check(traceRing.Dump(os.Stdout))
+	}
+	if traceDrops.Total() > 0 {
+		fmt.Println("\ndrops by reason:")
+		for r, n := range traceDrops.Snapshot() {
+			if n > 0 {
+				fmt.Printf("  %-16v %d\n", telemetry.Reason(r), n)
+			}
+		}
+	}
+}
 
 func main() {
 	scenario := flag.String("scenario", "line", "line, tunnel, qos or failover")
@@ -38,10 +75,15 @@ func main() {
 	hops := flag.Int("hops", 4, "routers in the line scenario")
 	duration := flag.Float64("duration", 2, "simulated seconds of traffic")
 	rate := flag.Float64("rate", 10e6, "link rate, bits/second")
+	traceN := flag.Int("trace", 0, "record the last N label operations across all routers and dump them after the run")
 	flag.Parse()
 
+	if *traceN > 0 {
+		traceRing = telemetry.NewRing(*traceN)
+	}
 	if *configPath != "" {
 		runConfig(*configPath)
+		dumpTelemetry()
 		return
 	}
 	hardware := *plane == "hw"
@@ -57,6 +99,7 @@ func main() {
 	default:
 		log.Fatalf("mplssim: unknown scenario %q", *scenario)
 	}
+	dumpTelemetry()
 }
 
 func runConfig(path string) {
@@ -67,6 +110,7 @@ func runConfig(path string) {
 	check(err)
 	b, err := s.Build()
 	check(err)
+	attachTelemetry(b.Net)
 	end := b.Run()
 	fmt.Printf("scenario %q: simulated %.3fs\n", s.Name, end)
 	report(b.Collector, s.DurationS)
@@ -87,6 +131,7 @@ func runFailover(hardware bool, duration, rate float64) {
 	}
 	net, err := router.Build(nodes, links)
 	check(err)
+	attachTelemetry(net)
 	dst := packet.AddrFrom(10, 0, 0, 9)
 	_, err = net.LDP.SetupLSP(ldp.SetupRequest{
 		ID: "l", FEC: ldp.FEC{Dst: dst, PrefixLen: 32}, Path: []string{"a", "b", "d"},
@@ -154,6 +199,7 @@ func buildLine(hardware bool, hops int, rate float64, newQueue func(int) qos.Sch
 	}
 	net, err := router.Build(nodes, links)
 	check(err)
+	attachTelemetry(net)
 	return net
 }
 
@@ -202,6 +248,7 @@ func runTunnel(hardware bool, duration, rate float64) {
 	}
 	net, err := router.Build(nodes, links)
 	check(err)
+	attachTelemetry(net)
 
 	_, err = net.LDP.SetupTunnel("tun", []string{"head", "mid", "tail"}, 0)
 	check(err)

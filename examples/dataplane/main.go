@@ -10,6 +10,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 	"sync/atomic"
 	"time"
 
@@ -17,6 +18,7 @@ import (
 	"embeddedmpls/internal/label"
 	"embeddedmpls/internal/packet"
 	"embeddedmpls/internal/swmpls"
+	"embeddedmpls/internal/telemetry"
 )
 
 const (
@@ -83,6 +85,15 @@ func main() {
 	fmt.Printf("\ndelivered %d/%d packets in %v (%.0f pkts/sec end to end, 4 label ops each)\n",
 		received.Load(), count, elapsed.Round(time.Millisecond),
 		float64(received.Load())/elapsed.Seconds())
+
+	// The same data in scrapeable form: every node registers into one
+	// registry (distinguished by its node label), exactly as a metrics
+	// endpoint would serve them. The ingress alone keeps the example's
+	// output readable; swap in the loop over nodes to see the whole line.
+	fmt.Println("\nPrometheus exposition (ingress node):")
+	reg := telemetry.NewRegistry()
+	ingress.eng.RegisterMetrics(reg, telemetry.Labels{"example": "line"})
+	check(reg.WriteText(os.Stdout))
 }
 
 type node struct {
@@ -93,6 +104,7 @@ type node struct {
 func newNode(name string, deliver func(*packet.Packet, swmpls.Result)) *node {
 	return &node{name: name, eng: dataplane.New(dataplane.Config{
 		Workers: workers,
+		Node:    name,
 		Deliver: deliver,
 	})}
 }

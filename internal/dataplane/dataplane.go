@@ -33,6 +33,7 @@ import (
 	"embeddedmpls/internal/packet"
 	"embeddedmpls/internal/stats"
 	"embeddedmpls/internal/swmpls"
+	"embeddedmpls/internal/telemetry"
 )
 
 // DropPolicy selects what an over-full ingress queue does.
@@ -69,6 +70,14 @@ type Config struct {
 	// sequentially (and in per-flow order) within one — so it must be
 	// safe for concurrent use. Nil discards packets after accounting.
 	Deliver func(p *packet.Packet, res swmpls.Result)
+	// Node names this engine in telemetry (trace events, metric
+	// labels). Empty means "dataplane".
+	Node string
+	// Trace, when non-nil, receives one event per processed packet:
+	// the applied label operation, or the discard with its mapped
+	// reason. Workers write to it concurrently; the ring is safe for
+	// that.
+	Trace *telemetry.Ring
 }
 
 // Engine is the concurrent forwarding engine. Create one with New, feed
@@ -86,6 +95,14 @@ type Engine struct {
 	batch   int
 	deliver func(*packet.Packet, swmpls.Result)
 	seed    maphash.Seed
+
+	// drops is the engine-wide per-reason drop accounting. It is
+	// attached to the root forwarding table, and Clone carries the
+	// pointer forward, so every published RCU snapshot counts into the
+	// same counters; queue admission rejections land here too.
+	drops *telemetry.DropCounters
+	node  string
+	trace *telemetry.Ring
 
 	closed atomic.Bool
 	wg     sync.WaitGroup
@@ -105,15 +122,24 @@ func New(cfg Config) *Engine {
 	if batch <= 0 {
 		batch = 64
 	}
+	node := cfg.Node
+	if node == "" {
+		node = "dataplane"
+	}
 	e := &Engine{
 		shards:  make([]*shard, workers),
 		batch:   batch,
 		deliver: cfg.Deliver,
 		seed:    maphash.MakeSeed(),
+		drops:   new(telemetry.DropCounters),
+		node:    node,
+		trace:   cfg.Trace,
 	}
-	e.table.Store(swmpls.New())
+	root := swmpls.New()
+	root.SetDropCounters(e.drops)
+	e.table.Store(root)
 	for i := range e.shards {
-		e.shards[i] = newShard(cfg.Policy, queueCap)
+		e.shards[i] = newShard(cfg.Policy, queueCap, e.drops)
 	}
 	e.wg.Add(workers)
 	for i := range e.shards {
@@ -124,6 +150,12 @@ func New(cfg Config) *Engine {
 
 // Workers returns the number of shard workers.
 func (e *Engine) Workers() int { return len(e.shards) }
+
+// Drops exposes the engine's per-reason drop counters. They cover
+// forwarding drops on every published table snapshot (including
+// ProcessInline traffic) and queue admission rejections. Safe to read
+// while the engine runs.
+func (e *Engine) Drops() *telemetry.DropCounters { return e.drops }
 
 // Updates returns how many table snapshots have been published.
 func (e *Engine) Updates() uint64 { return e.updates.Load() }
@@ -278,14 +310,41 @@ func (e *Engine) worker(s *shard) {
 		acc.reset()
 		start := time.Now()
 		for _, p := range batch {
+			depth := p.Stack.Depth()
+			var inLabel uint32
+			if top, err := p.Stack.Top(); err == nil {
+				inLabel = uint32(top.Label)
+			}
+			s.depth.Observe(float64(depth))
 			res := forward(tbl, p)
 			acc.record(p, res)
+			if e.trace != nil {
+				e.traceResult(depth, inLabel, res)
+			}
 			if e.deliver != nil {
 				e.deliver(p, res)
 			}
 		}
 		acc.busy = time.Since(start).Seconds()
+		s.lat.Observe(acc.busy)
 		s.fold(&acc)
+	}
+}
+
+// traceResult records one packet's outcome in the trace ring: the
+// label operation that was applied, or the discard with its mapped
+// reason. The event's level is the stack depth on arrival and its
+// label the incoming top label (zero for unlabelled packets).
+func (e *Engine) traceResult(depth int, inLabel uint32, res swmpls.Result) {
+	if res.Action == swmpls.Drop {
+		if r, ok := res.Drop.Telemetry(); ok {
+			e.trace.RecordDiscard(e.node, uint8(depth), inLabel, r)
+		}
+		return
+	}
+	if res.Op != label.OpNone {
+		// telemetry.TraceOp values mirror label.Op numerically.
+		e.trace.RecordOp(e.node, telemetry.TraceOp(res.Op), uint8(depth), inLabel)
 	}
 }
 
@@ -323,6 +382,14 @@ type Snapshot struct {
 	// is how the benchmark derives capacity on core-limited hosts.
 	BatchTime  stats.Sample
 	WorkerBusy []float64
+	// Reasons is the unified per-reason drop accounting: forwarding
+	// drops across every table snapshot plus queue admission
+	// rejections, indexed by telemetry.Reason.
+	Reasons [telemetry.NumReasons]uint64
+	// Latency and StackDepth are the per-shard histograms merged:
+	// seconds per worker batch, and label stack depth per packet.
+	Latency    telemetry.HistSnapshot
+	StackDepth telemetry.HistSnapshot
 }
 
 // Processed returns how many packets the workers have finished.
@@ -354,7 +421,73 @@ func (e *Engine) Snapshot() Snapshot {
 		out.WorkerBusy[i] = s.agg.busy
 		s.mu.Unlock()
 	}
+	out.Reasons = e.drops.Snapshot()
+	out.Latency = e.latencyHist().Snapshot()
+	out.StackDepth = e.depthHist().Snapshot()
 	return out
+}
+
+// latencyHist merges the shards' batch-time histograms.
+func (e *Engine) latencyHist() *telemetry.Histogram {
+	m := telemetry.NewHistogram(telemetry.LatencyBounds()...)
+	for _, s := range e.shards {
+		m.Merge(s.lat)
+	}
+	return m
+}
+
+// depthHist merges the shards' stack-depth histograms.
+func (e *Engine) depthHist() *telemetry.Histogram {
+	m := telemetry.NewHistogram(telemetry.DepthBounds()...)
+	for _, s := range e.shards {
+		m.Merge(s.depth)
+	}
+	return m
+}
+
+// queueLen sums the instantaneous shard queue depths.
+func (e *Engine) queueLen() float64 {
+	var n int
+	for _, s := range e.shards {
+		s.mu.Lock()
+		n += s.sched.Len()
+		s.mu.Unlock()
+	}
+	return float64(n)
+}
+
+// RegisterMetrics wires the engine into a telemetry registry. All
+// values are read live at scrape time, so one registration serves the
+// engine's whole lifetime — including across table updates. The given
+// labels are attached to every series; pass nil to label the series
+// with the engine's node name only.
+func (e *Engine) RegisterMetrics(reg *telemetry.Registry, labels telemetry.Labels) {
+	ls := telemetry.Labels{"node": e.node}
+	for k, v := range labels {
+		ls[k] = v
+	}
+	counter := func(c *stats.Counter) uint64 { return c.Events }
+	reg.Counter("mpls_dataplane_submitted_packets_total",
+		"Packets accepted into shard ingress queues.", ls,
+		func() uint64 { s := e.Snapshot(); return counter(&s.Submitted) })
+	reg.Counter("mpls_dataplane_forwarded_packets_total",
+		"Packets forwarded to a next hop.", ls,
+		func() uint64 { s := e.Snapshot(); return counter(&s.Forwarded) })
+	reg.Counter("mpls_dataplane_delivered_packets_total",
+		"Packets delivered to the IP side after the final pop.", ls,
+		func() uint64 { s := e.Snapshot(); return counter(&s.Delivered) })
+	reg.Counter("mpls_dataplane_table_updates_total",
+		"Published forwarding-table snapshots.", ls, e.Updates)
+	reg.Gauge("mpls_dataplane_queue_depth",
+		"Instantaneous packets waiting across shard queues.", ls, e.queueLen)
+	reg.Drops("mpls_dataplane_drops_total",
+		"Dropped packets by reason (forwarding and queue admission).", ls, e.drops)
+	reg.Histogram("mpls_dataplane_batch_seconds",
+		"Seconds of forwarding work per worker batch.", ls,
+		func() telemetry.HistSnapshot { return e.latencyHist().Snapshot() })
+	reg.Histogram("mpls_dataplane_stack_depth",
+		"Label stack depth of packets entering the forwarding step.", ls,
+		func() telemetry.HistSnapshot { return e.depthHist().Snapshot() })
 }
 
 // String summarises the snapshot for logs.

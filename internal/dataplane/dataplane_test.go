@@ -1,6 +1,8 @@
 package dataplane
 
 import (
+	"bytes"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -9,6 +11,7 @@ import (
 	"embeddedmpls/internal/ldp"
 	"embeddedmpls/internal/packet"
 	"embeddedmpls/internal/swmpls"
+	"embeddedmpls/internal/telemetry"
 )
 
 // The engine must be programmable by the LDP manager exactly like the
@@ -269,6 +272,11 @@ func TestTailDropAccounting(t *testing.T) {
 	if snap.QueueDropped == 0 {
 		t.Error("expected tail drops under overload")
 	}
+	// Admission rejections must appear in the unified reason accounting
+	// too, matching the scheduler's own count exactly.
+	if got := snap.Reasons[telemetry.ReasonQueueOverfull]; got != snap.QueueDropped {
+		t.Errorf("queue-overfull reason count %d, scheduler dropped %d", got, snap.QueueDropped)
+	}
 }
 
 // TestCoSAwarePreferentialDrop floods an overloaded CoS-aware engine
@@ -391,6 +399,255 @@ func TestPenultimatePopMultiPass(t *testing.T) {
 	res := sk.results[0]
 	if res.Action != swmpls.Forward || res.NextHop != "out" {
 		t.Fatalf("multi-pass result %+v, want forward to out", res)
+	}
+}
+
+// TestDropReasonTelemetry forces the paper's three discard transitions
+// (information base lookup miss, TTL expiry, inconsistent stored
+// operation) plus the software-only no-route case through the engine,
+// and checks the unified reason counters, the histograms and the trace
+// ring all see them.
+func TestDropReasonTelemetry(t *testing.T) {
+	trace := telemetry.NewRing(256)
+	e := New(Config{Workers: 2, Node: "lsr-test", Trace: trace})
+	if err := e.Update(func(f *swmpls.Forwarder) error {
+		if err := f.InstallILM(100, swapNHLFE(200, "b")); err != nil {
+			return err
+		}
+		// A transit push on an already full stack is the inconsistent-
+		// operation case: the stored operation cannot be applied.
+		return f.InstallILM(300, swmpls.NHLFE{
+			NextHop: "c", Op: label.OpPush, PushLabels: []label.Label{301},
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	const per = 10
+	for i := 0; i < per; i++ {
+		// Lookup miss: a label with no ILM binding.
+		if !e.SubmitWait(labelled(999, uint16(i), 0)) {
+			t.Fatal("SubmitWait refused while open")
+		}
+		// TTL expiry: a mapped label arriving with TTL 1.
+		p := labelled(100, uint16(i), 1)
+		top, _ := p.Stack.Pop()
+		top.TTL = 1
+		if err := p.Stack.Push(top); err != nil {
+			t.Fatal(err)
+		}
+		if !e.SubmitWait(p) {
+			t.Fatal("SubmitWait refused while open")
+		}
+		// Inconsistent operation: label 300 wants a push, but the stack
+		// is already at MaxDepth.
+		full := labelled(20, uint16(i), 2)
+		for _, l := range []label.Label{21, 300} {
+			if err := full.Stack.Push(label.Entry{Label: l, TTL: 64}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !e.SubmitWait(full) {
+			t.Fatal("SubmitWait refused while open")
+		}
+		// No route: an unlabelled packet with no FEC binding.
+		u := packet.New(packet.AddrFrom(192, 0, 2, 1), packet.AddrFrom(172, 16, 0, 1), 64, nil)
+		u.Header.FlowID = uint16(i)
+		if !e.SubmitWait(u) {
+			t.Fatal("SubmitWait refused while open")
+		}
+		// And one forwardable packet so ops are traced too.
+		if !e.SubmitWait(labelled(100, uint16(i), 3)) {
+			t.Fatal("SubmitWait refused while open")
+		}
+	}
+	e.Close()
+
+	snap := e.Snapshot()
+	for reason, want := range map[telemetry.Reason]uint64{
+		telemetry.ReasonLookupMiss:     per,
+		telemetry.ReasonTTLExpired:     per,
+		telemetry.ReasonInconsistentOp: per,
+		telemetry.ReasonNoRoute:        per,
+		telemetry.ReasonQueueOverfull:  0,
+	} {
+		if got := snap.Reasons[reason]; got != want {
+			t.Errorf("%v count = %d, want %d", reason, got, want)
+		}
+	}
+	if got := e.Drops().Total(); got != 4*per {
+		t.Errorf("total drops %d, want %d", got, 4*per)
+	}
+	// The legacy per-DropReason map and the unified taxonomy must agree.
+	if snap.DropsByReason[swmpls.DropNoLabel] != snap.Reasons[telemetry.ReasonLookupMiss] {
+		t.Errorf("DropsByReason[no-label]=%d, reasons[lookup-miss]=%d",
+			snap.DropsByReason[swmpls.DropNoLabel], snap.Reasons[telemetry.ReasonLookupMiss])
+	}
+	// Histograms saw every processed packet.
+	if snap.StackDepth.Count != 5*per {
+		t.Errorf("stack depth observations %d, want %d", snap.StackDepth.Count, 5*per)
+	}
+	if snap.Latency.Count == 0 {
+		t.Error("no batch latency observations")
+	}
+
+	// The trace ring holds one event per packet: swaps for the
+	// forwardable ones, discards (with the right reasons) for the rest.
+	byOp := make(map[telemetry.TraceOp]int)
+	byReason := make(map[telemetry.Reason]int)
+	for _, ev := range trace.Events() {
+		if ev.Node != "lsr-test" {
+			t.Fatalf("trace event from unexpected node %q", ev.Node)
+		}
+		byOp[ev.Op]++
+		if ev.Op == telemetry.TraceDiscard {
+			byReason[ev.Reason]++
+		}
+	}
+	if byOp[telemetry.TraceSwap] != per {
+		t.Errorf("traced %d swaps, want %d", byOp[telemetry.TraceSwap], per)
+	}
+	if byOp[telemetry.TraceDiscard] != 4*per {
+		t.Errorf("traced %d discards, want %d", byOp[telemetry.TraceDiscard], 4*per)
+	}
+	for _, r := range []telemetry.Reason{
+		telemetry.ReasonLookupMiss, telemetry.ReasonTTLExpired,
+		telemetry.ReasonInconsistentOp, telemetry.ReasonNoRoute,
+	} {
+		if byReason[r] != per {
+			t.Errorf("traced %d %v discards, want %d", byReason[r], r, per)
+		}
+	}
+}
+
+// TestConcurrentMetricsScrape runs the full telemetry surface under
+// contention: shard workers forwarding, the control plane swapping RCU
+// table snapshots, and two scrapers rendering the Prometheus exposition
+// and reading Snapshot concurrently. Under -race this is the proof the
+// metrics path shares no unsynchronised state with the fast path.
+func TestConcurrentMetricsScrape(t *testing.T) {
+	trace := telemetry.NewRing(1024)
+	e := New(Config{Workers: 4, QueueCap: 256, Node: "scraped", Trace: trace})
+	if err := e.InstallILM(100, swapNHLFE(200, "A")); err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	e.RegisterMetrics(reg, telemetry.Labels{"engine": "dataplane"})
+
+	const packets = 8000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Producer: a mix of forwardable and unroutable-labelled packets.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < packets; i++ {
+			lbl := label.Label(100)
+			if i%4 == 3 {
+				lbl = 999 // lookup miss
+			}
+			if !e.SubmitWait(labelled(lbl, uint16(i%64), uint64(i))) {
+				t.Error("SubmitWait refused while open")
+				return
+			}
+		}
+	}()
+
+	// Control plane: keep publishing table snapshots.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			nh := "A"
+			if i%2 == 1 {
+				nh = "B"
+			}
+			if err := e.InstallILM(100, swapNHLFE(200, nh)); err != nil {
+				t.Error(err)
+				return
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
+	// Scrapers: render the text exposition and read snapshots while the
+	// engine runs.
+	var scrapes int
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var buf bytes.Buffer
+			if err := reg.WriteText(&buf); err != nil {
+				t.Errorf("scrape failed: %v", err)
+				return
+			}
+			scrapes++
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = e.Snapshot()
+			_ = trace.Events()
+			_ = reg.Var().String()
+		}
+	}()
+
+	// Wait for the producer, then stop the background goroutines.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		s := e.Snapshot()
+		if s.Processed() >= packets {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	<-done
+	e.Close()
+
+	if scrapes == 0 {
+		t.Fatal("exposition scraper never ran")
+	}
+	snap := e.Snapshot()
+	if snap.Processed() != packets {
+		t.Fatalf("processed %d, want %d", snap.Processed(), packets)
+	}
+	if snap.Reasons[telemetry.ReasonLookupMiss] != packets/4 {
+		t.Errorf("lookup misses %d, want %d", snap.Reasons[telemetry.ReasonLookupMiss], packets/4)
+	}
+	// A final scrape must carry the settled counters.
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`mpls_dataplane_drops_total{engine="dataplane",node="scraped",reason="lookup-miss"} 2000`,
+		`mpls_dataplane_forwarded_packets_total{engine="dataplane",node="scraped"} 6000`,
+		"# TYPE mpls_dataplane_batch_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("final exposition missing %q", want)
+		}
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"embeddedmpls/internal/qos"
 	"embeddedmpls/internal/stats"
 	"embeddedmpls/internal/swmpls"
+	"embeddedmpls/internal/telemetry"
 )
 
 // shard is one worker's slice of the engine: a bounded ingress queue and
@@ -21,6 +22,14 @@ type shard struct {
 	sched    qos.Scheduler
 	closed   bool
 	agg      shardAgg
+
+	// drops is the engine-wide reason accounting; admission rejections
+	// land here as queue-overfull. lat and depth are this shard's
+	// lock-free histograms (batch seconds, per-packet stack depth),
+	// written only by the shard's worker and merged at Snapshot time.
+	drops *telemetry.DropCounters
+	lat   *telemetry.Histogram
+	depth *telemetry.Histogram
 }
 
 // shardAgg is the shard's accumulated accounting, guarded by shard.mu.
@@ -34,7 +43,7 @@ type shardAgg struct {
 	busy          float64
 }
 
-func newShard(policy DropPolicy, queueCap int) *shard {
+func newShard(policy DropPolicy, queueCap int, drops *telemetry.DropCounters) *shard {
 	var sched qos.Scheduler
 	switch policy {
 	case CoSAware:
@@ -46,7 +55,12 @@ func newShard(policy DropPolicy, queueCap int) *shard {
 	default:
 		sched = qos.NewFIFO(queueCap)
 	}
-	s := &shard{sched: sched}
+	s := &shard{
+		sched: sched,
+		drops: drops,
+		lat:   telemetry.NewHistogram(telemetry.LatencyBounds()...),
+		depth: telemetry.NewHistogram(telemetry.DepthBounds()...),
+	}
 	s.notEmpty = sync.NewCond(&s.mu)
 	s.notFull = sync.NewCond(&s.mu)
 	return s
@@ -85,7 +99,8 @@ func (s *shard) enqueueLocked(p *packet.Packet, wait bool) bool {
 		return false
 	}
 	if !s.sched.Enqueue(p) {
-		return false // the scheduler counted the drop
+		s.drops.Inc(telemetry.ReasonQueueOverfull)
+		return false // the scheduler counted the drop in its own total
 	}
 	s.agg.submitted.Add(p.Size())
 	s.notEmpty.Signal()

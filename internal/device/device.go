@@ -236,11 +236,11 @@ func (d *Device) Process(p *packet.Packet) (swmpls.Result, int) {
 		}
 		p.Header.TTL = ttl
 		if nh == "" {
-			return swmpls.Result{Action: swmpls.Deliver}, cycles
+			return swmpls.Result{Action: swmpls.Deliver, Op: res.Op}, cycles
 		}
-		return swmpls.Result{Action: swmpls.Forward, NextHop: nh}, cycles
+		return swmpls.Result{Action: swmpls.Forward, NextHop: nh, Op: res.Op}, cycles
 	}
-	return swmpls.Result{Action: swmpls.Forward, NextHop: nh}, cycles
+	return swmpls.Result{Action: swmpls.Forward, NextHop: nh, Op: res.Op}, cycles
 }
 
 // Seconds converts device cycles to wall time at the device clock.

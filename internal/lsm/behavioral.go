@@ -5,6 +5,7 @@ import (
 
 	"embeddedmpls/internal/infobase"
 	"embeddedmpls/internal/label"
+	"embeddedmpls/internal/telemetry"
 )
 
 // Behavioral is the functional reference model of the label stack
@@ -16,6 +17,9 @@ type Behavioral struct {
 	ib    *infobase.Behavioral
 	stack *label.Stack
 	rtype RouterType
+
+	trace     *telemetry.Ring
+	traceNode string
 }
 
 // NewBehavioral returns a modifier with an empty stack and information
@@ -37,6 +41,14 @@ func (m *Behavioral) Stack() *label.Stack { return m.stack }
 
 // RouterType returns the configured router type.
 func (m *Behavioral) RouterType() RouterType { return m.rtype }
+
+// SetTrace attaches a label-operation trace ring: every Update records
+// the applied operation (or the discard, with its mapped telemetry
+// reason) under the given node name. A nil ring detaches.
+func (m *Behavioral) SetTrace(r *telemetry.Ring, node string) {
+	m.trace = r
+	m.traceNode = node
+}
 
 // Reset clears the label stack (the information base is preserved, as in
 // the hardware where reset clears the data path registers but routing
@@ -118,6 +130,7 @@ func (m *Behavioral) Update(req UpdateRequest) UpdateResult {
 	if !found {
 		res.Discard = DiscardNotFound
 		m.stack.Reset()
+		m.traceDiscard(lv, uint32(key), res.Discard)
 		return res
 	}
 
@@ -153,6 +166,7 @@ func (m *Behavioral) Update(req UpdateRequest) UpdateResult {
 	}
 	if res.Discarded() {
 		m.stack.Reset()
+		m.traceDiscard(lv, uint32(key), res.Discard)
 		return res
 	}
 
@@ -173,7 +187,24 @@ func (m *Behavioral) Update(req UpdateRequest) UpdateResult {
 		}
 		mustOK(m.stack.Push(label.Entry{Label: newLbl, CoS: cos, TTL: ttl}))
 	}
+	if m.trace != nil {
+		// telemetry.TraceOp values mirror label.Op numerically.
+		m.trace.RecordOp(m.traceNode, telemetry.TraceOp(op), uint8(lv), uint32(newLbl))
+	}
 	return res
+}
+
+// traceDiscard records a discard in the attached trace ring, mapping
+// the LSM reason into the telemetry taxonomy.
+func (m *Behavioral) traceDiscard(lv infobase.Level, key uint32, d DiscardReason) {
+	if m.trace == nil {
+		return
+	}
+	reason, ok := d.Telemetry()
+	if !ok {
+		return
+	}
+	m.trace.RecordDiscard(m.traceNode, uint8(lv), key, reason)
 }
 
 // pushGrowth is how many entries a push operation adds back onto the

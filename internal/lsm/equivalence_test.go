@@ -6,6 +6,9 @@ import (
 
 	"embeddedmpls/internal/infobase"
 	"embeddedmpls/internal/label"
+	"embeddedmpls/internal/packet"
+	"embeddedmpls/internal/swmpls"
+	"embeddedmpls/internal/telemetry"
 )
 
 // TestHWMatchesBehavioralRandomOps drives the cycle-accurate hardware and
@@ -240,5 +243,107 @@ func TestHWBackToBackOperations(t *testing.T) {
 	}
 	if top, _ := b.StackSnapshot().Top(); top.Label != 9 {
 		t.Errorf("top = %v, want label 9", top)
+	}
+}
+
+// TestBehavioralDiscardReasonsMatchSwmplsTelemetry is the property test
+// tying the two data planes to one telemetry taxonomy: for randomized
+// labelled stacks, the behavioral model's discard reason and the
+// software forwarder's drop reason must map to the same
+// telemetry.Reason — or both report success. It also demands every one
+// of the paper's three discard transitions (lookup miss, TTL expiry,
+// inconsistent operation) actually occurs during the run, so the
+// equivalence is exercised, not vacuous.
+func TestBehavioralDiscardReasonsMatchSwmplsTelemetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var drops telemetry.DropCounters
+	seen := make(map[telemetry.Reason]int)
+	wantByReason := make(map[telemetry.Reason]uint64)
+
+	const trials = 900
+	for i := 0; i < trials; i++ {
+		depth := 1 + rng.Intn(label.MaxDepth)
+		entries := make([]label.Entry, depth)
+		for j := range entries {
+			ttl := uint8(2 + rng.Intn(200))
+			if rng.Intn(3) == 0 {
+				ttl = 1 // force TTL expiry at the decrement
+			}
+			entries[j] = label.Entry{
+				Label: label.Label(16 + rng.Intn(1<<20-16)),
+				CoS:   label.CoS(rng.Intn(8)),
+				TTL:   ttl,
+			}
+		}
+		top := entries[depth-1]
+
+		// Random operation for the top label, installed equivalently in
+		// both planes — or deliberately left uninstalled (lookup miss).
+		op := []label.Op{label.OpPush, label.OpPop, label.OpSwap}[rng.Intn(3)]
+		newLbl := label.Label(16 + rng.Intn(1<<20-16))
+		install := rng.Intn(3) != 0
+
+		fwd := swmpls.New()
+		fwd.SetDropCounters(&drops)
+		beh := NewBehavioral(LER)
+		beh.SetTrace(telemetry.NewRing(8), "beh") // exercise tracing alongside
+		if install {
+			n := swmpls.NHLFE{NextHop: "next", Op: op}
+			if op != label.OpPop {
+				n.PushLabels = []label.Label{newLbl}
+			}
+			if err := fwd.InstallILM(top.Label, n); err != nil {
+				t.Fatal(err)
+			}
+			lv := infobase.LevelForDepth(depth)
+			if err := beh.WritePair(lv, infobase.Pair{
+				Index: infobase.Key(top.Label), NewLabel: newLbl, Op: op,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		p := packet.New(packet.AddrFrom(192, 0, 2, 1), packet.AddrFrom(10, 0, 0, 9), 64, nil)
+		for _, e := range entries {
+			if err := p.Stack.Push(e); err != nil {
+				t.Fatal(err)
+			}
+			if err := beh.UserPush(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		res := fwd.Forward(p)
+		upd := beh.Update(UpdateRequest{PacketID: uint32(rng.Intn(1 << 28)), TTLIn: 64})
+
+		if dropped, discarded := res.Action == swmpls.Drop, upd.Discarded(); dropped != discarded {
+			t.Fatalf("trial %d (depth=%d op=%v install=%v ttl=%d): swmpls dropped=%v, behavioral discarded=%v (%v vs %v)",
+				i, depth, op, install, top.TTL, dropped, discarded, res.Drop, upd.Discard)
+		}
+		swReason, swOK := res.Drop.Telemetry()
+		lsmReason, lsmOK := upd.Discard.Telemetry()
+		if swOK != lsmOK || (swOK && swReason != lsmReason) {
+			t.Fatalf("trial %d (depth=%d op=%v install=%v): reason mismatch swmpls %v->(%v,%v), lsm %v->(%v,%v)",
+				i, depth, op, install, res.Drop, swReason, swOK, upd.Discard, lsmReason, lsmOK)
+		}
+		if swOK {
+			seen[swReason]++
+			wantByReason[swReason]++
+		}
+	}
+
+	for _, r := range []telemetry.Reason{
+		telemetry.ReasonLookupMiss, telemetry.ReasonTTLExpired, telemetry.ReasonInconsistentOp,
+	} {
+		if seen[r] == 0 {
+			t.Errorf("randomized run never produced %v; equivalence untested for it", r)
+		}
+		if got := drops.Get(r); got != wantByReason[r] {
+			t.Errorf("forwarder counted %d %v drops, test observed %d", got, r, wantByReason[r])
+		}
+	}
+	if drops.Total() != drops.Get(telemetry.ReasonLookupMiss)+
+		drops.Get(telemetry.ReasonTTLExpired)+drops.Get(telemetry.ReasonInconsistentOp) {
+		t.Errorf("unexpected extra drop reasons in %v", drops.Snapshot())
 	}
 }

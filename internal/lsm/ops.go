@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"embeddedmpls/internal/label"
+	"embeddedmpls/internal/telemetry"
 )
 
 // Command is the external operation requested of the label stack
@@ -95,6 +96,26 @@ const (
 	DiscardTTLExpired                        // TTL reached zero after decrement
 	DiscardInconsistent                      // stored operation impossible in this state
 )
+
+// Telemetry maps a discard reason onto the unified telemetry taxonomy.
+// The three discard transitions of the paper's update sequence map
+// one-to-one: an information base search with no match is a lookup
+// miss, a TTL that reached zero is a TTL expiry, and a stored
+// operation that is impossible in the current stack state is an
+// inconsistent operation. ok is false for DiscardNone and unknown
+// values.
+func (d DiscardReason) Telemetry() (r telemetry.Reason, ok bool) {
+	switch d {
+	case DiscardNotFound:
+		return telemetry.ReasonLookupMiss, true
+	case DiscardTTLExpired:
+		return telemetry.ReasonTTLExpired, true
+	case DiscardInconsistent:
+		return telemetry.ReasonInconsistentOp, true
+	default:
+		return 0, false
+	}
+}
 
 // String names the discard reason.
 func (d DiscardReason) String() string {

@@ -12,6 +12,7 @@ import (
 	"embeddedmpls/internal/packet"
 	"embeddedmpls/internal/qos"
 	"embeddedmpls/internal/stats"
+	"embeddedmpls/internal/telemetry"
 )
 
 // Time is simulated time in seconds.
@@ -129,6 +130,13 @@ type Link struct {
 	// BusyTime accumulates transmitter occupancy for utilisation
 	// reporting.
 	BusyTime Time
+
+	// OnDrop, when set, is called for every packet the queue's
+	// admission policy rejects (reason queue-overfull). Historically
+	// these drops were visible only in the scheduler's own total, so
+	// flow-level accounting silently lost them; collectors hook this
+	// to attribute the loss to the flow that suffered it.
+	OnDrop func(p *packet.Packet, reason telemetry.Reason)
 }
 
 // NewLink builds a link from the named source into node to.
@@ -190,6 +198,9 @@ func (l *Link) Send(p *packet.Packet) {
 		return
 	}
 	if !l.queue.Enqueue(p) {
+		if l.OnDrop != nil {
+			l.OnDrop(p, telemetry.ReasonQueueOverfull)
+		}
 		return
 	}
 	if !l.busy {

@@ -10,6 +10,7 @@ import (
 	"embeddedmpls/internal/netsim"
 	"embeddedmpls/internal/qos"
 	"embeddedmpls/internal/te"
+	"embeddedmpls/internal/telemetry"
 )
 
 // NodeSpec describes one router of a simulated network.
@@ -120,6 +121,22 @@ func (n *Network) Close() {
 		if ep, ok := r.Plane().(*EnginePlane); ok {
 			ep.Engine.Close()
 		}
+	}
+}
+
+// SetDropCounters attaches one shared drop-counter set to every router,
+// giving the network a single per-reason view of forwarding loss.
+func (n *Network) SetDropCounters(c *telemetry.DropCounters) {
+	for _, r := range n.Routers {
+		r.SetDropCounters(c)
+	}
+}
+
+// SetTrace attaches one shared label-operation trace ring to every
+// router, producing an interleaved per-hop trace of the whole network.
+func (n *Network) SetTrace(t *telemetry.Ring) {
+	for _, r := range n.Routers {
+		r.SetTrace(t)
 	}
 }
 

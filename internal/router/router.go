@@ -17,6 +17,7 @@ import (
 	"embeddedmpls/internal/packet"
 	"embeddedmpls/internal/stats"
 	"embeddedmpls/internal/swmpls"
+	"embeddedmpls/internal/telemetry"
 )
 
 // DataPlane is a forwarding engine: it transforms a packet in place,
@@ -104,6 +105,12 @@ type Router struct {
 	// cost (its FTN miss *is* the failed route lookup).
 	ipTable *iproute.Table
 
+	// drops, when set, receives one count per dropped packet under the
+	// unified telemetry taxonomy; trace, when set, receives one event
+	// per label operation or discard.
+	drops *telemetry.DropCounters
+	trace *telemetry.Ring
+
 	Stats Stats
 }
 
@@ -153,6 +160,25 @@ func (r *Router) Link(to string) (*netsim.Link, bool) {
 	l, ok := r.links[to]
 	return l, ok
 }
+
+// Links returns all attached outgoing links (iteration order is
+// unspecified).
+func (r *Router) Links() []*netsim.Link {
+	out := make([]*netsim.Link, 0, len(r.links))
+	for _, l := range r.links {
+		out = append(out, l)
+	}
+	return out
+}
+
+// SetDropCounters attaches shared per-reason drop accounting. A nil
+// argument detaches.
+func (r *Router) SetDropCounters(c *telemetry.DropCounters) { r.drops = c }
+
+// SetTrace attaches a label-operation trace ring; every forwarding
+// decision this router makes is recorded under its node name. A nil
+// ring detaches.
+func (r *Router) SetTrace(t *telemetry.Ring) { r.trace = t }
 
 // AddLocal marks addr as terminating at this router: unlabelled packets
 // for it are delivered instead of forwarded.
@@ -210,13 +236,30 @@ func (r *Router) act(p *packet.Packet, res swmpls.Result) {
 			r.drop(p, swmpls.DropNoRoute)
 			return
 		}
+		r.traceOp(p, res.Op)
 		r.Stats.Forwarded.Add(p.Size())
 		l.Send(p)
 	case swmpls.Deliver:
+		r.traceOp(p, res.Op)
 		r.deliver(p)
 	default:
 		r.drop(p, res.Drop)
 	}
+}
+
+// traceOp records an applied label operation: the event's level is the
+// resulting stack depth and its label the (new) top of stack, zero
+// once the stack has emptied.
+func (r *Router) traceOp(p *packet.Packet, op label.Op) {
+	if r.trace == nil || op == label.OpNone {
+		return
+	}
+	var top uint32
+	if e, err := p.Stack.Top(); err == nil {
+		top = uint32(e.Label)
+	}
+	// telemetry.TraceOp values mirror label.Op numerically.
+	r.trace.RecordOp(r.name, telemetry.TraceOp(op), uint8(p.Stack.Depth()), top)
 }
 
 // ipForward carries an unlabelled packet one hop by longest-prefix match,
@@ -257,6 +300,20 @@ func (r *Router) deliver(p *packet.Packet) {
 func (r *Router) drop(p *packet.Packet, reason swmpls.DropReason) {
 	r.Stats.Dropped.Add(p.Size())
 	r.Stats.DropsByReason[reason]++
+	tr, ok := reason.Telemetry()
+	if !ok {
+		return
+	}
+	if r.drops != nil {
+		r.drops.Inc(tr)
+	}
+	if r.trace != nil {
+		var top uint32
+		if e, err := p.Stack.Top(); err == nil {
+			top = uint32(e.Label)
+		}
+		r.trace.RecordDiscard(r.name, uint8(p.Stack.Depth()), top, tr)
+	}
 }
 
 // String summarises the router for logs.

@@ -15,6 +15,7 @@ import (
 
 	"embeddedmpls/internal/label"
 	"embeddedmpls/internal/packet"
+	"embeddedmpls/internal/telemetry"
 )
 
 // NHLFE is a next hop label forwarding entry: where the packet goes next
@@ -103,6 +104,29 @@ const (
 	DropStackOverflow
 )
 
+// Telemetry maps a drop reason onto the unified telemetry taxonomy.
+// The mapping follows the paper's three discard transitions: a label
+// (or FTN) lookup that finds nothing is a lookup miss, TTL reaching
+// zero is a TTL expiry, and a stored operation that cannot be applied
+// to the packet's stack — here, a push past MaxDepth — is an
+// inconsistent operation. DropNoRoute is the one software-only case
+// (unlabelled packet with no FEC binding) and keeps its own reason.
+// ok is false for DropNone and unknown values.
+func (d DropReason) Telemetry() (r telemetry.Reason, ok bool) {
+	switch d {
+	case DropNoLabel:
+		return telemetry.ReasonLookupMiss, true
+	case DropTTLExpired:
+		return telemetry.ReasonTTLExpired, true
+	case DropStackOverflow:
+		return telemetry.ReasonInconsistentOp, true
+	case DropNoRoute:
+		return telemetry.ReasonNoRoute, true
+	default:
+		return 0, false
+	}
+}
+
 // String names the drop reason.
 func (d DropReason) String() string {
 	switch d {
@@ -126,12 +150,20 @@ type Result struct {
 	Action  Action
 	NextHop string
 	Drop    DropReason
+	// Op is the label operation that was applied (OpNone on drops and
+	// on ingress misses), so callers can trace per-packet label
+	// activity without re-deriving it from the NHLFE.
+	Op label.Op
 }
 
 // Forwarder is one router's software MPLS tables.
 type Forwarder struct {
 	ftn *prefixTable
 	ilm map[label.Label]NHLFE
+	// drops, when set, receives one count per dropped packet. The
+	// pointer survives Clone so every RCU snapshot of a table feeds
+	// the same counters.
+	drops *telemetry.DropCounters
 }
 
 // New returns an empty forwarder.
@@ -151,7 +183,24 @@ func (f *Forwarder) Clone() *Forwarder {
 	for in, n := range f.ilm {
 		ilm[in] = n
 	}
-	return &Forwarder{ftn: f.ftn.clone(), ilm: ilm}
+	return &Forwarder{ftn: f.ftn.clone(), ilm: ilm, drops: f.drops}
+}
+
+// SetDropCounters attaches shared drop accounting: every Drop result
+// increments the mapped telemetry reason. A nil argument detaches.
+func (f *Forwarder) SetDropCounters(c *telemetry.DropCounters) { f.drops = c }
+
+// DropCounters returns the attached counters, or nil.
+func (f *Forwarder) DropCounters() *telemetry.DropCounters { return f.drops }
+
+// drop builds a Drop result and feeds the attached counters.
+func (f *Forwarder) drop(d DropReason) Result {
+	if f.drops != nil {
+		if r, ok := d.Telemetry(); ok {
+			f.drops.Inc(r)
+		}
+	}
+	return Result{Action: Drop, Drop: d}
 }
 
 // MapFEC binds the FEC (dst/prefixLen) to an NHLFE in the FTN.
@@ -233,31 +282,31 @@ func (f *Forwarder) Forward(p *packet.Packet) Result {
 func (f *Forwarder) ingress(p *packet.Packet) Result {
 	n, ok := f.ftn.lookup(p.Header.Dst)
 	if !ok {
-		return Result{Action: Drop, Drop: DropNoRoute}
+		return f.drop(DropNoRoute)
 	}
 	ttl := p.Header.TTL
 	if ttl > 0 {
 		ttl--
 	}
 	if ttl == 0 {
-		return Result{Action: Drop, Drop: DropTTLExpired}
+		return f.drop(DropTTLExpired)
 	}
 	for _, l := range n.PushLabels {
 		if err := p.Stack.Push(label.Entry{Label: l, CoS: n.CoS, TTL: ttl}); err != nil {
-			return Result{Action: Drop, Drop: DropStackOverflow}
+			return f.drop(DropStackOverflow)
 		}
 	}
-	return Result{Action: Forward, NextHop: n.NextHop}
+	return Result{Action: Forward, NextHop: n.NextHop, Op: label.OpPush}
 }
 
 func (f *Forwarder) transit(p *packet.Packet) Result {
 	top, err := p.Stack.Top()
 	if err != nil {
-		return Result{Action: Drop, Drop: DropNoLabel}
+		return f.drop(DropNoLabel)
 	}
 	n, ok := f.ilm[top.Label]
 	if !ok {
-		return Result{Action: Drop, Drop: DropNoLabel}
+		return f.drop(DropNoLabel)
 	}
 	old, _ := p.Stack.Pop()
 	ttl := old.TTL
@@ -265,7 +314,7 @@ func (f *Forwarder) transit(p *packet.Packet) Result {
 		ttl--
 	}
 	if ttl == 0 {
-		return Result{Action: Drop, Drop: DropTTLExpired}
+		return f.drop(DropTTLExpired)
 	}
 	switch n.Op {
 	case label.OpPop:
@@ -273,34 +322,34 @@ func (f *Forwarder) transit(p *packet.Packet) Result {
 			// End of the LSP: propagate the TTL to the IP header.
 			p.Header.TTL = ttl
 			if n.NextHop == "" {
-				return Result{Action: Deliver}
+				return Result{Action: Deliver, Op: label.OpPop}
 			}
-			return Result{Action: Forward, NextHop: n.NextHop}
+			return Result{Action: Forward, NextHop: n.NextHop, Op: label.OpPop}
 		}
 		// TTL propagation to the exposed entry.
 		if err := p.Stack.SetTopTTL(ttl); err != nil {
-			return Result{Action: Drop, Drop: DropNoLabel}
+			return f.drop(DropNoLabel)
 		}
-		return Result{Action: Forward, NextHop: n.NextHop}
+		return Result{Action: Forward, NextHop: n.NextHop, Op: label.OpPop}
 	case label.OpSwap:
 		if err := p.Stack.Push(label.Entry{Label: n.PushLabels[0], CoS: old.CoS, TTL: ttl}); err != nil {
-			return Result{Action: Drop, Drop: DropStackOverflow}
+			return f.drop(DropStackOverflow)
 		}
-		return Result{Action: Forward, NextHop: n.NextHop}
+		return Result{Action: Forward, NextHop: n.NextHop, Op: label.OpSwap}
 	case label.OpPush:
 		// Tunnel ingress: the old entry goes back with the decremented
 		// TTL, then the tunnel labels on top.
 		old.TTL = ttl
 		if err := p.Stack.Push(old); err != nil {
-			return Result{Action: Drop, Drop: DropStackOverflow}
+			return f.drop(DropStackOverflow)
 		}
 		for _, l := range n.PushLabels {
 			if err := p.Stack.Push(label.Entry{Label: l, CoS: old.CoS, TTL: ttl}); err != nil {
-				return Result{Action: Drop, Drop: DropStackOverflow}
+				return f.drop(DropStackOverflow)
 			}
 		}
-		return Result{Action: Forward, NextHop: n.NextHop}
+		return Result{Action: Forward, NextHop: n.NextHop, Op: label.OpPush}
 	default:
-		return Result{Action: Drop, Drop: DropNoLabel}
+		return f.drop(DropNoLabel)
 	}
 }

@@ -1,0 +1,242 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Labels are constant key/value pairs attached to a metric series (for
+// example {"node": "lsr1"}).
+type Labels map[string]string
+
+// Registry binds named metric sources — counters, gauges, histograms
+// and drop-counter sets — and renders them in the Prometheus text
+// exposition format, or as an expvar.Var for the stdlib's /debug/vars
+// surface. Values are read through callbacks at render time, so a scrape
+// always reflects the live counters; registration order is preserved
+// within a metric family and families render sorted by name, which makes
+// the output deterministic and golden-testable.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	names    []string
+}
+
+type family struct {
+	name, help string
+	typ        string // "counter", "gauge" or "histogram"
+	series     []series
+}
+
+type series struct {
+	labels string // pre-rendered, sorted: `{a="x",b="y"}` or ""
+	value  func() float64
+	hist   func() HistSnapshot
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{families: make(map[string]*family)} }
+
+// Counter registers an integer counter series read through fn.
+func (r *Registry) Counter(name, help string, labels Labels, fn func() uint64) {
+	r.add(name, help, "counter", labels, series{value: func() float64 { return float64(fn()) }})
+}
+
+// Gauge registers a float gauge series read through fn.
+func (r *Registry) Gauge(name, help string, labels Labels, fn func() float64) {
+	r.add(name, help, "gauge", labels, series{value: fn})
+}
+
+// Histogram registers a histogram series whose snapshot is read through
+// fn at render time.
+func (r *Registry) Histogram(name, help string, labels Labels, fn func() HistSnapshot) {
+	r.add(name, help, "histogram", labels, series{hist: fn})
+}
+
+// Drops registers one counter series per drop reason, labelled
+// reason="<name>" on top of the given labels.
+func (r *Registry) Drops(name, help string, labels Labels, c *DropCounters) {
+	for reason := Reason(0); reason < NumReasons; reason++ {
+		reason := reason
+		with := Labels{"reason": reason.String()}
+		for k, v := range labels {
+			with[k] = v
+		}
+		r.Counter(name, help, with, func() uint64 { return c.Get(reason) })
+	}
+}
+
+func (r *Registry) add(name, help, typ string, labels Labels, s series) {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	s.labels = renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ}
+		r.families[name] = f
+		r.names = append(r.names, name)
+		sort.Strings(r.names)
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("telemetry: metric %q registered as both %s and %s", name, f.typ, typ))
+	}
+	f.series = append(f.series, s)
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		alpha := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func renderLabels(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%q", k, escapeLabel(labels[k])))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// escapeLabel applies the exposition format's label value escaping; %q
+// in renderLabels already escapes quotes and backslashes Go-style, which
+// coincides with the Prometheus rules for those, so only the newline
+// needs care — and %q turns it into \n as well. The helper exists to
+// keep unprintable bytes from leaking through %q's hex escapes.
+func escapeLabel(v string) string {
+	return strings.Map(func(c rune) rune {
+		if c < 0x20 && c != '\n' && c != '\t' {
+			return ' '
+		}
+		return c
+	}, v)
+}
+
+// WriteText renders every registered metric in the Prometheus text
+// exposition format: # HELP / # TYPE headers, then one line per series
+// (histograms expand into cumulative le-buckets plus _sum and _count).
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f *family, s series) error {
+	if f.typ != "histogram" {
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatValue(s.value()))
+		return err
+	}
+	snap := s.hist()
+	cum := uint64(0)
+	for i, c := range snap.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(snap.Bounds) {
+			le = formatValue(snap.Bounds[i])
+		}
+		if err := writeBucket(w, f.name, s.labels, le, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, s.labels, formatValue(snap.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, s.labels, snap.Count)
+	return err
+}
+
+func writeBucket(w io.Writer, name, labels, le string, cum uint64) error {
+	sep := "{"
+	if labels != "" {
+		sep = labels[:len(labels)-1] + ","
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket%sle=%q} %d\n", name, sep, le, cum)
+	return err
+}
+
+func formatValue(v float64) string {
+	if v == float64(uint64(v)) && v >= 0 && v < 1e15 {
+		return strconv.FormatUint(uint64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// expvarAdapter renders the registry as one JSON object so it can be
+// published with expvar.Publish: counters and gauges map to numbers,
+// histograms to {count, sum} summaries.
+type expvarAdapter struct{ r *Registry }
+
+// Var returns an expvar.Var-compatible adapter (it implements the
+// interface's String method); publish it with
+// expvar.Publish("mpls", reg.Var()).
+func (r *Registry) Var() interface{ String() string } { return expvarAdapter{r} }
+
+func (a expvarAdapter) String() string {
+	a.r.mu.Lock()
+	names := append([]string(nil), a.r.names...)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = a.r.families[n]
+	}
+	a.r.mu.Unlock()
+
+	out := make(map[string]any, len(fams))
+	for _, f := range fams {
+		for _, s := range f.series {
+			key := f.name + s.labels
+			if f.typ == "histogram" {
+				snap := s.hist()
+				out[key] = map[string]any{"count": snap.Count, "sum": snap.Sum}
+				continue
+			}
+			out[key] = s.value()
+		}
+	}
+	buf, err := json.Marshal(out)
+	if err != nil {
+		return "{}"
+	}
+	return string(buf)
+}

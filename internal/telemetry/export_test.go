@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry with fixed contents so the rendered
+// exposition is byte-stable.
+func goldenRegistry() *Registry {
+	var drops DropCounters
+	drops.Add(ReasonLookupMiss, 7)
+	drops.Add(ReasonTTLExpired, 3)
+	drops.Add(ReasonInconsistentOp, 1)
+
+	lat := NewHistogram(0.001, 0.01, 0.1)
+	for _, v := range []float64{0.0005, 0.0005, 0.02, 0.5} {
+		lat.Observe(v)
+	}
+
+	reg := NewRegistry()
+	reg.Counter("mpls_forwarded_packets_total", "Packets forwarded on.", Labels{"node": "lsr1"},
+		func() uint64 { return 1234 })
+	reg.Counter("mpls_forwarded_packets_total", "Packets forwarded on.", Labels{"node": "lsr2"},
+		func() uint64 { return 42 })
+	reg.Drops("mpls_drops_total", "Dropped packets by reason.", Labels{"node": "lsr1"}, &drops)
+	reg.Gauge("mpls_queue_depth", "Instantaneous queue depth.", nil, func() float64 { return 17.5 })
+	reg.Histogram("mpls_batch_seconds", "Worker batch processing time.", Labels{"node": "lsr1"},
+		lat.Snapshot)
+	return reg
+}
+
+func TestWriteTextGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "export.prom")
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition differs from golden file:\n--- got ---\n%s--- want ---\n%s",
+			buf.Bytes(), want)
+	}
+}
+
+func TestWriteTextDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	reg := goldenRegistry()
+	if err := reg.WriteText(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two renders of one registry differ")
+	}
+}
+
+func TestExpvarAdapter(t *testing.T) {
+	v := goldenRegistry().Var()
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(v.String()), &decoded); err != nil {
+		t.Fatalf("expvar output is not JSON: %v", err)
+	}
+	if got := decoded[`mpls_forwarded_packets_total{node="lsr1"}`]; got != float64(1234) {
+		t.Errorf("counter in expvar JSON = %v, want 1234", got)
+	}
+	hist, ok := decoded[`mpls_batch_seconds{node="lsr1"}`].(map[string]any)
+	if !ok || hist["count"] != float64(4) {
+		t.Errorf("histogram in expvar JSON = %v", decoded[`mpls_batch_seconds{node="lsr1"}`])
+	}
+}
+
+func TestRegistryRejectsBadNames(t *testing.T) {
+	reg := NewRegistry()
+	for _, name := range []string{"", "9starts_with_digit", "has space", "has-dash"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q accepted", name)
+				}
+			}()
+			reg.Counter(name, "", nil, func() uint64 { return 0 })
+		}()
+	}
+	// Re-registering a name under a different type is a programming error.
+	reg.Counter("mpls_ok_total", "", nil, func() uint64 { return 0 })
+	defer func() {
+		if recover() == nil {
+			t.Error("type conflict accepted")
+		}
+	}()
+	reg.Gauge("mpls_ok_total", "", nil, func() float64 { return 0 })
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("mpls_esc_total", "", Labels{"path": `a"b\c` + "\nd"}, func() uint64 { return 1 })
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `path="a\"b\\c\nd"`) {
+		t.Errorf("label not escaped: %s", out)
+	}
+}

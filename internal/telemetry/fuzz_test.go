@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecodeEvents feeds arbitrary bytes to the trace decoder: it must
+// never panic, and anything it accepts must re-encode and re-decode to
+// the same events (the codec is its own inverse on its image).
+func FuzzDecodeEvents(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendEncoded(nil, TraceEvent{Seq: 1, Node: "a", Op: TracePush, Level: 1, Label: 16}))
+	f.Add(AppendEncoded(AppendEncoded(nil,
+		TraceEvent{Seq: 9, Node: "lsr", Op: TraceDiscard, Level: 3, Label: 1 << 19, Reason: ReasonTTLExpired}),
+		TraceEvent{Seq: 10, Node: "", Op: TracePop}))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs, err := DecodeEvents(data)
+		if err != nil {
+			return
+		}
+		var enc []byte
+		for _, ev := range evs {
+			enc = append(enc, AppendEncoded(nil, ev)...)
+		}
+		again, err := DecodeEvents(enc)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded events failed: %v", err)
+		}
+		if len(evs) != 0 && !reflect.DeepEqual(evs, again) {
+			t.Fatalf("codec not stable:\n first %+v\nsecond %+v", evs, again)
+		}
+	})
+}
+
+// FuzzRingRoundTrip drives a small ring from fuzz input — forcing
+// wraparound — and checks Encode/DecodeEvents reproduce Events()
+// exactly.
+func FuzzRingRoundTrip(f *testing.F) {
+	f.Add(uint8(3), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add(uint8(1), []byte{0xff, 0x00, 0x7f})
+	f.Add(uint8(16), []byte(nil))
+	f.Fuzz(func(t *testing.T, capSeed uint8, data []byte) {
+		r := NewRing(int(capSeed%8) + 1)
+		for i := 0; i+2 < len(data); i += 3 {
+			op := TraceOp(data[i]%4) + 1 // push/pop/swap/discard
+			ev := TraceEvent{
+				Node:  string(rune('a' + data[i]%26)),
+				Op:    op,
+				Level: data[i+1] % 4,
+				Label: uint32(data[i+2]),
+			}
+			if op == TraceDiscard {
+				ev.Reason = Reason(data[i+1] % NumReasons)
+			}
+			r.Record(ev)
+		}
+		want := r.Events()
+		got, err := DecodeEvents(r.Encode())
+		if err != nil {
+			t.Fatalf("decode of ring encoding failed: %v", err)
+		}
+		if len(want) == 0 {
+			if len(got) != 0 {
+				t.Fatalf("decoded %d events from empty ring", len(got))
+			}
+			return
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("ring round trip:\n got %+v\nwant %+v", got, want)
+		}
+	})
+}
+
+// FuzzDumpNeverFails complements the codec fuzzers: whatever ends up in
+// a ring, the text dump must render without error.
+func FuzzDumpNeverFails(f *testing.F) {
+	f.Add([]byte("seed"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewRing(4)
+		for i, b := range data {
+			r.Record(TraceEvent{Node: string(data[:i%4]), Op: TraceOp(b % NumTraceOps), Label: uint32(b)})
+		}
+		var buf bytes.Buffer
+		if err := r.Dump(&buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,149 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram is a lock-free fixed-bucket histogram with Prometheus "le"
+// semantics: bucket i counts observations v <= Bounds[i], and one
+// overflow bucket catches everything above the last bound. Unlike
+// stats.Sample it never allocates per observation and can be read while
+// writers run, which is what lets each dataplane shard own one and the
+// exporter scrape mid-run; shard histograms merge on Snapshot() exactly
+// like the per-worker counters.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1, last is overflow (+Inf)
+	total  atomic.Uint64
+	// sumBits carries the float64 observation sum as bits, updated by
+	// compare-and-swap so Observe stays lock-free.
+	sumBits atomic.Uint64
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds.
+// At least one bound is required; a misordered list is a programming
+// error and panics.
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("telemetry: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram bounds not ascending at %d: %g <= %g",
+				i, bounds[i], bounds[i-1]))
+		}
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+	return h
+}
+
+// LatencyBounds is the default bucket layout for per-batch processing
+// times: roughly logarithmic from 1 µs to 1 s.
+func LatencyBounds() []float64 {
+	return []float64{
+		1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
+		1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+		1e-2, 2.5e-2, 5e-2, 1e-1, 2.5e-1, 5e-1, 1,
+	}
+}
+
+// DepthBounds is the bucket layout for label stack depths: one bucket
+// per depth the embedded architecture supports (0..label.MaxDepth).
+func DepthBounds() []float64 { return []float64{0, 1, 2, 3} }
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v, or overflow
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Merge folds o's buckets into h. The bucket layouts must match — merged
+// histograms are always siblings built from the same bounds (one per
+// shard), so a mismatch is a programming error and panics.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	if len(o.bounds) != len(h.bounds) {
+		panic("telemetry: merging histograms with different bucket layouts")
+	}
+	for i, b := range o.bounds {
+		if b != h.bounds[i] {
+			panic("telemetry: merging histograms with different bucket layouts")
+		}
+	}
+	for i := range o.counts {
+		h.counts[i].Add(o.counts[i].Load())
+	}
+	h.total.Add(o.total.Load())
+	add := math.Float64frombits(o.sumBits.Load())
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + add)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// HistSnapshot is a point-in-time copy of a histogram, in non-cumulative
+// per-bucket counts (the exporter accumulates them into "le" form).
+type HistSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts has one extra entry for
+	// the overflow (+Inf) bucket.
+	Bounds []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+}
+
+// Snapshot copies the histogram. Like the engine's Snapshot it may be
+// taken while writers run; totals are exact once the writers stop.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.total.Load(),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// String renders a compact non-empty-bucket summary for logs.
+func (s HistSnapshot) String() string {
+	out := fmt.Sprintf("hist{n=%d sum=%g", s.Count, s.Sum)
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		if i < len(s.Bounds) {
+			out += fmt.Sprintf(" le%g=%d", s.Bounds[i], c)
+		} else {
+			out += fmt.Sprintf(" inf=%d", c)
+		}
+	}
+	return out + "}"
+}

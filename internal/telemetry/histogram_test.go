@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketEdges(t *testing.T) {
+	h := NewHistogram(1, 2, 4)
+	// le semantics: a value equal to a bound lands in that bound's bucket.
+	for _, v := range []float64{0.5, 1} {
+		h.Observe(v)
+	}
+	h.Observe(1.5)
+	h.Observe(4)
+	h.Observe(4.1) // overflow
+	snap := h.Snapshot()
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if snap.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (snapshot %v)", i, snap.Counts[i], w, snap)
+		}
+	}
+	if snap.Count != 5 {
+		t.Errorf("count = %d, want 5", snap.Count)
+	}
+	if math.Abs(snap.Sum-(0.5+1+1.5+4+4.1)) > 1e-9 {
+		t.Errorf("sum = %g", snap.Sum)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(LatencyBounds()...)
+	b := NewHistogram(LatencyBounds()...)
+	for i := 0; i < 10; i++ {
+		a.Observe(1e-6)
+		b.Observe(0.5)
+	}
+	a.Merge(b)
+	a.Merge(nil)
+	if a.Count() != 20 {
+		t.Errorf("merged count = %d, want 20", a.Count())
+	}
+	if math.Abs(a.Sum()-(10e-6+5)) > 1e-9 {
+		t.Errorf("merged sum = %g", a.Sum())
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("merging mismatched layouts did not panic")
+		}
+	}()
+	a.Merge(NewHistogram(1, 2))
+}
+
+func TestHistogramRejectsBadBounds(t *testing.T) {
+	for name, bounds := range map[string][]float64{
+		"empty":      {},
+		"descending": {2, 1},
+		"duplicate":  {1, 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s bounds did not panic", name)
+				}
+			}()
+			NewHistogram(bounds...)
+		}()
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(DepthBounds()...)
+	const goroutines, per = 8, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i % 4))
+				_ = h.Snapshot()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != goroutines*per {
+		t.Errorf("count = %d, want %d", h.Count(), goroutines*per)
+	}
+	snap := h.Snapshot()
+	var total uint64
+	for _, c := range snap.Counts {
+		total += c
+	}
+	if total != goroutines*per {
+		t.Errorf("bucket total = %d, want %d", total, goroutines*per)
+	}
+	wantSum := float64(goroutines) * float64(per/4) * (0 + 1 + 2 + 3)
+	if math.Abs(snap.Sum-wantSum) > 1e-6 {
+		t.Errorf("sum = %g, want %g", snap.Sum, wantSum)
+	}
+}

@@ -1,0 +1,268 @@
+package telemetry
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// TraceOp is the label operation recorded in a trace event. The first
+// four values deliberately mirror label.Op (none, push, pop, swap) so
+// converting between the two is a cast; TraceDiscard is the extra
+// outcome only the telemetry layer sees.
+type TraceOp uint8
+
+// Trace operations.
+const (
+	TraceNone TraceOp = iota // placeholder, keeps label.Op values aligned
+	TracePush
+	TracePop
+	TraceSwap
+	TraceDiscard
+
+	// NumTraceOps is the number of distinct trace operations.
+	NumTraceOps = 5
+)
+
+// Valid reports whether o names a defined trace operation.
+func (o TraceOp) Valid() bool { return o < NumTraceOps }
+
+// String names the operation.
+func (o TraceOp) String() string {
+	switch o {
+	case TraceNone:
+		return "none"
+	case TracePush:
+		return "push"
+	case TracePop:
+		return "pop"
+	case TraceSwap:
+		return "swap"
+	case TraceDiscard:
+		return "discard"
+	default:
+		return fmt.Sprintf("traceop(%d)", uint8(o))
+	}
+}
+
+// TraceEvent is one label operation observed at a node: what was done
+// (or why the packet was discarded), at which information-base level or
+// stack depth, to which label.
+type TraceEvent struct {
+	// Seq is assigned by the ring: the event's position in the total
+	// stream, monotonically increasing even after wraparound.
+	Seq uint64
+	// Node names where the operation happened (router, engine, or model).
+	Node string
+	// Op is the applied operation, or TraceDiscard.
+	Op TraceOp
+	// Level is the information-base level consulted (lsm) or the stack
+	// depth observed (swmpls/dataplane/router).
+	Level uint8
+	// Label is the label involved: the pushed/swapped-in label on
+	// success, the offending top label on a discard, 0 when unknown.
+	Label uint32
+	// Reason is meaningful only when Op is TraceDiscard.
+	Reason Reason
+}
+
+// String renders the event as one trace line.
+func (e TraceEvent) String() string {
+	if e.Op == TraceDiscard {
+		return fmt.Sprintf("seq=%d node=%s op=discard reason=%v level=%d label=%d",
+			e.Seq, e.Node, e.Reason, e.Level, e.Label)
+	}
+	return fmt.Sprintf("seq=%d node=%s op=%v level=%d label=%d",
+		e.Seq, e.Node, e.Op, e.Level, e.Label)
+}
+
+// Ring is a bounded, concurrency-safe trace of the most recent label
+// operations. Older events are overwritten once capacity is reached;
+// Total() minus Len() says how many were lost. Recording takes one
+// mutex acquisition, so tracing is optional everywhere it is wired —
+// enable it when debugging an LSP, leave it nil on benchmark runs.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []TraceEvent
+	next uint64 // events ever recorded; also the next event's Seq
+}
+
+// NewRing returns a ring holding the last capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("telemetry: ring capacity %d", capacity))
+	}
+	return &Ring{buf: make([]TraceEvent, 0, capacity)}
+}
+
+// Record stores the event (overwriting the oldest when full), assigns
+// its sequence number and returns it. The caller's Seq field is ignored.
+func (r *Ring) Record(ev TraceEvent) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ev.Seq = r.next
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+	} else {
+		r.buf[int(r.next)%cap(r.buf)] = ev
+	}
+	r.next++
+	return ev.Seq
+}
+
+// RecordOp records a successful push/pop/swap.
+func (r *Ring) RecordOp(node string, op TraceOp, level uint8, lbl uint32) {
+	r.Record(TraceEvent{Node: node, Op: op, Level: level, Label: lbl})
+}
+
+// RecordDiscard records a drop with its reason.
+func (r *Ring) RecordDiscard(node string, level uint8, lbl uint32, reason Reason) {
+	r.Record(TraceEvent{Node: node, Op: TraceDiscard, Level: level, Label: lbl, Reason: reason})
+}
+
+// Len returns the number of retained events.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Cap returns the ring's capacity.
+func (r *Ring) Cap() int { return cap(r.buf) }
+
+// Total returns how many events were ever recorded (retained or
+// overwritten).
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []TraceEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TraceEvent, 0, len(r.buf))
+	if len(r.buf) < cap(r.buf) {
+		return append(out, r.buf...)
+	}
+	start := int(r.next) % cap(r.buf)
+	out = append(out, r.buf[start:]...)
+	return append(out, r.buf[:start]...)
+}
+
+// Dump writes the retained events as text, oldest first, with a header
+// noting how many older events were overwritten.
+func (r *Ring) Dump(w io.Writer) error {
+	evs := r.Events()
+	total := r.Total()
+	if _, err := fmt.Fprintf(w, "trace ring: %d events retained of %d recorded\n",
+		len(evs), total); err != nil {
+		return err
+	}
+	for _, ev := range evs {
+		if _, err := fmt.Fprintf(w, "  %v\n", ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// The binary trace record layout, per event:
+//
+//	uvarint seq | byte op | byte level | uvarint label |
+//	byte reason | byte len(node) | node bytes
+//
+// Node names longer than 255 bytes are truncated on encode — they are
+// router names, not payloads.
+
+// Trace codec errors.
+var (
+	ErrTraceTruncated = errors.New("telemetry: truncated trace record")
+	ErrTraceInvalid   = errors.New("telemetry: invalid trace record")
+)
+
+// AppendEncoded appends ev's binary encoding to buf and returns it.
+func AppendEncoded(buf []byte, ev TraceEvent) []byte {
+	buf = binary.AppendUvarint(buf, ev.Seq)
+	buf = append(buf, byte(ev.Op), ev.Level)
+	buf = binary.AppendUvarint(buf, uint64(ev.Label))
+	node := ev.Node
+	if len(node) > 255 {
+		node = node[:255]
+	}
+	buf = append(buf, byte(ev.Reason), byte(len(node)))
+	return append(buf, node...)
+}
+
+// Encode serialises the retained events, oldest first.
+func (r *Ring) Encode() []byte {
+	var buf []byte
+	for _, ev := range r.Events() {
+		buf = AppendEncoded(buf, ev)
+	}
+	return buf
+}
+
+// DecodeEvents parses a concatenation of encoded trace records. It
+// rejects truncated tails and out-of-range op/reason bytes rather than
+// guessing, so a corrupted dump is reported, not misread.
+func DecodeEvents(buf []byte) ([]TraceEvent, error) {
+	var out []TraceEvent
+	for len(buf) > 0 {
+		ev, rest, err := decodeOne(buf)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ev)
+		buf = rest
+	}
+	return out, nil
+}
+
+func decodeOne(buf []byte) (TraceEvent, []byte, error) {
+	var ev TraceEvent
+	seq, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return ev, nil, ErrTraceTruncated
+	}
+	buf = buf[n:]
+	if len(buf) < 2 {
+		return ev, nil, ErrTraceTruncated
+	}
+	op, level := TraceOp(buf[0]), buf[1]
+	if !op.Valid() {
+		return ev, nil, fmt.Errorf("%w: op %d", ErrTraceInvalid, buf[0])
+	}
+	buf = buf[2:]
+	lbl, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return ev, nil, ErrTraceTruncated
+	}
+	if lbl > 1<<32-1 {
+		return ev, nil, fmt.Errorf("%w: label %d exceeds 32 bits", ErrTraceInvalid, lbl)
+	}
+	buf = buf[n:]
+	if len(buf) < 2 {
+		return ev, nil, ErrTraceTruncated
+	}
+	reason, nodeLen := Reason(buf[0]), int(buf[1])
+	if !reason.Valid() {
+		return ev, nil, fmt.Errorf("%w: reason %d", ErrTraceInvalid, buf[0])
+	}
+	buf = buf[2:]
+	if len(buf) < nodeLen {
+		return ev, nil, ErrTraceTruncated
+	}
+	ev = TraceEvent{
+		Seq:    seq,
+		Node:   string(buf[:nodeLen]),
+		Op:     op,
+		Level:  level,
+		Label:  uint32(lbl),
+		Reason: reason,
+	}
+	return ev, buf[nodeLen:], nil
+}

@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.RecordOp("n", TraceSwap, 2, uint32(100+i))
+	}
+	if r.Len() != 4 || r.Cap() != 4 {
+		t.Fatalf("len=%d cap=%d, want 4/4", r.Len(), r.Cap())
+	}
+	if r.Total() != 10 {
+		t.Fatalf("total = %d, want 10", r.Total())
+	}
+	evs := r.Events()
+	for i, ev := range evs {
+		wantSeq := uint64(6 + i)
+		if ev.Seq != wantSeq || ev.Label != uint32(100+wantSeq) {
+			t.Errorf("event %d = %+v, want seq %d label %d", i, ev, wantSeq, 100+wantSeq)
+		}
+	}
+}
+
+func TestRingDump(t *testing.T) {
+	r := NewRing(8)
+	r.RecordOp("lsr1", TracePush, 0, 42)
+	r.RecordDiscard("lsr2", 1, 99, ReasonTTLExpired)
+	var b strings.Builder
+	if err := r.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"2 events retained of 2 recorded",
+		"seq=0 node=lsr1 op=push level=0 label=42",
+		"seq=1 node=lsr2 op=discard reason=ttl-expired level=1 label=99",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRingCodecRoundTrip(t *testing.T) {
+	r := NewRing(3)
+	r.RecordOp("a", TracePush, 0, 16)
+	r.RecordOp("b", TraceSwap, 1, 1<<20-1)
+	r.RecordDiscard("c", 3, 0, ReasonInconsistentOp)
+	r.RecordOp("d", TracePop, 2, 7) // forces wraparound past "a"
+	want := r.Events()
+
+	got, err := DecodeEvents(r.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestDecodeRejectsCorruptRecords(t *testing.T) {
+	enc := AppendEncoded(nil, TraceEvent{Seq: 5, Node: "node", Op: TraceSwap, Level: 2, Label: 300})
+	for cut := 1; cut < len(enc); cut++ {
+		if _, err := DecodeEvents(enc[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	bad := append([]byte(nil), enc...)
+	bad[1] = byte(NumTraceOps) // seq is one byte here, op follows
+	if _, err := DecodeEvents(bad); err == nil {
+		t.Error("invalid op accepted")
+	}
+	if evs, err := DecodeEvents(nil); err != nil || len(evs) != 0 {
+		t.Errorf("empty input: %v, %v", evs, err)
+	}
+}
+
+func TestRingConcurrentRecord(t *testing.T) {
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	const goroutines, per = 4, 2000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.RecordOp("w", TracePop, 1, uint32(i))
+				_ = r.Events()
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Total() != goroutines*per {
+		t.Errorf("total = %d, want %d", r.Total(), goroutines*per)
+	}
+	// Sequence numbers of retained events are unique and increasing.
+	evs := r.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("retained events out of order: %d then %d", evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}

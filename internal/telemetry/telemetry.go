@@ -1,0 +1,142 @@
+// Package telemetry is the observability layer of the reproduction: a
+// unified drop-reason taxonomy with lock-free counters, fixed-bucket
+// histograms that merge on snapshot, a bounded label-operation trace
+// ring, and a Prometheus-text/expvar export surface.
+//
+// The taxonomy follows the paper's LSM control unit, which discards a
+// packet for exactly three reasons — information-base lookup miss, TTL
+// expiry, and an inconsistent stored operation (Figures 8-11) — plus the
+// two outcomes that only exist outside the modifier: a full admission
+// queue and a missing route for an unlabelled packet. Every layer
+// (swmpls, dataplane, router, lsm, netsim) maps its native reason onto
+// this one enum, so a scrape of the exporter tells the operator *why*
+// packets died regardless of which engine dropped them.
+//
+// The package depends only on the standard library so every other layer
+// can import it without cycles; the reason-mapping helpers therefore
+// live with the packages that own the native enums (swmpls.DropReason
+// and lsm.DiscardReason gain Telemetry() methods).
+package telemetry
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Reason classifies why a packet was dropped, across every layer.
+type Reason uint8
+
+// The unified drop reasons. The first three are the paper's discard
+// transitions; the last two arise in the queueing and routing layers.
+const (
+	// ReasonLookupMiss: no matching information-base / ILM entry for the
+	// top label (the paper's "no match: discard" transition).
+	ReasonLookupMiss Reason = iota
+	// ReasonTTLExpired: the TTL reached zero after the per-hop decrement.
+	ReasonTTLExpired
+	// ReasonInconsistentOp: the stored operation is impossible in the
+	// current stack state — e.g. a push that would exceed the stack's
+	// register file (label.MaxDepth).
+	ReasonInconsistentOp
+	// ReasonQueueOverfull: an admission queue (qos.Scheduler) rejected
+	// the packet.
+	ReasonQueueOverfull
+	// ReasonNoRoute: an unlabelled packet had no FEC binding and no IP
+	// route, or a forwarding decision named a next hop with no link.
+	ReasonNoRoute
+
+	// NumReasons is the number of distinct reasons.
+	NumReasons = 5
+)
+
+// Valid reports whether r names a defined reason.
+func (r Reason) Valid() bool { return r < NumReasons }
+
+// String names the reason; the same strings appear as the exporter's
+// reason label values.
+func (r Reason) String() string {
+	switch r {
+	case ReasonLookupMiss:
+		return "lookup-miss"
+	case ReasonTTLExpired:
+		return "ttl-expired"
+	case ReasonInconsistentOp:
+		return "inconsistent-op"
+	case ReasonQueueOverfull:
+		return "queue-overfull"
+	case ReasonNoRoute:
+		return "no-route"
+	default:
+		return fmt.Sprintf("reason(%d)", uint8(r))
+	}
+}
+
+// DropCounters is a fixed set of per-reason event counters. All methods
+// are safe for concurrent use and lock-free, so the counters can sit
+// directly on the forwarding fast path and be scraped while workers run.
+// The zero value is ready to use.
+type DropCounters struct {
+	counts [NumReasons]atomic.Uint64
+}
+
+// Inc adds one drop for the reason. Out-of-range reasons are ignored
+// rather than corrupting a neighbouring counter.
+func (c *DropCounters) Inc(r Reason) { c.Add(r, 1) }
+
+// Add adds n drops for the reason.
+func (c *DropCounters) Add(r Reason, n uint64) {
+	if r.Valid() {
+		c.counts[r].Add(n)
+	}
+}
+
+// Get returns the count for one reason.
+func (c *DropCounters) Get(r Reason) uint64 {
+	if !r.Valid() {
+		return 0
+	}
+	return c.counts[r].Load()
+}
+
+// Total returns the sum over all reasons.
+func (c *DropCounters) Total() uint64 {
+	var t uint64
+	for i := range c.counts {
+		t += c.counts[i].Load()
+	}
+	return t
+}
+
+// Snapshot returns a consistent-enough copy of all counters (each
+// counter is read atomically; the set is read while writers may run,
+// like every other snapshot in this codebase).
+func (c *DropCounters) Snapshot() [NumReasons]uint64 {
+	var out [NumReasons]uint64
+	for i := range c.counts {
+		out[i] = c.counts[i].Load()
+	}
+	return out
+}
+
+// Merge folds o's counts into c.
+func (c *DropCounters) Merge(o *DropCounters) {
+	if o == nil {
+		return
+	}
+	for i := range c.counts {
+		c.counts[i].Add(o.counts[i].Load())
+	}
+}
+
+// String renders every reason, zero or not, in enum order:
+// "drops{lookup-miss=3 ttl-expired=0 ...}".
+func (c *DropCounters) String() string {
+	s := "drops{"
+	for r := Reason(0); r < NumReasons; r++ {
+		if r > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%v=%d", r, c.Get(r))
+	}
+	return s + "}"
+}

@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestReasonStrings(t *testing.T) {
+	want := map[Reason]string{
+		ReasonLookupMiss:     "lookup-miss",
+		ReasonTTLExpired:     "ttl-expired",
+		ReasonInconsistentOp: "inconsistent-op",
+		ReasonQueueOverfull:  "queue-overfull",
+		ReasonNoRoute:        "no-route",
+	}
+	if len(want) != NumReasons {
+		t.Fatalf("test covers %d reasons, enum has %d", len(want), NumReasons)
+	}
+	for r, s := range want {
+		if r.String() != s {
+			t.Errorf("%d.String() = %q, want %q", r, r.String(), s)
+		}
+		if !r.Valid() {
+			t.Errorf("%v not valid", r)
+		}
+	}
+	if Reason(NumReasons).Valid() {
+		t.Error("out-of-range reason reported valid")
+	}
+	if !strings.Contains(Reason(200).String(), "200") {
+		t.Error("unknown reason string lost its value")
+	}
+}
+
+func TestDropCountersBasics(t *testing.T) {
+	var c DropCounters
+	c.Inc(ReasonLookupMiss)
+	c.Add(ReasonTTLExpired, 3)
+	c.Inc(Reason(250)) // ignored, not a crash or a misattribution
+	if got := c.Get(ReasonLookupMiss); got != 1 {
+		t.Errorf("lookup-miss = %d, want 1", got)
+	}
+	if got := c.Get(ReasonTTLExpired); got != 3 {
+		t.Errorf("ttl-expired = %d, want 3", got)
+	}
+	if got := c.Get(Reason(250)); got != 0 {
+		t.Errorf("invalid reason = %d, want 0", got)
+	}
+	if got := c.Total(); got != 4 {
+		t.Errorf("total = %d, want 4", got)
+	}
+	snap := c.Snapshot()
+	if snap[ReasonLookupMiss] != 1 || snap[ReasonTTLExpired] != 3 {
+		t.Errorf("snapshot = %v", snap)
+	}
+
+	var d DropCounters
+	d.Add(ReasonTTLExpired, 2)
+	d.Merge(&c)
+	d.Merge(nil)
+	if got := d.Get(ReasonTTLExpired); got != 5 {
+		t.Errorf("merged ttl-expired = %d, want 5", got)
+	}
+	if !strings.Contains(d.String(), "ttl-expired=5") {
+		t.Errorf("String() = %q", d.String())
+	}
+}
+
+func TestDropCountersConcurrent(t *testing.T) {
+	var c DropCounters
+	const goroutines, per = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := Reason(g % NumReasons)
+			for i := 0; i < per; i++ {
+				c.Inc(r)
+				_ = c.Snapshot() // scrape while writing
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.Total(); got != goroutines*per {
+		t.Errorf("total = %d, want %d", got, goroutines*per)
+	}
+}

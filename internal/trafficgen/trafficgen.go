@@ -16,6 +16,7 @@ import (
 	"embeddedmpls/internal/packet"
 	"embeddedmpls/internal/router"
 	"embeddedmpls/internal/stats"
+	"embeddedmpls/internal/telemetry"
 )
 
 // Flow identifies one traffic stream.
@@ -31,6 +32,10 @@ type Collector struct {
 	flows    map[uint16]*stats.FlowStats
 	series   map[uint16]*stats.Series
 	binWidth float64
+
+	// Drops aggregates watched loss by telemetry reason, alongside the
+	// per-flow Dropped counters.
+	Drops telemetry.DropCounters
 }
 
 // NewCollector builds a collector on the simulator.
@@ -68,6 +73,26 @@ func (c *Collector) Attach(r *router.Router) {
 			}
 			s.Count(c.sim.Now(), p.Size())
 		}
+	}
+}
+
+// WatchLink hooks the link's drop callback so queue-overfull losses are
+// charged to the flow that suffered them (FlowStats.Dropped) and to the
+// collector's per-reason totals. Before this hook existed those drops
+// were visible only in the link scheduler's aggregate count, so
+// Sent != Delivered + Dropped at the flow level whenever a queue
+// overflowed.
+func (c *Collector) WatchLink(l *netsim.Link) {
+	l.OnDrop = func(p *packet.Packet, reason telemetry.Reason) {
+		c.flow(p.Header.FlowID).Dropped.Add(p.Size())
+		c.Drops.Inc(reason)
+	}
+}
+
+// WatchRouter watches every outgoing link of r.
+func (c *Collector) WatchRouter(r *router.Router) {
+	for _, l := range r.Links() {
+		c.WatchLink(l)
 	}
 }
 

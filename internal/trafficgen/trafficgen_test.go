@@ -9,6 +9,7 @@ import (
 	"embeddedmpls/internal/netsim"
 	"embeddedmpls/internal/packet"
 	"embeddedmpls/internal/router"
+	"embeddedmpls/internal/telemetry"
 )
 
 var dst = packet.AddrFrom(10, 0, 0, 5)
@@ -221,5 +222,56 @@ func TestSeriesTracking(t *testing.T) {
 	c2 := NewCollector(n.Sim)
 	if c2.Series(9) != nil {
 		t.Error("series without tracking should be nil")
+	}
+}
+
+// TestQueueFullDropsVisibleToFlowStats covers the fixed accounting gap:
+// queue-overfull drops at a congested link used to be counted only in
+// the link scheduler's aggregate, leaving FlowStats.Dropped at zero and
+// Sent != Delivered + Dropped. With the collector watching the link,
+// every offered packet is attributed to its flow exactly once.
+func TestQueueFullDropsVisibleToFlowStats(t *testing.T) {
+	n, err := router.Build(
+		[]router.NodeSpec{{Name: "src"}, {Name: "dst"}},
+		[]router.LinkSpec{{A: "src", B: "dst", RateBPS: 1e6, Delay: 0.001, QueueCap: 8}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.LDP.SetupLSP(ldp.SetupRequest{
+		ID:   "lsp",
+		FEC:  ldp.FEC{Dst: dst, PrefixLen: 32},
+		Path: []string{"src", "dst"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCollector(n.Sim)
+	c.Attach(n.Router("dst"))
+	c.WatchRouter(n.Router("src"))
+
+	// 4 Mbps into a 1 Mbps link with an 8-packet queue: heavy loss.
+	Bulk{Flow: Flow{ID: 11, Dst: dst}, Size: 988, RateBPS: 4e6, Stop: 0.999}.
+		Install(n.Sim, n.Router("src"), c)
+	n.Sim.Run()
+
+	f := c.Flow(11)
+	if f.Dropped.Events == 0 {
+		t.Fatal("queue-full drops still invisible to FlowStats")
+	}
+	if f.Sent.Events != f.Delivered.Events+f.Dropped.Events {
+		t.Errorf("sent %d != delivered %d + dropped %d",
+			f.Sent.Events, f.Delivered.Events, f.Dropped.Events)
+	}
+	// The collector's reason accounting and the link scheduler's own
+	// drop count must agree.
+	link, ok := n.Router("src").Link("dst")
+	if !ok {
+		t.Fatal("no src->dst link")
+	}
+	if got := c.Drops.Get(telemetry.ReasonQueueOverfull); got != link.Queue().Dropped() {
+		t.Errorf("collector counted %d queue drops, scheduler %d", got, link.Queue().Dropped())
+	}
+	if got := c.Drops.Total(); got != f.Dropped.Events {
+		t.Errorf("reason total %d, flow dropped %d", got, f.Dropped.Events)
 	}
 }
