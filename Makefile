@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test bench bench-dataplane reproduce race cover metrics examples clean
+.PHONY: all build test bench bench-dataplane reproduce race cover metrics chaos examples clean
 
 all: build test
 
@@ -24,10 +24,19 @@ reproduce:
 
 # The concurrent dataplane is the package the race detector exists for:
 # run it explicitly (and with -count=2 for scheduling variety) on top of
-# the repo-wide pass.
+# the repo-wide pass. The fault-injection and resilience packages ride
+# along: their chaos scenarios must stay race-clean too.
 race:
 	go test -race ./...
-	go test -race -count=2 ./internal/dataplane
+	go test -race -count=2 ./internal/dataplane ./internal/faults ./internal/resilience
+
+# Seeded chaos runs with the self-healing layer on: each seed injects a
+# different fault schedule, and mplssim exits nonzero if traffic has not
+# converged (flowing again, no retries exhausted) by the end of the run.
+chaos:
+	@for seed in 1 2 3; do \
+		echo "== chaos seed $$seed =="; \
+		go run ./cmd/mplssim -chaos $$seed -heal || exit 1; echo; done
 
 # Per-package coverage plus an aggregate profile with a per-function
 # report and a repo-wide total line.

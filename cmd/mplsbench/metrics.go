@@ -7,8 +7,11 @@ import (
 	"time"
 
 	"embeddedmpls/internal/dataplane"
+	"embeddedmpls/internal/faults"
 	"embeddedmpls/internal/label"
+	"embeddedmpls/internal/netsim"
 	"embeddedmpls/internal/packet"
+	"embeddedmpls/internal/resilience"
 	"embeddedmpls/internal/swmpls"
 	"embeddedmpls/internal/telemetry"
 )
@@ -77,8 +80,20 @@ func runDataplaneMetrics(promPath string) error {
 	}
 	e.Close()
 
+	// Fault/recovery events: a deterministic retry exercise on the
+	// simulated clock so the exposition covers the resilience taxonomy
+	// alongside the drop taxonomy.
+	var ev telemetry.EventCounters
+	sim := netsim.New()
+	retry := resilience.NewRetryer(sim, resilience.Backoff{Base: 0.01, Jitter: 0}, 1, &ev, nil)
+	retry.Do("install", faults.FailFirst(2), nil)
+	retry.Do("unreachable", faults.FailEvery(1), nil)
+	sim.Run()
+
 	reg := telemetry.NewRegistry()
 	e.RegisterMetrics(reg, nil)
+	reg.Events("mpls_resilience_events_total", "Fault and recovery events by type.",
+		telemetry.Labels{"node": "bench-lsr"}, &ev)
 	var buf bytes.Buffer
 	if err := reg.WriteText(&buf); err != nil {
 		return err

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"embeddedmpls/internal/faults"
+	"embeddedmpls/internal/ldp"
+	"embeddedmpls/internal/lsm"
+	"embeddedmpls/internal/packet"
+	"embeddedmpls/internal/resilience"
+	"embeddedmpls/internal/router"
+	"embeddedmpls/internal/telemetry"
+	"embeddedmpls/internal/trafficgen"
+)
+
+// runChaos drives the diamond network through a seeded random fault
+// schedule — link flaps, corruption windows and delay spikes on the
+// primary path — and, with heal set, lets the resilience layer
+// (keepalive monitor + health tracker + protection-switching healer)
+// repair the damage. It prints the injected schedule, the recovery
+// timeline and the fault/recovery counters, then verifies convergence:
+// traffic must be flowing again at the end of the run with no repair
+// retries exhausted. With heal set, non-convergence exits nonzero so a
+// chaos run can gate CI.
+func runChaos(seed int64, heal, hardware bool, duration, rate float64) {
+	nodes := []router.NodeSpec{
+		{Name: "a", Hardware: hardware, RouterType: lsm.LER},
+		{Name: "b", Hardware: hardware, RouterType: lsm.LSR},
+		{Name: "c", Hardware: hardware, RouterType: lsm.LSR},
+		{Name: "d", Hardware: hardware, RouterType: lsm.LER},
+	}
+	links := []router.LinkSpec{
+		{A: "a", B: "b", RateBPS: rate, Delay: 0.001, Metric: 1},
+		{A: "b", B: "d", RateBPS: rate, Delay: 0.001, Metric: 1},
+		{A: "a", B: "c", RateBPS: rate, Delay: 0.001, Metric: 5},
+		{A: "c", B: "d", RateBPS: rate, Delay: 0.001, Metric: 5},
+	}
+	net, err := router.Build(nodes, links)
+	check(err)
+	attachTelemetry(net)
+	dst := packet.AddrFrom(10, 0, 0, 9)
+	_, err = net.LDP.SetupLSP(ldp.SetupRequest{
+		ID: "l", FEC: ldp.FEC{Dst: dst, PrefixLen: 32}, Path: []string{"a", "b", "d"},
+	})
+	check(err)
+
+	var events telemetry.EventCounters
+	timeline := &resilience.Timeline{}
+
+	if heal {
+		mon := resilience.NewMonitor(net, net.Sim, resilience.MonitorConfig{
+			Interval: 0.005, MissThreshold: 3, Until: duration,
+			Events: &events, Timeline: timeline,
+		})
+		h := resilience.NewHealer(net, net.Sim, resilience.HealerConfig{
+			Seed: seed, Events: &events, Timeline: timeline,
+		})
+		mon.OnDown = h.LinkDown
+		mon.OnUp = h.LinkUp
+		check(mon.WatchBoth("a", "b"))
+		check(mon.WatchBoth("b", "d"))
+		check(h.Protect("l"))
+		// Telemetry-fed health: a burst of drops (e.g. a corruption
+		// window killing packets mid-path) moves the LSP even when the
+		// links still answer keepalives.
+		resilience.TrackHealth(net.Sim, resilience.HealthConfig{
+			Interval: 0.05, Threshold: 3, Bad: 2, Until: duration,
+		}, traceDrops.Total, func(delta uint64) {
+			timeline.Add(net.Sim.Now(), "health: %d drops this interval, moving LSP off suspect path", delta)
+			h.Degraded("l")
+		})
+	}
+
+	inj := faults.NewInjector(net, &events)
+	schedule := faults.Generate(seed, faults.GenSpec{
+		Links:    [][2]string{{"a", "b"}, {"b", "d"}},
+		Duration: duration * 0.7, Flaps: 2, MeanOutage: duration * 0.05,
+		Corruptions: 1, DelaySpikes: 1,
+	})
+	check(inj.Apply(schedule))
+	fmt.Printf("chaos scenario (seed %d, %s plane, heal=%v), injected schedule:\n",
+		seed, planeName(hardware), heal)
+	for _, e := range schedule.Events {
+		fmt.Printf("  %v\n", e)
+	}
+
+	c := trafficgen.NewCollector(net.Sim)
+	c.TrackSeries(duration / 20)
+	c.Attach(net.Router("d"))
+	var lastDelivery float64
+	prev := net.Router("d").OnDeliver
+	net.Router("d").OnDeliver = func(p *packet.Packet) {
+		lastDelivery = net.Sim.Now()
+		prev(p)
+	}
+	trafficgen.CBR{Flow: trafficgen.Flow{ID: 1, Dst: dst}, Size: 512, Interval: 0.001, Stop: duration}.
+		Install(net.Sim, net.Router("a"), c)
+
+	net.Sim.Run()
+
+	fmt.Println("\nrecovery timeline:")
+	if timeline.Len() == 0 {
+		fmt.Println("  (no recovery actions: healing disabled or no faults bit)")
+	} else {
+		fmt.Print(timeline)
+	}
+	fmt.Println("\nfault/recovery events:")
+	fmt.Printf("  %v\n", &events)
+	report(c, duration)
+
+	lsp, _ := net.LDP.LSP("l")
+	fmt.Printf("final LSP path: %v\n", lsp.Path)
+
+	// Convergence: traffic flowing at the end (the last packet of a
+	// healthy run lands within a handful of send intervals of the stop
+	// time) and no repair gave up.
+	converged := lastDelivery > duration-0.05 && events.Get(telemetry.EventRetryExhausted) == 0
+	fmt.Printf("converged: %v (last delivery t=%.3fs of %.3fs)\n", converged, lastDelivery, duration)
+	if heal && !converged {
+		fmt.Println("chaos: FAILED to converge")
+		os.Exit(1)
+	}
+}

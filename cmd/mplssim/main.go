@@ -8,6 +8,12 @@
 //	qos       VoIP + bulk over a congested core, FIFO vs CoS scheduling
 //	failover  a link failure mid-run, repaired by CSPF + make-before-break
 //
+// A seeded chaos run injects a random fault schedule (link flaps,
+// corruption, delay spikes) and -heal turns on the self-healing
+// resilience layer, printing its recovery timeline:
+//
+//	mplssim -chaos 1 -heal
+//
 // Or run a declarative JSON scenario file:
 //
 //	mplssim -config scenario.json
@@ -76,6 +82,8 @@ func main() {
 	duration := flag.Float64("duration", 2, "simulated seconds of traffic")
 	rate := flag.Float64("rate", 10e6, "link rate, bits/second")
 	traceN := flag.Int("trace", 0, "record the last N label operations across all routers and dump them after the run")
+	chaosSeed := flag.Int64("chaos", -1, "run the chaos scenario with this fault-schedule seed (>= 0)")
+	heal := flag.Bool("heal", false, "enable the self-healing resilience layer in the chaos scenario")
 	flag.Parse()
 
 	if *traceN > 0 {
@@ -87,6 +95,11 @@ func main() {
 		return
 	}
 	hardware := *plane == "hw"
+	if *chaosSeed >= 0 {
+		runChaos(*chaosSeed, *heal, hardware, *duration, *rate)
+		dumpTelemetry()
+		return
+	}
 	switch *scenario {
 	case "line":
 		runLine(hardware, *hops, *duration, *rate)

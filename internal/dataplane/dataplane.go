@@ -88,8 +88,13 @@ type Engine struct {
 	updates atomic.Uint64 // published snapshots, for observability/tests
 
 	// updateMu serialises writers (cloning is not atomic); readers never
-	// take it.
-	updateMu sync.Mutex
+	// take it. It also guards publishHook.
+	updateMu    sync.Mutex
+	publishHook func() error
+
+	// stallHook, when set, is consulted by every worker at the top of
+	// each batch — the fault layer's shard-stall injection point.
+	stallHook atomic.Pointer[func(worker int)]
 
 	shards  []*shard
 	batch   int
@@ -143,9 +148,33 @@ func New(cfg Config) *Engine {
 	}
 	e.wg.Add(workers)
 	for i := range e.shards {
-		go e.worker(e.shards[i])
+		go e.worker(i, e.shards[i])
 	}
 	return e
+}
+
+// SetPublishHook installs an injectable interceptor for table publishes:
+// Update (and the Installer methods riding it) consults the hook after
+// the edit is applied to the clone, and a non-nil error discards the
+// snapshot, leaving the live table unchanged. The fault layer uses it to
+// model a control-plane write failure; nil removes the hook.
+func (e *Engine) SetPublishHook(h func() error) {
+	e.updateMu.Lock()
+	e.publishHook = h
+	e.updateMu.Unlock()
+}
+
+// SetStallHook installs a per-batch worker interceptor, called with the
+// worker's index before each batch is processed — the fault layer's
+// shard-stall injection point (the hook itself sleeps). The hook runs on
+// worker goroutines, so it must be safe for concurrent use; nil removes
+// it.
+func (e *Engine) SetStallHook(h func(worker int)) {
+	if h == nil {
+		e.stallHook.Store(nil)
+		return
+	}
+	e.stallHook.Store(&h)
 }
 
 // Workers returns the number of shard workers.
@@ -239,6 +268,11 @@ func (e *Engine) Update(apply func(*swmpls.Forwarder) error) error {
 	if err := apply(next); err != nil {
 		return err
 	}
+	if e.publishHook != nil {
+		if err := e.publishHook(); err != nil {
+			return err
+		}
+	}
 	e.table.Store(next)
 	e.updates.Add(1)
 	return nil
@@ -297,7 +331,7 @@ func (e *Engine) ProcessInline(p *packet.Packet) swmpls.Result {
 }
 
 // worker drains one shard until the engine closes and the queue empties.
-func (e *Engine) worker(s *shard) {
+func (e *Engine) worker(id int, s *shard) {
 	defer e.wg.Done()
 	batch := make([]*packet.Packet, 0, e.batch)
 	var acc batchAcc
@@ -305,6 +339,9 @@ func (e *Engine) worker(s *shard) {
 		batch = s.drain(batch[:0], e.batch)
 		if batch == nil {
 			return
+		}
+		if h := e.stallHook.Load(); h != nil {
+			(*h)(id)
 		}
 		tbl := e.table.Load()
 		acc.reset()

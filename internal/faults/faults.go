@@ -1,0 +1,388 @@
+// Package faults is the deterministic fault-injection layer: seeded
+// schedules of link flaps, on-the-wire packet corruption, propagation
+// delay spikes, dataplane shard stalls and control-plane write failures,
+// applied to a simulated network through the small hook interfaces the
+// data path exposes (netsim.Link.SetFault, dataplane.Engine's publish
+// and stall hooks, infobase.Behavioral's write hook).
+//
+// Everything is driven by explicit seeds and the discrete-event clock,
+// so the same seed always produces the same fault sequence — a chaos run
+// is a reproducible test case, not a flake generator. The injected
+// faults map onto the paper's discard transitions: corruption scrambles
+// the top label so the next hop takes the lookup-miss discard, delay
+// spikes push queues toward the overfull drop, and link flaps produce
+// the wholesale loss the resilience layer exists to detect and heal.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"embeddedmpls/internal/infobase"
+	"embeddedmpls/internal/label"
+	"embeddedmpls/internal/netsim"
+	"embeddedmpls/internal/packet"
+	"embeddedmpls/internal/router"
+	"embeddedmpls/internal/telemetry"
+)
+
+// ErrInjected is the error returned by injected control-plane failures
+// (information-base writes, table publishes).
+var ErrInjected = errors.New("faults: injected failure")
+
+// Kind classifies one scheduled fault.
+type Kind int
+
+// The fault kinds.
+const (
+	// LinkDown fails both directions of the A-B connection at At.
+	LinkDown Kind = iota
+	// LinkUp restores the A-B connection at At.
+	LinkUp
+	// Corrupt scrambles the top label of every Nth packet crossing the
+	// directed A->B link during [At, At+Duration).
+	Corrupt
+	// DelaySpike adds Extra seconds of propagation delay to every packet
+	// crossing the directed A->B link during [At, At+Duration).
+	DelaySpike
+)
+
+// String names the kind for timelines and logs.
+func (k Kind) String() string {
+	switch k {
+	case LinkDown:
+		return "link-down"
+	case LinkUp:
+		return "link-up"
+	case Corrupt:
+		return "corrupt"
+	case DelaySpike:
+		return "delay-spike"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	At   float64
+	Kind Kind
+	// A, B name the affected connection (undirected for LinkDown/LinkUp,
+	// the A->B direction for Corrupt and DelaySpike).
+	A, B string
+	// Duration is the window length of Corrupt and DelaySpike faults.
+	Duration float64
+	// Every corrupts every Nth packet in a Corrupt window (<=1: all).
+	Every int
+	// Extra is a DelaySpike's added propagation delay in seconds.
+	Extra float64
+}
+
+// String renders the event for the injection log.
+func (e Event) String() string {
+	switch e.Kind {
+	case Corrupt:
+		return fmt.Sprintf("t=%.3fs %v %s->%s for %.3fs (every %d)", e.At, e.Kind, e.A, e.B, e.Duration, e.Every)
+	case DelaySpike:
+		return fmt.Sprintf("t=%.3fs %v %s->%s for %.3fs (+%.3gs)", e.At, e.Kind, e.A, e.B, e.Duration, e.Extra)
+	default:
+		return fmt.Sprintf("t=%.3fs %v %s-%s", e.At, e.Kind, e.A, e.B)
+	}
+}
+
+// Schedule is a time-ordered fault script.
+type Schedule struct {
+	Seed   int64
+	Events []Event
+}
+
+// Sort orders the events by time (stable, so equal-time events keep
+// their scripted order).
+func (s *Schedule) Sort() {
+	sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].At < s.Events[j].At })
+}
+
+// GenSpec parameterises Generate.
+type GenSpec struct {
+	// Links are the connections faults may hit.
+	Links [][2]string
+	// Duration is the horizon faults are scheduled within (seconds).
+	Duration float64
+	// Flaps is the number of down/up pairs to inject.
+	Flaps int
+	// MeanOutage is the average down time per flap; actual outages are
+	// uniform in [0.5, 1.5) x MeanOutage. <=0 means Duration/20.
+	MeanOutage float64
+	// Corruptions and DelaySpikes count the degradation windows.
+	Corruptions int
+	DelaySpikes int
+}
+
+// Generate builds a seeded random schedule: the same seed and spec
+// always yield the same events.
+func Generate(seed int64, spec GenSpec) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	s := Schedule{Seed: seed}
+	if len(spec.Links) == 0 || spec.Duration <= 0 {
+		return s
+	}
+	pick := func() [2]string { return spec.Links[rng.Intn(len(spec.Links))] }
+	mean := spec.MeanOutage
+	if mean <= 0 {
+		mean = spec.Duration / 20
+	}
+	for i := 0; i < spec.Flaps; i++ {
+		l := pick()
+		at := rng.Float64() * spec.Duration * 0.8
+		outage := mean * (0.5 + rng.Float64())
+		s.Events = append(s.Events,
+			Event{At: at, Kind: LinkDown, A: l[0], B: l[1]},
+			Event{At: at + outage, Kind: LinkUp, A: l[0], B: l[1]})
+	}
+	for i := 0; i < spec.Corruptions; i++ {
+		l := pick()
+		at := rng.Float64() * spec.Duration * 0.8
+		s.Events = append(s.Events, Event{
+			At: at, Kind: Corrupt, A: l[0], B: l[1],
+			Duration: spec.Duration / 10, Every: 1 + rng.Intn(4),
+		})
+	}
+	for i := 0; i < spec.DelaySpikes; i++ {
+		l := pick()
+		at := rng.Float64() * spec.Duration * 0.8
+		s.Events = append(s.Events, Event{
+			At: at, Kind: DelaySpike, A: l[0], B: l[1],
+			Duration: spec.Duration / 10, Extra: 0.001 + rng.Float64()*0.004,
+		})
+	}
+	s.Sort()
+	return s
+}
+
+// Record is one executed injection, for the recovery timeline.
+type Record struct {
+	At   float64
+	What string
+}
+
+// Injector applies a Schedule to a simulated network.
+type Injector struct {
+	net    *router.Network
+	events *telemetry.EventCounters
+	faults map[te2]*linkFault // lazily installed per directed link
+	log    []Record
+	rng    *rand.Rand
+}
+
+type te2 struct{ a, b string }
+
+// NewInjector builds an injector over the network. The event counters
+// are optional; when present, every injected down transition counts one
+// link_flap.
+func NewInjector(net *router.Network, events *telemetry.EventCounters) *Injector {
+	return &Injector{net: net, events: events, faults: make(map[te2]*linkFault)}
+}
+
+// Log returns the executed injections in time order.
+func (in *Injector) Log() []Record { return in.log }
+
+// Apply schedules every event of the fault script on the network's
+// simulator. It validates link references up front so a typo in a
+// schedule cannot silently test nothing.
+func (in *Injector) Apply(s Schedule) error {
+	in.rng = rand.New(rand.NewSource(s.Seed))
+	for _, e := range s.Events {
+		e := e
+		if _, err := in.link(e.A, e.B); err != nil {
+			return err
+		}
+		switch e.Kind {
+		case LinkDown, LinkUp:
+			if _, err := in.link(e.B, e.A); err != nil {
+				return err
+			}
+			in.net.Sim.Schedule(e.At, func() {
+				down := e.Kind == LinkDown
+				_ = in.net.SetLinkDown(e.A, e.B, down)
+				if down && in.events != nil {
+					in.events.Inc(telemetry.EventLinkFlap)
+				}
+				in.record(e)
+			})
+		case Corrupt:
+			every := e.Every
+			if every <= 1 {
+				every = 1
+			}
+			seed := in.rng.Int63()
+			in.net.Sim.Schedule(e.At, func() {
+				f := in.fault(e.A, e.B)
+				f.addWindow(window{
+					start: e.At, end: e.At + e.Duration,
+					corruptEvery: every, rng: rand.New(rand.NewSource(seed)),
+				})
+				in.record(e)
+			})
+		case DelaySpike:
+			in.net.Sim.Schedule(e.At, func() {
+				f := in.fault(e.A, e.B)
+				f.addWindow(window{start: e.At, end: e.At + e.Duration, extra: e.Extra})
+				in.record(e)
+			})
+		default:
+			return fmt.Errorf("faults: unknown event kind %v", e.Kind)
+		}
+	}
+	return nil
+}
+
+func (in *Injector) record(e Event) {
+	in.log = append(in.log, Record{At: in.net.Sim.Now(), What: e.String()})
+}
+
+func (in *Injector) link(a, b string) (*netsim.Link, error) {
+	ra, ok := in.net.Routers[a]
+	if !ok {
+		return nil, fmt.Errorf("faults: unknown node %q", a)
+	}
+	l, ok := ra.Link(b)
+	if !ok {
+		return nil, fmt.Errorf("faults: no link %s->%s", a, b)
+	}
+	return l, nil
+}
+
+// fault returns the (installed) fault hook of the a->b link.
+func (in *Injector) fault(a, b string) *linkFault {
+	key := te2{a, b}
+	if f, ok := in.faults[key]; ok {
+		return f
+	}
+	f := &linkFault{}
+	l, _ := in.link(a, b)
+	l.SetFault(f)
+	in.faults[key] = f
+	return f
+}
+
+// window is one active degradation interval on a link.
+type window struct {
+	start, end   float64
+	corruptEvery int // 0: no corruption
+	extra        float64
+	rng          *rand.Rand
+	seen         int
+}
+
+// linkFault implements netsim.Fault: it applies whichever windows cover
+// the current simulated time. Expired windows are pruned lazily.
+type linkFault struct {
+	windows []*window
+	// Corrupted counts packets whose top label was scrambled.
+	Corrupted uint64
+	// Delayed counts packets that took a delay spike.
+	Delayed uint64
+}
+
+func (f *linkFault) addWindow(w window) { f.windows = append(f.windows, &w) }
+
+// Transmit implements netsim.Fault.
+func (f *linkFault) Transmit(p *packet.Packet, now netsim.Time) netsim.Verdict {
+	var v netsim.Verdict
+	live := f.windows[:0]
+	for _, w := range f.windows {
+		if now >= w.end {
+			continue // expired: prune
+		}
+		live = append(live, w)
+		if now < w.start {
+			continue
+		}
+		if w.corruptEvery > 0 {
+			w.seen++
+			if w.seen%w.corruptEvery == 0 && corrupt(p, w.rng) {
+				f.Corrupted++
+			}
+		}
+		if w.extra > 0 {
+			v.ExtraDelay += w.extra
+			f.Delayed++
+		}
+	}
+	f.windows = live
+	return v
+}
+
+// corrupt scrambles the packet the way line noise would: a labelled
+// packet's top label is replaced with garbage (so the next hop's lookup
+// misses — the paper's "no match: discard" transition), an unlabelled
+// packet loses header integrity (its destination is scrambled, so it
+// dies as no-route or strays). Reports whether anything changed.
+func corrupt(p *packet.Packet, rng *rand.Rand) bool {
+	if p.Labelled() {
+		// A garbage label in the unreserved space, far above anything an
+		// allocator has handed out.
+		garbage := label.Label(1<<19 | rng.Intn(1<<19))
+		if err := p.Stack.Swap(garbage); err != nil {
+			return false
+		}
+		return true
+	}
+	p.Header.Dst ^= packet.Addr(1 + rng.Intn(1<<30))
+	return true
+}
+
+// ShardStall returns a dataplane stall hook that sleeps for d on every
+// nth batch, counted across workers (n <= 1 stalls every batch). Wire it
+// with Engine.SetStallHook; the counter is atomic, so the hook is safe
+// on concurrent workers.
+func ShardStall(n int, d time.Duration) func(worker int) {
+	if n < 1 {
+		n = 1
+	}
+	var c atomic.Uint64
+	return func(int) {
+		if c.Add(1)%uint64(n) == 0 {
+			time.Sleep(d)
+		}
+	}
+}
+
+// FailFirst returns a hook that fails the first k calls with ErrInjected
+// and succeeds afterwards — the canonical workload for retry/backoff
+// logic. Use it as a dataplane publish hook directly, or adapt it with
+// WriteFailures for the information base.
+func FailFirst(k int) func() error {
+	var c atomic.Int64
+	return func() error {
+		if c.Add(1) <= int64(k) {
+			return fmt.Errorf("%w: transient write failure", ErrInjected)
+		}
+		return nil
+	}
+}
+
+// FailEvery returns a hook that fails every nth call with ErrInjected
+// (n <= 1 fails every call).
+func FailEvery(n int) func() error {
+	if n < 1 {
+		n = 1
+	}
+	var c atomic.Uint64
+	return func() error {
+		if c.Add(1)%uint64(n) == 0 {
+			return fmt.Errorf("%w: periodic write failure", ErrInjected)
+		}
+		return nil
+	}
+}
+
+// WriteFailures adapts a call-counting hook (FailFirst, FailEvery) to
+// the information base's write-hook signature.
+func WriteFailures(hook func() error) func(infobase.Level, infobase.Pair) error {
+	return func(infobase.Level, infobase.Pair) error { return hook() }
+}

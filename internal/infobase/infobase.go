@@ -115,7 +115,8 @@ type Base interface {
 // Behavioral is the software reference model of the information base.
 // The zero value is not usable; call NewBehavioral.
 type Behavioral struct {
-	levels [NumLevels][]Pair
+	levels    [NumLevels][]Pair
+	writeHook func(Level, Pair) error
 }
 
 var _ Base = (*Behavioral)(nil)
@@ -123,10 +124,21 @@ var _ Base = (*Behavioral)(nil)
 // NewBehavioral returns an empty behavioral information base.
 func NewBehavioral() *Behavioral { return &Behavioral{} }
 
+// SetWriteHook installs an injectable write interceptor: every Write
+// consults it after validation, and a non-nil error fails the write
+// without storing the pair. The fault-injection layer uses it to model
+// a flaky memory interface; nil removes the hook.
+func (b *Behavioral) SetWriteHook(h func(Level, Pair) error) { b.writeHook = h }
+
 // Write implements Base.
 func (b *Behavioral) Write(lv Level, p Pair) error {
 	if err := ValidatePair(lv, p); err != nil {
 		return err
+	}
+	if b.writeHook != nil {
+		if err := b.writeHook(lv, p); err != nil {
+			return err
+		}
 	}
 	s := &b.levels[lv-1]
 	if len(*s) >= EntriesPerLevel {

@@ -389,13 +389,32 @@ func (m *Manager) install(l *LSP, hops []pathHop, labelInto []label.Label, php b
 // make-before-break: the new path's labels are allocated and installed
 // first, the ingress FTN entry is atomically replaced (installers have
 // replace semantics per FEC), and only then is the old path's state torn
-// down. In-flight packets on the old path are lost when their labels
-// disappear — the unavoidable loss window — but no packet ever sees a
-// half-installed new path. Tunnels cannot be rerouted while in use.
+// down. The break is immediate, so in-flight packets on the old path are
+// lost when their labels disappear; callers that can wait out the drain
+// should use RerouteDeferred instead. Tunnels cannot be rerouted while
+// in use.
 func (m *Manager) Reroute(id string, newPath []string) error {
+	brk, err := m.RerouteDeferred(id, newPath)
+	if err != nil {
+		return err
+	}
+	brk()
+	return nil
+}
+
+// RerouteDeferred is Reroute with the break under the caller's control:
+// the new path carries all freshly injected traffic the moment this
+// returns, but the old path's label entries and reservations stay
+// installed until the returned break function is called. Calling it
+// after the longest in-flight packet has drained makes the switch
+// genuinely lossless. The break function is idempotent and must be
+// called eventually — until then the old path's bandwidth stays
+// reserved (both paths are held during the transition, as
+// make-before-break requires).
+func (m *Manager) RerouteDeferred(id string, newPath []string) (func(), error) {
 	old, ok := m.lsps[id]
 	if !ok {
-		return fmt.Errorf("%w: %q", ErrUnknownLSP, id)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownLSP, id)
 	}
 	if old.Tunnel {
 		for _, other := range m.lsps {
@@ -403,7 +422,7 @@ func (m *Manager) Reroute(id string, newPath []string) error {
 				if other != old && other.Path[i] == old.Path[0] &&
 					other.Path[i+1] == old.Path[len(old.Path)-1] {
 					if _, direct := m.topo.Link(other.Path[i], other.Path[i+1]); !direct {
-						return fmt.Errorf("%w: %q rides %q", ErrTunnelInUse, other.ID, id)
+						return nil, fmt.Errorf("%w: %q rides %q", ErrTunnelInUse, other.ID, id)
 					}
 				}
 			}
@@ -415,14 +434,20 @@ func (m *Manager) Reroute(id string, newPath []string) error {
 	fresh, err := m.setup(id, old.FEC, newPath, old.Bandwidth, old.PHP, old.CoS)
 	if err != nil {
 		m.lsps[id] = old
-		return err
+		return nil, err
 	}
 	fresh.Tunnel = old.Tunnel
 	// Break: remove the old path's label entries and reservations. The
 	// ingress FTN was already replaced by the new install, so it must
 	// not be removed here.
-	m.teardownState(old, true)
-	return nil
+	broken := false
+	return func() {
+		if broken {
+			return
+		}
+		broken = true
+		m.teardownState(old, true)
+	}, nil
 }
 
 // TearDown removes an LSP's entries and reservations. Tearing down a

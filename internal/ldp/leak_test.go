@@ -1,0 +1,210 @@
+package ldp
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"embeddedmpls/internal/label"
+	"embeddedmpls/internal/packet"
+	"embeddedmpls/internal/swmpls"
+	"embeddedmpls/internal/te"
+)
+
+// errInstall is the injected installer failure for leak regression tests.
+var errInstall = errors.New("injected install failure")
+
+// installCounter fails the Nth install call (1-based) across every
+// wrapped installer; failAt = 0 never fails.
+type installCounter struct {
+	failAt int
+	calls  int
+}
+
+func (c *installCounter) tick() error {
+	c.calls++
+	if c.failAt > 0 && c.calls == c.failAt {
+		return errInstall
+	}
+	return nil
+}
+
+// failingInstaller wraps a forwarder so install calls can be made to
+// fail at an exact point in the setup walk. Removals always succeed —
+// rollback must not be blockable.
+type failingInstaller struct {
+	*swmpls.Forwarder
+	c *installCounter
+}
+
+func (f failingInstaller) InstallILM(in label.Label, n swmpls.NHLFE) error {
+	if err := f.c.tick(); err != nil {
+		return err
+	}
+	return f.Forwarder.InstallILM(in, n)
+}
+
+func (f failingInstaller) InstallFEC(dst packet.Addr, prefixLen int, n swmpls.NHLFE) error {
+	if err := f.c.tick(); err != nil {
+		return err
+	}
+	return f.Forwarder.InstallFEC(dst, prefixLen, n)
+}
+
+// failNet builds a diamond topology a-{b,c}-d whose installers share an
+// installCounter.
+func failNet(t *testing.T) (*Manager, *te.Topology, map[string]*swmpls.Forwarder, *installCounter) {
+	t.Helper()
+	topo := te.NewTopology()
+	for _, n := range []string{"a", "b", "c", "d"} {
+		topo.AddNode(n)
+	}
+	for _, l := range [][2]string{{"a", "b"}, {"b", "d"}, {"a", "c"}, {"c", "d"}} {
+		if err := topo.AddDuplex(l[0], l[1], te.LinkAttrs{CapacityBPS: 10e6, Metric: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := NewManager(topo)
+	c := &installCounter{}
+	fwds := make(map[string]*swmpls.Forwarder)
+	for _, n := range []string{"a", "b", "c", "d"} {
+		f := swmpls.New()
+		fwds[n] = f
+		if err := m.Register(n, failingInstaller{Forwarder: f, c: c}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m, topo, fwds, c
+}
+
+// reservations snapshots ReservedBPS on every directed link.
+func reservations(topo *te.Topology) map[string]float64 {
+	r := make(map[string]float64)
+	for _, from := range topo.Nodes() {
+		for _, to := range topo.Neighbours(from) {
+			a, _ := topo.Link(from, to)
+			r[from+"->"+to] = a.ReservedBPS
+		}
+	}
+	return r
+}
+
+func sameReservations(t *testing.T, want, got map[string]float64, context string) {
+	t.Helper()
+	for k, w := range want {
+		if g := got[k]; g != w {
+			t.Errorf("%s: link %s reserved %.0f bps, want %.0f", context, k, g, w)
+		}
+	}
+}
+
+// TestSetupInstallFailureReleasesBandwidth fails installation at every
+// hop index of the setup walk in turn and checks that the topology's
+// bandwidth reservations return to their pre-call value each time: no
+// reservation may leak on any partial-install path.
+func TestSetupInstallFailureReleasesBandwidth(t *testing.T) {
+	// First count the installs of a clean setup.
+	m, _, _, c := failNet(t)
+	if _, err := m.SetupLSP(SetupRequest{
+		ID: "probe", FEC: FEC{Dst: dst, PrefixLen: 32},
+		Path: []string{"a", "b", "d"}, Bandwidth: 1e6,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	total := c.calls
+	if total < 3 {
+		t.Fatalf("setup made only %d install calls", total)
+	}
+
+	for n := 1; n <= total; n++ {
+		t.Run(fmt.Sprintf("failAt%d", n), func(t *testing.T) {
+			m, topo, _, c := failNet(t)
+			before := reservations(topo)
+			c.failAt = n
+			_, err := m.SetupLSP(SetupRequest{
+				ID: "l", FEC: FEC{Dst: dst, PrefixLen: 32},
+				Path: []string{"a", "b", "d"}, Bandwidth: 1e6,
+			})
+			if !errors.Is(err, errInstall) {
+				t.Fatalf("setup error = %v, want injected failure", err)
+			}
+			sameReservations(t, before, reservations(topo), "after failed setup")
+			if _, ok := m.LSP("l"); ok {
+				t.Error("failed setup left the LSP registered")
+			}
+			// The id and bandwidth must be reusable immediately.
+			c.failAt = 0
+			if _, err := m.SetupLSP(SetupRequest{
+				ID: "l", FEC: FEC{Dst: dst, PrefixLen: 32},
+				Path: []string{"a", "b", "d"}, Bandwidth: 9e6,
+			}); err != nil {
+				t.Fatalf("retry after rollback: %v", err)
+			}
+		})
+	}
+}
+
+// TestRerouteInstallFailureKeepsOldPath fails each install of the
+// reroute's make-before-break walk and checks that the old path, its
+// reservations and its forwarding state all survive untouched.
+func TestRerouteInstallFailureKeepsOldPath(t *testing.T) {
+	// Count a clean reroute's installs.
+	m, _, _, c := failNet(t)
+	if _, err := m.SetupLSP(SetupRequest{
+		ID: "probe", FEC: FEC{Dst: dst, PrefixLen: 32},
+		Path: []string{"a", "b", "d"}, Bandwidth: 1e6,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	preCalls := c.calls
+	if err := m.Reroute("probe", []string{"a", "c", "d"}); err != nil {
+		t.Fatal(err)
+	}
+	rerouteInstalls := c.calls - preCalls
+	if rerouteInstalls < 3 {
+		t.Fatalf("reroute made only %d install calls", rerouteInstalls)
+	}
+
+	for n := 1; n <= rerouteInstalls; n++ {
+		t.Run(fmt.Sprintf("failAt%d", n), func(t *testing.T) {
+			m, topo, fwds, c := failNet(t)
+			if _, err := m.SetupLSP(SetupRequest{
+				ID: "l", FEC: FEC{Dst: dst, PrefixLen: 32},
+				Path: []string{"a", "b", "d"}, Bandwidth: 1e6,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			before := reservations(topo)
+			c.failAt = c.calls + n
+			if err := m.Reroute("l", []string{"a", "c", "d"}); !errors.Is(err, errInstall) {
+				t.Fatalf("reroute error = %v, want injected failure", err)
+			}
+			sameReservations(t, before, reservations(topo), "after failed reroute")
+			lsp, ok := m.LSP("l")
+			if !ok {
+				t.Fatal("LSP lost after failed reroute")
+			}
+			if len(lsp.Path) != 3 || lsp.Path[1] != "b" {
+				t.Errorf("path = %v, want the old a-b-d", lsp.Path)
+			}
+			// The old path still forwards end to end.
+			p := packet.New(1, dst, 64, nil)
+			last, res, visited := walk(t, fwds, "a", p)
+			if last != "d" || res.Action != swmpls.Deliver {
+				t.Errorf("old path broken after failed reroute: stopped at %s (%v) via %v", last, res, visited)
+			}
+			// And a clean reroute still succeeds, moving the reservation.
+			c.failAt = 0
+			if err := m.Reroute("l", []string{"a", "c", "d"}); err != nil {
+				t.Fatalf("clean reroute after failures: %v", err)
+			}
+			after := reservations(topo)
+			if after["a->b"] != 0 || after["b->d"] != 0 {
+				t.Errorf("old reservations not released: a->b=%.0f b->d=%.0f", after["a->b"], after["b->d"])
+			}
+			if after["a->c"] != 1e6 || after["c->d"] != 1e6 {
+				t.Errorf("new reservations missing: a->c=%.0f c->d=%.0f", after["a->c"], after["c->d"])
+			}
+		})
+	}
+}

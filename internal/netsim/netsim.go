@@ -108,6 +108,23 @@ type Node interface {
 	Receive(p *packet.Packet, from string)
 }
 
+// Fault is the injectable per-link fault hook: package faults implements
+// it to corrupt packets, stretch their propagation delay, or eat them on
+// the wire. Transmit is called once per packet when its transmission
+// completes; the hook may mutate the packet in place (corruption) and
+// its verdict controls delivery.
+type Fault interface {
+	Transmit(p *packet.Packet, now Time) Verdict
+}
+
+// Verdict is a Fault's decision about one packet.
+type Verdict struct {
+	// Drop discards the packet on the wire (counted in Lost).
+	Drop bool
+	// ExtraDelay is added to the link's propagation delay.
+	ExtraDelay Time
+}
+
 // Link is a unidirectional link: a bounded output queue feeding a
 // transmitter of RateBPS bits per second, followed by Delay seconds of
 // propagation. Build duplex connections from two Links.
@@ -120,6 +137,7 @@ type Link struct {
 	queue qos.Scheduler
 	busy  bool
 	down  bool
+	fault Fault
 
 	// Sent counts packets handed to the link; Delivered counts packets
 	// that completed transmission; queue drops are in Queue.Dropped().
@@ -189,6 +207,9 @@ func (l *Link) SetDown(down bool) {
 // Down reports whether the link is failed.
 func (l *Link) Down() bool { return l.down }
 
+// SetFault installs (or, with nil, removes) the link's fault hook.
+func (l *Link) SetFault(f Fault) { l.fault = f }
+
 // Send queues p for transmission; it is dropped silently (but counted) if
 // the queue is full or the link is down.
 func (l *Link) Send(p *packet.Packet) {
@@ -218,9 +239,21 @@ func (l *Link) startNext() {
 	tx := float64(p.Size()*8) / l.rate
 	l.BusyTime += tx
 	l.sim.Schedule(tx, func() {
+		extra := Time(0)
+		if l.fault != nil {
+			v := l.fault.Transmit(p, l.sim.now)
+			if v.Drop {
+				l.Lost.Add(p.Size())
+				l.startNext()
+				return
+			}
+			if extra = v.ExtraDelay; extra < 0 {
+				extra = 0
+			}
+		}
 		l.Delivered.Add(p.Size())
 		// Propagation happens in parallel with the next transmission.
-		l.sim.Schedule(l.delay, func() { l.to.Receive(p, l.from) })
+		l.sim.Schedule(l.delay+extra, func() { l.to.Receive(p, l.from) })
 		l.startNext()
 	})
 }

@@ -1,0 +1,268 @@
+package resilience
+
+import (
+	"fmt"
+
+	"embeddedmpls/internal/router"
+	"embeddedmpls/internal/te"
+	"embeddedmpls/internal/telemetry"
+)
+
+// HealerConfig parameterises protection switching.
+type HealerConfig struct {
+	// Backoff governs retries of failed reroutes.
+	Backoff Backoff
+	// Seed feeds the retry jitter source.
+	Seed int64
+	// DrainDelay is how long the old path's label state is kept
+	// installed after a protection switch so in-flight packets drain
+	// instead of being cut off (seconds). <=0: 0.02.
+	DrainDelay float64
+	// Events and Timeline are optional observation sinks.
+	Events   *telemetry.EventCounters
+	Timeline *Timeline
+}
+
+// Healer owns the repair side of the self-healing loop: pre-computed
+// link-disjoint backup paths per protected LSP, protection switching
+// through ldp.Reroute (make-before-break), and backoff-retried repair
+// when the control plane itself fails. Wire its LinkDown/LinkUp methods
+// to a Monitor's callbacks and Degraded to a HealthTracker's.
+type Healer struct {
+	net      *router.Network
+	clock    Clock
+	retry    *Retryer
+	drain    float64
+	events   *telemetry.EventCounters
+	timeline *Timeline
+
+	protected map[string]*protectedLSP
+	failed    map[te.LinkKey]bool // links currently believed down
+	order     []string            // protection order, for determinism
+}
+
+type protectedLSP struct {
+	id     string
+	backup []string // may be nil: recomputed on demand
+	broken bool     // retries exhausted; re-attempted on LinkUp
+}
+
+// NewHealer builds a healer over the network.
+func NewHealer(net *router.Network, clock Clock, cfg HealerConfig) *Healer {
+	drain := cfg.DrainDelay
+	if drain <= 0 {
+		drain = 0.02
+	}
+	return &Healer{
+		net:       net,
+		clock:     clock,
+		retry:     NewRetryer(clock, cfg.Backoff, cfg.Seed, cfg.Events, cfg.Timeline),
+		drain:     drain,
+		events:    cfg.Events,
+		timeline:  cfg.Timeline,
+		protected: make(map[string]*protectedLSP),
+		failed:    make(map[te.LinkKey]bool),
+	}
+}
+
+// Protect registers an established LSP for protection and pre-computes
+// a link-disjoint backup path (sharing no link with the primary, in
+// either direction). When no disjoint path exists the LSP is still
+// protected — a repair path is computed at failure time around whatever
+// actually failed.
+func (h *Healer) Protect(id string) error {
+	lsp, ok := h.net.LDP.LSP(id)
+	if !ok {
+		return fmt.Errorf("resilience: unknown LSP %q", id)
+	}
+	if _, dup := h.protected[id]; dup {
+		return nil
+	}
+	p := &protectedLSP{id: id}
+	p.backup = h.disjointBackup(id)
+	h.protected[id] = p
+	h.order = append(h.order, id)
+	if h.timeline != nil {
+		if p.backup != nil {
+			h.timeline.Add(h.clock.Now(), "healer: protecting %q (path %v, backup %v)", id, lsp.Path, p.backup)
+		} else {
+			h.timeline.Add(h.clock.Now(), "healer: protecting %q (path %v, no disjoint backup)", id, lsp.Path)
+		}
+	}
+	return nil
+}
+
+// disjointBackup computes a backup path sharing no link with the LSP's
+// current path, honouring its bandwidth, or nil when none exists.
+func (h *Healer) disjointBackup(id string) []string {
+	lsp, ok := h.net.LDP.LSP(id)
+	if !ok {
+		return nil
+	}
+	exclude := te.ExcludePath(lsp.Path)
+	for k := range h.failed {
+		exclude[k] = true
+	}
+	backup, err := h.net.Topo.CSPF(te.PathRequest{
+		From: lsp.Path[0], To: lsp.Path[len(lsp.Path)-1],
+		BandwidthBPS: lsp.Bandwidth, ExcludeLinks: exclude,
+	})
+	if err != nil {
+		return nil
+	}
+	return backup
+}
+
+// LinkDown records a detected link failure and protection-switches every
+// protected LSP whose path crosses it. Wire to Monitor.OnDown.
+func (h *Healer) LinkDown(a, b string) {
+	h.failed[te.LinkKey{From: a, To: b}] = true
+	h.failed[te.LinkKey{From: b, To: a}] = true
+	for _, id := range h.order {
+		p := h.protected[id]
+		lsp, ok := h.net.LDP.LSP(id)
+		if !ok {
+			continue
+		}
+		if !pathUses(lsp.Path, a, b) {
+			continue
+		}
+		h.heal(p)
+	}
+}
+
+// LinkUp records a detected link recovery and re-attempts repair of any
+// LSP whose earlier protection switch exhausted its retries. Wire to
+// Monitor.OnUp.
+func (h *Healer) LinkUp(a, b string) {
+	delete(h.failed, te.LinkKey{From: a, To: b})
+	delete(h.failed, te.LinkKey{From: b, To: a})
+	for _, id := range h.order {
+		p := h.protected[id]
+		if p.broken {
+			h.heal(p)
+			continue
+		}
+		if p.backup == nil {
+			// A backup that was impossible before may exist now.
+			p.backup = h.disjointBackup(id)
+		}
+	}
+}
+
+// Degraded protection-switches one LSP off its current (suspect) path —
+// the response to per-LSP health tracking flagging silent loss. Wire to
+// a HealthTracker's callback.
+func (h *Healer) Degraded(id string) {
+	p, ok := h.protected[id]
+	if !ok {
+		return
+	}
+	h.heal(p)
+}
+
+// heal moves one LSP onto its backup (or a freshly computed repair
+// path), retrying with backoff when the reroute itself fails.
+func (h *Healer) heal(p *protectedLSP) {
+	lsp, ok := h.net.LDP.LSP(p.id)
+	if !ok {
+		return
+	}
+	target := p.backup
+	if target == nil || h.crossesFailed(target) || samePath(target, lsp.Path) {
+		target = h.repairPath(lsp.Path, lsp.Bandwidth)
+	}
+	if target == nil {
+		p.broken = true
+		if h.timeline != nil {
+			h.timeline.Add(h.clock.Now(), "healer: no repair path for %q, will retry on recovery", p.id)
+		}
+		return
+	}
+	from := append([]string(nil), lsp.Path...)
+	var brk func()
+	h.retry.Do(fmt.Sprintf("reroute %q", p.id),
+		func() error {
+			b, err := h.net.LDP.RerouteDeferred(p.id, target)
+			if err != nil {
+				return err
+			}
+			brk = b
+			return nil
+		},
+		func(err error) {
+			if err != nil {
+				p.broken = true
+				return
+			}
+			p.broken = false
+			// Keep the old path installed while in-flight packets drain:
+			// the deferred break is what makes the switch lossless for
+			// traffic already past the ingress.
+			h.clock.Schedule(h.drain, brk)
+			if h.events != nil {
+				h.events.Inc(telemetry.EventProtectionSwitch)
+			}
+			if h.timeline != nil {
+				h.timeline.Add(h.clock.Now(), "healer: %q switched %v -> %v", p.id, from, target)
+			}
+			p.backup = h.disjointBackup(p.id)
+		})
+}
+
+// repairPath computes a path from scratch around every failed link and
+// off the current (suspect) path's first link.
+func (h *Healer) repairPath(current []string, bw float64) []string {
+	exclude := make(map[te.LinkKey]bool, len(h.failed)+2)
+	for k := range h.failed {
+		exclude[k] = true
+	}
+	// The current path is suspect even when no link on it is known-down
+	// (the degraded case): avoid at least its first hop so the repair
+	// actually moves traffic.
+	if len(current) >= 2 {
+		exclude[te.LinkKey{From: current[0], To: current[1]}] = true
+		exclude[te.LinkKey{From: current[1], To: current[0]}] = true
+	}
+	path, err := h.net.Topo.CSPF(te.PathRequest{
+		From: current[0], To: current[len(current)-1],
+		BandwidthBPS: bw, ExcludeLinks: exclude,
+	})
+	if err != nil {
+		return nil
+	}
+	return path
+}
+
+// crossesFailed reports whether any link of the path is believed down.
+func (h *Healer) crossesFailed(path []string) bool {
+	for i := 0; i+1 < len(path); i++ {
+		if h.failed[te.LinkKey{From: path[i], To: path[i+1]}] {
+			return true
+		}
+	}
+	return false
+}
+
+// pathUses reports whether the path crosses the a-b connection in
+// either direction.
+func pathUses(path []string, a, b string) bool {
+	for i := 0; i+1 < len(path); i++ {
+		if (path[i] == a && path[i+1] == b) || (path[i] == b && path[i+1] == a) {
+			return true
+		}
+	}
+	return false
+}
+
+func samePath(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,124 @@
+package resilience
+
+import (
+	"reflect"
+	"testing"
+
+	"embeddedmpls/internal/telemetry"
+)
+
+func TestHealerProtectionSwitch(t *testing.T) {
+	n := diamondNet(t)
+	setupDiamondLSP(t, n)
+	var ev telemetry.EventCounters
+	tl := &Timeline{}
+	h := NewHealer(n, n.Sim, HealerConfig{Events: &ev, Timeline: tl})
+	if err := h.Protect("l"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Protect("ghost"); err == nil {
+		t.Error("unknown LSP accepted")
+	}
+	if err := h.Protect("l"); err != nil {
+		t.Errorf("duplicate protect should be a no-op: %v", err)
+	}
+
+	h.LinkDown("a", "b")
+	n.Sim.Run()
+
+	lsp, ok := n.LDP.LSP("l")
+	if !ok {
+		t.Fatal("LSP vanished")
+	}
+	if want := []string{"a", "c", "d"}; !reflect.DeepEqual(lsp.Path, want) {
+		t.Fatalf("path = %v, want %v", lsp.Path, want)
+	}
+	if got := ev.Get(telemetry.EventProtectionSwitch); got != 1 {
+		t.Errorf("protection_switch = %d, want 1", got)
+	}
+	if got := ev.Get(telemetry.EventRetryAttempt); got != 0 {
+		t.Errorf("retry_attempt = %d, want 0 (first attempt succeeded)", got)
+	}
+	if tl.Len() == 0 {
+		t.Error("timeline empty")
+	}
+}
+
+func TestHealerSkipsUnaffectedLSPs(t *testing.T) {
+	n := diamondNet(t)
+	setupDiamondLSP(t, n)
+	var ev telemetry.EventCounters
+	h := NewHealer(n, n.Sim, HealerConfig{Events: &ev})
+	if err := h.Protect("l"); err != nil {
+		t.Fatal(err)
+	}
+	// The primary a-b-d does not use a-c: no switch.
+	h.LinkDown("a", "c")
+	n.Sim.Run()
+	lsp, _ := n.LDP.LSP("l")
+	if want := []string{"a", "b", "d"}; !reflect.DeepEqual(lsp.Path, want) {
+		t.Fatalf("path = %v, want %v", lsp.Path, want)
+	}
+	if got := ev.Get(telemetry.EventProtectionSwitch); got != 0 {
+		t.Errorf("protection_switch = %d, want 0", got)
+	}
+}
+
+func TestHealerTotalFailureThenRecovery(t *testing.T) {
+	n := diamondNet(t)
+	setupDiamondLSP(t, n)
+	var ev telemetry.EventCounters
+	tl := &Timeline{}
+	h := NewHealer(n, n.Sim, HealerConfig{Events: &ev, Timeline: tl})
+	if err := h.Protect("l"); err != nil {
+		t.Fatal(err)
+	}
+
+	// First failure: a-b down, switch to a-c-d.
+	h.LinkDown("a", "b")
+	n.Sim.Run()
+	lsp, _ := n.LDP.LSP("l")
+	if want := []string{"a", "c", "d"}; !reflect.DeepEqual(lsp.Path, want) {
+		t.Fatalf("after first failure path = %v, want %v", lsp.Path, want)
+	}
+
+	// Second failure: a-c down too — the diamond is severed, no repair
+	// path exists; the LSP is marked broken, not thrashed.
+	h.LinkDown("a", "c")
+	n.Sim.Run()
+	lsp, _ = n.LDP.LSP("l")
+	if want := []string{"a", "c", "d"}; !reflect.DeepEqual(lsp.Path, want) {
+		t.Fatalf("severed network still rerouted: %v", lsp.Path)
+	}
+
+	// Recovery of a-b: the broken LSP is re-healed onto the revived side.
+	h.LinkUp("a", "b")
+	n.Sim.Run()
+	lsp, _ = n.LDP.LSP("l")
+	if want := []string{"a", "b", "d"}; !reflect.DeepEqual(lsp.Path, want) {
+		t.Fatalf("after recovery path = %v, want %v", lsp.Path, want)
+	}
+	if got := ev.Get(telemetry.EventProtectionSwitch); got != 2 {
+		t.Errorf("protection_switch = %d, want 2", got)
+	}
+}
+
+func TestHealerDegraded(t *testing.T) {
+	n := diamondNet(t)
+	setupDiamondLSP(t, n)
+	var ev telemetry.EventCounters
+	h := NewHealer(n, n.Sim, HealerConfig{Events: &ev})
+	if err := h.Protect("l"); err != nil {
+		t.Fatal(err)
+	}
+	h.Degraded("ghost") // unknown: no-op
+	h.Degraded("l")
+	n.Sim.Run()
+	lsp, _ := n.LDP.LSP("l")
+	if want := []string{"a", "c", "d"}; !reflect.DeepEqual(lsp.Path, want) {
+		t.Fatalf("degraded LSP not moved: %v", lsp.Path)
+	}
+	if got := ev.Get(telemetry.EventProtectionSwitch); got != 1 {
+		t.Errorf("protection_switch = %d, want 1", got)
+	}
+}

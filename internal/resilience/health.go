@@ -1,0 +1,79 @@
+package resilience
+
+// HealthConfig parameterises drop-rate health tracking.
+type HealthConfig struct {
+	// Interval between samples (seconds). <=0: 0.05.
+	Interval float64
+	// Threshold is the per-interval drop delta considered unhealthy.
+	// <=0: 1.
+	Threshold uint64
+	// Bad is the number of consecutive unhealthy intervals that fires
+	// the callback. <=0: 2.
+	Bad int
+	// Until, when >0, stops sampling at that simulated time. 0 samples
+	// forever (stop with Stop).
+	Until float64
+}
+
+func (c HealthConfig) withDefaults() HealthConfig {
+	if c.Interval <= 0 {
+		c.Interval = 0.05
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 1
+	}
+	if c.Bad <= 0 {
+		c.Bad = 2
+	}
+	return c
+}
+
+// HealthTracker polls a cumulative drop counter and fires when the
+// per-interval delta stays at or above the threshold for Bad
+// consecutive intervals — the telemetry-fed side of failure detection.
+// The sampler is typically a telemetry.DropCounters total (or a single
+// reason's count) attributed to one LSP's traffic.
+type HealthTracker struct {
+	clock   Clock
+	cfg     HealthConfig
+	sample  func() uint64
+	onBad   func(delta uint64)
+	last    uint64
+	bad     int
+	fired   bool
+	stopped bool
+}
+
+// TrackHealth starts a tracker on the injected clock. onUnhealthy fires
+// once per unhealthy episode (it rearms after a healthy interval).
+func TrackHealth(clock Clock, cfg HealthConfig, sample func() uint64, onUnhealthy func(delta uint64)) *HealthTracker {
+	t := &HealthTracker{
+		clock: clock, cfg: cfg.withDefaults(), sample: sample, onBad: onUnhealthy,
+		last: sample(),
+	}
+	clock.Schedule(t.cfg.Interval, t.tick)
+	return t
+}
+
+// Stop halts sampling.
+func (t *HealthTracker) Stop() { t.stopped = true }
+
+func (t *HealthTracker) tick() {
+	if t.stopped || (t.cfg.Until > 0 && t.clock.Now() >= t.cfg.Until) {
+		return
+	}
+	cur := t.sample()
+	delta := cur - t.last
+	t.last = cur
+	if delta >= t.cfg.Threshold {
+		t.bad++
+		if t.bad >= t.cfg.Bad && !t.fired {
+			t.fired = true
+			t.onBad(delta)
+		}
+	} else {
+		t.bad = 0
+		t.fired = false
+	}
+	t.clock.Schedule(t.cfg.Interval, t.tick)
+}

@@ -1,0 +1,85 @@
+package resilience
+
+import (
+	"testing"
+
+	"embeddedmpls/internal/netsim"
+)
+
+func TestHealthTrackerFiresPerEpisode(t *testing.T) {
+	sim := netsim.New()
+	var drops uint64
+	var fired []float64
+	TrackHealth(sim, HealthConfig{Interval: 0.05, Threshold: 5, Bad: 2, Until: 1.0},
+		func() uint64 { return drops },
+		func(delta uint64) { fired = append(fired, sim.Now()) })
+
+	// Episode 1: 10 drops per interval during [0.10, 0.30).
+	for i := 0; i < 4; i++ {
+		at := 0.10 + float64(i)*0.05
+		sim.Schedule(at, func() { drops += 10 })
+	}
+	// Episode 2: another burst during [0.60, 0.75).
+	for i := 0; i < 3; i++ {
+		at := 0.60 + float64(i)*0.05
+		sim.Schedule(at, func() { drops += 10 })
+	}
+	sim.Run()
+
+	if len(fired) != 2 {
+		t.Fatalf("fired %d times at %v, want 2 (once per episode)", len(fired), fired)
+	}
+	if fired[0] > 0.35 || fired[1] < 0.60 {
+		t.Errorf("episodes fired at %v", fired)
+	}
+}
+
+func TestHealthTrackerIgnoresSubThresholdLoss(t *testing.T) {
+	sim := netsim.New()
+	var drops uint64
+	fired := 0
+	TrackHealth(sim, HealthConfig{Interval: 0.05, Threshold: 5, Bad: 2, Until: 0.5},
+		func() uint64 { return drops },
+		func(uint64) { fired++ })
+	// A single drop per interval stays below the threshold.
+	for i := 0; i < 9; i++ {
+		at := 0.01 + float64(i)*0.05
+		sim.Schedule(at, func() { drops++ })
+	}
+	sim.Run()
+	if fired != 0 {
+		t.Errorf("fired %d times on sub-threshold loss", fired)
+	}
+}
+
+func TestHealthTrackerNeedsConsecutiveBadIntervals(t *testing.T) {
+	sim := netsim.New()
+	var drops uint64
+	fired := 0
+	TrackHealth(sim, HealthConfig{Interval: 0.05, Threshold: 5, Bad: 2, Until: 0.5},
+		func() uint64 { return drops },
+		func(uint64) { fired++ })
+	// Alternating bad/good intervals never reach Bad=2 in a row.
+	sim.Schedule(0.01, func() { drops += 10 })
+	sim.Schedule(0.11, func() { drops += 10 })
+	sim.Schedule(0.21, func() { drops += 10 })
+	sim.Run()
+	if fired != 0 {
+		t.Errorf("fired %d times without consecutive bad intervals", fired)
+	}
+}
+
+func TestHealthTrackerStop(t *testing.T) {
+	sim := netsim.New()
+	var drops uint64
+	fired := 0
+	tr := TrackHealth(sim, HealthConfig{Interval: 0.05, Threshold: 1, Bad: 1},
+		func() uint64 { return drops },
+		func(uint64) { fired++ })
+	sim.Schedule(0.01, func() { tr.Stop() })
+	sim.Schedule(0.02, func() { drops += 100 })
+	sim.Run()
+	if fired != 0 {
+		t.Errorf("fired %d times after Stop", fired)
+	}
+}

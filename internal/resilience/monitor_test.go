@@ -1,0 +1,112 @@
+package resilience
+
+import (
+	"testing"
+
+	"embeddedmpls/internal/packet"
+	"embeddedmpls/internal/telemetry"
+)
+
+func TestMonitorNoFalsePositives(t *testing.T) {
+	n := diamondNet(t)
+	var ev telemetry.EventCounters
+	m := NewMonitor(n, n.Sim, MonitorConfig{Interval: 0.01, Until: 0.5, Events: &ev})
+	m.OnDown = func(a, b string) { t.Errorf("spurious down %s->%s", a, b) }
+	if err := m.WatchBoth("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	n.Sim.Run()
+	if got := ev.Get(telemetry.EventKeepaliveMiss); got != 0 {
+		t.Errorf("keepalive_miss = %d on a healthy link", got)
+	}
+	if m.Down("a", "b") || m.Down("b", "a") {
+		t.Error("healthy adjacency declared down")
+	}
+}
+
+func TestMonitorDetectsDownAndRecovery(t *testing.T) {
+	n := diamondNet(t)
+	var ev telemetry.EventCounters
+	tl := &Timeline{}
+	m := NewMonitor(n, n.Sim, MonitorConfig{
+		Interval: 0.01, MissThreshold: 3, Until: 1.0, Events: &ev, Timeline: tl,
+	})
+	type edge struct{ a, b string }
+	downs := map[edge]float64{}
+	ups := map[edge]float64{}
+	m.OnDown = func(a, b string) { downs[edge{a, b}] = n.Sim.Now() }
+	m.OnUp = func(a, b string) { ups[edge{a, b}] = n.Sim.Now() }
+	if err := m.WatchBoth("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+
+	n.Sim.Schedule(0.20, func() { n.SetLinkDown("a", "b", true) })
+	n.Sim.Schedule(0.60, func() { n.SetLinkDown("a", "b", false) })
+	n.Sim.Run()
+
+	for _, e := range []edge{{"a", "b"}, {"b", "a"}} {
+		at, ok := downs[e]
+		if !ok {
+			t.Fatalf("%s->%s never declared down", e.a, e.b)
+		}
+		// Detection needs MissThreshold misses after the failure: within
+		// (threshold+1) intervals plus one interval of probe slack.
+		if at < 0.20 || at > 0.20+5*0.01 {
+			t.Errorf("%s->%s down at %.3f, want within (0.20, 0.25]", e.a, e.b, at)
+		}
+		up, ok := ups[e]
+		if !ok {
+			t.Fatalf("%s->%s never recovered", e.a, e.b)
+		}
+		if up < 0.60 || up > 0.60+2*0.01 {
+			t.Errorf("%s->%s up at %.3f, want within (0.60, 0.62]", e.a, e.b, up)
+		}
+		if m.Down(e.a, e.b) {
+			t.Errorf("%s->%s still down at end", e.a, e.b)
+		}
+	}
+	if got := ev.Get(telemetry.EventLinkFlap); got != 2 {
+		t.Errorf("link_flap = %d, want 2 (one per direction)", got)
+	}
+	if got := ev.Get(telemetry.EventKeepaliveMiss); got < 6 {
+		t.Errorf("keepalive_miss = %d, want >= 6", got)
+	}
+	if tl.Len() != 4 {
+		t.Errorf("timeline has %d entries, want 4 (2 down + 2 up):\n%s", tl.Len(), tl)
+	}
+}
+
+func TestMonitorWatchValidation(t *testing.T) {
+	n := diamondNet(t)
+	m := NewMonitor(n, n.Sim, MonitorConfig{})
+	if err := m.Watch("a", "ghost"); err == nil {
+		t.Error("unknown peer accepted")
+	}
+	if err := m.Watch("ghost", "a"); err == nil {
+		t.Error("unknown node accepted")
+	}
+	if err := m.Watch("a", "d"); err == nil {
+		t.Error("non-adjacent pair accepted")
+	}
+	if err := m.Watch("a", "b"); err != nil {
+		t.Errorf("valid watch rejected: %v", err)
+	}
+	if err := m.Watch("a", "b"); err != nil {
+		t.Errorf("duplicate watch should be a no-op, got: %v", err)
+	}
+}
+
+func TestMonitorProbesInvisibleToDeliveryStats(t *testing.T) {
+	n := diamondNet(t)
+	m := NewMonitor(n, n.Sim, MonitorConfig{Interval: 0.01, Until: 0.2})
+	if err := m.WatchBoth("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	n.Router("a").OnDeliver = func(*packet.Packet) { seen++ }
+	n.Router("b").OnDeliver = func(*packet.Packet) { seen++ }
+	n.Sim.Run()
+	if seen != 0 {
+		t.Errorf("control sink leaked %d probes into delivery stats", seen)
+	}
+}

@@ -1,0 +1,72 @@
+// Package resilience is the self-healing control plane: it closes the
+// feedback loop between the data plane's failure signals and the label
+// distribution layer's repair actions. Three detectors feed one healer:
+//
+//   - keepalive probes per adjacency, with a miss-count threshold, catch
+//     hard link failures (Monitor);
+//   - per-LSP health tracking over telemetry drop counters catches
+//     silent degradation — corruption that the paper's lookup-miss
+//     discard kills one hop downstream — that keepalives cannot see
+//     (HealthTracker);
+//   - failed control-plane writes (fault-injected information-base or
+//     table-publish errors) surface as Reroute/SetupLSP errors and are
+//     absorbed by exponential-backoff retries (Retryer).
+//
+// The healer precomputes link-disjoint backup paths per protected LSP
+// and switches make-before-break through ldp.Reroute, so repair uses the
+// same ordered-downstream installation as setup and no packet ever sees
+// a half-installed path.
+//
+// Everything runs on an injected Clock (the discrete-event simulator in
+// tests and scenarios), so recovery timelines are deterministic: same
+// seed, same schedule, same timeline — and no test ever sleeps.
+package resilience
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Clock is the injected time source: netsim.Simulator satisfies it
+// directly. All delays are in (simulated) seconds.
+type Clock interface {
+	Now() float64
+	Schedule(delay float64, f func())
+}
+
+// Event is one entry of a recovery timeline.
+type Event struct {
+	At   float64
+	What string
+}
+
+// String renders the entry as one timeline line.
+func (e Event) String() string { return fmt.Sprintf("t=%.4fs  %s", e.At, e.What) }
+
+// Timeline collects detection and recovery events in occurrence order.
+// The zero value is ready to use. It is not safe for concurrent use —
+// like the simulator it rides, it is a single-threaded structure.
+type Timeline struct {
+	events []Event
+}
+
+// Add appends a formatted event at the given time.
+func (t *Timeline) Add(at float64, format string, args ...any) {
+	t.events = append(t.events, Event{At: at, What: fmt.Sprintf(format, args...)})
+}
+
+// Events returns the recorded events in order.
+func (t *Timeline) Events() []Event { return append([]Event(nil), t.events...) }
+
+// Len returns the number of recorded events.
+func (t *Timeline) Len() int { return len(t.events) }
+
+// String renders the timeline one event per line — the -chaos report.
+func (t *Timeline) String() string {
+	var b strings.Builder
+	for _, e := range t.events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,115 @@
+package resilience
+
+import (
+	"math/rand"
+
+	"embeddedmpls/internal/telemetry"
+)
+
+// Backoff parameterises exponential-backoff-with-jitter retries.
+type Backoff struct {
+	// Base is the delay before the first retry (seconds). <=0: 0.01.
+	Base float64
+	// Factor multiplies the delay after each failure. <=1: 2.
+	Factor float64
+	// Max caps the (pre-jitter) delay. <=0: 1.
+	Max float64
+	// Jitter is the fraction of each delay that is randomised: the
+	// actual delay is uniform in [d*(1-J/2), d*(1+J/2)). <0: 0.5 is
+	// used; 0 disables jitter (set a negative value to get the default).
+	Jitter float64
+	// MaxAttempts bounds total attempts including the first. <=0: 5.
+	MaxAttempts int
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 0.01
+	}
+	if b.Factor <= 1 {
+		b.Factor = 2
+	}
+	if b.Max <= 0 {
+		b.Max = 1
+	}
+	if b.Jitter < 0 {
+		b.Jitter = 0.5
+	}
+	if b.Jitter > 1 {
+		b.Jitter = 1
+	}
+	if b.MaxAttempts <= 0 {
+		b.MaxAttempts = 5
+	}
+	return b
+}
+
+// Retryer runs operations with exponential backoff on an injected
+// clock: no real sleeps, and a seeded jitter source, so retry schedules
+// are deterministic.
+type Retryer struct {
+	clock    Clock
+	b        Backoff
+	rng      *rand.Rand
+	events   *telemetry.EventCounters
+	timeline *Timeline
+}
+
+// NewRetryer builds a retryer. events and timeline are optional; when
+// present, retries count retry_attempt and exhaustion retry_exhausted.
+func NewRetryer(clock Clock, b Backoff, seed int64, events *telemetry.EventCounters, timeline *Timeline) *Retryer {
+	return &Retryer{
+		clock: clock, b: b.withDefaults(), rng: rand.New(rand.NewSource(seed)),
+		events: events, timeline: timeline,
+	}
+}
+
+// Do runs op immediately; on failure it schedules retries with
+// exponential backoff and jitter until op succeeds or MaxAttempts is
+// exhausted, then calls onDone with nil or the final error. onDone may
+// be nil.
+func (r *Retryer) Do(name string, op func() error, onDone func(error)) {
+	r.attempt(name, op, onDone, 1, r.b.Base)
+}
+
+func (r *Retryer) attempt(name string, op func() error, onDone func(error), n int, delay float64) {
+	err := op()
+	if err == nil {
+		if n > 1 && r.timeline != nil {
+			r.timeline.Add(r.clock.Now(), "%s: succeeded on attempt %d", name, n)
+		}
+		if onDone != nil {
+			onDone(nil)
+		}
+		return
+	}
+	if n >= r.b.MaxAttempts {
+		if r.events != nil {
+			r.events.Inc(telemetry.EventRetryExhausted)
+		}
+		if r.timeline != nil {
+			r.timeline.Add(r.clock.Now(), "%s: gave up after %d attempts: %v", name, n, err)
+		}
+		if onDone != nil {
+			onDone(err)
+		}
+		return
+	}
+	wait := delay
+	if r.b.Jitter > 0 {
+		wait *= 1 - r.b.Jitter/2 + r.b.Jitter*r.rng.Float64()
+	}
+	if r.timeline != nil {
+		r.timeline.Add(r.clock.Now(), "%s: attempt %d failed (%v), retrying in %.4fs", name, n, err, wait)
+	}
+	next := delay * r.b.Factor
+	if next > r.b.Max {
+		next = r.b.Max
+	}
+	r.clock.Schedule(wait, func() {
+		if r.events != nil {
+			r.events.Inc(telemetry.EventRetryAttempt)
+		}
+		r.attempt(name, op, onDone, n+1, next)
+	})
+}

@@ -1,0 +1,132 @@
+package resilience
+
+import (
+	"errors"
+	"testing"
+
+	"embeddedmpls/internal/faults"
+	"embeddedmpls/internal/netsim"
+	"embeddedmpls/internal/telemetry"
+)
+
+func TestRetrySucceedsAfterFailures(t *testing.T) {
+	sim := netsim.New()
+	var ev telemetry.EventCounters
+	tl := &Timeline{}
+	r := NewRetryer(sim, Backoff{Base: 0.1, Factor: 2, Max: 1, Jitter: 0}, 1, &ev, tl)
+
+	hook := faults.FailFirst(2)
+	var attemptTimes []float64
+	var done error
+	doneCalled := false
+	r.Do("op", func() error {
+		attemptTimes = append(attemptTimes, sim.Now())
+		return hook()
+	}, func(err error) { done, doneCalled = err, true })
+	sim.Run()
+
+	if !doneCalled || done != nil {
+		t.Fatalf("onDone: called=%v err=%v", doneCalled, done)
+	}
+	// Attempt 1 at t=0, retry 1 after Base=0.1, retry 2 after 0.2.
+	want := []float64{0, 0.1, 0.3}
+	if len(attemptTimes) != len(want) {
+		t.Fatalf("attempts at %v, want %v", attemptTimes, want)
+	}
+	for i := range want {
+		if diff := attemptTimes[i] - want[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("attempt %d at %.4f, want %.4f", i+1, attemptTimes[i], want[i])
+		}
+	}
+	if got := ev.Get(telemetry.EventRetryAttempt); got != 2 {
+		t.Errorf("retry_attempt = %d, want 2", got)
+	}
+	if got := ev.Get(telemetry.EventRetryExhausted); got != 0 {
+		t.Errorf("retry_exhausted = %d, want 0", got)
+	}
+}
+
+func TestRetryExhaustion(t *testing.T) {
+	sim := netsim.New()
+	var ev telemetry.EventCounters
+	r := NewRetryer(sim, Backoff{Base: 0.01, MaxAttempts: 3, Jitter: 0}, 1, &ev, nil)
+
+	calls := 0
+	var done error
+	r.Do("op", func() error {
+		calls++
+		return errors.New("permanent")
+	}, func(err error) { done = err })
+	sim.Run()
+
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+	if done == nil {
+		t.Error("onDone got nil error after exhaustion")
+	}
+	if got := ev.Get(telemetry.EventRetryExhausted); got != 1 {
+		t.Errorf("retry_exhausted = %d, want 1", got)
+	}
+	if got := ev.Get(telemetry.EventRetryAttempt); got != 2 {
+		t.Errorf("retry_attempt = %d, want 2", got)
+	}
+}
+
+func TestRetryBackoffCap(t *testing.T) {
+	sim := netsim.New()
+	r := NewRetryer(sim, Backoff{Base: 0.2, Factor: 10, Max: 0.5, MaxAttempts: 3, Jitter: 0}, 1, nil, nil)
+	var times []float64
+	r.Do("op", func() error {
+		times = append(times, sim.Now())
+		return errors.New("nope")
+	}, nil)
+	sim.Run()
+	// Delays: 0.2 then capped at 0.5 (not 2.0).
+	want := []float64{0, 0.2, 0.7}
+	for i := range want {
+		if diff := times[i] - want[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("attempts at %v, want %v", times, want)
+		}
+	}
+}
+
+func TestRetryJitterDeterministic(t *testing.T) {
+	run := func(seed int64) []float64 {
+		sim := netsim.New()
+		r := NewRetryer(sim, Backoff{Base: 0.1, Jitter: 0.5, MaxAttempts: 4}, seed, nil, nil)
+		var times []float64
+		r.Do("op", func() error {
+			times = append(times, sim.Now())
+			return errors.New("nope")
+		}, nil)
+		sim.Run()
+		return times
+	}
+	a, b := run(7), run(7)
+	if len(a) != 4 {
+		t.Fatalf("attempts = %d, want 4", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged: %v vs %v", a, b)
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical jitter")
+	}
+	// Jittered delays stay within [d/2*1.5) band around the nominal.
+	for i, nominal := range []float64{0.1, 0.2, 0.4} {
+		d := a[i+1] - a[i]
+		if d < nominal*0.75-1e-9 || d > nominal*1.25+1e-9 {
+			t.Errorf("delay %d = %.4f outside jitter band of %.4f", i, d, nominal)
+		}
+	}
+}

@@ -99,6 +99,12 @@ type Router struct {
 	// after decapsulation (traffic sinks hook it).
 	OnDeliver func(p *packet.Packet)
 
+	// control, when set, is offered every locally delivered packet
+	// before OnDeliver; returning true consumes the packet. The
+	// resilience layer's keepalive probes ride it so liveness traffic
+	// never pollutes flow statistics.
+	control func(p *packet.Packet) bool
+
 	// ipTable, when set, carries unlabelled packets that have no FEC
 	// binding — conventional hop-by-hop IP forwarding, the pre-MPLS
 	// baseline. The data plane's engine time already covers the lookup
@@ -290,7 +296,15 @@ func (r *Router) ipForward(p *packet.Packet) {
 	l.Send(p)
 }
 
+// SetControlSink installs the router's control-plane punt: delivered
+// packets the sink claims (by returning true) are consumed before
+// delivery statistics and OnDeliver see them. A nil sink detaches.
+func (r *Router) SetControlSink(sink func(p *packet.Packet) bool) { r.control = sink }
+
 func (r *Router) deliver(p *packet.Packet) {
+	if r.control != nil && r.control(p) {
+		return
+	}
 	r.Stats.Delivered.Add(p.Size())
 	if r.OnDeliver != nil {
 		r.OnDeliver(p)

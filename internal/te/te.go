@@ -121,6 +121,20 @@ const (
 	MinDelay
 )
 
+// LinkKey names one directed link for exclusion sets.
+type LinkKey struct{ From, To string }
+
+// ExcludePath returns the exclusion set covering every link of the path
+// in both directions — the input for a link-disjoint backup computation.
+func ExcludePath(path []string) map[LinkKey]bool {
+	out := make(map[LinkKey]bool, 2*len(path))
+	for i := 0; i+1 < len(path); i++ {
+		out[LinkKey{path[i], path[i+1]}] = true
+		out[LinkKey{path[i+1], path[i]}] = true
+	}
+	return out
+}
+
 // PathRequest is a CSPF query.
 type PathRequest struct {
 	From, To string
@@ -129,6 +143,9 @@ type PathRequest struct {
 	BandwidthBPS float64
 	// ExcludeNodes prunes routers (e.g. for node-disjoint backup paths).
 	ExcludeNodes map[string]bool
+	// ExcludeLinks prunes individual directed links (e.g. failed links,
+	// or a primary path's links for link-disjoint protection).
+	ExcludeLinks map[LinkKey]bool
 	// Objective selects the cost function; default MinMetric.
 	Objective Objective
 	// MaxHops, when positive, bounds the path length in links (a CR-LDP
@@ -185,6 +202,9 @@ func (t *Topology) CSPF(req PathRequest) ([]string, error) {
 		cs.done = true
 		for _, nb := range t.Neighbours(cur) {
 			if req.ExcludeNodes[nb] {
+				continue
+			}
+			if req.ExcludeLinks[LinkKey{cur, nb}] {
 				continue
 			}
 			a := t.links[cur][nb]

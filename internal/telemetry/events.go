@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Event classifies a fault or recovery action taken outside the
+// forwarding fast path: the control-plane side of the drop taxonomy.
+// Where Reason says why a packet died, Event says what the fault
+// injection and self-healing layers did about the conditions that kill
+// packets.
+type Event uint8
+
+// The fault/recovery events.
+const (
+	// EventLinkFlap: a link transitioned down (injected by the fault
+	// layer or detected by the liveness monitor).
+	EventLinkFlap Event = iota
+	// EventKeepaliveMiss: a liveness probe interval elapsed without the
+	// probe arriving.
+	EventKeepaliveMiss
+	// EventProtectionSwitch: an LSP was moved onto its backup path
+	// (make-before-break reroute committed).
+	EventProtectionSwitch
+	// EventRetryAttempt: a failed control-plane operation was retried
+	// after backoff.
+	EventRetryAttempt
+	// EventRetryExhausted: a retried operation ran out of attempts and
+	// was abandoned.
+	EventRetryExhausted
+
+	// NumEvents is the number of distinct events.
+	NumEvents = 5
+)
+
+// Valid reports whether e names a defined event.
+func (e Event) Valid() bool { return e < NumEvents }
+
+// String names the event; the same strings appear as the exporter's
+// event label values.
+func (e Event) String() string {
+	switch e {
+	case EventLinkFlap:
+		return "link_flap"
+	case EventKeepaliveMiss:
+		return "keepalive_miss"
+	case EventProtectionSwitch:
+		return "protection_switch"
+	case EventRetryAttempt:
+		return "retry_attempt"
+	case EventRetryExhausted:
+		return "retry_exhausted"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(e))
+	}
+}
+
+// EventCounters is a fixed set of per-event counters, the recovery-side
+// sibling of DropCounters. All methods are safe for concurrent use and
+// lock-free. The zero value is ready to use.
+type EventCounters struct {
+	counts [NumEvents]atomic.Uint64
+}
+
+// Inc adds one occurrence of the event. Out-of-range events are ignored.
+func (c *EventCounters) Inc(e Event) { c.Add(e, 1) }
+
+// Add adds n occurrences of the event.
+func (c *EventCounters) Add(e Event, n uint64) {
+	if e.Valid() {
+		c.counts[e].Add(n)
+	}
+}
+
+// Get returns the count for one event.
+func (c *EventCounters) Get(e Event) uint64 {
+	if !e.Valid() {
+		return 0
+	}
+	return c.counts[e].Load()
+}
+
+// Total returns the sum over all events.
+func (c *EventCounters) Total() uint64 {
+	var t uint64
+	for i := range c.counts {
+		t += c.counts[i].Load()
+	}
+	return t
+}
+
+// Snapshot returns an atomic-per-counter copy of all counts.
+func (c *EventCounters) Snapshot() [NumEvents]uint64 {
+	var out [NumEvents]uint64
+	for i := range c.counts {
+		out[i] = c.counts[i].Load()
+	}
+	return out
+}
+
+// Merge folds o's counts into c.
+func (c *EventCounters) Merge(o *EventCounters) {
+	if o == nil {
+		return
+	}
+	for i := range c.counts {
+		c.counts[i].Add(o.counts[i].Load())
+	}
+}
+
+// String renders every event, zero or not, in enum order.
+func (c *EventCounters) String() string {
+	s := "events{"
+	for e := Event(0); e < NumEvents; e++ {
+		if e > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%v=%d", e, c.Get(e))
+	}
+	return s + "}"
+}
+
+// Events registers one counter series per fault/recovery event, labelled
+// event="<name>" on top of the given labels — the recovery-side sibling
+// of Drops.
+func (r *Registry) Events(name, help string, labels Labels, c *EventCounters) {
+	for ev := Event(0); ev < NumEvents; ev++ {
+		ev := ev
+		with := Labels{"event": ev.String()}
+		for k, v := range labels {
+			with[k] = v
+		}
+		r.Counter(name, help, with, func() uint64 { return c.Get(ev) })
+	}
+}

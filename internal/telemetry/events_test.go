@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEventCountersBasics(t *testing.T) {
+	var c EventCounters
+	c.Inc(EventLinkFlap)
+	c.Add(EventProtectionSwitch, 3)
+	c.Inc(Event(200)) // out of range: ignored
+	if got := c.Get(EventLinkFlap); got != 1 {
+		t.Errorf("link_flap = %d, want 1", got)
+	}
+	if got := c.Get(EventProtectionSwitch); got != 3 {
+		t.Errorf("protection_switch = %d, want 3", got)
+	}
+	if got := c.Total(); got != 4 {
+		t.Errorf("total = %d, want 4", got)
+	}
+	snap := c.Snapshot()
+	if snap[EventProtectionSwitch] != 3 {
+		t.Errorf("snapshot = %v", snap)
+	}
+
+	var m EventCounters
+	m.Inc(EventRetryExhausted)
+	m.Merge(&c)
+	m.Merge(nil)
+	if m.Total() != 5 {
+		t.Errorf("merged total = %d, want 5", m.Total())
+	}
+	if s := m.String(); !strings.Contains(s, "retry_exhausted=1") {
+		t.Errorf("String() = %s", s)
+	}
+}
+
+func TestEventStrings(t *testing.T) {
+	want := map[Event]string{
+		EventLinkFlap:         "link_flap",
+		EventKeepaliveMiss:    "keepalive_miss",
+		EventProtectionSwitch: "protection_switch",
+		EventRetryAttempt:     "retry_attempt",
+		EventRetryExhausted:   "retry_exhausted",
+	}
+	for e, s := range want {
+		if e.String() != s {
+			t.Errorf("%d.String() = %q, want %q", e, e.String(), s)
+		}
+		if !e.Valid() {
+			t.Errorf("%v not valid", e)
+		}
+	}
+	if Event(NumEvents).Valid() {
+		t.Error("NumEvents reported valid")
+	}
+	if !strings.Contains(Event(99).String(), "99") {
+		t.Errorf("out-of-range String() = %q", Event(99).String())
+	}
+}
+
+func TestEventsRegistryExport(t *testing.T) {
+	var c EventCounters
+	c.Add(EventProtectionSwitch, 2)
+	reg := NewRegistry()
+	reg.Events("mpls_resilience_events_total", "Fault and recovery events.", Labels{"node": "a"}, &c)
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `mpls_resilience_events_total{event="protection_switch",node="a"} 2`) {
+		t.Errorf("missing protection_switch series:\n%s", out)
+	}
+	if !strings.Contains(out, `mpls_resilience_events_total{event="link_flap",node="a"} 0`) {
+		t.Errorf("zero-valued event series not exported:\n%s", out)
+	}
+}
+
+func TestEventCountersConcurrent(t *testing.T) {
+	var c EventCounters
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc(EventKeepaliveMiss)
+				_ = c.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get(EventKeepaliveMiss); got != 8000 {
+		t.Errorf("keepalive_miss = %d, want 8000", got)
+	}
+}

@@ -20,6 +20,13 @@ func goldenRegistry() *Registry {
 	drops.Add(ReasonTTLExpired, 3)
 	drops.Add(ReasonInconsistentOp, 1)
 
+	var events EventCounters
+	events.Add(EventLinkFlap, 2)
+	events.Add(EventKeepaliveMiss, 6)
+	events.Add(EventProtectionSwitch, 2)
+	events.Add(EventRetryAttempt, 4)
+	events.Add(EventRetryExhausted, 1)
+
 	lat := NewHistogram(0.001, 0.01, 0.1)
 	for _, v := range []float64{0.0005, 0.0005, 0.02, 0.5} {
 		lat.Observe(v)
@@ -31,6 +38,7 @@ func goldenRegistry() *Registry {
 	reg.Counter("mpls_forwarded_packets_total", "Packets forwarded on.", Labels{"node": "lsr2"},
 		func() uint64 { return 42 })
 	reg.Drops("mpls_drops_total", "Dropped packets by reason.", Labels{"node": "lsr1"}, &drops)
+	reg.Events("mpls_resilience_events_total", "Fault and recovery events by type.", Labels{"node": "lsr1"}, &events)
 	reg.Gauge("mpls_queue_depth", "Instantaneous queue depth.", nil, func() float64 { return 17.5 })
 	reg.Histogram("mpls_batch_seconds", "Worker batch processing time.", Labels{"node": "lsr1"},
 		lat.Snapshot)
