@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test bench bench-dataplane reproduce race cover metrics chaos examples clean
+.PHONY: all build test bench bench-dataplane bench-lookup reproduce race cover metrics chaos examples clean
 
 all: build test
 
@@ -19,16 +19,25 @@ bench:
 bench-dataplane:
 	go run ./cmd/mplsbench -engine=dataplane -workers=4 -json
 
+# The ILM fast path: worst-case hit latency of the linear vs indexed
+# information base at 16..1024 entries, plus single-shard batch 1 vs 32,
+# written to BENCH_lookup.json.
+bench-lookup:
+	go run ./cmd/mplsbench -engine=lookup -batch=32 -json
+
 reproduce:
 	go run ./cmd/reproduce -out results
 
 # The concurrent dataplane is the package the race detector exists for:
 # run it explicitly (and with -count=2 for scheduling variety) on top of
 # the repo-wide pass. The fault-injection and resilience packages ride
-# along: their chaos scenarios must stay race-clean too.
+# along: their chaos scenarios must stay race-clean too, as must the
+# batched flow-cache path and the infobase stores' atomic publication
+# (concurrent lookups during writes).
 race:
 	go test -race ./...
 	go test -race -count=2 ./internal/dataplane ./internal/faults ./internal/resilience
+	go test -race -count=2 -run 'FlowCache|Concurrent|Telemetry' ./internal/dataplane ./internal/infobase ./internal/swmpls
 
 # Seeded chaos runs with the self-healing layer on: each seed injects a
 # different fault schedule, and mplssim exits nonzero if traffic has not

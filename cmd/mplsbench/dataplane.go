@@ -41,6 +41,9 @@ type dpResult struct {
 	DropRate  float64 `json:"drop_rate"`
 	// Speedup is CapacityPPS relative to the 1-worker row.
 	Speedup float64 `json:"speedup"`
+	// CacheHitRate is the fraction of processed packets resolved from
+	// the per-worker flow cache.
+	CacheHitRate float64 `json:"cache_hit_rate"`
 }
 
 type dpReport struct {
@@ -96,10 +99,20 @@ func installDPTable(e *dataplane.Engine) error {
 }
 
 // dpRun pushes the workload through a fresh engine and returns the
-// measured row (without Speedup, which the sweep fills in).
-func dpRun(w *dpWorkload, workers int) (dpResult, error) {
+// measured row (without Speedup, which the sweep fills in). batch <= 0
+// selects the standard workload batch size; kind picks the snapshot's
+// ILM backend.
+func dpRun(w *dpWorkload, workers, batch int, kind swmpls.ILMKind) (dpResult, error) {
+	if batch <= 0 {
+		batch = dpBatch
+	}
 	w.arm()
-	e := dataplane.New(dataplane.Config{Workers: workers, QueueCap: dpQueueCap, Batch: dpBatch})
+	e := dataplane.New(dataplane.Config{
+		Workers:  workers,
+		QueueCap: dpQueueCap,
+		Batch:    batch,
+		NewTable: func() *swmpls.Forwarder { return swmpls.NewWith(swmpls.WithILM(kind)) },
+	})
 	if err := installDPTable(e); err != nil {
 		return dpResult{}, err
 	}
@@ -132,6 +145,9 @@ func dpRun(w *dpWorkload, workers int) (dpResult, error) {
 		Processed: processed,
 		DropRate:  float64(snap.QueueDropped) / float64(offered),
 	}
+	if probes := snap.CacheHits + snap.CacheMisses; probes > 0 {
+		res.CacheHitRate = float64(snap.CacheHits) / float64(probes)
+	}
 	if critical > 0 {
 		res.CapacityPPS = float64(processed) / critical
 	}
@@ -140,12 +156,14 @@ func dpRun(w *dpWorkload, workers int) (dpResult, error) {
 
 // runDataplane sweeps the engine from 1 to maxWorkers and reports the
 // scaling, optionally writing the machine-readable trajectory file.
-func runDataplane(maxWorkers, packets int, jsonPath string) error {
+// batch and kind are the -batch / -infobase plumbing: per-worker batch
+// size (<=0: standard) and ILM backend of the published snapshots.
+func runDataplane(maxWorkers, packets, batch int, kind swmpls.ILMKind, jsonPath string) error {
 	if maxWorkers < 1 {
 		maxWorkers = 1
 	}
-	fmt.Printf("Dataplane engine scaling — %d packets over %d flows through %d ILM entries (best of %d runs)\n",
-		packets, dpFlows, dpILMEntries, dpReps)
+	fmt.Printf("Dataplane engine scaling — %d packets over %d flows through %d ILM entries (%s ILM, best of %d runs)\n",
+		packets, dpFlows, dpILMEntries, kind, dpReps)
 	w := newDPWorkload(packets)
 
 	report := dpReport{
@@ -158,7 +176,7 @@ func runDataplane(maxWorkers, packets int, jsonPath string) error {
 	for workers := 1; workers <= maxWorkers; workers++ {
 		var best dpResult
 		for rep := 0; rep < dpReps; rep++ {
-			res, err := dpRun(w, workers)
+			res, err := dpRun(w, workers, batch, kind)
 			if err != nil {
 				return err
 			}

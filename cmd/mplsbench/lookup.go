@@ -1,0 +1,162 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"embeddedmpls/internal/label"
+	"embeddedmpls/internal/packet"
+	"embeddedmpls/internal/swmpls"
+)
+
+// The lookup benchmark measures the ILM fast path in isolation:
+//
+//   - an occupancy sweep of the software forwarder's pluggable ILM
+//     backends (worst-case hit at 16..1024 installed entries), showing
+//     the paper's linear information-base scan degrading with table
+//     size while the indexed backend stays flat; and
+//   - a single-shard engine run at batch size 1 vs -batch, showing what
+//     batching alone buys (amortised snapshot loads plus a warm
+//     per-worker flow cache).
+
+// lookupOccupancies mirrors the paper's information-base geometry: the
+// last point is a full 1024-entry level.
+var lookupOccupancies = []int{16, 64, 256, 1024}
+
+type lookupRow struct {
+	Entries int `json:"entries"`
+	// NsPerOp maps backend name ("map", "linear", "indexed") to the
+	// worst-case-hit forwarding latency in nanoseconds.
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+}
+
+type lookupBatchRow struct {
+	Batch        int     `json:"batch"`
+	CapacityPPS  float64 `json:"capacity_pps"`
+	WallPPS      float64 `json:"wall_pps"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+type lookupReport struct {
+	Benchmark string           `json:"benchmark"`
+	Occupancy []lookupRow      `json:"occupancy"`
+	BatchILM  string           `json:"batch_ilm"`
+	BatchRows []lookupBatchRow `json:"batch"`
+}
+
+func parseILMKind(name string) (swmpls.ILMKind, error) {
+	switch name {
+	case "map":
+		return swmpls.ILMMap, nil
+	case "linear":
+		return swmpls.ILMLinear, nil
+	case "indexed":
+		return swmpls.ILMIndexed, nil
+	}
+	return 0, fmt.Errorf("unknown -infobase %q (want map, linear or indexed)", name)
+}
+
+// lookupNs measures one backend at one occupancy: install entries
+// labels, then forward the worst-case flow — the last-installed label,
+// which the linear scan only reaches after walking the whole table.
+func lookupNs(kind swmpls.ILMKind, entries int) (float64, error) {
+	f := swmpls.NewWith(swmpls.WithILM(kind))
+	for i := 0; i < entries; i++ {
+		err := f.MapLabel(label.Label(16+i), swmpls.NHLFE{
+			NextHop:    "peer",
+			Op:         label.OpSwap,
+			PushLabels: []label.Label{label.Label(200000 + i)},
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+	target := label.Label(16 + entries - 1)
+	p := packet.New(packet.AddrFrom(192, 0, 2, 1), packet.AddrFrom(10, 0, 0, 9), 64, nil)
+	const iters = 100000
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		p.Stack.Reset()
+		_ = p.Stack.Push(label.Entry{Label: target, TTL: 64})
+		if res := f.Forward(p); res.Action != swmpls.Forward {
+			return 0, fmt.Errorf("lookup bench: %s/%d: unexpected result %+v", kind, entries, res)
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / iters, nil
+}
+
+// runLookup runs both halves and optionally writes BENCH_lookup.json.
+// kinds filters the occupancy sweep; batchKind picks the ILM backend of
+// the batch comparison (the engine default workload, one shard).
+func runLookup(kinds []swmpls.ILMKind, batchKind swmpls.ILMKind, batchN, packets int, jsonPath string) error {
+	if batchN <= 1 {
+		batchN = 32
+	}
+	report := lookupReport{Benchmark: "lookup", BatchILM: batchKind.String()}
+
+	fmt.Println("ILM lookup — worst-case hit latency vs table occupancy (software forwarder)")
+	header := fmt.Sprintf("%8s", "entries")
+	for _, k := range kinds {
+		header += fmt.Sprintf(" %12s", k.String()+" ns")
+	}
+	fmt.Println(header)
+	for _, n := range lookupOccupancies {
+		row := lookupRow{Entries: n, NsPerOp: make(map[string]float64, len(kinds))}
+		line := fmt.Sprintf("%8d", n)
+		for _, k := range kinds {
+			ns, err := lookupNs(k, n)
+			if err != nil {
+				return err
+			}
+			row.NsPerOp[k.String()] = ns
+			line += fmt.Sprintf(" %12.1f", ns)
+		}
+		report.Occupancy = append(report.Occupancy, row)
+		fmt.Println(line)
+	}
+	fmt.Println()
+
+	fmt.Printf("Batched dataplane — one shard, %s ILM, %d packets, batch 1 vs %d (best of %d runs)\n",
+		batchKind, packets, batchN, dpReps)
+	fmt.Printf("%8s %15s %15s %15s\n", "batch", "capacity pps", "wall pps", "cache hit rate")
+	w := newDPWorkload(packets)
+	for _, b := range []int{1, batchN} {
+		var best dpResult
+		for rep := 0; rep < dpReps; rep++ {
+			res, err := dpRun(w, 1, b, batchKind)
+			if err != nil {
+				return err
+			}
+			if res.CapacityPPS > best.CapacityPPS {
+				best = res
+			}
+		}
+		report.BatchRows = append(report.BatchRows, lookupBatchRow{
+			Batch:        b,
+			CapacityPPS:  best.CapacityPPS,
+			WallPPS:      best.WallPPS,
+			CacheHitRate: best.CacheHitRate,
+		})
+		fmt.Printf("%8d %15.0f %15.0f %14.1f%%\n", b, best.CapacityPPS, best.WallPPS, best.CacheHitRate*100)
+	}
+	if len(report.BatchRows) == 2 {
+		r := report.BatchRows
+		fmt.Printf("batching: batch=%d is %.2fx batch=1 capacity\n", r[1].Batch, r[1].CapacityPPS/r[0].CapacityPPS)
+	}
+	fmt.Println()
+
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(jsonPath, buf, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return nil
+}

@@ -10,7 +10,15 @@
 // -engine=dataplane switches to the concurrent forwarding engine
 // benchmark instead: packets/sec scaling from 1 to -workers shard
 // workers on the standard transit workload, with -json writing the
-// machine-readable trajectory file BENCH_dataplane.json.
+// machine-readable trajectory file BENCH_dataplane.json. -infobase
+// selects the snapshots' ILM backend and -batch the per-worker batch
+// size.
+//
+// -engine=lookup measures the ILM fast path itself: worst-case hit
+// latency vs table occupancy across the map, linear and indexed
+// backends (-infobase restricts the sweep to one backend), plus a
+// single-shard batch=1 vs batch=-batch comparison; -json writes
+// BENCH_lookup.json.
 package main
 
 import (
@@ -32,12 +40,34 @@ func main() {
 	sweep := flag.Bool("sweep", false, "sweep search cost vs table size, hardware vs software")
 	cam := flag.Bool("cam", false, "compare the linear search against the CAM ablation on the RTL model")
 	resources := flag.Bool("resources", false, "estimate the FPGA resource footprint")
-	engine := flag.String("engine", "lsm", "benchmark target: lsm (paper tables) or dataplane (concurrent engine)")
+	engine := flag.String("engine", "lsm", "benchmark target: lsm (paper tables), dataplane (concurrent engine) or lookup (ILM fast path)")
 	workers := flag.Int("workers", 4, "dataplane engine: maximum shard workers to sweep to")
-	packets := flag.Int("packets", 200000, "dataplane engine: packets per run")
-	jsonOut := flag.Bool("json", false, "dataplane engine: write BENCH_dataplane.json")
+	packets := flag.Int("packets", 200000, "dataplane/lookup engines: packets per run")
+	batch := flag.Int("batch", 0, "dataplane engine: per-worker batch size (0: default); lookup engine: the large batch of the 1-vs-N comparison (default 32)")
+	infoBase := flag.String("infobase", "", "ILM backend: map, linear or indexed (dataplane default: map; lookup default: sweep all, batch half indexed)")
+	jsonOut := flag.Bool("json", false, "dataplane/lookup engines: write BENCH_<engine>.json")
 	metrics := flag.Bool("metrics", false, "dataplane engine: run the drop-reason workload and print the Prometheus exposition")
 	flag.Parse()
+	if *engine == "lookup" {
+		kinds := []swmpls.ILMKind{swmpls.ILMMap, swmpls.ILMLinear, swmpls.ILMIndexed}
+		batchKind := swmpls.ILMIndexed
+		if *infoBase != "" {
+			k, err := parseILMKind(*infoBase)
+			if err != nil {
+				log.Fatal(err)
+			}
+			kinds = []swmpls.ILMKind{k}
+			batchKind = k
+		}
+		path := ""
+		if *jsonOut {
+			path = "BENCH_lookup.json"
+		}
+		if err := runLookup(kinds, batchKind, *batch, *packets, path); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *engine == "dataplane" {
 		if *metrics {
 			path := ""
@@ -49,11 +79,19 @@ func main() {
 			}
 			return
 		}
+		kind := swmpls.ILMMap
+		if *infoBase != "" {
+			k, err := parseILMKind(*infoBase)
+			if err != nil {
+				log.Fatal(err)
+			}
+			kind = k
+		}
 		path := ""
 		if *jsonOut {
 			path = "BENCH_dataplane.json"
 		}
-		if err := runDataplane(*workers, *packets, path); err != nil {
+		if err := runDataplane(*workers, *packets, *batch, kind, path); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -62,7 +100,7 @@ func main() {
 		log.Fatal("-metrics requires -engine=dataplane")
 	}
 	if *engine != "lsm" {
-		log.Fatalf("unknown -engine %q (want lsm or dataplane)", *engine)
+		log.Fatalf("unknown -engine %q (want lsm, dataplane or lookup)", *engine)
 	}
 	if !*table6 && !*worst && !*sweep && !*cam && !*resources {
 		*table6, *worst, *sweep, *cam, *resources = true, true, true, true, true

@@ -36,7 +36,7 @@ func runChaos(seed int64, heal, hardware bool, duration, rate float64) {
 		{A: "a", B: "c", RateBPS: rate, Delay: 0.001, Metric: 5},
 		{A: "c", B: "d", RateBPS: rate, Delay: 0.001, Metric: 5},
 	}
-	net, err := router.Build(nodes, links)
+	net, err := buildNet(nodes, links)
 	check(err)
 	attachTelemetry(net)
 	dst := packet.AddrFrom(10, 0, 0, 9)

@@ -46,6 +46,20 @@ var (
 	traceDrops telemetry.DropCounters
 )
 
+// infoBaseFlag is the -infobase value: the ILM backend stamped onto
+// every software-plane node of the built-in scenarios.
+var infoBaseFlag string
+
+// buildNet stamps the selected ILM backend onto each node spec and
+// builds the network. Hardware nodes ignore the setting (their
+// information base is the device's own).
+func buildNet(nodes []router.NodeSpec, links []router.LinkSpec) (*router.Network, error) {
+	for i := range nodes {
+		nodes[i].InfoBase = infoBaseFlag
+	}
+	return router.Build(nodes, links)
+}
+
 // attachTelemetry hooks the shared drop counters — and, with -trace,
 // the label-operation ring — onto every router of a freshly built
 // network.
@@ -84,6 +98,7 @@ func main() {
 	traceN := flag.Int("trace", 0, "record the last N label operations across all routers and dump them after the run")
 	chaosSeed := flag.Int64("chaos", -1, "run the chaos scenario with this fault-schedule seed (>= 0)")
 	heal := flag.Bool("heal", false, "enable the self-healing resilience layer in the chaos scenario")
+	flag.StringVar(&infoBaseFlag, "infobase", "", "ILM backend of software-plane routers: map (default), linear or indexed")
 	flag.Parse()
 
 	if *traceN > 0 {
@@ -142,7 +157,7 @@ func runFailover(hardware bool, duration, rate float64) {
 		{A: "a", B: "c", RateBPS: rate, Delay: 0.001, Metric: 5},
 		{A: "c", B: "d", RateBPS: rate, Delay: 0.001, Metric: 5},
 	}
-	net, err := router.Build(nodes, links)
+	net, err := buildNet(nodes, links)
 	check(err)
 	attachTelemetry(net)
 	dst := packet.AddrFrom(10, 0, 0, 9)
@@ -210,7 +225,7 @@ func buildLine(hardware bool, hops int, rate float64, newQueue func(int) qos.Sch
 			})
 		}
 	}
-	net, err := router.Build(nodes, links)
+	net, err := buildNet(nodes, links)
 	check(err)
 	attachTelemetry(net)
 	return net
@@ -259,7 +274,7 @@ func runTunnel(hardware bool, duration, rate float64) {
 	} {
 		links = append(links, router.LinkSpec{A: pair[0], B: pair[1], RateBPS: rate, Delay: 0.001})
 	}
-	net, err := router.Build(nodes, links)
+	net, err := buildNet(nodes, links)
 	check(err)
 	attachTelemetry(net)
 

@@ -78,6 +78,17 @@ type Config struct {
 	// reason. Workers write to it concurrently; the ring is safe for
 	// that.
 	Trace *telemetry.Ring
+	// NewTable, when non-nil, builds the engine's root forwarding
+	// table — the hook that selects the ILM lookup backend
+	// (swmpls.NewWith(swmpls.WithILM(...))). Clone keeps the backend,
+	// so every published snapshot inherits it. Nil means swmpls.New().
+	NewTable func() *swmpls.Forwarder
+	// DisableFlowCache turns off the per-worker flow cache. The cache
+	// memoises resolved NHLFEs per flow identity against one table
+	// snapshot and is invalidated on every publish, so it is
+	// semantically invisible; disable it only to measure the uncached
+	// path.
+	DisableFlowCache bool
 }
 
 // Engine is the concurrent forwarding engine. Create one with New, feed
@@ -100,17 +111,28 @@ type Engine struct {
 	batch   int
 	deliver func(*packet.Packet, swmpls.Result)
 	seed    maphash.Seed
+	noCache bool
 
 	// drops is the engine-wide per-reason drop accounting. It is
 	// attached to the root forwarding table, and Clone carries the
 	// pointer forward, so every published RCU snapshot counts into the
-	// same counters; queue admission rejections land here too.
-	drops *telemetry.DropCounters
+	// same counters; queue admission rejections land here too. The
+	// pointer is atomic so SetTelemetry can swap in a shared sink
+	// while workers run.
+	drops atomic.Pointer[telemetry.DropCounters]
 	node  string
-	trace *telemetry.Ring
+	// tsink is the trace attachment, loaded once per worker batch so
+	// SetTelemetry can retarget it without stopping the engine.
+	tsink atomic.Pointer[traceSink]
 
 	closed atomic.Bool
 	wg     sync.WaitGroup
+}
+
+// traceSink pairs a trace ring with the node name events carry.
+type traceSink struct {
+	ring *telemetry.Ring
+	node string
 }
 
 // New starts an engine with an empty forwarding table.
@@ -136,15 +158,20 @@ func New(cfg Config) *Engine {
 		batch:   batch,
 		deliver: cfg.Deliver,
 		seed:    maphash.MakeSeed(),
-		drops:   new(telemetry.DropCounters),
 		node:    node,
-		trace:   cfg.Trace,
+		noCache: cfg.DisableFlowCache,
 	}
+	drops := new(telemetry.DropCounters)
+	e.drops.Store(drops)
+	e.tsink.Store(&traceSink{ring: cfg.Trace, node: node})
 	root := swmpls.New()
-	root.SetDropCounters(e.drops)
+	if cfg.NewTable != nil {
+		root = cfg.NewTable()
+	}
+	root.SetDropCounters(drops)
 	e.table.Store(root)
 	for i := range e.shards {
-		e.shards[i] = newShard(cfg.Policy, queueCap, e.drops)
+		e.shards[i] = newShard(cfg.Policy, queueCap, drops)
 	}
 	e.wg.Add(workers)
 	for i := range e.shards {
@@ -184,7 +211,34 @@ func (e *Engine) Workers() int { return len(e.shards) }
 // forwarding drops on every published table snapshot (including
 // ProcessInline traffic) and queue admission rejections. Safe to read
 // while the engine runs.
-func (e *Engine) Drops() *telemetry.DropCounters { return e.drops }
+func (e *Engine) Drops() *telemetry.DropCounters { return e.drops.Load() }
+
+// SetTelemetry attaches the unified observability sink (the
+// plane.Plane hook). The trace ring and node name take effect at each
+// worker's next batch. A non-nil s.Drops replaces the engine's drop
+// counters — a snapshot carrying them is published, every shard's
+// admission accounting is repointed, and prior counts stay in the old
+// counters (still reachable via the Snapshot taken before the call).
+// Call it before RegisterMetrics so the registry exports the live
+// counters.
+func (e *Engine) SetTelemetry(s telemetry.Sink) {
+	node := s.Node
+	if node == "" {
+		node = e.node
+	}
+	e.tsink.Store(&traceSink{ring: s.Trace, node: node})
+	if s.Drops == nil || s.Drops == e.drops.Load() {
+		return
+	}
+	e.drops.Store(s.Drops)
+	for _, sh := range e.shards {
+		sh.setDrops(s.Drops)
+	}
+	_ = e.Update(func(f *swmpls.Forwarder) error {
+		f.SetDropCounters(s.Drops)
+		return nil
+	})
+}
 
 // Updates returns how many table snapshots have been published.
 func (e *Engine) Updates() uint64 { return e.updates.Load() }
@@ -330,10 +384,34 @@ func (e *Engine) ProcessInline(p *packet.Packet) swmpls.Result {
 	return forward(e.table.Load(), p)
 }
 
+// ProcessPacket implements the unified plane contract (plane.Plane):
+// one table pass against the current snapshot on the caller's
+// goroutine, the caller driving any multi-pass re-examination.
+// ProcessInline runs the full program in one call instead.
+func (e *Engine) ProcessPacket(p *packet.Packet) swmpls.Result {
+	depth := p.Stack.Depth()
+	var inLabel uint32
+	if top, err := p.Stack.Top(); err == nil {
+		inLabel = uint32(top.Label)
+	}
+	res := e.table.Load().Forward(p)
+	if ts := e.tsink.Load(); ts.ring != nil {
+		ts.traceResult(depth, inLabel, res)
+	}
+	return res
+}
+
 // worker drains one shard until the engine closes and the queue empties.
+// The table snapshot and trace sink are loaded once per batch — the
+// batching amortises the atomic loads — and the worker-private flow
+// cache is revalidated against the snapshot at the same point.
 func (e *Engine) worker(id int, s *shard) {
 	defer e.wg.Done()
 	batch := make([]*packet.Packet, 0, e.batch)
+	var fc *flowCache
+	if !e.noCache {
+		fc = newFlowCache()
+	}
 	var acc batchAcc
 	for {
 		batch = s.drain(batch[:0], e.batch)
@@ -344,6 +422,10 @@ func (e *Engine) worker(id int, s *shard) {
 			(*h)(id)
 		}
 		tbl := e.table.Load()
+		ts := e.tsink.Load()
+		if fc != nil {
+			fc.sync(tbl)
+		}
 		acc.reset()
 		start := time.Now()
 		for _, p := range batch {
@@ -353,16 +435,24 @@ func (e *Engine) worker(id int, s *shard) {
 				inLabel = uint32(top.Label)
 			}
 			s.depth.Observe(float64(depth))
-			res := forward(tbl, p)
+			var res swmpls.Result
+			if fc != nil {
+				res = fc.forward(tbl, p)
+			} else {
+				res = forward(tbl, p)
+			}
 			acc.record(p, res)
-			if e.trace != nil {
-				e.traceResult(depth, inLabel, res)
+			if ts.ring != nil {
+				ts.traceResult(depth, inLabel, res)
 			}
 			if e.deliver != nil {
 				e.deliver(p, res)
 			}
 		}
 		acc.busy = time.Since(start).Seconds()
+		if fc != nil {
+			acc.cacheHits, acc.cacheMisses = fc.take()
+		}
 		s.lat.Observe(acc.busy)
 		s.fold(&acc)
 	}
@@ -372,16 +462,16 @@ func (e *Engine) worker(id int, s *shard) {
 // label operation that was applied, or the discard with its mapped
 // reason. The event's level is the stack depth on arrival and its
 // label the incoming top label (zero for unlabelled packets).
-func (e *Engine) traceResult(depth int, inLabel uint32, res swmpls.Result) {
+func (ts *traceSink) traceResult(depth int, inLabel uint32, res swmpls.Result) {
 	if res.Action == swmpls.Drop {
 		if r, ok := res.Drop.Telemetry(); ok {
-			e.trace.RecordDiscard(e.node, uint8(depth), inLabel, r)
+			ts.ring.RecordDiscard(ts.node, uint8(depth), inLabel, r)
 		}
 		return
 	}
 	if res.Op != label.OpNone {
 		// telemetry.TraceOp values mirror label.Op numerically.
-		e.trace.RecordOp(e.node, telemetry.TraceOp(res.Op), uint8(depth), inLabel)
+		ts.ring.RecordOp(ts.node, telemetry.TraceOp(res.Op), uint8(depth), inLabel)
 	}
 }
 
@@ -419,6 +509,12 @@ type Snapshot struct {
 	// is how the benchmark derives capacity on core-limited hosts.
 	BatchTime  stats.Sample
 	WorkerBusy []float64
+	// CacheHits/CacheMisses count flow-cache outcomes across workers:
+	// hits skipped the table search entirely, misses resolved through
+	// the table and seeded the cache. Drops are neither (negative
+	// results are not cached). Both stay zero with the cache disabled.
+	CacheHits   uint64
+	CacheMisses uint64
 	// Reasons is the unified per-reason drop accounting: forwarding
 	// drops across every table snapshot plus queue admission
 	// rejections, indexed by telemetry.Reason.
@@ -456,9 +552,11 @@ func (e *Engine) Snapshot() Snapshot {
 		}
 		out.BatchTime.Merge(&s.agg.batchTime)
 		out.WorkerBusy[i] = s.agg.busy
+		out.CacheHits += s.agg.cacheHits
+		out.CacheMisses += s.agg.cacheMisses
 		s.mu.Unlock()
 	}
-	out.Reasons = e.drops.Snapshot()
+	out.Reasons = e.drops.Load().Snapshot()
 	out.Latency = e.latencyHist().Snapshot()
 	out.StackDepth = e.depthHist().Snapshot()
 	return out
@@ -517,8 +615,14 @@ func (e *Engine) RegisterMetrics(reg *telemetry.Registry, labels telemetry.Label
 		"Published forwarding-table snapshots.", ls, e.Updates)
 	reg.Gauge("mpls_dataplane_queue_depth",
 		"Instantaneous packets waiting across shard queues.", ls, e.queueLen)
+	reg.Counter("mpls_dataplane_flowcache_hits_total",
+		"Packets resolved from the per-worker flow cache.", ls,
+		func() uint64 { return e.Snapshot().CacheHits })
+	reg.Counter("mpls_dataplane_flowcache_misses_total",
+		"Packets that took the full table search and seeded the flow cache.", ls,
+		func() uint64 { return e.Snapshot().CacheMisses })
 	reg.Drops("mpls_dataplane_drops_total",
-		"Dropped packets by reason (forwarding and queue admission).", ls, e.drops)
+		"Dropped packets by reason (forwarding and queue admission).", ls, e.drops.Load())
 	reg.Histogram("mpls_dataplane_batch_seconds",
 		"Seconds of forwarding work per worker batch.", ls,
 		func() telemetry.HistSnapshot { return e.latencyHist().Snapshot() })

@@ -1,0 +1,114 @@
+package dataplane
+
+import (
+	"embeddedmpls/internal/label"
+	"embeddedmpls/internal/packet"
+	"embeddedmpls/internal/swmpls"
+)
+
+// maxFlowEntries bounds each cache map; past it the map is reset rather
+// than evicted entry-by-entry (the cache is a memo, not a table).
+const maxFlowEntries = 1024
+
+// flowCache is a worker-private memo of resolved NHLFEs, keyed by the
+// packet's flow identity: incoming top label for labelled packets,
+// destination address (the paper's packet identifier) for unlabelled
+// ones. It skips the per-packet table search — the map probe or linear
+// scan swmpls.Resolve would repeat for every packet of a flow — while
+// ApplyResolved keeps the mutation and drop paths byte-identical to
+// Forward.
+//
+// Correctness rests on one invariant: an entry is only ever used
+// against the exact table snapshot it was resolved from. The snapshot
+// pointer is the validity token — sync compares it at the top of every
+// batch and empties the cache when the control plane has published,
+// so a worker can never apply a stale label program. Negative results
+// are not cached: misses take the full lookup and drop-accounting
+// path.
+type flowCache struct {
+	tbl  *swmpls.Forwarder
+	lbl  map[label.Label]swmpls.NHLFE
+	addr map[packet.Addr]swmpls.NHLFE
+
+	hits, misses uint64
+}
+
+func newFlowCache() *flowCache {
+	return &flowCache{
+		lbl:  make(map[label.Label]swmpls.NHLFE),
+		addr: make(map[packet.Addr]swmpls.NHLFE),
+	}
+}
+
+// sync points the cache at the batch's table snapshot, invalidating
+// every entry when the snapshot changed — table publish is the only
+// way entries become stale, so pointer identity is a complete check.
+func (c *flowCache) sync(tbl *swmpls.Forwarder) {
+	if c.tbl == tbl {
+		return
+	}
+	c.tbl = tbl
+	clear(c.lbl)
+	clear(c.addr)
+}
+
+// forwardOnce is one table pass through the cache, equivalent to one
+// tbl.Forward call.
+func (c *flowCache) forwardOnce(tbl *swmpls.Forwarder, p *packet.Packet) swmpls.Result {
+	if p.Labelled() {
+		top, err := p.Stack.Top()
+		if err != nil {
+			return tbl.DropUnresolved(p)
+		}
+		if n, ok := c.lbl[top.Label]; ok {
+			c.hits++
+			return tbl.ApplyResolved(p, n)
+		}
+		n, ok := tbl.Resolve(p)
+		if !ok {
+			return tbl.DropUnresolved(p)
+		}
+		c.misses++
+		if len(c.lbl) >= maxFlowEntries {
+			clear(c.lbl)
+		}
+		c.lbl[top.Label] = n
+		return tbl.ApplyResolved(p, n)
+	}
+	dst := p.Header.Dst
+	if n, ok := c.addr[dst]; ok {
+		c.hits++
+		return tbl.ApplyResolved(p, n)
+	}
+	n, ok := tbl.Resolve(p)
+	if !ok {
+		return tbl.DropUnresolved(p)
+	}
+	c.misses++
+	if len(c.addr) >= maxFlowEntries {
+		clear(c.addr)
+	}
+	c.addr[dst] = n
+	return tbl.ApplyResolved(p, n)
+}
+
+// forward applies the full (multi-pass) label program through the
+// cache — the cached counterpart of the package-level forward helper.
+func (c *flowCache) forward(tbl *swmpls.Forwarder, p *packet.Packet) swmpls.Result {
+	var res swmpls.Result
+	for pass := 0; pass < label.MaxDepth+1; pass++ {
+		res = c.forwardOnce(tbl, p)
+		if res.Action == swmpls.Forward && res.NextHop == "" && p.Labelled() {
+			continue
+		}
+		break
+	}
+	return res
+}
+
+// take drains the hit/miss tally for per-batch folding.
+func (c *flowCache) take() (hits, misses uint64) {
+	hits, misses = c.hits, c.misses
+	c.hits, c.misses = 0, 0
+	return hits, misses
+}

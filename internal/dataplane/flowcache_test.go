@@ -1,0 +1,231 @@
+package dataplane
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"embeddedmpls/internal/label"
+	"embeddedmpls/internal/packet"
+	"embeddedmpls/internal/swmpls"
+	"embeddedmpls/internal/telemetry"
+)
+
+// TestFlowCacheDeterministicInvalidation drives a flowCache by hand:
+// entries must serve repeat flows from the memo, and a new snapshot
+// pointer must empty the memo so the new label program wins
+// immediately.
+func TestFlowCacheDeterministicInvalidation(t *testing.T) {
+	a := swmpls.New()
+	if err := a.InstallILM(100, swapNHLFE(200, "b")); err != nil {
+		t.Fatal(err)
+	}
+	fc := newFlowCache()
+	fc.sync(a)
+
+	p := labelled(100, 1, 0)
+	if res := fc.forward(a, p); res.NextHop != "b" {
+		t.Fatalf("first pass: %+v", res)
+	}
+	if hits, misses := fc.take(); hits != 0 || misses != 1 {
+		t.Fatalf("after seed: hits=%d misses=%d", hits, misses)
+	}
+	p2 := labelled(100, 1, 1)
+	if res := fc.forward(a, p2); res.NextHop != "b" {
+		t.Fatalf("cached pass: %+v", res)
+	}
+	if top, _ := p2.Stack.Top(); top.Label != 200 {
+		t.Fatalf("cached swap produced label %d, want 200", top.Label)
+	}
+	if hits, misses := fc.take(); hits != 1 || misses != 0 {
+		t.Fatalf("after repeat: hits=%d misses=%d", hits, misses)
+	}
+
+	// Publish: the same binding now swaps to 300 toward c.
+	b := a.Clone()
+	if err := b.InstallILM(100, swapNHLFE(300, "c")); err != nil {
+		t.Fatal(err)
+	}
+	fc.sync(b)
+	p3 := labelled(100, 1, 2)
+	if res := fc.forward(b, p3); res.NextHop != "c" {
+		t.Fatalf("post-publish pass: %+v", res)
+	}
+	if top, _ := p3.Stack.Top(); top.Label != 300 {
+		t.Fatalf("post-publish swap produced label %d, want 300 (stale cache?)", top.Label)
+	}
+	if hits, misses := fc.take(); hits != 0 || misses != 1 {
+		t.Fatalf("after publish: hits=%d misses=%d — sync did not invalidate", hits, misses)
+	}
+
+	// Same pointer again: no invalidation, the memo stays warm.
+	fc.sync(b)
+	if res := fc.forward(b, labelled(100, 1, 3)); res.NextHop != "c" {
+		t.Fatalf("warm pass: %+v", res)
+	}
+	if hits, _ := fc.take(); hits != 1 {
+		t.Fatal("sync with unchanged snapshot must keep entries")
+	}
+}
+
+// TestFlowCacheEngineEquivalence runs identical traffic through a
+// cached and an uncached engine and requires identical forwarding
+// accounting — the cache may only change cost.
+func TestFlowCacheEngineEquivalence(t *testing.T) {
+	run := func(disable bool) Snapshot {
+		sk := newSink()
+		e := New(Config{Workers: 2, Batch: 16, Deliver: sk.deliver, DisableFlowCache: disable})
+		if err := e.Update(func(f *swmpls.Forwarder) error {
+			if err := f.InstallILM(100, swapNHLFE(200, "b")); err != nil {
+				return err
+			}
+			return f.InstallILM(101, swmpls.NHLFE{NextHop: "e", Op: label.OpPop})
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 600; i++ {
+			var p *packet.Packet
+			switch i % 3 {
+			case 0:
+				p = labelled(100, uint16(i%8), uint64(i))
+			case 1:
+				p = labelled(101, uint16(i%8), uint64(i))
+			default:
+				p = labelled(999, uint16(i%8), uint64(i)) // ILM miss
+			}
+			if !e.SubmitWait(p) {
+				t.Fatal("submit failed")
+			}
+		}
+		e.Close()
+		return e.Snapshot()
+	}
+	cached, plain := run(false), run(true)
+	if cached.Forwarded.Events != plain.Forwarded.Events ||
+		cached.Delivered.Events != plain.Delivered.Events ||
+		cached.Dropped.Events != plain.Dropped.Events {
+		t.Fatalf("cached %v != uncached %v", cached.String(), plain.String())
+	}
+	if cached.CacheHits == 0 {
+		t.Error("cached run recorded no hits")
+	}
+	if plain.CacheHits != 0 || plain.CacheMisses != 0 {
+		t.Error("uncached run recorded cache traffic")
+	}
+	// 400 of 600 packets resolve (the rest are misses, never cached).
+	if got := cached.CacheHits + cached.CacheMisses; got != 400 {
+		t.Errorf("hits+misses = %d, want 400", got)
+	}
+}
+
+// TestFlowCachePublishRace hammers the publish path while workers
+// forward cached traffic: every delivered packet must carry a label
+// program some published snapshot contained, never a stale or torn
+// one. Run under `make race` this is the invalidation-on-publish race
+// proof.
+func TestFlowCachePublishRace(t *testing.T) {
+	// Each publish rebinds label 100 to swap to versions[v]; a correct
+	// engine only ever emits labels from the published set.
+	valid := make(map[label.Label]bool)
+	var validMu sync.Mutex
+	var bad []label.Label
+	e := New(Config{Workers: 4, Batch: 8, Deliver: func(p *packet.Packet, res swmpls.Result) {
+		if res.Action != swmpls.Forward {
+			return
+		}
+		top, err := p.Stack.Top()
+		if err != nil {
+			return
+		}
+		validMu.Lock()
+		if !valid[top.Label] {
+			bad = append(bad, top.Label)
+		}
+		validMu.Unlock()
+	}})
+	publish := func(out label.Label) {
+		validMu.Lock()
+		valid[out] = true
+		validMu.Unlock()
+		if err := e.InstallILM(100, swapNHLFE(out, "b")); err != nil {
+			t.Error(err)
+		}
+	}
+	publish(200)
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // control plane: republish continuously
+		defer wg.Done()
+		out := label.Label(201)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			publish(out)
+			out++
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+	go func() { // traffic
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			e.SubmitWait(labelled(100, uint16(i%16), uint64(i)))
+		}
+	}()
+	time.Sleep(100 * time.Millisecond)
+	close(done)
+	wg.Wait()
+	e.Close()
+
+	validMu.Lock()
+	defer validMu.Unlock()
+	if len(bad) > 0 {
+		t.Fatalf("%d packets carried never-published labels, e.g. %v", len(bad), bad[0])
+	}
+	if s := e.Snapshot(); s.CacheMisses == 0 {
+		t.Error("race run never touched the cache")
+	}
+}
+
+// TestEngineSetTelemetry: swapping the sink mid-run must retarget both
+// the trace ring and the drop counters without stopping workers.
+func TestEngineSetTelemetry(t *testing.T) {
+	e := New(Config{Workers: 1, Batch: 4})
+	defer e.Close()
+	drops := new(telemetry.DropCounters)
+	ring := telemetry.NewRing(64)
+	e.SetTelemetry(telemetry.Sink{Drops: drops, Trace: ring, Node: "dp0"})
+	if e.Drops() != drops {
+		t.Fatal("Drops() does not expose the attached counters")
+	}
+	if err := e.InstallILM(100, swapNHLFE(200, "b")); err != nil {
+		t.Fatal(err)
+	}
+	e.SubmitWait(labelled(100, 0, 0)) // swap: traced op
+	e.SubmitWait(labelled(999, 0, 1)) // miss: drop + discard event
+	deadline := time.Now().Add(2 * time.Second)
+	for drops.Total() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if drops.Get(telemetry.ReasonLookupMiss) != 1 {
+		t.Errorf("lookup-miss count = %d, want 1", drops.Get(telemetry.ReasonLookupMiss))
+	}
+	evs := ring.Events()
+	if len(evs) == 0 {
+		t.Fatal("no trace events")
+	}
+	for _, ev := range evs {
+		if ev.Node != "dp0" {
+			t.Fatalf("event node = %q, want dp0", ev.Node)
+		}
+	}
+}

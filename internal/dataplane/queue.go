@@ -41,6 +41,8 @@ type shardAgg struct {
 	dropsByReason [8]uint64
 	batchTime     stats.Sample
 	busy          float64
+	cacheHits     uint64
+	cacheMisses   uint64
 }
 
 func newShard(policy DropPolicy, queueCap int, drops *telemetry.DropCounters) *shard {
@@ -143,6 +145,15 @@ func (s *shard) fold(acc *batchAcc) {
 	}
 	s.agg.batchTime.Observe(acc.busy)
 	s.agg.busy += acc.busy
+	s.agg.cacheHits += acc.cacheHits
+	s.agg.cacheMisses += acc.cacheMisses
+	s.mu.Unlock()
+}
+
+// setDrops repoints admission-rejection accounting (SetTelemetry).
+func (s *shard) setDrops(c *telemetry.DropCounters) {
+	s.mu.Lock()
+	s.drops = c
 	s.mu.Unlock()
 }
 
@@ -161,6 +172,8 @@ type batchAcc struct {
 	dropped       stats.Counter
 	dropsByReason [8]uint64
 	busy          float64
+	cacheHits     uint64
+	cacheMisses   uint64
 }
 
 func (a *batchAcc) reset() { *a = batchAcc{} }

@@ -23,6 +23,7 @@ import (
 	"embeddedmpls/internal/lsm"
 	"embeddedmpls/internal/packet"
 	"embeddedmpls/internal/swmpls"
+	"embeddedmpls/internal/telemetry"
 )
 
 // Device is one embedded MPLS forwarding engine.
@@ -43,6 +44,11 @@ type Device struct {
 	// TotalCycles accumulates the device cycles spent across Process
 	// calls, for throughput accounting.
 	TotalCycles uint64
+
+	// drops, when set, receives one count per dropped packet. Discard
+	// accounting lives here rather than in the modifier so a drop is
+	// counted exactly once, wherever in the pipeline it happens.
+	drops *telemetry.DropCounters
 }
 
 // Device errors.
@@ -74,6 +80,32 @@ func NewWithSearch(rtype lsm.RouterType, clock lsm.Clock, search lsm.SearchKind)
 
 // Clock returns the device clock.
 func (d *Device) Clock() lsm.Clock { return d.clock }
+
+// SetTelemetry attaches the unified sink (the plane.Plane hook): the
+// trace ring goes to the modifier, which records every update; drop
+// counting stays at the device level, covering the whole pipeline
+// (ingress overflow, modifier discards, next-hop misses).
+func (d *Device) SetTelemetry(s telemetry.Sink) {
+	d.drops = s.Drops
+	d.mod.SetTrace(s.Trace, s.Node)
+}
+
+// ProcessPacket is Process under the unified plane contract; cycle
+// accounting still accumulates in TotalCycles.
+func (d *Device) ProcessPacket(p *packet.Packet) swmpls.Result {
+	res, _ := d.Process(p)
+	return res
+}
+
+// dropRes builds a drop result and feeds the attached counters.
+func (d *Device) dropRes(reason swmpls.DropReason) swmpls.Result {
+	if d.drops != nil {
+		if r, ok := reason.Telemetry(); ok {
+			d.drops.Inc(r)
+		}
+	}
+	return swmpls.Result{Action: swmpls.Drop, Drop: reason}
+}
 
 // InstallFEC binds an exact destination address to a label push. The
 // hardware's level-1 memory exact-matches the 32-bit packet identifier,
@@ -184,7 +216,7 @@ func (d *Device) Process(p *packet.Packet) (swmpls.Result, int) {
 		if err := d.mod.UserPush(e); err != nil {
 			// Deeper than the hardware supports: the ingress interface
 			// cannot represent the packet; drop it.
-			return swmpls.Result{Action: swmpls.Drop, Drop: swmpls.DropStackOverflow}, cycles
+			return d.dropRes(swmpls.DropStackOverflow), cycles
 		}
 		cycles += lsm.CyclesUserPush
 	}
@@ -201,14 +233,14 @@ func (d *Device) Process(p *packet.Packet) (swmpls.Result, int) {
 	d.TotalCycles += uint64(cycles)
 
 	if res.Discarded() {
-		drop := discardToDrop(res.Discard)
+		drop := res.Discard.Drop()
 		// An unlabelled packet the device cannot handle — no level-1
 		// match, or an LSR that only takes labelled traffic — has no
 		// MPLS route; the software side may still route it by IP.
 		if !wasLabelled && (res.Discard == lsm.DiscardNotFound || res.Discard == lsm.DiscardInconsistent) {
 			drop = swmpls.DropNoRoute
 		}
-		return swmpls.Result{Action: swmpls.Drop, Drop: drop}, cycles
+		return d.dropRes(drop), cycles
 	}
 
 	// Egress packet processing: replace the packet's stack.
@@ -224,7 +256,7 @@ func (d *Device) Process(p *packet.Packet) (swmpls.Result, int) {
 		nh, known = d.nextHopByDst[p.Header.Dst]
 	}
 	if !known {
-		return swmpls.Result{Action: swmpls.Drop, Drop: swmpls.DropNoRoute}, cycles
+		return d.dropRes(swmpls.DropNoRoute), cycles
 	}
 
 	if res.Op == label.OpPop && p.Stack.Empty() {
@@ -245,16 +277,3 @@ func (d *Device) Process(p *packet.Packet) (swmpls.Result, int) {
 
 // Seconds converts device cycles to wall time at the device clock.
 func (d *Device) Seconds(cycles int) float64 { return d.clock.Seconds(cycles) }
-
-func discardToDrop(r lsm.DiscardReason) swmpls.DropReason {
-	switch r {
-	case lsm.DiscardNotFound:
-		return swmpls.DropNoLabel
-	case lsm.DiscardTTLExpired:
-		return swmpls.DropTTLExpired
-	case lsm.DiscardInconsistent:
-		return swmpls.DropStackOverflow
-	default:
-		return swmpls.DropNone
-	}
-}

@@ -1,0 +1,97 @@
+package infobase
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"embeddedmpls/internal/label"
+)
+
+// Every level must publish atomically: a reader racing a writer sees
+// either the old or the new level, never a half-written triple, and a
+// write rejected by the injected hook leaves nothing visible. These
+// tests run under `make race` for both store kinds.
+
+func bothStores(t *testing.T, f func(t *testing.T, s Store)) {
+	t.Run("linear", func(t *testing.T) { f(t, New()) })
+	t.Run("indexed", func(t *testing.T) { f(t, New(WithIndex(true))) })
+}
+
+// TestWriteHookErrorLeavesNothingVisible pins the fixed fault path: a
+// hook failure mid-burst must leave the level exactly as it was — no
+// partial triple, no count change, no index entry.
+func TestWriteHookErrorLeavesNothingVisible(t *testing.T) {
+	bothStores(t, func(t *testing.T, s Store) {
+		if err := s.Write(Level2, Pair{Index: 1, NewLabel: 10, Op: label.OpSwap}); err != nil {
+			t.Fatal(err)
+		}
+		boom := errors.New("flaky memory")
+		s.SetWriteHook(func(Level, Pair) error { return boom })
+		if err := s.Write(Level2, Pair{Index: 2, NewLabel: 20, Op: label.OpSwap}); !errors.Is(err, boom) {
+			t.Fatalf("hooked write: err = %v, want %v", err, boom)
+		}
+		if n := s.Count(Level2); n != 1 {
+			t.Errorf("count after failed write = %d, want 1", n)
+		}
+		if _, _, ok := s.Lookup(Level2, 2); ok {
+			t.Error("failed write is visible to Lookup")
+		}
+		if got := s.Entries(Level2); len(got) != 1 || got[0].Index != 1 {
+			t.Errorf("entries after failed write = %v", got)
+		}
+		s.SetWriteHook(nil)
+		if err := s.Write(Level2, Pair{Index: 2, NewLabel: 20, Op: label.OpSwap}); err != nil {
+			t.Fatalf("write after hook removal: %v", err)
+		}
+	})
+}
+
+// TestConcurrentLookupDuringWrites races readers against one writer
+// (the store's contract: single control-plane writer, many readers).
+// Under -race this proves the atomic level publish; functionally it
+// checks a reader only ever sees fully-written pairs.
+func TestConcurrentLookupDuringWrites(t *testing.T) {
+	bothStores(t, func(t *testing.T, s Store) {
+		const writes = 400
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for r := 0; r < 4; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					for k := Key(0); k < writes; k++ {
+						lbl, op, ok := s.Lookup(Level2, k)
+						if !ok {
+							continue
+						}
+						// Every written pair carries NewLabel == Index+1
+						// and OpSwap; anything else is a torn read.
+						if lbl != label.Label(k+1) || op != label.OpSwap {
+							t.Errorf("torn pair for key %d: (%d, %v)", k, lbl, op)
+							return
+						}
+					}
+					_ = s.Entries(Level2)
+				}
+			}()
+		}
+		for k := Key(0); k < writes; k++ {
+			if err := s.Write(Level2, Pair{Index: k, NewLabel: label.Label(k + 1), Op: label.OpSwap}); err != nil {
+				t.Error(err)
+				break
+			}
+			if k%16 == 0 {
+				s.Remove(Level2, k)
+			}
+		}
+		close(stop)
+		wg.Wait()
+	})
+}

@@ -1,0 +1,163 @@
+package infobase
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"embeddedmpls/internal/label"
+)
+
+// The differential suite drives the linear Behavioral model and the
+// Indexed fast path with identical operation sequences and demands
+// identical answers — the proof that swapping the 3n+5 scan for the
+// hash index changes cost, not semantics. Duplicate keys and deletes
+// are the interesting cases: the first-written pair must win, and
+// removing it must re-expose the next duplicate in insertion order.
+
+// diffStep applies one operation to both stores and fails the test on
+// any divergence.
+func diffStep(t *testing.T, step int, lin, idx Store, op int, lv Level, p Pair) {
+	t.Helper()
+	switch op {
+	case 0: // write
+		errL := lin.Write(lv, p)
+		errX := idx.Write(lv, p)
+		if (errL == nil) != (errX == nil) {
+			t.Fatalf("step %d: Write(%d, %+v) diverged: linear=%v indexed=%v", step, lv, p, errL, errX)
+		}
+	case 1: // remove
+		remL := lin.Remove(lv, p.Index)
+		remX := idx.Remove(lv, p.Index)
+		if remL != remX {
+			t.Fatalf("step %d: Remove(%d, %d) diverged: linear=%v indexed=%v", step, lv, p.Index, remL, remX)
+		}
+	case 2: // clear
+		lin.Clear()
+		idx.Clear()
+	}
+	lblL, opL, okL := lin.Lookup(lv, p.Index)
+	lblX, opX, okX := idx.Lookup(lv, p.Index)
+	if lblL != lblX || opL != opX || okL != okX {
+		t.Fatalf("step %d: Lookup(%d, %d) diverged: linear=(%d,%v,%v) indexed=(%d,%v,%v)",
+			step, lv, p.Index, lblL, opL, okL, lblX, opX, okX)
+	}
+	if cl, cx := lin.Count(lv), idx.Count(lv); cl != cx {
+		t.Fatalf("step %d: Count(%d) diverged: linear=%d indexed=%d", step, lv, cl, cx)
+	}
+}
+
+// diffEntries checks the full storage order of every level agrees.
+func diffEntries(t *testing.T, lin, idx Store) {
+	t.Helper()
+	for lv := Level1; int(lv) <= lin.Levels(); lv++ {
+		el, ex := lin.Entries(lv), idx.Entries(lv)
+		if len(el) != len(ex) {
+			t.Fatalf("level %d: entry counts diverged: linear=%d indexed=%d", lv, len(el), len(ex))
+		}
+		for i := range el {
+			if el[i] != ex[i] {
+				t.Fatalf("level %d entry %d: linear=%+v indexed=%+v", lv, i, el[i], ex[i])
+			}
+		}
+	}
+}
+
+func TestIndexedDifferentialRandom(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			// A small capacity makes the full/duplicate/delete corners
+			// frequent instead of theoretical.
+			lin := New(WithCapacity(32))
+			idx := New(WithCapacity(32), WithIndex(true))
+			for step := 0; step < 4000; step++ {
+				lv := Level(1 + rng.Intn(NumLevels))
+				// A tight key space forces duplicates.
+				p := Pair{
+					Index:    Key(rng.Intn(12)),
+					NewLabel: label.Label(rng.Intn(1 << 20)),
+					Op:       label.Op(rng.Intn(4)),
+				}
+				op := rng.Intn(5) // writes twice as likely as removes; clears rare
+				switch {
+				case op < 2:
+					op = 0
+				case op < 4:
+					op = 1
+				default:
+					op = 2
+				}
+				if op == 2 && rng.Intn(10) != 0 {
+					op = 0
+				}
+				diffStep(t, step, lin, idx, op, lv, p)
+			}
+			diffEntries(t, lin, idx)
+		})
+	}
+}
+
+// TestIndexedDuplicateDeleteChain pins the trickiest corner explicitly:
+// three duplicates of one key, removed one by one, must surface in
+// insertion order on both stores.
+func TestIndexedDuplicateDeleteChain(t *testing.T) {
+	lin := New()
+	idx := New(WithIndex(true))
+	writes := []Pair{
+		{Index: 7, NewLabel: 100, Op: label.OpSwap},
+		{Index: 9, NewLabel: 900, Op: label.OpPop},
+		{Index: 7, NewLabel: 200, Op: label.OpPop},
+		{Index: 7, NewLabel: 300, Op: label.OpPush},
+	}
+	for _, p := range writes {
+		if err := lin.Write(Level2, p); err != nil {
+			t.Fatal(err)
+		}
+		if err := idx.Write(Level2, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range []label.Label{100, 200, 300} {
+		for name, s := range map[string]Store{"linear": lin, "indexed": idx} {
+			lbl, _, ok := s.Lookup(Level2, 7)
+			if !ok || lbl != want {
+				t.Fatalf("%s: lookup 7 = (%d, %v), want %d", name, lbl, ok, want)
+			}
+			if !s.Remove(Level2, 7) {
+				t.Fatalf("%s: remove failed with duplicates left", name)
+			}
+		}
+	}
+	for name, s := range map[string]Store{"linear": lin, "indexed": idx} {
+		if _, _, ok := s.Lookup(Level2, 7); ok {
+			t.Errorf("%s: key 7 still found after removing all duplicates", name)
+		}
+		if lbl, _, ok := s.Lookup(Level2, 9); !ok || lbl != 900 {
+			t.Errorf("%s: unrelated key 9 disturbed: (%d, %v)", name, lbl, ok)
+		}
+	}
+}
+
+// FuzzIndexedDifferential feeds arbitrary byte streams as operation
+// scripts to both stores. Each 4-byte group decodes one operation.
+func FuzzIndexedDifferential(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 0, 1, 2, 3})
+	f.Add([]byte{0x10, 7, 0, 1, 0x50, 7, 0, 2, 0x90, 7, 0, 0})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		lin := New(WithCapacity(16))
+		idx := New(WithCapacity(16), WithIndex(true))
+		for i := 0; i+4 <= len(script); i += 4 {
+			ctl, k, lo, hi := script[i], script[i+1], script[i+2], script[i+3]
+			lv := Level(1 + int(ctl&0x03)%NumLevels)
+			op := int(ctl>>6) % 3
+			p := Pair{
+				Index:    Key(k % 16),
+				NewLabel: label.Label(uint32(lo) | uint32(hi)<<8),
+				Op:       label.Op(ctl >> 2 & 0x03),
+			}
+			diffStep(t, i/4, lin, idx, op, lv, p)
+		}
+		diffEntries(t, lin, idx)
+	})
+}

@@ -1,0 +1,185 @@
+package infobase
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"embeddedmpls/internal/label"
+)
+
+// idxLevel is one immutable snapshot of an indexed level: the pairs in
+// insertion order (exactly what the linear model stores) plus a hash
+// index from key to the position of its first match. Lookups touch only
+// the index, so their cost stays flat as the level fills; the ordered
+// slice keeps Entries, ReadPair and the duplicate/delete semantics
+// bit-identical to the linear scan.
+type idxLevel struct {
+	entries []Pair
+	first   map[Key]int
+}
+
+var emptyIdxLevel = &idxLevel{}
+
+// idxSlot is one atomically-published indexed level.
+type idxSlot struct {
+	snap atomic.Pointer[idxLevel]
+}
+
+func (s *idxSlot) load() *idxLevel {
+	if l := s.snap.Load(); l != nil {
+		return l
+	}
+	return emptyIdxLevel
+}
+
+// Indexed is the O(1) information base: the same insertion-ordered pair
+// storage and first-match semantics as Behavioral, answered through a
+// per-level hash index instead of a scan. It is the lookup structure a
+// line-rate label table needs (cf. the MNA P4/ASIC implementations,
+// where label tables are exact-match indexed stores), while Behavioral
+// remains the faithful model of the paper's 3n+5 linear search. The
+// differential property tests in this package prove the two agree on
+// every write/delete/lookup sequence.
+//
+// Like Behavioral, each level publishes atomically: one writer, any
+// number of concurrent readers. The zero value is not usable; call New
+// with WithIndex(true) or NewIndexed.
+type Indexed struct {
+	levels    []idxSlot
+	capacity  int
+	writeHook func(Level, Pair) error
+}
+
+var _ Store = (*Indexed)(nil)
+
+// NewIndexed returns an empty indexed information base with the paper's
+// geometry (three levels of 1024 entries). Equivalent to
+// New(WithIndex(true)).
+func NewIndexed() *Indexed { return newIndexed(defaultConfig()) }
+
+func newIndexed(cfg storeConfig) *Indexed {
+	return &Indexed{levels: make([]idxSlot, cfg.levels), capacity: cfg.capacity}
+}
+
+// SetWriteHook implements Store. The hook must be installed before the
+// store is shared with concurrent readers.
+func (x *Indexed) SetWriteHook(h func(Level, Pair) error) { x.writeHook = h }
+
+// Levels implements Store.
+func (x *Indexed) Levels() int { return len(x.levels) }
+
+// Capacity implements Store.
+func (x *Indexed) Capacity() int { return x.capacity }
+
+func (x *Indexed) validLevel(lv Level) bool {
+	return lv >= Level1 && int(lv) <= len(x.levels)
+}
+
+// Write implements Base. A duplicate key is stored (the level is a log,
+// like the hardware memory) but the index keeps pointing at the first
+// occurrence, so lookups answer exactly as a linear scan would. The new
+// level is published with one atomic store; a failed validation or
+// write hook leaves nothing visible.
+func (x *Indexed) Write(lv Level, p Pair) error {
+	if !x.validLevel(lv) {
+		return fmt.Errorf("%w: %d", ErrInvalidLevel, lv)
+	}
+	if err := validateFields(lv, p); err != nil {
+		return err
+	}
+	if x.writeHook != nil {
+		if err := x.writeHook(lv, p); err != nil {
+			return err
+		}
+	}
+	slot := &x.levels[lv-1]
+	cur := slot.load()
+	if len(cur.entries) >= x.capacity {
+		return fmt.Errorf("%w: level %d already holds %d pairs", ErrLevelFull, lv, x.capacity)
+	}
+	next := &idxLevel{
+		entries: make([]Pair, len(cur.entries)+1),
+		first:   make(map[Key]int, len(cur.first)+1),
+	}
+	copy(next.entries, cur.entries)
+	next.entries[len(cur.entries)] = p
+	for k, v := range cur.first {
+		next.first[k] = v
+	}
+	if _, dup := next.first[p.Index]; !dup {
+		next.first[p.Index] = len(cur.entries)
+	}
+	slot.snap.Store(next)
+	return nil
+}
+
+// Lookup implements Base in O(1): one hash probe instead of the linear
+// model's scan, returning the same first-match-in-insertion-order
+// answer.
+func (x *Indexed) Lookup(lv Level, key Key) (label.Label, label.Op, bool) {
+	if !x.validLevel(lv) {
+		return 0, label.OpNone, false
+	}
+	cur := x.levels[lv-1].load()
+	if i, ok := cur.first[key]; ok {
+		p := cur.entries[i]
+		return p.NewLabel, p.Op, true
+	}
+	return 0, label.OpNone, false
+}
+
+// Count implements Base.
+func (x *Indexed) Count(lv Level) int {
+	if !x.validLevel(lv) {
+		return 0
+	}
+	return len(x.levels[lv-1].load().entries)
+}
+
+// Clear implements Base.
+func (x *Indexed) Clear() {
+	for i := range x.levels {
+		x.levels[i].snap.Store(emptyIdxLevel)
+	}
+}
+
+// Remove implements Store: the first pair matching key is deleted and
+// the index rebuilt over the shifted positions, so a later duplicate of
+// the same key is re-exposed exactly as under a linear rescan. Removal
+// is a control-plane operation (LSP teardown); the O(n) rebuild keeps
+// the per-packet Lookup allocation- and scan-free.
+func (x *Indexed) Remove(lv Level, key Key) bool {
+	if !x.validLevel(lv) {
+		return false
+	}
+	slot := &x.levels[lv-1]
+	cur := slot.load()
+	i, ok := cur.first[key]
+	if !ok {
+		return false
+	}
+	next := &idxLevel{
+		entries: make([]Pair, 0, len(cur.entries)-1),
+		first:   make(map[Key]int, len(cur.first)),
+	}
+	next.entries = append(next.entries, cur.entries[:i]...)
+	next.entries = append(next.entries, cur.entries[i+1:]...)
+	for j, p := range next.entries {
+		if _, dup := next.first[p.Index]; !dup {
+			next.first[p.Index] = j
+		}
+	}
+	slot.snap.Store(next)
+	return true
+}
+
+// Entries implements Store.
+func (x *Indexed) Entries(lv Level) []Pair {
+	if !x.validLevel(lv) {
+		return nil
+	}
+	cur := x.levels[lv-1].load()
+	out := make([]Pair, len(cur.entries))
+	copy(out, cur.entries)
+	return out
+}

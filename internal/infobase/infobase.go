@@ -10,37 +10,64 @@
 // 20-bit top label. Each level is searched linearly, giving the paper's
 // 3n+5-cycle search cost.
 //
-// Two implementations share the Base interface: Behavioral (this package,
-// a reference model in plain Go) and the cycle-accurate RTL data path in
-// package lsm. Property tests drive both with the same traffic and demand
-// identical answers.
+// Three implementations share the Base interface:
+//
+//   - Behavioral (this file): the faithful software model of the paper's
+//     memory — first match in insertion order, found by a linear scan, so
+//     lookup cost grows with occupancy exactly like the 3n+5 hardware
+//     search. It is the oracle the cycle-accurate RTL in package lsm is
+//     property-tested against.
+//   - Indexed (indexed.go): the production-shaped fast path — a per-level
+//     hash index over the same insertion-ordered storage, giving O(1)
+//     lookups that stay flat as the table fills while preserving the
+//     Behavioral's exact semantics (duplicate keys, first-match wins,
+//     deletes re-exposing later duplicates). The differential property
+//     tests prove the equivalence.
+//   - The RTL data path in package lsm, driven through the same traffic.
+//
+// Construct either software store with New and functional options; the
+// original NewBehavioral constructor remains as a thin wrapper.
+//
+// Every level publishes its contents atomically: a write (or remove)
+// stages a fresh copy of the level and installs it with one atomic store,
+// so a concurrent Lookup observes either the old or the new level, never
+// a partially-written triple — in particular, a write rejected by an
+// injected write hook (the fault layer's flaky-memory model) leaves
+// nothing visible. Writers themselves are not serialised: the store
+// assumes one control-plane writer, matching the paper's single routing
+// processor.
 package infobase
 
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"embeddedmpls/internal/label"
 )
 
-// Level identifies one of the three information base memories.
+// Level identifies one of the information base memories.
 type Level int
 
-// The three levels of the information base.
+// The three levels of the paper's information base.
 const (
 	Level1 Level = 1 // indexed by 32-bit packet identifier (ingress push)
 	Level2 Level = 2 // indexed by 20-bit label, stack depth 1
 	Level3 Level = 3 // indexed by 20-bit label, stack depth 2 or 3
 )
 
-// NumLevels is the number of memory levels.
+// NumLevels is the number of memory levels in the paper's architecture
+// (and the default for stores built without WithLevels).
 const NumLevels = 3
 
-// EntriesPerLevel is the capacity of each level: "each memory component
-// supports 1 KB of label pairs", i.e. 1024 entries.
+// EntriesPerLevel is the paper's capacity of each level: "each memory
+// component supports 1 KB of label pairs", i.e. 1024 entries (and the
+// default for stores built without WithCapacity).
 const EntriesPerLevel = 1024
 
-// Valid reports whether lv names an existing level.
+// Valid reports whether lv names a level of the paper's three-level
+// architecture. Stores built with WithLevels validate against their own
+// configured count instead.
 func (lv Level) Valid() bool { return lv >= Level1 && lv <= Level3 }
 
 // LevelForDepth maps the current label stack depth to the level that must
@@ -58,7 +85,7 @@ func LevelForDepth(depth int) Level {
 }
 
 // Key is a lookup index: the full 32-bit packet identifier at level 1, or
-// a 20-bit label value at levels 2 and 3.
+// a 20-bit label value at levels 2 and up.
 type Key uint32
 
 // Pair is one information base entry: when a packet's key matches Index,
@@ -76,13 +103,21 @@ var (
 	ErrInvalidPair  = errors.New("infobase: pair field out of range")
 )
 
-// ValidatePair checks that p fits the wire widths of level lv: level-1
-// indices are 32 bits (any Key), level-2/3 indices must be valid labels,
-// the new label must fit 20 bits and the operation 2 bits.
+// ValidatePair checks that p fits the wire widths of level lv in the
+// default three-level geometry: level-1 indices are 32 bits (any Key),
+// level-2/3 indices must be valid labels, the new label must fit 20 bits
+// and the operation 2 bits.
 func ValidatePair(lv Level, p Pair) error {
 	if !lv.Valid() {
 		return fmt.Errorf("%w: %d", ErrInvalidLevel, lv)
 	}
+	return validateFields(lv, p)
+}
+
+// validateFields checks the field widths of p for level lv, independent
+// of how many levels the store has: level 1 exact-matches a 32-bit
+// packet identifier, every deeper level a 20-bit label.
+func validateFields(lv Level, p Pair) error {
 	if lv != Level1 && !label.Label(p.Index).Valid() {
 		return fmt.Errorf("%w: level-%d index %d exceeds 20 bits", ErrInvalidPair, lv, p.Index)
 	}
@@ -95,16 +130,16 @@ func ValidatePair(lv Level, p Pair) error {
 	return nil
 }
 
-// Base is the information base contract shared by the behavioral model
-// and the cycle-accurate hardware data path.
+// Base is the information base contract shared by the behavioral model,
+// the indexed fast path and the cycle-accurate hardware data path.
 type Base interface {
 	// Write appends a pair to level lv, like the hardware's "write label
 	// pair" command. It fails when the level is full or the pair does not
 	// fit the field widths.
 	Write(lv Level, p Pair) error
-	// Lookup linearly searches level lv for the first pair whose index
-	// equals key, in insertion order, exactly as the search module scans
-	// memory addresses 0..n-1.
+	// Lookup returns the first pair, in insertion order, whose index
+	// equals key — the answer the search module's incrementing read
+	// index produces, however the implementation finds it.
 	Lookup(lv Level, key Key) (label.Label, label.Op, bool)
 	// Count returns the number of pairs stored at level lv.
 	Count(lv Level) int
@@ -112,27 +147,88 @@ type Base interface {
 	Clear()
 }
 
-// Behavioral is the software reference model of the information base.
-// The zero value is not usable; call NewBehavioral.
+// Store extends Base with the software-side management surface: the
+// routing functionality's entry removal, the management read-out path,
+// and the fault layer's write interception. Both software
+// implementations (Behavioral and Indexed) satisfy it, so every layer
+// above — the label stack modifier, the software forwarder's ILM, the
+// device — can take either without caring how lookups are answered.
+type Store interface {
+	Base
+	// Remove deletes the first pair at level lv whose index equals key
+	// and reports whether one was removed. A later duplicate of the same
+	// key becomes visible, exactly as under a linear rescan.
+	Remove(lv Level, key Key) bool
+	// Entries returns a copy of level lv in storage order.
+	Entries(lv Level) []Pair
+	// SetWriteHook installs an injectable write interceptor: every Write
+	// consults it after validation, and a non-nil error fails the write
+	// without publishing anything. nil removes the hook.
+	SetWriteHook(h func(Level, Pair) error)
+	// Levels returns the configured number of levels.
+	Levels() int
+	// Capacity returns the configured per-level capacity.
+	Capacity() int
+}
+
+// levelSlot is one atomically-published level of pairs.
+type levelSlot struct {
+	snap atomic.Pointer[[]Pair]
+}
+
+func (s *levelSlot) load() []Pair {
+	if p := s.snap.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Behavioral is the linear software reference model of the information
+// base: first-match-in-insertion-order lookups found by scanning, the
+// exact cost shape of the paper's 3n+5 search. The zero value is not
+// usable; call NewBehavioral or New.
 type Behavioral struct {
-	levels    [NumLevels][]Pair
+	levels    []levelSlot
+	capacity  int
 	writeHook func(Level, Pair) error
 }
 
-var _ Base = (*Behavioral)(nil)
+var _ Store = (*Behavioral)(nil)
 
-// NewBehavioral returns an empty behavioral information base.
-func NewBehavioral() *Behavioral { return &Behavioral{} }
+// NewBehavioral returns an empty linear information base with the
+// paper's geometry (three levels of 1024 entries).
+//
+// Deprecated: new code should use New, which selects geometry and
+// lookup structure through functional options; NewBehavioral remains as
+// a thin wrapper so existing callers compile.
+func NewBehavioral() *Behavioral { return newBehavioral(defaultConfig()) }
 
-// SetWriteHook installs an injectable write interceptor: every Write
-// consults it after validation, and a non-nil error fails the write
-// without storing the pair. The fault-injection layer uses it to model
-// a flaky memory interface; nil removes the hook.
+func newBehavioral(cfg storeConfig) *Behavioral {
+	return &Behavioral{levels: make([]levelSlot, cfg.levels), capacity: cfg.capacity}
+}
+
+// SetWriteHook implements Store. The hook must be installed before the
+// store is shared with concurrent readers.
 func (b *Behavioral) SetWriteHook(h func(Level, Pair) error) { b.writeHook = h }
 
-// Write implements Base.
+// Levels implements Store.
+func (b *Behavioral) Levels() int { return len(b.levels) }
+
+// Capacity implements Store.
+func (b *Behavioral) Capacity() int { return b.capacity }
+
+func (b *Behavioral) validLevel(lv Level) bool {
+	return lv >= Level1 && int(lv) <= len(b.levels)
+}
+
+// Write implements Base. The pair becomes visible with one atomic level
+// publish: a failed validation or write hook leaves the level untouched,
+// and a concurrent Lookup never sees a partially-written triple.
 func (b *Behavioral) Write(lv Level, p Pair) error {
-	if err := ValidatePair(lv, p); err != nil {
+	if !b.validLevel(lv) {
+		return fmt.Errorf("%w: %d", ErrInvalidLevel, lv)
+	}
+	if err := validateFields(lv, p); err != nil {
 		return err
 	}
 	if b.writeHook != nil {
@@ -140,21 +236,25 @@ func (b *Behavioral) Write(lv Level, p Pair) error {
 			return err
 		}
 	}
-	s := &b.levels[lv-1]
-	if len(*s) >= EntriesPerLevel {
-		return fmt.Errorf("%w: level %d already holds %d pairs", ErrLevelFull, lv, EntriesPerLevel)
+	slot := &b.levels[lv-1]
+	cur := slot.load()
+	if len(cur) >= b.capacity {
+		return fmt.Errorf("%w: level %d already holds %d pairs", ErrLevelFull, lv, b.capacity)
 	}
-	*s = append(*s, p)
+	next := make([]Pair, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = p
+	slot.snap.Store(&next)
 	return nil
 }
 
 // Lookup implements Base: first match in insertion order wins, matching
 // the hardware's incrementing read index.
 func (b *Behavioral) Lookup(lv Level, key Key) (label.Label, label.Op, bool) {
-	if !lv.Valid() {
+	if !b.validLevel(lv) {
 		return 0, label.OpNone, false
 	}
-	for _, p := range b.levels[lv-1] {
+	for _, p := range b.levels[lv-1].load() {
 		if p.Index == key {
 			return p.NewLabel, p.Op, true
 		}
@@ -164,43 +264,49 @@ func (b *Behavioral) Lookup(lv Level, key Key) (label.Label, label.Op, bool) {
 
 // Count implements Base.
 func (b *Behavioral) Count(lv Level) int {
-	if !lv.Valid() {
+	if !b.validLevel(lv) {
 		return 0
 	}
-	return len(b.levels[lv-1])
+	return len(b.levels[lv-1].load())
 }
 
 // Clear implements Base.
 func (b *Behavioral) Clear() {
 	for i := range b.levels {
-		b.levels[i] = b.levels[i][:0]
+		var empty []Pair
+		b.levels[i].snap.Store(&empty)
 	}
 }
 
-// Remove deletes the first pair at level lv whose index equals key and
-// reports whether one was removed. The hardware interface only writes;
-// removal is a software (routing functionality) operation performed when
-// an LSP is torn down.
+// Remove implements Store: it deletes the first pair whose index equals
+// key, publishing the shortened level atomically. The hardware interface
+// only writes; removal is a software (routing functionality) operation
+// performed when an LSP is torn down.
 func (b *Behavioral) Remove(lv Level, key Key) bool {
-	if !lv.Valid() {
+	if !b.validLevel(lv) {
 		return false
 	}
-	s := b.levels[lv-1]
-	for i, p := range s {
+	slot := &b.levels[lv-1]
+	cur := slot.load()
+	for i, p := range cur {
 		if p.Index == key {
-			b.levels[lv-1] = append(s[:i], s[i+1:]...)
+			next := make([]Pair, 0, len(cur)-1)
+			next = append(next, cur[:i]...)
+			next = append(next, cur[i+1:]...)
+			slot.snap.Store(&next)
 			return true
 		}
 	}
 	return false
 }
 
-// Entries returns a copy of level lv in storage order.
+// Entries implements Store.
 func (b *Behavioral) Entries(lv Level) []Pair {
-	if !lv.Valid() {
+	if !b.validLevel(lv) {
 		return nil
 	}
-	out := make([]Pair, len(b.levels[lv-1]))
-	copy(out, b.levels[lv-1])
+	cur := b.levels[lv-1].load()
+	out := make([]Pair, len(cur))
+	copy(out, cur)
 	return out
 }

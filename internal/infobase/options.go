@@ -1,0 +1,65 @@
+package infobase
+
+// storeConfig is the geometry and lookup structure a store is built
+// with.
+type storeConfig struct {
+	levels   int
+	capacity int
+	indexed  bool
+}
+
+func defaultConfig() storeConfig {
+	return storeConfig{levels: NumLevels, capacity: EntriesPerLevel}
+}
+
+// Option configures a store built by New.
+type Option func(*storeConfig)
+
+// WithLevels sets the number of memory levels. The paper's architecture
+// has three (the default); a deeper label stack would need more. Values
+// below one are clamped to one. Level 1 always exact-matches the 32-bit
+// packet identifier; every deeper level a 20-bit label.
+func WithLevels(n int) Option {
+	return func(c *storeConfig) {
+		if n < 1 {
+			n = 1
+		}
+		c.levels = n
+	}
+}
+
+// WithCapacity sets the per-level capacity in pairs. The paper's memory
+// holds 1024 per level (the default); a software deployment can size it
+// to the routing table. Values below one are clamped to one.
+func WithCapacity(n int) Option {
+	return func(c *storeConfig) {
+		if n < 1 {
+			n = 1
+		}
+		c.capacity = n
+	}
+}
+
+// WithIndex selects the lookup structure: true builds the O(1) Indexed
+// store, false (the default) the linear Behavioral model whose lookup
+// cost grows with occupancy like the paper's 3n+5 search.
+func WithIndex(indexed bool) Option {
+	return func(c *storeConfig) { c.indexed = indexed }
+}
+
+// New builds an information base from functional options. With no
+// options it is equivalent to NewBehavioral: the paper's three-level,
+// 1024-entry linear store.
+//
+//	fast := infobase.New(infobase.WithIndex(true))
+//	wide := infobase.New(infobase.WithLevels(3), infobase.WithCapacity(1<<16))
+func New(opts ...Option) Store {
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.indexed {
+		return newIndexed(cfg)
+	}
+	return newBehavioral(cfg)
+}

@@ -1,0 +1,85 @@
+package infobase
+
+import (
+	"errors"
+	"testing"
+
+	"embeddedmpls/internal/label"
+)
+
+func TestNewDefaultsMatchPaperGeometry(t *testing.T) {
+	for name, s := range map[string]Store{
+		"linear":  New(),
+		"indexed": New(WithIndex(true)),
+	} {
+		if s.Levels() != NumLevels || s.Capacity() != EntriesPerLevel {
+			t.Errorf("%s: geometry = %d levels x %d, want %d x %d",
+				name, s.Levels(), s.Capacity(), NumLevels, EntriesPerLevel)
+		}
+	}
+	if _, ok := New().(*Behavioral); !ok {
+		t.Error("New() should build the linear model by default")
+	}
+	if _, ok := New(WithIndex(true)).(*Indexed); !ok {
+		t.Error("New(WithIndex(true)) should build the indexed store")
+	}
+}
+
+func TestWithCapacity(t *testing.T) {
+	for name, s := range map[string]Store{
+		"linear":  New(WithCapacity(2)),
+		"indexed": New(WithCapacity(2), WithIndex(true)),
+	} {
+		for i := 0; i < 2; i++ {
+			if err := s.Write(Level1, Pair{Index: Key(i), NewLabel: 1, Op: label.OpPush}); err != nil {
+				t.Fatalf("%s write %d: %v", name, i, err)
+			}
+		}
+		if err := s.Write(Level1, Pair{Index: 9, NewLabel: 1, Op: label.OpPush}); !errors.Is(err, ErrLevelFull) {
+			t.Errorf("%s: write past WithCapacity(2): %v", name, err)
+		}
+	}
+}
+
+func TestWithLevels(t *testing.T) {
+	for name, s := range map[string]Store{
+		"linear":  New(WithLevels(5)),
+		"indexed": New(WithLevels(5), WithIndex(true)),
+	} {
+		if s.Levels() != 5 {
+			t.Fatalf("%s: Levels() = %d, want 5", name, s.Levels())
+		}
+		// Level 5 exists now; level 6 still does not.
+		if err := s.Write(Level(5), Pair{Index: 1, NewLabel: 2, Op: label.OpSwap}); err != nil {
+			t.Errorf("%s: write to level 5: %v", name, err)
+		}
+		if err := s.Write(Level(6), Pair{Index: 1, NewLabel: 2, Op: label.OpSwap}); !errors.Is(err, ErrInvalidLevel) {
+			t.Errorf("%s: write to level 6: %v", name, err)
+		}
+		if lbl, _, ok := s.Lookup(Level(5), 1); !ok || lbl != 2 {
+			t.Errorf("%s: lookup on level 5 = (%d, %v)", name, lbl, ok)
+		}
+		// Deep levels are label-indexed: a 21-bit index must be rejected.
+		if err := s.Write(Level(5), Pair{Index: 1 << 20, NewLabel: 2, Op: label.OpSwap}); !errors.Is(err, ErrInvalidPair) {
+			t.Errorf("%s: oversized index on level 5: %v", name, err)
+		}
+	}
+}
+
+func TestOptionClamping(t *testing.T) {
+	s := New(WithLevels(0), WithCapacity(-3))
+	if s.Levels() != 1 || s.Capacity() != 1 {
+		t.Errorf("clamped geometry = %d x %d, want 1 x 1", s.Levels(), s.Capacity())
+	}
+}
+
+// TestDeprecatedConstructorsStillWork pins the compatibility wrappers.
+func TestDeprecatedConstructorsStillWork(t *testing.T) {
+	b := NewBehavioral()
+	x := NewIndexed()
+	for name, s := range map[string]Store{"NewBehavioral": b, "NewIndexed": x} {
+		if s.Levels() != NumLevels || s.Capacity() != EntriesPerLevel {
+			t.Errorf("%s: wrong default geometry", name)
+		}
+	}
+}

@@ -14,19 +14,30 @@ import (
 // against, and the data plane the network simulator runs (using the cost
 // model for timing).
 type Behavioral struct {
-	ib    *infobase.Behavioral
+	ib    infobase.Store
 	stack *label.Stack
 	rtype RouterType
 
+	drops     *telemetry.DropCounters
 	trace     *telemetry.Ring
 	traceNode string
 }
 
-// NewBehavioral returns a modifier with an empty stack and information
-// base.
+// NewBehavioral returns a modifier with an empty stack and the paper's
+// linear-search information base.
 func NewBehavioral(rtype RouterType) *Behavioral {
+	return NewBehavioralWithBase(rtype, infobase.New())
+}
+
+// NewBehavioralWithBase returns a modifier over the given information
+// base — the hook for running the LSM against an indexed store or a
+// non-default geometry. Note the modifier's SearchPos cost accounting
+// reproduces the linear scan regardless of the store's internal
+// structure: the cycle model prices the paper's hardware, not the Go
+// lookup.
+func NewBehavioralWithBase(rtype RouterType, ib infobase.Store) *Behavioral {
 	return &Behavioral{
-		ib:    infobase.NewBehavioral(),
+		ib:    ib,
 		stack: &label.Stack{},
 		rtype: rtype,
 	}
@@ -34,7 +45,7 @@ func NewBehavioral(rtype RouterType) *Behavioral {
 
 // InfoBase exposes the modifier's information base so routing software
 // ("routing functionality" in the paper's architecture) can populate it.
-func (m *Behavioral) InfoBase() *infobase.Behavioral { return m.ib }
+func (m *Behavioral) InfoBase() infobase.Store { return m.ib }
 
 // Stack exposes the current label stack.
 func (m *Behavioral) Stack() *label.Stack { return m.stack }
@@ -48,6 +59,15 @@ func (m *Behavioral) RouterType() RouterType { return m.rtype }
 func (m *Behavioral) SetTrace(r *telemetry.Ring, node string) {
 	m.trace = r
 	m.traceNode = node
+}
+
+// SetTelemetry attaches the unified sink (the plane.Plane hook): drop
+// counters receive one count per discard, the trace ring one event per
+// update, both under the sink's node name.
+func (m *Behavioral) SetTelemetry(s telemetry.Sink) {
+	m.drops = s.Drops
+	m.trace = s.Trace
+	m.traceNode = s.Node
 }
 
 // Reset clears the label stack (the information base is preserved, as in
@@ -194,17 +214,22 @@ func (m *Behavioral) Update(req UpdateRequest) UpdateResult {
 	return res
 }
 
-// traceDiscard records a discard in the attached trace ring, mapping
-// the LSM reason into the telemetry taxonomy.
+// traceDiscard records a discard in the attached drop counters and
+// trace ring, mapping the LSM reason into the telemetry taxonomy.
 func (m *Behavioral) traceDiscard(lv infobase.Level, key uint32, d DiscardReason) {
-	if m.trace == nil {
+	if m.trace == nil && m.drops == nil {
 		return
 	}
 	reason, ok := d.Telemetry()
 	if !ok {
 		return
 	}
-	m.trace.RecordDiscard(m.traceNode, uint8(lv), key, reason)
+	if m.drops != nil {
+		m.drops.Inc(reason)
+	}
+	if m.trace != nil {
+		m.trace.RecordDiscard(m.traceNode, uint8(lv), key, reason)
+	}
 }
 
 // pushGrowth is how many entries a push operation adds back onto the

@@ -1,0 +1,30 @@
+// Package plane defines the unified forwarding-plane contract. The
+// repository grew three engines — the RFC 3031 software forwarder
+// (swmpls), the paper's embedded device built around the label stack
+// modifier (device, lsm), and the concurrent sharded engine
+// (dataplane) — each with its own processing entry point and its own
+// pair of telemetry setters. Plane is the seam they all share, so the
+// router, the simulator and the benchmarks can hold any engine through
+// one interface instead of switching on concrete types.
+package plane
+
+import (
+	"embeddedmpls/internal/packet"
+	"embeddedmpls/internal/swmpls"
+	"embeddedmpls/internal/telemetry"
+)
+
+// Plane is one forwarding engine: a per-packet processing step plus
+// the unified observability attachment.
+type Plane interface {
+	// ProcessPacket applies one forwarding step to p in place on the
+	// caller's goroutine and reports the decision. One step means one
+	// table pass: a tunnel tail that pops and must re-examine the
+	// inner label returns Forward with an empty NextHop, and the
+	// caller loops (bounded by label.MaxDepth+1 passes).
+	ProcessPacket(p *packet.Packet) swmpls.Result
+	// SetTelemetry attaches the unified observability sink: drop
+	// counters, label-op/discard trace, and the node name events are
+	// attributed to. Zero-value fields detach the corresponding hook.
+	SetTelemetry(s telemetry.Sink)
+}

@@ -1,0 +1,97 @@
+package plane_test
+
+import (
+	"testing"
+
+	"embeddedmpls/internal/dataplane"
+	"embeddedmpls/internal/device"
+	"embeddedmpls/internal/infobase"
+	"embeddedmpls/internal/label"
+	"embeddedmpls/internal/lsm"
+	"embeddedmpls/internal/packet"
+	"embeddedmpls/internal/plane"
+	"embeddedmpls/internal/swmpls"
+	"embeddedmpls/internal/telemetry"
+)
+
+// Every forwarding engine in the repository implements the unified
+// plane contract.
+var (
+	_ plane.Plane = (*swmpls.Forwarder)(nil)
+	_ plane.Plane = (*lsm.Behavioral)(nil)
+	_ plane.Plane = (*device.Device)(nil)
+	_ plane.Plane = (*dataplane.Engine)(nil)
+)
+
+func transitPacket(lbl label.Label) *packet.Packet {
+	p := packet.New(packet.AddrFrom(192, 0, 2, 1), packet.AddrFrom(10, 0, 0, 9), 64, nil)
+	if err := p.Stack.Push(label.Entry{Label: lbl, TTL: 16}); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// TestPlanesAgreeOnSwap programs the same swap binding into all four
+// engines through their native install surfaces and drives them
+// through plane.Plane alone: every engine must apply the swap, and
+// with a sink attached every engine must count an unknown label as
+// exactly one lookup-miss drop.
+func TestPlanesAgreeOnSwap(t *testing.T) {
+	swap := swmpls.NHLFE{NextHop: "b", Op: label.OpSwap, PushLabels: []label.Label{200}}
+
+	fwd := swmpls.New()
+	if err := fwd.MapLabel(100, swap); err != nil {
+		t.Fatal(err)
+	}
+
+	mod := lsm.NewBehavioral(lsm.LSR)
+	if err := mod.WritePair(infobase.Level2, infobase.Pair{Index: 100, NewLabel: 200, Op: label.OpSwap}); err != nil {
+		t.Fatal(err)
+	}
+
+	dev := device.New(lsm.LSR, lsm.DefaultClock)
+	if err := dev.InstallILM(100, swap); err != nil {
+		t.Fatal(err)
+	}
+
+	eng := dataplane.New(dataplane.Config{Workers: 1})
+	defer eng.Close()
+	if err := eng.InstallILM(100, swap); err != nil {
+		t.Fatal(err)
+	}
+
+	planes := map[string]plane.Plane{
+		"swmpls": fwd, "lsm": mod, "device": dev, "engine": eng,
+	}
+	for name, pl := range planes {
+		t.Run(name, func(t *testing.T) {
+			drops := new(telemetry.DropCounters)
+			ring := telemetry.NewRing(16)
+			pl.SetTelemetry(telemetry.Sink{Drops: drops, Trace: ring, Node: name})
+
+			p := transitPacket(100)
+			res := pl.ProcessPacket(p)
+			if res.Action != swmpls.Forward || res.Op != label.OpSwap {
+				t.Fatalf("swap result = %+v", res)
+			}
+			if top, err := p.Stack.Top(); err != nil || top.Label != 200 {
+				t.Fatalf("top after swap = %v, %v", top, err)
+			}
+
+			res = pl.ProcessPacket(transitPacket(999))
+			if res.Action != swmpls.Drop {
+				t.Fatalf("unknown label result = %+v", res)
+			}
+			if got := drops.Get(telemetry.ReasonLookupMiss); got != 1 {
+				t.Errorf("lookup-miss drops = %d, want 1", got)
+			}
+			evs := ring.Events()
+			if len(evs) != 2 {
+				t.Fatalf("trace events = %d, want 2 (op + discard)", len(evs))
+			}
+			if evs[0].Node != name {
+				t.Errorf("trace node = %q, want %q", evs[0].Node, name)
+			}
+		})
+	}
+}

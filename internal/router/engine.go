@@ -6,6 +6,7 @@ import (
 	"embeddedmpls/internal/netsim"
 	"embeddedmpls/internal/packet"
 	"embeddedmpls/internal/swmpls"
+	"embeddedmpls/internal/telemetry"
 )
 
 // EnginePlane adapts the concurrent dataplane engine to the
@@ -40,6 +41,22 @@ func NewEnginePlane(eng *dataplane.Engine, perPacket netsim.Time) *EnginePlane {
 // the other planes.
 func (e *EnginePlane) Process(p *packet.Packet) (swmpls.Result, netsim.Time) {
 	return e.Engine.ProcessInline(p), e.PerPacket
+}
+
+// ProcessPacket implements plane.Plane: one table pass against the
+// engine's current snapshot.
+func (e *EnginePlane) ProcessPacket(p *packet.Packet) swmpls.Result {
+	return e.Engine.ProcessPacket(p)
+}
+
+// SetTelemetry implements plane.Plane by attaching the sink to the
+// engine (trace at the next batch, drop counters on a fresh snapshot).
+func (e *EnginePlane) SetTelemetry(s telemetry.Sink) { e.Engine.SetTelemetry(s) }
+
+// Close implements DataPlane by stopping the engine's shard workers.
+func (e *EnginePlane) Close() error {
+	e.Engine.Close()
+	return nil
 }
 
 // InstallFEC implements ldp.Installer by publishing a new snapshot.

@@ -9,6 +9,7 @@ import (
 	"embeddedmpls/internal/lsm"
 	"embeddedmpls/internal/netsim"
 	"embeddedmpls/internal/qos"
+	"embeddedmpls/internal/swmpls"
 	"embeddedmpls/internal/te"
 	"embeddedmpls/internal/telemetry"
 )
@@ -28,6 +29,28 @@ type NodeSpec struct {
 	// of the serial forwarder: RCU table updates and a per-packet cost
 	// amortised across the workers. Ignored for hardware nodes.
 	EngineWorkers int
+	// EngineBatch overrides the engine's per-worker batch size (<=0:
+	// engine default). Only meaningful with EngineWorkers > 0.
+	EngineBatch int
+	// InfoBase selects the ILM lookup backend of software planes:
+	// "map" (default), "linear" (the paper's information base scan) or
+	// "indexed" (the O(1) hash index). Ignored for hardware nodes,
+	// whose information base is the device's own.
+	InfoBase string
+}
+
+// ilmKind maps a NodeSpec.InfoBase string to the swmpls backend.
+func ilmKind(name string) (swmpls.ILMKind, error) {
+	switch name {
+	case "", "map":
+		return swmpls.ILMMap, nil
+	case "linear":
+		return swmpls.ILMLinear, nil
+	case "indexed":
+		return swmpls.ILMIndexed, nil
+	default:
+		return 0, fmt.Errorf("router: unknown infobase kind %q (want map, linear or indexed)", name)
+	}
 }
 
 // LinkSpec describes one duplex connection.
@@ -65,15 +88,24 @@ func Build(nodes []NodeSpec, links []LinkSpec) (*Network, error) {
 		if _, dup := n.Routers[spec.Name]; dup {
 			return nil, fmt.Errorf("router: duplicate node %q", spec.Name)
 		}
+		kind, err := ilmKind(spec.InfoBase)
+		if err != nil {
+			return nil, err
+		}
 		var plane DataPlane
 		switch {
 		case spec.Hardware:
 			plane = NewHardwarePlane(device.New(spec.RouterType, lsm.DefaultClock))
 		case spec.EngineWorkers > 0:
-			eng := dataplane.New(dataplane.Config{Workers: spec.EngineWorkers})
+			eng := dataplane.New(dataplane.Config{
+				Workers:  spec.EngineWorkers,
+				Batch:    spec.EngineBatch,
+				Node:     spec.Name,
+				NewTable: func() *swmpls.Forwarder { return swmpls.NewWith(swmpls.WithILM(kind)) },
+			})
 			plane = NewEnginePlane(eng, spec.SoftwareCost)
 		default:
-			plane = NewSoftwarePlane(spec.SoftwareCost)
+			plane = NewSoftwarePlaneWith(spec.SoftwareCost, swmpls.NewWith(swmpls.WithILM(kind)))
 		}
 		n.Routers[spec.Name] = New(n.Sim, spec.Name, plane)
 		n.Topo.AddNode(spec.Name)
@@ -114,13 +146,22 @@ func Build(nodes []NodeSpec, links []LinkSpec) (*Network, error) {
 	return n, nil
 }
 
-// Close stops the worker goroutines of any engine-backed data planes.
-// Networks using only serial planes need no cleanup.
+// Close releases every router's data plane through the shared
+// DataPlane contract — engine-backed planes stop their workers, serial
+// planes are no-ops — so the network needs no knowledge of plane
+// types.
 func (n *Network) Close() {
 	for _, r := range n.Routers {
-		if ep, ok := r.Plane().(*EnginePlane); ok {
-			ep.Engine.Close()
-		}
+		_ = r.Plane().Close()
+	}
+}
+
+// SetTelemetry attaches one shared sink to every router: a single
+// per-reason view of forwarding loss and one interleaved per-hop trace
+// of the whole network. Each router attributes events to its own name.
+func (n *Network) SetTelemetry(s telemetry.Sink) {
+	for _, r := range n.Routers {
+		r.SetTelemetry(s)
 	}
 }
 

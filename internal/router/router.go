@@ -15,25 +15,34 @@ import (
 	"embeddedmpls/internal/label"
 	"embeddedmpls/internal/netsim"
 	"embeddedmpls/internal/packet"
+	"embeddedmpls/internal/plane"
 	"embeddedmpls/internal/stats"
 	"embeddedmpls/internal/swmpls"
 	"embeddedmpls/internal/telemetry"
 )
 
-// DataPlane is a forwarding engine: it transforms a packet in place,
-// decides its fate, and reports how long the engine was occupied. It also
-// exposes the table programming surface used by ldp.Manager.
+// DataPlane is a forwarding engine as the router sees it: the unified
+// plane contract (one processing step plus telemetry attachment),
+// extended with simulator timing — Process reports how long the engine
+// was occupied — the table programming surface used by ldp.Manager,
+// and lifecycle cleanup. Close releases whatever the plane holds
+// (worker goroutines for the concurrent engine; a no-op for the serial
+// planes), letting the network tear down any plane without knowing its
+// concrete type.
 type DataPlane interface {
+	plane.Plane
 	Process(p *packet.Packet) (swmpls.Result, netsim.Time)
 	InstallFEC(dst packet.Addr, prefixLen int, n swmpls.NHLFE) error
 	InstallILM(in label.Label, n swmpls.NHLFE) error
 	RemoveILM(in label.Label)
 	RemoveFEC(dst packet.Addr, prefixLen int)
+	Close() error
 }
 
-// SoftwarePlane runs the map-based software forwarder with a fixed
-// per-packet processing cost (the "entirely software based" baseline the
-// paper contrasts with).
+// SoftwarePlane runs the software forwarder with a fixed per-packet
+// processing cost (the "entirely software based" baseline the paper
+// contrasts with). The embedded Forwarder provides the plane.Plane
+// half of the contract.
 type SoftwarePlane struct {
 	*swmpls.Forwarder
 	// PerPacket is the engine occupancy per label operation. The default
@@ -45,13 +54,19 @@ type SoftwarePlane struct {
 // DefaultSoftwareCost is the default per-packet software forwarding cost.
 const DefaultSoftwareCost netsim.Time = 50e-6
 
-// NewSoftwarePlane returns a software data plane. perPacket <= 0 selects
-// DefaultSoftwareCost.
+// NewSoftwarePlane returns a software data plane with the default
+// map-backed ILM. perPacket <= 0 selects DefaultSoftwareCost.
 func NewSoftwarePlane(perPacket netsim.Time) *SoftwarePlane {
+	return NewSoftwarePlaneWith(perPacket, swmpls.New())
+}
+
+// NewSoftwarePlaneWith wraps an existing forwarder — the hook for
+// selecting an ILM backend via swmpls.NewWith(swmpls.WithILM(...)).
+func NewSoftwarePlaneWith(perPacket netsim.Time, f *swmpls.Forwarder) *SoftwarePlane {
 	if perPacket <= 0 {
 		perPacket = DefaultSoftwareCost
 	}
-	return &SoftwarePlane{Forwarder: swmpls.New(), PerPacket: perPacket}
+	return &SoftwarePlane{Forwarder: f, PerPacket: perPacket}
 }
 
 // Process implements DataPlane.
@@ -59,8 +74,12 @@ func (s *SoftwarePlane) Process(p *packet.Packet) (swmpls.Result, netsim.Time) {
 	return s.Forward(p), s.PerPacket
 }
 
+// Close implements DataPlane; the serial forwarder holds no resources.
+func (s *SoftwarePlane) Close() error { return nil }
+
 // HardwarePlane runs the embedded MPLS device; engine occupancy is the
-// device's cycle count at its clock.
+// device's cycle count at its clock. The embedded Device provides the
+// plane.Plane half of the contract.
 type HardwarePlane struct {
 	*device.Device
 }
@@ -73,6 +92,9 @@ func (h *HardwarePlane) Process(p *packet.Packet) (swmpls.Result, netsim.Time) {
 	res, cycles := h.Device.Process(p)
 	return res, h.Seconds(cycles)
 }
+
+// Close implements DataPlane; the device model holds no resources.
+func (h *HardwarePlane) Close() error { return nil }
 
 // Stats aggregates a router's forwarding outcomes.
 type Stats struct {
@@ -177,13 +199,24 @@ func (r *Router) Links() []*netsim.Link {
 	return out
 }
 
+// SetTelemetry attaches the unified observability sink: drop counters
+// and trace ring in one call. Events are attributed to the router's
+// own name (the sink's Node field is ignored — a router always knows
+// who it is). Accounting happens at the router level, where link and
+// next-hop failures are visible; the sink is deliberately not pushed
+// into the data plane, which would double-count forwarding drops.
+func (r *Router) SetTelemetry(s telemetry.Sink) {
+	r.drops = s.Drops
+	r.trace = s.Trace
+}
+
 // SetDropCounters attaches shared per-reason drop accounting. A nil
-// argument detaches.
+// argument detaches. (Kept as a focused wrapper over SetTelemetry.)
 func (r *Router) SetDropCounters(c *telemetry.DropCounters) { r.drops = c }
 
 // SetTrace attaches a label-operation trace ring; every forwarding
 // decision this router makes is recorded under its node name. A nil
-// ring detaches.
+// ring detaches. (Kept as a focused wrapper over SetTelemetry.)
 func (r *Router) SetTrace(t *telemetry.Ring) { r.trace = t }
 
 // AddLocal marks addr as terminating at this router: unlabelled packets

@@ -1,0 +1,159 @@
+package swmpls
+
+import (
+	"embeddedmpls/internal/infobase"
+	"embeddedmpls/internal/label"
+)
+
+// ILMKind selects the lookup structure behind the forwarder's incoming
+// label map. The default Go map is the RFC 3031 software forwarder the
+// paper argues against; the two information-base kinds run the ILM
+// through the paper's central store instead, so the same forwarder can
+// reproduce the linear search's occupancy-dependent cost or demonstrate
+// the indexed fast path that keeps it flat.
+type ILMKind int
+
+const (
+	// ILMMap is a plain Go map (the original forwarder, default).
+	ILMMap ILMKind = iota
+	// ILMLinear backs the ILM with infobase.New() — the paper's
+	// first-match linear scan, whose per-packet cost grows with table
+	// occupancy exactly like the 3n+5 hardware search.
+	ILMLinear
+	// ILMIndexed backs the ILM with infobase.New(WithIndex(true)) — the
+	// O(1) hash-indexed store, flat lookup cost at any occupancy.
+	ILMIndexed
+)
+
+// String names the kind, matching the -infobase flag values of the
+// benchmark commands.
+func (k ILMKind) String() string {
+	switch k {
+	case ILMMap:
+		return "map"
+	case ILMLinear:
+		return "linear"
+	case ILMIndexed:
+		return "indexed"
+	default:
+		return "ilm(?)"
+	}
+}
+
+// Option configures a Forwarder built by NewWith.
+type Option func(*fwdConfig)
+
+type fwdConfig struct {
+	ilm ILMKind
+}
+
+// WithILM selects the ILM backend.
+func WithILM(kind ILMKind) Option {
+	return func(c *fwdConfig) { c.ilm = kind }
+}
+
+// ilmTable is the incoming label map contract: exact-match label
+// bindings with replace-on-insert semantics, cloneable for RCU
+// snapshots.
+type ilmTable interface {
+	insert(in label.Label, n NHLFE) error
+	remove(in label.Label)
+	lookup(in label.Label) (NHLFE, bool)
+	size() int
+	clone() ilmTable
+	kind() ILMKind
+}
+
+func newILMTable(kind ILMKind) ilmTable {
+	switch kind {
+	case ILMLinear, ILMIndexed:
+		return newIBILM(kind)
+	default:
+		return make(mapILM)
+	}
+}
+
+// mapILM is the original map-backed ILM.
+type mapILM map[label.Label]NHLFE
+
+func (m mapILM) insert(in label.Label, n NHLFE) error { m[in] = n; return nil }
+func (m mapILM) remove(in label.Label)                { delete(m, in) }
+func (m mapILM) lookup(in label.Label) (NHLFE, bool)  { n, ok := m[in]; return n, ok }
+func (m mapILM) size() int                            { return len(m) }
+func (m mapILM) kind() ILMKind                        { return ILMMap }
+
+func (m mapILM) clone() ilmTable {
+	c := make(mapILM, len(m))
+	for in, n := range m {
+		c[in] = n
+	}
+	return c
+}
+
+// ibILM routes ILM lookups through an information base: the store
+// answers presence (and carries the search cost of its kind), while the
+// full NHLFE — next hop, multi-label pushes, CoS — lives in a side map,
+// the same split as the embedded device's software next-hop tables. The
+// forwarder's ILM is depth-independent, so a single level (level 2)
+// holds every binding; capacity is the paper's 1024 entries per level,
+// and MapLabel surfaces ErrLevelFull beyond it.
+type ibILM struct {
+	k    ILMKind
+	base infobase.Store
+	meta map[label.Label]NHLFE
+}
+
+func newIBILM(kind ILMKind) *ibILM {
+	return &ibILM{
+		k:    kind,
+		base: infobase.New(infobase.WithIndex(kind == ILMIndexed)),
+		meta: make(map[label.Label]NHLFE),
+	}
+}
+
+// insert replaces any existing binding for in: the stale pair is
+// removed first so a first-match store cannot shadow the new one
+// (the same care device.InstallFEC takes for make-before-break).
+func (t *ibILM) insert(in label.Label, n NHLFE) error {
+	key := infobase.Key(in)
+	if _, exists := t.meta[in]; exists {
+		t.base.Remove(infobase.Level2, key)
+	}
+	var out label.Label
+	if len(n.PushLabels) > 0 {
+		out = n.PushLabels[0]
+	}
+	if err := t.base.Write(infobase.Level2, infobase.Pair{Index: key, NewLabel: out, Op: n.Op}); err != nil {
+		return err
+	}
+	t.meta[in] = n
+	return nil
+}
+
+func (t *ibILM) remove(in label.Label) {
+	t.base.Remove(infobase.Level2, infobase.Key(in))
+	delete(t.meta, in)
+}
+
+func (t *ibILM) lookup(in label.Label) (NHLFE, bool) {
+	if _, _, ok := t.base.Lookup(infobase.Level2, infobase.Key(in)); !ok {
+		return NHLFE{}, false
+	}
+	return t.meta[in], true
+}
+
+func (t *ibILM) size() int     { return len(t.meta) }
+func (t *ibILM) kind() ILMKind { return t.k }
+
+// clone rebuilds a fresh store of the same kind. Insert order does not
+// matter: insert never leaves duplicate keys, so first-match order is
+// irrelevant across a rebuild.
+func (t *ibILM) clone() ilmTable {
+	c := newIBILM(t.k)
+	for in, n := range t.meta {
+		// Writes cannot fail here: every binding fitted the original
+		// store, and the clone has the same capacity.
+		_ = c.insert(in, n)
+	}
+	return c
+}

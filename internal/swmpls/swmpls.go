@@ -159,31 +159,44 @@ type Result struct {
 // Forwarder is one router's software MPLS tables.
 type Forwarder struct {
 	ftn *prefixTable
-	ilm map[label.Label]NHLFE
+	ilm ilmTable
 	// drops, when set, receives one count per dropped packet. The
 	// pointer survives Clone so every RCU snapshot of a table feeds
 	// the same counters.
 	drops *telemetry.DropCounters
+	// trace, when set, records one label-op or discard event per
+	// Forward call, attributed to node. Like drops it survives Clone.
+	trace *telemetry.Ring
+	node  string
 }
 
-// New returns an empty forwarder.
-func New() *Forwarder {
-	return &Forwarder{ftn: newPrefixTable(), ilm: make(map[label.Label]NHLFE)}
-}
+// New returns an empty forwarder with the default map-backed ILM.
+func New() *Forwarder { return NewWith() }
 
-// Clone returns an independent copy of the forwarder's tables. NHLFE
-// values (including their PushLabels slices) are treated as immutable
-// after installation, so clones share them; everything mutable — the ILM
-// map and the FTN trie nodes — is copied. This is the copy-on-write
-// primitive behind the dataplane engine's RCU table snapshots: the
-// control plane clones the live table, edits the clone, and publishes it
-// atomically while readers keep traversing the old one.
-func (f *Forwarder) Clone() *Forwarder {
-	ilm := make(map[label.Label]NHLFE, len(f.ilm))
-	for in, n := range f.ilm {
-		ilm[in] = n
+// NewWith returns an empty forwarder configured by options — most
+// usefully WithILM, which swaps the ILM's lookup structure between the
+// plain map, the paper's linear information base, and the indexed one.
+func NewWith(opts ...Option) *Forwarder {
+	var cfg fwdConfig
+	for _, opt := range opts {
+		opt(&cfg)
 	}
-	return &Forwarder{ftn: f.ftn.clone(), ilm: ilm, drops: f.drops}
+	return &Forwarder{ftn: newPrefixTable(), ilm: newILMTable(cfg.ilm)}
+}
+
+// ILMKind reports which lookup structure backs the ILM.
+func (f *Forwarder) ILMKind() ILMKind { return f.ilm.kind() }
+
+// Clone returns an independent copy of the forwarder's tables, keeping
+// the ILM backend kind. NHLFE values (including their PushLabels
+// slices) are treated as immutable after installation, so clones share
+// them; everything mutable — the ILM and the FTN trie nodes — is
+// copied. This is the copy-on-write primitive behind the dataplane
+// engine's RCU table snapshots: the control plane clones the live
+// table, edits the clone, and publishes it atomically while readers
+// keep traversing the old one.
+func (f *Forwarder) Clone() *Forwarder {
+	return &Forwarder{ftn: f.ftn.clone(), ilm: f.ilm.clone(), drops: f.drops, trace: f.trace, node: f.node}
 }
 
 // SetDropCounters attaches shared drop accounting: every Drop result
@@ -192,6 +205,15 @@ func (f *Forwarder) SetDropCounters(c *telemetry.DropCounters) { f.drops = c }
 
 // DropCounters returns the attached counters, or nil.
 func (f *Forwarder) DropCounters() *telemetry.DropCounters { return f.drops }
+
+// SetTelemetry attaches the full sink — drop counters plus per-packet
+// trace — in one call, the hook every plane.Plane implementation
+// shares. Zero-value fields detach the corresponding hook.
+func (f *Forwarder) SetTelemetry(s telemetry.Sink) {
+	f.drops = s.Drops
+	f.trace = s.Trace
+	f.node = s.Node
+}
 
 // drop builds a Drop result and feeds the attached counters.
 func (f *Forwarder) drop(d DropReason) Result {
@@ -225,12 +247,11 @@ func (f *Forwarder) MapLabel(in label.Label, n NHLFE) error {
 	if in.Reserved() {
 		return fmt.Errorf("swmpls: cannot map reserved label %d", in)
 	}
-	f.ilm[in] = n
-	return nil
+	return f.ilm.insert(in, n)
 }
 
 // UnmapLabel removes an ILM binding.
-func (f *Forwarder) UnmapLabel(in label.Label) { delete(f.ilm, in) }
+func (f *Forwarder) UnmapLabel(in label.Label) { f.ilm.remove(in) }
 
 // UnmapFEC removes an FTN binding and reports whether one existed.
 func (f *Forwarder) UnmapFEC(dst packet.Addr, prefixLen int) bool {
@@ -257,13 +278,12 @@ func (f *Forwarder) RemoveILM(in label.Label) { f.UnmapLabel(in) }
 func (f *Forwarder) RemoveFEC(dst packet.Addr, prefixLen int) { f.UnmapFEC(dst, prefixLen) }
 
 // ILMSize returns the number of installed label bindings.
-func (f *Forwarder) ILMSize() int { return len(f.ilm) }
+func (f *Forwarder) ILMSize() int { return f.ilm.size() }
 
 // LookupILM returns the binding for an incoming label, if any — the bare
 // per-hop lookup, exposed for data-plane cost comparisons.
 func (f *Forwarder) LookupILM(in label.Label) (NHLFE, bool) {
-	n, ok := f.ilm[in]
-	return n, ok
+	return f.ilm.lookup(in)
 }
 
 // Forward applies the router's tables to p in place and says what to do
@@ -272,18 +292,96 @@ func (f *Forwarder) LookupILM(in label.Label) (NHLFE, bool) {
 // zero; at ingress the label TTL is seeded from the IP TTL; at the final
 // pop the (already decremented) label TTL is written back to the IP
 // header.
+//
+// Forward is exactly Resolve followed by ApplyResolved (or
+// DropUnresolved on a miss) — the split a caching fast path uses to
+// skip the lookup while keeping the apply and drop paths identical.
 func (f *Forwarder) Forward(p *packet.Packet) Result {
-	if !p.Labelled() {
-		return f.ingress(p)
+	var depth uint8
+	var top uint32
+	if f.trace != nil {
+		depth, top = stackState(p)
 	}
-	return f.transit(p)
+	n, ok := f.Resolve(p)
+	var res Result
+	if !ok {
+		res = f.DropUnresolved(p)
+	} else {
+		res = f.ApplyResolved(p, n)
+	}
+	if f.trace != nil {
+		f.traceResult(depth, top, res)
+	}
+	return res
 }
 
-func (f *Forwarder) ingress(p *packet.Packet) Result {
-	n, ok := f.ftn.lookup(p.Header.Dst)
-	if !ok {
-		return f.drop(DropNoRoute)
+// ProcessPacket is Forward under the unified plane contract
+// (plane.Plane): one forwarding step on the caller's goroutine.
+func (f *Forwarder) ProcessPacket(p *packet.Packet) Result { return f.Forward(p) }
+
+// Resolve answers the table lookup for p without touching the packet:
+// the ILM binding of the top label for labelled packets, the FTN
+// longest-prefix match on the destination otherwise. ok is false on a
+// miss (or an unreadable stack).
+func (f *Forwarder) Resolve(p *packet.Packet) (NHLFE, bool) {
+	if p.Labelled() {
+		top, err := p.Stack.Top()
+		if err != nil {
+			return NHLFE{}, false
+		}
+		return f.ilm.lookup(top.Label)
 	}
+	return f.ftn.lookup(p.Header.Dst)
+}
+
+// DropUnresolved accounts and classifies the drop for a packet Resolve
+// could not answer: an ILM miss is no-label, an FTN miss no-route.
+func (f *Forwarder) DropUnresolved(p *packet.Packet) Result {
+	if p.Labelled() {
+		return f.drop(DropNoLabel)
+	}
+	return f.drop(DropNoRoute)
+}
+
+// ApplyResolved applies an already-resolved NHLFE to p — the mutation
+// half of Forward. The caller must pass the entry Resolve (or an
+// equivalent cache) returned for this packet's current top label /
+// destination; TTL handling, CoS stamping and drop accounting are
+// identical to Forward's.
+func (f *Forwarder) ApplyResolved(p *packet.Packet, n NHLFE) Result {
+	if !p.Labelled() {
+		return f.ingressApply(p, n)
+	}
+	return f.transitApply(p, n)
+}
+
+// stackState captures the incoming stack depth and top label for trace
+// attribution, before Forward mutates the packet.
+func stackState(p *packet.Packet) (uint8, uint32) {
+	if p.Stack == nil || p.Stack.Empty() {
+		return 0, 0
+	}
+	var top uint32
+	if e, err := p.Stack.Top(); err == nil {
+		top = uint32(e.Label)
+	}
+	return uint8(p.Stack.Depth()), top
+}
+
+// traceResult records the outcome against the incoming stack state.
+func (f *Forwarder) traceResult(depth uint8, top uint32, res Result) {
+	if res.Action == Drop {
+		if r, ok := res.Drop.Telemetry(); ok {
+			f.trace.RecordDiscard(f.node, depth, top, r)
+		}
+		return
+	}
+	if res.Op != label.OpNone {
+		f.trace.RecordOp(f.node, telemetry.TraceOp(res.Op), depth, top)
+	}
+}
+
+func (f *Forwarder) ingressApply(p *packet.Packet, n NHLFE) Result {
 	ttl := p.Header.TTL
 	if ttl > 0 {
 		ttl--
@@ -299,15 +397,7 @@ func (f *Forwarder) ingress(p *packet.Packet) Result {
 	return Result{Action: Forward, NextHop: n.NextHop, Op: label.OpPush}
 }
 
-func (f *Forwarder) transit(p *packet.Packet) Result {
-	top, err := p.Stack.Top()
-	if err != nil {
-		return f.drop(DropNoLabel)
-	}
-	n, ok := f.ilm[top.Label]
-	if !ok {
-		return f.drop(DropNoLabel)
-	}
+func (f *Forwarder) transitApply(p *packet.Packet, n NHLFE) Result {
 	old, _ := p.Stack.Pop()
 	ttl := old.TTL
 	if ttl > 0 {

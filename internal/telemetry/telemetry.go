@@ -140,3 +140,16 @@ func (c *DropCounters) String() string {
 	}
 	return s + "}"
 }
+
+// Sink bundles the observability hooks a forwarding engine accepts: the
+// per-reason drop counters to feed and the trace ring to record label
+// operations in, under the given node name. It is the single argument
+// of the unified Plane API's SetTelemetry, replacing the parallel
+// SetDropCounters/SetTrace method pairs that every engine used to grow
+// separately. Nil fields disable the corresponding hook; the zero Sink
+// detaches everything.
+type Sink struct {
+	Drops *DropCounters
+	Trace *Ring
+	Node  string
+}
