@@ -1,15 +1,19 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test bench bench-dataplane bench-lookup reproduce race cover metrics chaos examples clean
+.PHONY: all build test bench bench-dataplane bench-lookup bench-transport reproduce race cover metrics chaos examples clean
 
 all: build test
 
 build:
 	go build ./...
 
+# The fuzz smoke keeps the wire decoder honest on every run: ten
+# seconds of random datagrams must never panic the codec.
 test:
 	go vet ./...
 	go test ./...
+	go test -run=^$$ -fuzz=FuzzWireDecode -fuzztime=10s ./internal/transport
+	go test -run=^$$ -fuzz=FuzzWireRoundTrip -fuzztime=10s ./internal/transport
 
 bench:
 	go test -bench=. -benchmem ./...
@@ -25,6 +29,12 @@ bench-dataplane:
 bench-lookup:
 	go run ./cmd/mplsbench -engine=lookup -batch=32 -json
 
+# The wire transport: codec ns/op with the zero-allocation guarantee,
+# sustained loopback-UDP pps against the in-memory codec pipeline, and
+# a receive batch-size sweep, written to BENCH_transport.json.
+bench-transport:
+	go run ./cmd/mplsbench -engine=transport -json
+
 reproduce:
 	go run ./cmd/reproduce -out results
 
@@ -33,11 +43,14 @@ reproduce:
 # the repo-wide pass. The fault-injection and resilience packages ride
 # along: their chaos scenarios must stay race-clean too, as must the
 # batched flow-cache path and the infobase stores' atomic publication
-# (concurrent lookups during writes).
+# (concurrent lookups during writes). The transport package lives on
+# socket goroutines end to end, so it gets the same treatment, plus the
+# teardown-under-load and distributed-delivery regressions.
 race:
 	go test -race ./...
-	go test -race -count=2 ./internal/dataplane ./internal/faults ./internal/resilience
+	go test -race -count=2 ./internal/dataplane ./internal/faults ./internal/resilience ./internal/transport
 	go test -race -count=2 -run 'FlowCache|Concurrent|Telemetry' ./internal/dataplane ./internal/infobase ./internal/swmpls
+	go test -race -count=2 -run 'Close|Distributed' ./internal/router ./internal/integration
 
 # Seeded chaos runs with the self-healing layer on: each seed injects a
 # different fault schedule, and mplssim exits nonzero if traffic has not
@@ -54,7 +67,7 @@ cover:
 	go tool cover -func=coverage.out | tail -1
 
 examples:
-	@for ex in quickstart figure1 tunnel voipqos hwsw signaling mmio dataplane; do \
+	@for ex in quickstart figure1 tunnel voipqos hwsw signaling mmio dataplane distributed; do \
 		echo "== $$ex =="; go run ./examples/$$ex; echo; done
 
 # Run the metrics workload: forces every drop reason, prints the

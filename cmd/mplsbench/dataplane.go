@@ -107,12 +107,12 @@ func dpRun(w *dpWorkload, workers, batch int, kind swmpls.ILMKind) (dpResult, er
 		batch = dpBatch
 	}
 	w.arm()
-	e := dataplane.New(dataplane.Config{
-		Workers:  workers,
-		QueueCap: dpQueueCap,
-		Batch:    batch,
-		NewTable: func() *swmpls.Forwarder { return swmpls.NewWith(swmpls.WithILM(kind)) },
-	})
+	e := dataplane.New(
+		dataplane.WithWorkers(workers),
+		dataplane.WithQueueCap(dpQueueCap),
+		dataplane.WithBatch(batch),
+		dataplane.WithNewTable(func() *swmpls.Forwarder { return swmpls.New(swmpls.WithILM(kind)) }),
+	)
 	if err := installDPTable(e); err != nil {
 		return dpResult{}, err
 	}

@@ -62,7 +62,7 @@ func parseILMKind(name string) (swmpls.ILMKind, error) {
 // labels, then forward the worst-case flow — the last-installed label,
 // which the linear scan only reaches after walking the whole table.
 func lookupNs(kind swmpls.ILMKind, entries int) (float64, error) {
-	f := swmpls.NewWith(swmpls.WithILM(kind))
+	f := swmpls.New(swmpls.WithILM(kind))
 	for i := 0; i < entries; i++ {
 		err := f.MapLabel(label.Label(16+i), swmpls.NHLFE{
 			NextHop:    "peer",

@@ -40,7 +40,7 @@ func main() {
 	sweep := flag.Bool("sweep", false, "sweep search cost vs table size, hardware vs software")
 	cam := flag.Bool("cam", false, "compare the linear search against the CAM ablation on the RTL model")
 	resources := flag.Bool("resources", false, "estimate the FPGA resource footprint")
-	engine := flag.String("engine", "lsm", "benchmark target: lsm (paper tables), dataplane (concurrent engine) or lookup (ILM fast path)")
+	engine := flag.String("engine", "lsm", "benchmark target: lsm (paper tables), dataplane (concurrent engine), lookup (ILM fast path) or transport (wire codec + loopback UDP)")
 	workers := flag.Int("workers", 4, "dataplane engine: maximum shard workers to sweep to")
 	packets := flag.Int("packets", 200000, "dataplane/lookup engines: packets per run")
 	batch := flag.Int("batch", 0, "dataplane engine: per-worker batch size (0: default); lookup engine: the large batch of the 1-vs-N comparison (default 32)")
@@ -64,6 +64,16 @@ func main() {
 			path = "BENCH_lookup.json"
 		}
 		if err := runLookup(kinds, batchKind, *batch, *packets, path); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *engine == "transport" {
+		path := ""
+		if *jsonOut {
+			path = "BENCH_transport.json"
+		}
+		if err := runTransport(*packets, path); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -100,7 +110,7 @@ func main() {
 		log.Fatal("-metrics requires -engine=dataplane")
 	}
 	if *engine != "lsm" {
-		log.Fatalf("unknown -engine %q (want lsm, dataplane or lookup)", *engine)
+		log.Fatalf("unknown -engine %q (want lsm, dataplane, lookup or transport)", *engine)
 	}
 	if !*table6 && !*worst && !*sweep && !*cam && !*resources {
 		*table6, *worst, *sweep, *cam, *resources = true, true, true, true, true

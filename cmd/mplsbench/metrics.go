@@ -25,12 +25,13 @@ import (
 // exposition is also written to that file.
 func runDataplaneMetrics(promPath string) error {
 	trace := telemetry.NewRing(32)
-	e := dataplane.New(dataplane.Config{
-		Workers: 2, QueueCap: 32, Batch: 8, Node: "bench-lsr", Trace: trace,
+	e := dataplane.New(
+		dataplane.WithWorkers(2), dataplane.WithQueueCap(32), dataplane.WithBatch(8),
+		dataplane.WithNode("bench-lsr"), dataplane.WithTrace(trace),
 		// A deliberately slow sink so non-blocking submits can outrun
 		// the workers and overflow the shard queues.
-		Deliver: func(*packet.Packet, swmpls.Result) { time.Sleep(5 * time.Microsecond) },
-	})
+		dataplane.WithDeliver(func(*packet.Packet, swmpls.Result) { time.Sleep(5 * time.Microsecond) }),
+	)
 	if err := e.Update(func(f *swmpls.Forwarder) error {
 		if err := f.InstallILM(100, swmpls.NHLFE{
 			NextHop: "peer", Op: label.OpSwap, PushLabels: []label.Label{200},

@@ -22,13 +22,21 @@ import (
 // timeline and the fault/recovery counters, then verifies convergence:
 // traffic must be flowing again at the end of the run with no repair
 // retries exhausted. With heal set, non-convergence exits nonzero so a
-// chaos run can gate CI.
-func runChaos(seed int64, heal, hardware bool, duration, rate float64) {
+// chaos run can gate CI. With transportUDP the diamond's links are
+// loopback UDP sockets instead of simulated queues: the same fault
+// schedule then plays out on real datagrams — corruption windows
+// surface as wire-decode drops at the receiving socket — and the run
+// advances in wall-clock time via RunReal.
+func runChaos(seed int64, heal, hardware, transportUDP bool, duration, rate float64) {
+	linkKind := router.TransportSim
+	if transportUDP {
+		linkKind = router.TransportUDP
+	}
 	nodes := []router.NodeSpec{
-		{Name: "a", Hardware: hardware, RouterType: lsm.LER},
-		{Name: "b", Hardware: hardware, RouterType: lsm.LSR},
-		{Name: "c", Hardware: hardware, RouterType: lsm.LSR},
-		{Name: "d", Hardware: hardware, RouterType: lsm.LER},
+		{Name: "a", Hardware: hardware, RouterType: lsm.LER, Transport: linkKind},
+		{Name: "b", Hardware: hardware, RouterType: lsm.LSR, Transport: linkKind},
+		{Name: "c", Hardware: hardware, RouterType: lsm.LSR, Transport: linkKind},
+		{Name: "d", Hardware: hardware, RouterType: lsm.LER, Transport: linkKind},
 	}
 	links := []router.LinkSpec{
 		{A: "a", B: "b", RateBPS: rate, Delay: 0.001, Metric: 1},
@@ -38,6 +46,7 @@ func runChaos(seed int64, heal, hardware bool, duration, rate float64) {
 	}
 	net, err := buildNet(nodes, links)
 	check(err)
+	defer net.Close()
 	attachTelemetry(net)
 	dst := packet.AddrFrom(10, 0, 0, 9)
 	_, err = net.LDP.SetupLSP(ldp.SetupRequest{
@@ -97,7 +106,13 @@ func runChaos(seed int64, heal, hardware bool, duration, rate float64) {
 	trafficgen.CBR{Flow: trafficgen.Flow{ID: 1, Dst: dst}, Size: 512, Interval: 0.001, Stop: duration}.
 		Install(net.Sim, net.Router("a"), c)
 
-	net.Sim.Run()
+	if transportUDP {
+		// Real sockets: pump virtual time against the wall clock, with
+		// some slack after the last send for in-flight datagrams.
+		net.RunReal(duration + 0.2)
+	} else {
+		net.Sim.Run()
+	}
 
 	fmt.Println("\nrecovery timeline:")
 	if timeline.Len() == 0 {
@@ -117,6 +132,9 @@ func runChaos(seed int64, heal, hardware bool, duration, rate float64) {
 	// time) and no repair gave up.
 	converged := lastDelivery > duration-0.05 && events.Get(telemetry.EventRetryExhausted) == 0
 	fmt.Printf("converged: %v (last delivery t=%.3fs of %.3fs)\n", converged, lastDelivery, duration)
+	if transportUDP {
+		fmt.Printf("transport: %v\n", net.Wire)
+	}
 	if heal && !converged {
 		fmt.Println("chaos: FAILED to converge")
 		os.Exit(1)

@@ -64,10 +64,7 @@ func buildNet(nodes []router.NodeSpec, links []router.LinkSpec) (*router.Network
 // the label-operation ring — onto every router of a freshly built
 // network.
 func attachTelemetry(net *router.Network) {
-	net.SetDropCounters(&traceDrops)
-	if traceRing != nil {
-		net.SetTrace(traceRing)
-	}
+	net.SetTelemetry(telemetry.Sink{Drops: &traceDrops, Trace: traceRing})
 }
 
 // dumpTelemetry prints the trace ring and any nonzero per-reason drop
@@ -98,6 +95,7 @@ func main() {
 	traceN := flag.Int("trace", 0, "record the last N label operations across all routers and dump them after the run")
 	chaosSeed := flag.Int64("chaos", -1, "run the chaos scenario with this fault-schedule seed (>= 0)")
 	heal := flag.Bool("heal", false, "enable the self-healing resilience layer in the chaos scenario")
+	chaosTransport := flag.Bool("transport", false, "back the chaos topology with loopback UDP links (real sockets, wall-clock run)")
 	flag.StringVar(&infoBaseFlag, "infobase", "", "ILM backend of software-plane routers: map (default), linear or indexed")
 	flag.Parse()
 
@@ -111,7 +109,7 @@ func main() {
 	}
 	hardware := *plane == "hw"
 	if *chaosSeed >= 0 {
-		runChaos(*chaosSeed, *heal, hardware, *duration, *rate)
+		runChaos(*chaosSeed, *heal, hardware, *chaosTransport, *duration, *rate)
 		dumpTelemetry()
 		return
 	}
@@ -189,7 +187,7 @@ func runFailover(hardware bool, duration, rate float64) {
 	fmt.Printf("failover scenario (%s plane): %.0f ms outage window\n",
 		planeName(hardware), (repairAt-failAt)*1e3)
 	report(c, duration)
-	lab, _ := net.Router("a").Link("b")
+	lab, _ := net.Router("a").SimLink("b")
 	fmt.Printf("packets lost on the failed link: %d\n", lab.Lost.Events)
 
 	// Goodput over time shows the dip and recovery.
@@ -304,7 +302,7 @@ func runTunnel(hardware bool, duration, rate float64) {
 
 	fmt.Printf("tunnel scenario (%s plane): two flows aggregated head->mid->tail\n", planeName(hardware))
 	report(c, duration)
-	l, _ := net.Router("head").Link("mid")
+	l, _ := net.Router("head").SimLink("mid")
 	fmt.Printf("tunnel link head->mid carried %d packets\n", l.Delivered.Events)
 }
 

@@ -102,11 +102,11 @@ type node struct {
 }
 
 func newNode(name string, deliver func(*packet.Packet, swmpls.Result)) *node {
-	return &node{name: name, eng: dataplane.New(dataplane.Config{
-		Workers: workers,
-		Node:    name,
-		Deliver: deliver,
-	})}
+	return &node{name: name, eng: dataplane.New(
+		dataplane.WithWorkers(workers),
+		dataplane.WithNode(name),
+		dataplane.WithDeliver(deliver),
+	)}
 }
 
 // handoff forwards one node's output into the next node's queues,

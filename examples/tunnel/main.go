@@ -88,7 +88,7 @@ func main() {
 	}
 	fmt.Println()
 	// The shared head->mid link carried both flows with stacked labels.
-	l, _ := net.Router("head").Link("mid")
+	l, _ := net.Router("head").SimLink("mid")
 	fmt.Printf("aggregated tunnel link head->mid: %d packets, %.1f%% utilised\n",
 		l.Delivered.Events, 100*l.Utilisation())
 	for _, name := range []string{"ler1", "head", "mid", "tail", "ler3"} {

@@ -21,6 +21,7 @@ import (
 	"embeddedmpls/internal/router"
 	"embeddedmpls/internal/te"
 	"embeddedmpls/internal/trafficgen"
+	"embeddedmpls/internal/transport"
 )
 
 // Scenario is the root of a scenario file.
@@ -33,6 +34,21 @@ type Scenario struct {
 	Flows   []Flow   `json:"flows,omitempty"`
 	// DurationS bounds the traffic generators ("stop" defaults to it).
 	DurationS float64 `json:"duration_s"`
+	// Transport, when present, maps node names to UDP listen addresses
+	// for distributed operation: each cmd/mplsnode process builds this
+	// same scenario, runs the one router named by its -node flag, and
+	// exchanges labeled packets with its neighbours over these sockets.
+	Transport *TransportSection `json:"transport,omitempty"`
+}
+
+// TransportSection declares the inter-process wiring of a scenario.
+type TransportSection struct {
+	// Kind is the transport; "udp" is the only kind (and the default).
+	Kind string `json:"kind,omitempty"`
+	// Nodes maps every node name to its UDP listen address
+	// (host:port). All of a node's neighbours must be listed so its
+	// process knows where to dial.
+	Nodes map[string]string `json:"nodes"`
 }
 
 // Node declares one router.
@@ -54,6 +70,10 @@ type Link struct {
 	Queue    string  `json:"queue,omitempty"`
 	QueueCap int     `json:"queue_cap,omitempty"`
 	Metric   float64 `json:"metric,omitempty"`
+	// Transport selects the in-process link kind: "" or "sim" for a
+	// simulated link, "udp" for loopback UDP sockets. (Inter-process
+	// wiring uses the scenario-level transport section instead.)
+	Transport string `json:"transport,omitempty"`
 }
 
 // Tunnel declares a hierarchical LSP.
@@ -150,6 +170,26 @@ func (s *Scenario) validate() error {
 		default:
 			return fmt.Errorf("%w: link %d queue %q", ErrValidation, i, l.Queue)
 		}
+		switch l.Transport {
+		case "", router.TransportSim, router.TransportUDP:
+		default:
+			return fmt.Errorf("%w: link %d transport %q", ErrValidation, i, l.Transport)
+		}
+	}
+	if t := s.Transport; t != nil {
+		switch t.Kind {
+		case "", "udp":
+		default:
+			return fmt.Errorf("%w: transport kind %q (only udp)", ErrValidation, t.Kind)
+		}
+		for name, addr := range t.Nodes {
+			if !names[name] {
+				return fmt.Errorf("%w: transport lists unknown node %q", ErrValidation, name)
+			}
+			if addr == "" {
+				return fmt.Errorf("%w: transport node %q has no address", ErrValidation, name)
+			}
+		}
 	}
 	for _, l := range s.LSPs {
 		if l.ID == "" || l.Dst == "" {
@@ -202,11 +242,18 @@ type Built struct {
 	Collector *trafficgen.Collector
 	// Egresses lists the routers where flows terminate.
 	Egresses []string
+	// LocalNode is set by BuildNode: the one router this process runs.
+	LocalNode string
 }
 
 // Build constructs the network, establishes tunnels and LSPs, installs
 // the traffic generators and wires collectors at every LSP egress.
-func (s *Scenario) Build() (*Built, error) {
+func (s *Scenario) Build() (*Built, error) { return s.build("") }
+
+// build does the construction; with local set, traffic generators are
+// installed only for flows originating at that node (the others belong
+// to their own processes).
+func (s *Scenario) build(local string) (*Built, error) {
 	var nodes []router.NodeSpec
 	for _, n := range s.Nodes {
 		rt := lsm.LER
@@ -223,10 +270,11 @@ func (s *Scenario) Build() (*Built, error) {
 	for _, l := range s.Links {
 		spec := router.LinkSpec{
 			A: l.A, B: l.B,
-			RateBPS:  l.RateMbps * 1e6,
-			Delay:    l.DelayMs / 1e3,
-			QueueCap: l.QueueCap,
-			Metric:   l.Metric,
+			RateBPS:   l.RateMbps * 1e6,
+			Delay:     l.DelayMs / 1e3,
+			QueueCap:  l.QueueCap,
+			Metric:    l.Metric,
+			Transport: l.Transport,
 		}
 		switch l.Queue {
 		case "priority":
@@ -289,6 +337,9 @@ func (s *Scenario) Build() (*Built, error) {
 	}
 
 	for _, f := range s.Flows {
+		if local != "" && f.From != local {
+			continue
+		}
 		gen, err := s.generator(f)
 		if err != nil {
 			return nil, err
@@ -296,6 +347,64 @@ func (s *Scenario) Build() (*Built, error) {
 		gen.Install(net.Sim, net.Router(f.From), collector)
 	}
 	return &Built{Scenario: s, Net: net, Collector: collector, Egresses: egresses}, nil
+}
+
+// BuildNode constructs the scenario for one process of a distributed
+// run: the full topology is built in-process — identical construction
+// order on every process, so LDP's label allocation agrees everywhere —
+// and then the named router's links are replaced with UDP transport
+// links dialled to the neighbours' addresses from the transport
+// section, plus one listening socket for arrivals. Only flows
+// originating at the node are installed; the rest of the topology stays
+// as an inert ghost that never sees a packet. Drive the result with
+// Net.RunReal, and Close the network when done.
+func (s *Scenario) BuildNode(name string) (*Built, error) {
+	if s.Transport == nil {
+		return nil, fmt.Errorf("%w: scenario has no transport section", ErrValidation)
+	}
+	laddr, ok := s.Transport.Nodes[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: transport section has no address for node %q", ErrValidation, name)
+	}
+	b, err := s.build(name)
+	if err != nil {
+		return nil, err
+	}
+	// The datagram's source-node id indexes the scenario's node order —
+	// the same table in every process.
+	names := make([]string, len(s.Nodes))
+	ids := make(map[string]transport.NodeID, len(s.Nodes))
+	for i, n := range s.Nodes {
+		names[i] = n.Name
+		ids[n.Name] = transport.NodeID(i)
+	}
+	base := b.Net.TransportOptions()
+	rcv, err := transport.Listen(laddr, b.Net.DeliverTo(name),
+		append(append([]transport.Option{}, base...), transport.WithNames(names))...)
+	if err != nil {
+		b.Net.Close()
+		return nil, fmt.Errorf("config: node %s: %w", name, err)
+	}
+	b.Net.Manage(rcv)
+	local := b.Net.Router(name)
+	for _, w := range local.Links() {
+		nb := w.To()
+		raddr, ok := s.Transport.Nodes[nb]
+		if !ok {
+			b.Net.Close()
+			return nil, fmt.Errorf("%w: transport section has no address for neighbour %q of %q", ErrValidation, nb, name)
+		}
+		l, err := transport.Dial(name, nb, raddr,
+			append(append([]transport.Option{}, base...), transport.WithSource(ids[name]))...)
+		if err != nil {
+			b.Net.Close()
+			return nil, fmt.Errorf("config: node %s: %w", name, err)
+		}
+		local.AttachLink(l)
+		b.Net.Manage(l)
+	}
+	b.LocalNode = name
+	return b, nil
 }
 
 func (s *Scenario) generator(f Flow) (trafficgen.Generator, error) {

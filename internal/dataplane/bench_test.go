@@ -11,7 +11,7 @@ import (
 // BenchmarkProcessInline measures the lock-free per-packet fast path: an
 // atomic table load plus one ILM swap.
 func BenchmarkProcessInline(b *testing.B) {
-	e := New(Config{Workers: 1})
+	e := New(WithWorkers(1))
 	defer e.Close()
 	if err := e.InstallILM(100, swapNHLFE(200, "b")); err != nil {
 		b.Fatal(err)
@@ -34,11 +34,11 @@ func BenchmarkProcessInline(b *testing.B) {
 func BenchmarkEngineThroughput(b *testing.B) {
 	pool := make(chan *packet.Packet, 4096)
 	entry := label.Entry{Label: 100, TTL: 64}
-	e := New(Config{Deliver: func(p *packet.Packet, res swmpls.Result) {
+	e := New(WithDeliver(func(p *packet.Packet, res swmpls.Result) {
 		p.Stack.Reset()
 		_ = p.Stack.Push(entry)
 		pool <- p
-	}})
+	}))
 	if err := e.InstallILM(100, swapNHLFE(200, "b")); err != nil {
 		b.Fatal(err)
 	}

@@ -50,47 +50,6 @@ const (
 	CoSAware
 )
 
-// Config parameterises an Engine.
-type Config struct {
-	// Workers is the number of shard workers. <=0 selects
-	// runtime.NumCPU().
-	Workers int
-	// QueueCap bounds each shard's ingress queue in packets. <=0 means
-	// 1024. Under CoSAware the capacity is split evenly across the eight
-	// classes.
-	QueueCap int
-	// Batch is the maximum number of packets a worker drains per queue
-	// visit. <=0 means 64. Larger batches amortise synchronisation;
-	// smaller ones bound added latency.
-	Batch int
-	// Policy is the queue admission policy (default TailDrop).
-	Policy DropPolicy
-	// Deliver receives every processed packet and its forwarding result.
-	// It is invoked on worker goroutines — concurrently across shards,
-	// sequentially (and in per-flow order) within one — so it must be
-	// safe for concurrent use. Nil discards packets after accounting.
-	Deliver func(p *packet.Packet, res swmpls.Result)
-	// Node names this engine in telemetry (trace events, metric
-	// labels). Empty means "dataplane".
-	Node string
-	// Trace, when non-nil, receives one event per processed packet:
-	// the applied label operation, or the discard with its mapped
-	// reason. Workers write to it concurrently; the ring is safe for
-	// that.
-	Trace *telemetry.Ring
-	// NewTable, when non-nil, builds the engine's root forwarding
-	// table — the hook that selects the ILM lookup backend
-	// (swmpls.NewWith(swmpls.WithILM(...))). Clone keeps the backend,
-	// so every published snapshot inherits it. Nil means swmpls.New().
-	NewTable func() *swmpls.Forwarder
-	// DisableFlowCache turns off the per-worker flow cache. The cache
-	// memoises resolved NHLFEs per flow identity against one table
-	// snapshot and is invalidated on every publish, so it is
-	// semantically invisible; disable it only to measure the uncached
-	// path.
-	DisableFlowCache bool
-}
-
 // Engine is the concurrent forwarding engine. Create one with New, feed
 // it with Submit/SubmitWait/SubmitBatch, reprogram it at any time with
 // Update or the ldp.Installer methods, and stop it with Close.
@@ -135,43 +94,48 @@ type traceSink struct {
 	node string
 }
 
-// New starts an engine with an empty forwarding table.
-func New(cfg Config) *Engine {
-	workers := cfg.Workers
+// New starts an engine with an empty forwarding table, configured by
+// functional options (WithWorkers, WithBatch, WithDeliver, ...).
+func New(opts ...Option) *Engine {
+	var cfg config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	workers := cfg.workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	queueCap := cfg.QueueCap
+	queueCap := cfg.queueCap
 	if queueCap <= 0 {
 		queueCap = 1024
 	}
-	batch := cfg.Batch
+	batch := cfg.batch
 	if batch <= 0 {
 		batch = 64
 	}
-	node := cfg.Node
+	node := cfg.node
 	if node == "" {
 		node = "dataplane"
 	}
 	e := &Engine{
 		shards:  make([]*shard, workers),
 		batch:   batch,
-		deliver: cfg.Deliver,
+		deliver: cfg.deliver,
 		seed:    maphash.MakeSeed(),
 		node:    node,
-		noCache: cfg.DisableFlowCache,
+		noCache: cfg.disableCache,
 	}
 	drops := new(telemetry.DropCounters)
 	e.drops.Store(drops)
-	e.tsink.Store(&traceSink{ring: cfg.Trace, node: node})
+	e.tsink.Store(&traceSink{ring: cfg.trace, node: node})
 	root := swmpls.New()
-	if cfg.NewTable != nil {
-		root = cfg.NewTable()
+	if cfg.newTable != nil {
+		root = cfg.newTable()
 	}
 	root.SetDropCounters(drops)
 	e.table.Store(root)
 	for i := range e.shards {
-		e.shards[i] = newShard(cfg.Policy, queueCap, drops)
+		e.shards[i] = newShard(cfg.policy, queueCap, drops)
 	}
 	e.wg.Add(workers)
 	for i := range e.shards {

@@ -50,7 +50,7 @@ func (s *sink) deliver(p *packet.Packet, res swmpls.Result) {
 
 func TestForwardAndAccount(t *testing.T) {
 	sk := newSink()
-	e := New(Config{Workers: 4, Deliver: sk.deliver})
+	e := New(WithWorkers(4), WithDeliver(sk.deliver))
 	if err := e.Update(func(f *swmpls.Forwarder) error {
 		if err := f.InstallFEC(packet.AddrFrom(10, 0, 0, 0), 8, swmpls.NHLFE{
 			NextHop: "b", Op: label.OpPush, PushLabels: []label.Label{100},
@@ -135,11 +135,11 @@ func TestForwardAndAccount(t *testing.T) {
 func TestConcurrentChurn(t *testing.T) {
 	var mu sync.Mutex
 	hops := make(map[string]uint64)
-	e := New(Config{Workers: 4, QueueCap: 256, Deliver: func(p *packet.Packet, res swmpls.Result) {
+	e := New(WithWorkers(4), WithQueueCap(256), WithDeliver(func(p *packet.Packet, res swmpls.Result) {
 		mu.Lock()
 		hops[res.NextHop]++
 		mu.Unlock()
-	}})
+	}))
 	if err := e.InstallILM(100, swapNHLFE(200, "A")); err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +206,7 @@ func TestConcurrentChurn(t *testing.T) {
 // engine and asserts each flow's packets come out in submission order.
 func TestFlowOrderPreserved(t *testing.T) {
 	sk := newSink()
-	e := New(Config{Workers: 4, Deliver: sk.deliver})
+	e := New(WithWorkers(4), WithDeliver(sk.deliver))
 	for i := 0; i < 8; i++ {
 		if err := e.InstallILM(label.Label(16+i), swapNHLFE(label.Label(100+i), "b")); err != nil {
 			t.Fatal(err)
@@ -245,9 +245,9 @@ func TestFlowOrderPreserved(t *testing.T) {
 // offered packet is accounted for exactly once: processed or dropped at
 // admission.
 func TestTailDropAccounting(t *testing.T) {
-	e := New(Config{Workers: 1, QueueCap: 8, Batch: 4, Deliver: func(*packet.Packet, swmpls.Result) {
+	e := New(WithWorkers(1), WithQueueCap(8), WithBatch(4), WithDeliver(func(*packet.Packet, swmpls.Result) {
 		time.Sleep(20 * time.Microsecond)
-	}})
+	}))
 	if err := e.InstallILM(100, swapNHLFE(200, "b")); err != nil {
 		t.Fatal(err)
 	}
@@ -290,8 +290,8 @@ func TestCoSAwarePreferentialDrop(t *testing.T) {
 	tokens := make(chan struct{})
 	var mu sync.Mutex
 	byClass := make(map[label.CoS]uint64)
-	e := New(Config{Workers: 1, QueueCap: 64, Batch: 4, Policy: CoSAware,
-		Deliver: func(p *packet.Packet, res swmpls.Result) {
+	e := New(WithWorkers(1), WithQueueCap(64), WithBatch(4), WithPolicy(CoSAware),
+		WithDeliver(func(p *packet.Packet, res swmpls.Result) {
 			<-tokens
 			top, err := p.Stack.Top()
 			if err != nil {
@@ -301,7 +301,7 @@ func TestCoSAwarePreferentialDrop(t *testing.T) {
 			mu.Lock()
 			byClass[top.CoS]++
 			mu.Unlock()
-		}})
+		}))
 	if err := e.InstallILM(100, swapNHLFE(200, "b")); err != nil {
 		t.Fatal(err)
 	}
@@ -341,7 +341,7 @@ func TestCoSAwarePreferentialDrop(t *testing.T) {
 }
 
 func TestUpdateFailureLeavesTable(t *testing.T) {
-	e := New(Config{Workers: 1})
+	e := New(WithWorkers(1))
 	defer e.Close()
 	if err := e.InstallILM(100, swapNHLFE(200, "b")); err != nil {
 		t.Fatal(err)
@@ -373,7 +373,7 @@ func TestUpdateFailureLeavesTable(t *testing.T) {
 // in the router's engine loop.
 func TestPenultimatePopMultiPass(t *testing.T) {
 	sk := newSink()
-	e := New(Config{Workers: 2, Deliver: sk.deliver})
+	e := New(WithWorkers(2), WithDeliver(sk.deliver))
 	if err := e.Update(func(f *swmpls.Forwarder) error {
 		if err := f.InstallILM(100, swmpls.NHLFE{Op: label.OpPop}); err != nil {
 			return err
@@ -409,7 +409,7 @@ func TestPenultimatePopMultiPass(t *testing.T) {
 // ring all see them.
 func TestDropReasonTelemetry(t *testing.T) {
 	trace := telemetry.NewRing(256)
-	e := New(Config{Workers: 2, Node: "lsr-test", Trace: trace})
+	e := New(WithWorkers(2), WithNode("lsr-test"), WithTrace(trace))
 	if err := e.Update(func(f *swmpls.Forwarder) error {
 		if err := f.InstallILM(100, swapNHLFE(200, "b")); err != nil {
 			return err
@@ -527,7 +527,7 @@ func TestDropReasonTelemetry(t *testing.T) {
 // metrics path shares no unsynchronised state with the fast path.
 func TestConcurrentMetricsScrape(t *testing.T) {
 	trace := telemetry.NewRing(1024)
-	e := New(Config{Workers: 4, QueueCap: 256, Node: "scraped", Trace: trace})
+	e := New(WithWorkers(4), WithQueueCap(256), WithNode("scraped"), WithTrace(trace))
 	if err := e.InstallILM(100, swapNHLFE(200, "A")); err != nil {
 		t.Fatal(err)
 	}
@@ -653,7 +653,7 @@ func TestConcurrentMetricsScrape(t *testing.T) {
 
 // TestSubmitBatch covers the grouped enqueue path.
 func TestSubmitBatch(t *testing.T) {
-	e := New(Config{Workers: 4})
+	e := New(WithWorkers(4))
 	if err := e.InstallILM(100, swapNHLFE(200, "b")); err != nil {
 		t.Fatal(err)
 	}

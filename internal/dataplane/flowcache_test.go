@@ -74,7 +74,11 @@ func TestFlowCacheDeterministicInvalidation(t *testing.T) {
 func TestFlowCacheEngineEquivalence(t *testing.T) {
 	run := func(disable bool) Snapshot {
 		sk := newSink()
-		e := New(Config{Workers: 2, Batch: 16, Deliver: sk.deliver, DisableFlowCache: disable})
+		opts := []Option{WithWorkers(2), WithBatch(16), WithDeliver(sk.deliver)}
+		if disable {
+			opts = append(opts, WithFlowCacheDisabled())
+		}
+		e := New(opts...)
 		if err := e.Update(func(f *swmpls.Forwarder) error {
 			if err := f.InstallILM(100, swapNHLFE(200, "b")); err != nil {
 				return err
@@ -129,7 +133,7 @@ func TestFlowCachePublishRace(t *testing.T) {
 	valid := make(map[label.Label]bool)
 	var validMu sync.Mutex
 	var bad []label.Label
-	e := New(Config{Workers: 4, Batch: 8, Deliver: func(p *packet.Packet, res swmpls.Result) {
+	e := New(WithWorkers(4), WithBatch(8), WithDeliver(func(p *packet.Packet, res swmpls.Result) {
 		if res.Action != swmpls.Forward {
 			return
 		}
@@ -142,7 +146,7 @@ func TestFlowCachePublishRace(t *testing.T) {
 			bad = append(bad, top.Label)
 		}
 		validMu.Unlock()
-	}})
+	}))
 	publish := func(out label.Label) {
 		validMu.Lock()
 		valid[out] = true
@@ -199,7 +203,7 @@ func TestFlowCachePublishRace(t *testing.T) {
 // TestEngineSetTelemetry: swapping the sink mid-run must retarget both
 // the trace ring and the drop counters without stopping workers.
 func TestEngineSetTelemetry(t *testing.T) {
-	e := New(Config{Workers: 1, Batch: 4})
+	e := New(WithWorkers(1), WithBatch(4))
 	defer e.Close()
 	drops := new(telemetry.DropCounters)
 	ring := telemetry.NewRing(64)

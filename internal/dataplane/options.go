@@ -1,0 +1,90 @@
+package dataplane
+
+import (
+	"embeddedmpls/internal/packet"
+	"embeddedmpls/internal/swmpls"
+	"embeddedmpls/internal/telemetry"
+)
+
+// config parameterises an Engine. It follows the repository-wide
+// functional-option convention (see DESIGN.md): one unexported config
+// struct, WithX constructors, and a variadic New applying them over
+// defaults.
+type config struct {
+	workers      int
+	queueCap     int
+	batch        int
+	policy       DropPolicy
+	deliver      func(p *packet.Packet, res swmpls.Result)
+	node         string
+	trace        *telemetry.Ring
+	newTable     func() *swmpls.Forwarder
+	disableCache bool
+}
+
+// Option configures an Engine built by New.
+type Option func(*config)
+
+// WithWorkers sets the number of shard workers. <=0 selects
+// runtime.NumCPU().
+func WithWorkers(n int) Option {
+	return func(c *config) { c.workers = n }
+}
+
+// WithQueueCap bounds each shard's ingress queue in packets. <=0 means
+// 1024. Under CoSAware the capacity is split evenly across the eight
+// classes.
+func WithQueueCap(n int) Option {
+	return func(c *config) { c.queueCap = n }
+}
+
+// WithBatch sets the maximum number of packets a worker drains per
+// queue visit. <=0 means 64. Larger batches amortise synchronisation;
+// smaller ones bound added latency.
+func WithBatch(n int) Option {
+	return func(c *config) { c.batch = n }
+}
+
+// WithPolicy selects the queue admission policy (default TailDrop).
+func WithPolicy(p DropPolicy) Option {
+	return func(c *config) { c.policy = p }
+}
+
+// WithDeliver installs the sink receiving every processed packet and
+// its forwarding result. It is invoked on worker goroutines —
+// concurrently across shards, sequentially (and in per-flow order)
+// within one — so it must be safe for concurrent use. Nil discards
+// packets after accounting.
+func WithDeliver(fn func(p *packet.Packet, res swmpls.Result)) Option {
+	return func(c *config) { c.deliver = fn }
+}
+
+// WithNode names this engine in telemetry (trace events, metric
+// labels). Empty means "dataplane".
+func WithNode(name string) Option {
+	return func(c *config) { c.node = name }
+}
+
+// WithTrace attaches a trace ring receiving one event per processed
+// packet: the applied label operation, or the discard with its mapped
+// reason. Workers write to it concurrently; the ring is safe for that.
+// (SetTelemetry can attach or retarget it later.)
+func WithTrace(r *telemetry.Ring) Option {
+	return func(c *config) { c.trace = r }
+}
+
+// WithNewTable installs the builder of the engine's root forwarding
+// table — the hook that selects the ILM lookup backend
+// (swmpls.New(swmpls.WithILM(...))). Clone keeps the backend, so every
+// published snapshot inherits it. Nil means swmpls.New().
+func WithNewTable(fn func() *swmpls.Forwarder) Option {
+	return func(c *config) { c.newTable = fn }
+}
+
+// WithFlowCacheDisabled turns off the per-worker flow cache. The cache
+// memoises resolved NHLFEs per flow identity against one table
+// snapshot and is invalidated on every publish, so it is semantically
+// invisible; disable it only to measure the uncached path.
+func WithFlowCacheDisabled() Option {
+	return func(c *config) { c.disableCache = true }
+}

@@ -22,7 +22,7 @@ func TestCloseUnderFire(t *testing.T) {
 		trials = 5
 	}
 	for trial := 0; trial < trials; trial++ {
-		e := New(Config{Workers: 4, QueueCap: 16, Batch: 4})
+		e := New(WithWorkers(4), WithQueueCap(16), WithBatch(4))
 		if err := e.InstallILM(100, swmpls.NHLFE{
 			NextHop: "peer", Op: label.OpSwap, PushLabels: []label.Label{200},
 		}); err != nil {

@@ -244,7 +244,7 @@ func (in *Injector) record(e Event) {
 	in.log = append(in.log, Record{At: in.net.Sim.Now(), What: e.String()})
 }
 
-func (in *Injector) link(a, b string) (*netsim.Link, error) {
+func (in *Injector) link(a, b string) (netsim.Wire, error) {
 	ra, ok := in.net.Routers[a]
 	if !ok {
 		return nil, fmt.Errorf("faults: unknown node %q", a)

@@ -122,7 +122,7 @@ func TestCorruptionCausesLookupMiss(t *testing.T) {
 	n := lineNet(t)
 	dst := setupLineLSP(t, n)
 	var drops telemetry.DropCounters
-	n.SetDropCounters(&drops)
+	n.SetTelemetry(telemetry.Sink{Drops: &drops})
 
 	in := NewInjector(n, nil)
 	// Corrupt every packet on a->b from t=0.05 for 0.1s.
@@ -184,7 +184,7 @@ func TestDelaySpikeStretchesLatency(t *testing.T) {
 }
 
 func TestShardStallStillProcesses(t *testing.T) {
-	e := dataplane.New(dataplane.Config{Workers: 2, QueueCap: 64, Batch: 4})
+	e := dataplane.New(dataplane.WithWorkers(2), dataplane.WithQueueCap(64), dataplane.WithBatch(4))
 	defer e.Close()
 	e.SetStallHook(ShardStall(2, 100*time.Microsecond))
 	if err := e.InstallILM(100, swmpls.NHLFE{NextHop: "p", Op: label.OpSwap, PushLabels: []label.Label{200}}); err != nil {
@@ -232,7 +232,7 @@ func TestFailEvery(t *testing.T) {
 }
 
 func TestWriteFailuresHookOnInfobase(t *testing.T) {
-	ib := infobase.NewBehavioral()
+	ib := infobase.New()
 	ib.SetWriteHook(WriteFailures(FailFirst(1)))
 	p := infobase.Pair{Index: 5, NewLabel: 100, Op: label.OpSwap}
 	if err := ib.Write(infobase.Level2, p); !errors.Is(err, ErrInjected) {
@@ -251,7 +251,7 @@ func TestWriteFailuresHookOnInfobase(t *testing.T) {
 }
 
 func TestPublishHookFailsUpdate(t *testing.T) {
-	e := dataplane.New(dataplane.Config{Workers: 1})
+	e := dataplane.New(dataplane.WithWorkers(1))
 	defer e.Close()
 	e.SetPublishHook(FailFirst(1))
 	err := e.InstallILM(100, swmpls.NHLFE{NextHop: "p", Op: label.OpSwap, PushLabels: []label.Label{200}})

@@ -43,7 +43,7 @@ func (s *idxSlot) load() *idxLevel {
 //
 // Like Behavioral, each level publishes atomically: one writer, any
 // number of concurrent readers. The zero value is not usable; call New
-// with WithIndex(true) or NewIndexed.
+// with WithIndex(true).
 type Indexed struct {
 	levels    []idxSlot
 	capacity  int
@@ -51,11 +51,6 @@ type Indexed struct {
 }
 
 var _ Store = (*Indexed)(nil)
-
-// NewIndexed returns an empty indexed information base with the paper's
-// geometry (three levels of 1024 entries). Equivalent to
-// New(WithIndex(true)).
-func NewIndexed() *Indexed { return newIndexed(defaultConfig()) }
 
 func newIndexed(cfg storeConfig) *Indexed {
 	return &Indexed{levels: make([]idxSlot, cfg.levels), capacity: cfg.capacity}

@@ -25,8 +25,8 @@
 //     tests prove the equivalence.
 //   - The RTL data path in package lsm, driven through the same traffic.
 //
-// Construct either software store with New and functional options; the
-// original NewBehavioral constructor remains as a thin wrapper.
+// Construct either software store with New and functional options
+// (WithLevels, WithCapacity, WithIndex).
 //
 // Every level publishes its contents atomically: a write (or remove)
 // stages a fresh copy of the level and installs it with one atomic store,
@@ -186,7 +186,7 @@ func (s *levelSlot) load() []Pair {
 // Behavioral is the linear software reference model of the information
 // base: first-match-in-insertion-order lookups found by scanning, the
 // exact cost shape of the paper's 3n+5 search. The zero value is not
-// usable; call NewBehavioral or New.
+// usable; call New.
 type Behavioral struct {
 	levels    []levelSlot
 	capacity  int
@@ -194,14 +194,6 @@ type Behavioral struct {
 }
 
 var _ Store = (*Behavioral)(nil)
-
-// NewBehavioral returns an empty linear information base with the
-// paper's geometry (three levels of 1024 entries).
-//
-// Deprecated: new code should use New, which selects geometry and
-// lookup structure through functional options; NewBehavioral remains as
-// a thin wrapper so existing callers compile.
-func NewBehavioral() *Behavioral { return newBehavioral(defaultConfig()) }
 
 func newBehavioral(cfg storeConfig) *Behavioral {
 	return &Behavioral{levels: make([]levelSlot, cfg.levels), capacity: cfg.capacity}

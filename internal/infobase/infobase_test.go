@@ -55,7 +55,7 @@ func TestValidatePair(t *testing.T) {
 }
 
 func TestBehavioralWriteLookup(t *testing.T) {
-	b := NewBehavioral()
+	b := New()
 	// The scenario of paper Figure 14: ids 600-609 -> labels 500-509.
 	for i := 0; i < 10; i++ {
 		p := Pair{Index: Key(600 + i), NewLabel: label.Label(500 + i), Op: label.Op(1 + i%3)}
@@ -82,7 +82,7 @@ func TestBehavioralWriteLookup(t *testing.T) {
 }
 
 func TestBehavioralFirstMatchWins(t *testing.T) {
-	b := NewBehavioral()
+	b := New()
 	if err := b.Write(Level2, Pair{Index: 7, NewLabel: 100, Op: label.OpSwap}); err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestBehavioralFirstMatchWins(t *testing.T) {
 }
 
 func TestBehavioralLevelsIndependent(t *testing.T) {
-	b := NewBehavioral()
+	b := New()
 	_ = b.Write(Level1, Pair{Index: 1, NewLabel: 11, Op: label.OpPush})
 	_ = b.Write(Level2, Pair{Index: 1, NewLabel: 22, Op: label.OpSwap})
 	_ = b.Write(Level3, Pair{Index: 1, NewLabel: 33, Op: label.OpPop})
@@ -112,7 +112,7 @@ func TestBehavioralLevelsIndependent(t *testing.T) {
 }
 
 func TestBehavioralCapacity(t *testing.T) {
-	b := NewBehavioral()
+	b := New()
 	for i := 0; i < EntriesPerLevel; i++ {
 		if err := b.Write(Level3, Pair{Index: Key(i), NewLabel: label.Label(i % 1000), Op: label.OpSwap}); err != nil {
 			t.Fatalf("write %d: %v", i, err)
@@ -129,7 +129,7 @@ func TestBehavioralCapacity(t *testing.T) {
 }
 
 func TestBehavioralWriteRejectsBadPair(t *testing.T) {
-	b := NewBehavioral()
+	b := New()
 	if err := b.Write(Level2, Pair{Index: 1 << 21, NewLabel: 1, Op: label.OpSwap}); err == nil {
 		t.Error("oversized index accepted by Write")
 	}
@@ -139,7 +139,7 @@ func TestBehavioralWriteRejectsBadPair(t *testing.T) {
 }
 
 func TestBehavioralRemove(t *testing.T) {
-	b := NewBehavioral()
+	b := New()
 	_ = b.Write(Level2, Pair{Index: 5, NewLabel: 50, Op: label.OpSwap})
 	_ = b.Write(Level2, Pair{Index: 6, NewLabel: 60, Op: label.OpSwap})
 	_ = b.Write(Level2, Pair{Index: 5, NewLabel: 70, Op: label.OpPop})
@@ -163,7 +163,7 @@ func TestBehavioralRemove(t *testing.T) {
 }
 
 func TestBehavioralClearAndEntries(t *testing.T) {
-	b := NewBehavioral()
+	b := New()
 	_ = b.Write(Level1, Pair{Index: 1, NewLabel: 2, Op: label.OpPush})
 	_ = b.Write(Level2, Pair{Index: 3, NewLabel: 4, Op: label.OpSwap})
 	got := b.Entries(Level2)
@@ -190,7 +190,7 @@ func TestBehavioralClearAndEntries(t *testing.T) {
 // traffic and checks every lookup against a simple first-write-wins map.
 func TestBehavioralAgainstMapModel(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
-	b := NewBehavioral()
+	b := New()
 	type lvKey struct {
 		lv  Level
 		key Key

@@ -48,8 +48,7 @@ func WithIndex(indexed bool) Option {
 }
 
 // New builds an information base from functional options. With no
-// options it is equivalent to NewBehavioral: the paper's three-level,
-// 1024-entry linear store.
+// options it is the paper's three-level, 1024-entry linear store.
 //
 //	fast := infobase.New(infobase.WithIndex(true))
 //	wide := infobase.New(infobase.WithLevels(3), infobase.WithCapacity(1<<16))

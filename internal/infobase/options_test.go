@@ -72,14 +72,3 @@ func TestOptionClamping(t *testing.T) {
 		t.Errorf("clamped geometry = %d x %d, want 1 x 1", s.Levels(), s.Capacity())
 	}
 }
-
-// TestDeprecatedConstructorsStillWork pins the compatibility wrappers.
-func TestDeprecatedConstructorsStillWork(t *testing.T) {
-	b := NewBehavioral()
-	x := NewIndexed()
-	for name, s := range map[string]Store{"NewBehavioral": b, "NewIndexed": x} {
-		if s.Levels() != NumLevels || s.Capacity() != EntriesPerLevel {
-			t.Errorf("%s: wrong default geometry", name)
-		}
-	}
-}

@@ -1,0 +1,191 @@
+package integration
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"embeddedmpls/internal/config"
+)
+
+// freeUDPAddrs reserves n distinct loopback UDP ports by binding and
+// releasing ephemeral sockets. The usual small race (another process
+// grabbing a port between release and reuse) is acceptable in tests.
+func freeUDPAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = c.LocalAddr().String()
+		c.Close()
+	}
+	return addrs
+}
+
+// distributedScenario renders a three-node line scenario (the
+// examples/distributed topology) onto the given transport addresses.
+func distributedScenario(addrs []string, durationS float64) string {
+	return fmt.Sprintf(`{
+  "name": "distributed-line-test",
+  "duration_s": %g,
+  "nodes": [
+    {"name": "ingress", "plane": "software"},
+    {"name": "core", "plane": "software"},
+    {"name": "egress", "plane": "software"}
+  ],
+  "links": [
+    {"a": "ingress", "b": "core", "rate_mbps": 10, "delay_ms": 0.1},
+    {"a": "core", "b": "egress", "rate_mbps": 10, "delay_ms": 0.1}
+  ],
+  "lsps": [
+    {"id": "l1", "dst": "10.0.0.9", "prefix_len": 32,
+     "path": ["ingress", "core", "egress"]}
+  ],
+  "flows": [
+    {"id": 1, "kind": "cbr", "from": "ingress", "dst": "10.0.0.9",
+     "size_bytes": 256, "interval_ms": 5}
+  ],
+  "transport": {
+    "kind": "udp",
+    "nodes": {"ingress": %q, "core": %q, "egress": %q}
+  }
+}`, durationS, addrs[0], addrs[1], addrs[2])
+}
+
+// TestDistributedLSPInProcess builds each node of the scenario as its
+// own network — separate simulators, real loopback sockets between them,
+// exactly what three mplsnode processes would hold — and checks the LSP
+// forwards end to end. Runs under -race in CI.
+func TestDistributedLSPInProcess(t *testing.T) {
+	s, err := config.Load(strings.NewReader(distributedScenario(freeUDPAddrs(t, 3), 0.5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"ingress", "core", "egress"}
+	built := make([]*config.Built, len(names))
+	for i, name := range names {
+		b, err := s.BuildNode(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer b.Net.Close()
+		built[i] = b
+	}
+
+	var wg sync.WaitGroup
+	for _, b := range built {
+		wg.Add(1)
+		go func(b *config.Built) {
+			defer wg.Done()
+			b.Net.RunReal(s.DurationS + 0.3)
+		}(b)
+	}
+	wg.Wait()
+
+	ingress, egress := built[0], built[2]
+	ingress.Net.Lock()
+	sent := ingress.Collector.Flow(1).Sent.Events
+	ingress.Net.Unlock()
+	egress.Net.Lock()
+	delivered := egress.Collector.Flow(1).Delivered.Events
+	egress.Net.Unlock()
+	if sent == 0 {
+		t.Fatal("ingress sent nothing")
+	}
+	if delivered == 0 {
+		t.Fatalf("egress delivered nothing of %d sent", sent)
+	}
+	// Loopback UDP may drop under load, but an end-to-end LSP should
+	// carry the bulk of a gentle CBR flow.
+	if delivered < sent/2 {
+		t.Errorf("delivered %d of %d sent", delivered, sent)
+	}
+}
+
+// TestDistributedLSPProcesses is the real thing: it builds cmd/mplsnode
+// and runs one OS process per router, asserting the egress process
+// reports end-to-end deliveries on its stdout.
+func TestDistributedLSPProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes; skipped in -short")
+	}
+	bin := filepath.Join(t.TempDir(), "mplsnode")
+	build := exec.Command("go", "build", "-o", bin, "embeddedmpls/cmd/mplsnode")
+	build.Dir = moduleRoot(t)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building mplsnode: %v\n%s", err, out)
+	}
+
+	cfg := filepath.Join(t.TempDir(), "scenario.json")
+	if err := os.WriteFile(cfg, []byte(distributedScenario(freeUDPAddrs(t, 3), 1)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(node string) (*exec.Cmd, *strings.Builder) {
+		var out strings.Builder
+		cmd := exec.Command(bin, "-config", cfg, "-node", node, "-duration", "2")
+		cmd.Stdout = &out
+		cmd.Stderr = &out
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting %s: %v", node, err)
+		}
+		return cmd, &out
+	}
+
+	// Downstream nodes first so their sockets exist before traffic flows.
+	egress, egressOut := run("egress")
+	core, coreOut := run("core")
+	time.Sleep(200 * time.Millisecond)
+	ingress, ingressOut := run("ingress")
+
+	for _, p := range []struct {
+		name string
+		cmd  *exec.Cmd
+		out  *strings.Builder
+	}{{"ingress", ingress, ingressOut}, {"core", core, coreOut}, {"egress", egress, egressOut}} {
+		if err := p.cmd.Wait(); err != nil {
+			t.Fatalf("%s exited: %v\n%s", p.name, err, p.out)
+		}
+	}
+
+	m := regexp.MustCompile(`delivered=(\d+)`).FindStringSubmatch(egressOut.String())
+	if m == nil {
+		t.Fatalf("egress printed no delivery stats:\n%s", egressOut)
+	}
+	delivered, _ := strconv.Atoi(m[1])
+	if delivered == 0 {
+		t.Fatalf("egress delivered nothing:\negress: %s\ningress: %s\ncore: %s",
+			egressOut, ingressOut, coreOut)
+	}
+	t.Logf("egress delivered %d packets across three processes", delivered)
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above working directory")
+		}
+		dir = parent
+	}
+}

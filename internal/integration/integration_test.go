@@ -110,7 +110,7 @@ func accountDrops(net *router.Network) (routerDrops, linkDrops uint64) {
 		r := net.Router(name)
 		routerDrops += r.Stats.Dropped.Events
 		for _, nb := range net.Topo.Neighbours(name) {
-			if l, ok := r.Link(nb); ok {
+			if l, ok := r.SimLink(nb); ok {
 				linkDrops += l.Queue().Dropped() + l.Lost.Events
 			}
 		}

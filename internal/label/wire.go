@@ -63,3 +63,46 @@ func DecodeWire(buf []byte) (*Stack, int, error) {
 	}
 	return s, off, nil
 }
+
+// DecodeWireInto parses a label stack from the front of buf into s,
+// reusing s's storage — the allocation-free twin of DecodeWire for
+// receive paths that decode into pooled packets. Semantics are
+// identical: entries are consumed until the bottom-of-stack bit, the
+// S-bit invariant is re-normalised by position, and the byte count
+// consumed is returned. On error s is left empty.
+func (s *Stack) DecodeWireInto(buf []byte) (int, error) {
+	s.entries = s.entries[:0]
+	// First pass: find the bottom-of-stack entry to size the stack.
+	n, off := 0, 0
+	for {
+		if off+EntrySize > len(buf) {
+			return 0, fmt.Errorf("%w (offset %d)", ErrNoBottom, off)
+		}
+		e := Unpack(binary.BigEndian.Uint32(buf[off:]))
+		off += EntrySize
+		n++
+		if e.Bottom {
+			break
+		}
+		if n > MaxDepth {
+			return 0, fmt.Errorf("label: wire stack deeper than max depth %d without bottom bit", MaxDepth)
+		}
+	}
+	if n > MaxDepth {
+		return 0, ErrStackFull
+	}
+	if cap(s.entries) < n {
+		s.entries = make([]Entry, n)
+	} else {
+		s.entries = s.entries[:n]
+	}
+	// Second pass: wire order is top-first, storage bottom-first.
+	off = 0
+	for i := n - 1; i >= 0; i-- {
+		e := Unpack(binary.BigEndian.Uint32(buf[off:]))
+		off += EntrySize
+		e.Bottom = i == 0
+		s.entries[i] = e
+	}
+	return off, nil
+}

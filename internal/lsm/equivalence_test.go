@@ -144,7 +144,7 @@ func randomKnownKey(rng *rand.Rand, sw *Behavioral, lv infobase.Level) infobase.
 func TestHWInfoBaseSnapshotMatchesWrites(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	hw := NewBench(LER)
-	sw := infobase.NewBehavioral()
+	sw := infobase.New()
 	for i := 0; i < 50; i++ {
 		lv := infobase.Level(1 + rng.Intn(3))
 		p := infobase.Pair{

@@ -681,11 +681,11 @@ func NewWith(opts Options) *HW {
 // status register latches.
 func (hw *HW) SearchFound() bool { return hw.SrchState.Get() == srFound }
 
-// InfoBaseSnapshot reads the information base memories into a behavioral
-// copy (the first count entries of each level), for test-bench
+// InfoBaseSnapshot reads the information base memories into a software
+// store copy (the first count entries of each level), for test-bench
 // verification.
-func (hw *HW) InfoBaseSnapshot() *infobase.Behavioral {
-	b := infobase.NewBehavioral()
+func (hw *HW) InfoBaseSnapshot() infobase.Store {
+	b := infobase.New()
 	for lv := 0; lv < infobase.NumLevels; lv++ {
 		n := int(hw.Sim.Lookup("ib_wcnt_" + string(byte('1'+lv))).Get())
 		for i := 0; i < n && i < infobase.EntriesPerLevel; i++ {

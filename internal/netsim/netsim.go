@@ -125,6 +125,34 @@ type Verdict struct {
 	ExtraDelay Time
 }
 
+// Wire is the link contract a router attaches its neighbours through.
+// The in-process simulated Link implements it; the transport package's
+// UDP link implements the same surface over a real socket, so one
+// topology spec can be wired over either. Everything above the link —
+// fault injection, keepalive probing, drop accounting, failover — goes
+// through this interface.
+type Wire interface {
+	// To names the receiving node.
+	To() string
+	// Send hands one packet to the link; loss (down link, full queue,
+	// failed socket write) is counted, never reported to the caller.
+	Send(p *packet.Packet)
+	// SetDown fails or restores the link; Down reports the state.
+	SetDown(down bool)
+	Down() bool
+	// SetFault installs (or, with nil, removes) the per-packet fault
+	// hook.
+	SetFault(f Fault)
+	// SetOnDrop installs the admission-drop callback: it receives every
+	// packet the link rejects before transmission, with the mapped
+	// telemetry reason. nil detaches.
+	SetOnDrop(fn func(p *packet.Packet, reason telemetry.Reason))
+	// Close releases whatever the link holds — sockets and goroutines
+	// for transport links, nothing for simulated ones. Close is
+	// idempotent; Send after Close counts the packet as lost.
+	Close() error
+}
+
 // Link is a unidirectional link: a bounded output queue feeding a
 // transmitter of RateBPS bits per second, followed by Delay seconds of
 // propagation. Build duplex connections from two Links.
@@ -209,6 +237,14 @@ func (l *Link) Down() bool { return l.down }
 
 // SetFault installs (or, with nil, removes) the link's fault hook.
 func (l *Link) SetFault(f Fault) { l.fault = f }
+
+// SetOnDrop implements Wire by setting the OnDrop field.
+func (l *Link) SetOnDrop(fn func(p *packet.Packet, reason telemetry.Reason)) { l.OnDrop = fn }
+
+// Close implements Wire; a simulated link holds no resources.
+func (l *Link) Close() error { return nil }
+
+var _ Wire = (*Link)(nil)
 
 // Send queues p for transmission; it is dropped silently (but counted) if
 // the queue is full or the link is down.

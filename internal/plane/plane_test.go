@@ -54,7 +54,7 @@ func TestPlanesAgreeOnSwap(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	eng := dataplane.New(dataplane.Config{Workers: 1})
+	eng := dataplane.New(dataplane.WithWorkers(1))
 	defer eng.Close()
 	if err := eng.InstallILM(100, swap); err != nil {
 		t.Fatal(err)

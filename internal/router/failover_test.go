@@ -91,7 +91,7 @@ func TestFailoverEndToEnd(t *testing.T) {
 		t.Error("repair path never carried traffic")
 	}
 	// Nothing is still routed at b after the reroute completes.
-	lab, _ := n.Router("a").Link("b")
+	lab, _ := n.Router("a").SimLink("b")
 	if lab.Lost.Events == 0 {
 		t.Error("down link recorded no lost packets")
 	}

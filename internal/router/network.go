@@ -2,6 +2,10 @@ package router
 
 import (
 	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"embeddedmpls/internal/dataplane"
 	"embeddedmpls/internal/device"
@@ -12,6 +16,16 @@ import (
 	"embeddedmpls/internal/swmpls"
 	"embeddedmpls/internal/te"
 	"embeddedmpls/internal/telemetry"
+	"embeddedmpls/internal/transport"
+)
+
+// Link transport kinds for NodeSpec.Transport and LinkSpec.Transport.
+const (
+	// TransportSim is the default in-memory simulated link.
+	TransportSim = "sim"
+	// TransportUDP wires the two endpoints over loopback UDP sockets
+	// using the binary wire codec — real datagrams, same topology.
+	TransportUDP = "udp"
 )
 
 // NodeSpec describes one router of a simulated network.
@@ -37,6 +51,12 @@ type NodeSpec struct {
 	// "indexed" (the O(1) hash index). Ignored for hardware nodes,
 	// whose information base is the device's own.
 	InfoBase string
+	// Transport is the default link transport for connections touching
+	// this node: "" or "sim" for simulated links, "udp" for loopback
+	// UDP sockets. A link is transport-backed when its own Transport
+	// field or either endpoint's says so. Networks with UDP links must
+	// be driven by RunReal rather than Sim.Run.
+	Transport string
 }
 
 // ilmKind maps a NodeSpec.InfoBase string to the swmpls backend.
@@ -64,6 +84,11 @@ type LinkSpec struct {
 	NewQueue func(cap int) qos.Scheduler
 	// Metric is the TE metric (0 = 1).
 	Metric float64
+	// Transport overrides the link transport: "" defers to the
+	// endpoints' NodeSpec.Transport, "sim" forces a simulated link,
+	// "udp" forces loopback UDP. Rate shaping and Delay apply only to
+	// simulated links; a UDP link's latency is the real path's.
+	Transport string
 }
 
 // Network bundles a simulated MPLS network: event simulator, TE topology,
@@ -73,17 +98,53 @@ type Network struct {
 	Topo    *te.Topology
 	LDP     *ldp.Manager
 	Routers map[string]*Router
+
+	// Wire aggregates transport counters across every UDP link and
+	// receive socket of the network; all zero for pure-sim topologies.
+	Wire *transport.Metrics
+
+	// mu serialises access to the discrete-event simulator when
+	// transport receivers deliver from socket goroutines. RunReal and
+	// the delivery path both hold it; pure-sim use via Sim.Run never
+	// contends.
+	mu      sync.Mutex
+	sink    atomic.Pointer[telemetry.Sink]
+	closers []io.Closer
+	closing sync.Once
+}
+
+// transportKind resolves the effective transport of a link from its own
+// field and its endpoints' defaults.
+func transportKind(spec LinkSpec, nodeDefault map[string]string) (string, error) {
+	kind := spec.Transport
+	if kind == "" {
+		if nodeDefault[spec.A] == TransportUDP || nodeDefault[spec.B] == TransportUDP {
+			kind = TransportUDP
+		} else {
+			kind = TransportSim
+		}
+	}
+	switch kind {
+	case TransportSim, TransportUDP:
+		return kind, nil
+	default:
+		return "", fmt.Errorf("router: unknown transport %q for link %s<->%s (want sim or udp)",
+			kind, spec.A, spec.B)
+	}
 }
 
 // Build wires a network from specs: routers with their data planes, TE
-// topology nodes/links, netsim links in both directions, and an LDP
-// manager with every router registered.
+// topology nodes/links, links in both directions — simulated or
+// transport-backed per spec — and an LDP manager with every router
+// registered.
 func Build(nodes []NodeSpec, links []LinkSpec) (*Network, error) {
 	n := &Network{
 		Sim:     netsim.New(),
 		Topo:    te.NewTopology(),
 		Routers: make(map[string]*Router),
+		Wire:    &transport.Metrics{},
 	}
+	transports := make(map[string]string, len(nodes))
 	for _, spec := range nodes {
 		if _, dup := n.Routers[spec.Name]; dup {
 			return nil, fmt.Errorf("router: duplicate node %q", spec.Name)
@@ -97,18 +158,19 @@ func Build(nodes []NodeSpec, links []LinkSpec) (*Network, error) {
 		case spec.Hardware:
 			plane = NewHardwarePlane(device.New(spec.RouterType, lsm.DefaultClock))
 		case spec.EngineWorkers > 0:
-			eng := dataplane.New(dataplane.Config{
-				Workers:  spec.EngineWorkers,
-				Batch:    spec.EngineBatch,
-				Node:     spec.Name,
-				NewTable: func() *swmpls.Forwarder { return swmpls.NewWith(swmpls.WithILM(kind)) },
-			})
+			eng := dataplane.New(
+				dataplane.WithWorkers(spec.EngineWorkers),
+				dataplane.WithBatch(spec.EngineBatch),
+				dataplane.WithNode(spec.Name),
+				dataplane.WithNewTable(func() *swmpls.Forwarder { return swmpls.New(swmpls.WithILM(kind)) }),
+			)
 			plane = NewEnginePlane(eng, spec.SoftwareCost)
 		default:
-			plane = NewSoftwarePlaneWith(spec.SoftwareCost, swmpls.NewWith(swmpls.WithILM(kind)))
+			plane = NewSoftwarePlaneWith(spec.SoftwareCost, swmpls.New(swmpls.WithILM(kind)))
 		}
 		n.Routers[spec.Name] = New(n.Sim, spec.Name, plane)
 		n.Topo.AddNode(spec.Name)
+		transports[spec.Name] = spec.Transport
 	}
 	for _, spec := range links {
 		ra, ok := n.Routers[spec.A]
@@ -119,16 +181,27 @@ func Build(nodes []NodeSpec, links []LinkSpec) (*Network, error) {
 		if !ok {
 			return nil, fmt.Errorf("router: link references unknown node %q", spec.B)
 		}
-		capacity := spec.QueueCap
-		if capacity <= 0 {
-			capacity = 64
+		kind, err := transportKind(spec, transports)
+		if err != nil {
+			return nil, err
 		}
-		newQueue := spec.NewQueue
-		if newQueue == nil {
-			newQueue = func(c int) qos.Scheduler { return qos.NewFIFO(c) }
+		switch kind {
+		case TransportUDP:
+			if err := n.wireUDP(spec, ra, rb); err != nil {
+				return nil, err
+			}
+		default:
+			capacity := spec.QueueCap
+			if capacity <= 0 {
+				capacity = 64
+			}
+			newQueue := spec.NewQueue
+			if newQueue == nil {
+				newQueue = func(c int) qos.Scheduler { return qos.NewFIFO(c) }
+			}
+			ra.AttachLink(netsim.NewLink(n.Sim, spec.A, rb, spec.RateBPS, spec.Delay, newQueue(capacity)))
+			rb.AttachLink(netsim.NewLink(n.Sim, spec.B, ra, spec.RateBPS, spec.Delay, newQueue(capacity)))
 		}
-		ra.AttachLink(netsim.NewLink(n.Sim, spec.A, rb, spec.RateBPS, spec.Delay, newQueue(capacity)))
-		rb.AttachLink(netsim.NewLink(n.Sim, spec.B, ra, spec.RateBPS, spec.Delay, newQueue(capacity)))
 		if err := n.Topo.AddDuplex(spec.A, spec.B, te.LinkAttrs{
 			CapacityBPS: spec.RateBPS,
 			Metric:      spec.Metric,
@@ -146,38 +219,135 @@ func Build(nodes []NodeSpec, links []LinkSpec) (*Network, error) {
 	return n, nil
 }
 
+// TransportOptions returns the options wiring a transport socket into
+// this network: shared metrics, drop accounting through the attached
+// telemetry sink, and the simulator clock for fault windows. Callers
+// building their own sockets (the mplsnode daemon's inter-process
+// links) append source/peer options and hand the result to
+// transport.Dial or transport.Listen.
+func (n *Network) TransportOptions() []transport.Option {
+	return []transport.Option{
+		transport.WithMetrics(n.Wire),
+		transport.WithDropFunc(n.wireDrop),
+		transport.WithClock(func() float64 { return n.Sim.Now() }),
+	}
+}
+
+// DeliverTo returns a transport receive sink that injects decoded
+// batches into the named router under the network lock — the glue
+// between a transport.Receiver and this network.
+func (n *Network) DeliverTo(name string) func(batch []transport.Inbound) {
+	return n.deliverTo(n.Router(name))
+}
+
+// Manage registers a closer (a transport link or receiver created
+// outside Build) to be torn down with the network.
+func (n *Network) Manage(c io.Closer) { n.closers = append(n.closers, c) }
+
+// wireUDP replaces one simulated duplex link with a loopback UDP pair:
+// send sides attach to the routers as ordinary wires, receive sides
+// deliver decoded batches into the peer router under the network lock.
+func (n *Network) wireUDP(spec LinkSpec, ra, rb *Router) error {
+	opts := []transport.Option{
+		transport.WithMetrics(n.Wire),
+		transport.WithDropFunc(n.wireDrop),
+		// Fault windows on transport links follow the simulator clock,
+		// which RunReal keeps pinned to wall time.
+		transport.WithClock(func() float64 { return n.Sim.Now() }),
+	}
+	d, err := transport.Pair(spec.A, spec.B, n.deliverTo(ra), n.deliverTo(rb), opts, opts)
+	if err != nil {
+		return err
+	}
+	ra.AttachLink(d.A)
+	rb.AttachLink(d.B)
+	n.closers = append(n.closers, d)
+	return nil
+}
+
+// deliverTo adapts a transport receive batch to the router's Receive
+// path: packets are cloned off the receiver's reusable storage and
+// injected under the network lock, where the simulator is quiescent
+// between RunReal slices.
+func (n *Network) deliverTo(r *Router) func(batch []transport.Inbound) {
+	return func(batch []transport.Inbound) {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		for _, in := range batch {
+			r.Receive(in.P.Clone(), in.From)
+		}
+	}
+}
+
+// wireDrop routes a transport-level drop into whatever sink is
+// currently attached; transport links outlive SetTelemetry calls, so
+// the indirection is resolved per event.
+func (n *Network) wireDrop(reason telemetry.Reason) {
+	if s := n.sink.Load(); s != nil && s.Drops != nil {
+		s.Drops.Inc(reason)
+	}
+}
+
+// RunReal drives the simulator in real time for d seconds of wall
+// clock: virtual time tracks wall time in small slices, and between
+// slices the network lock is free for transport receivers to inject
+// arrivals. Topologies with UDP links must be driven this way —
+// Sim.Run would race the socket goroutines and, with no pending
+// events, return before any datagram arrives.
+func (n *Network) RunReal(d netsim.Time) {
+	const slice = 200 * time.Microsecond
+	start := time.Now()
+	for {
+		elapsed := time.Since(start).Seconds()
+		if elapsed > d {
+			elapsed = d
+		}
+		n.mu.Lock()
+		n.Sim.RunUntil(elapsed)
+		n.mu.Unlock()
+		if elapsed >= d {
+			return
+		}
+		time.Sleep(slice)
+	}
+}
+
+// Lock acquires the network lock, serialising direct simulator access
+// (installing routes, injecting packets, reading stats) against
+// transport deliveries. Pure-sim callers never need it.
+func (n *Network) Lock() { n.mu.Lock() }
+
+// Unlock releases the network lock.
+func (n *Network) Unlock() { n.mu.Unlock() }
+
 // Close releases every router's data plane through the shared
 // DataPlane contract — engine-backed planes stop their workers, serial
-// planes are no-ops — so the network needs no knowledge of plane
-// types.
+// planes are no-ops — and tears down any transport sockets. It is
+// idempotent and safe to call while sends are still in flight:
+// transport links count packets racing the teardown as lost, and
+// receivers finish their final batch before Close returns.
 func (n *Network) Close() {
-	for _, r := range n.Routers {
-		_ = r.Plane().Close()
-	}
+	n.closing.Do(func() {
+		for _, c := range n.closers {
+			_ = c.Close()
+		}
+		for _, r := range n.Routers {
+			_ = r.Plane().Close()
+		}
+	})
 }
 
-// SetTelemetry attaches one shared sink to every router: a single
+// SetTelemetry attaches one shared sink to every router — a single
 // per-reason view of forwarding loss and one interleaved per-hop trace
-// of the whole network. Each router attributes events to its own name.
+// of the whole network, each router attributing events to its own name
+// — and to the network's transport links, whose decode failures land
+// in the same drop counters under the wire-decode reason. This is the
+// only observability attachment point; the former per-field setters
+// (drop counters, trace ring) are gone.
 func (n *Network) SetTelemetry(s telemetry.Sink) {
+	n.sink.Store(&s)
 	for _, r := range n.Routers {
 		r.SetTelemetry(s)
-	}
-}
-
-// SetDropCounters attaches one shared drop-counter set to every router,
-// giving the network a single per-reason view of forwarding loss.
-func (n *Network) SetDropCounters(c *telemetry.DropCounters) {
-	for _, r := range n.Routers {
-		r.SetDropCounters(c)
-	}
-}
-
-// SetTrace attaches one shared label-operation trace ring to every
-// router, producing an interleaved per-hop trace of the whole network.
-func (n *Network) SetTrace(t *telemetry.Ring) {
-	for _, r := range n.Routers {
-		r.SetTrace(t)
 	}
 }
 

@@ -61,7 +61,7 @@ func rerouteTrafficRun(t *testing.T, failAt, rerouteAt float64) (sent, delivered
 	})
 	n.Sim.Run()
 
-	lab, _ := n.Router("a").Link("b")
+	lab, _ := n.Router("a").SimLink("b")
 	return sent, delivered, lab.Lost.Events, inversions
 }
 

@@ -110,7 +110,7 @@ type Router struct {
 	name  string
 	sim   *netsim.Simulator
 	plane DataPlane
-	links map[string]*netsim.Link
+	links map[string]netsim.Wire
 	local map[packet.Addr]bool
 
 	// busyUntil models the forwarding engine as a serial resource: a
@@ -148,7 +148,7 @@ func New(sim *netsim.Simulator, name string, plane DataPlane) *Router {
 		name:  name,
 		sim:   sim,
 		plane: plane,
-		links: make(map[string]*netsim.Link),
+		links: make(map[string]netsim.Wire),
 		local: make(map[packet.Addr]bool),
 		Stats: Stats{DropsByReason: make(map[swmpls.DropReason]uint64)},
 	}
@@ -180,19 +180,29 @@ func (r *Router) RemoveILM(in label.Label) { r.plane.RemoveILM(in) }
 func (r *Router) RemoveFEC(dst packet.Addr, prefixLen int) { r.plane.RemoveFEC(dst, prefixLen) }
 
 // AttachLink registers an outgoing link, keyed by the receiving node's
-// name.
-func (r *Router) AttachLink(l *netsim.Link) { r.links[l.To()] = l }
+// name. Any netsim.Wire attaches — a simulated link or a transport
+// link over a real socket; the router cannot tell them apart.
+func (r *Router) AttachLink(l netsim.Wire) { r.links[l.To()] = l }
 
 // Link returns the outgoing link toward the named neighbour.
-func (r *Router) Link(to string) (*netsim.Link, bool) {
+func (r *Router) Link(to string) (netsim.Wire, bool) {
 	l, ok := r.links[to]
+	return l, ok
+}
+
+// SimLink returns the outgoing link toward the named neighbour as a
+// simulated *netsim.Link, for callers that read simulator-only
+// bookkeeping (delivered counts, utilisation). It reports false when
+// the neighbour is unknown or the link is transport-backed.
+func (r *Router) SimLink(to string) (*netsim.Link, bool) {
+	l, ok := r.links[to].(*netsim.Link)
 	return l, ok
 }
 
 // Links returns all attached outgoing links (iteration order is
 // unspecified).
-func (r *Router) Links() []*netsim.Link {
-	out := make([]*netsim.Link, 0, len(r.links))
+func (r *Router) Links() []netsim.Wire {
+	out := make([]netsim.Wire, 0, len(r.links))
 	for _, l := range r.links {
 		out = append(out, l)
 	}
@@ -209,15 +219,6 @@ func (r *Router) SetTelemetry(s telemetry.Sink) {
 	r.drops = s.Drops
 	r.trace = s.Trace
 }
-
-// SetDropCounters attaches shared per-reason drop accounting. A nil
-// argument detaches. (Kept as a focused wrapper over SetTelemetry.)
-func (r *Router) SetDropCounters(c *telemetry.DropCounters) { r.drops = c }
-
-// SetTrace attaches a label-operation trace ring; every forwarding
-// decision this router makes is recorded under its node name. A nil
-// ring detaches. (Kept as a focused wrapper over SetTelemetry.)
-func (r *Router) SetTrace(t *telemetry.Ring) { r.trace = t }
 
 // AddLocal marks addr as terminating at this router: unlabelled packets
 // for it are delivered instead of forwarded.

@@ -40,7 +40,8 @@ func (k ILMKind) String() string {
 	}
 }
 
-// Option configures a Forwarder built by NewWith.
+// Option configures a Forwarder built by New, following the
+// repository-wide functional-option convention (see DESIGN.md).
 type Option func(*fwdConfig)
 
 type fwdConfig struct {

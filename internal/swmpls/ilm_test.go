@@ -18,7 +18,7 @@ var ilmKinds = []ILMKind{ILMMap, ILMLinear, ILMIndexed}
 // semantics.
 func TestILMBackendsForwardIdentically(t *testing.T) {
 	build := func(kind ILMKind) *Forwarder {
-		f := NewWith(WithILM(kind))
+		f := New(WithILM(kind))
 		mustMapFEC(t, f, packet.AddrFrom(10, 0, 0, 0), 8, NHLFE{NextHop: "in", Op: label.OpPush, PushLabels: []label.Label{100}, CoS: 3})
 		mustMapLabel(t, f, 100, NHLFE{NextHop: "mid", Op: label.OpSwap, PushLabels: []label.Label{200}})
 		mustMapLabel(t, f, 200, NHLFE{NextHop: "tun", Op: label.OpPush, PushLabels: []label.Label{300}})
@@ -57,7 +57,7 @@ func TestILMBackendsForwardIdentically(t *testing.T) {
 func TestILMReplaceSemantics(t *testing.T) {
 	for _, k := range ilmKinds {
 		t.Run(k.String(), func(t *testing.T) {
-			f := NewWith(WithILM(k))
+			f := New(WithILM(k))
 			mustMapLabel(t, f, 50, NHLFE{NextHop: "old", Op: label.OpSwap, PushLabels: []label.Label{60}})
 			mustMapLabel(t, f, 50, NHLFE{NextHop: "new", Op: label.OpSwap, PushLabels: []label.Label{61}})
 			if f.ILMSize() != 1 {
@@ -81,7 +81,7 @@ func TestILMReplaceSemantics(t *testing.T) {
 func TestILMInfobaseCapacity(t *testing.T) {
 	for _, k := range []ILMKind{ILMLinear, ILMIndexed} {
 		t.Run(k.String(), func(t *testing.T) {
-			f := NewWith(WithILM(k))
+			f := New(WithILM(k))
 			n := NHLFE{Op: label.OpPop}
 			for i := 0; i < infobase.EntriesPerLevel; i++ {
 				if err := f.MapLabel(label.Label(16+i), n); err != nil {
@@ -104,7 +104,7 @@ func TestILMInfobaseCapacity(t *testing.T) {
 func TestCloneKeepsILMKind(t *testing.T) {
 	for _, k := range ilmKinds {
 		t.Run(k.String(), func(t *testing.T) {
-			f := NewWith(WithILM(k))
+			f := New(WithILM(k))
 			mustMapLabel(t, f, 70, NHLFE{NextHop: "a", Op: label.OpPop})
 			c := f.Clone()
 			if c.ILMKind() != k {

@@ -170,13 +170,11 @@ type Forwarder struct {
 	node  string
 }
 
-// New returns an empty forwarder with the default map-backed ILM.
-func New() *Forwarder { return NewWith() }
-
-// NewWith returns an empty forwarder configured by options — most
-// usefully WithILM, which swaps the ILM's lookup structure between the
-// plain map, the paper's linear information base, and the indexed one.
-func NewWith(opts ...Option) *Forwarder {
+// New returns an empty forwarder configured by functional options —
+// most usefully WithILM, which swaps the ILM's lookup structure between
+// the default map, the paper's linear information base, and the indexed
+// one. With no options it is the plain RFC 3031 software forwarder.
+func New(opts ...Option) *Forwarder {
 	var cfg fwdConfig
 	for _, opt := range opts {
 		opt(&cfg)

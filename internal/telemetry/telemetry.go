@@ -44,9 +44,13 @@ const (
 	// ReasonNoRoute: an unlabelled packet had no FEC binding and no IP
 	// route, or a forwarding decision named a next hop with no link.
 	ReasonNoRoute
+	// ReasonWireDecode: a transport link received bytes that do not
+	// decode to a packet — corruption on the wire, a truncated
+	// datagram, or a foreign protocol hitting the port.
+	ReasonWireDecode
 
 	// NumReasons is the number of distinct reasons.
-	NumReasons = 5
+	NumReasons = 6
 )
 
 // Valid reports whether r names a defined reason.
@@ -66,6 +70,8 @@ func (r Reason) String() string {
 		return "queue-overfull"
 	case ReasonNoRoute:
 		return "no-route"
+	case ReasonWireDecode:
+		return "wire-decode"
 	default:
 		return fmt.Sprintf("reason(%d)", uint8(r))
 	}

@@ -13,6 +13,7 @@ func TestReasonStrings(t *testing.T) {
 		ReasonInconsistentOp: "inconsistent-op",
 		ReasonQueueOverfull:  "queue-overfull",
 		ReasonNoRoute:        "no-route",
+		ReasonWireDecode:     "wire-decode",
 	}
 	if len(want) != NumReasons {
 		t.Fatalf("test covers %d reasons, enum has %d", len(want), NumReasons)

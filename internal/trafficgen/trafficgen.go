@@ -82,11 +82,11 @@ func (c *Collector) Attach(r *router.Router) {
 // were visible only in the link scheduler's aggregate count, so
 // Sent != Delivered + Dropped at the flow level whenever a queue
 // overflowed.
-func (c *Collector) WatchLink(l *netsim.Link) {
-	l.OnDrop = func(p *packet.Packet, reason telemetry.Reason) {
+func (c *Collector) WatchLink(l netsim.Wire) {
+	l.SetOnDrop(func(p *packet.Packet, reason telemetry.Reason) {
 		c.flow(p.Header.FlowID).Dropped.Add(p.Size())
 		c.Drops.Inc(reason)
-	}
+	})
 }
 
 // WatchRouter watches every outgoing link of r.

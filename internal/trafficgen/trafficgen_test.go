@@ -264,7 +264,7 @@ func TestQueueFullDropsVisibleToFlowStats(t *testing.T) {
 	}
 	// The collector's reason accounting and the link scheduler's own
 	// drop count must agree.
-	link, ok := n.Router("src").Link("dst")
+	link, ok := n.Router("src").SimLink("dst")
 	if !ok {
 		t.Fatal("no src->dst link")
 	}

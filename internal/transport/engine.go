@@ -1,0 +1,22 @@
+package transport
+
+import (
+	"embeddedmpls/internal/dataplane"
+	"embeddedmpls/internal/packet"
+)
+
+// FeedEngine returns a receiver sink that pushes decoded batches into a
+// dataplane engine via SubmitBatch, so batched socket reads flow into
+// batched shard ingestion without per-packet dispatch. The engine keeps
+// packets beyond the sink call, so each one is cloned off the
+// receiver's reusable storage; with wait set, a full shard queue
+// exerts backpressure on the socket loop instead of dropping.
+func FeedEngine(e *dataplane.Engine, wait bool) func(batch []Inbound) {
+	return func(batch []Inbound) {
+		ps := make([]*packet.Packet, len(batch))
+		for i, in := range batch {
+			ps[i] = in.P.Clone()
+		}
+		e.SubmitBatch(ps, wait)
+	}
+}

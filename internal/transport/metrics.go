@@ -1,0 +1,70 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"embeddedmpls/internal/telemetry"
+)
+
+// Metrics is the per-link (or per-node, when shared) accounting of the
+// transport plane. All counters are atomic, so links and receivers
+// update them from their own goroutines while a registry scrapes.
+type Metrics struct {
+	// TxPackets/TxBytes count datagrams written to the socket;
+	// TxErrors counts failed socket writes; TxLost counts packets
+	// discarded before the socket (link down or closed, fault verdict).
+	TxPackets atomic.Uint64
+	TxBytes   atomic.Uint64
+	TxErrors  atomic.Uint64
+	TxLost    atomic.Uint64
+	// EncodeErrors counts packets the codec refused to encode.
+	EncodeErrors atomic.Uint64
+	// RxPackets/RxBytes count datagrams that decoded to packets.
+	RxPackets atomic.Uint64
+	RxBytes   atomic.Uint64
+	// DecodeErrors counts datagrams that failed to decode; ShortReads
+	// is the subset that were truncated rather than corrupted.
+	DecodeErrors atomic.Uint64
+	ShortReads   atomic.Uint64
+}
+
+// bufPool recycles encode buffers so steady-state sends allocate
+// nothing. Buffers that had to grow past MaxDatagram are pooled at
+// their grown size — a node forwarding jumbo payloads settles at the
+// larger size instead of reallocating per packet.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, MaxDatagram)
+		return &b
+	},
+}
+
+func getBuf() *[]byte  { return bufPool.Get().(*[]byte) }
+func putBuf(b *[]byte) { *b = (*b)[:0]; bufPool.Put(b) }
+
+// Register wires the metrics into a telemetry registry under
+// mpls_transport_* series with the given labels (typically
+// {"node": ..., "link": ...}). Values are read live at scrape time.
+func (m *Metrics) Register(reg *telemetry.Registry, labels telemetry.Labels) {
+	counter := func(name, help string, v *atomic.Uint64) {
+		reg.Counter(name, help, labels, v.Load)
+	}
+	counter("mpls_transport_tx_packets_total", "Datagrams written to transport sockets.", &m.TxPackets)
+	counter("mpls_transport_tx_bytes_total", "Bytes written to transport sockets.", &m.TxBytes)
+	counter("mpls_transport_tx_errors_total", "Failed transport socket writes.", &m.TxErrors)
+	counter("mpls_transport_lost_packets_total", "Packets discarded before the socket (link down, closed, or fault).", &m.TxLost)
+	counter("mpls_transport_encode_errors_total", "Packets the wire codec refused to encode.", &m.EncodeErrors)
+	counter("mpls_transport_rx_packets_total", "Datagrams decoded to packets.", &m.RxPackets)
+	counter("mpls_transport_rx_bytes_total", "Bytes received on transport sockets.", &m.RxBytes)
+	counter("mpls_transport_decode_errors_total", "Datagrams that failed to decode (wire-decode drops).", &m.DecodeErrors)
+	counter("mpls_transport_short_reads_total", "Decode failures caused by truncated datagrams.", &m.ShortReads)
+}
+
+// String summarises the counters for logs.
+func (m *Metrics) String() string {
+	return fmt.Sprintf("transport{tx=%d/%dB txerr=%d lost=%d rx=%d/%dB decerr=%d short=%d}",
+		m.TxPackets.Load(), m.TxBytes.Load(), m.TxErrors.Load(), m.TxLost.Load(),
+		m.RxPackets.Load(), m.RxBytes.Load(), m.DecodeErrors.Load(), m.ShortReads.Load())
+}

@@ -1,0 +1,65 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Duplex is a bidirectional transport channel between two nodes built
+// from two UDP sockets on the loopback interface: A carries a→b
+// traffic, B carries b→a, and each receiver attributes arrivals to the
+// fixed peer on the other end. It is the drop-in replacement for one
+// simulated netsim.Link pair when a topology is built with the UDP
+// transport in a single process.
+type Duplex struct {
+	// A and B are the send sides, attached to node a and node b.
+	A, B *UDPLink
+	// RA and RB are the receive sides: RA delivers b→a arrivals into
+	// node a, RB delivers a→b arrivals into node b.
+	RA, RB *Receiver
+}
+
+// Pair wires nodes a and b together over loopback UDP. toA receives
+// the batches arriving at a (sent by b) and toB the batches arriving
+// at b. aOpts configure node a's send link and receiver, bOpts node
+// b's — per-side because metrics and drop counters are per-node.
+func Pair(a, b string, toA, toB func(batch []Inbound), aOpts, bOpts []Option) (*Duplex, error) {
+	d := &Duplex{}
+	fail := func(err error) (*Duplex, error) {
+		d.Close()
+		return nil, fmt.Errorf("transport: pair %s<->%s: %w", a, b, err)
+	}
+	var err error
+	if d.RA, err = Listen("127.0.0.1:0", toA, append(aOpts, WithPeer(b))...); err != nil {
+		return fail(err)
+	}
+	if d.RB, err = Listen("127.0.0.1:0", toB, append(bOpts, WithPeer(a))...); err != nil {
+		return fail(err)
+	}
+	if d.A, err = Dial(a, b, d.RB.Addr().String(), aOpts...); err != nil {
+		return fail(err)
+	}
+	if d.B, err = Dial(b, a, d.RA.Addr().String(), bOpts...); err != nil {
+		return fail(err)
+	}
+	return d, nil
+}
+
+// Close tears down both directions. Idempotent; safe on a partially
+// constructed pair.
+func (d *Duplex) Close() error {
+	var errs []error
+	if d.A != nil {
+		errs = append(errs, d.A.Close())
+	}
+	if d.B != nil {
+		errs = append(errs, d.B.Close())
+	}
+	if d.RA != nil {
+		errs = append(errs, d.RA.Close())
+	}
+	if d.RB != nil {
+		errs = append(errs, d.RB.Close())
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,179 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"embeddedmpls/internal/packet"
+	"embeddedmpls/internal/telemetry"
+)
+
+// maxReadSize bounds one datagram read; a 64 KiB slice covers the
+// largest UDP payload, so no datagram is ever truncated by the reader.
+const maxReadSize = 64 << 10
+
+// Inbound is one decoded arrival: the packet and the name of the
+// neighbour that sent it, resolved from the datagram's NodeID (or
+// pinned by WithPeer on single-peer sockets).
+type Inbound struct {
+	P    *packet.Packet
+	From string
+}
+
+// Receiver owns one UDP socket and turns its datagrams into batches of
+// decoded packets. Arrivals are accumulated until the batch is full or
+// the flush interval expires, then handed to the sink in one call —
+// the socket-side mirror of dataplane.Engine's SubmitBatch, so a
+// node's receive path amortises per-packet dispatch the same way its
+// forwarding path does.
+//
+// The sink owns the packets only for the duration of the call: the
+// receiver reuses their stack and payload storage for the next batch,
+// which is what keeps the decode path allocation-free. Sinks that
+// queue packets (dataplane submission does) must Clone them.
+type Receiver struct {
+	conn    *net.UDPConn
+	deliver func(batch []Inbound)
+
+	peer  string
+	names []string
+
+	batch    []Inbound
+	pending  int
+	flushIvl time.Duration
+	readBuf  []byte
+
+	m      *Metrics
+	drop   func(telemetry.Reason)
+	closed atomic.Bool
+	done   chan struct{}
+}
+
+// Listen opens a UDP receive socket on addr (":0" picks a free port)
+// and starts the read loop, delivering decoded batches to sink.
+func Listen(addr string, sink func(batch []Inbound), opts ...Option) (*Receiver, error) {
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	la, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", la)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	// Size the kernel's receive queue too: bursts larger than SO_RCVBUF
+	// are silently shed by the kernel before the read loop ever sees
+	// them. Best effort — some platforms clamp it.
+	_ = conn.SetReadBuffer(cfg.readBuffer)
+	r := &Receiver{
+		conn:     conn,
+		deliver:  sink,
+		peer:     cfg.peer,
+		names:    cfg.names,
+		batch:    make([]Inbound, cfg.batch),
+		flushIvl: cfg.flushInterval,
+		readBuf:  make([]byte, maxReadSize),
+		m:        cfg.metrics,
+		drop:     cfg.drop,
+		done:     make(chan struct{}),
+	}
+	if r.m == nil {
+		r.m = &Metrics{}
+	}
+	for i := range r.batch {
+		r.batch[i].P = &packet.Packet{}
+	}
+	go r.loop()
+	return r, nil
+}
+
+// Addr returns the socket's bound address — the port to hand peers
+// when listening on ":0".
+func (r *Receiver) Addr() net.Addr { return r.conn.LocalAddr() }
+
+// Metrics exposes the receiver's transport counters.
+func (r *Receiver) Metrics() *Metrics { return r.m }
+
+// Close stops the read loop and releases the socket. Idempotent; it
+// returns after the loop has flushed its last batch and exited, so no
+// sink call is in flight afterwards.
+func (r *Receiver) Close() error {
+	if r.closed.Swap(true) {
+		return nil
+	}
+	err := r.conn.Close()
+	<-r.done
+	return err
+}
+
+// loop is the socket read loop: block for the first datagram of a
+// batch, then drain with a short deadline so a burst fills the batch
+// but a lone packet is not held hostage for longer than the flush
+// interval.
+func (r *Receiver) loop() {
+	defer close(r.done)
+	for {
+		if r.pending == 0 {
+			// Nothing buffered: block indefinitely for the next packet.
+			r.conn.SetReadDeadline(time.Time{})
+		} else {
+			r.conn.SetReadDeadline(time.Now().Add(r.flushIvl))
+		}
+		n, err := r.conn.Read(r.readBuf)
+		if err != nil {
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				r.flush()
+				continue
+			}
+			// Socket closed (or unrecoverable): deliver what we have
+			// and stop.
+			r.flush()
+			return
+		}
+		r.ingest(r.readBuf[:n])
+		if r.pending == len(r.batch) {
+			r.flush()
+		}
+	}
+}
+
+// ingest decodes one datagram into the next batch slot, accounting
+// failures as wire-decode drops.
+func (r *Receiver) ingest(buf []byte) {
+	slot := &r.batch[r.pending]
+	src, err := DecodePacket(slot.P, buf)
+	if err != nil {
+		r.m.DecodeErrors.Add(1)
+		if truncation(err) {
+			r.m.ShortReads.Add(1)
+		}
+		if r.drop != nil {
+			r.drop(telemetry.ReasonWireDecode)
+		}
+		return
+	}
+	r.m.RxPackets.Add(1)
+	r.m.RxBytes.Add(uint64(len(buf)))
+	slot.From = r.peer
+	if slot.From == "" && int(src) < len(r.names) {
+		slot.From = r.names[src]
+	}
+	r.pending++
+}
+
+// flush hands the accumulated batch to the sink and rearms the slots.
+func (r *Receiver) flush() {
+	if r.pending == 0 {
+		return
+	}
+	n := r.pending
+	r.pending = 0
+	r.deliver(r.batch[:n])
+}

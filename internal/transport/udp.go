@@ -1,0 +1,234 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"embeddedmpls/internal/netsim"
+	"embeddedmpls/internal/packet"
+	"embeddedmpls/internal/telemetry"
+)
+
+// UDPLink is a unidirectional transport link toward one neighbour: it
+// encodes packets with the wire codec and writes them to a connected
+// UDP socket. It implements netsim.Wire, so a router attaches it
+// exactly like a simulated link — SetDown, fault hooks, keepalive
+// probes and failover all behave identically, except that loss and
+// delay now also come from a real network path.
+//
+// Fault semantics mirror netsim.Link: the hook sees the packet when
+// its transmission starts, a Drop verdict eats it, ExtraDelay defers
+// the socket write. A fault that mutates the packet (the corruption
+// window of package faults) is materialised as on-the-wire damage —
+// the datagram's magic is smashed, so the receiver's decode fails and
+// the loss surfaces as a wire-decode drop, which is what label
+// corruption on a physical wire looks like from the far end.
+type UDPLink struct {
+	from, to string
+	src      NodeID
+	conn     *net.UDPConn
+
+	// mu guards fault and onDrop; Send, SetFault and SetOnDrop may run
+	// on different goroutines (pump, fault injector, collector).
+	mu     sync.Mutex
+	fault  netsim.Fault
+	onDrop func(p *packet.Packet, reason telemetry.Reason)
+
+	now   func() float64
+	start time.Time
+
+	down   atomic.Bool
+	closed atomic.Bool
+	// inflight tracks sends (including delayed fault re-sends) so Close
+	// can wait for buffers to drain back to the pool.
+	inflight sync.WaitGroup
+
+	m    *Metrics
+	drop func(telemetry.Reason)
+}
+
+// Dial opens a transport link from node `from` toward neighbour `to`
+// at the remote UDP address. The link owns the socket; Close releases
+// it.
+func Dial(from, to, raddr string, opts ...Option) (*UDPLink, error) {
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	ra, err := net.ResolveUDPAddr("udp", raddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s->%s: %w", from, to, err)
+	}
+	conn, err := net.DialUDP("udp", nil, ra)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s->%s: %w", from, to, err)
+	}
+	l := &UDPLink{
+		from:  from,
+		to:    to,
+		src:   cfg.src,
+		conn:  conn,
+		now:   cfg.now,
+		start: time.Now(),
+		m:    cfg.metrics,
+		drop: cfg.drop,
+	}
+	if l.m == nil {
+		l.m = &Metrics{}
+	}
+	return l, nil
+}
+
+// From returns the sending node's name.
+func (l *UDPLink) From() string { return l.from }
+
+// To implements netsim.Wire.
+func (l *UDPLink) To() string { return l.to }
+
+// Metrics exposes the link's transport counters.
+func (l *UDPLink) Metrics() *Metrics { return l.m }
+
+// LocalAddr returns the socket's local address (useful in logs).
+func (l *UDPLink) LocalAddr() net.Addr { return l.conn.LocalAddr() }
+
+// SetDown implements netsim.Wire: a down link discards everything
+// handed to it.
+func (l *UDPLink) SetDown(down bool) { l.down.Store(down) }
+
+// Down implements netsim.Wire.
+func (l *UDPLink) Down() bool { return l.down.Load() }
+
+// SetFault implements netsim.Wire.
+func (l *UDPLink) SetFault(f netsim.Fault) {
+	l.mu.Lock()
+	l.fault = f
+	l.mu.Unlock()
+}
+
+// SetOnDrop implements netsim.Wire.
+func (l *UDPLink) SetOnDrop(fn func(p *packet.Packet, reason telemetry.Reason)) {
+	l.mu.Lock()
+	l.onDrop = fn
+	l.mu.Unlock()
+}
+
+// clock returns the fault-window time in seconds: the injected clock
+// if one was configured, wall time since the link was created
+// otherwise.
+func (l *UDPLink) clock() float64 {
+	if l.now != nil {
+		return l.now()
+	}
+	return time.Since(l.start).Seconds()
+}
+
+// lost accounts one packet that never reached the socket.
+func (l *UDPLink) lost(p *packet.Packet, reason telemetry.Reason) {
+	l.m.TxLost.Add(1)
+	if l.drop != nil {
+		l.drop(reason)
+	}
+	l.mu.Lock()
+	fn := l.onDrop
+	l.mu.Unlock()
+	if fn != nil {
+		fn(p, reason)
+	}
+}
+
+// Send implements netsim.Wire: encode and write one packet. Loss is
+// counted, never reported — exactly the simulated link's contract.
+// Send is safe to call concurrently with Close.
+func (l *UDPLink) Send(p *packet.Packet) {
+	if l.closed.Load() || l.down.Load() {
+		l.lost(p, telemetry.ReasonNoRoute)
+		return
+	}
+	buf := getBuf()
+	enc, err := AppendPacket((*buf)[:0], p, l.src)
+	if err != nil {
+		l.m.EncodeErrors.Add(1)
+		l.lost(p, telemetry.ReasonInconsistentOp)
+		putBuf(buf)
+		return
+	}
+	*buf = enc
+
+	var extra float64
+	l.mu.Lock()
+	fault := l.fault
+	l.mu.Unlock()
+	if fault != nil {
+		v := fault.Transmit(p, l.clock())
+		if v.Drop {
+			l.lost(p, telemetry.ReasonNoRoute)
+			putBuf(buf)
+			return
+		}
+		extra = v.ExtraDelay
+		// Re-encode after the hook: a difference means the fault
+		// corrupted the packet, which on a real wire is damage to the
+		// bytes in flight. Smash the magic so the far end's decode
+		// fails instead of silently forwarding a half-believable frame.
+		buf2 := getBuf()
+		enc2, err2 := AppendPacket((*buf2)[:0], p, l.src)
+		if err2 != nil {
+			// Corrupted beyond encodability: the wire would have
+			// carried trash; model it as loss on this side.
+			l.m.EncodeErrors.Add(1)
+			l.lost(p, telemetry.ReasonNoRoute)
+			putBuf(buf)
+			putBuf(buf2)
+			return
+		}
+		*buf2 = enc2
+		if !bytes.Equal(*buf, *buf2) {
+			(*buf2)[0] ^= 0xff
+		}
+		putBuf(buf)
+		buf = buf2
+	}
+
+	l.inflight.Add(1)
+	if extra > 0 {
+		time.AfterFunc(time.Duration(extra*float64(time.Second)), func() { l.write(buf) })
+		return
+	}
+	l.write(buf)
+}
+
+// write pushes one encoded datagram to the socket and recycles the
+// buffer.
+func (l *UDPLink) write(buf *[]byte) {
+	defer l.inflight.Done()
+	defer putBuf(buf)
+	if l.closed.Load() {
+		l.m.TxLost.Add(1)
+		return
+	}
+	n, err := l.conn.Write(*buf)
+	if err != nil {
+		l.m.TxErrors.Add(1)
+		return
+	}
+	l.m.TxPackets.Add(1)
+	l.m.TxBytes.Add(uint64(n))
+}
+
+// Close implements netsim.Wire: idempotent, safe against concurrent
+// Send (packets racing a Close are counted as lost, like a link that
+// went away mid-flight).
+func (l *UDPLink) Close() error {
+	if l.closed.Swap(true) {
+		return nil
+	}
+	err := l.conn.Close()
+	l.inflight.Wait()
+	return err
+}
+
+var _ netsim.Wire = (*UDPLink)(nil)
