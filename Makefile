@@ -1,19 +1,21 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test bench bench-dataplane bench-lookup bench-transport reproduce race cover metrics chaos examples clean
+.PHONY: all build test bench bench-dataplane bench-lookup bench-transport bench-convergence reproduce race cover metrics chaos examples clean
 
 all: build test
 
 build:
 	go build ./...
 
-# The fuzz smoke keeps the wire decoder honest on every run: ten
-# seconds of random datagrams must never panic the codec.
+# The fuzz smokes keep the wire decoders honest on every run: ten
+# seconds of random datagrams must never panic the packet codec, and
+# the signaling codec must strictly round-trip whatever it accepts.
 test:
 	go vet ./...
 	go test ./...
 	go test -run=^$$ -fuzz=FuzzWireDecode -fuzztime=10s ./internal/transport
 	go test -run=^$$ -fuzz=FuzzWireRoundTrip -fuzztime=10s ./internal/transport
+	go test -run=^$$ -fuzz=FuzzSignalingDecode -fuzztime=10s ./internal/signaling
 
 bench:
 	go test -bench=. -benchmem ./...
@@ -35,6 +37,13 @@ bench-lookup:
 bench-transport:
 	go run ./cmd/mplsbench -engine=transport -json
 
+# The distributed control plane: session-mesh formation, LSP
+# establishment and failure-to-reroute latency (all in simulated
+# seconds) on rings of 8, 32 and 128 routers, written to
+# BENCH_convergence.json.
+bench-convergence:
+	go run ./cmd/mplsbench -engine=convergence -json
+
 reproduce:
 	go run ./cmd/reproduce -out results
 
@@ -48,12 +57,13 @@ reproduce:
 # teardown-under-load and distributed-delivery regressions.
 race:
 	go test -race ./...
-	go test -race -count=2 ./internal/dataplane ./internal/faults ./internal/resilience ./internal/transport
+	go test -race -count=2 ./internal/dataplane ./internal/faults ./internal/resilience ./internal/signaling ./internal/transport
 	go test -race -count=2 -run 'FlowCache|Concurrent|Telemetry' ./internal/dataplane ./internal/infobase ./internal/swmpls
 	go test -race -count=2 -run 'Close|Distributed' ./internal/router ./internal/integration
 
 # Seeded chaos runs with the self-healing layer on: each seed injects a
-# different fault schedule, and mplssim exits nonzero if traffic has not
+# different fault schedule — link flaps, corruption, delay spikes and a
+# signaling-session sever — and mplssim exits nonzero if traffic has not
 # converged (flowing again, no retries exhausted) by the end of the run.
 chaos:
 	@for seed in 1 2 3; do \

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"embeddedmpls/internal/ldp"
+	"embeddedmpls/internal/lsm"
+	"embeddedmpls/internal/packet"
+	"embeddedmpls/internal/router"
+	"embeddedmpls/internal/signaling"
+	"embeddedmpls/internal/te"
+	"embeddedmpls/internal/telemetry"
+)
+
+// convResult is the convergence measurement of one ring size: how long
+// the distributed control plane takes to go from cold boot to full
+// session mesh, from signalling request to installed LSPs, and from a
+// link failure to rerouted traffic — all in simulated seconds, so the
+// figures reflect protocol round trips and timer design rather than
+// host speed.
+type convResult struct {
+	Nodes    int `json:"nodes"`
+	Sessions int `json:"sessions"`
+	LSPs     int `json:"lsps"`
+	// SessionsUpS is boot -> every adjacency operational.
+	SessionsUpS float64 `json:"sessions_up_s"`
+	// EstablishS is Setup -> every LSP mapped and installed at the
+	// ingress (downstream-on-demand over up sessions).
+	EstablishS float64 `json:"establish_s"`
+	// FailoverS is link failure -> the broken LSP re-established on the
+	// long way round: dead-timer detection + withdraw cascade to the
+	// ingress + resignalling the new path.
+	FailoverS float64 `json:"failover_s"`
+	// CtrlMsgs is the total signaling messages transmitted by all
+	// speakers over the whole run (control overhead).
+	CtrlMsgs uint64 `json:"ctrl_msgs"`
+}
+
+type convergenceReport struct {
+	Benchmark string       `json:"benchmark"`
+	Results   []convResult `json:"results"`
+}
+
+// convergeRing measures one ring of n routers carrying nlsp LSPs, each
+// from a distinct ingress to its antipode.
+func convergeRing(n, nlsp int) (convResult, error) {
+	const (
+		horizon = 30.0
+		step    = 0.002
+	)
+	name := func(i int) string { return fmt.Sprintf("r%d", i) }
+	nodes := make([]router.NodeSpec, n)
+	links := make([]router.LinkSpec, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = router.NodeSpec{Name: name(i), RouterType: lsm.LER}
+		links[i] = router.LinkSpec{
+			A: name(i), B: name((i + 1) % n),
+			RateBPS: 1e9, Delay: 0.0005, Metric: 1,
+		}
+	}
+	net, err := router.Build(nodes, links)
+	if err != nil {
+		return convResult{}, err
+	}
+	defer net.Close()
+
+	var events telemetry.EventCounters
+	speakers, err := signaling.Deploy(net,
+		signaling.WithEvents(&events), signaling.WithUntil(horizon))
+	if err != nil {
+		return convResult{}, err
+	}
+	res := convResult{Nodes: n, Sessions: 2 * n, LSPs: nlsp}
+
+	runUntil := func(limit float64, cond func() bool) (float64, error) {
+		for t := net.Sim.Now(); t < limit; t += step {
+			net.Sim.RunUntil(t)
+			if cond() {
+				return net.Sim.Now(), nil
+			}
+		}
+		return 0, fmt.Errorf("n=%d: condition not met by t=%.1fs", n, limit)
+	}
+
+	allUp := func() bool {
+		return events.Get(telemetry.EventSessionUp) >= uint64(2*n)
+	}
+	upAt, err := runUntil(horizon, allUp)
+	if err != nil {
+		return res, err
+	}
+	res.SessionsUpS = upAt
+
+	// nlsp LSPs, ingress i -> antipode, staggered around the ring so no
+	// single link carries every request.
+	established := map[string][]string{}
+	stride := n / nlsp
+	if stride == 0 {
+		stride = 1
+	}
+	setupAt := net.Sim.Now()
+	for i := 0; i < nlsp; i++ {
+		from, to := name((i*stride)%n), name((i*stride+n/2)%n)
+		path, err := net.Topo.CSPF(te.PathRequest{From: from, To: to})
+		if err != nil {
+			return res, err
+		}
+		sp := speakers[from]
+		sp.OnEstablished = func(id string, p []string) {
+			established[id] = append([]string(nil), p...)
+		}
+		if err := sp.Setup(ldp.SetupRequest{
+			ID:   fmt.Sprintf("lsp-%d", i),
+			FEC:  ldp.FEC{Dst: packet.AddrFrom(10, 0, byte(i>>8), byte(i)), PrefixLen: 32},
+			Path: path,
+		}, nil); err != nil {
+			return res, err
+		}
+	}
+	estAt, err := runUntil(horizon, func() bool { return len(established) >= nlsp })
+	if err != nil {
+		return res, err
+	}
+	res.EstablishS = estAt - setupAt
+
+	// Fail the middle link of LSP 0's path: its sessions dead-timer
+	// out, the withdraw cascade walks to the ingress, and the LSP must
+	// come back the long way round the ring.
+	route := established["lsp-0"]
+	mid := len(route) / 2
+	delete(established, "lsp-0")
+	if err := net.SetLinkDown(route[mid-1], route[mid], true); err != nil {
+		return res, err
+	}
+	failAt := net.Sim.Now()
+	backAt, err := runUntil(horizon, func() bool { return len(established) >= nlsp })
+	if err != nil {
+		return res, err
+	}
+	res.FailoverS = backAt - failAt
+
+	for _, sp := range speakers {
+		res.CtrlMsgs += sp.Stats.Tx
+	}
+	return res, nil
+}
+
+// runConvergence is the -engine=convergence benchmark: distributed
+// control-plane convergence across ring sizes, in simulated time.
+func runConvergence(sizes []int, lsps int, path string) error {
+	fmt.Println("== control-plane convergence (simulated time, ring topologies) ==")
+	fmt.Printf("%7s %9s %6s %14s %13s %12s %10s\n",
+		"nodes", "sessions", "lsps", "sessions_up_s", "establish_s", "failover_s", "ctrl_msgs")
+	report := convergenceReport{Benchmark: "convergence"}
+	for _, n := range sizes {
+		r, err := convergeRing(n, lsps)
+		if err != nil {
+			return err
+		}
+		report.Results = append(report.Results, r)
+		fmt.Printf("%7d %9d %6d %14.3f %13.3f %12.3f %10d\n",
+			r.Nodes, r.Sessions, r.LSPs, r.SessionsUpS, r.EstablishS, r.FailoverS, r.CtrlMsgs)
+	}
+	if path != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", path)
+	}
+	return nil
+}

@@ -19,6 +19,11 @@
 // backends (-infobase restricts the sweep to one backend), plus a
 // single-shard batch=1 vs batch=-batch comparison; -json writes
 // BENCH_lookup.json.
+//
+// -engine=convergence measures the distributed control plane in
+// simulated time: session-mesh formation, LSP establishment and
+// failure-to-reroute latency on rings of 8, 32 and 128 routers; -json
+// writes BENCH_convergence.json.
 package main
 
 import (
@@ -40,7 +45,7 @@ func main() {
 	sweep := flag.Bool("sweep", false, "sweep search cost vs table size, hardware vs software")
 	cam := flag.Bool("cam", false, "compare the linear search against the CAM ablation on the RTL model")
 	resources := flag.Bool("resources", false, "estimate the FPGA resource footprint")
-	engine := flag.String("engine", "lsm", "benchmark target: lsm (paper tables), dataplane (concurrent engine), lookup (ILM fast path) or transport (wire codec + loopback UDP)")
+	engine := flag.String("engine", "lsm", "benchmark target: lsm (paper tables), dataplane (concurrent engine), lookup (ILM fast path), transport (wire codec + loopback UDP) or convergence (distributed control plane)")
 	workers := flag.Int("workers", 4, "dataplane engine: maximum shard workers to sweep to")
 	packets := flag.Int("packets", 200000, "dataplane/lookup engines: packets per run")
 	batch := flag.Int("batch", 0, "dataplane engine: per-worker batch size (0: default); lookup engine: the large batch of the 1-vs-N comparison (default 32)")
@@ -64,6 +69,16 @@ func main() {
 			path = "BENCH_lookup.json"
 		}
 		if err := runLookup(kinds, batchKind, *batch, *packets, path); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *engine == "convergence" {
+		path := ""
+		if *jsonOut {
+			path = "BENCH_convergence.json"
+		}
+		if err := runConvergence([]int{8, 32, 128}, 4, path); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -110,7 +125,7 @@ func main() {
 		log.Fatal("-metrics requires -engine=dataplane")
 	}
 	if *engine != "lsm" {
-		log.Fatalf("unknown -engine %q (want lsm, dataplane, lookup or transport)", *engine)
+		log.Fatalf("unknown -engine %q (want lsm, dataplane, lookup, transport or convergence)", *engine)
 	}
 	if !*table6 && !*worst && !*sweep && !*cam && !*resources {
 		*table6, *worst, *sweep, *cam, *resources = true, true, true, true, true

@@ -1,12 +1,17 @@
 // mplsnode runs ONE router of a declarative scenario as its own OS
-// process, exchanging labeled packets with the scenario's other nodes
-// over UDP sockets — the distributed counterpart of mplssim, which runs
-// the whole topology in one simulator.
+// process, exchanging labeled packets — and the label signaling that
+// installs them — with the scenario's other nodes over UDP sockets. It
+// is the distributed counterpart of mplssim, which runs the whole
+// topology in one simulator.
 //
-// Every process loads the same scenario file, builds the full topology
-// (so label allocation agrees across processes), then swaps its own
-// router's links for sockets wired per the scenario's transport
-// section:
+// Every process loads the same scenario file but builds only its own
+// router, with sockets wired per the scenario's transport section. No
+// process assumes another's label tables: LDP-style sessions form over
+// the wire to the physical neighbours, LSPs whose ingress is this node
+// are signalled hop by hop, and transit/egress label state arrives as
+// LABEL MAPPING messages from peers. Kill a node mid-run and its
+// neighbours' dead timers tear the crossing LSPs; an ingress resignals
+// around the hole:
 //
 //	mplsnode -config scenario.json -node a &
 //	mplsnode -config scenario.json -node b
@@ -57,11 +62,26 @@ func main() {
 	var drops telemetry.DropCounters
 	b.Net.SetTelemetry(telemetry.Sink{Drops: &drops})
 
+	// Narrate the control plane as it converges; the hooks run in the
+	// delivery path, under this node's network lock.
+	b.Net.Lock()
+	b.Speaker.OnSessionUp = func(peer string) {
+		fmt.Printf("t=%.3fs session to %s up\n", b.Net.Sim.Now(), peer)
+	}
+	b.Speaker.OnSessionDown = func(peer string) {
+		fmt.Printf("t=%.3fs session to %s DOWN\n", b.Net.Sim.Now(), peer)
+	}
+	b.Speaker.OnEstablished = func(id string, path []string) {
+		fmt.Printf("t=%.3fs LSP %q established via %v\n", b.Net.Sim.Now(), id, path)
+	}
+	b.Net.Unlock()
+
 	d := *duration
 	if d <= 0 {
 		d = scenario.DurationS + 0.5
 	}
-	fmt.Printf("node %s up (scenario %q, %.2fs)\n", *node, scenario.Name, d)
+	fmt.Printf("node %s up (scenario %q, %.2fs, signaling to %v)\n",
+		*node, scenario.Name, d, b.Speaker.Peers())
 	b.Net.RunReal(d)
 
 	b.Net.Lock()
@@ -74,6 +94,7 @@ func main() {
 			fs.Latency.Summary("ms", 1e3))
 	}
 	fmt.Printf("  %v\n", b.Net.Wire)
+	fmt.Printf("  %v\n", b.Events)
 	if drops.Total() > 0 {
 		fmt.Printf("  %v\n", &drops)
 	}

@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"os"
+	"strings"
 
 	"embeddedmpls/internal/faults"
 	"embeddedmpls/internal/ldp"
@@ -10,6 +11,7 @@ import (
 	"embeddedmpls/internal/packet"
 	"embeddedmpls/internal/resilience"
 	"embeddedmpls/internal/router"
+	"embeddedmpls/internal/signaling"
 	"embeddedmpls/internal/telemetry"
 	"embeddedmpls/internal/trafficgen"
 )
@@ -49,27 +51,38 @@ func runChaos(seed int64, heal, hardware, transportUDP bool, duration, rate floa
 	defer net.Close()
 	attachTelemetry(net)
 	dst := packet.AddrFrom(10, 0, 0, 9)
-	_, err = net.LDP.SetupLSP(ldp.SetupRequest{
-		ID: "l", FEC: ldp.FEC{Dst: dst, PrefixLen: 32}, Path: []string{"a", "b", "d"},
-	})
-	check(err)
 
 	var events telemetry.EventCounters
 	timeline := &resilience.Timeline{}
+	var lastPath []string
 
+	// With healing on, the control plane is the distributed one: every
+	// router runs a signaling speaker, the LSP is signalled over
+	// sessions, and repair is a protection-switch *request* at the
+	// ingress. Without healing the legacy in-process manager installs
+	// the LSP directly — there is nothing to converge.
+	var speakers map[string]*signaling.Speaker
 	if heal {
+		speakers, err = signaling.Deploy(net,
+			signaling.WithEvents(&events), signaling.WithUntil(duration))
+		check(err)
+		speakers["a"].OnEstablished = func(id string, path []string) {
+			lastPath = append(lastPath[:0], path...)
+		}
+		sh := resilience.BindSessions(speakers["a"], net.Sim, timeline)
+		check(speakers["a"].Setup(ldp.SetupRequest{
+			ID: "l", FEC: ldp.FEC{Dst: dst, PrefixLen: 32}, Path: []string{"a", "b", "d"},
+		}, nil))
+		sh.Protect("l", []string{"a", "b", "d"})
+
 		mon := resilience.NewMonitor(net, net.Sim, resilience.MonitorConfig{
 			Interval: 0.005, MissThreshold: 3, Until: duration,
 			Events: &events, Timeline: timeline,
 		})
-		h := resilience.NewHealer(net, net.Sim, resilience.HealerConfig{
-			Seed: seed, Events: &events, Timeline: timeline,
-		})
-		mon.OnDown = h.LinkDown
-		mon.OnUp = h.LinkUp
+		mon.OnDown = sh.LinkDown
+		mon.OnUp = sh.LinkUp
 		check(mon.WatchBoth("a", "b"))
 		check(mon.WatchBoth("b", "d"))
-		check(h.Protect("l"))
 		// Telemetry-fed health: a burst of drops (e.g. a corruption
 		// window killing packets mid-path) moves the LSP even when the
 		// links still answer keepalives.
@@ -77,16 +90,34 @@ func runChaos(seed int64, heal, hardware, transportUDP bool, duration, rate floa
 			Interval: 0.05, Threshold: 3, Bad: 2, Until: duration,
 		}, traceDrops.Total, func(delta uint64) {
 			timeline.Add(net.Sim.Now(), "health: %d drops this interval, moving LSP off suspect path", delta)
-			h.Degraded("l")
+			sh.Degraded("l")
 		})
+	} else {
+		_, err = net.LDP.SetupLSP(ldp.SetupRequest{
+			ID: "l", FEC: ldp.FEC{Dst: dst, PrefixLen: 32}, Path: []string{"a", "b", "d"},
+		})
+		check(err)
 	}
 
 	inj := faults.NewInjector(net, &events)
-	schedule := faults.Generate(seed, faults.GenSpec{
+	spec := faults.GenSpec{
 		Links:    [][2]string{{"a", "b"}, {"b", "d"}},
 		Duration: duration * 0.7, Flaps: 2, MeanOutage: duration * 0.05,
 		Corruptions: 1, DelaySpikes: 1,
-	})
+	}
+	if heal {
+		// Control-plane chaos: go deaf across a link while data still
+		// flows. Only meaningful when sessions exist to sever.
+		spec.SessionSevers = 1
+		inj.SetSessionSever(func(a, b string, d float64) error {
+			timeline.Add(net.Sim.Now(), "faults: severing signaling %s<->%s for %.3fs", a, b, d)
+			if err := speakers[a].Sever(b, d); err != nil {
+				return err
+			}
+			return speakers[b].Sever(a, d)
+		})
+	}
+	schedule := faults.Generate(seed, spec)
 	check(inj.Apply(schedule))
 	fmt.Printf("chaos scenario (seed %d, %s plane, heal=%v), injected schedule:\n",
 		seed, planeName(hardware), heal)
@@ -124,8 +155,12 @@ func runChaos(seed int64, heal, hardware, transportUDP bool, duration, rate floa
 	fmt.Printf("  %v\n", &events)
 	report(c, duration)
 
-	lsp, _ := net.LDP.LSP("l")
-	fmt.Printf("final LSP path: %v\n", lsp.Path)
+	if heal {
+		fmt.Printf("final LSP path: %s\n", strings.Join(lastPath, " "))
+	} else {
+		lsp, _ := net.LDP.LSP("l")
+		fmt.Printf("final LSP path: %v\n", lsp.Path)
+	}
 
 	// Convergence: traffic flowing at the end (the last packet of a
 	// healthy run lands within a handful of send intervals of the stop

@@ -1,11 +1,17 @@
-// Distributed operation: the scenario in scenario.json split across
-// router processes that exchange labeled packets over loopback UDP.
+// Distributed operation with a live protection switch: the diamond in
+// scenario.json split across router processes that exchange labeled
+// packets AND label signaling over loopback UDP, with the core router
+// killed mid-run.
 //
 // The real walkthrough runs one mplsnode per terminal (see README.md);
 // this example compresses it into a single binary by building each
 // node exactly as its own process would — config.BuildNode gives every
-// node its own network, simulator and sockets, and nothing but UDP
-// datagrams connects them — then pumping all three concurrently.
+// node its own network, simulator, signaling speaker and sockets, and
+// nothing but UDP datagrams connects them. No node knows the others'
+// label tables: LDP-style sessions form over the wire, the ingress
+// signals the LSP hop by hop, and when the core dies its neighbours'
+// dead timers fire, the ingress tears the broken path and resignals
+// through the backup — a cross-process protection switch.
 package main
 
 import (
@@ -33,7 +39,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	names := []string{"ingress", "core", "egress"}
+	names := []string{"ingress", "core", "backup", "egress"}
 	built := make(map[string]*config.Built, len(names))
 	for _, name := range names {
 		b, err := scenario.BuildNode(name)
@@ -42,19 +48,42 @@ func main() {
 		}
 		defer b.Net.Close()
 		built[name] = b
-		fmt.Printf("node %s up at %s\n", name, scenario.Transport.Nodes[name])
+		fmt.Printf("node %s up at %s (%d routers in-process, speakers to %v)\n",
+			name, scenario.Transport.Nodes[name], len(b.Net.Routers), b.Speaker.Peers())
+	}
+
+	// Narrate the control plane from the ingress: these hooks run under
+	// the node's network lock, in its delivery path.
+	in := built["ingress"]
+	in.Speaker.OnSessionUp = func(peer string) {
+		fmt.Printf("t=%.3fs ingress: session to %s up\n", in.Net.Sim.Now(), peer)
+	}
+	in.Speaker.OnSessionDown = func(peer string) {
+		fmt.Printf("t=%.3fs ingress: session to %s DOWN\n", in.Net.Sim.Now(), peer)
+	}
+	in.Speaker.OnEstablished = func(id string, path []string) {
+		fmt.Printf("t=%.3fs ingress: LSP %q established via %v\n", in.Net.Sim.Now(), id, path)
 	}
 
 	// Each node pumps its own clock, exactly as separate processes
-	// would; the half second of slack drains in-flight datagrams.
+	// would — except the core, which dies a third of the way in.
+	const killAt = 1.0
 	d := scenario.DurationS + 0.5
 	var wg sync.WaitGroup
-	for _, b := range built {
+	for _, name := range names {
+		b, dur := built[name], d
+		if name == "core" {
+			dur = killAt
+		}
 		wg.Add(1)
-		go func(b *config.Built) {
+		go func(name string) {
 			defer wg.Done()
-			b.Net.RunReal(d)
-		}(b)
+			b.Net.RunReal(dur)
+			if name == "core" {
+				fmt.Printf("t=%.3fs core: KILLED (sockets closed, process gone)\n", killAt)
+				b.Net.Close()
+			}
+		}(name)
 	}
 	wg.Wait()
 
@@ -62,7 +91,7 @@ func main() {
 	for _, name := range names {
 		b := built[name]
 		b.Net.Lock()
-		fmt.Printf("  %v\n    %v\n", b.Net.Router(name), b.Net.Wire)
+		fmt.Printf("  %v\n    %v\n    %v\n", b.Net.Router(name), b.Net.Wire, b.Events)
 		b.Net.Unlock()
 	}
 	eg := built["egress"]
@@ -73,4 +102,6 @@ func main() {
 		fmt.Printf("flow %d at egress: delivered=%d latency %s\n",
 			id, fs.Delivered.Events, fs.Latency.Summary("ms", 1e3))
 	}
+	fmt.Println("the gap in deliveries around the kill is the dead-timer window;")
+	fmt.Println("everything after it travelled ingress -> backup -> egress.")
 }

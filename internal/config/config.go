@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -19,7 +20,9 @@ import (
 	"embeddedmpls/internal/packet"
 	"embeddedmpls/internal/qos"
 	"embeddedmpls/internal/router"
+	"embeddedmpls/internal/signaling"
 	"embeddedmpls/internal/te"
+	"embeddedmpls/internal/telemetry"
 	"embeddedmpls/internal/trafficgen"
 	"embeddedmpls/internal/transport"
 )
@@ -242,18 +245,24 @@ type Built struct {
 	Collector *trafficgen.Collector
 	// Egresses lists the routers where flows terminate.
 	Egresses []string
-	// LocalNode is set by BuildNode: the one router this process runs.
+	// LocalNode is set by BuildNode/BuildNodeGhost: the one router this
+	// process runs.
 	LocalNode string
+	// Speaker is set by BuildNode: the local signaling instance. LSPs
+	// whose ingress is this node are signalled through it; all label
+	// state arrives over the wire.
+	Speaker *signaling.Speaker
+	// Events is set by BuildNode: control-plane event counters
+	// (sessions, mappings, withdraws, protection switches).
+	Events *telemetry.EventCounters
 }
 
 // Build constructs the network, establishes tunnels and LSPs, installs
 // the traffic generators and wires collectors at every LSP egress.
 func (s *Scenario) Build() (*Built, error) { return s.build("") }
 
-// build does the construction; with local set, traffic generators are
-// installed only for flows originating at that node (the others belong
-// to their own processes).
-func (s *Scenario) build(local string) (*Built, error) {
+// specs converts the scenario's nodes and links to router-layer specs.
+func (s *Scenario) specs() ([]router.NodeSpec, []router.LinkSpec) {
 	var nodes []router.NodeSpec
 	for _, n := range s.Nodes {
 		rt := lsm.LER
@@ -286,6 +295,14 @@ func (s *Scenario) build(local string) (*Built, error) {
 		}
 		links = append(links, spec)
 	}
+	return nodes, links
+}
+
+// build does the full in-process construction; with local set, traffic
+// generators are installed only for flows originating at that node (the
+// others belong to their own processes).
+func (s *Scenario) build(local string) (*Built, error) {
+	nodes, links := s.specs()
 	net, err := router.Build(nodes, links)
 	if err != nil {
 		return nil, err
@@ -350,15 +367,171 @@ func (s *Scenario) build(local string) (*Built, error) {
 }
 
 // BuildNode constructs the scenario for one process of a distributed
-// run: the full topology is built in-process — identical construction
-// order on every process, so LDP's label allocation agrees everywhere —
-// and then the named router's links are replaced with UDP transport
-// links dialled to the neighbours' addresses from the transport
-// section, plus one listening socket for arrivals. Only flows
-// originating at the node are installed; the rest of the topology stays
-// as an inert ghost that never sees a packet. Drive the result with
+// run, peer-scoped: only the named router is instantiated, with UDP
+// transport links dialled to its actual neighbours and one listening
+// socket for arrivals. The full topology exists only as TE metadata
+// (path computation needs the graph); there are no ghost routers and no
+// precomputed label tables. A signaling speaker runs LDP-style sessions
+// to the neighbours, and every LSP whose ingress is this node is
+// signalled through it — label bindings for transit and egress roles
+// arrive over the wire from peers. Tunnels are not supported in
+// distributed mode (use BuildNodeGhost for the legacy behaviour). Only
+// flows originating at the node are installed. Drive the result with
 // Net.RunReal, and Close the network when done.
 func (s *Scenario) BuildNode(name string) (*Built, error) {
+	if s.Transport == nil {
+		return nil, fmt.Errorf("%w: scenario has no transport section", ErrValidation)
+	}
+	laddr, ok := s.Transport.Nodes[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: transport section has no address for node %q", ErrValidation, name)
+	}
+	if len(s.Tunnels) > 0 {
+		return nil, fmt.Errorf("%w: tunnels are not supported in distributed mode", ErrValidation)
+	}
+	nodes, links := s.specs()
+	net, err := router.BuildLocal(nodes, links, name)
+	if err != nil {
+		return nil, err
+	}
+	b := &Built{Scenario: s, Net: net, LocalNode: name, Events: &telemetry.EventCounters{}}
+
+	// The datagram's source-node id indexes the scenario's node order —
+	// the same table in every process, shared by transport framing and
+	// signaling.
+	names := make([]string, len(s.Nodes))
+	ids := make(map[string]transport.NodeID, len(s.Nodes))
+	for i, n := range s.Nodes {
+		names[i] = n.Name
+		ids[n.Name] = transport.NodeID(i)
+	}
+	base := net.TransportOptions()
+	rcv, err := transport.Listen(laddr, net.DeliverTo(name),
+		append(append([]transport.Option{}, base...), transport.WithNames(names))...)
+	if err != nil {
+		net.Close()
+		return nil, fmt.Errorf("config: node %s: %w", name, err)
+	}
+	net.Manage(rcv)
+
+	// From here on inbound datagrams may arrive concurrently; the rest
+	// of construction mutates router and speaker state, so it runs
+	// under the network lock like any delivery. Close must wait until
+	// the lock is released — receivers drain their final batch through
+	// the same lock.
+	locked := func() error {
+		local := net.Router(name)
+		for _, l := range s.Links {
+			var nb string
+			switch name {
+			case l.A:
+				nb = l.B
+			case l.B:
+				nb = l.A
+			default:
+				continue
+			}
+			raddr, ok := s.Transport.Nodes[nb]
+			if !ok {
+				return fmt.Errorf("%w: transport section has no address for neighbour %q of %q", ErrValidation, nb, name)
+			}
+			w, err := transport.Dial(name, nb, raddr,
+				append(append([]transport.Option{}, base...), transport.WithSource(ids[name]))...)
+			if err != nil {
+				return fmt.Errorf("config: node %s: %w", name, err)
+			}
+			local.AttachLink(w)
+			net.Manage(w)
+		}
+
+		sp, err := signaling.New(local, net.Topo, net.Sim, names, name,
+			signaling.WithEvents(b.Events))
+		if err != nil {
+			return fmt.Errorf("config: node %s: %w", name, err)
+		}
+		sp.Start()
+		b.Speaker = sp
+
+		// Egresses come from LSP metadata; the collector only attaches
+		// locally. LSPs starting here are signalled; the rest of each
+		// path materialises via the speakers of the other processes.
+		b.Collector = trafficgen.NewCollector(net.Sim)
+		egressSet := map[string]bool{}
+		for _, l := range s.LSPs {
+			dst, err := ParseAddr(l.Dst)
+			if err != nil {
+				return err
+			}
+			path := l.Path
+			if len(path) == 0 {
+				path, err = net.Topo.CSPF(te.PathRequest{
+					From: l.From, To: l.To, BandwidthBPS: l.BandwidthMbps * 1e6,
+				})
+				if err != nil {
+					return fmt.Errorf("config: LSP %q: %w", l.ID, err)
+				}
+			}
+			egressSet[path[len(path)-1]] = true
+			if path[len(path)-1] == name {
+				// The egress delivers the FEC's traffic locally.
+				local.AddLocal(dst)
+			}
+			if path[0] != name {
+				continue
+			}
+			plen := l.PrefixLen
+			if plen == 0 {
+				plen = 32
+			}
+			if err := sp.Setup(ldp.SetupRequest{
+				ID:        l.ID,
+				FEC:       ldp.FEC{Dst: dst, PrefixLen: plen},
+				Path:      path,
+				Bandwidth: l.BandwidthMbps * 1e6,
+				CoS:       label.CoS(l.CoS),
+				PHP:       l.PHP,
+			}, nil); err != nil {
+				return fmt.Errorf("config: LSP %q: %w", l.ID, err)
+			}
+		}
+		for n := range egressSet {
+			b.Egresses = append(b.Egresses, n)
+		}
+		sort.Strings(b.Egresses)
+		if egressSet[name] {
+			b.Collector.Attach(local)
+		}
+		for _, f := range s.Flows {
+			if f.From != name {
+				continue
+			}
+			gen, err := s.generator(f)
+			if err != nil {
+				return err
+			}
+			gen.Install(net.Sim, local, b.Collector)
+		}
+		return nil
+	}
+	net.Lock()
+	err = locked()
+	net.Unlock()
+	if err != nil {
+		net.Close()
+		return nil, err
+	}
+	return b, nil
+}
+
+// BuildNodeGhost is the legacy distributed construction: the full
+// topology is built in-process — identical construction order on every
+// process, so the in-process LDP manager's label allocation agrees
+// everywhere — and the named router's links are then replaced with UDP
+// transport links. The rest of the topology stays as an inert ghost
+// that never sees a packet. It exists for simulation-parity experiments
+// only; BuildNode is the real distributed path, where label bindings
+// travel over the wire instead of being assumed.
+func (s *Scenario) BuildNodeGhost(name string) (*Built, error) {
 	if s.Transport == nil {
 		return nil, fmt.Errorf("%w: scenario has no transport section", ErrValidation)
 	}
@@ -370,8 +543,6 @@ func (s *Scenario) BuildNode(name string) (*Built, error) {
 	if err != nil {
 		return nil, err
 	}
-	// The datagram's source-node id indexes the scenario's node order —
-	// the same table in every process.
 	names := make([]string, len(s.Nodes))
 	ids := make(map[string]transport.NodeID, len(s.Nodes))
 	for i, n := range s.Nodes {

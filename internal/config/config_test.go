@@ -2,12 +2,14 @@ package config
 
 import (
 	"errors"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"embeddedmpls/internal/packet"
+	"embeddedmpls/internal/telemetry"
 )
 
 const goodScenario = `{
@@ -171,5 +173,111 @@ func TestShippedScenarioFiles(t *testing.T) {
 				t.Fatal(err)
 			}
 		})
+	}
+}
+
+// distributedLine renders a three-node line with a transport section on
+// the given loopback addresses.
+func distributedLine(addrs []string) string {
+	return `{
+  "name": "peer-scoped",
+  "duration_s": 0.2,
+  "nodes": [
+    {"name": "in"}, {"name": "core"}, {"name": "out"}
+  ],
+  "links": [
+    {"a": "in", "b": "core", "rate_mbps": 10, "delay_ms": 0.1},
+    {"a": "core", "b": "out", "rate_mbps": 10, "delay_ms": 0.1}
+  ],
+  "lsps": [
+    {"id": "l", "dst": "10.0.0.9", "path": ["in", "core", "out"]}
+  ],
+  "transport": {"kind": "udp", "nodes": {"in": "` + addrs[0] + `", "core": "` + addrs[1] + `", "out": "` + addrs[2] + `"}}
+}`
+}
+
+func loopbackAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = c.LocalAddr().String()
+		c.Close()
+	}
+	return addrs
+}
+
+// TestBuildNodePeerScoped is the regression test for the distributed
+// build contract: a node comes up knowing only its local links and its
+// signaling peers — exactly one router is instantiated, no ghost
+// replicas of the rest of the topology and no precomputed label state.
+func TestBuildNodePeerScoped(t *testing.T) {
+	s, err := Load(strings.NewReader(distributedLine(loopbackAddrs(t, 3))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.BuildNode("core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Net.Close()
+
+	if len(b.Net.Routers) != 1 {
+		t.Errorf("BuildNode instantiated %d routers, want only the local one", len(b.Net.Routers))
+	}
+	if b.Net.Router("core") == nil {
+		t.Fatal("local router missing")
+	}
+	if b.Speaker == nil || b.Speaker.Name() != "core" {
+		t.Fatalf("speaker = %v, want one named core", b.Speaker)
+	}
+	peers := b.Speaker.Peers()
+	if len(peers) != 2 {
+		t.Errorf("speaker peers = %v, want the two physical neighbours", peers)
+	}
+	for _, p := range peers {
+		if sess, ok := b.Speaker.Session(p); !ok || sess.Up() {
+			t.Errorf("session to %s: ok=%v up=%v, want registered but not yet up", p, ok, sess.Up())
+		}
+	}
+	// No label state exists before signaling converges: core is a
+	// transit of the only LSP, so nothing may be preinstalled.
+	if got := b.Events.Get(telemetry.EventLabelMapRx); got != 0 {
+		t.Errorf("label_map_rx = %d before any peer exists", got)
+	}
+}
+
+// TestBuildNodeGhost pins the legacy behaviour: every router is built
+// in-process and label state is precomputed, no signaling involved.
+func TestBuildNodeGhost(t *testing.T) {
+	s, err := Load(strings.NewReader(distributedLine(loopbackAddrs(t, 3))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.BuildNodeGhost("core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Net.Close()
+	if len(b.Net.Routers) != 3 {
+		t.Errorf("BuildNodeGhost built %d routers, want the full topology", len(b.Net.Routers))
+	}
+	if b.Speaker != nil {
+		t.Error("ghost build should not create a speaker")
+	}
+}
+
+// TestBuildNodeRejectsTunnels: tunnels need the in-process manager.
+func TestBuildNodeRejectsTunnels(t *testing.T) {
+	s, err := Load(strings.NewReader(distributedLine(loopbackAddrs(t, 3))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Tunnels = []Tunnel{{ID: "t", Path: []string{"in", "core", "out"}}}
+	if _, err := s.BuildNode("core"); !errors.Is(err, ErrValidation) {
+		t.Fatalf("BuildNode with tunnels: %v, want ErrValidation", err)
 	}
 }

@@ -49,6 +49,12 @@ const (
 	// DelaySpike adds Extra seconds of propagation delay to every packet
 	// crossing the directed A->B link during [At, At+Duration).
 	DelaySpike
+	// SessionSever mutes the signaling sessions across the A-B
+	// connection (both directions) for Duration seconds: data packets
+	// still flow, but hellos and keepalives are dropped, so the
+	// control plane sees a dead peer on a healthy link. Requires a
+	// sever hook on the Injector.
+	SessionSever
 )
 
 // String names the kind for timelines and logs.
@@ -62,6 +68,8 @@ func (k Kind) String() string {
 		return "corrupt"
 	case DelaySpike:
 		return "delay-spike"
+	case SessionSever:
+		return "session-sever"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -89,6 +97,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("t=%.3fs %v %s->%s for %.3fs (every %d)", e.At, e.Kind, e.A, e.B, e.Duration, e.Every)
 	case DelaySpike:
 		return fmt.Sprintf("t=%.3fs %v %s->%s for %.3fs (+%.3gs)", e.At, e.Kind, e.A, e.B, e.Duration, e.Extra)
+	case SessionSever:
+		return fmt.Sprintf("t=%.3fs %v %s-%s for %.3fs", e.At, e.Kind, e.A, e.B, e.Duration)
 	default:
 		return fmt.Sprintf("t=%.3fs %v %s-%s", e.At, e.Kind, e.A, e.B)
 	}
@@ -120,6 +130,10 @@ type GenSpec struct {
 	// Corruptions and DelaySpikes count the degradation windows.
 	Corruptions int
 	DelaySpikes int
+	// SessionSevers counts signaling blackout windows: the control
+	// plane goes deaf across a link while data keeps flowing. Needs a
+	// sever hook on the Injector that applies the schedule.
+	SessionSevers int
 }
 
 // Generate builds a seeded random schedule: the same seed and spec
@@ -159,6 +173,16 @@ func Generate(seed int64, spec GenSpec) Schedule {
 			Duration: spec.Duration / 10, Extra: 0.001 + rng.Float64()*0.004,
 		})
 	}
+	// Severs draw from the rng last so existing seeds keep producing
+	// byte-identical flap/corrupt/spike schedules.
+	for i := 0; i < spec.SessionSevers; i++ {
+		l := pick()
+		at := rng.Float64() * spec.Duration * 0.8
+		s.Events = append(s.Events, Event{
+			At: at, Kind: SessionSever, A: l[0], B: l[1],
+			Duration: spec.Duration / 8,
+		})
+	}
 	s.Sort()
 	return s
 }
@@ -176,6 +200,7 @@ type Injector struct {
 	faults map[te2]*linkFault // lazily installed per directed link
 	log    []Record
 	rng    *rand.Rand
+	sever  func(a, b string, d float64) error
 }
 
 type te2 struct{ a, b string }
@@ -189,6 +214,13 @@ func NewInjector(net *router.Network, events *telemetry.EventCounters) *Injector
 
 // Log returns the executed injections in time order.
 func (in *Injector) Log() []Record { return in.log }
+
+// SetSessionSever installs the hook SessionSever events run: it should
+// mute the signaling sessions across the a-b connection (both
+// directions) for d seconds. Schedules containing SessionSever events
+// fail to Apply without one — a chaos run that silently skipped its
+// control-plane faults would be testing nothing.
+func (in *Injector) SetSessionSever(fn func(a, b string, d float64) error) { in.sever = fn }
 
 // Apply schedules every event of the fault script on the network's
 // simulator. It validates link references up front so a typo in a
@@ -231,6 +263,14 @@ func (in *Injector) Apply(s Schedule) error {
 			in.net.Sim.Schedule(e.At, func() {
 				f := in.fault(e.A, e.B)
 				f.addWindow(window{start: e.At, end: e.At + e.Duration, extra: e.Extra})
+				in.record(e)
+			})
+		case SessionSever:
+			if in.sever == nil {
+				return fmt.Errorf("faults: schedule has %v events but no sever hook is set", SessionSever)
+			}
+			in.net.Sim.Schedule(e.At, func() {
+				_ = in.sever(e.A, e.B, e.Duration)
 				in.record(e)
 			})
 		default:

@@ -281,3 +281,62 @@ func TestPublishHookFailsUpdate(t *testing.T) {
 		t.Errorf("entry not live after retried publish: %v", res)
 	}
 }
+
+func TestSessionSever(t *testing.T) {
+	// Generating severs draws from the rng after everything else, so a
+	// seed's flap/corrupt/spike prefix is unchanged by adding them.
+	spec := GenSpec{
+		Links: [][2]string{{"a", "b"}, {"b", "c"}}, Duration: 2,
+		Flaps: 3, Corruptions: 2, DelaySpikes: 2,
+	}
+	base := Generate(42, spec)
+	spec.SessionSevers = 2
+	with := Generate(42, spec)
+	if len(with.Events) != len(base.Events)+2 {
+		t.Fatalf("got %d events, want %d", len(with.Events), len(base.Events)+2)
+	}
+	severs := 0
+	for _, e := range with.Events {
+		if e.Kind == SessionSever {
+			severs++
+			if e.Duration <= 0 {
+				t.Errorf("sever with no window: %v", e)
+			}
+			if got := e.String(); got == "" || e.Kind.String() != "session-sever" {
+				t.Errorf("event renders %q, kind %q", got, e.Kind)
+			}
+		}
+	}
+	if severs != 2 {
+		t.Fatalf("got %d sever events, want 2", severs)
+	}
+
+	// Applying a schedule with severs needs the hook...
+	n := lineNet(t)
+	in := NewInjector(n, nil)
+	sched := Schedule{Events: []Event{{At: 0.1, Kind: SessionSever, A: "a", B: "b", Duration: 0.3}}}
+	if err := in.Apply(sched); err == nil {
+		t.Fatal("Apply accepted sever events without a hook")
+	}
+
+	// ...and with one, the hook fires at the scheduled time.
+	var got []string
+	in = NewInjector(n, nil)
+	in.SetSessionSever(func(a, b string, d float64) error {
+		got = append(got, a+"-"+b)
+		if d != 0.3 {
+			t.Errorf("sever duration = %g, want 0.3", d)
+		}
+		return nil
+	})
+	if err := in.Apply(sched); err != nil {
+		t.Fatal(err)
+	}
+	n.Sim.RunUntil(0.2)
+	if len(got) != 1 || got[0] != "a-b" {
+		t.Fatalf("sever hook calls = %v", got)
+	}
+	if len(in.Log()) != 1 {
+		t.Errorf("log = %v", in.Log())
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"embeddedmpls/internal/config"
+	"embeddedmpls/internal/telemetry"
 )
 
 // freeUDPAddrs reserves n distinct loopback UDP ports by binding and
@@ -188,4 +189,105 @@ func moduleRoot(t *testing.T) string {
 		}
 		dir = parent
 	}
+}
+
+// diamondScenario renders the examples/distributed diamond onto the
+// given transport addresses: primary path through core, backup path
+// through backup, one CBR flow.
+func diamondScenario(addrs []string, durationS float64) string {
+	return fmt.Sprintf(`{
+  "name": "distributed-diamond-test",
+  "duration_s": %g,
+  "nodes": [
+    {"name": "ingress"}, {"name": "core"}, {"name": "backup"}, {"name": "egress"}
+  ],
+  "links": [
+    {"a": "ingress", "b": "core", "rate_mbps": 10, "delay_ms": 0.1, "metric": 1},
+    {"a": "core", "b": "egress", "rate_mbps": 10, "delay_ms": 0.1, "metric": 1},
+    {"a": "ingress", "b": "backup", "rate_mbps": 10, "delay_ms": 0.1, "metric": 5},
+    {"a": "backup", "b": "egress", "rate_mbps": 10, "delay_ms": 0.1, "metric": 5}
+  ],
+  "lsps": [
+    {"id": "l1", "dst": "10.0.0.9", "prefix_len": 32,
+     "path": ["ingress", "core", "egress"]}
+  ],
+  "flows": [
+    {"id": 1, "kind": "cbr", "from": "ingress", "dst": "10.0.0.9",
+     "size_bytes": 256, "interval_ms": 5}
+  ],
+  "transport": {
+    "kind": "udp",
+    "nodes": {"ingress": %q, "core": %q, "backup": %q, "egress": %q}
+  }
+}`, durationS, addrs[0], addrs[1], addrs[2], addrs[3])
+}
+
+// TestDistributedRerouteInProcess kills the core node of the diamond
+// mid-run — its sockets close, its process state is gone — and checks
+// the surviving processes heal over the wire: dead timers fire, the
+// ingress performs a protection switch onto the backup path, and the
+// egress keeps delivering. Runs under -race in CI.
+func TestDistributedRerouteInProcess(t *testing.T) {
+	s, err := config.Load(strings.NewReader(diamondScenario(freeUDPAddrs(t, 4), 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"ingress", "core", "backup", "egress"}
+	built := make(map[string]*config.Built, len(names))
+	for _, name := range names {
+		b, err := s.BuildNode(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer b.Net.Close()
+		built[name] = b
+	}
+	ingress, egress := built["ingress"], built["egress"]
+
+	var lastPath []string
+	ingress.Net.Lock()
+	ingress.Speaker.OnEstablished = func(id string, path []string) {
+		lastPath = append(lastPath[:0], path...)
+	}
+	ingress.Net.Unlock()
+
+	const killAt = 0.7
+	var atKill uint64
+	var wg sync.WaitGroup
+	for _, name := range names {
+		b, d := built[name], s.DurationS+0.3
+		if name == "core" {
+			d = killAt
+		}
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			b.Net.RunReal(d)
+			if name == "core" {
+				b.Net.Close()
+				egress.Net.Lock()
+				atKill = egress.Collector.Flow(1).Delivered.Events
+				egress.Net.Unlock()
+			}
+		}(name)
+	}
+	wg.Wait()
+
+	ingress.Net.Lock()
+	switches := ingress.Events.Get(telemetry.EventProtectionSwitch)
+	path := strings.Join(lastPath, ",")
+	ingress.Net.Unlock()
+	if switches < 1 {
+		t.Errorf("ingress protection_switch = %d, want >= 1", switches)
+	}
+	if path != "ingress,backup,egress" {
+		t.Errorf("final path = %s, want ingress,backup,egress", path)
+	}
+	egress.Net.Lock()
+	final := egress.Collector.Flow(1).Delivered.Events
+	egress.Net.Unlock()
+	if final <= atKill {
+		t.Errorf("no deliveries after the kill: %d at kill, %d final", atKill, final)
+	}
+	t.Logf("delivered %d before the kill, %d after, path %s", atKill, final-atKill, path)
 }

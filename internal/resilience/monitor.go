@@ -138,7 +138,7 @@ func (m *Monitor) ctrl(name string) packet.Addr {
 	m.byAddr[addr] = name
 	r := m.net.Router(name)
 	r.AddLocal(addr)
-	r.SetControlSink(func(p *packet.Packet) bool {
+	r.AddControlSink(func(p *packet.Packet) bool {
 		if p.Header.FlowID != ProbeFlowID {
 			return false
 		}

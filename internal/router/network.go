@@ -133,6 +133,28 @@ func transportKind(spec LinkSpec, nodeDefault map[string]string) (string, error)
 	}
 }
 
+// newPlane builds the data plane a node spec asks for.
+func newPlane(spec NodeSpec) (DataPlane, error) {
+	kind, err := ilmKind(spec.InfoBase)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case spec.Hardware:
+		return NewHardwarePlane(device.New(spec.RouterType, lsm.DefaultClock)), nil
+	case spec.EngineWorkers > 0:
+		eng := dataplane.New(
+			dataplane.WithWorkers(spec.EngineWorkers),
+			dataplane.WithBatch(spec.EngineBatch),
+			dataplane.WithNode(spec.Name),
+			dataplane.WithNewTable(func() *swmpls.Forwarder { return swmpls.New(swmpls.WithILM(kind)) }),
+		)
+		return NewEnginePlane(eng, spec.SoftwareCost), nil
+	default:
+		return NewSoftwarePlaneWith(spec.SoftwareCost, swmpls.New(swmpls.WithILM(kind))), nil
+	}
+}
+
 // Build wires a network from specs: routers with their data planes, TE
 // topology nodes/links, links in both directions — simulated or
 // transport-backed per spec — and an LDP manager with every router
@@ -149,24 +171,9 @@ func Build(nodes []NodeSpec, links []LinkSpec) (*Network, error) {
 		if _, dup := n.Routers[spec.Name]; dup {
 			return nil, fmt.Errorf("router: duplicate node %q", spec.Name)
 		}
-		kind, err := ilmKind(spec.InfoBase)
+		plane, err := newPlane(spec)
 		if err != nil {
 			return nil, err
-		}
-		var plane DataPlane
-		switch {
-		case spec.Hardware:
-			plane = NewHardwarePlane(device.New(spec.RouterType, lsm.DefaultClock))
-		case spec.EngineWorkers > 0:
-			eng := dataplane.New(
-				dataplane.WithWorkers(spec.EngineWorkers),
-				dataplane.WithBatch(spec.EngineBatch),
-				dataplane.WithNode(spec.Name),
-				dataplane.WithNewTable(func() *swmpls.Forwarder { return swmpls.New(swmpls.WithILM(kind)) }),
-			)
-			plane = NewEnginePlane(eng, spec.SoftwareCost)
-		default:
-			plane = NewSoftwarePlaneWith(spec.SoftwareCost, swmpls.New(swmpls.WithILM(kind)))
 		}
 		n.Routers[spec.Name] = New(n.Sim, spec.Name, plane)
 		n.Topo.AddNode(spec.Name)
@@ -215,6 +222,63 @@ func Build(nodes []NodeSpec, links []LinkSpec) (*Network, error) {
 		if err := n.LDP.Register(name, r); err != nil {
 			return nil, err
 		}
+	}
+	return n, nil
+}
+
+// BuildLocal builds the peer-scoped network of one distributed process:
+// the full TE topology (path computation needs the whole graph, and a
+// graph is scenario metadata, not router state) but only the named
+// router is instantiated — no ghost routers, no ghost label tables. No
+// links are wired either; the caller attaches transport links toward
+// its actual neighbours, and label bindings arrive over those links via
+// the signaling plane instead of being precomputed in-process. The LDP
+// manager exists with only the local router registered, for callers
+// that program local state directly.
+func BuildLocal(nodes []NodeSpec, links []LinkSpec, local string) (*Network, error) {
+	n := &Network{
+		Sim:     netsim.New(),
+		Topo:    te.NewTopology(),
+		Routers: make(map[string]*Router),
+		Wire:    &transport.Metrics{},
+	}
+	known := make(map[string]bool, len(nodes))
+	for _, spec := range nodes {
+		if known[spec.Name] {
+			return nil, fmt.Errorf("router: duplicate node %q", spec.Name)
+		}
+		known[spec.Name] = true
+		n.Topo.AddNode(spec.Name)
+		if spec.Name != local {
+			continue
+		}
+		plane, err := newPlane(spec)
+		if err != nil {
+			return nil, err
+		}
+		n.Routers[spec.Name] = New(n.Sim, spec.Name, plane)
+	}
+	if _, ok := n.Routers[local]; !ok {
+		return nil, fmt.Errorf("router: local node %q not in node specs", local)
+	}
+	for _, spec := range links {
+		if !known[spec.A] {
+			return nil, fmt.Errorf("router: link references unknown node %q", spec.A)
+		}
+		if !known[spec.B] {
+			return nil, fmt.Errorf("router: link references unknown node %q", spec.B)
+		}
+		if err := n.Topo.AddDuplex(spec.A, spec.B, te.LinkAttrs{
+			CapacityBPS: spec.RateBPS,
+			Metric:      spec.Metric,
+			DelaySec:    spec.Delay,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	n.LDP = ldp.NewManager(n.Topo)
+	if err := n.LDP.Register(local, n.Routers[local]); err != nil {
+		return nil, err
 	}
 	return n, nil
 }

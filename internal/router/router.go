@@ -121,11 +121,12 @@ type Router struct {
 	// after decapsulation (traffic sinks hook it).
 	OnDeliver func(p *packet.Packet)
 
-	// control, when set, is offered every locally delivered packet
-	// before OnDeliver; returning true consumes the packet. The
-	// resilience layer's keepalive probes ride it so liveness traffic
+	// control sinks are offered every locally delivered packet before
+	// OnDeliver, in attachment order; the first to return true consumes
+	// the packet. The resilience layer's keepalive probes and the
+	// signaling layer's session messages ride them so control traffic
 	// never pollutes flow statistics.
-	control func(p *packet.Packet) bool
+	control []func(p *packet.Packet) bool
 
 	// ipTable, when set, carries unlabelled packets that have no FEC
 	// binding — conventional hop-by-hop IP forwarding, the pre-MPLS
@@ -332,12 +333,30 @@ func (r *Router) ipForward(p *packet.Packet) {
 
 // SetControlSink installs the router's control-plane punt: delivered
 // packets the sink claims (by returning true) are consumed before
-// delivery statistics and OnDeliver see them. A nil sink detaches.
-func (r *Router) SetControlSink(sink func(p *packet.Packet) bool) { r.control = sink }
+// delivery statistics and OnDeliver see them. It replaces every
+// previously attached sink; a nil sink detaches them all. Subsystems
+// that must coexist (liveness probing and signaling sessions on one
+// node) use AddControlSink instead.
+func (r *Router) SetControlSink(sink func(p *packet.Packet) bool) {
+	if sink == nil {
+		r.control = nil
+		return
+	}
+	r.control = []func(p *packet.Packet) bool{sink}
+}
+
+// AddControlSink attaches one more control-plane punt without
+// disturbing the ones already installed. Sinks see delivered packets in
+// attachment order; the first to claim a packet consumes it.
+func (r *Router) AddControlSink(sink func(p *packet.Packet) bool) {
+	r.control = append(r.control, sink)
+}
 
 func (r *Router) deliver(p *packet.Packet) {
-	if r.control != nil && r.control(p) {
-		return
+	for _, sink := range r.control {
+		if sink(p) {
+			return
+		}
 	}
 	r.Stats.Delivered.Add(p.Size())
 	if r.OnDeliver != nil {

@@ -1,0 +1,32 @@
+package signaling
+
+import (
+	"sort"
+
+	"embeddedmpls/internal/router"
+)
+
+// Deploy builds and starts a speaker on every router of an in-process
+// network, sharing its simulator clock and TE topology. The node name
+// table is the sorted router-name list — the same NodeID assignment the
+// transport layer derives from a scenario. Distributed deployments
+// construct their single local speaker directly instead.
+func Deploy(net *router.Network, opts ...Option) (map[string]*Speaker, error) {
+	names := make([]string, 0, len(net.Routers))
+	for name := range net.Routers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	speakers := make(map[string]*Speaker, len(names))
+	for _, name := range names {
+		sp, err := New(net.Routers[name], net.Topo, net.Sim, names, name, opts...)
+		if err != nil {
+			return nil, err
+		}
+		speakers[name] = sp
+	}
+	for _, name := range names {
+		speakers[name].Start()
+	}
+	return speakers, nil
+}

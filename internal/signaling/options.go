@@ -1,0 +1,77 @@
+package signaling
+
+import "embeddedmpls/internal/telemetry"
+
+type config struct {
+	timers       Timers
+	until        float64
+	drainDelay   float64
+	retryBackoff float64
+	retryMax     int
+	setupTimeout float64
+	events       *telemetry.EventCounters
+}
+
+func defaults() config {
+	return config{
+		timers:       Timers{}.withDefaults(),
+		drainDelay:   0.02,
+		retryBackoff: 0.05,
+		retryMax:     5,
+		setupTimeout: 0.25,
+	}
+}
+
+// Option configures a Speaker.
+type Option func(*config)
+
+// WithTimers sets the session FSM timers (zero fields take defaults).
+func WithTimers(t Timers) Option {
+	return func(c *config) { c.timers = t.withDefaults() }
+}
+
+// WithUntil stops session ticking at the given clock time so a bounded
+// scenario's event queue can drain. 0 ticks forever (stop with Stop).
+func WithUntil(t float64) Option {
+	return func(c *config) { c.until = t }
+}
+
+// WithEvents attaches an event counter sink for session transitions,
+// label message receipts, protection switches and retries.
+func WithEvents(e *telemetry.EventCounters) Option {
+	return func(c *config) { c.events = e }
+}
+
+// WithDrainDelay sets the make-before-break drain: how long a
+// superseded path generation keeps forwarding before its release is
+// sent. <=0 keeps the default 20ms.
+func WithDrainDelay(d float64) Option {
+	return func(c *config) {
+		if d > 0 {
+			c.drainDelay = d
+		}
+	}
+}
+
+// WithRetry sets the retry budget and backoff base for establishment
+// and reroute attempts.
+func WithRetry(max int, backoff float64) Option {
+	return func(c *config) {
+		if max > 0 {
+			c.retryMax = max
+		}
+		if backoff > 0 {
+			c.retryBackoff = backoff
+		}
+	}
+}
+
+// WithSetupTimeout sets how long the ingress waits for a mapping before
+// retransmitting its request.
+func WithSetupTimeout(d float64) Option {
+	return func(c *config) {
+		if d > 0 {
+			c.setupTimeout = d
+		}
+	}
+}

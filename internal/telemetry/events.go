@@ -29,9 +29,20 @@ const (
 	// EventRetryExhausted: a retried operation ran out of attempts and
 	// was abandoned.
 	EventRetryExhausted
+	// EventSessionUp: a signaling session reached the operational state.
+	EventSessionUp
+	// EventSessionDown: an operational signaling session was torn down
+	// (dead-timer expiry, forced sever or close).
+	EventSessionDown
+	// EventLabelMapRx: a LABEL MAPPING message was received and its
+	// binding installed.
+	EventLabelMapRx
+	// EventLabelWithdrawRx: a LABEL WITHDRAW message was received and
+	// the binding removed.
+	EventLabelWithdrawRx
 
 	// NumEvents is the number of distinct events.
-	NumEvents = 5
+	NumEvents = 9
 )
 
 // Valid reports whether e names a defined event.
@@ -51,6 +62,14 @@ func (e Event) String() string {
 		return "retry_attempt"
 	case EventRetryExhausted:
 		return "retry_exhausted"
+	case EventSessionUp:
+		return "session_up"
+	case EventSessionDown:
+		return "session_down"
+	case EventLabelMapRx:
+		return "label_map_rx"
+	case EventLabelWithdrawRx:
+		return "label_withdraw_rx"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(e))
 	}

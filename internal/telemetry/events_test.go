@@ -45,6 +45,10 @@ func TestEventStrings(t *testing.T) {
 		EventProtectionSwitch: "protection_switch",
 		EventRetryAttempt:     "retry_attempt",
 		EventRetryExhausted:   "retry_exhausted",
+		EventSessionUp:        "session_up",
+		EventSessionDown:      "session_down",
+		EventLabelMapRx:       "label_map_rx",
+		EventLabelWithdrawRx:  "label_withdraw_rx",
 	}
 	for e, s := range want {
 		if e.String() != s {

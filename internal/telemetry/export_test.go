@@ -26,6 +26,10 @@ func goldenRegistry() *Registry {
 	events.Add(EventProtectionSwitch, 2)
 	events.Add(EventRetryAttempt, 4)
 	events.Add(EventRetryExhausted, 1)
+	events.Add(EventSessionUp, 3)
+	events.Add(EventSessionDown, 1)
+	events.Add(EventLabelMapRx, 9)
+	events.Add(EventLabelWithdrawRx, 2)
 
 	lat := NewHistogram(0.001, 0.01, 0.1)
 	for _, v := range []float64{0.0005, 0.0005, 0.02, 0.5} {
