@@ -8,13 +8,16 @@ build:
 	go build ./...
 
 # The fuzz smokes keep the wire decoders honest on every run: ten
-# seconds of random datagrams must never panic the packet codec, and
-# the signaling codec must strictly round-trip whatever it accepts.
+# seconds of random datagrams must never panic the packet codec or the
+# coalesced-frame walker, and the signaling codec must strictly
+# round-trip whatever it accepts.
 test:
 	go vet ./...
 	go test ./...
 	go test -run=^$$ -fuzz=FuzzWireDecode -fuzztime=10s ./internal/transport
 	go test -run=^$$ -fuzz=FuzzWireRoundTrip -fuzztime=10s ./internal/transport
+	go test -run=^$$ -fuzz=FuzzFrameDecode -fuzztime=10s ./internal/transport
+	go test -run=^$$ -fuzz=FuzzFrameRoundTrip -fuzztime=10s ./internal/transport
 	go test -run=^$$ -fuzz=FuzzSignalingDecode -fuzztime=10s ./internal/signaling
 
 bench:
@@ -32,10 +35,13 @@ bench-lookup:
 	go run ./cmd/mplsbench -engine=lookup -batch=32 -json
 
 # The wire transport: codec ns/op with the zero-allocation guarantee,
-# sustained loopback-UDP pps against the in-memory codec pipeline, and
-# a receive batch-size sweep, written to BENCH_transport.json.
+# sustained loopback-UDP pps against the in-memory codec pipeline — the
+# legacy per-packet wire and the batched wire across its coalesce /
+# sysBatch / shard axes with syscalls-per-packet — written to
+# BENCH_transport.json. Exits nonzero if the best batched pps falls
+# below the committed floor_pps, so a wire-path regression fails CI.
 bench-transport:
-	go run ./cmd/mplsbench -engine=transport -json
+	go run ./cmd/mplsbench -engine=transport -packets=500000 -json
 
 # The distributed control plane: session-mesh formation, LSP
 # establishment and failure-to-reroute latency (all in simulated
@@ -59,7 +65,7 @@ race:
 	go test -race ./...
 	go test -race -count=2 ./internal/dataplane ./internal/faults ./internal/resilience ./internal/signaling ./internal/transport
 	go test -race -count=2 -run 'FlowCache|Concurrent|Telemetry' ./internal/dataplane ./internal/infobase ./internal/swmpls
-	go test -race -count=2 -run 'Close|Distributed' ./internal/router ./internal/integration
+	go test -race -count=2 -run 'Close|Distributed|Differential' ./internal/router ./internal/integration
 
 # Seeded chaos runs with the self-healing layer on: each seed injects a
 # different fault schedule — link flaps, corruption, delay spikes and a

@@ -26,22 +26,45 @@ type codecResult struct {
 
 // ppsResult is one transport throughput measurement.
 type ppsResult struct {
-	// Path is "in-memory" (encode+decode, no socket) or "udp".
-	Path  string `json:"path"`
-	Batch int    `json:"batch,omitempty"`
-	// PPS is delivered packets per second of wall time.
+	// Path is "in-memory" (encode+decode, no socket), "udp" (legacy
+	// one-datagram-per-packet Send), or "udp-batched" (SendBatch with
+	// coalesced frames and sendmmsg/recvmmsg).
+	Path string `json:"path"`
+	// Batch is the receiver's sink batch size (legacy sweep axis).
+	Batch int `json:"batch,omitempty"`
+	// Coalesce and SysBatch are the batched path's two amortisation
+	// axes: packets per datagram and datagrams per syscall.
+	Coalesce int `json:"coalesce,omitempty"`
+	SysBatch int `json:"sys_batch,omitempty"`
+	// Shards is the SO_REUSEPORT socket count (1 = a single socket).
+	Shards int `json:"shards,omitempty"`
+	// PPS is delivered packets per second of send-side wall time.
 	PPS       float64 `json:"pps"`
 	Sent      int     `json:"sent"`
 	Delivered uint64  `json:"delivered"`
 	LossRate  float64 `json:"loss_rate"`
+	// SyscallsPerPacket is (tx+rx syscalls) / (tx+rx packets) over the
+	// run — the figure that was invisible while the legacy batch sweep
+	// reported flat pps: the receive batch size never changed the
+	// syscall count, so nothing moved.
+	SyscallsPerPacket float64 `json:"syscalls_per_packet,omitempty"`
 }
 
 type transportReport struct {
-	Benchmark string      `json:"benchmark"`
-	Packets   int         `json:"packets"`
-	Codec     codecResult `json:"codec"`
-	Results   []ppsResult `json:"results"`
+	Benchmark string `json:"benchmark"`
+	Packets   int    `json:"packets"`
+	// FloorPPS is the committed regression floor: bench-transport
+	// exits nonzero when the best sustained batched-UDP pps falls
+	// below it. Preserved across regenerations.
+	FloorPPS float64     `json:"floor_pps"`
+	Codec    codecResult `json:"codec"`
+	Results  []ppsResult `json:"results"`
 }
+
+// defaultFloorPPS seeds the regression floor the first time a report is
+// written: conservative (half the 5M target) so scheduler noise on
+// loaded machines does not flake the gate.
+const defaultFloorPPS = 2.5e6
 
 // benchPacket is the codec workload: a transit packet with one label.
 func benchPacket(seq uint64) *packet.Packet {
@@ -117,23 +140,25 @@ func benchInMemory(n int) ppsResult {
 	}
 }
 
-// benchUDP measures sustained delivered pps through a real loopback
-// socket pair: the sender pushes at most n packets in small paced
-// bursts for up to udpWindow of wall time, the sink counts arrivals.
-// Pacing keeps the kernel's receive queue from being the thing under
-// test; residual loss under pressure is reported, not hidden.
+// benchUDP measures the legacy wire: one Send call, one datagram, one
+// syscall per packet, through a loopback socket pair. The batch
+// parameter sizes only the receiver's sink batches — the sweep that
+// historically reported flat pps, because the syscall count (now
+// reported) never moved.
 func benchUDP(n, batch int) (ppsResult, error) {
 	const (
 		udpWindow = time.Second
 		burst     = 64
 	)
+	m := &transport.Metrics{}
 	var delivered atomic.Uint64
 	sink := func(b []transport.Inbound) { delivered.Add(uint64(len(b))) }
 	opts := []transport.Option{
 		transport.WithBatch(batch),
 		transport.WithReadBuffer(4 << 20),
+		transport.WithMetrics(m),
 	}
-	d, err := transport.Pair("a", "b", func([]transport.Inbound) {}, sink, nil, opts)
+	d, err := transport.Pair("a", "b", func([]transport.Inbound) {}, sink, opts, opts)
 	if err != nil {
 		return ppsResult{}, err
 	}
@@ -167,14 +192,104 @@ func benchUDP(n, batch int) (ppsResult, error) {
 	got := delivered.Load()
 	return ppsResult{
 		Path: "udp", Batch: batch, Sent: sent, Delivered: got,
-		PPS:      float64(got) / sendDone.Seconds(),
-		LossRate: 1 - float64(got)/float64(sent),
+		PPS:               float64(got) / sendDone.Seconds(),
+		LossRate:          1 - float64(got)/float64(sent),
+		SyscallsPerPacket: m.SyscallsPerPacket(),
 	}, nil
+}
+
+// benchUDPBatched measures the batched wire path: SendBatch coalesces
+// packets into frames (coalesce per datagram) and moves them with
+// batched syscalls (sysBatch datagrams per sendmmsg); the receive side
+// is shards SO_REUSEPORT sockets drained by recvmmsg, one connected
+// sender per shard. The sender paces against delivered count so the
+// kernel's receive queue — not the path under test — never overflows.
+func benchUDPBatched(coalesce, sysBatch, shards int) (ppsResult, error) {
+	const (
+		window = time.Second
+		burst  = 256
+		maxLag = 8192
+	)
+	m := &transport.Metrics{}
+	var delivered atomic.Uint64
+	opts := []transport.Option{
+		transport.WithCoalesce(coalesce),
+		transport.WithSysBatch(sysBatch),
+		transport.WithBatch(burst),
+		transport.WithReadBuffer(4 << 20),
+		transport.WithMetrics(m),
+	}
+	rcv, err := transport.ListenSharded("127.0.0.1:0", shards,
+		func(int) func(batch []transport.Inbound) {
+			return func(b []transport.Inbound) { delivered.Add(uint64(len(b))) }
+		}, opts...)
+	if err != nil {
+		return ppsResult{}, err
+	}
+	defer rcv.Close()
+
+	links := make([]*transport.UDPLink, shards)
+	for i := range links {
+		l, err := transport.Dial("a", "b", rcv.Addr().String(), opts...)
+		if err != nil {
+			return ppsResult{}, err
+		}
+		defer l.Close()
+		links[i] = l
+	}
+
+	ps := make([]*packet.Packet, burst)
+	for i := range ps {
+		ps[i] = benchPacket(uint64(i))
+	}
+	sent := 0
+	start := time.Now()
+	for time.Since(start) < window {
+		links[sent/burst%len(links)].SendBatch(ps)
+		sent += burst
+		for uint64(sent)-delivered.Load() > maxLag {
+			time.Sleep(20 * time.Microsecond)
+			if time.Since(start) >= window {
+				break
+			}
+		}
+	}
+	sendDone := time.Since(start)
+	for deadline := time.Now().Add(time.Second); time.Now().Before(deadline); {
+		if delivered.Load() >= uint64(sent) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	got := delivered.Load()
+	return ppsResult{
+		Path: "udp-batched", Coalesce: coalesce, SysBatch: sysBatch, Shards: shards,
+		Sent: sent, Delivered: got,
+		PPS:               float64(got) / sendDone.Seconds(),
+		LossRate:          1 - float64(got)/float64(sent),
+		SyscallsPerPacket: m.SyscallsPerPacket(),
+	}, nil
+}
+
+// readFloor recovers the committed regression floor from a previous
+// report at path; zero when there is none yet.
+func readFloor(path string) float64 {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return 0
+	}
+	var old transportReport
+	if err := json.Unmarshal(blob, &old); err != nil {
+		return 0
+	}
+	return old.FloorPPS
 }
 
 // runTransport is the -engine=transport benchmark: codec cost (with the
 // zero-allocation guarantee), loopback-UDP throughput against the
-// in-memory codec pipeline, and a receive batch-size sweep.
+// in-memory codec pipeline — the legacy per-packet wire, then the
+// batched wire across its coalesce/sysBatch/shards axes — and the
+// regression gate against the committed pps floor.
 func runTransport(packets int, path string) error {
 	fmt.Println("== wire codec ==")
 	codec := benchCodec()
@@ -187,19 +302,37 @@ func runTransport(packets int, path string) error {
 
 	fmt.Printf("\n== throughput (%d packets) ==\n", packets)
 	results := []ppsResult{benchInMemory(packets)}
-	fmt.Printf("%-10s %12.0f pps\n", "in-memory", results[0].PPS)
-	for _, batch := range []int{1, 8, 32, 128} {
+	fmt.Printf("%-26s %12.0f pps\n", "in-memory", results[0].PPS)
+	for _, batch := range []int{1, 32, 128} {
 		r, err := benchUDP(packets, batch)
 		if err != nil {
 			return err
 		}
 		results = append(results, r)
-		fmt.Printf("udp b=%-4d %12.0f pps  (loss %.2f%%)\n", batch, r.PPS, 100*r.LossRate)
+		fmt.Printf("udp b=%-20d %12.0f pps  (loss %.2f%%, %.2f syscalls/pkt)\n",
+			batch, r.PPS, 100*r.LossRate, r.SyscallsPerPacket)
+	}
+	var best ppsResult
+	for _, axes := range [][3]int{{1, 32, 1}, {8, 32, 1}, {32, 32, 1}, {32, 64, 1}, {64, 64, 1}, {128, 32, 1}, {32, 32, 2}} {
+		r, err := benchUDPBatched(axes[0], axes[1], axes[2])
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+		fmt.Printf("udp-batched c=%-3d s=%-3d n=%d %12.0f pps  (loss %.2f%%, %.3f syscalls/pkt)\n",
+			r.Coalesce, r.SysBatch, r.Shards, r.PPS, 100*r.LossRate, r.SyscallsPerPacket)
+		if r.PPS > best.PPS {
+			best = r
+		}
 	}
 
+	floor := 0.0
 	if path != "" {
+		if floor = readFloor(path); floor == 0 {
+			floor = defaultFloorPPS
+		}
 		report := transportReport{
-			Benchmark: "transport", Packets: packets,
+			Benchmark: "transport", Packets: packets, FloorPPS: floor,
 			Codec: codec, Results: results,
 		}
 		blob, err := json.MarshalIndent(report, "", "  ")
@@ -210,6 +343,13 @@ func runTransport(packets int, path string) error {
 			return err
 		}
 		fmt.Printf("\nwrote %s\n", path)
+	}
+	if floor > 0 && best.PPS < floor {
+		return fmt.Errorf("transport regression: best batched UDP %.0f pps is below the committed floor %.0f pps",
+			best.PPS, floor)
+	}
+	if floor > 0 {
+		fmt.Printf("floor gate: best batched %.2fM pps >= floor %.2fM pps\n", best.PPS/1e6, floor/1e6)
 	}
 	return nil
 }

@@ -38,6 +38,8 @@ func main() {
 	configPath := flag.String("config", "", "JSON scenario file with a transport section (required)")
 	node := flag.String("node", "", "name of the router this process runs (required)")
 	duration := flag.Float64("duration", 0, "wall-clock seconds to run (default scenario duration + 0.5s)")
+	coalesce := flag.Int("coalesce", 0, "packets per datagram on inter-process links (overrides scenario transport section)")
+	sysBatch := flag.Int("sysbatch", 0, "datagrams per send/receive syscall (overrides scenario transport section)")
 	flag.Parse()
 	if *configPath == "" || *node == "" {
 		flag.Usage()
@@ -52,6 +54,15 @@ func main() {
 	f.Close()
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if scenario.Transport != nil {
+		if *coalesce > 0 {
+			scenario.Transport.Coalesce = *coalesce
+		}
+		if *sysBatch > 0 {
+			scenario.Transport.SysBatch = *sysBatch
+		}
 	}
 
 	b, err := scenario.BuildNode(*node)

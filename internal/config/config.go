@@ -52,6 +52,25 @@ type TransportSection struct {
 	// (host:port). All of a node's neighbours must be listed so its
 	// process knows where to dial.
 	Nodes map[string]string `json:"nodes"`
+	// Coalesce packs up to this many packets into one datagram on
+	// every inter-process link (transport.WithCoalesce); 0 or 1 sends
+	// one datagram per packet.
+	Coalesce int `json:"coalesce,omitempty"`
+	// SysBatch sets how many datagrams one send/receive syscall moves
+	// (transport.WithSysBatch); 0 keeps the transport default.
+	SysBatch int `json:"sys_batch,omitempty"`
+}
+
+// options renders the section's batching knobs as transport options.
+func (t *TransportSection) options() []transport.Option {
+	var opts []transport.Option
+	if t.Coalesce > 1 {
+		opts = append(opts, transport.WithCoalesce(t.Coalesce))
+	}
+	if t.SysBatch > 0 {
+		opts = append(opts, transport.WithSysBatch(t.SysBatch))
+	}
+	return opts
 }
 
 // Node declares one router.
@@ -77,6 +96,11 @@ type Link struct {
 	// simulated link, "udp" for loopback UDP sockets. (Inter-process
 	// wiring uses the scenario-level transport section instead.)
 	Transport string `json:"transport,omitempty"`
+	// Coalesce and SysBatch tune a "udp" link's batching: packets per
+	// datagram and datagrams per syscall (router.LinkSpec fields of
+	// the same names). Ignored for simulated links.
+	Coalesce int `json:"coalesce,omitempty"`
+	SysBatch int `json:"sys_batch,omitempty"`
 }
 
 // Tunnel declares a hierarchical LSP.
@@ -178,6 +202,12 @@ func (s *Scenario) validate() error {
 		default:
 			return fmt.Errorf("%w: link %d transport %q", ErrValidation, i, l.Transport)
 		}
+		if l.Coalesce < 0 || l.Coalesce > transport.MaxFramePackets {
+			return fmt.Errorf("%w: link %d coalesce %d (max %d)", ErrValidation, i, l.Coalesce, transport.MaxFramePackets)
+		}
+		if l.SysBatch < 0 || l.SysBatch > 128 {
+			return fmt.Errorf("%w: link %d sys_batch %d (max 128)", ErrValidation, i, l.SysBatch)
+		}
 	}
 	if t := s.Transport; t != nil {
 		switch t.Kind {
@@ -192,6 +222,12 @@ func (s *Scenario) validate() error {
 			if addr == "" {
 				return fmt.Errorf("%w: transport node %q has no address", ErrValidation, name)
 			}
+		}
+		if t.Coalesce < 0 || t.Coalesce > transport.MaxFramePackets {
+			return fmt.Errorf("%w: transport coalesce %d (max %d)", ErrValidation, t.Coalesce, transport.MaxFramePackets)
+		}
+		if t.SysBatch < 0 || t.SysBatch > 128 {
+			return fmt.Errorf("%w: transport sys_batch %d (max 128)", ErrValidation, t.SysBatch)
 		}
 	}
 	for _, l := range s.LSPs {
@@ -284,6 +320,8 @@ func (s *Scenario) specs() ([]router.NodeSpec, []router.LinkSpec) {
 			QueueCap:  l.QueueCap,
 			Metric:    l.Metric,
 			Transport: l.Transport,
+			Coalesce:  l.Coalesce,
+			SysBatch:  l.SysBatch,
 		}
 		switch l.Queue {
 		case "priority":
@@ -405,7 +443,7 @@ func (s *Scenario) BuildNode(name string) (*Built, error) {
 		names[i] = n.Name
 		ids[n.Name] = transport.NodeID(i)
 	}
-	base := net.TransportOptions()
+	base := append(net.TransportOptions(), s.Transport.options()...)
 	rcv, err := transport.Listen(laddr, net.DeliverTo(name),
 		append(append([]transport.Option{}, base...), transport.WithNames(names))...)
 	if err != nil {
@@ -549,7 +587,7 @@ func (s *Scenario) BuildNodeGhost(name string) (*Built, error) {
 		names[i] = n.Name
 		ids[n.Name] = transport.NodeID(i)
 	}
-	base := b.Net.TransportOptions()
+	base := append(b.Net.TransportOptions(), s.Transport.options()...)
 	rcv, err := transport.Listen(laddr, b.Net.DeliverTo(name),
 		append(append([]transport.Option{}, base...), transport.WithNames(names))...)
 	if err != nil {

@@ -274,6 +274,20 @@ func (e *Engine) SubmitBatch(ps []*packet.Packet, wait bool) int {
 	return accepted
 }
 
+// SubmitBatchTo offers a whole batch to one specific shard, bypassing
+// the flow-hash distribution — the ingestion path for transport-level
+// sharding, where an SO_REUSEPORT socket already partitioned arrivals
+// by flow and shard i's socket feeds shard i's worker with no
+// cross-shard handoff. Out-of-range shards reject the batch. With wait
+// set it applies backpressure; otherwise the drop policy decides. It
+// returns how many packets were accepted.
+func (e *Engine) SubmitBatchTo(shard int, ps []*packet.Packet, wait bool) int {
+	if e.closed.Load() || shard < 0 || shard >= len(e.shards) {
+		return 0
+	}
+	return e.shards[shard].enqueueBatch(ps, wait)
+}
+
 // Update publishes a new forwarding-table snapshot: the current table is
 // cloned, apply edits the clone, and the result is installed with one
 // atomic store. Workers observe either the old or the new table, never a

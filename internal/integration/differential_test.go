@@ -1,0 +1,175 @@
+package integration
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"embeddedmpls/internal/config"
+	"embeddedmpls/internal/telemetry"
+)
+
+// differentialScenario renders one three-node line scenario in three
+// transport dresses: the pure simulator ("sim"), per-packet loopback
+// UDP ("udp", the legacy wire), and coalesced/batched loopback UDP
+// ("batched"). Everything above the wire — topology, LSP, flow timing —
+// is byte-identical, so any divergence in what arrives is the wire's
+// doing. The flow starts after signaling has converged so every variant
+// carries exactly the same packets.
+func differentialScenario(variant string, addrs []string) string {
+	transport := ""
+	switch variant {
+	case "udp":
+		transport = fmt.Sprintf(`,
+  "transport": {"kind": "udp",
+    "nodes": {"ingress": %q, "core": %q, "egress": %q}}`,
+			addrs[0], addrs[1], addrs[2])
+	case "batched":
+		transport = fmt.Sprintf(`,
+  "transport": {"kind": "udp", "coalesce": 32, "sys_batch": 32,
+    "nodes": {"ingress": %q, "core": %q, "egress": %q}}`,
+			addrs[0], addrs[1], addrs[2])
+	}
+	return fmt.Sprintf(`{
+  "name": "differential-%s",
+  "duration_s": 1.0,
+  "nodes": [
+    {"name": "ingress"}, {"name": "core"}, {"name": "egress"}
+  ],
+  "links": [
+    {"a": "ingress", "b": "core", "rate_mbps": 100, "delay_ms": 0.1},
+    {"a": "core", "b": "egress", "rate_mbps": 100, "delay_ms": 0.1}
+  ],
+  "lsps": [
+    {"id": "l1", "dst": "10.0.0.9", "prefix_len": 32,
+     "path": ["ingress", "core", "egress"]}
+  ],
+  "flows": [
+    {"id": 1, "kind": "cbr", "from": "ingress", "dst": "10.0.0.9",
+     "size_bytes": 256, "interval_ms": 10, "start_s": 0.4}
+  ]%s
+}`, variant, transport)
+}
+
+// wireResult is one variant's observable outcome: what the flow
+// counted end to end and what the drop taxonomy blamed, summed over
+// every node.
+type wireResult struct {
+	sent, delivered uint64
+	drops           map[telemetry.Reason]uint64
+}
+
+func runDifferentialSim(t *testing.T, js string) wireResult {
+	t.Helper()
+	s, err := config.Load(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Net.Close()
+	var drops telemetry.DropCounters
+	b.Net.SetTelemetry(telemetry.Sink{Drops: &drops})
+	b.Run()
+	fs := b.Collector.Flow(1)
+	return wireResult{
+		sent:      fs.Sent.Events,
+		delivered: fs.Delivered.Events,
+		drops:     dropMap(&drops),
+	}
+}
+
+func runDifferentialUDP(t *testing.T, js string) wireResult {
+	t.Helper()
+	s, err := config.Load(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"ingress", "core", "egress"}
+	built := make([]*config.Built, len(names))
+	counters := make([]*telemetry.DropCounters, len(names))
+	for i, name := range names {
+		b, err := s.BuildNode(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer b.Net.Close()
+		var drops telemetry.DropCounters
+		b.Net.SetTelemetry(telemetry.Sink{Drops: &drops})
+		built[i] = b
+		counters[i] = &drops
+	}
+	var wg sync.WaitGroup
+	for _, b := range built {
+		wg.Add(1)
+		go func(b *config.Built) {
+			defer wg.Done()
+			b.Net.RunReal(s.DurationS + 0.3)
+		}(b)
+	}
+	wg.Wait()
+
+	ingress, egress := built[0], built[2]
+	res := wireResult{drops: map[telemetry.Reason]uint64{}}
+	ingress.Net.Lock()
+	res.sent = ingress.Collector.Flow(1).Sent.Events
+	ingress.Net.Unlock()
+	egress.Net.Lock()
+	res.delivered = egress.Collector.Flow(1).Delivered.Events
+	egress.Net.Unlock()
+	for i, b := range built {
+		b.Net.Lock()
+		for r, n := range dropMap(counters[i]) {
+			res.drops[r] += n
+		}
+		b.Net.Unlock()
+	}
+	return res
+}
+
+// dropMap snapshots the nonzero counters of a drop taxonomy.
+func dropMap(d *telemetry.DropCounters) map[telemetry.Reason]uint64 {
+	m := map[telemetry.Reason]uint64{}
+	for r := telemetry.Reason(0); r < telemetry.NumReasons; r++ {
+		if n := d.Get(r); n > 0 {
+			m[r] = n
+		}
+	}
+	return m
+}
+
+// TestDifferentialTransports runs one scenario over the simulator, the
+// legacy one-datagram-per-packet UDP wire, and the batched
+// coalesced-frame wire, and demands the three agree: same packets sent,
+// every one delivered, and zero drops in every taxonomy bucket. A
+// coalescing bug (lost tail frame, miscounted segment, spurious decode
+// drop) shows up as a divergence here before it shows up in production
+// topologies.
+func TestDifferentialTransports(t *testing.T) {
+	results := map[string]wireResult{
+		"sim":     runDifferentialSim(t, differentialScenario("sim", nil)),
+		"udp":     runDifferentialUDP(t, differentialScenario("udp", freeUDPAddrs(t, 3))),
+		"batched": runDifferentialUDP(t, differentialScenario("batched", freeUDPAddrs(t, 3))),
+	}
+
+	ref := results["sim"]
+	if ref.sent == 0 {
+		t.Fatal("sim variant sent nothing")
+	}
+	for name, r := range results {
+		t.Logf("%-8s sent=%d delivered=%d drops=%v", name, r.sent, r.delivered, r.drops)
+		if r.sent != ref.sent {
+			t.Errorf("%s sent %d packets, sim sent %d — the flow must not depend on the wire",
+				name, r.sent, ref.sent)
+		}
+		if r.delivered != r.sent {
+			t.Errorf("%s delivered %d of %d sent", name, r.delivered, r.sent)
+		}
+		if len(r.drops) != 0 {
+			t.Errorf("%s recorded drops %v, want none", name, r.drops)
+		}
+	}
+}

@@ -153,6 +153,18 @@ type Wire interface {
 	Close() error
 }
 
+// BatchWire is the bulk-egress extension of Wire: links that can move
+// many packets in one call implement it so callers with a ready batch
+// (an engine egress pump, a benchmark sender) amortise per-packet
+// dispatch. The transport package's UDP link turns one SendBatch into
+// coalesced frames and batched syscalls; the simulated Link simply
+// loops, keeping the two substitutable. Semantics match N calls to
+// Send: loss is counted, never reported.
+type BatchWire interface {
+	Wire
+	SendBatch(ps []*packet.Packet)
+}
+
 // Link is a unidirectional link: a bounded output queue feeding a
 // transmitter of RateBPS bits per second, followed by Delay seconds of
 // propagation. Build duplex connections from two Links.
@@ -244,7 +256,17 @@ func (l *Link) SetOnDrop(fn func(p *packet.Packet, reason telemetry.Reason)) { l
 // Close implements Wire; a simulated link holds no resources.
 func (l *Link) Close() error { return nil }
 
+// SendBatch implements BatchWire by queueing each packet in turn; the
+// simulator's event queue is the batching layer here, so there is
+// nothing to amortise beyond the call itself.
+func (l *Link) SendBatch(ps []*packet.Packet) {
+	for _, p := range ps {
+		l.Send(p)
+	}
+}
+
 var _ Wire = (*Link)(nil)
+var _ BatchWire = (*Link)(nil)
 
 // Send queues p for transmission; it is dropped silently (but counted) if
 // the queue is full or the link is down.

@@ -89,6 +89,14 @@ type LinkSpec struct {
 	// "udp" forces loopback UDP. Rate shaping and Delay apply only to
 	// simulated links; a UDP link's latency is the real path's.
 	Transport string
+	// Coalesce packs up to this many packets into one datagram on UDP
+	// links (transport.WithCoalesce); <=1 sends one datagram per
+	// packet. Ignored for simulated links.
+	Coalesce int
+	// SysBatch sets how many datagrams one send/receive syscall moves
+	// on UDP links (transport.WithSysBatch); <=0 keeps the transport
+	// default. Ignored for simulated links.
+	SysBatch int
 }
 
 // Network bundles a simulated MPLS network: event simulator, TE topology,
@@ -318,6 +326,12 @@ func (n *Network) wireUDP(spec LinkSpec, ra, rb *Router) error {
 		// Fault windows on transport links follow the simulator clock,
 		// which RunReal keeps pinned to wall time.
 		transport.WithClock(func() float64 { return n.Sim.Now() }),
+	}
+	if spec.Coalesce > 1 {
+		opts = append(opts, transport.WithCoalesce(spec.Coalesce))
+	}
+	if spec.SysBatch > 0 {
+		opts = append(opts, transport.WithSysBatch(spec.SysBatch))
 	}
 	d, err := transport.Pair(spec.A, spec.B, n.deliverTo(ra), n.deliverTo(rb), opts, opts)
 	if err != nil {

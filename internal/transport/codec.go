@@ -49,6 +49,12 @@ const (
 	// between the transport header and the network-layer header.
 	flagLabelled = 1 << 0
 
+	// flagFrame marks a coalesced frame: the datagram is not one packet
+	// but a counted sequence of length-prefixed packet encodings (see
+	// frame.go). The bit lives in the flags byte so a receiver can route
+	// a datagram to the right decoder after reading four bytes.
+	flagFrame = 1 << 7
+
 	// headerSize is the fixed transport header: magic (2), version (1),
 	// flags (1), source node (2), CoS (1), reserved (1), packet id (8),
 	// trace context (8).
@@ -134,6 +140,9 @@ func DecodePacket(p *packet.Packet, buf []byte) (NodeID, error) {
 		return 0, fmt.Errorf("%w: %d", ErrVersion, buf[2])
 	}
 	flags := buf[3]
+	if flags&flagFrame != 0 {
+		return 0, fmt.Errorf("%w: coalesced frame in single-packet decode", ErrFrame)
+	}
 	src := NodeID(binary.BigEndian.Uint16(buf[4:]))
 	p.SeqNo = binary.BigEndian.Uint64(buf[8:])
 	p.SentAt = math.Float64frombits(binary.BigEndian.Uint64(buf[16:]))

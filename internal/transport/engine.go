@@ -20,3 +20,22 @@ func FeedEngine(e *dataplane.Engine, wait bool) func(batch []Inbound) {
 		e.SubmitBatch(ps, wait)
 	}
 }
+
+// FeedEngineShard returns a receiver sink bound to one engine shard:
+// every decoded batch goes to shard worker `shard` with no flow-hash
+// redistribution. Pair it with ListenSharded so the kernel's
+// SO_REUSEPORT hash is the only demultiplexer — socket i's arrivals
+// flow into worker i's queue end to end:
+//
+//	transport.ListenSharded(addr, e.Workers(), func(i int) func([]transport.Inbound) {
+//		return transport.FeedEngineShard(e, i, true)
+//	})
+func FeedEngineShard(e *dataplane.Engine, shard int, wait bool) func(batch []Inbound) {
+	return func(batch []Inbound) {
+		ps := make([]*packet.Packet, len(batch))
+		for i, in := range batch {
+			ps[i] = in.P.Clone()
+		}
+		e.SubmitBatchTo(shard, ps, wait)
+	}
+}

@@ -1,0 +1,179 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"embeddedmpls/internal/packet"
+)
+
+// Coalesced frames: one datagram carrying many labeled packets, the
+// GSO-style half of the batched wire path. Small labeled packets pay a
+// per-datagram cost twice — once in the syscall that moves them, once
+// in the kernel bookkeeping around every skb — so the sender packs up
+// to WithCoalesce packets back to back into one datagram and the
+// receiver unpacks them with the same zero-alloc discipline as the
+// single-packet codec.
+//
+// Frame layout (big endian):
+//
+//	offset 0  magic0, magic1      same wire magic as a single packet
+//	offset 2  Version
+//	offset 3  flags               flagFrame set; no other bits defined
+//	offset 4  count (uint16)      number of packet segments, >= 1
+//	offset 6  segments            count times:
+//	            length (uint16)   bytes of this segment
+//	            segment           one single-packet encoding (AppendPacket)
+//
+// A frame with count zero, a segment length overrunning the datagram,
+// fewer segments than the count promises, or trailing bytes after the
+// last segment is malformed; the receiver surfaces every such datagram
+// as a wire-decode drop (telemetry.ReasonWireDecode), never a panic or
+// an over-read.
+
+const (
+	// frameHeaderSize is the fixed coalesced-frame header: magic (2),
+	// version (1), flags (1), segment count (2).
+	frameHeaderSize = 6
+
+	// MaxFramePackets bounds how many packets one frame may coalesce;
+	// WithCoalesce clamps to it. The bound keeps worst-case receiver
+	// batch bursts (and the frame's memory footprint) predictable.
+	MaxFramePackets = 128
+
+	// maxFrameSize keeps an encoded frame within a safe datagram size:
+	// the encoder starts a new frame rather than grow one past this.
+	maxFrameSize = 60 << 10
+)
+
+// ErrFrame marks a structurally malformed coalesced frame (zero count,
+// count/length mismatch, trailing bytes) as opposed to a truncated one.
+var ErrFrame = errors.New("transport: malformed frame")
+
+// IsFrame reports whether a datagram is a coalesced frame. It only
+// peeks at the magic and the frame flag; full validation happens in
+// ForEachFrameSegment.
+func IsFrame(buf []byte) bool {
+	return len(buf) >= 4 && buf[0] == magic0 && buf[1] == magic1 && buf[3]&flagFrame != 0
+}
+
+// FrameEncoder builds one coalesced frame in a caller-owned buffer.
+// With capacity in the destination, appending is allocation-free — the
+// batched send path runs it over pooled buffers. The zero value is not
+// usable; start with BeginFrame.
+type FrameEncoder struct {
+	buf   []byte
+	head  int // index of the frame header within buf
+	count int
+}
+
+// BeginFrame starts a coalesced frame in dst (appended, like
+// AppendPacket) and returns the encoder positioned after the header.
+func BeginFrame(dst []byte) FrameEncoder {
+	head := len(dst)
+	dst = append(dst, magic0, magic1, Version, flagFrame, 0, 0)
+	return FrameEncoder{buf: dst, head: head}
+}
+
+// Append encodes one packet, sent by node src, as the frame's next
+// segment.
+func (f *FrameEncoder) Append(p *packet.Packet, src NodeID) error {
+	base := len(f.buf)
+	f.buf = append(f.buf, 0, 0) // segment length, patched below
+	enc, err := AppendPacket(f.buf, p, src)
+	if err != nil {
+		f.buf = f.buf[:base]
+		return err
+	}
+	return f.seal(base, enc)
+}
+
+// AppendEncoded adds an already-encoded single-packet datagram as the
+// next segment — the path for bytes that must cross as-is, like the
+// deliberately damaged encoding of a fault-corrupted packet.
+func (f *FrameEncoder) AppendEncoded(seg []byte) error {
+	base := len(f.buf)
+	f.buf = append(f.buf, 0, 0)
+	return f.seal(base, append(f.buf, seg...))
+}
+
+// seal patches the segment length at base and accounts the new segment.
+func (f *FrameEncoder) seal(base int, enc []byte) error {
+	seg := len(enc) - base - 2
+	if seg > 0xffff {
+		f.buf = f.buf[:base]
+		return fmt.Errorf("transport: frame segment %d bytes exceeds the length field", seg)
+	}
+	if f.count >= MaxFramePackets {
+		f.buf = f.buf[:base]
+		return fmt.Errorf("transport: frame already holds %d packets", f.count)
+	}
+	binary.BigEndian.PutUint16(enc[base:], uint16(seg))
+	f.buf = enc
+	f.count++
+	return nil
+}
+
+// Count returns how many packets the frame holds so far.
+func (f *FrameEncoder) Count() int { return f.count }
+
+// Size returns the frame's current encoded size in bytes.
+func (f *FrameEncoder) Size() int { return len(f.buf) - f.head }
+
+// Finish patches the segment count into the header and returns the
+// encoded frame. A frame with no segments is an error — an empty frame
+// on the wire is indistinguishable from a malformed one.
+func (f *FrameEncoder) Finish() ([]byte, error) {
+	if f.count == 0 {
+		return nil, fmt.Errorf("%w: no segments", ErrFrame)
+	}
+	binary.BigEndian.PutUint16(f.buf[f.head+4:], uint16(f.count))
+	return f.buf, nil
+}
+
+// ForEachFrameSegment validates a coalesced frame and calls fn once per
+// packet segment, in order. fn receives a sub-slice of buf and must not
+// retain it. A non-nil error from fn aborts the walk and is returned.
+// Structural violations — short header, bad magic or version, zero
+// count, a segment length past the end of the datagram, fewer segments
+// than the count field promises, or trailing bytes after the last
+// segment — return an error wrapping ErrTruncated or ErrFrame and never
+// read beyond buf.
+func ForEachFrameSegment(buf []byte, fn func(seg []byte) error) error {
+	if len(buf) < frameHeaderSize {
+		return fmt.Errorf("%w: %d bytes, want at least %d for a frame", ErrTruncated, len(buf), frameHeaderSize)
+	}
+	if buf[0] != magic0 || buf[1] != magic1 {
+		return fmt.Errorf("%w: %#02x%02x", ErrMagic, buf[0], buf[1])
+	}
+	if buf[2] != Version {
+		return fmt.Errorf("%w: %d", ErrVersion, buf[2])
+	}
+	if buf[3]&flagFrame == 0 {
+		return fmt.Errorf("%w: frame flag not set", ErrFrame)
+	}
+	count := int(binary.BigEndian.Uint16(buf[4:]))
+	if count == 0 {
+		return fmt.Errorf("%w: zero segment count", ErrFrame)
+	}
+	rest := buf[frameHeaderSize:]
+	for i := 0; i < count; i++ {
+		if len(rest) < 2 {
+			return fmt.Errorf("%w: frame cut at segment %d/%d", ErrTruncated, i, count)
+		}
+		n := int(binary.BigEndian.Uint16(rest))
+		rest = rest[2:]
+		if n > len(rest) {
+			return fmt.Errorf("%w: segment %d/%d declares %d bytes, %d remain", ErrTruncated, i, count, n, len(rest))
+		}
+		if err := fn(rest[:n]); err != nil {
+			return err
+		}
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes after %d segments", ErrFrame, len(rest), count)
+	}
+	return nil
+}

@@ -1,0 +1,252 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"embeddedmpls/internal/label"
+	"embeddedmpls/internal/packet"
+)
+
+// frameOf encodes ps into one coalesced frame.
+func frameOf(t testing.TB, src NodeID, ps ...*packet.Packet) []byte {
+	t.Helper()
+	fr := BeginFrame(nil)
+	for _, p := range ps {
+		if err := fr.Append(p, src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf, err := fr.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	want := []*packet.Packet{
+		samplePacket(t),
+		packet.New(1, 2, 8, []byte{0xde, 0xad}),
+		packet.New(3, 4, 16, nil),
+	}
+	buf := frameOf(t, 7, want...)
+	if !IsFrame(buf) {
+		t.Fatal("IsFrame = false on an encoded frame")
+	}
+	// The single-packet decoder must refuse frames — they share the
+	// magic, so only the flag separates the two formats.
+	if _, err := DecodePacket(new(packet.Packet), buf); !errors.Is(err, ErrFrame) {
+		t.Fatalf("DecodePacket(frame) = %v, want ErrFrame", err)
+	}
+	var got []*packet.Packet
+	err := ForEachFrameSegment(buf, func(seg []byte) error {
+		var p packet.Packet
+		src, err := DecodePacket(&p, seg)
+		if err != nil {
+			return err
+		}
+		if src != 7 {
+			t.Errorf("segment src = %d, want 7", src)
+		}
+		got = append(got, &p)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d packets, want %d", len(got), len(want))
+	}
+	for i := range want {
+		checkEqual(t, want[i], got[i])
+	}
+}
+
+func TestFrameEncoderAppends(t *testing.T) {
+	// BeginFrame appends: leading bytes already in dst must survive and
+	// Size must count only the frame.
+	prefix := []byte{1, 2, 3}
+	fr := BeginFrame(append([]byte(nil), prefix...))
+	if err := fr.Append(packet.New(1, 2, 8, []byte("x")), 0); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := fr.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(buf) - len(prefix); got != fr.Size() {
+		t.Errorf("Size = %d, frame occupies %d bytes", fr.Size(), got)
+	}
+	if buf[0] != 1 || buf[1] != 2 || buf[2] != 3 {
+		t.Errorf("prefix clobbered: % x", buf[:3])
+	}
+	if err := ForEachFrameSegment(buf[len(prefix):], func([]byte) error { return nil }); err != nil {
+		t.Errorf("frame after prefix: %v", err)
+	}
+}
+
+func TestFrameFinishEmpty(t *testing.T) {
+	fr := BeginFrame(nil)
+	if _, err := fr.Finish(); !errors.Is(err, ErrFrame) {
+		t.Fatalf("Finish with no segments = %v, want ErrFrame", err)
+	}
+}
+
+// TestFrameErrors drives every structural violation through the walker:
+// each must return the right error class without panicking.
+func TestFrameErrors(t *testing.T) {
+	good := frameOf(t, 1, samplePacket(t), packet.New(1, 2, 8, []byte("x")))
+
+	mutate := func(fn func(b []byte) []byte) []byte {
+		return fn(append([]byte(nil), good...))
+	}
+	cases := []struct {
+		name string
+		buf  []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short header", good[:4], ErrTruncated},
+		{"bad magic", mutate(func(b []byte) []byte { b[0] ^= 0xff; return b }), ErrMagic},
+		{"bad version", mutate(func(b []byte) []byte { b[2]++; return b }), ErrVersion},
+		{"flag clear", mutate(func(b []byte) []byte { b[3] &^= flagFrame; return b }), ErrFrame},
+		{"zero count", mutate(func(b []byte) []byte {
+			binary.BigEndian.PutUint16(b[4:], 0)
+			return b
+		}), ErrFrame},
+		{"count over segments", mutate(func(b []byte) []byte {
+			binary.BigEndian.PutUint16(b[4:], 3)
+			return b
+		}), ErrTruncated},
+		{"truncated tail", good[:len(good)-5], ErrTruncated},
+		{"cut inside length prefix", good[:frameHeaderSize+1], ErrTruncated},
+		{"segment length overruns", mutate(func(b []byte) []byte {
+			binary.BigEndian.PutUint16(b[frameHeaderSize:], 0xffff)
+			return b
+		}), ErrTruncated},
+		{"trailing bytes", append(append([]byte(nil), good...), 0xaa), ErrFrame},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ForEachFrameSegment(tc.buf, func([]byte) error { return nil })
+			if !errors.Is(err, tc.want) {
+				t.Errorf("ForEachFrameSegment = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestFrameSegmentLimit(t *testing.T) {
+	fr := BeginFrame(nil)
+	p := packet.New(1, 2, 8, nil)
+	for i := 0; i < MaxFramePackets; i++ {
+		if err := fr.Append(p, 0); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := fr.Append(p, 0); err == nil {
+		t.Fatalf("append %d accepted past MaxFramePackets", MaxFramePackets+1)
+	}
+	if fr.Count() != MaxFramePackets {
+		t.Fatalf("Count = %d after rejected append, want %d", fr.Count(), MaxFramePackets)
+	}
+	if _, err := fr.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzFrameDecode feeds arbitrary bytes to the frame walker: it must
+// reject or accept without panicking or over-reading, and every segment
+// it accepts must itself decode-or-reject cleanly; accepted packets must
+// re-encode.
+func FuzzFrameDecode(f *testing.F) {
+	f.Add(frameOf(f, 3, samplePacket(f)))
+	f.Add(frameOf(f, 0, packet.New(1, 2, 8, []byte("x")), packet.New(2, 1, 8, nil)))
+	f.Add([]byte{magic0, magic1, Version, flagFrame, 0, 0})       // zero count
+	f.Add([]byte{magic0, magic1, Version, flagFrame, 0, 2, 0, 9}) // overrun
+	f.Fuzz(func(t *testing.T, data []byte) {
+		err := ForEachFrameSegment(data, func(seg []byte) error {
+			if len(seg) > len(data) {
+				t.Fatalf("segment of %d bytes from a %d-byte datagram", len(seg), len(data))
+			}
+			var p packet.Packet
+			src, err := DecodePacket(&p, seg)
+			if err != nil {
+				return nil // malformed segment: the receiver drops, fine
+			}
+			if _, err := AppendPacket(nil, &p, src); err != nil {
+				t.Fatalf("accepted segment failed to re-encode: %v", err)
+			}
+			return nil
+		})
+		if err != nil && !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrFrame) &&
+			!errors.Is(err, ErrMagic) && !errors.Is(err, ErrVersion) {
+			t.Fatalf("unexpected error class: %v", err)
+		}
+	})
+}
+
+// FuzzFrameRoundTrip coalesces a fuzz-shaped batch of packets into one
+// frame and checks the walk returns them intact and in order.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(uint8(3), []byte("hi"), uint32(100<<12|5<<9|64), uint16(40))
+	f.Add(uint8(1), []byte{}, uint32(0), uint16(0))
+	f.Fuzz(func(t *testing.T, n uint8, payload []byte, entryBits uint32, seed uint16) {
+		k := int(n)%MaxFramePackets + 1
+		if len(payload) > 512 {
+			payload = payload[:512]
+		}
+		want := make([]*packet.Packet, k)
+		fr := BeginFrame(nil)
+		for i := range want {
+			p := packet.New(packet.Addr(seed)+packet.Addr(i), 2, 8, payload)
+			p.SeqNo = uint64(seed) + uint64(i)
+			if entryBits != 0 {
+				e := label.Entry{
+					Label: label.Label(entryBits>>12) & 0xfffff,
+					CoS:   label.CoS(entryBits>>9) & 7,
+					TTL:   uint8(entryBits),
+				}
+				if err := p.Stack.Push(e); err != nil {
+					t.Skip("unencodable label entry")
+				}
+			}
+			want[i] = p
+			if err := fr.Append(p, NodeID(seed)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		buf, err := fr.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsFrame(buf) {
+			t.Fatal("IsFrame = false on an encoded frame")
+		}
+		i := 0
+		err = ForEachFrameSegment(buf, func(seg []byte) error {
+			var p packet.Packet
+			src, err := DecodePacket(&p, seg)
+			if err != nil {
+				return err
+			}
+			if src != NodeID(seed) {
+				t.Errorf("segment %d src = %d, want %d", i, src, seed)
+			}
+			if i >= k {
+				t.Fatalf("walker produced more than %d segments", k)
+			}
+			checkEqual(t, want[i], &p)
+			i++
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i != k {
+			t.Fatalf("decoded %d packets, want %d", i, k)
+		}
+	})
+}

@@ -1,0 +1,88 @@
+//go:build linux && (amd64 || arm64)
+
+package transport
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// Batched UDP syscalls: sendmmsg(2) and recvmmsg(2) move up to N
+// datagrams per kernel crossing, which is where the wire path's 75×
+// gap against the in-memory codec lived — every datagram used to cost
+// one syscall each way. The standard library's frozen syscall tables
+// predate both calls, and this build deliberately carries no external
+// modules, so the numbers live in mmsg_nums_<arch>.go and the calls go
+// through syscall.Syscall6 on the raw connection's file descriptor.
+//
+// All per-call state (mmsghdr and iovec arrays) is preallocated in
+// mmsgIO, so steady-state batched sends and receives allocate nothing.
+
+// haveMmsg gates the batched syscall path; the fallback in
+// mmsg_stub.go loops single-datagram reads and writes instead.
+const haveMmsg = true
+
+// mmsghdr mirrors struct mmsghdr: a msghdr plus the kernel-filled
+// datagram length. The trailing pad keeps the 64-bit layout explicit.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	len uint32
+	_   [4]byte
+}
+
+// mmsgIO is the preallocated scatter/gather state for one socket
+// direction, sized once for the configured syscall batch.
+type mmsgIO struct {
+	msgs []mmsghdr
+	iovs []syscall.Iovec
+	// n is the live message count for the pending syscall; done counts
+	// messages already sent when a sendmmsg needs resuming.
+	n, done int
+}
+
+func newMmsgIO(batch int) *mmsgIO {
+	return &mmsgIO{msgs: make([]mmsghdr, batch), iovs: make([]syscall.Iovec, batch)}
+}
+
+// load points the scatter/gather arrays at bufs; each buffer is one
+// datagram. For receives the buffers must be full-length; for sends
+// they must hold exactly the bytes to write.
+func (io *mmsgIO) load(bufs [][]byte) {
+	io.n = len(bufs)
+	io.done = 0
+	for i := range bufs {
+		b := bufs[i]
+		io.iovs[i].Base = &b[0]
+		io.iovs[i].SetLen(len(b))
+		io.msgs[i].hdr.Iov = &io.iovs[i]
+		io.msgs[i].hdr.Iovlen = 1
+		io.msgs[i].len = 0
+	}
+}
+
+// sendStep issues one sendmmsg for the not-yet-sent tail of the loaded
+// batch. It reports how many datagrams that call moved and the errno
+// (0 on success); the raw-conn write loop retries on EAGAIN.
+func (io *mmsgIO) sendStep(fd uintptr) (int, syscall.Errno) {
+	n, _, errno := syscall.Syscall6(sysSendmmsg, fd,
+		uintptr(unsafe.Pointer(&io.msgs[io.done])), uintptr(io.n-io.done), 0, 0, 0)
+	if errno != 0 {
+		return 0, errno
+	}
+	io.done += int(n)
+	return int(n), 0
+}
+
+// recvStep issues one recvmmsg filling up to the loaded batch and
+// reports how many datagrams arrived.
+func (io *mmsgIO) recvStep(fd uintptr) (int, syscall.Errno) {
+	n, _, errno := syscall.Syscall6(sysRecvmmsg, fd,
+		uintptr(unsafe.Pointer(&io.msgs[0])), uintptr(io.n), 0, 0, 0)
+	if errno != 0 {
+		return 0, errno
+	}
+	return int(n), 0
+}
+
+// size returns the kernel-reported length of received datagram i.
+func (io *mmsgIO) size(i int) int { return int(io.msgs[i].len) }

@@ -1,0 +1,10 @@
+//go:build linux && amd64
+
+package transport
+
+// sendmmsg/recvmmsg syscall numbers for linux/amd64; absent from the
+// standard library's frozen syscall table.
+const (
+	sysSendmmsg = 307
+	sysRecvmmsg = 299
+)

@@ -16,6 +16,8 @@ type config struct {
 	peer          string
 	names         []string
 	batch         int
+	coalesce      int
+	sysBatch      int
 	flushInterval time.Duration
 	readBuffer    int
 	metrics       *Metrics
@@ -26,6 +28,8 @@ type config struct {
 func defaultConfig() config {
 	return config{
 		batch:         32,
+		coalesce:      1,
+		sysBatch:      32,
 		flushInterval: 200 * time.Microsecond,
 		readBuffer:    64 << 10,
 	}
@@ -64,6 +68,40 @@ func WithBatch(n int) Option {
 			n = 1
 		}
 		c.batch = n
+	}
+}
+
+// WithCoalesce sets how many packets a link packs into one coalesced
+// frame datagram (see frame.go): n <= 1 disables coalescing (one
+// datagram per packet, the legacy wire behaviour), larger values
+// amortise per-datagram and per-syscall cost across n packets at the
+// price of up to one flush interval of added latency on the Send path.
+// Clamped to [1, MaxFramePackets].
+func WithCoalesce(n int) Option {
+	return func(c *config) {
+		if n < 1 {
+			n = 1
+		}
+		if n > MaxFramePackets {
+			n = MaxFramePackets
+		}
+		c.coalesce = n
+	}
+}
+
+// WithSysBatch sets how many datagrams one send or receive syscall
+// moves (sendmmsg/recvmmsg). On platforms without the batched syscalls
+// it only sizes the receiver's buffer ring; datagrams then cost one
+// syscall each. Clamped to [1, 128].
+func WithSysBatch(n int) Option {
+	return func(c *config) {
+		if n < 1 {
+			n = 1
+		}
+		if n > 128 {
+			n = 128
+		}
+		c.sysBatch = n
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"net"
 	"os"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"embeddedmpls/internal/packet"
@@ -25,10 +26,12 @@ type Inbound struct {
 }
 
 // Receiver owns one UDP socket and turns its datagrams into batches of
-// decoded packets. Arrivals are accumulated until the batch is full or
-// the flush interval expires, then handed to the sink in one call —
-// the socket-side mirror of dataplane.Engine's SubmitBatch, so a
-// node's receive path amortises per-packet dispatch the same way its
+// decoded packets. One recvmmsg syscall pulls up to WithSysBatch
+// datagrams off the kernel queue, each datagram may be a coalesced
+// frame carrying many packets, and arrivals accumulate until the batch
+// is full or the flush interval expires, then go to the sink in one
+// call — the socket-side mirror of dataplane.Engine's SubmitBatch, so
+// a node's receive path amortises per-packet dispatch the same way its
 // forwarding path does.
 //
 // The sink owns the packets only for the duration of the call: the
@@ -37,6 +40,7 @@ type Inbound struct {
 // queue packets (dataplane submission does) must Clone them.
 type Receiver struct {
 	conn    *net.UDPConn
+	rc      syscall.RawConn
 	deliver func(batch []Inbound)
 
 	peer  string
@@ -45,7 +49,14 @@ type Receiver struct {
 	batch    []Inbound
 	pending  int
 	flushIvl time.Duration
-	readBuf  []byte
+
+	readBufs [][]byte
+	sizes    []int
+	io       *mmsgIO
+	recvFn   func(fd uintptr) bool // stored once: no per-read closure alloc
+	segFn    func(seg []byte) error
+	recvN    int
+	recvErr  syscall.Errno
 
 	m      *Metrics
 	drop   func(telemetry.Reason)
@@ -68,18 +79,31 @@ func Listen(addr string, sink func(batch []Inbound), opts ...Option) (*Receiver,
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
+	return newReceiver(conn, sink, cfg)
+}
+
+// newReceiver wraps an already-bound socket — the seam ListenSharded
+// uses to start one receiver per SO_REUSEPORT socket.
+func newReceiver(conn *net.UDPConn, sink func(batch []Inbound), cfg config) (*Receiver, error) {
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
 	// Size the kernel's receive queue too: bursts larger than SO_RCVBUF
 	// are silently shed by the kernel before the read loop ever sees
 	// them. Best effort — some platforms clamp it.
 	_ = conn.SetReadBuffer(cfg.readBuffer)
 	r := &Receiver{
 		conn:     conn,
+		rc:       rc,
 		deliver:  sink,
 		peer:     cfg.peer,
 		names:    cfg.names,
 		batch:    make([]Inbound, cfg.batch),
 		flushIvl: cfg.flushInterval,
-		readBuf:  make([]byte, maxReadSize),
+		readBufs: make([][]byte, cfg.sysBatch),
+		sizes:    make([]int, cfg.sysBatch),
 		m:        cfg.metrics,
 		drop:     cfg.drop,
 		done:     make(chan struct{}),
@@ -87,9 +111,17 @@ func Listen(addr string, sink func(batch []Inbound), opts ...Option) (*Receiver,
 	if r.m == nil {
 		r.m = &Metrics{}
 	}
+	for i := range r.readBufs {
+		r.readBufs[i] = make([]byte, maxReadSize)
+	}
 	for i := range r.batch {
 		r.batch[i].P = &packet.Packet{}
 	}
+	if haveMmsg && cfg.sysBatch > 1 {
+		r.io = newMmsgIO(cfg.sysBatch)
+	}
+	r.recvFn = r.recvStep
+	r.segFn = func(seg []byte) error { r.ingestPacket(seg); return nil }
 	go r.loop()
 	return r, nil
 }
@@ -113,6 +145,47 @@ func (r *Receiver) Close() error {
 	return err
 }
 
+// recvStep is the raw-connection read callback: one recvmmsg filling
+// up to the loaded buffer ring. Stored once in recvFn so issuing it
+// allocates nothing.
+func (r *Receiver) recvStep(fd uintptr) bool {
+	r.m.RxSyscalls.Add(1)
+	n, errno := r.io.recvStep(fd)
+	if errno == syscall.EAGAIN {
+		return false
+	}
+	r.recvN, r.recvErr = n, errno
+	return true
+}
+
+// readBatch blocks for at least one datagram (respecting the read
+// deadline) and returns how many arrived, with their lengths in
+// r.sizes. One recvmmsg drains up to the syscall batch; without the
+// batched syscall each datagram costs one read.
+func (r *Receiver) readBatch() (int, error) {
+	if r.io != nil {
+		r.io.load(r.readBufs)
+		r.recvN, r.recvErr = 0, 0
+		if err := r.rc.Read(r.recvFn); err != nil {
+			return 0, err
+		}
+		if r.recvErr != 0 {
+			return 0, r.recvErr
+		}
+		for i := 0; i < r.recvN; i++ {
+			r.sizes[i] = r.io.size(i)
+		}
+		return r.recvN, nil
+	}
+	r.m.RxSyscalls.Add(1)
+	n, err := r.conn.Read(r.readBufs[0])
+	if err != nil {
+		return 0, err
+	}
+	r.sizes[0] = n
+	return 1, nil
+}
+
 // loop is the socket read loop: block for the first datagram of a
 // batch, then drain with a short deadline so a burst fills the batch
 // but a lone packet is not held hostage for longer than the flush
@@ -126,7 +199,7 @@ func (r *Receiver) loop() {
 		} else {
 			r.conn.SetReadDeadline(time.Now().Add(r.flushIvl))
 		}
-		n, err := r.conn.Read(r.readBuf)
+		n, err := r.readBatch()
 		if err != nil {
 			if errors.Is(err, os.ErrDeadlineExceeded) {
 				r.flush()
@@ -137,35 +210,63 @@ func (r *Receiver) loop() {
 			r.flush()
 			return
 		}
-		r.ingest(r.readBuf[:n])
-		if r.pending == len(r.batch) {
-			r.flush()
+		var bytes uint64
+		for i := 0; i < n; i++ {
+			bytes += uint64(r.sizes[i])
+		}
+		r.m.RxDatagrams.Add(uint64(n))
+		r.m.RxBytes.Add(bytes)
+		for i := 0; i < n; i++ {
+			r.ingestDatagram(r.readBufs[i][:r.sizes[i]])
 		}
 	}
 }
 
-// ingest decodes one datagram into the next batch slot, accounting
-// failures as wire-decode drops.
-func (r *Receiver) ingest(buf []byte) {
-	slot := &r.batch[r.pending]
-	src, err := DecodePacket(slot.P, buf)
-	if err != nil {
-		r.m.DecodeErrors.Add(1)
-		if truncation(err) {
-			r.m.ShortReads.Add(1)
-		}
-		if r.drop != nil {
-			r.drop(telemetry.ReasonWireDecode)
+// ingestDatagram routes one datagram to the right decoder: coalesced
+// frames unpack segment by segment, anything else decodes as a single
+// packet. Malformed framing — zero counts, count/length mismatches,
+// truncated tails — surfaces as one wire-decode drop for the datagram;
+// segment decode failures count individually.
+func (r *Receiver) ingestDatagram(buf []byte) {
+	if IsFrame(buf) {
+		if err := ForEachFrameSegment(buf, r.segFn); err != nil {
+			r.decodeFailure(err)
 		}
 		return
 	}
+	r.ingestPacket(buf)
+}
+
+// ingestPacket decodes one packet encoding into the next batch slot,
+// accounting failures as wire-decode drops and flushing the batch when
+// it fills.
+func (r *Receiver) ingestPacket(buf []byte) {
+	slot := &r.batch[r.pending]
+	src, err := DecodePacket(slot.P, buf)
+	if err != nil {
+		r.decodeFailure(err)
+		return
+	}
 	r.m.RxPackets.Add(1)
-	r.m.RxBytes.Add(uint64(len(buf)))
 	slot.From = r.peer
 	if slot.From == "" && int(src) < len(r.names) {
 		slot.From = r.names[src]
 	}
 	r.pending++
+	if r.pending == len(r.batch) {
+		r.flush()
+	}
+}
+
+// decodeFailure accounts one undecodable datagram or frame segment.
+func (r *Receiver) decodeFailure(err error) {
+	r.m.DecodeErrors.Add(1)
+	if truncation(err) {
+		r.m.ShortReads.Add(1)
+	}
+	if r.drop != nil {
+		r.drop(telemetry.ReasonWireDecode)
+	}
 }
 
 // flush hands the accumulated batch to the sink and rearms the slots.

@@ -1,0 +1,24 @@
+//go:build linux
+
+package transport
+
+import "syscall"
+
+// soReusePort is SO_REUSEPORT, absent from the frozen syscall package.
+// With it set on every socket of a shard group, the kernel hashes each
+// arriving 4-tuple to one socket — a per-shard receive queue with no
+// user-space demultiplexing.
+const soReusePort = 0xf
+
+// reusePortControl is a net.ListenConfig Control hook that marks the
+// socket SO_REUSEPORT before bind.
+func reusePortControl(network, address string, c syscall.RawConn) error {
+	var serr error
+	err := c.Control(func(fd uintptr) {
+		serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+	})
+	if err != nil {
+		return err
+	}
+	return serr
+}

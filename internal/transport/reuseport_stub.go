@@ -1,0 +1,16 @@
+//go:build !linux
+
+package transport
+
+import (
+	"errors"
+	"syscall"
+)
+
+// errNoReusePort gates ListenSharded on platforms where this package
+// does not wire SO_REUSEPORT; single-socket listening still works.
+var errNoReusePort = errors.New("transport: SO_REUSEPORT sharding unsupported on this platform")
+
+func reusePortControl(network, address string, c syscall.RawConn) error {
+	return errNoReusePort
+}

@@ -6,6 +6,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"embeddedmpls/internal/netsim"
@@ -20,6 +21,14 @@ import (
 // probes and failover all behave identically, except that loss and
 // delay now also come from a real network path.
 //
+// Two batching layers sit under the same contract. With WithCoalesce,
+// packets handed to Send are packed into coalesced frame datagrams
+// (many packets per datagram, flushed on count or after the flush
+// interval); SendBatch packs and writes a whole slice at once, moving
+// up to WithSysBatch datagrams per sendmmsg syscall where the platform
+// has it. Both paths reuse link-owned buffers, so steady-state batched
+// sends allocate nothing.
+//
 // Fault semantics mirror netsim.Link: the hook sees the packet when
 // its transmission starts, a Drop verdict eats it, ExtraDelay defers
 // the socket write. A fault that mutates the packet (the corruption
@@ -31,6 +40,7 @@ type UDPLink struct {
 	from, to string
 	src      NodeID
 	conn     *net.UDPConn
+	rc       syscall.RawConn
 
 	// mu guards fault and onDrop; Send, SetFault and SetOnDrop may run
 	// on different goroutines (pump, fault injector, collector).
@@ -43,9 +53,34 @@ type UDPLink struct {
 
 	down   atomic.Bool
 	closed atomic.Bool
-	// inflight tracks sends (including delayed fault re-sends) so Close
+	// inflight tracks deferred sends (delayed fault re-sends) so Close
 	// can wait for buffers to drain back to the pool.
 	inflight sync.WaitGroup
+	closing  sync.Once
+
+	coalesce int
+	sysBatch int
+	flushIvl time.Duration
+
+	// smu guards all batching state below: the Send-path coalescer
+	// (pend*) and the SendBatch scratch (frames, views). One lock keeps
+	// Send and SendBatch safely mixable on one link.
+	smu       sync.Mutex
+	pendBuf   *[]byte
+	pend      FrameEncoder
+	pendTimer *time.Timer
+
+	frames   []*[]byte // per-view encode buffers, grown once, reused
+	views    [][]byte
+	viewPkts []int
+	nview    int
+	frOpen   bool
+	fr       FrameEncoder
+	frPkts   int
+
+	io     *mmsgIO
+	sendFn func(fd uintptr) bool // stored once: no per-write closure alloc
+	werrno syscall.Errno
 
 	m    *Metrics
 	drop func(telemetry.Reason)
@@ -67,19 +102,36 @@ func Dial(from, to, raddr string, opts ...Option) (*UDPLink, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s->%s: %w", from, to, err)
 	}
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("transport: dial %s->%s: %w", from, to, err)
+	}
 	l := &UDPLink{
-		from:  from,
-		to:    to,
-		src:   cfg.src,
-		conn:  conn,
-		now:   cfg.now,
-		start: time.Now(),
-		m:    cfg.metrics,
-		drop: cfg.drop,
+		from:     from,
+		to:       to,
+		src:      cfg.src,
+		conn:     conn,
+		rc:       rc,
+		now:      cfg.now,
+		start:    time.Now(),
+		coalesce: cfg.coalesce,
+		sysBatch: cfg.sysBatch,
+		flushIvl: cfg.flushInterval,
+		views:    make([][]byte, cfg.sysBatch),
+		viewPkts: make([]int, cfg.sysBatch),
+		m:        cfg.metrics,
+		drop:     cfg.drop,
 	}
 	if l.m == nil {
 		l.m = &Metrics{}
 	}
+	if haveMmsg && l.sysBatch > 1 {
+		l.io = newMmsgIO(l.sysBatch)
+	}
+	l.sendFn = l.sendStep
+	l.pendTimer = time.AfterFunc(time.Hour, l.flushPending)
+	l.pendTimer.Stop()
 	return l, nil
 }
 
@@ -140,34 +192,28 @@ func (l *UDPLink) lost(p *packet.Packet, reason telemetry.Reason) {
 	}
 }
 
-// Send implements netsim.Wire: encode and write one packet. Loss is
-// counted, never reported — exactly the simulated link's contract.
-// Send is safe to call concurrently with Close.
-func (l *UDPLink) Send(p *packet.Packet) {
-	if l.closed.Load() || l.down.Load() {
-		l.lost(p, telemetry.ReasonNoRoute)
-		return
-	}
+// encodeOne encodes p into a pooled buffer, applying the fault hook's
+// verdict. It returns a nil buffer when the packet was consumed (drop
+// verdict, encode failure — both accounted) and the extra delay a
+// delay verdict imposed.
+func (l *UDPLink) encodeOne(p *packet.Packet, fault netsim.Fault) (*[]byte, float64) {
 	buf := getBuf()
 	enc, err := AppendPacket((*buf)[:0], p, l.src)
 	if err != nil {
 		l.m.EncodeErrors.Add(1)
 		l.lost(p, telemetry.ReasonInconsistentOp)
 		putBuf(buf)
-		return
+		return nil, 0
 	}
 	*buf = enc
 
 	var extra float64
-	l.mu.Lock()
-	fault := l.fault
-	l.mu.Unlock()
 	if fault != nil {
 		v := fault.Transmit(p, l.clock())
 		if v.Drop {
 			l.lost(p, telemetry.ReasonNoRoute)
 			putBuf(buf)
-			return
+			return nil, 0
 		}
 		extra = v.ExtraDelay
 		// Re-encode after the hook: a difference means the fault
@@ -183,7 +229,7 @@ func (l *UDPLink) Send(p *packet.Packet) {
 			l.lost(p, telemetry.ReasonNoRoute)
 			putBuf(buf)
 			putBuf(buf2)
-			return
+			return nil, 0
 		}
 		*buf2 = enc2
 		if !bytes.Equal(*buf, *buf2) {
@@ -192,17 +238,292 @@ func (l *UDPLink) Send(p *packet.Packet) {
 		putBuf(buf)
 		buf = buf2
 	}
+	return buf, extra
+}
 
-	l.inflight.Add(1)
+// Send implements netsim.Wire: encode and write one packet. Loss is
+// counted, never reported — exactly the simulated link's contract.
+// Send is safe to call concurrently with Close. With coalescing
+// enabled the packet joins the pending frame and reaches the socket
+// when the frame fills or the flush interval expires.
+func (l *UDPLink) Send(p *packet.Packet) {
+	if l.closed.Load() || l.down.Load() {
+		l.lost(p, telemetry.ReasonNoRoute)
+		return
+	}
+	l.mu.Lock()
+	fault := l.fault
+	l.mu.Unlock()
+	buf, extra := l.encodeOne(p, fault)
+	if buf == nil {
+		return
+	}
 	if extra > 0 {
+		// A delayed packet travels as its own datagram when its timer
+		// fires; holding a coalesced frame open for it would delay its
+		// batch-mates too.
+		l.inflight.Add(1)
 		time.AfterFunc(time.Duration(extra*float64(time.Second)), func() { l.write(buf) })
 		return
 	}
+	if l.coalesce > 1 {
+		l.smu.Lock()
+		l.appendPending(buf)
+		l.smu.Unlock()
+		return
+	}
+	l.inflight.Add(1)
 	l.write(buf)
 }
 
-// write pushes one encoded datagram to the socket and recycles the
-// buffer.
+// appendPending adds one encoded packet to the pending coalesced
+// frame, flushing it when full. Callers hold smu.
+func (l *UDPLink) appendPending(buf *[]byte) {
+	if l.pendBuf == nil {
+		l.pendBuf = getBuf()
+		l.pend = BeginFrame((*l.pendBuf)[:0])
+	}
+	if err := l.pend.AppendEncoded(*buf); err != nil {
+		// Frame full beyond the coalesce setting (oversized segment):
+		// flush what we have and retry in a fresh frame.
+		l.flushPendingLocked()
+		l.pendBuf = getBuf()
+		l.pend = BeginFrame((*l.pendBuf)[:0])
+		if err := l.pend.AppendEncoded(*buf); err != nil {
+			l.m.EncodeErrors.Add(1)
+			putBuf(buf)
+			return
+		}
+	}
+	putBuf(buf)
+	if l.pend.Count() >= l.coalesce || l.pend.Size() >= maxFrameSize-MaxDatagram {
+		l.flushPendingLocked()
+		return
+	}
+	if l.pend.Count() == 1 {
+		l.pendTimer.Reset(l.flushIvl)
+	}
+}
+
+// flushPending is the coalesce timer's callback.
+func (l *UDPLink) flushPending() {
+	l.smu.Lock()
+	l.flushPendingLocked()
+	l.smu.Unlock()
+}
+
+// flushPendingLocked writes the pending coalesced frame synchronously.
+// Callers hold smu. Writes racing Close surface as socket errors and
+// are counted, so no packet disappears unaccounted.
+func (l *UDPLink) flushPendingLocked() {
+	if l.pendBuf == nil || l.pend.Count() == 0 {
+		return
+	}
+	buf := l.pendBuf
+	pkts := l.pend.Count()
+	l.pendBuf = nil
+	frame, err := l.pend.Finish()
+	if err != nil {
+		putBuf(buf)
+		return
+	}
+	*buf = frame
+	n, werr := l.conn.Write(*buf)
+	putBuf(buf)
+	if werr != nil {
+		l.m.TxErrors.Add(1)
+		return
+	}
+	l.m.TxSyscalls.Add(1)
+	l.m.TxDatagrams.Add(1)
+	l.m.TxPackets.Add(uint64(pkts))
+	l.m.TxBytes.Add(uint64(n))
+}
+
+// SendBatch moves a whole slice of packets through the link in one
+// call: packets are packed into coalesced frames (per WithCoalesce)
+// and the frames written with batched syscalls (up to WithSysBatch
+// datagrams per sendmmsg). Per-packet down/closed/fault semantics
+// match Send, except the fault hook is sampled once per call. The
+// steady-state path allocates nothing: encode buffers, scatter/gather
+// state and the syscall closure are all link-owned and reused.
+func (l *UDPLink) SendBatch(ps []*packet.Packet) {
+	l.mu.Lock()
+	fault := l.fault
+	l.mu.Unlock()
+
+	l.smu.Lock()
+	defer l.smu.Unlock()
+	l.nview = 0
+	l.frOpen = false
+	for _, p := range ps {
+		if l.closed.Load() || l.down.Load() {
+			l.lost(p, telemetry.ReasonNoRoute)
+			continue
+		}
+		if fault == nil && l.coalesce > 1 {
+			// Fast path: encode straight into the open frame.
+			if !l.frOpen {
+				l.openFrame()
+			}
+			if err := l.fr.Append(p, l.src); err != nil {
+				l.m.EncodeErrors.Add(1)
+				l.lost(p, telemetry.ReasonInconsistentOp)
+				continue
+			}
+			l.frPkts++
+			if l.fr.Count() >= l.coalesce || l.fr.Size() >= maxFrameSize-MaxDatagram {
+				l.sealFrame()
+			}
+			continue
+		}
+		buf, extra := l.encodeOne(p, fault)
+		if buf == nil {
+			continue
+		}
+		if extra > 0 {
+			l.inflight.Add(1)
+			time.AfterFunc(time.Duration(extra*float64(time.Second)), func() { l.write(buf) })
+			continue
+		}
+		if l.coalesce > 1 {
+			if !l.frOpen {
+				l.openFrame()
+			}
+			if err := l.fr.AppendEncoded(*buf); err != nil {
+				l.sealFrame()
+				l.openFrame()
+				if err := l.fr.AppendEncoded(*buf); err != nil {
+					l.m.EncodeErrors.Add(1)
+					putBuf(buf)
+					continue
+				}
+			}
+			putBuf(buf)
+			l.frPkts++
+			if l.fr.Count() >= l.coalesce || l.fr.Size() >= maxFrameSize-MaxDatagram {
+				l.sealFrame()
+			}
+			continue
+		}
+		// Single-datagram views: copy the encoding into the view buffer
+		// so the pooled buf can be released immediately.
+		vb := l.viewBuf()
+		*vb = append((*vb)[:0], *buf...)
+		putBuf(buf)
+		l.pushView(*vb, 1)
+	}
+	if l.frOpen && l.fr.Count() > 0 {
+		l.sealFrame()
+	}
+	l.writeViews()
+}
+
+// openFrame starts a coalesced frame in the next view buffer. Callers
+// hold smu.
+func (l *UDPLink) openFrame() {
+	vb := l.viewBuf()
+	l.fr = BeginFrame((*vb)[:0])
+	l.frOpen = true
+	l.frPkts = 0
+}
+
+// sealFrame finishes the open frame and registers it as a view,
+// flushing the view batch to the socket when it reaches the syscall
+// batch size. Callers hold smu.
+func (l *UDPLink) sealFrame() {
+	frame, err := l.fr.Finish()
+	l.frOpen = false
+	if err != nil {
+		return
+	}
+	vb := l.frames[l.nview]
+	*vb = frame
+	l.pushView(frame, l.frPkts)
+}
+
+// viewBuf returns the encode buffer backing view slot nview, growing
+// the scratch list on first use. Callers hold smu.
+func (l *UDPLink) viewBuf() *[]byte {
+	for len(l.frames) <= l.nview {
+		b := make([]byte, 0, MaxDatagram)
+		l.frames = append(l.frames, &b)
+	}
+	return l.frames[l.nview]
+}
+
+// pushView registers one encoded datagram carrying pkts packets.
+// Callers hold smu.
+func (l *UDPLink) pushView(view []byte, pkts int) {
+	l.views[l.nview] = view
+	l.viewPkts[l.nview] = pkts
+	l.nview++
+	if l.nview == l.sysBatch {
+		l.writeViews()
+	}
+}
+
+// sendStep is the raw-connection write callback: one sendmmsg over the
+// unsent tail of the loaded batch. Stored once in sendFn so issuing it
+// allocates nothing.
+func (l *UDPLink) sendStep(fd uintptr) bool {
+	l.m.TxSyscalls.Add(1)
+	_, errno := l.io.sendStep(fd)
+	if errno == syscall.EAGAIN {
+		return false
+	}
+	l.werrno = errno
+	return true
+}
+
+// writeViews writes the accumulated datagram views with as few
+// syscalls as the platform allows and accounts the outcome. Callers
+// hold smu.
+func (l *UDPLink) writeViews() {
+	if l.nview == 0 {
+		return
+	}
+	views := l.views[:l.nview]
+	pkts := l.viewPkts[:l.nview]
+	l.nview = 0
+	if l.io == nil {
+		// No batched syscalls on this platform: one write per datagram.
+		// A transient error on one datagram does not doom the batch.
+		for i, v := range views {
+			l.m.TxSyscalls.Add(1)
+			n, err := l.conn.Write(v)
+			if err != nil {
+				l.m.TxErrors.Add(1)
+				continue
+			}
+			l.m.TxDatagrams.Add(1)
+			l.m.TxPackets.Add(uint64(pkts[i]))
+			l.m.TxBytes.Add(uint64(n))
+		}
+		return
+	}
+	l.io.load(views)
+	for l.io.done < l.io.n {
+		l.werrno = 0
+		err := l.rc.Write(l.sendFn)
+		if err != nil || l.werrno != 0 {
+			l.m.TxErrors.Add(uint64(l.io.n - l.io.done))
+			break
+		}
+	}
+	var sentPkts, sentBytes uint64
+	for i := 0; i < l.io.done; i++ {
+		sentPkts += uint64(pkts[i])
+		sentBytes += uint64(len(views[i]))
+	}
+	l.m.TxDatagrams.Add(uint64(l.io.done))
+	l.m.TxPackets.Add(sentPkts)
+	l.m.TxBytes.Add(sentBytes)
+}
+
+// write pushes one encoded single-packet datagram to the socket and
+// recycles the buffer — the unbatched path (coalescing off, delayed
+// fault re-sends).
 func (l *UDPLink) write(buf *[]byte) {
 	defer l.inflight.Done()
 	defer putBuf(buf)
@@ -215,20 +536,29 @@ func (l *UDPLink) write(buf *[]byte) {
 		l.m.TxErrors.Add(1)
 		return
 	}
+	l.m.TxSyscalls.Add(1)
+	l.m.TxDatagrams.Add(1)
 	l.m.TxPackets.Add(1)
 	l.m.TxBytes.Add(uint64(n))
 }
 
 // Close implements netsim.Wire: idempotent, safe against concurrent
-// Send (packets racing a Close are counted as lost, like a link that
-// went away mid-flight).
+// Send (packets racing a Close are counted as lost or as socket
+// errors, like a link that went away mid-flight). A pending coalesced
+// frame is flushed before the socket closes.
 func (l *UDPLink) Close() error {
-	if l.closed.Swap(true) {
-		return nil
-	}
-	err := l.conn.Close()
-	l.inflight.Wait()
+	var err error
+	l.closing.Do(func() {
+		l.closed.Store(true)
+		l.smu.Lock()
+		l.flushPendingLocked()
+		l.pendTimer.Stop()
+		l.smu.Unlock()
+		err = l.conn.Close()
+		l.inflight.Wait()
+	})
 	return err
 }
 
 var _ netsim.Wire = (*UDPLink)(nil)
+var _ netsim.BatchWire = (*UDPLink)(nil)
