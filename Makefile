@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test bench bench-dataplane bench-lookup bench-transport bench-convergence reproduce race cover metrics chaos examples clean
+.PHONY: all build test bench bench-dataplane bench-lookup bench-transport bench-convergence reproduce race cover metrics chaos soak examples clean
 
 all: build test
 
@@ -71,10 +71,23 @@ race:
 # different fault schedule — link flaps, corruption, delay spikes and a
 # signaling-session sever — and mplssim exits nonzero if traffic has not
 # converged (flowing again, no retries exhausted) by the end of the run.
-chaos:
+# The in-simulator runs are followed by the multi-process soak.
+chaos: soak
 	@for seed in 1 2 3; do \
 		echo "== chaos seed $$seed =="; \
 		go run ./cmd/mplssim -chaos $$seed -heal || exit 1; echo; done
+
+# The hostile-wire soak: 50 mplsnode-style processes in a ring-of-rings
+# over loopback UDP, with seeded kills and spoof/TTL/rate/malformed
+# floods from the parent. Each seed must converge — survivors' sessions
+# up, LSPs rerouted off the corpses, fresh deliveries at every egress —
+# with zero panics and every attack class measurably dropped by the
+# ingress admission guards.
+soak:
+	@go build -o /tmp/mplschaos ./cmd/mplschaos
+	@for seed in 1 2 3; do \
+		echo "== soak seed $$seed =="; \
+		/tmp/mplschaos -seed $$seed -rings 10 -ring-size 5 -duration 8 || exit 1; echo; done
 
 # Per-package coverage plus an aggregate profile with a per-function
 # report and a repo-wide total line.

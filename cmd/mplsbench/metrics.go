@@ -8,6 +8,7 @@ import (
 
 	"embeddedmpls/internal/dataplane"
 	"embeddedmpls/internal/faults"
+	"embeddedmpls/internal/guard"
 	"embeddedmpls/internal/label"
 	"embeddedmpls/internal/netsim"
 	"embeddedmpls/internal/packet"
@@ -91,8 +92,26 @@ func runDataplaneMetrics(promPath string) error {
 	retry.Do("unreachable", faults.FailEvery(1), nil)
 	sim.Run()
 
+	// The ingress admission guard's side of the taxonomy: one hostile
+	// packet per guard drop reason (spoofed label, TTL under the GTSM
+	// floor, over-rate best effort, quarantined peer).
+	gd := guard.New(guard.WithDefaultPolicy(guard.Policy{
+		SpoofFilter: true, MinTTL: 2, RatePPS: 1, Burst: 1,
+		QuarantineThreshold: 1, QuarantineWindow: 1, QuarantineHold: 10,
+	}))
+	gd.Admit(benchLabelled(100, 1, 64), "peer") // never advertised: spoof
+	gd.Admit(benchLabelled(100, 2, 1), "peer")  // TTL 1 under the floor
+	gd.Advertise("peer", 100)
+	gd.Admit(benchLabelled(100, 3, 64), "peer") // spends the only token
+	gd.Admit(benchLabelled(100, 4, 64), "peer") // over rate: shed
+	gd.Malformed("peer")                        // trips the breaker
+	if gd.PreAdmit("peer", true) {
+		return fmt.Errorf("metrics workload failed to open the quarantine breaker")
+	}
+
 	reg := telemetry.NewRegistry()
 	e.RegisterMetrics(reg, nil)
+	gd.RegisterMetrics(reg, "bench-lsr")
 	reg.Events("mpls_resilience_events_total", "Fault and recovery events by type.",
 		telemetry.Labels{"node": "bench-lsr"}, &ev)
 	var buf bytes.Buffer
@@ -115,6 +134,14 @@ func runDataplaneMetrics(promPath string) error {
 		telemetry.ReasonLookupMiss, telemetry.ReasonTTLExpired, telemetry.ReasonInconsistentOp,
 	} {
 		if e.Drops().Get(r) == 0 {
+			return fmt.Errorf("metrics workload failed to produce %v drops", r)
+		}
+	}
+	for _, r := range []telemetry.Reason{
+		telemetry.ReasonLabelSpoof, telemetry.ReasonTTLSecurity,
+		telemetry.ReasonRateLimit, telemetry.ReasonQuarantine,
+	} {
+		if gd.Drops().Get(r) == 0 {
 			return fmt.Errorf("metrics workload failed to produce %v drops", r)
 		}
 	}

@@ -1,0 +1,569 @@
+// mplschaos soaks a multi-process MPLS cluster under seeded chaos. The
+// parent process generates a ring-of-rings topology (every ring an
+// inner cycle, ring hubs joined in an outer cycle), writes it as a
+// scenario file with an armed admission guard, and spawns one child
+// process per node — each child re-execs this binary with -child and
+// runs exactly the mplsnode build path (config.BuildNode) over
+// loopback UDP. While the cluster runs, the parent injects chaos from
+// a seeded schedule:
+//
+//   - SIGKILLs one interior node in roughly half the rings, with no
+//     respawn — neighbours' dead timers must tear the crossing LSPs and
+//     the ingresses must resignal around the hole;
+//   - floods well-formed labelled datagrams with spoofed source node
+//     ids and never-advertised labels at ring hubs — the spoof filter
+//     must hold the line, and the decoy flow id must never surface in
+//     any child's delivery collector;
+//   - sends labelled traffic with TTL below the scenario's GTSM
+//     floor — TTL security must shed it;
+//   - sustains an unlabelled best-effort flood well above the
+//     configured per-link rate — CoS-aware shedding must drop it while
+//     control sessions and CoS-5 data keep flowing;
+//   - bursts malformed datagrams attributed to a far-away node — the
+//     quarantine breaker must trip.
+//
+// Every child self-checks at the end of the run: sessions to all
+// surviving neighbours up, every locally-ingressed LSP established on
+// a path that avoids the killed nodes, recent deliveries for every
+// flow that terminates locally, and no hostile flow id in the
+// collector. A child that passes prints "SOAK ok" and exits 0. The
+// parent exits nonzero unless every surviving child exits 0 within the
+// convergence bound, no child printed a panic, and the summed guard
+// counters prove each attack class was actually exercised and dropped.
+//
+//	mplschaos -seed 1 -rings 10 -ring-size 5 -duration 8
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+
+	"embeddedmpls/internal/config"
+	"embeddedmpls/internal/label"
+	"embeddedmpls/internal/packet"
+	"embeddedmpls/internal/telemetry"
+	"embeddedmpls/internal/transport"
+)
+
+// Hostile flow ids. They must never show up in a delivery collector:
+// seeing one means the guard forwarded an attack packet end to end.
+const (
+	spoofFlow = 0xbad1
+	floodFlow = 0xbad2
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mplschaos: ")
+	var (
+		child    = flag.Bool("child", false, "run one node of the cluster (internal; set by the parent)")
+		cfgPath  = flag.String("config", "", "scenario file (child mode)")
+		node     = flag.String("node", "", "node to run (child mode)")
+		dead     = flag.String("dead", "", "comma-separated nodes the parent will kill (child mode)")
+		rings    = flag.Int("rings", 10, "number of rings")
+		ringSize = flag.Int("ring-size", 5, "nodes per ring (>= 5)")
+		duration = flag.Float64("duration", 8, "soak duration in wall-clock seconds")
+		seed     = flag.Int64("seed", 1, "chaos schedule seed")
+		verbose  = flag.Bool("v", false, "print every child's full output")
+	)
+	flag.Parse()
+	if *child {
+		os.Exit(runChild(*cfgPath, *node, *dead, *duration))
+	}
+	os.Exit(runParent(*rings, *ringSize, *duration, *seed, *verbose))
+}
+
+func nodeName(ring, j int) string { return fmt.Sprintf("r%dn%d", ring, j) }
+func hub(ring int) string         { return nodeName(ring, 0) }
+
+// genScenario lays out the ring-of-rings cluster: rings inner cycles
+// of ringSize nodes each, hubs (n0) joined in an outer cycle. Each
+// ring carries one CoS-5 LSP from its n1 to its n(ringSize-2) — the
+// short way crosses n2, the designated kill target, so a kill forces a
+// protection switch the long way around — and each hub originates one
+// LSP two hubs onward across the outer cycle.
+func genScenario(rings, ringSize int, duration float64, addrs map[string]string) *config.Scenario {
+	s := &config.Scenario{
+		Name:      fmt.Sprintf("chaos soak: %d rings x %d nodes", rings, ringSize),
+		DurationS: duration,
+		Transport: &config.TransportSection{Kind: "udp", Nodes: addrs},
+		Guard: &config.GuardSection{
+			SpoofFilter:         true,
+			TTLMin:              2,
+			RatePPS:             2000,
+			Burst:               256,
+			QuarantineThreshold: 20,
+			QuarantineWindowS:   1,
+			QuarantineHoldS:     1.5,
+		},
+	}
+	for i := 0; i < rings; i++ {
+		for j := 0; j < ringSize; j++ {
+			s.Nodes = append(s.Nodes, config.Node{Name: nodeName(i, j), Plane: "software"})
+		}
+	}
+	link := func(a, b string) {
+		s.Links = append(s.Links, config.Link{
+			A: a, B: b, RateMbps: 50, DelayMs: 0.2, Metric: 1, Queue: "priority",
+		})
+	}
+	for i := 0; i < rings; i++ {
+		for j := 0; j < ringSize; j++ {
+			link(nodeName(i, j), nodeName(i, (j+1)%ringSize))
+		}
+		link(hub(i), hub((i+1)%rings))
+	}
+	for i := 0; i < rings; i++ {
+		ringDst := fmt.Sprintf("10.1.%d.1", i)
+		s.LSPs = append(s.LSPs, config.LSP{
+			ID: fmt.Sprintf("ring%d", i), Dst: ringDst, CoS: 5,
+			From: nodeName(i, 1), To: nodeName(i, ringSize-2),
+		})
+		s.Flows = append(s.Flows, config.Flow{
+			ID: uint16(100 + i), Kind: "cbr", From: nodeName(i, 1), Dst: ringDst,
+			SizeBytes: 200, IntervalMs: 20,
+		})
+		hubDst := fmt.Sprintf("10.2.%d.1", i)
+		s.LSPs = append(s.LSPs, config.LSP{
+			ID: fmt.Sprintf("hub%d", i), Dst: hubDst, CoS: 5,
+			From: hub(i), To: hub((i + 2) % rings),
+		})
+		s.Flows = append(s.Flows, config.Flow{
+			ID: uint16(200 + i), Kind: "cbr", From: hub(i), Dst: hubDst,
+			SizeBytes: 200, IntervalMs: 20,
+		})
+	}
+	return s
+}
+
+// loopbackAddrs reserves n distinct loopback UDP addresses by binding
+// and immediately releasing ephemeral sockets.
+func loopbackAddrs(n int) ([]string, error) {
+	addrs := make([]string, n)
+	for i := range addrs {
+		c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			return nil, err
+		}
+		addrs[i] = c.LocalAddr().String()
+		c.Close()
+	}
+	return addrs, nil
+}
+
+// childResult is one child's terminal state.
+type childResult struct {
+	name string
+	err  error
+	out  *bytes.Buffer
+}
+
+var guardLine = regexp.MustCompile(`CHAOS-GUARD \S+ spoof=(\d+) ttl=(\d+) rate=(\d+) quarantine=(\d+) trips=(\d+)`)
+
+func runParent(rings, ringSize int, duration float64, seed int64, verbose bool) int {
+	if rings < 3 || ringSize < 5 {
+		log.Print("need -rings >= 3 and -ring-size >= 5")
+		return 2
+	}
+	total := rings * ringSize
+	addrList, err := loopbackAddrs(total)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	addrs := make(map[string]string, total)
+	names := make([]string, 0, total)
+	for i := 0; i < rings; i++ {
+		for j := 0; j < ringSize; j++ {
+			n := nodeName(i, j)
+			names = append(names, n)
+			addrs[n] = addrList[len(names)-1]
+		}
+	}
+	scenario := genScenario(rings, ringSize, duration, addrs)
+
+	dir, err := os.MkdirTemp("", "mplschaos")
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	defer os.RemoveAll(dir)
+	cfgPath := filepath.Join(dir, "cluster.json")
+	blob, err := json.MarshalIndent(scenario, "", "  ")
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	if err := os.WriteFile(cfgPath, blob, 0o644); err != nil {
+		log.Print(err)
+		return 1
+	}
+	// Round-trip through the loader so a generator bug fails fast here,
+	// not in 50 children at once.
+	f, err := os.Open(cfgPath)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	if _, err := config.Load(f); err != nil {
+		f.Close()
+		log.Printf("generated scenario invalid: %v", err)
+		return 1
+	}
+	f.Close()
+
+	// Seeded chaos schedule: kill the designated interior node (n2) in
+	// about half the rings — at least two — between 0.25D and 0.5D.
+	rng := rand.New(rand.NewSource(seed))
+	var kills []string
+	for i := 0; i < rings; i++ {
+		if rng.Intn(2) == 0 {
+			kills = append(kills, nodeName(i, 2))
+		}
+	}
+	for i := 0; len(kills) < 2; i++ {
+		kills = append(kills, nodeName(i, 2))
+	}
+	killAt := make(map[string]float64, len(kills))
+	for _, k := range kills {
+		killAt[k] = duration * (0.25 + 0.25*rng.Float64())
+	}
+	deadArg := strings.Join(kills, ",")
+	fmt.Printf("soak seed=%d: %d nodes, killing %v\n", seed, total, kills)
+
+	killSet := map[string]bool{}
+	for _, k := range kills {
+		killSet[k] = true
+	}
+	cmds := make(map[string]*exec.Cmd, total)
+	results := make(chan childResult, total)
+	for _, n := range names {
+		out := &bytes.Buffer{}
+		cmd := exec.Command(os.Args[0], "-child",
+			"-config", cfgPath, "-node", n,
+			"-duration", strconv.FormatFloat(duration, 'f', -1, 64),
+			"-dead", deadArg)
+		cmd.Stdout = out
+		cmd.Stderr = out
+		if err := cmd.Start(); err != nil {
+			log.Printf("spawn %s: %v", n, err)
+			return 1
+		}
+		cmds[n] = cmd
+		go func(n string, c *exec.Cmd, out *bytes.Buffer) {
+			results <- childResult{name: n, err: c.Wait(), out: out}
+		}(n, cmd, out)
+	}
+	start := time.Now()
+	for n, at := range killAt {
+		time.AfterFunc(time.Duration(at*float64(time.Second)), func(victim string) func() {
+			return func() {
+				fmt.Printf("t=%.2fs KILL %s\n", time.Since(start).Seconds(), victim)
+				cmds[victim].Process.Kill()
+			}
+		}(n))
+	}
+
+	// Hostile floods run from 0.2D to 0.7D against a few ring hubs.
+	floodStart := time.Duration(0.2 * duration * float64(time.Second))
+	floodStop := time.Duration(0.7 * duration * float64(time.Second))
+	idOf := make(map[string]transport.NodeID, total)
+	for i, n := range names {
+		idOf[n] = transport.NodeID(i)
+	}
+	hostileTargets := []int{0, 1, 2}
+	for _, i := range hostileTargets {
+		target, impostor := hub(i), hub((i+1)%rings)
+		farNode := nodeName((i+3)%rings, 2)
+		go flood(addrs[target], floodStart, floodStop, floodPlan{
+			impostorID: idOf[impostor],
+			farID:      idOf[farNode],
+			spoofDst:   fmt.Sprintf("10.2.%d.1", i),
+		})
+	}
+
+	deadline := time.After(time.Duration((duration + 15) * float64(time.Second)))
+	var (
+		failures                            []string
+		sumSpoof, sumTTL, sumRate, sumTrips uint64
+		sumQuarantine                       uint64
+	)
+	for done := 0; done < total; done++ {
+		var r childResult
+		select {
+		case r = <-results:
+		case <-deadline:
+			for n, c := range cmds {
+				c.Process.Kill()
+				_ = n
+			}
+			log.Printf("convergence bound exceeded: %d/%d children still running", total-done, total)
+			return 1
+		}
+		out := r.out.String()
+		if verbose {
+			fmt.Printf("--- %s ---\n%s", r.name, out)
+		}
+		if strings.Contains(out, "panic:") {
+			failures = append(failures, fmt.Sprintf("%s PANICKED:\n%s", r.name, out))
+			continue
+		}
+		if killSet[r.name] {
+			continue // died by design; nothing more to ask of it
+		}
+		if m := guardLine.FindStringSubmatch(out); m != nil {
+			add := func(dst *uint64, s string) {
+				v, _ := strconv.ParseUint(s, 10, 64)
+				*dst += v
+			}
+			add(&sumSpoof, m[1])
+			add(&sumTTL, m[2])
+			add(&sumRate, m[3])
+			add(&sumQuarantine, m[4])
+			add(&sumTrips, m[5])
+		}
+		if r.err != nil {
+			failures = append(failures, fmt.Sprintf("%s exited: %v\n%s", r.name, r.err, out))
+		}
+	}
+	fmt.Printf("guard totals: spoof=%d ttl=%d rate=%d quarantine=%d trips=%d\n",
+		sumSpoof, sumTTL, sumRate, sumQuarantine, sumTrips)
+	if sumSpoof == 0 || sumTTL == 0 || sumRate == 0 || sumTrips == 0 {
+		failures = append(failures, fmt.Sprintf(
+			"an attack class was never dropped (spoof=%d ttl=%d rate=%d trips=%d) — the soak proved nothing",
+			sumSpoof, sumTTL, sumRate, sumTrips))
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			log.Print(f)
+		}
+		log.Printf("SOAK seed=%d FAILED (%d findings)", seed, len(failures))
+		return 1
+	}
+	fmt.Printf("SOAK seed=%d ok: %d nodes, %d killed, all survivors converged\n",
+		seed, total, len(kills))
+	return 0
+}
+
+// floodPlan parameterises one hostile sender.
+type floodPlan struct {
+	impostorID transport.NodeID // a real neighbour of the target, spoofed
+	farID      transport.NodeID // a far non-neighbour, quarantined
+	spoofDst   string           // a live flow destination, must never deliver
+}
+
+// flood throws all four attack classes at one node address.
+func flood(addr string, start, stop time.Duration, plan floodPlan) {
+	time.Sleep(start)
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	dst, err := config.ParseAddr(plan.spoofDst)
+	if err != nil {
+		return
+	}
+
+	mk := func(src transport.NodeID, flow uint16, lbl label.Label, ttl uint8) []byte {
+		p := packet.New(packet.AddrFrom(192, 0, 2, 66), dst, 64, make([]byte, 64))
+		if flow == floodFlow {
+			// The volumetric flood aims at a destination no FEC covers:
+			// whatever share survives the rate limiter must die at the
+			// routing table, never ride an LSP.
+			p.Header.Dst = packet.AddrFrom(10, 99, 0, 1)
+		}
+		p.Header.FlowID = flow
+		if lbl != 0 {
+			p.Stack.Push(label.Entry{Label: lbl, CoS: 0, Bottom: true, TTL: ttl})
+		} else {
+			p.Header.TTL = ttl
+		}
+		enc, err := transport.AppendPacket(nil, p, src)
+		if err != nil {
+			return nil
+		}
+		return enc
+	}
+	spoof := mk(plan.impostorID, spoofFlow, 1000000, 64) // never-advertised label
+	lowTTL := mk(plan.impostorID, spoofFlow, 1000001, 1) // under the GTSM floor
+	beFlood := mk(plan.impostorID, floodFlow, 0, 64)     // unlabelled best effort
+	quarProbe := mk(plan.farID, spoofFlow, 1000002, 64)  // labelled, soon quarantined
+	malformed := quarProbe[:10]                          // valid magic + source, truncated
+
+	end := time.Now().Add(stop - start)
+	for time.Now().Before(end) {
+		// ~4000 datagrams/s of best-effort flood against a 2000 pps
+		// budget, plus a steady trickle of each targeted attack.
+		for i := 0; i < 4; i++ {
+			conn.Write(beFlood)
+		}
+		conn.Write(spoof)
+		conn.Write(lowTTL)
+		conn.Write(malformed)
+		conn.Write(quarProbe)
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// runChild runs one node exactly the way mplsnode does, then holds the
+// cluster to account: surviving sessions up, local-ingress LSPs routed
+// around the kills, fresh deliveries on every locally-terminating flow,
+// and not a single hostile flow id in the collector.
+func runChild(cfgPath, node, dead string, duration float64) int {
+	log.SetPrefix("mplschaos[" + node + "]: ")
+	f, err := os.Open(cfgPath)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	scenario, err := config.Load(f)
+	f.Close()
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	b, err := scenario.BuildNode(node)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	defer b.Net.Close()
+	var drops telemetry.DropCounters
+	b.Net.SetTelemetry(telemetry.Sink{Drops: &drops})
+	if b.Guard == nil {
+		log.Print("scenario has no guard section; the soak is pointless")
+		return 1
+	}
+
+	deadSet := map[string]bool{}
+	for _, d := range strings.Split(dead, ",") {
+		if d != "" {
+			deadSet[d] = true
+		}
+	}
+
+	// Track the latest established path per local-ingress LSP, and
+	// snapshot delivery counters one second before the end: the gap
+	// between snapshot and exit is the "recently converged" window.
+	latest := map[string][]string{}
+	snap := map[uint16]uint64{}
+	b.Net.Lock()
+	prevEst := b.Speaker.OnEstablished
+	b.Speaker.OnEstablished = func(id string, path []string) {
+		latest[id] = append([]string(nil), path...)
+		if prevEst != nil {
+			prevEst(id, path)
+		}
+	}
+	prevUp, prevDown := b.Speaker.OnSessionUp, b.Speaker.OnSessionDown
+	b.Speaker.OnSessionUp = func(peer string) {
+		fmt.Printf("t=%.3fs %s: session to %s up\n", b.Net.Sim.Now(), node, peer)
+		if prevUp != nil {
+			prevUp(peer)
+		}
+	}
+	b.Speaker.OnSessionDown = func(peer string) {
+		fmt.Printf("t=%.3fs %s: session to %s DOWN\n", b.Net.Sim.Now(), node, peer)
+		if prevDown != nil {
+			prevDown(peer)
+		}
+	}
+	sessAtSnap := map[string]bool{}
+	b.Net.Sim.Schedule(duration-1, func() {
+		for _, id := range b.Collector.FlowIDs() {
+			snap[id] = b.Collector.Flow(id).Delivered.Events
+		}
+		for _, peer := range b.Speaker.Peers() {
+			if sess, ok := b.Speaker.Session(peer); ok && sess.Up() {
+				sessAtSnap[peer] = true
+			}
+		}
+	})
+	b.Net.Unlock()
+
+	b.Net.RunReal(duration)
+
+	b.Net.Lock()
+	defer b.Net.Unlock()
+	var faults []string
+	// The cluster shuts down on staggered wall clocks: a neighbour that
+	// was spawned earlier stops keepaliving up to a few hundred ms
+	// before our own run ends, so its session may expire in the final
+	// hold interval through no fault of the protocol. A session counts
+	// as survived if it was up at the T-1s checkpoint or at exit; only
+	// down-at-both is a real robustness failure.
+	for _, peer := range b.Speaker.Peers() {
+		if deadSet[peer] {
+			continue
+		}
+		sess, ok := b.Speaker.Session(peer)
+		upNow := ok && sess.Up()
+		if !upNow && !sessAtSnap[peer] {
+			faults = append(faults, fmt.Sprintf("session to surviving peer %s not up", peer))
+		}
+	}
+	for _, id := range b.Collector.FlowIDs() {
+		if id == spoofFlow || id == floodFlow {
+			faults = append(faults, fmt.Sprintf("hostile flow %#x reached the collector", id))
+		}
+	}
+	lspTo := map[string]string{}
+	for _, l := range scenario.LSPs {
+		lspTo[l.Dst] = l.To
+	}
+	for _, l := range scenario.LSPs {
+		if l.From != node {
+			continue
+		}
+		path, ok := latest[l.ID]
+		if !ok {
+			faults = append(faults, fmt.Sprintf("LSP %s never established", l.ID))
+			continue
+		}
+		for _, hop := range path {
+			if deadSet[hop] {
+				faults = append(faults, fmt.Sprintf("LSP %s still routed through dead %s: %v", l.ID, hop, path))
+			}
+		}
+	}
+	for _, fl := range scenario.Flows {
+		if lspTo[fl.Dst] != node {
+			continue
+		}
+		got := b.Collector.Flow(fl.ID).Delivered.Events
+		if got <= snap[fl.ID] {
+			faults = append(faults, fmt.Sprintf("flow %d stalled: %d delivered at T-1s, %d at exit", fl.ID, snap[fl.ID], got))
+		}
+	}
+
+	g := b.Guard.Drops()
+	fmt.Printf("CHAOS-GUARD %s spoof=%d ttl=%d rate=%d quarantine=%d trips=%d\n",
+		node,
+		g.Get(telemetry.ReasonLabelSpoof),
+		g.Get(telemetry.ReasonTTLSecurity),
+		g.Get(telemetry.ReasonRateLimit),
+		g.Get(telemetry.ReasonQuarantine),
+		b.Events.Get(telemetry.EventQuarantineTrip))
+	if len(faults) > 0 {
+		for _, f := range faults {
+			log.Print(f)
+		}
+		fmt.Printf("SOAK FAIL %s (%d faults)\n", node, len(faults))
+		return 1
+	}
+	fmt.Printf("SOAK ok %s\n", node)
+	return 0
+}

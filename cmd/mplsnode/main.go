@@ -27,10 +27,55 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 
 	"embeddedmpls/internal/config"
 	"embeddedmpls/internal/telemetry"
 )
+
+// applyGuardOverrides folds a "key=value,key=value" -guard flag into the
+// scenario's guard section (creating one if the file has none), so a
+// node can be hardened — or loosened — without editing the shared file.
+func applyGuardOverrides(s *config.Scenario, spec string) error {
+	if s.Guard == nil {
+		s.Guard = &config.GuardSection{}
+	}
+	g := s.Guard
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return fmt.Errorf("guard override %q is not key=value", kv)
+		}
+		var err error
+		switch k {
+		case "spoof_filter":
+			g.SpoofFilter, err = strconv.ParseBool(v)
+		case "ttl_min":
+			g.TTLMin, err = strconv.Atoi(v)
+		case "rate_pps":
+			g.RatePPS, err = strconv.ParseFloat(v, 64)
+		case "burst":
+			g.Burst, err = strconv.Atoi(v)
+		case "quarantine_threshold":
+			g.QuarantineThreshold, err = strconv.Atoi(v)
+		case "quarantine_window_s":
+			g.QuarantineWindowS, err = strconv.ParseFloat(v, 64)
+		case "quarantine_hold_s":
+			g.QuarantineHoldS, err = strconv.ParseFloat(v, 64)
+		default:
+			return fmt.Errorf("unknown guard key %q", k)
+		}
+		if err != nil {
+			return fmt.Errorf("guard override %q: %v", kv, err)
+		}
+	}
+	return nil
+}
 
 func main() {
 	log.SetFlags(0)
@@ -40,6 +85,7 @@ func main() {
 	duration := flag.Float64("duration", 0, "wall-clock seconds to run (default scenario duration + 0.5s)")
 	coalesce := flag.Int("coalesce", 0, "packets per datagram on inter-process links (overrides scenario transport section)")
 	sysBatch := flag.Int("sysbatch", 0, "datagrams per send/receive syscall (overrides scenario transport section)")
+	guardSpec := flag.String("guard", "", `admission-guard overrides, "spoof_filter=true,ttl_min=2,rate_pps=1000,..." (merged over the scenario guard section)`)
 	flag.Parse()
 	if *configPath == "" || *node == "" {
 		flag.Usage()
@@ -64,6 +110,11 @@ func main() {
 			scenario.Transport.SysBatch = *sysBatch
 		}
 	}
+	if *guardSpec != "" {
+		if err := applyGuardOverrides(scenario, *guardSpec); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	b, err := scenario.BuildNode(*node)
 	if err != nil {
@@ -74,13 +125,21 @@ func main() {
 	b.Net.SetTelemetry(telemetry.Sink{Drops: &drops})
 
 	// Narrate the control plane as it converges; the hooks run in the
-	// delivery path, under this node's network lock.
+	// delivery path, under this node's network lock. BuildNode already
+	// hooked OnSessionDown for flap damping — chain it, never replace.
 	b.Net.Lock()
+	prevUp, prevDown := b.Speaker.OnSessionUp, b.Speaker.OnSessionDown
 	b.Speaker.OnSessionUp = func(peer string) {
 		fmt.Printf("t=%.3fs session to %s up\n", b.Net.Sim.Now(), peer)
+		if prevUp != nil {
+			prevUp(peer)
+		}
 	}
 	b.Speaker.OnSessionDown = func(peer string) {
 		fmt.Printf("t=%.3fs session to %s DOWN\n", b.Net.Sim.Now(), peer)
+		if prevDown != nil {
+			prevDown(peer)
+		}
 	}
 	b.Speaker.OnEstablished = func(id string, path []string) {
 		fmt.Printf("t=%.3fs LSP %q established via %v\n", b.Net.Sim.Now(), id, path)
@@ -108,5 +167,8 @@ func main() {
 	fmt.Printf("  %v\n", b.Events)
 	if drops.Total() > 0 {
 		fmt.Printf("  %v\n", &drops)
+	}
+	if b.Guard != nil {
+		fmt.Printf("  %v\n", b.Guard)
 	}
 }

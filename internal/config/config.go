@@ -8,17 +8,20 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"sort"
 	"strconv"
 	"strings"
 
+	"embeddedmpls/internal/guard"
 	"embeddedmpls/internal/label"
 	"embeddedmpls/internal/ldp"
 	"embeddedmpls/internal/lsm"
 	"embeddedmpls/internal/netsim"
 	"embeddedmpls/internal/packet"
 	"embeddedmpls/internal/qos"
+	"embeddedmpls/internal/resilience"
 	"embeddedmpls/internal/router"
 	"embeddedmpls/internal/signaling"
 	"embeddedmpls/internal/te"
@@ -42,6 +45,10 @@ type Scenario struct {
 	// same scenario, runs the one router named by its -node flag, and
 	// exchanges labeled packets with its neighbours over these sockets.
 	Transport *TransportSection `json:"transport,omitempty"`
+	// Guard, when present, arms the per-link ingress admission guard on
+	// every distributed node (BuildNode): label-spoof filtering, TTL
+	// security, rate limiting and malformed-frame quarantine.
+	Guard *GuardSection `json:"guard,omitempty"`
 }
 
 // TransportSection declares the inter-process wiring of a scenario.
@@ -71,6 +78,86 @@ func (t *TransportSection) options() []transport.Option {
 		opts = append(opts, transport.WithSysBatch(t.SysBatch))
 	}
 	return opts
+}
+
+// GuardSection declares the default ingress admission policy applied
+// to every link of every distributed node, with optional per-link
+// overrides. Zero values disable the corresponding check.
+type GuardSection struct {
+	// SpoofFilter admits labelled packets from a neighbour only when
+	// they carry a label this node actually advertised to it.
+	SpoofFilter bool `json:"spoof_filter,omitempty"`
+	// TTLMin is the GTSM-style minimum TTL an arriving packet must
+	// carry (checked on the top label entry for labelled packets).
+	TTLMin int `json:"ttl_min,omitempty"`
+	// RatePPS token-bucket-limits arrivals per link, with CoS-aware
+	// shedding: best-effort is shed first, control traffic never.
+	RatePPS float64 `json:"rate_pps,omitempty"`
+	// Burst is the bucket depth; 0 derives it from RatePPS.
+	Burst int `json:"burst,omitempty"`
+	// QuarantineThreshold trips a per-peer circuit breaker after this
+	// many malformed datagrams inside QuarantineWindowS, blocking that
+	// peer's labelled traffic for QuarantineHoldS (control passes).
+	QuarantineThreshold int     `json:"quarantine_threshold,omitempty"`
+	QuarantineWindowS   float64 `json:"quarantine_window_s,omitempty"`
+	QuarantineHoldS     float64 `json:"quarantine_hold_s,omitempty"`
+	// Links overrides the defaults for specific (node, peer) pairs.
+	Links []GuardLink `json:"links,omitempty"`
+}
+
+// GuardLink overrides the guard policy for one direction of one link:
+// the guard on Node polices what arrives from Peer. Unset fields
+// (nil/zero) inherit the section defaults.
+type GuardLink struct {
+	Node                string   `json:"node"`
+	Peer                string   `json:"peer"`
+	SpoofFilter         *bool    `json:"spoof_filter,omitempty"`
+	TTLMin              int      `json:"ttl_min,omitempty"`
+	RatePPS             float64  `json:"rate_pps,omitempty"`
+	Burst               int      `json:"burst,omitempty"`
+	QuarantineThreshold int      `json:"quarantine_threshold,omitempty"`
+	QuarantineWindowS   float64  `json:"quarantine_window_s,omitempty"`
+	QuarantineHoldS     float64  `json:"quarantine_hold_s,omitempty"`
+}
+
+// policy renders the section defaults as a guard policy.
+func (g *GuardSection) policy() guard.Policy {
+	return guard.Policy{
+		SpoofFilter:         g.SpoofFilter,
+		MinTTL:              uint8(g.TTLMin),
+		RatePPS:             g.RatePPS,
+		Burst:               g.Burst,
+		QuarantineThreshold: g.QuarantineThreshold,
+		QuarantineWindow:    g.QuarantineWindowS,
+		QuarantineHold:      g.QuarantineHoldS,
+	}
+}
+
+// policy applies the link's overrides on top of the section default.
+func (gl *GuardLink) policy(def guard.Policy) guard.Policy {
+	p := def
+	if gl.SpoofFilter != nil {
+		p.SpoofFilter = *gl.SpoofFilter
+	}
+	if gl.TTLMin > 0 {
+		p.MinTTL = uint8(gl.TTLMin)
+	}
+	if gl.RatePPS > 0 {
+		p.RatePPS = gl.RatePPS
+	}
+	if gl.Burst > 0 {
+		p.Burst = gl.Burst
+	}
+	if gl.QuarantineThreshold > 0 {
+		p.QuarantineThreshold = gl.QuarantineThreshold
+	}
+	if gl.QuarantineWindowS > 0 {
+		p.QuarantineWindow = gl.QuarantineWindowS
+	}
+	if gl.QuarantineHoldS > 0 {
+		p.QuarantineHold = gl.QuarantineHoldS
+	}
+	return p
 }
 
 // Node declares one router.
@@ -254,6 +341,48 @@ func (s *Scenario) validate() error {
 			return fmt.Errorf("%w: flow %d kind %q", ErrValidation, f.ID, f.Kind)
 		}
 	}
+	if g := s.Guard; g != nil {
+		check := func(where string, ttl, burst, threshold int, pps, win, hold float64) error {
+			if ttl < 0 || ttl > 255 {
+				return fmt.Errorf("%w: guard %s ttl_min %d (0..255)", ErrValidation, where, ttl)
+			}
+			if pps < 0 || win < 0 || hold < 0 {
+				return fmt.Errorf("%w: guard %s has a negative rate or window", ErrValidation, where)
+			}
+			if burst < 0 || threshold < 0 {
+				return fmt.Errorf("%w: guard %s has a negative burst or threshold", ErrValidation, where)
+			}
+			return nil
+		}
+		if err := check("defaults", g.TTLMin, g.Burst, g.QuarantineThreshold,
+			g.RatePPS, g.QuarantineWindowS, g.QuarantineHoldS); err != nil {
+			return err
+		}
+		adj := map[string]map[string]bool{}
+		for _, l := range s.Links {
+			if adj[l.A] == nil {
+				adj[l.A] = map[string]bool{}
+			}
+			if adj[l.B] == nil {
+				adj[l.B] = map[string]bool{}
+			}
+			adj[l.A][l.B] = true
+			adj[l.B][l.A] = true
+		}
+		for i, gl := range g.Links {
+			where := fmt.Sprintf("link %d (%s<-%s)", i, gl.Node, gl.Peer)
+			if !names[gl.Node] || !names[gl.Peer] {
+				return fmt.Errorf("%w: guard link %d names unknown node %q or %q", ErrValidation, i, gl.Node, gl.Peer)
+			}
+			if !adj[gl.Node][gl.Peer] {
+				return fmt.Errorf("%w: guard link %d: no %s-%s link in the topology", ErrValidation, i, gl.Node, gl.Peer)
+			}
+			if err := check(where, gl.TTLMin, gl.Burst, gl.QuarantineThreshold,
+				gl.RatePPS, gl.QuarantineWindowS, gl.QuarantineHoldS); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }
 
@@ -291,6 +420,9 @@ type Built struct {
 	// Events is set by BuildNode: control-plane event counters
 	// (sessions, mappings, withdraws, protection switches).
 	Events *telemetry.EventCounters
+	// Guard is set by BuildNode when the scenario has a guard section:
+	// the node's ingress admission guard, for telemetry inspection.
+	Guard *guard.Guard
 }
 
 // Build constructs the network, establishes tunnels and LSPs, installs
@@ -443,6 +575,28 @@ func (s *Scenario) BuildNode(name string) (*Built, error) {
 		names[i] = n.Name
 		ids[n.Name] = transport.NodeID(i)
 	}
+	// The admission guard must be armed before the socket opens so no
+	// unguarded window exists. Its checks run on socket goroutines ahead
+	// of the network lock, so it keeps its default wall clock — never
+	// the simulator's.
+	if g := s.Guard; g != nil {
+		def := g.policy()
+		gopts := []guard.Option{
+			guard.WithDefaultPolicy(def),
+			guard.WithControlFlows(signaling.FlowID, resilience.ProbeFlowID),
+			guard.WithDropFunc(net.Drop),
+			guard.WithEvents(b.Events),
+		}
+		for _, gl := range g.Links {
+			if gl.Node != name {
+				continue
+			}
+			gopts = append(gopts, guard.WithLinkPolicy(gl.Peer, gl.policy(def)))
+		}
+		b.Guard = guard.New(gopts...)
+		net.SetGuard(b.Guard)
+	}
+
 	base := append(net.TransportOptions(), s.Transport.options()...)
 	rcv, err := transport.Listen(laddr, net.DeliverTo(name),
 		append(append([]transport.Option{}, base...), transport.WithNames(names))...)
@@ -482,11 +636,28 @@ func (s *Scenario) BuildNode(name string) (*Built, error) {
 			net.Manage(w)
 		}
 
-		sp, err := signaling.New(local, net.Topo, net.Sim, names, name,
-			signaling.WithEvents(b.Events))
+		// Hostile-wire hardening: dead sessions redial through paced
+		// exponential backoff instead of hot hello loops, keepalives
+		// stretch under control-plane load, and flapping links are
+		// damped out of protection CSPF until they calm down.
+		seed := fnv.New64a()
+		seed.Write([]byte(name))
+		sigOpts := []signaling.Option{
+			signaling.WithEvents(b.Events),
+			signaling.WithMaintenance(0.5),
+			signaling.WithAdaptiveKeepalive(500),
+			signaling.WithRestartPolicy(resilience.NewRetryer(net.Sim,
+				resilience.Backoff{Base: 0.1, Max: 2, MaxAttempts: 30},
+				int64(seed.Sum64()), b.Events, nil)),
+		}
+		if b.Guard != nil {
+			sigOpts = append(sigOpts, signaling.WithGuard(b.Guard))
+		}
+		sp, err := signaling.New(local, net.Topo, net.Sim, names, name, sigOpts...)
 		if err != nil {
 			return fmt.Errorf("config: node %s: %w", name, err)
 		}
+		resilience.BindDamping(sp, resilience.NewDamper(net.Sim, resilience.DamperConfig{}, b.Events))
 		sp.Start()
 		b.Speaker = sp
 

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"embeddedmpls/internal/label"
 	"embeddedmpls/internal/packet"
 	"embeddedmpls/internal/telemetry"
 )
@@ -267,6 +268,104 @@ func TestBuildNodeGhost(t *testing.T) {
 	}
 	if b.Speaker != nil {
 		t.Error("ghost build should not create a speaker")
+	}
+}
+
+// TestLoadRejectsBadGuardSections covers the admission-guard knobs:
+// range checks on the defaults and topology checks on the per-link
+// overrides.
+func TestLoadRejectsBadGuardSections(t *testing.T) {
+	base := `{
+  "nodes": [{"name":"a"},{"name":"b"},{"name":"c"}],
+  "links": [
+    {"a":"a","b":"b","rate_mbps":1,"delay_ms":1},
+    {"a":"b","b":"c","rate_mbps":1,"delay_ms":1}
+  ],
+  "guard": `
+	cases := map[string]string{
+		"ttl out of range":   `{"ttl_min": 300}`,
+		"negative rate":      `{"rate_pps": -1}`,
+		"negative burst":     `{"burst": -4}`,
+		"negative window":    `{"quarantine_window_s": -0.5}`,
+		"unknown guard node": `{"links": [{"node":"a","peer":"ghost"}]}`,
+		"no such link":       `{"links": [{"node":"a","peer":"c"}]}`,
+		"bad link ttl":       `{"links": [{"node":"a","peer":"b","ttl_min":-1}]}`,
+	}
+	for name, g := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Load(strings.NewReader(base + g + "}")); !errors.Is(err, ErrValidation) {
+				t.Errorf("guard %s: err = %v, want ErrValidation", g, err)
+			}
+		})
+	}
+	// The same section with the knobs in range loads cleanly.
+	ok := `{"spoof_filter": true, "ttl_min": 2, "rate_pps": 100,
+	        "links": [{"node":"a","peer":"b","spoof_filter":false}]}`
+	if _, err := Load(strings.NewReader(base + ok + "}")); err != nil {
+		t.Fatalf("valid guard section rejected: %v", err)
+	}
+}
+
+// TestBuildNodeGuardWired proves the scenario's guard section arms a
+// real admission guard on a distributed node: spoofed labels bounce,
+// the drop is accounted, and builds without a section stay guardless.
+func TestBuildNodeGuardWired(t *testing.T) {
+	s, err := Load(strings.NewReader(distributedLine(loopbackAddrs(t, 3))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Guard = &GuardSection{
+		SpoofFilter: true,
+		TTLMin:      2,
+		Links:       []GuardLink{{Node: "core", Peer: "in", TTLMin: 8}},
+	}
+	if err := s.validate(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.BuildNode("core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Net.Close()
+	if b.Guard == nil {
+		t.Fatal("guard section did not arm a guard")
+	}
+	// Nothing was advertised to "out" yet, so a labelled arrival from it
+	// is a spoof; the drop lands in the guard's counters.
+	p := packet.New(packet.AddrFrom(10, 0, 0, 9), packet.AddrFrom(10, 0, 0, 1), 64, nil)
+	if err := p.Stack.Push(label.Entry{Label: 5000, Bottom: true, TTL: 64}); err != nil {
+		t.Fatal(err)
+	}
+	if b.Guard.Admit(p, "out") {
+		t.Error("unadvertised label admitted from a neighbour")
+	}
+	if got := b.Guard.Drops().Get(telemetry.ReasonLabelSpoof); got != 1 {
+		t.Errorf("label-spoof drops = %d, want 1", got)
+	}
+	// The per-link override tightened TTL on the in-facing side only.
+	p2 := packet.New(packet.AddrFrom(10, 0, 0, 9), packet.AddrFrom(10, 0, 0, 1), 64, nil)
+	if err := p2.Stack.Push(label.Entry{Label: 5001, Bottom: true, TTL: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if b.Guard.Admit(p2, "in") {
+		t.Error("TTL 4 admitted from in, per-link override demands >= 8")
+	}
+	if got := b.Guard.Drops().Get(telemetry.ReasonTTLSecurity); got != 1 {
+		t.Errorf("ttl-security drops = %d, want 1", got)
+	}
+
+	// No guard section, no guard.
+	s2, err := Load(strings.NewReader(distributedLine(loopbackAddrs(t, 3))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := s2.BuildNode("core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Net.Close()
+	if b2.Guard != nil {
+		t.Error("guardless scenario built a guard")
 	}
 }
 

@@ -1,0 +1,135 @@
+package config
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"embeddedmpls/internal/label"
+	"embeddedmpls/internal/packet"
+	"embeddedmpls/internal/telemetry"
+	"embeddedmpls/internal/transport"
+)
+
+// TestQuarantineSparesControlPlane is the hostile-wire integration
+// test: two real processes' worth of nodes (two BuildNode networks in
+// one test binary) exchange keepalives over loopback UDP while a
+// malformed-datagram flood — attributed to the genuine peer — trips
+// node a's quarantine breaker. The breaker must open (trip event),
+// close again after the hold (clear event), and at no point may the
+// control-plane session flap: quarantine blocks a peer's labelled
+// traffic, never the keepalives that tell us the peer recovered.
+//
+// Run it under -race: the flood exercises guard.Malformed/PreAdmit on
+// socket goroutines concurrently with the locked network pump.
+func TestQuarantineSparesControlPlane(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock soak")
+	}
+	addrs := loopbackAddrs(t, 2)
+	body := `{
+	  "name": "quarantine vs keepalives",
+	  "duration_s": 1.5,
+	  "nodes": [{"name": "a"}, {"name": "b"}],
+	  "links": [{"a": "a", "b": "b", "rate_mbps": 20, "delay_ms": 0.1}],
+	  "transport": {"kind": "udp", "nodes": {"a": "` + addrs[0] + `", "b": "` + addrs[1] + `"}},
+	  "guard": {
+	    "spoof_filter": true,
+	    "quarantine_threshold": 8,
+	    "quarantine_window_s": 0.5,
+	    "quarantine_hold_s": 0.3
+	  }
+	}`
+	s, err := Load(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := s.BuildNode("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ba.Net.Close()
+	bb, err := s.BuildNode("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bb.Net.Close()
+
+	var flaps int
+	ba.Net.Lock()
+	prevDown := ba.Speaker.OnSessionDown // BuildNode's damper hook: chain it
+	ba.Speaker.OnSessionDown = func(peer string) {
+		flaps++
+		if prevDown != nil {
+			prevDown(peer)
+		}
+	}
+	ba.Net.Unlock()
+
+	// The flood: well-formed labelled datagrams claiming node b, cut
+	// short so decode fails — plus intact ones that must bounce off the
+	// open breaker (quarantine drops) or the spoof filter.
+	probe := packet.New(packet.AddrFrom(10, 0, 0, 1), packet.AddrFrom(10, 0, 0, 2), 64, make([]byte, 32))
+	if err := probe.Stack.Push(label.Entry{Label: 999999, Bottom: true, TTL: 64}); err != nil {
+		t.Fatal(err)
+	}
+	enc, err := transport.AppendPacket(nil, probe, 1) // node ids follow scenario order: b == 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("udp", addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); ba.Net.RunReal(1.5) }()
+	go func() { defer wg.Done(); bb.Net.RunReal(1.5) }()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// An opening burst of malformed datagrams (threshold is 8)
+		// trips the breaker; the intact probes interleaved with them
+		// bounce off the open breaker as quarantine drops. Then a slow
+		// trickle of intact probes spans the hold expiry — the first
+		// one after it closes the breaker (clear event) and dies on the
+		// spoof filter instead.
+		for i := 0; i < 40; i++ {
+			conn.Write(enc[:10])
+			conn.Write(enc)
+		}
+		for i := 0; i < 10; i++ {
+			time.Sleep(100 * time.Millisecond)
+			conn.Write(enc)
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	ba.Net.Lock()
+	defer ba.Net.Unlock()
+	bb.Net.Lock()
+	defer bb.Net.Unlock()
+	if got := ba.Events.Get(telemetry.EventQuarantineTrip); got == 0 {
+		t.Error("quarantine breaker never tripped")
+	}
+	if got := ba.Events.Get(telemetry.EventQuarantineClear); got == 0 {
+		t.Error("quarantine breaker never recovered")
+	}
+	if drops := ba.Guard.Drops().Get(telemetry.ReasonQuarantine); drops == 0 {
+		t.Error("no labelled traffic was shed while the breaker was open")
+	}
+	if flaps != 0 {
+		t.Errorf("control session flapped %d times during quarantine", flaps)
+	}
+	for _, b := range []*Built{ba, bb} {
+		sess, ok := b.Speaker.Session(map[string]string{"a": "b", "b": "a"}[b.LocalNode])
+		if !ok || !sess.Up() {
+			t.Errorf("%s: session not up after the flood", b.LocalNode)
+		}
+	}
+}

@@ -1,0 +1,445 @@
+// Package guard is the per-link ingress admission layer: the first
+// code that judges a datagram after the socket and before the decoder
+// and dataplane get to spend cycles on it. The paper assumes a
+// cooperative wire; a production MPLS edge does not get one. Following
+// the mitigations catalogued in "Security Implications and Mitigation
+// Strategies in MPLS Networks" (PAPERS.md), the guard enforces four
+// independent checks per inbound link:
+//
+//   - Label-spoof filtering: a labelled packet is admitted only if its
+//     top label was actually advertised to that neighbour by the local
+//     signaling speaker. Everything else is either spoofed or stale.
+//   - TTL security (GTSM, RFC 5082 style): packets arriving with a TTL
+//     below the link's configured minimum are rejected at the edge,
+//     defeating multi-hop injection of "one hop" traffic.
+//   - Token-bucket rate limiting with CoS-aware shedding: under
+//     overload the bucket sheds best-effort first — a class-c packet is
+//     admitted only while the bucket still holds that class's reserve —
+//     and control-plane traffic is never charged at all, so a data
+//     flood cannot starve hellos and keepalives.
+//   - Malformed-frame quarantine: repeated wire-decode failures from
+//     one peer trip a per-peer circuit breaker. While the breaker is
+//     open the peer's labelled traffic is discarded before full decode
+//     (PreAdmit) instead of burning CPU on garbage; unlabelled control
+//     traffic still passes so a session can survive its peer's bad NIC.
+//
+// Admission ordering is: PreAdmit (pre-decode, quarantine only) →
+// decode → Admit (control classification, quarantine, TTL, spoof,
+// bucket) → dataplane. Every rejection lands in its own
+// telemetry.Reason so the Prometheus export says why the wire is
+// hostile, not just that it is.
+//
+// The guard depends only on packet, label and telemetry, so transport,
+// router and signaling can all reach it without cycles. All methods
+// are safe for concurrent use: PreAdmit and Malformed run on socket
+// goroutines while Admit, Advertise and Withdraw run under the node's
+// network lock.
+package guard
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"embeddedmpls/internal/label"
+	"embeddedmpls/internal/packet"
+	"embeddedmpls/internal/telemetry"
+)
+
+// wallClock is the default time source: monotonic seconds since the
+// guard was built. Distributed nodes run in wall-clock time, so rate
+// and quarantine windows are real seconds there; simulated tests
+// inject the sim clock with WithClock.
+func wallClock() func() float64 {
+	start := time.Now()
+	return func() float64 { return time.Since(start).Seconds() }
+}
+
+// Policy is the per-link admission policy. The zero value disables
+// every check (admit all), so links only pay for what the scenario
+// configures.
+type Policy struct {
+	// SpoofFilter admits labelled packets only when the top label is in
+	// the link's advertised set (fed by Advertise/Withdraw).
+	SpoofFilter bool
+	// MinTTL rejects packets whose TTL — the top stack entry's for
+	// labelled packets, the IP header's otherwise — is below this
+	// value. 0 disables the check.
+	MinTTL uint8
+	// RatePPS is the token-bucket refill rate in packets per second.
+	// <= 0 disables rate limiting.
+	RatePPS float64
+	// Burst is the bucket capacity in packets. <= 0 defaults to
+	// max(16, RatePPS/10).
+	Burst int
+	// QuarantineThreshold trips the per-peer circuit breaker after this
+	// many malformed datagrams inside QuarantineWindow. <= 0 disables
+	// quarantine.
+	QuarantineThreshold int
+	// QuarantineWindow is the burst-counting window in seconds
+	// (default 1).
+	QuarantineWindow float64
+	// QuarantineHold is how long a tripped breaker stays open in
+	// seconds (default 5).
+	QuarantineHold float64
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.RatePPS > 0 && p.Burst <= 0 {
+		p.Burst = int(p.RatePPS / 10)
+		if p.Burst < 16 {
+			p.Burst = 16
+		}
+	}
+	if p.QuarantineThreshold > 0 {
+		if p.QuarantineWindow <= 0 {
+			p.QuarantineWindow = 1
+		}
+		if p.QuarantineHold <= 0 {
+			p.QuarantineHold = 5
+		}
+	}
+	return p
+}
+
+// active reports whether the policy enables any check at all.
+func (p Policy) active() bool {
+	return p.SpoofFilter || p.MinTTL > 0 || p.RatePPS > 0 || p.QuarantineThreshold > 0
+}
+
+// linkState is the mutable per-peer half of the guard.
+type linkState struct {
+	pol        Policy
+	advertised map[label.Label]struct{}
+
+	// Token bucket.
+	tokens     float64
+	lastRefill float64
+
+	// Quarantine breaker.
+	malformed   int     // decode failures inside the current window
+	windowStart float64 // when the current window opened
+	openUntil   float64 // breaker open until this time
+	tripped     bool
+}
+
+type config struct {
+	def     Policy
+	links   map[string]Policy
+	now     func() float64
+	forward func(telemetry.Reason)
+	events  *telemetry.EventCounters
+	control map[uint16]struct{}
+}
+
+// Option configures a Guard.
+type Option func(*config)
+
+// WithDefaultPolicy sets the policy applied to peers that have no
+// per-link override.
+func WithDefaultPolicy(p Policy) Option { return func(c *config) { c.def = p } }
+
+// WithLinkPolicy overrides the policy for one inbound peer.
+func WithLinkPolicy(peer string, p Policy) Option {
+	return func(c *config) { c.links[peer] = p }
+}
+
+// WithClock sets the time source (seconds, monotonic). The default
+// counts real seconds from construction; tests inject a manual clock.
+func WithClock(now func() float64) Option { return func(c *config) { c.now = now } }
+
+// WithDropFunc forwards every guard drop to fn (typically the node's
+// shared telemetry sink) in addition to the guard's own counters.
+func WithDropFunc(fn func(telemetry.Reason)) Option {
+	return func(c *config) { c.forward = fn }
+}
+
+// WithEvents records quarantine trips and clears in ev.
+func WithEvents(ev *telemetry.EventCounters) Option {
+	return func(c *config) { c.events = ev }
+}
+
+// WithControlFlows names the FlowIDs of control-plane protocols.
+// Unlabelled packets carrying one of these IDs bypass quarantine and
+// the token bucket: the guard's contract is that it never sheds the
+// traffic that keeps sessions alive.
+func WithControlFlows(ids ...uint16) Option {
+	return func(c *config) {
+		for _, id := range ids {
+			c.control[id] = struct{}{}
+		}
+	}
+}
+
+// Guard is one node's ingress admission state across all its inbound
+// links. The zero value is not usable; call New.
+type Guard struct {
+	mu    sync.Mutex
+	cfg   config
+	links map[string]*linkState
+	drops telemetry.DropCounters
+}
+
+// New builds a guard from options.
+func New(opts ...Option) *Guard {
+	cfg := config{
+		links:   map[string]Policy{},
+		control: map[uint16]struct{}{},
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.now == nil {
+		cfg.now = wallClock()
+	}
+	g := &Guard{cfg: cfg, links: map[string]*linkState{}}
+	for peer, pol := range cfg.links {
+		g.links[peer] = newLinkState(pol, cfg.now())
+	}
+	return g
+}
+
+func newLinkState(pol Policy, now float64) *linkState {
+	pol = pol.withDefaults()
+	return &linkState{
+		pol:        pol,
+		advertised: map[label.Label]struct{}{},
+		tokens:     float64(pol.Burst),
+		lastRefill: now,
+	}
+}
+
+// state returns (creating if needed) the per-peer state, or nil when
+// neither a link override nor the default policy has anything to do
+// for this peer.
+func (g *Guard) state(peer string) *linkState {
+	if st, ok := g.links[peer]; ok {
+		return st
+	}
+	if !g.cfg.def.active() {
+		return nil
+	}
+	st := newLinkState(g.cfg.def, g.cfg.now())
+	g.links[peer] = st
+	return st
+}
+
+// Advertise records that the local speaker advertised label l to peer:
+// from now on the spoof filter admits it on that link. Idempotent.
+func (g *Guard) Advertise(peer string, l label.Label) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if st := g.state(peer); st != nil {
+		st.advertised[l] = struct{}{}
+	}
+}
+
+// Withdraw removes a previously advertised label from peer's admitted
+// set. Idempotent.
+func (g *Guard) Withdraw(peer string, l label.Label) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if st := g.state(peer); st != nil {
+		delete(st.advertised, l)
+	}
+}
+
+// PreAdmit is the pre-decode fast path, called by the transport
+// receiver with only the peeked header bits. It returns false — and
+// accounts a quarantine drop — iff the peer's circuit breaker is open
+// and the datagram claims to carry labelled traffic. Unlabelled
+// datagrams always proceed to decode so that control-plane messages
+// survive a quarantine (the breaker exists to stop burning CPU on a
+// garbage flood, not to kill the session that will tell us the peer
+// recovered).
+func (g *Guard) PreAdmit(peer string, labelled bool) bool {
+	if !labelled {
+		return true
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st := g.state(peer)
+	if st == nil || !g.quarantined(st) {
+		return true
+	}
+	g.drop(telemetry.ReasonQuarantine)
+	return false
+}
+
+// Malformed reports a wire-decode failure attributed to peer and trips
+// the breaker when the configured burst threshold is crossed inside
+// the window. Unattributable failures (empty peer) are ignored — there
+// is no one to quarantine.
+func (g *Guard) Malformed(peer string) {
+	if peer == "" {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st := g.state(peer)
+	if st == nil || st.pol.QuarantineThreshold <= 0 {
+		return
+	}
+	now := g.cfg.now()
+	if now-st.windowStart > st.pol.QuarantineWindow {
+		st.windowStart = now
+		st.malformed = 0
+	}
+	st.malformed++
+	if st.malformed >= st.pol.QuarantineThreshold && now >= st.openUntil {
+		st.openUntil = now + st.pol.QuarantineHold
+		st.tripped = true
+		st.malformed = 0
+		st.windowStart = now
+		if g.cfg.events != nil {
+			g.cfg.events.Inc(telemetry.EventQuarantineTrip)
+		}
+	}
+}
+
+// quarantined reports whether st's breaker is open, emitting the clear
+// event on the first query after the hold expires. Callers hold g.mu.
+func (g *Guard) quarantined(st *linkState) bool {
+	now := g.cfg.now()
+	if now < st.openUntil {
+		return true
+	}
+	if st.tripped {
+		st.tripped = false
+		if g.cfg.events != nil {
+			g.cfg.events.Inc(telemetry.EventQuarantineClear)
+		}
+	}
+	return false
+}
+
+// Admit is the post-decode admission decision for one packet arriving
+// from peer. False means the packet must be discarded; the guard has
+// already accounted the drop. Check order: control classification,
+// quarantine, TTL security, spoof filter, token bucket.
+func (g *Guard) Admit(p *packet.Packet, peer string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st := g.state(peer)
+	if st == nil {
+		return true
+	}
+	_, control := g.cfg.control[p.Header.FlowID]
+	control = control && !p.Labelled()
+
+	if !control && g.quarantined(st) {
+		g.drop(telemetry.ReasonQuarantine)
+		return false
+	}
+
+	var top label.Entry
+	labelled := p.Labelled()
+	if labelled {
+		top, _ = p.Stack.Top()
+	}
+
+	if st.pol.MinTTL > 0 && !control {
+		ttl := p.Header.TTL
+		if labelled {
+			ttl = top.TTL
+		}
+		if ttl < st.pol.MinTTL {
+			g.drop(telemetry.ReasonTTLSecurity)
+			return false
+		}
+	}
+
+	if st.pol.SpoofFilter && labelled {
+		if _, ok := st.advertised[top.Label]; !ok {
+			g.drop(telemetry.ReasonLabelSpoof)
+			return false
+		}
+	}
+
+	if st.pol.RatePPS > 0 && !control {
+		cos := label.CoS(0) // unlabelled data is best-effort
+		if labelled {
+			cos = top.CoS
+		}
+		if !st.take(g.cfg.now(), cos) {
+			g.drop(telemetry.ReasonRateLimit)
+			return false
+		}
+	}
+	return true
+}
+
+// take refills the bucket and spends one token if the class's reserve
+// allows it. A class-c packet is admitted only while the bucket holds
+// at least reserve(c) tokens, where reserve rises linearly as the
+// class falls: the top class (7) needs a single token, best effort
+// (0) needs a half-full bucket. Under sustained overload the bucket
+// level settles at the admission frontier, so low classes shed first
+// and high classes keep flowing at the configured rate.
+func (st *linkState) take(now float64, cos label.CoS) bool {
+	burst := float64(st.pol.Burst)
+	st.tokens += (now - st.lastRefill) * st.pol.RatePPS
+	if st.tokens > burst {
+		st.tokens = burst
+	}
+	st.lastRefill = now
+	reserve := 1 + (burst/2-1)*float64(label.MaxCoS-cos)/float64(label.MaxCoS)
+	if st.tokens < reserve {
+		return false
+	}
+	st.tokens--
+	return true
+}
+
+// drop accounts one rejection. Callers hold g.mu.
+func (g *Guard) drop(r telemetry.Reason) {
+	g.drops.Inc(r)
+	if g.cfg.forward != nil {
+		g.cfg.forward(r)
+	}
+}
+
+// Drops exposes the guard's own drop counters (also forwarded to the
+// WithDropFunc sink, if any).
+func (g *Guard) Drops() *telemetry.DropCounters { return &g.drops }
+
+// Quarantined reports whether peer's circuit breaker is currently open.
+func (g *Guard) Quarantined(peer string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st, ok := g.links[peer]
+	return ok && g.quarantined(st)
+}
+
+// Advertised reports whether label l is currently admitted from peer
+// by the spoof filter.
+func (g *Guard) Advertised(peer string, l label.Label) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st, ok := g.links[peer]
+	if !ok {
+		return false
+	}
+	_, ok = st.advertised[l]
+	return ok
+}
+
+// RegisterMetrics exposes the guard's drop counters on reg as
+// mpls_guard_drops_total{node=...,reason=...}.
+func (g *Guard) RegisterMetrics(reg *telemetry.Registry, node string) {
+	reg.Drops("mpls_guard_drops_total", "Packets rejected by the ingress admission guard, by reason.",
+		telemetry.Labels{"node": node}, &g.drops)
+}
+
+// String summarises the guard for operator output.
+func (g *Guard) String() string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	open := 0
+	for _, st := range g.links {
+		if g.cfg.now() < st.openUntil {
+			open++
+		}
+	}
+	return fmt.Sprintf("guard{links=%d quarantined=%d %v}", len(g.links), open, &g.drops)
+}

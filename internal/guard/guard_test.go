@@ -1,0 +1,222 @@
+package guard
+
+import (
+	"testing"
+
+	"embeddedmpls/internal/label"
+	"embeddedmpls/internal/packet"
+	"embeddedmpls/internal/telemetry"
+)
+
+const ctrlFlow = 0xfdb5
+
+// manualClock is an injectable time source tests advance by hand.
+type manualClock struct{ t float64 }
+
+func (c *manualClock) now() float64       { return c.t }
+func (c *manualClock) advance(dt float64) { c.t += dt }
+
+func labelled(t *testing.T, lbl label.Label, cos label.CoS, ttl uint8) *packet.Packet {
+	t.Helper()
+	p := packet.New(packet.AddrFrom(10, 0, 0, 1), packet.AddrFrom(10, 0, 0, 2), 64, nil)
+	if err := p.Stack.Push(label.Entry{Label: lbl, CoS: cos, Bottom: true, TTL: ttl}); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func plain(flow uint16, ttl uint8) *packet.Packet {
+	p := packet.New(packet.AddrFrom(10, 0, 0, 1), packet.AddrFrom(10, 0, 0, 2), ttl, nil)
+	p.Header.FlowID = flow
+	return p
+}
+
+func TestSpoofFilter(t *testing.T) {
+	clk := &manualClock{}
+	g := New(WithClock(clk.now), WithDefaultPolicy(Policy{SpoofFilter: true}))
+
+	g.Advertise("b", 100)
+	if !g.Admit(labelled(t, 100, 0, 64), "b") {
+		t.Error("advertised label rejected")
+	}
+	if g.Admit(labelled(t, 101, 0, 64), "b") {
+		t.Error("unadvertised label admitted")
+	}
+	if g.Admit(labelled(t, 100, 0, 64), "c") {
+		t.Error("label admitted from a peer it was never advertised to")
+	}
+	// Unlabelled traffic is outside the spoof filter's remit.
+	if !g.Admit(plain(7, 64), "b") {
+		t.Error("unlabelled packet rejected by spoof filter")
+	}
+	g.Withdraw("b", 100)
+	if g.Admit(labelled(t, 100, 0, 64), "b") {
+		t.Error("withdrawn label still admitted")
+	}
+	if got := g.Drops().Get(telemetry.ReasonLabelSpoof); got != 3 {
+		t.Errorf("label-spoof drops = %d, want 3", got)
+	}
+}
+
+func TestTTLSecurity(t *testing.T) {
+	clk := &manualClock{}
+	g := New(WithClock(clk.now), WithControlFlows(ctrlFlow),
+		WithDefaultPolicy(Policy{MinTTL: 5}))
+
+	if g.Admit(labelled(t, 100, 0, 4), "b") {
+		t.Error("labelled packet below MinTTL admitted")
+	}
+	if !g.Admit(labelled(t, 100, 0, 5), "b") {
+		t.Error("labelled packet at MinTTL rejected")
+	}
+	if g.Admit(plain(7, 2), "b") {
+		t.Error("unlabelled data below MinTTL admitted")
+	}
+	// Control packets are classified before the TTL check: the local
+	// control protocols send with a small fixed TTL by design.
+	if !g.Admit(plain(ctrlFlow, 2), "b") {
+		t.Error("control packet rejected by TTL security")
+	}
+	if got := g.Drops().Get(telemetry.ReasonTTLSecurity); got != 2 {
+		t.Errorf("ttl-security drops = %d, want 2", got)
+	}
+}
+
+// TestRateLimitShedsBestEffortFirst drains the bucket with best-effort
+// traffic and checks that high-CoS traffic still gets through while
+// CoS 0 is shed — and that control traffic is never charged at all.
+func TestRateLimitShedsBestEffortFirst(t *testing.T) {
+	clk := &manualClock{}
+	g := New(WithClock(clk.now), WithControlFlows(ctrlFlow),
+		WithDefaultPolicy(Policy{RatePPS: 100, Burst: 64}))
+
+	admitted := map[label.CoS]int{}
+	for i := 0; i < 200; i++ {
+		for _, cos := range []label.CoS{0, 7} {
+			if g.Admit(labelled(t, 0, cos, 64), "b") {
+				admitted[cos]++
+			}
+		}
+	}
+	if admitted[0] >= admitted[7] {
+		t.Errorf("best effort admitted %d >= CoS 7 admitted %d; shedding is not CoS-aware",
+			admitted[0], admitted[7])
+	}
+	if admitted[7] == 0 {
+		t.Error("CoS 7 fully shed")
+	}
+	// The bucket is now exhausted; control still flows.
+	for i := 0; i < 50; i++ {
+		if !g.Admit(plain(ctrlFlow, 8), "b") {
+			t.Fatal("control packet shed by rate limiter")
+		}
+	}
+	if g.Drops().Get(telemetry.ReasonRateLimit) == 0 {
+		t.Error("no rate-limit drops counted")
+	}
+
+	// Refill: after a second at 100 pps everything low-rate flows again.
+	clk.advance(1)
+	if !g.Admit(labelled(t, 0, 0, 64), "b") {
+		t.Error("best effort still shed after refill")
+	}
+}
+
+func TestQuarantineBreaker(t *testing.T) {
+	clk := &manualClock{}
+	var events telemetry.EventCounters
+	g := New(WithClock(clk.now), WithEvents(&events), WithControlFlows(ctrlFlow),
+		WithDefaultPolicy(Policy{QuarantineThreshold: 5, QuarantineWindow: 1, QuarantineHold: 2}))
+
+	// Below the threshold: nothing trips.
+	for i := 0; i < 4; i++ {
+		g.Malformed("b")
+	}
+	if g.Quarantined("b") {
+		t.Fatal("breaker tripped below threshold")
+	}
+	// The window elapses; the count starts over.
+	clk.advance(1.5)
+	for i := 0; i < 4; i++ {
+		g.Malformed("b")
+	}
+	if g.Quarantined("b") {
+		t.Fatal("stale window counted towards the threshold")
+	}
+	g.Malformed("b")
+	if !g.Quarantined("b") {
+		t.Fatal("breaker not tripped at threshold")
+	}
+	if events.Get(telemetry.EventQuarantineTrip) != 1 {
+		t.Errorf("trip events = %d, want 1", events.Get(telemetry.EventQuarantineTrip))
+	}
+
+	// Open breaker: labelled traffic dies pre-decode, data dies in
+	// Admit, control survives.
+	if g.PreAdmit("b", true) {
+		t.Error("labelled datagram pre-admitted while quarantined")
+	}
+	if !g.PreAdmit("b", false) {
+		t.Error("unlabelled datagram blocked pre-decode")
+	}
+	if g.Admit(plain(7, 64), "b") {
+		t.Error("data packet admitted while quarantined")
+	}
+	if !g.Admit(plain(ctrlFlow, 8), "b") {
+		t.Error("control packet dropped while quarantined")
+	}
+	// Other peers are unaffected.
+	if !g.Admit(plain(7, 64), "c") {
+		t.Error("quarantine leaked to an innocent peer")
+	}
+
+	// Hold expires: peer readmitted, clear event emitted once.
+	clk.advance(2.5)
+	if g.Quarantined("b") {
+		t.Fatal("breaker still open after hold")
+	}
+	if !g.Admit(plain(7, 64), "b") {
+		t.Error("data packet rejected after quarantine cleared")
+	}
+	if events.Get(telemetry.EventQuarantineClear) != 1 {
+		t.Errorf("clear events = %d, want 1", events.Get(telemetry.EventQuarantineClear))
+	}
+	if g.Drops().Get(telemetry.ReasonQuarantine) != 2 {
+		t.Errorf("quarantine drops = %d, want 2", g.Drops().Get(telemetry.ReasonQuarantine))
+	}
+}
+
+func TestInactiveGuardAdmitsEverything(t *testing.T) {
+	g := New() // no policy at all
+	if !g.Admit(labelled(t, 999, 0, 1), "b") || !g.PreAdmit("b", true) {
+		t.Error("zero-policy guard rejected traffic")
+	}
+	g.Malformed("b") // must not create state or panic
+	if g.Quarantined("b") {
+		t.Error("zero-policy guard quarantined a peer")
+	}
+}
+
+func TestPerLinkPolicyOverridesDefault(t *testing.T) {
+	clk := &manualClock{}
+	g := New(WithClock(clk.now),
+		WithDefaultPolicy(Policy{MinTTL: 5}),
+		WithLinkPolicy("trusted", Policy{}))
+
+	if g.Admit(labelled(t, 1, 0, 1), "b") {
+		t.Error("default policy not applied to unlisted peer")
+	}
+	if !g.Admit(labelled(t, 1, 0, 1), "trusted") {
+		t.Error("per-link empty policy did not override the default")
+	}
+}
+
+func TestDropFuncForwarding(t *testing.T) {
+	var forwarded []telemetry.Reason
+	g := New(WithDefaultPolicy(Policy{MinTTL: 9}),
+		WithDropFunc(func(r telemetry.Reason) { forwarded = append(forwarded, r) }))
+	g.Admit(plain(7, 1), "b")
+	if len(forwarded) != 1 || forwarded[0] != telemetry.ReasonTTLSecurity {
+		t.Errorf("forwarded = %v, want [ttl-security]", forwarded)
+	}
+}

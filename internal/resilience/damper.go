@@ -1,0 +1,200 @@
+package resilience
+
+import (
+	"math"
+
+	"embeddedmpls/internal/signaling"
+	"embeddedmpls/internal/te"
+	"embeddedmpls/internal/telemetry"
+)
+
+// DamperConfig parameterises BGP-style flap damping for links. A link
+// accrues Penalty per flap; the accrued figure decays exponentially
+// with HalfLife. Crossing SuppressAt suppresses the link — it is kept
+// out of CSPF protection paths — until decay brings it under ReuseAt.
+// The asymmetric thresholds give hysteresis: one flap after reuse does
+// not immediately re-suppress.
+type DamperConfig struct {
+	// Penalty accrued per flap. <=0: 1000.
+	Penalty float64
+	// SuppressAt is the penalty above which the link is suppressed.
+	// <=0: 2500 (the third flap inside a half-life suppresses).
+	SuppressAt float64
+	// ReuseAt is the penalty below which a suppressed link is usable
+	// again. <=0: 750.
+	ReuseAt float64
+	// HalfLife is the penalty's exponential-decay half life in seconds.
+	// <=0: 2.
+	HalfLife float64
+	// MaxPenalty caps the accrued penalty, bounding how long a
+	// permanently flapping link stays suppressed after it calms down.
+	// <=0: 8000.
+	MaxPenalty float64
+}
+
+func (c DamperConfig) withDefaults() DamperConfig {
+	if c.Penalty <= 0 {
+		c.Penalty = 1000
+	}
+	if c.SuppressAt <= 0 {
+		c.SuppressAt = 2500
+	}
+	if c.ReuseAt <= 0 {
+		c.ReuseAt = 750
+	}
+	if c.ReuseAt >= c.SuppressAt {
+		c.ReuseAt = c.SuppressAt / 2
+	}
+	if c.HalfLife <= 0 {
+		c.HalfLife = 2
+	}
+	if c.MaxPenalty <= 0 {
+		c.MaxPenalty = 8000
+	}
+	return c
+}
+
+// dampState is the accrued penalty of one (undirected) link.
+type dampState struct {
+	penalty    float64 // at time `last`
+	last       float64
+	suppressed bool
+}
+
+// Damper implements hold-down/flap damping over links: each session
+// flap adds penalty, penalties decay exponentially, and links over the
+// suppression threshold are excluded from CSPF until they calm down —
+// so an interface that bounces every few hundred milliseconds stops
+// dragging every protection switch back onto itself.
+//
+// Like the rest of the control plane it is not internally locked: all
+// entry points run in the network's serialisation context (the
+// simulator event loop, or under the network lock in distributed mode).
+type Damper struct {
+	cfg    DamperConfig
+	clock  Clock
+	events *telemetry.EventCounters
+	links  map[te.LinkKey]*dampState // canonical (From < To) keys
+}
+
+// NewDamper builds a damper on the injected clock. events is optional;
+// when present, suppressions count link_suppressed and recoveries
+// link_reused.
+func NewDamper(clock Clock, cfg DamperConfig, events *telemetry.EventCounters) *Damper {
+	return &Damper{
+		cfg:    cfg.withDefaults(),
+		clock:  clock,
+		events: events,
+		links:  make(map[te.LinkKey]*dampState),
+	}
+}
+
+// canonical normalises an undirected link to one map key.
+func canonical(a, b string) te.LinkKey {
+	if b < a {
+		a, b = b, a
+	}
+	return te.LinkKey{From: a, To: b}
+}
+
+// decay brings st's penalty forward to now.
+func (d *Damper) decay(st *dampState, now float64) {
+	if dt := now - st.last; dt > 0 {
+		st.penalty *= math.Exp2(-dt / d.cfg.HalfLife)
+	}
+	st.last = now
+}
+
+// Flap records one flap of the a-b link (either direction), accruing
+// penalty and suppressing the link if it crosses the threshold.
+func (d *Damper) Flap(a, b string) {
+	key := canonical(a, b)
+	now := d.clock.Now()
+	st := d.links[key]
+	if st == nil {
+		st = &dampState{last: now}
+		d.links[key] = st
+	}
+	d.decay(st, now)
+	st.penalty += d.cfg.Penalty
+	if st.penalty > d.cfg.MaxPenalty {
+		st.penalty = d.cfg.MaxPenalty
+	}
+	if !st.suppressed && st.penalty >= d.cfg.SuppressAt {
+		st.suppressed = true
+		if d.events != nil {
+			d.events.Inc(telemetry.EventLinkSuppressed)
+		}
+	}
+}
+
+// refresh decays st and clears suppression once the penalty has
+// dropped under the reuse threshold.
+func (d *Damper) refresh(st *dampState, now float64) {
+	d.decay(st, now)
+	if st.suppressed && st.penalty < d.cfg.ReuseAt {
+		st.suppressed = false
+		if d.events != nil {
+			d.events.Inc(telemetry.EventLinkReused)
+		}
+	}
+}
+
+// Suppressed reports whether the a-b link is currently held down.
+func (d *Damper) Suppressed(a, b string) bool {
+	st := d.links[canonical(a, b)]
+	if st == nil {
+		return false
+	}
+	d.refresh(st, d.clock.Now())
+	return st.suppressed
+}
+
+// Penalty returns the link's current (decayed) penalty figure.
+func (d *Damper) Penalty(a, b string) float64 {
+	st := d.links[canonical(a, b)]
+	if st == nil {
+		return 0
+	}
+	d.decay(st, d.clock.Now())
+	return st.penalty
+}
+
+// Excluded returns the suppressed links as a CSPF exclusion set, both
+// directions per link — the shape signaling.Speaker.SetPathExcluder
+// wants. Fully decayed entries are dropped so the map stays bounded by
+// the set of recently flapping links.
+func (d *Damper) Excluded() map[te.LinkKey]bool {
+	now := d.clock.Now()
+	var out map[te.LinkKey]bool
+	for key, st := range d.links {
+		d.refresh(st, now)
+		if !st.suppressed {
+			if st.penalty < d.cfg.Penalty/100 {
+				delete(d.links, key)
+			}
+			continue
+		}
+		if out == nil {
+			out = make(map[te.LinkKey]bool)
+		}
+		out[key] = true
+		out[te.LinkKey{From: key.To, To: key.From}] = true
+	}
+	return out
+}
+
+// BindDamping wires a damper into a speaker: every session-down toward
+// a neighbour flaps the local link to it, and suppressed links are
+// excluded from the speaker's protection CSPF. The speaker's
+// OnSessionDown hook is chained, not replaced.
+func BindDamping(sp *signaling.Speaker, d *Damper) {
+	prevDown := sp.OnSessionDown
+	sp.OnSessionDown = func(peer string) {
+		d.Flap(sp.Name(), peer)
+		if prevDown != nil {
+			prevDown(peer)
+		}
+	}
+	sp.SetPathExcluder(d.Excluded)
+}

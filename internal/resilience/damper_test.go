@@ -1,0 +1,171 @@
+package resilience
+
+import (
+	"testing"
+
+	"embeddedmpls/internal/ldp"
+	"embeddedmpls/internal/packet"
+	"embeddedmpls/internal/router"
+	"embeddedmpls/internal/signaling"
+	"embeddedmpls/internal/te"
+	"embeddedmpls/internal/telemetry"
+)
+
+// stepClock is a manually advanced Clock for damper tests; nothing is
+// scheduled, only Now matters.
+type stepClock struct{ t float64 }
+
+func (c *stepClock) Now() float64                 { return c.t }
+func (c *stepClock) Schedule(d float64, f func()) { panic("damper never schedules") }
+
+func TestDamperSuppressAndReuse(t *testing.T) {
+	clk := &stepClock{}
+	var events telemetry.EventCounters
+	d := NewDamper(clk, DamperConfig{
+		Penalty: 1000, SuppressAt: 2500, ReuseAt: 750, HalfLife: 2, MaxPenalty: 8000,
+	}, &events)
+
+	// Two quick flaps: penalised but under the threshold.
+	d.Flap("a", "b")
+	clk.t = 0.1
+	d.Flap("b", "a") // either direction lands on the same link
+	if d.Suppressed("a", "b") {
+		t.Fatal("suppressed after two flaps, threshold is three")
+	}
+	// Third flap crosses the threshold.
+	clk.t = 0.2
+	d.Flap("a", "b")
+	if !d.Suppressed("a", "b") {
+		t.Fatalf("not suppressed at penalty %.0f", d.Penalty("a", "b"))
+	}
+	if got := events.Get(telemetry.EventLinkSuppressed); got != 1 {
+		t.Errorf("link_suppressed = %d, want 1", got)
+	}
+	ex := d.Excluded()
+	if !ex[te.LinkKey{From: "a", To: "b"}] || !ex[te.LinkKey{From: "b", To: "a"}] {
+		t.Fatalf("exclusion set %v missing the suppressed link (both directions)", ex)
+	}
+
+	// Penalty ~3000 at t=0.2; decaying under ReuseAt=750 takes two
+	// half-lives. Still suppressed after one.
+	clk.t = 2.2
+	if !d.Suppressed("a", "b") {
+		t.Fatal("reused too early")
+	}
+	clk.t = 4.4
+	if d.Suppressed("a", "b") {
+		t.Fatalf("still suppressed at penalty %.0f", d.Penalty("a", "b"))
+	}
+	if got := events.Get(telemetry.EventLinkReused); got != 1 {
+		t.Errorf("link_reused = %d, want 1", got)
+	}
+	if d.Excluded() != nil {
+		t.Errorf("exclusion set %v, want empty", d.Excluded())
+	}
+}
+
+func TestDamperPenaltyCapBoundsHoldDown(t *testing.T) {
+	clk := &stepClock{}
+	d := NewDamper(clk, DamperConfig{HalfLife: 2, MaxPenalty: 8000}, nil)
+	for i := 0; i < 100; i++ {
+		d.Flap("a", "b")
+	}
+	if got := d.Penalty("a", "b"); got > 8000 {
+		t.Fatalf("penalty %.0f exceeds cap", got)
+	}
+	// From the cap, decay to ReuseAt=750 takes log2(8000/750) ≈ 3.4
+	// half-lives ≈ 6.8s — the cap is what makes this finite.
+	clk.t = 7
+	if d.Suppressed("a", "b") {
+		t.Fatalf("still suppressed %.0fs after the last flap of a capped link", clk.t)
+	}
+}
+
+func TestDamperSingleFlapDecaysAway(t *testing.T) {
+	clk := &stepClock{}
+	d := NewDamper(clk, DamperConfig{}, nil)
+	d.Flap("a", "b")
+	if d.Suppressed("a", "b") {
+		t.Fatal("one flap suppressed the link")
+	}
+	// After many half-lives the entry is garbage-collected entirely.
+	clk.t = 60
+	d.Excluded()
+	if len(d.links) != 0 {
+		t.Errorf("fully decayed link state not pruned: %v", d.links)
+	}
+}
+
+// TestBindDampingSuppressesFlappyLink drives real speakers over a
+// three-path topology: the a-b link flaps until damped, and a later
+// protection switch then avoids it even though the link is up and
+// cheapest — the damper, not the transient avoid hint, is what keeps
+// the reroute off it.
+func TestBindDampingSuppressesFlappyLink(t *testing.T) {
+	net, err := router.Build(
+		[]router.NodeSpec{{Name: "a"}, {Name: "b"}, {Name: "c"}, {Name: "d"}, {Name: "e"}},
+		[]router.LinkSpec{
+			{A: "a", B: "b", RateBPS: 1e9, Delay: 0.0005, Metric: 1},
+			{A: "b", B: "d", RateBPS: 1e9, Delay: 0.0005, Metric: 1},
+			{A: "a", B: "c", RateBPS: 1e9, Delay: 0.0005, Metric: 5},
+			{A: "c", B: "d", RateBPS: 1e9, Delay: 0.0005, Metric: 5},
+			{A: "a", B: "e", RateBPS: 1e9, Delay: 0.0005, Metric: 10},
+			{A: "e", B: "d", RateBPS: 1e9, Delay: 0.0005, Metric: 10},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events telemetry.EventCounters
+	speakers, err := signaling.Deploy(net, signaling.WithUntil(10), signaling.WithEvents(&events))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slow decay so the hold-down outlives the test window.
+	for _, sp := range speakers {
+		BindDamping(sp, NewDamper(net.Sim, DamperConfig{HalfLife: 30}, &events))
+	}
+	net.Sim.RunUntil(0.3)
+	var path []string
+	speakers["a"].OnEstablished = func(id string, got []string) { path = got }
+	if err := speakers["a"].Setup(ldp.SetupRequest{
+		ID:   "l",
+		FEC:  ldp.FEC{Dst: packet.AddrFrom(10, 0, 0, 9), PrefixLen: 32},
+		Path: []string{"a", "b", "d"},
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	net.Sim.RunUntil(0.5)
+
+	// Flap a-b three times: down past the dead timer (0.12s), up long
+	// enough to re-form. The first flap protection-switches the LSP to
+	// a,c,d; the rest accrue penalty until the link is suppressed.
+	at := func(abs float64, f func()) {
+		d := abs - net.Sim.Now()
+		if d < 0 {
+			d = 0
+		}
+		net.Sim.Schedule(d, f)
+	}
+	for i := 0; i < 3; i++ {
+		base := 0.5 + float64(i)*0.6
+		at(base, func() { net.SetLinkDown("a", "b", true) })
+		at(base+0.3, func() { net.SetLinkDown("a", "b", false) })
+		net.Sim.RunUntil(base + 0.6)
+	}
+	if got := events.Get(telemetry.EventLinkSuppressed); got == 0 {
+		t.Fatal("flapping link never suppressed")
+	}
+	if len(path) == 0 || path[1] != "c" {
+		t.Fatalf("after the first flap the LSP should ride a,c,d, got %v", path)
+	}
+
+	// Push the LSP off c-d. Metric-wise a,b,d is the best alternative
+	// and the a-b link is up — only the damper keeps the reroute off it.
+	if err := speakers["a"].RequestReroute("l", "c", "d"); err != nil {
+		t.Fatal(err)
+	}
+	net.Sim.RunUntil(net.Sim.Now() + 1.5)
+	if len(path) == 0 || path[1] != "e" {
+		t.Fatalf("rerouted via %v, want a,e,d (a-b is damped)", path)
+	}
+}

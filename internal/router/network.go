@@ -12,6 +12,7 @@ import (
 	"embeddedmpls/internal/ldp"
 	"embeddedmpls/internal/lsm"
 	"embeddedmpls/internal/netsim"
+	"embeddedmpls/internal/packet"
 	"embeddedmpls/internal/qos"
 	"embeddedmpls/internal/swmpls"
 	"embeddedmpls/internal/te"
@@ -117,8 +118,19 @@ type Network struct {
 	// contends.
 	mu      sync.Mutex
 	sink    atomic.Pointer[telemetry.Sink]
+	guard   atomic.Pointer[Admission]
 	closers []io.Closer
 	closing sync.Once
+}
+
+// Admission is the ingress guard as the network sees it: the
+// post-decode per-packet verdict, the pre-decode quarantine fast path
+// the transport receivers consult, and the malformed-datagram feed
+// that trips quarantine breakers. internal/guard.Guard implements it.
+type Admission interface {
+	Admit(p *packet.Packet, from string) bool
+	PreAdmit(peer string, labelled bool) bool
+	Malformed(peer string)
 }
 
 // transportKind resolves the effective transport of a link from its own
@@ -302,6 +314,8 @@ func (n *Network) TransportOptions() []transport.Option {
 		transport.WithMetrics(n.Wire),
 		transport.WithDropFunc(n.wireDrop),
 		transport.WithClock(func() float64 { return n.Sim.Now() }),
+		transport.WithPreAdmit(n.guardPreAdmit),
+		transport.WithMalformedFunc(n.guardMalformed),
 	}
 }
 
@@ -326,6 +340,8 @@ func (n *Network) wireUDP(spec LinkSpec, ra, rb *Router) error {
 		// Fault windows on transport links follow the simulator clock,
 		// which RunReal keeps pinned to wall time.
 		transport.WithClock(func() float64 { return n.Sim.Now() }),
+		transport.WithPreAdmit(n.guardPreAdmit),
+		transport.WithMalformedFunc(n.guardMalformed),
 	}
 	if spec.Coalesce > 1 {
 		opts = append(opts, transport.WithCoalesce(spec.Coalesce))
@@ -357,6 +373,41 @@ func (n *Network) deliverTo(r *Router) func(batch []transport.Inbound) {
 	}
 }
 
+// SetGuard attaches one ingress admission guard to every router of
+// this network and to its transport sockets (pre-decode quarantine,
+// malformed-datagram attribution). Like SetTelemetry, the socket side
+// goes through an atomic indirection so sockets created before the
+// guard exists still honour it. A nil guard detaches.
+func (n *Network) SetGuard(a Admission) {
+	if a == nil {
+		n.guard.Store(nil)
+		for _, r := range n.Routers {
+			r.SetAdmission(nil)
+		}
+		return
+	}
+	n.guard.Store(&a)
+	for _, r := range n.Routers {
+		r.SetAdmission(a.Admit)
+	}
+}
+
+// guardPreAdmit and guardMalformed resolve the guard per event: they
+// run on socket goroutines, where the guard (internally locked) is
+// safe but the network lock is not held.
+func (n *Network) guardPreAdmit(peer string, labelled bool) bool {
+	if g := n.guard.Load(); g != nil {
+		return (*g).PreAdmit(peer, labelled)
+	}
+	return true
+}
+
+func (n *Network) guardMalformed(peer string) {
+	if g := n.guard.Load(); g != nil {
+		(*g).Malformed(peer)
+	}
+}
+
 // wireDrop routes a transport-level drop into whatever sink is
 // currently attached; transport links outlive SetTelemetry calls, so
 // the indirection is resolved per event.
@@ -365,6 +416,12 @@ func (n *Network) wireDrop(reason telemetry.Reason) {
 		s.Drops.Inc(reason)
 	}
 }
+
+// Drop accounts one drop through the attached telemetry sink — the
+// public hook non-router components in front of the routers (the
+// ingress admission guard) account through, so their drops land in the
+// same node-level counters as everything else.
+func (n *Network) Drop(reason telemetry.Reason) { n.wireDrop(reason) }
 
 // RunReal drives the simulator in real time for d seconds of wall
 // clock: virtual time tracks wall time in small slices, and between

@@ -128,6 +128,12 @@ type Router struct {
 	// never pollutes flow statistics.
 	control []func(p *packet.Packet) bool
 
+	// admission, when set, judges every packet arriving from a
+	// neighbour (never locally injected ones) before the engine spends
+	// time on it. A false return discards the packet silently: the hook
+	// owns the drop accounting (the ingress guard counts per-reason).
+	admission func(p *packet.Packet, from string) bool
+
 	// ipTable, when set, carries unlabelled packets that have no FEC
 	// binding — conventional hop-by-hop IP forwarding, the pre-MPLS
 	// baseline. The data plane's engine time already covers the lookup
@@ -221,6 +227,12 @@ func (r *Router) SetTelemetry(s telemetry.Sink) {
 	r.trace = s.Trace
 }
 
+// SetAdmission installs (or, with nil, removes) the ingress admission
+// hook run on every packet received from a neighbour.
+func (r *Router) SetAdmission(fn func(p *packet.Packet, from string) bool) {
+	r.admission = fn
+}
+
 // AddLocal marks addr as terminating at this router: unlabelled packets
 // for it are delivered instead of forwarded.
 func (r *Router) AddLocal(addr packet.Addr) { r.local[addr] = true }
@@ -231,6 +243,11 @@ func (r *Router) Inject(p *packet.Packet) { r.Receive(p, r.name) }
 // Receive implements netsim.Node: run the packet through the forwarding
 // engine (serially) and act on the decision when processing completes.
 func (r *Router) Receive(p *packet.Packet, from string) {
+	// Ingress admission runs before anything else — spoofed, TTL-bent,
+	// over-rate or quarantined traffic must not reach the engine.
+	if r.admission != nil && from != r.name && !r.admission(p, from) {
+		return
+	}
 	// Local IP delivery needs no label operation.
 	if !p.Labelled() && r.local[p.Header.Dst] {
 		r.deliver(p)

@@ -1,0 +1,382 @@
+package signaling
+
+import (
+	"strings"
+	"testing"
+
+	"embeddedmpls/internal/label"
+	"embeddedmpls/internal/ldp"
+	"embeddedmpls/internal/packet"
+	"embeddedmpls/internal/router"
+	"embeddedmpls/internal/te"
+)
+
+// fakePolicy is an in-package stand-in for resilience.Retryer (which
+// cannot be imported here without a cycle): it retries op with
+// exponential backoff on the injected clock.
+type fakePolicy struct {
+	clock    Clock
+	base     float64
+	maxTries int
+	started  int
+}
+
+func (p *fakePolicy) Do(name string, op func() error, onDone func(error)) {
+	p.started++
+	var attempt func(n int, backoff float64)
+	attempt = func(n int, backoff float64) {
+		err := op()
+		if err == nil {
+			onDone(nil)
+			return
+		}
+		if n+1 >= p.maxTries {
+			onDone(err)
+			return
+		}
+		p.clock.Schedule(backoff, func() { attempt(n+1, backoff*2) })
+	}
+	attempt(0, p.base)
+}
+
+// TestRestartPolicyQuietensDeadPeer: with a restart policy, a dead
+// neighbour costs a handful of backed-off pokes instead of a hello
+// every tick — and the session still recovers once the link heals.
+func TestRestartPolicyQuietensDeadPeer(t *testing.T) {
+	net := diamond(t)
+	policy := &fakePolicy{clock: net.Sim, base: 0.05, maxTries: 20}
+	speakers, err := Deploy(net, WithUntil(5), WithRestartPolicy(policy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Sim.RunUntil(0.5)
+	sessAB := speakers["a"].sessions["b"]
+	if !sessAB.Up() {
+		t.Fatal("session a->b never came up")
+	}
+	orig := sessAB.send
+	hellos := 0
+	sessAB.send = func(mt MsgType) {
+		if mt == MsgHello {
+			hellos++
+		}
+		orig(mt)
+	}
+
+	net.SetLinkDown("a", "b", true)
+	net.Sim.RunUntil(2.5)
+	if sessAB.Up() {
+		t.Fatal("session a->b survived a 2s link cut")
+	}
+	if !sessAB.Dead() {
+		t.Error("session a->b not reported Dead")
+	}
+	// Without the policy the hello cadence is every 20ms: ~90 hellos
+	// over the 1.8s the session has been down. The policy's exponential
+	// backoff sends a few pokes instead.
+	if hellos > 10 {
+		t.Errorf("hellos while dead = %d, want <= 10 (restart policy should pace them)", hellos)
+	}
+	if policy.started == 0 {
+		t.Error("restart policy never engaged")
+	}
+
+	net.SetLinkDown("a", "b", false)
+	net.Sim.RunUntil(4.5)
+	if !sessAB.Up() {
+		t.Fatalf("session a->b did not recover after heal (state %v)", sessAB.State())
+	}
+}
+
+// TestSessionHelloMuteAndPoke covers the session-level primitives the
+// restart policy is built on.
+func TestSessionHelloMuteAndPoke(t *testing.T) {
+	h := newSessionHarness(Timers{Hello: 0.02})
+	h.sess.SuppressHellos(true)
+	h.sess.Tick(1.0)
+	if len(h.sent) != 0 {
+		t.Fatalf("muted session sent %v on tick", h.sent)
+	}
+	h.sess.Poke(1.0)
+	if h.lastSent() != MsgHello {
+		t.Fatalf("poke sent %v, want hello", h.lastSent())
+	}
+	// A muted session is still fully responsive: the peer's hello gets
+	// its Init and the handshake completes passively.
+	h.sess.Handle(MsgHello, 1.1)
+	if h.lastSent() != MsgInit {
+		t.Fatalf("muted session answered hello with %v, want init", h.lastSent())
+	}
+	h.sess.Handle(MsgInit, 1.2)
+	if !h.sess.Up() {
+		t.Fatal("muted session did not come up passively")
+	}
+	if h.sess.Dead() {
+		t.Error("operational session reported Dead")
+	}
+	// Poke while operational is a no-op.
+	n := len(h.sent)
+	h.sess.Poke(1.3)
+	if len(h.sent) != n {
+		t.Error("poke sent while operational")
+	}
+	h.sess.Down(1.4)
+	if !h.sess.Dead() {
+		t.Error("once-up session not Dead after going down")
+	}
+}
+
+// TestSessionKeepaliveStretch checks the adaptive-keepalive clamp and
+// pacing at the session level.
+func TestSessionKeepaliveStretch(t *testing.T) {
+	h := newSessionHarness(Timers{Hello: 0.02, Keepalive: 0.04, Hold: 0.4})
+	// Clamp ceiling is Hold/(2*Keepalive) = 5.
+	h.sess.SetKeepaliveStretch(100)
+	if got := h.sess.KeepaliveStretch(); got != 5 {
+		t.Errorf("stretch clamped to %v, want 5", got)
+	}
+	h.sess.SetKeepaliveStretch(0.1)
+	if got := h.sess.KeepaliveStretch(); got != 1 {
+		t.Errorf("stretch floor = %v, want 1", got)
+	}
+	h.sess.SetKeepaliveStretch(3)
+	h.sess.Handle(MsgInit, 1.0) // up; sends keepalive, lastSent=1.0
+	h.sent = nil
+	// Unstretched pacing would fire at +0.04; stretched waits 0.12.
+	for _, tick := range []float64{1.04, 1.08, 1.11} {
+		h.sess.Touch(tick) // keep the dead timer quiet
+		h.sess.Tick(tick)
+	}
+	if len(h.sent) != 0 {
+		t.Fatalf("stretched session sent %v before the stretched interval", h.sent)
+	}
+	h.sess.Touch(1.13)
+	h.sess.Tick(1.13)
+	if h.lastSent() != MsgKeepalive {
+		t.Fatal("stretched session never sent its keepalive")
+	}
+}
+
+// TestSpeakerAdaptiveKeepalive: under control-plane receive load above
+// the threshold, the maintenance sweep stretches keepalive pacing —
+// and the stretched sessions stay operational.
+func TestSpeakerAdaptiveKeepalive(t *testing.T) {
+	net := diamond(t)
+	speakers, err := Deploy(net, WithUntil(3),
+		WithMaintenance(0.25), WithAdaptiveKeepalive(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Sim.RunUntil(2.5)
+	// Default timers clamp the stretch at Hold/(2*Keepalive) = 1.5, and
+	// the steady keepalive exchange alone is far above 1 msg/s.
+	sess := speakers["a"].sessions["b"]
+	if got := sess.KeepaliveStretch(); got != 1.5 {
+		t.Errorf("stretch = %v, want 1.5 (clamped)", got)
+	}
+	for name, sp := range speakers {
+		for _, peer := range sp.Peers() {
+			if s, _ := sp.Session(peer); !s.Up() {
+				t.Errorf("session %s->%s not operational under stretched keepalives", name, peer)
+			}
+		}
+	}
+}
+
+// TestDeadDownstreamAnswersWithAvoid: a transit node whose downstream
+// session has died answers new requests with an error naming the
+// broken link, and the ingress protection-switches around it instead
+// of burning its retry budget.
+func TestDeadDownstreamAnswersWithAvoid(t *testing.T) {
+	net := diamond(t)
+	speakers, err := Deploy(net, WithUntil(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Sim.RunUntil(0.3)
+	net.SetLinkDown("b", "d", true)
+	net.Sim.RunUntil(0.8) // b's session to d passes its dead timer
+
+	if sess, _ := speakers["b"].Session("d"); !sess.Dead() {
+		t.Fatal("b's session to d not dead yet")
+	}
+	var lastPath []string
+	speakers["a"].OnEstablished = func(id string, path []string) { lastPath = path }
+	var setupErr error
+	gotResult := false
+	if err := speakers["a"].Setup(ldp.SetupRequest{
+		ID:   "l",
+		FEC:  ldp.FEC{Dst: packet.AddrFrom(10, 0, 0, 9), PrefixLen: 32},
+		Path: []string{"a", "b", "d"},
+	}, func(e error) { gotResult = true; setupErr = e }); err != nil {
+		t.Fatal(err)
+	}
+	net.Sim.RunUntil(2.5)
+	if !gotResult || setupErr != nil {
+		t.Fatalf("setup result=%v err=%v, want success via backup", gotResult, setupErr)
+	}
+	if strings.Join(lastPath, ",") != "a,c,d" {
+		t.Fatalf("established path = %v, want a,c,d", lastPath)
+	}
+}
+
+// tripleNet has three disjoint paths a-d in metric order: via b (1),
+// via c (5), via e (10).
+func tripleNet(t *testing.T) *router.Network {
+	t.Helper()
+	net, err := router.Build(
+		[]router.NodeSpec{{Name: "a"}, {Name: "b"}, {Name: "c"}, {Name: "d"}, {Name: "e"}},
+		[]router.LinkSpec{
+			{A: "a", B: "b", RateBPS: 1e9, Delay: 0.0005, Metric: 1},
+			{A: "b", B: "d", RateBPS: 1e9, Delay: 0.0005, Metric: 1},
+			{A: "a", B: "c", RateBPS: 1e9, Delay: 0.0005, Metric: 5},
+			{A: "c", B: "d", RateBPS: 1e9, Delay: 0.0005, Metric: 5},
+			{A: "a", B: "e", RateBPS: 1e9, Delay: 0.0005, Metric: 10},
+			{A: "e", B: "d", RateBPS: 1e9, Delay: 0.0005, Metric: 10},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// TestAvoidMemoryAccumulates breaks the primary and first backup
+// simultaneously: converging on the third path requires the ingress to
+// remember the first broken link while reacting to the second — without
+// the accumulated avoid set it oscillates between the two broken paths.
+func TestAvoidMemoryAccumulates(t *testing.T) {
+	net := tripleNet(t)
+	speakers, err := Deploy(net, WithUntil(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Sim.RunUntil(0.3)
+	if err := speakers["a"].Setup(ldp.SetupRequest{
+		ID:   "l",
+		FEC:  ldp.FEC{Dst: packet.AddrFrom(10, 0, 0, 9), PrefixLen: 32},
+		Path: []string{"a", "b", "d"},
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	var lastPath []string
+	speakers["a"].OnEstablished = func(id string, path []string) { lastPath = path }
+	net.Sim.RunUntil(0.6)
+	if strings.Join(lastPath, ",") != "a,b,d" {
+		t.Fatalf("initial path = %v", lastPath)
+	}
+
+	net.SetLinkDown("b", "d", true)
+	net.SetLinkDown("c", "d", true)
+	net.Sim.RunUntil(4.5)
+	if strings.Join(lastPath, ",") != "a,e,d" {
+		t.Fatalf("converged path = %v, want a,e,d (both broken links avoided)", lastPath)
+	}
+}
+
+// TestPathExcluderConsulted proves reroute honours the external
+// exclusion source (flap damping): with the only backup excluded, the
+// protection switch cannot happen.
+func TestPathExcluderConsulted(t *testing.T) {
+	net := diamond(t)
+	speakers, err := Deploy(net, WithUntil(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	speakers["a"].SetPathExcluder(func() map[te.LinkKey]bool {
+		return map[te.LinkKey]bool{
+			{From: "a", To: "c"}: true,
+			{From: "c", To: "a"}: true,
+		}
+	})
+	net.Sim.RunUntil(0.3)
+	if err := speakers["a"].Setup(ldp.SetupRequest{
+		ID:   "l",
+		FEC:  ldp.FEC{Dst: packet.AddrFrom(10, 0, 0, 9), PrefixLen: 32},
+		Path: []string{"a", "b", "d"},
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	net.Sim.RunUntil(0.6) // initial establishment completes
+	var lastPath []string
+	speakers["a"].OnEstablished = func(id string, path []string) { lastPath = path }
+
+	net.SetLinkDown("a", "b", true)
+	net.Sim.RunUntil(2.5)
+	if lastPath != nil {
+		t.Fatalf("rerouted to %v despite the backup being excluded", lastPath)
+	}
+}
+
+// TestPendingQueueBounded: label messages queued toward a session that
+// never comes up must not grow without bound.
+func TestPendingQueueBounded(t *testing.T) {
+	net := diamond(t)
+	speakers, err := Deploy(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := speakers["a"]
+	m := &Message{Type: MsgLabelRequest, Src: sp.self}
+	m.SetID("q#1")
+	for i := 0; i < maxPending+50; i++ {
+		sp.sendWhenUp("b", m)
+	}
+	if got := len(sp.pending["b"]); got != maxPending {
+		t.Fatalf("pending queue = %d, want bounded at %d", got, maxPending)
+	}
+}
+
+// guardRecorder records Advertise/Withdraw calls.
+type guardRecorder struct {
+	adv, wd []string
+}
+
+func (g *guardRecorder) Advertise(peer string, l label.Label) {
+	g.adv = append(g.adv, peer)
+}
+func (g *guardRecorder) Withdraw(peer string, l label.Label) {
+	g.wd = append(g.wd, peer)
+}
+
+// TestGuardSeesAdvertisements: mappings sent upstream are mirrored into
+// the label guard, withdawals on teardown.
+func TestGuardSeesAdvertisements(t *testing.T) {
+	net := diamond(t)
+	rec := &guardRecorder{}
+	speakers, err := Deploy(net, WithUntil(3), WithGuard(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Sim.RunUntil(0.3)
+	if err := speakers["a"].Setup(ldp.SetupRequest{
+		ID:   "l",
+		FEC:  ldp.FEC{Dst: packet.AddrFrom(10, 0, 0, 9), PrefixLen: 32},
+		Path: []string{"a", "b", "d"},
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	net.Sim.RunUntil(0.6)
+	// b advertised toward a, d advertised toward b. (The shared recorder
+	// sees both speakers' calls; peers identify the direction.)
+	advA, advB := 0, 0
+	for _, p := range rec.adv {
+		switch p {
+		case "a":
+			advA++
+		case "b":
+			advB++
+		}
+	}
+	if advA == 0 || advB == 0 {
+		t.Fatalf("advertisements = %v, want toward both a and b", rec.adv)
+	}
+	if len(rec.wd) != 0 {
+		t.Fatalf("unexpected withdrawals %v", rec.wd)
+	}
+	// Teardown withdraws what was advertised.
+	net.SetLinkDown("a", "b", true)
+	net.Sim.RunUntil(1.5)
+	if len(rec.wd) == 0 {
+		t.Fatal("teardown produced no guard withdrawals")
+	}
+}

@@ -67,6 +67,9 @@ type Session struct {
 	lastHeard    float64 // time of the last message from the peer
 	lastSent     float64 // time of the last keepalive/hello sent
 	severedUntil float64 // administrative sever: ignore peer until then
+	everUp       bool    // reached Operational at least once
+	helloMuted   bool    // periodic hellos suppressed (restart backoff owns pacing)
+	kaStretch    float64 // keepalive interval multiplier (adaptive, >= 1)
 
 	send   func(t MsgType)
 	onUp   func()
@@ -78,11 +81,12 @@ type Session struct {
 // fire on transitions into and out of Operational; either may be nil.
 func NewSession(peer string, timers Timers, send func(t MsgType), onUp, onDown func()) *Session {
 	return &Session{
-		Peer:   peer,
-		timers: timers.withDefaults(),
-		send:   send,
-		onUp:   onUp,
-		onDown: onDown,
+		Peer:      peer,
+		timers:    timers.withDefaults(),
+		kaStretch: 1,
+		send:      send,
+		onUp:      onUp,
+		onDown:    onDown,
 	}
 }
 
@@ -91,6 +95,50 @@ func (s *Session) State() State { return s.state }
 
 // Up reports whether the session is operational.
 func (s *Session) Up() bool { return s.state == StateOperational }
+
+// Dead reports whether a session that was once operational is down —
+// the distinction between "still forming" (keep queueing label
+// messages) and "lost the peer" (answer requests with errors so the
+// ingress can route around the hole).
+func (s *Session) Dead() bool { return s.everUp && s.state != StateOperational }
+
+// SuppressHellos mutes (or restores) the periodic hello while the
+// session is not operational. The restart policy suppresses the tight
+// per-tick hello loop and paces rediscovery itself via Poke; the
+// session stays fully responsive to the peer's messages either way,
+// so a muted side still comes up passively.
+func (s *Session) SuppressHellos(v bool) { s.helloMuted = v }
+
+// Poke sends one discovery hello now, regardless of hello muting —
+// the restart policy's paced redial probe. A no-op while operational
+// or severed.
+func (s *Session) Poke(now float64) {
+	if s.state != StateOperational && !s.severed(now) {
+		s.send(MsgHello)
+	}
+}
+
+// SetKeepaliveStretch scales the operational keepalive interval by f —
+// the adaptive-keepalive knob: under control-plane load keepalives are
+// paced down to shed cost. Clamped to [1, Hold/(2×Keepalive)] so the
+// stretched interval never exceeds half the peer's dead timer (one
+// lost keepalive of margin).
+func (s *Session) SetKeepaliveStretch(f float64) {
+	max := s.timers.Hold / (2 * s.timers.Keepalive)
+	if max < 1 {
+		max = 1
+	}
+	if f < 1 {
+		f = 1
+	}
+	if f > max {
+		f = max
+	}
+	s.kaStretch = f
+}
+
+// KeepaliveStretch returns the current adaptive stretch factor.
+func (s *Session) KeepaliveStretch() float64 { return s.kaStretch }
 
 // Timers returns the effective (defaulted) timer set.
 func (s *Session) Timers() Timers { return s.timers }
@@ -176,9 +224,11 @@ func (s *Session) Tick(now float64) {
 	}
 	switch s.state {
 	case StateDown, StateAdjacent:
-		s.send(MsgHello)
+		if !s.helloMuted {
+			s.send(MsgHello)
+		}
 	case StateOperational:
-		if now-s.lastSent >= s.timers.Keepalive {
+		if now-s.lastSent >= s.timers.Keepalive*s.kaStretch {
 			s.send(MsgKeepalive)
 			s.lastSent = now
 		}
@@ -200,6 +250,7 @@ func (s *Session) Sever(now, d float64) {
 // up transitions to Operational, confirming with a keepalive.
 func (s *Session) up(now float64) {
 	s.state = StateOperational
+	s.everUp = true
 	s.send(MsgKeepalive)
 	s.lastSent = now
 	if s.onUp != nil {

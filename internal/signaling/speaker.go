@@ -1,6 +1,7 @@
 package signaling
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -56,14 +57,18 @@ type Speaker struct {
 	clock Clock
 	cfg   config
 
-	sessions map[string]*Session
-	lsps     map[string]*lsp // by generation-qualified id
-	byBase   map[string]*lsp // ingress LSPs by base id, current generation
-	next     label.Label
-	addr     packet.Addr
-	pending  map[string][]*Message // messages queued for a not-yet-up session
-	rx       Message               // reusable decode target
-	stopped  bool
+	sessions  map[string]*Session
+	lsps      map[string]*lsp // by generation-qualified id
+	byBase    map[string]*lsp // ingress LSPs by base id, current generation
+	next      label.Label
+	addr      packet.Addr
+	pending   map[string][]*Message // messages queued for a not-yet-up session
+	rx        Message               // reusable decode target
+	stopped   bool
+	redialing map[string]bool                   // peers with a restart-policy redial in flight
+	avoids    map[string]map[te.LinkKey]float64 // per-base avoid memory: link -> expiry
+	excluder  func() map[te.LinkKey]bool        // external CSPF exclusions (flap damping)
+	lastRx    uint64                            // Stats.Rx at last maintenance sweep
 
 	// Stats counts signaling traffic through this speaker.
 	Stats Counters
@@ -113,18 +118,20 @@ func New(r *router.Router, topo *te.Topology, clock Clock, names []string, self 
 		o(&cfg)
 	}
 	s := &Speaker{
-		name:     self,
-		names:    append([]string(nil), names...),
-		ids:      make(map[string]transport.NodeID, len(names)),
-		r:        r,
-		topo:     topo,
-		clock:    clock,
-		cfg:      cfg,
-		sessions: make(map[string]*Session),
-		lsps:     make(map[string]*lsp),
-		byBase:   make(map[string]*lsp),
-		next:     label.FirstUnreserved,
-		pending:  make(map[string][]*Message),
+		name:      self,
+		names:     append([]string(nil), names...),
+		ids:       make(map[string]transport.NodeID, len(names)),
+		r:         r,
+		topo:      topo,
+		clock:     clock,
+		cfg:       cfg,
+		sessions:  make(map[string]*Session),
+		lsps:      make(map[string]*lsp),
+		byBase:    make(map[string]*lsp),
+		next:      label.FirstUnreserved,
+		pending:   make(map[string][]*Message),
+		redialing: make(map[string]bool),
+		avoids:    make(map[string]map[te.LinkKey]float64),
 	}
 	for i, n := range names {
 		if _, dup := s.ids[n]; dup {
@@ -179,7 +186,15 @@ func (s *Speaker) Start() {
 		sess := s.sessions[peer]
 		s.clock.Schedule(0, func() { s.tick(sess) })
 	}
+	if s.cfg.maintIvl > 0 {
+		s.clock.Schedule(s.cfg.maintIvl, func() { s.maintain() })
+	}
 }
+
+// SetPathExcluder installs a CSPF exclusion source consulted on every
+// reroute — the seam flap damping uses to keep suppressed links out of
+// protection paths. fn runs in the speaker's serialisation context.
+func (s *Speaker) SetPathExcluder(fn func() map[te.LinkKey]bool) { s.excluder = fn }
 
 // Stop halts all ticking after the current round.
 func (s *Speaker) Stop() { s.stopped = true }
@@ -227,8 +242,20 @@ func (s *Speaker) sendWhenUp(peer string, m *Message) {
 	}
 	cp := *m
 	cp.Route = append([]transport.NodeID(nil), m.Route...)
-	s.pending[peer] = append(s.pending[peer], &cp)
+	q := append(s.pending[peer], &cp)
+	if len(q) > maxPending {
+		// Bound the queue toward a peer that never comes back: keep the
+		// newest messages (they supersede the old state anyway) and let
+		// the ingress retry machinery regenerate anything shed.
+		q = append([]*Message(nil), q[len(q)-maxPending:]...)
+	}
+	s.pending[peer] = q
 }
+
+// maxPending bounds the per-peer queue of label messages waiting for a
+// session: a neighbour that never returns must not grow memory without
+// bound.
+const maxPending = 256
 
 // transmit encodes m and sends it on the direct link toward peer. The
 // payload buffer is allocated fresh per message: packets do not copy
@@ -346,6 +373,75 @@ func (s *Speaker) sessionDown(peer string) {
 		case l.upstream:
 			s.lostUpstream(l)
 		}
+	}
+	s.kickRestart(peer)
+}
+
+// errRedialPending is the sentinel a redial probe returns while the
+// session is still down, telling the restart policy to back off and
+// try again.
+var errRedialPending = errors.New("signaling: session not re-established")
+
+// kickRestart hands re-establishment of the session toward peer to the
+// restart policy: the periodic hello is muted and the policy paces
+// single discovery pokes with backoff instead. The session stays fully
+// responsive to the peer throughout, so it can also come up passively;
+// if the policy exhausts its budget the legacy hello cadence resumes.
+func (s *Speaker) kickRestart(peer string) {
+	if s.cfg.restart == nil || s.redialing[peer] {
+		return
+	}
+	sess, ok := s.sessions[peer]
+	if !ok {
+		return
+	}
+	s.redialing[peer] = true
+	sess.SuppressHellos(true)
+	s.cfg.restart.Do("redial:"+s.name+"->"+peer, func() error {
+		if s.stopped || sess.Up() {
+			return nil
+		}
+		sess.Poke(s.clock.Now())
+		return errRedialPending
+	}, func(error) {
+		delete(s.redialing, peer)
+		sess.SuppressHellos(false)
+	})
+}
+
+// maintain is the periodic background sweep (WithMaintenance): failed
+// ingress LSPs are re-signalled and adaptive keepalive recomputes.
+func (s *Speaker) maintain() {
+	if s.stopped || (s.cfg.until > 0 && s.clock.Now() >= s.cfg.until) {
+		return
+	}
+	for _, base := range s.sortedBases() {
+		l := s.byBase[base]
+		if !l.mapped && !s.inFlight(l) {
+			s.resignal(l, te.LinkKey{})
+		}
+	}
+	s.adaptKeepalive()
+	s.clock.Schedule(s.cfg.maintIvl, func() { s.maintain() })
+}
+
+// adaptKeepalive samples the control-plane receive rate since the last
+// sweep and stretches keepalive pacing proportionally above the
+// configured load threshold — under a message storm the sessions shed
+// their own cost first.
+func (s *Speaker) adaptKeepalive() {
+	if s.cfg.adaptLoad <= 0 {
+		return
+	}
+	rx := s.Stats.Rx
+	rate := float64(rx-s.lastRx) / s.cfg.maintIvl
+	s.lastRx = rx
+	stretch := rate / s.cfg.adaptLoad
+	if stretch < 1 {
+		stretch = 1
+	}
+	for _, sess := range s.sessions {
+		sess.SetKeepaliveStretch(stretch)
 	}
 }
 
@@ -518,6 +614,15 @@ func (s *Speaker) handleRequest(m *Message) {
 		if l.inLabel != 0 {
 			s.sendMapping(l)
 		} else if !l.egress() {
+			if s.deadToward(l.downstream) {
+				// The downstream peer died while this request was parked:
+				// tell the ingress which link is broken so it can route
+				// around it, instead of letting it retry into a void.
+				s.sendError(l, ErrCodeNoRoute, te.LinkKey{From: s.name, To: l.downstream})
+				s.tearLocal(l, false)
+				delete(s.lsps, id)
+				return
+			}
 			s.sendRequest2(l)
 		}
 		return
@@ -559,7 +664,7 @@ func (s *Speaker) handleRequest(m *Message) {
 			l.inLabel = s.allocLabel()
 			if err := s.r.InstallILM(l.inLabel, swmpls.NHLFE{Op: label.OpPop}); err != nil {
 				delete(s.lsps, id)
-				s.sendError(l, ErrCodeBadRequest)
+				s.sendError(l, ErrCodeBadRequest, te.LinkKey{})
 				return
 			}
 			l.ilmInstalled = true
@@ -567,16 +672,31 @@ func (s *Speaker) handleRequest(m *Message) {
 		s.sendMapping(l)
 		return
 	}
+	// Transit toward a peer known to be dead: fail fast with the broken
+	// link named, so the ingress reroutes instead of burning its retry
+	// budget retransmitting into a hole.
+	if s.deadToward(l.downstream) {
+		s.sendError(l, ErrCodeNoRoute, te.LinkKey{From: s.name, To: l.downstream})
+		return
+	}
 	// Transit: admission-control the outgoing segment, then forward.
 	if l.bandwidth > 0 {
 		if err := s.topo.Reserve([]string{s.name, l.downstream}, l.bandwidth); err != nil {
-			s.sendError(l, ErrCodeNoBandwidth)
+			s.sendError(l, ErrCodeNoBandwidth, te.LinkKey{})
 			return
 		}
 		l.reserved = true
 	}
 	s.lsps[id] = l
 	s.sendRequest2(l)
+}
+
+// deadToward reports whether the session to peer was operational once
+// and is down now — the signal that the peer is gone rather than still
+// forming.
+func (s *Speaker) deadToward(peer string) bool {
+	sess, ok := s.sessions[peer]
+	return ok && sess.Dead()
 }
 
 // sendRequest2 forwards a transit node's copy of the request
@@ -598,6 +718,12 @@ func (s *Speaker) sendRequest2(l *lsp) {
 func (s *Speaker) sendMapping(l *lsp) {
 	if l.upstream == "" {
 		return
+	}
+	if s.cfg.guard != nil && l.inLabel != 0 && l.inLabel != label.ImplicitNull {
+		// The upstream peer will now send this label here: whitelist it
+		// before the mapping leaves, so no admitted-then-dropped window
+		// exists. Idempotent across retransmissions.
+		s.cfg.guard.Advertise(l.upstream, l.inLabel)
 	}
 	m := Message{Type: MsgLabelMapping, Src: s.self, Label: l.inLabel}
 	m.SetID(l.id)
@@ -625,7 +751,7 @@ func (s *Speaker) handleMapping(peer string, m *Message) {
 		n = swmpls.NHLFE{NextHop: l.downstream, Op: label.OpPop}
 	}
 	if err := s.r.InstallILM(l.inLabel, n); err != nil {
-		s.sendError(l, ErrCodeBadRequest)
+		s.sendError(l, ErrCodeBadRequest, te.LinkKey{})
 		return
 	}
 	l.ilmInstalled = true
@@ -703,11 +829,17 @@ func (s *Speaker) sendWithdraw(l *lsp, avoid te.LinkKey) {
 	s.sendWhenUp(l.upstream, &m)
 }
 
-func (s *Speaker) sendError(l *lsp, code uint8) {
+// sendError rejects an LSP upstream. A non-zero avoid names the link
+// the rejection is about (e.g. the dead downstream session), letting
+// the ingress reroute around it instead of failing terminally.
+func (s *Speaker) sendError(l *lsp, code uint8, avoid te.LinkKey) {
 	if l.upstream == "" {
 		return
 	}
 	m := Message{Type: MsgError, Src: s.self, Code: code}
+	if avoid != (te.LinkKey{}) {
+		m.Avoid = [2]transport.NodeID{s.ids[avoid.From], s.ids[avoid.To]}
+	}
 	m.SetID(l.id)
 	s.sendWhenUp(l.upstream, &m)
 }
@@ -752,13 +884,24 @@ func (s *Speaker) handleError(m *Message) {
 	if !ok {
 		return
 	}
+	var avoid te.LinkKey
+	if (m.Avoid[0] != 0 || m.Avoid[1] != 0) &&
+		int(m.Avoid[0]) < len(s.names) && int(m.Avoid[1]) < len(s.names) {
+		avoid = te.LinkKey{From: s.names[m.Avoid[0]], To: s.names[m.Avoid[1]]}
+	}
 	if l.ingress() {
 		s.tearLocal(l, false)
 		delete(s.lsps, l.id)
+		if avoid != (te.LinkKey{}) {
+			// The rejection names the broken link: this is a routing
+			// failure, not a policy one — protection-switch around it.
+			s.reroute(l, avoid, false)
+			return
+		}
 		s.fail(l, fmt.Errorf("signaling: %s rejected downstream (code %d)", l.id, m.Code))
 		return
 	}
-	s.sendError(l, m.Code)
+	s.sendError(l, m.Code, avoid)
 	s.tearLocal(l, false)
 	delete(s.lsps, l.id)
 }
@@ -798,10 +941,36 @@ func (s *Speaker) reroute(old *lsp, avoid te.LinkKey, makeBeforeBreak bool) {
 	if s.byBase[old.base] != old {
 		return // superseded by a newer generation
 	}
+	// CSPF exclusions accumulate from three sources: this LSP's avoid
+	// memory (links recent errors/withdraws named as faulty — without
+	// the memory an ingress with two broken candidate paths oscillates
+	// between them forever), the avoid hint that triggered this reroute,
+	// and the external excluder (flap-damped links).
+	now := s.clock.Now()
 	exclude := map[te.LinkKey]bool{}
+	mem := s.avoids[old.base]
+	for k, expiry := range mem {
+		if expiry <= now {
+			delete(mem, k)
+			continue
+		}
+		exclude[k] = true
+	}
 	if avoid != (te.LinkKey{}) {
-		exclude[avoid] = true
-		exclude[te.LinkKey{From: avoid.To, To: avoid.From}] = true
+		if mem == nil {
+			mem = make(map[te.LinkKey]float64)
+			s.avoids[old.base] = mem
+		}
+		rev := te.LinkKey{From: avoid.To, To: avoid.From}
+		mem[avoid], mem[rev] = now+s.cfg.avoidHold, now+s.cfg.avoidHold
+		exclude[avoid], exclude[rev] = true, true
+	}
+	if s.excluder != nil {
+		for k, on := range s.excluder() {
+			if on {
+				exclude[k] = true
+			}
+		}
 	}
 	egress := old.route[len(old.route)-1]
 	path, err := s.topo.CSPF(te.PathRequest{
@@ -825,7 +994,9 @@ func (s *Speaker) reroute(old *lsp, avoid te.LinkKey, makeBeforeBreak bool) {
 		route:      path,
 		downstream: path[1],
 		attempts:   old.attempts,
+		done:       old.done, // still pending when an in-flight setup reroutes
 	}
+	old.done = nil
 	if makeBeforeBreak {
 		if _, live := s.lsps[old.id]; live {
 			nl.prev = old
@@ -855,11 +1026,13 @@ func (s *Speaker) retryReroute(l *lsp, avoid te.LinkKey, makeBeforeBreak bool) {
 	})
 }
 
-// resignal re-attempts an ingress LSP from scratch (fresh CSPF, no
-// exclusions) — used when a session comes back after a partition killed
-// every alternative.
+// resignal re-attempts an ingress LSP from scratch: fresh retry budget,
+// cleared avoid memory, fresh CSPF — used when a session comes back
+// after a partition killed every alternative, and by the maintenance
+// sweep. Stale exclusions must not outlive the healing they reacted to.
 func (s *Speaker) resignal(l *lsp, avoid te.LinkKey) {
 	l.attempts = 0
+	delete(s.avoids, l.base)
 	s.reroute(l, avoid, false)
 }
 
@@ -886,6 +1059,9 @@ func (s *Speaker) tearLocal(l *lsp, skipFEC bool) {
 	if l.ilmInstalled {
 		s.r.RemoveILM(l.inLabel)
 		l.ilmInstalled = false
+		if s.cfg.guard != nil && l.upstream != "" {
+			s.cfg.guard.Withdraw(l.upstream, l.inLabel)
+		}
 	}
 	if l.reserved {
 		_ = s.topo.Release([]string{s.name, l.downstream}, l.bandwidth)

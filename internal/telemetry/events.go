@@ -40,9 +40,21 @@ const (
 	// EventLabelWithdrawRx: a LABEL WITHDRAW message was received and
 	// the binding removed.
 	EventLabelWithdrawRx
+	// EventQuarantineTrip: an ingress guard's per-peer circuit breaker
+	// opened after a burst of malformed datagrams.
+	EventQuarantineTrip
+	// EventQuarantineClear: a tripped circuit breaker's hold expired and
+	// the peer was readmitted.
+	EventQuarantineClear
+	// EventLinkSuppressed: flap damping accumulated enough penalty to
+	// exclude a link from path computation.
+	EventLinkSuppressed
+	// EventLinkReused: a suppressed link's penalty decayed below the
+	// reuse threshold and it became eligible for paths again.
+	EventLinkReused
 
 	// NumEvents is the number of distinct events.
-	NumEvents = 9
+	NumEvents = 13
 )
 
 // Valid reports whether e names a defined event.
@@ -70,6 +82,14 @@ func (e Event) String() string {
 		return "label_map_rx"
 	case EventLabelWithdrawRx:
 		return "label_withdraw_rx"
+	case EventQuarantineTrip:
+		return "quarantine_trip"
+	case EventQuarantineClear:
+		return "quarantine_clear"
+	case EventLinkSuppressed:
+		return "link_suppressed"
+	case EventLinkReused:
+		return "link_reused"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(e))
 	}

@@ -49,6 +49,13 @@ func TestEventStrings(t *testing.T) {
 		EventSessionDown:      "session_down",
 		EventLabelMapRx:       "label_map_rx",
 		EventLabelWithdrawRx:  "label_withdraw_rx",
+		EventQuarantineTrip:   "quarantine_trip",
+		EventQuarantineClear:  "quarantine_clear",
+		EventLinkSuppressed:   "link_suppressed",
+		EventLinkReused:       "link_reused",
+	}
+	if len(want) != NumEvents {
+		t.Fatalf("test covers %d events, enum has %d", len(want), NumEvents)
 	}
 	for e, s := range want {
 		if e.String() != s {

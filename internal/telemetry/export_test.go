@@ -19,6 +19,10 @@ func goldenRegistry() *Registry {
 	drops.Add(ReasonLookupMiss, 7)
 	drops.Add(ReasonTTLExpired, 3)
 	drops.Add(ReasonInconsistentOp, 1)
+	drops.Add(ReasonLabelSpoof, 5)
+	drops.Add(ReasonTTLSecurity, 2)
+	drops.Add(ReasonRateLimit, 11)
+	drops.Add(ReasonQuarantine, 4)
 
 	var events EventCounters
 	events.Add(EventLinkFlap, 2)
@@ -30,6 +34,10 @@ func goldenRegistry() *Registry {
 	events.Add(EventSessionDown, 1)
 	events.Add(EventLabelMapRx, 9)
 	events.Add(EventLabelWithdrawRx, 2)
+	events.Add(EventQuarantineTrip, 2)
+	events.Add(EventQuarantineClear, 1)
+	events.Add(EventLinkSuppressed, 3)
+	events.Add(EventLinkReused, 2)
 
 	lat := NewHistogram(0.001, 0.01, 0.1)
 	for _, v := range []float64{0.0005, 0.0005, 0.02, 0.5} {

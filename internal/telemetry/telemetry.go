@@ -48,9 +48,24 @@ const (
 	// decode to a packet — corruption on the wire, a truncated
 	// datagram, or a foreign protocol hitting the port.
 	ReasonWireDecode
+	// ReasonLabelSpoof: the ingress guard rejected a labelled packet
+	// whose top label was never advertised to the sending neighbour —
+	// label spoofing, or stale state on a misbehaving peer.
+	ReasonLabelSpoof
+	// ReasonTTLSecurity: the ingress guard's GTSM-style check rejected
+	// a packet arriving with a TTL below the link's configured minimum.
+	ReasonTTLSecurity
+	// ReasonRateLimit: the ingress guard's token bucket shed the packet
+	// under overload. Shedding is CoS-aware: best-effort drains first,
+	// control traffic is never charged.
+	ReasonRateLimit
+	// ReasonQuarantine: the packet arrived from a peer whose circuit
+	// breaker is open after a burst of malformed datagrams; it was
+	// discarded before (or instead of) full decode.
+	ReasonQuarantine
 
 	// NumReasons is the number of distinct reasons.
-	NumReasons = 6
+	NumReasons = 10
 )
 
 // Valid reports whether r names a defined reason.
@@ -72,6 +87,14 @@ func (r Reason) String() string {
 		return "no-route"
 	case ReasonWireDecode:
 		return "wire-decode"
+	case ReasonLabelSpoof:
+		return "label-spoof"
+	case ReasonTTLSecurity:
+		return "ttl-security"
+	case ReasonRateLimit:
+		return "rate-limit"
+	case ReasonQuarantine:
+		return "quarantine"
 	default:
 		return fmt.Sprintf("reason(%d)", uint8(r))
 	}

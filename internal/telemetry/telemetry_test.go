@@ -14,6 +14,10 @@ func TestReasonStrings(t *testing.T) {
 		ReasonQueueOverfull:  "queue-overfull",
 		ReasonNoRoute:        "no-route",
 		ReasonWireDecode:     "wire-decode",
+		ReasonLabelSpoof:     "label-spoof",
+		ReasonTTLSecurity:    "ttl-security",
+		ReasonRateLimit:      "rate-limit",
+		ReasonQuarantine:     "quarantine",
 	}
 	if len(want) != NumReasons {
 		t.Fatalf("test covers %d reasons, enum has %d", len(want), NumReasons)

@@ -23,6 +23,8 @@ type config struct {
 	metrics       *Metrics
 	drop          func(telemetry.Reason)
 	now           func() float64
+	preAdmit      func(peer string, labelled bool) bool
+	malformed     func(peer string)
 }
 
 func defaultConfig() config {
@@ -153,6 +155,24 @@ func WithDropCounters(d *telemetry.DropCounters) Option {
 // sink attached after the sockets exist still sees transport drops.
 func WithDropFunc(fn func(telemetry.Reason)) Option {
 	return func(c *config) { c.drop = fn }
+}
+
+// WithPreAdmit installs a pre-decode admission hook on a receiver: it
+// runs with only the peeked header bits (attributed peer, labelled
+// flag) before any decode work, and a false return discards the
+// datagram silently — the hook owns the drop accounting. The ingress
+// guard's quarantine breaker uses it to stop a garbage flood from
+// burning decode CPU.
+func WithPreAdmit(fn func(peer string, labelled bool) bool) Option {
+	return func(c *config) { c.preAdmit = fn }
+}
+
+// WithMalformedFunc reports each wire-decode failure with the peer it
+// was attributed to (via WithPeer, or the datagram's claimed NodeID
+// when the header survives enough to carry one; "" when
+// unattributable). The ingress guard's quarantine breaker feeds on it.
+func WithMalformedFunc(fn func(peer string)) Option {
+	return func(c *config) { c.malformed = fn }
 }
 
 // WithClock supplies the time source fault hooks are evaluated

@@ -58,10 +58,12 @@ type Receiver struct {
 	recvN    int
 	recvErr  syscall.Errno
 
-	m      *Metrics
-	drop   func(telemetry.Reason)
-	closed atomic.Bool
-	done   chan struct{}
+	m         *Metrics
+	drop      func(telemetry.Reason)
+	preAdmit  func(peer string, labelled bool) bool
+	malformed func(peer string)
+	closed    atomic.Bool
+	done      chan struct{}
 }
 
 // Listen opens a UDP receive socket on addr (":0" picks a free port)
@@ -104,9 +106,11 @@ func newReceiver(conn *net.UDPConn, sink func(batch []Inbound), cfg config) (*Re
 		flushIvl: cfg.flushInterval,
 		readBufs: make([][]byte, cfg.sysBatch),
 		sizes:    make([]int, cfg.sysBatch),
-		m:        cfg.metrics,
-		drop:     cfg.drop,
-		done:     make(chan struct{}),
+		m:         cfg.metrics,
+		drop:      cfg.drop,
+		preAdmit:  cfg.preAdmit,
+		malformed: cfg.malformed,
+		done:      make(chan struct{}),
 	}
 	if r.m == nil {
 		r.m = &Metrics{}
@@ -230,21 +234,50 @@ func (r *Receiver) loop() {
 func (r *Receiver) ingestDatagram(buf []byte) {
 	if IsFrame(buf) {
 		if err := ForEachFrameSegment(buf, r.segFn); err != nil {
-			r.decodeFailure(err)
+			// Frame headers carry no NodeID; only a pinned single-peer
+			// socket can attribute a malformed frame.
+			r.decodeFailure(err, r.peer)
 		}
 		return
 	}
 	r.ingestPacket(buf)
 }
 
+// peerOf attributes a raw datagram to a neighbour before (or without)
+// a successful decode: the pinned peer of a single-peer socket wins,
+// otherwise the claimed NodeID is peeked from an intact header prefix.
+// A spoofed NodeID attributes the datagram to whoever the sender
+// claims to be — which is exactly what the quarantine breaker wants,
+// since the real origin of hostile bytes is unknowable at this layer.
+func (r *Receiver) peerOf(buf []byte) string {
+	if r.peer != "" {
+		return r.peer
+	}
+	if len(buf) >= 6 && buf[0] == magic0 && buf[1] == magic1 {
+		if id := NodeID(buf[4])<<8 | NodeID(buf[5]); int(id) < len(r.names) {
+			return r.names[id]
+		}
+	}
+	return ""
+}
+
 // ingestPacket decodes one packet encoding into the next batch slot,
 // accounting failures as wire-decode drops and flushing the batch when
 // it fills.
 func (r *Receiver) ingestPacket(buf []byte) {
+	// Pre-decode admission: once the header prefix identifies the
+	// claimed sender and whether the datagram carries labels, a guard
+	// hook may refuse it before any decode work is spent. Datagrams too
+	// damaged to peek fall through to the decoder, which rejects them.
+	if r.preAdmit != nil && len(buf) >= 6 && buf[0] == magic0 && buf[1] == magic1 {
+		if !r.preAdmit(r.peerOf(buf), buf[3]&flagLabelled != 0) {
+			return
+		}
+	}
 	slot := &r.batch[r.pending]
 	src, err := DecodePacket(slot.P, buf)
 	if err != nil {
-		r.decodeFailure(err)
+		r.decodeFailure(err, r.peerOf(buf))
 		return
 	}
 	r.m.RxPackets.Add(1)
@@ -258,14 +291,18 @@ func (r *Receiver) ingestPacket(buf []byte) {
 	}
 }
 
-// decodeFailure accounts one undecodable datagram or frame segment.
-func (r *Receiver) decodeFailure(err error) {
+// decodeFailure accounts one undecodable datagram or frame segment,
+// attributed to peer ("" when unattributable).
+func (r *Receiver) decodeFailure(err error, peer string) {
 	r.m.DecodeErrors.Add(1)
 	if truncation(err) {
 		r.m.ShortReads.Add(1)
 	}
 	if r.drop != nil {
 		r.drop(telemetry.ReasonWireDecode)
+	}
+	if r.malformed != nil {
+		r.malformed(peer)
 	}
 }
 
