@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test bench bench-dataplane bench-lookup bench-transport bench-convergence reproduce race cover metrics chaos soak examples clean
+.PHONY: all build test mgmt bench bench-dataplane bench-lookup bench-transport bench-convergence reproduce race cover metrics chaos soak examples clean
 
 all: build test
 
@@ -10,8 +10,10 @@ build:
 # The fuzz smokes keep the wire decoders honest on every run: ten
 # seconds of random datagrams must never panic the packet codec or the
 # coalesced-frame walker, and the signaling codec must strictly
-# round-trip whatever it accepts.
-test:
+# round-trip whatever it accepts. The management-plane smoke rides
+# along: golden wire fixtures, error envelopes, and the three-process
+# mplsctl acceptance run.
+test: mgmt
 	go vet ./...
 	go test ./...
 	go test -run=^$$ -fuzz=FuzzWireDecode -fuzztime=10s ./internal/transport
@@ -19,6 +21,14 @@ test:
 	go test -run=^$$ -fuzz=FuzzFrameDecode -fuzztime=10s ./internal/transport
 	go test -run=^$$ -fuzz=FuzzFrameRoundTrip -fuzztime=10s ./internal/transport
 	go test -run=^$$ -fuzz=FuzzSignalingDecode -fuzztime=10s ./internal/signaling
+
+# The management-plane smoke: the JSON-RPC wire against its golden
+# fixtures, every RPC against a live node, and mplsctl driving three
+# real mplsnode processes end to end (runtime provisioning, infobase
+# dump, scrape, reload-without-restart, graceful drain).
+mgmt:
+	go test ./internal/mgmt
+	go test -run 'ManagementPlane' ./internal/integration
 
 bench:
 	go test -bench=. -benchmem ./...
@@ -60,10 +70,13 @@ reproduce:
 # batched flow-cache path and the infobase stores' atomic publication
 # (concurrent lookups during writes). The transport package lives on
 # socket goroutines end to end, so it gets the same treatment, plus the
-# teardown-under-load and distributed-delivery regressions.
+# teardown-under-load and distributed-delivery regressions. The
+# management plane serves RPCs from socket goroutines into the network
+# lock while the dataplane forwards, so it runs under -race with
+# scheduling variety too.
 race:
 	go test -race ./...
-	go test -race -count=2 ./internal/dataplane ./internal/faults ./internal/resilience ./internal/signaling ./internal/transport
+	go test -race -count=2 ./internal/dataplane ./internal/faults ./internal/resilience ./internal/signaling ./internal/transport ./internal/mgmt
 	go test -race -count=2 -run 'FlowCache|Concurrent|Telemetry' ./internal/dataplane ./internal/infobase ./internal/swmpls
 	go test -race -count=2 -run 'Close|Distributed|Differential' ./internal/router ./internal/integration
 

@@ -20,7 +20,11 @@
 //     configured per-link rate — CoS-aware shedding must drop it while
 //     control sessions and CoS-5 data keep flowing;
 //   - bursts malformed datagrams attributed to a far-away node — the
-//     quarantine breaker must trip.
+//     quarantine breaker must trip;
+//   - mid-soak, while the floods are still running and after the kills
+//     have landed, batch-provisions runtime LSPs at the ring hubs over
+//     the management plane (internal/mgmt, the mplsctl wire) and gates
+//     the soak on every one of them converging to established.
 //
 // Every child self-checks at the end of the run: sessions to all
 // surviving neighbours up, every locally-ingressed LSP established on
@@ -52,6 +56,7 @@ import (
 
 	"embeddedmpls/internal/config"
 	"embeddedmpls/internal/label"
+	"embeddedmpls/internal/mgmt"
 	"embeddedmpls/internal/packet"
 	"embeddedmpls/internal/telemetry"
 	"embeddedmpls/internal/transport"
@@ -94,11 +99,11 @@ func hub(ring int) string         { return nodeName(ring, 0) }
 // short way crosses n2, the designated kill target, so a kill forces a
 // protection switch the long way around — and each hub originates one
 // LSP two hubs onward across the outer cycle.
-func genScenario(rings, ringSize int, duration float64, addrs map[string]string) *config.Scenario {
+func genScenario(rings, ringSize int, duration float64, addrs, mgmtAddrs map[string]string) *config.Scenario {
 	s := &config.Scenario{
 		Name:      fmt.Sprintf("chaos soak: %d rings x %d nodes", rings, ringSize),
 		DurationS: duration,
-		Transport: &config.TransportSection{Kind: "udp", Nodes: addrs},
+		Transport: &config.TransportSection{Kind: "udp", Nodes: addrs, Mgmt: mgmtAddrs},
 		Guard: &config.GuardSection{
 			SpoofFilter:         true,
 			TTLMin:              2,
@@ -163,6 +168,20 @@ func loopbackAddrs(n int) ([]string, error) {
 	return addrs, nil
 }
 
+// loopbackTCPAddrs does the same for management-plane TCP listeners.
+func loopbackTCPAddrs(n int) ([]string, error) {
+	addrs := make([]string, n)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		addrs[i] = l.Addr().String()
+		l.Close()
+	}
+	return addrs, nil
+}
+
 // childResult is one child's terminal state.
 type childResult struct {
 	name string
@@ -192,7 +211,18 @@ func runParent(rings, ringSize int, duration float64, seed int64, verbose bool) 
 			addrs[n] = addrList[len(names)-1]
 		}
 	}
-	scenario := genScenario(rings, ringSize, duration, addrs)
+	// Every ring hub serves a management listener; the parent uses it to
+	// batch-provision runtime LSPs mid-soak.
+	mgmtList, err := loopbackTCPAddrs(rings)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	mgmtAddrs := make(map[string]string, rings)
+	for i := 0; i < rings; i++ {
+		mgmtAddrs[hub(i)] = mgmtList[i]
+	}
+	scenario := genScenario(rings, ringSize, duration, addrs, mgmtAddrs)
 
 	dir, err := os.MkdirTemp("", "mplschaos")
 	if err != nil {
@@ -294,6 +324,16 @@ func runParent(rings, ringSize int, duration float64, seed int64, verbose bool) 
 		})
 	}
 
+	// Mid-soak runtime provisioning: after the kills have landed but
+	// while the floods still run, batch-signal LSPs at the same hubs the
+	// attackers are hammering, over the management plane. The soak gates
+	// on every one converging before the run ends.
+	runtimeResult := make(chan error, 1)
+	time.AfterFunc(time.Duration(0.55*duration*float64(time.Second)), func() {
+		runtimeResult <- provisionRuntime(mgmtAddrs, hostileTargets, rings,
+			start.Add(time.Duration((duration-0.3)*float64(time.Second))))
+	})
+
 	deadline := time.After(time.Duration((duration + 15) * float64(time.Second)))
 	var (
 		failures                            []string
@@ -338,6 +378,14 @@ func runParent(rings, ringSize int, duration float64, seed int64, verbose bool) 
 			failures = append(failures, fmt.Sprintf("%s exited: %v\n%s", r.name, r.err, out))
 		}
 	}
+	select {
+	case err := <-runtimeResult:
+		if err != nil {
+			failures = append(failures, fmt.Sprintf("runtime provisioning: %v", err))
+		}
+	case <-time.After(5 * time.Second):
+		failures = append(failures, "runtime provisioning never reported a result")
+	}
 	fmt.Printf("guard totals: spoof=%d ttl=%d rate=%d quarantine=%d trips=%d\n",
 		sumSpoof, sumTTL, sumRate, sumQuarantine, sumTrips)
 	if sumSpoof == 0 || sumTTL == 0 || sumRate == 0 || sumTrips == 0 {
@@ -355,6 +403,74 @@ func runParent(rings, ringSize int, duration float64, seed int64, verbose bool) 
 	fmt.Printf("SOAK seed=%d ok: %d nodes, %d killed, all survivors converged\n",
 		seed, total, len(kills))
 	return 0
+}
+
+// runtimeBatch is how many LSPs each targeted hub is asked to signal in
+// one pipelined management batch.
+const runtimeBatch = 20
+
+// provisionRuntime batch-provisions runtimeBatch LSPs at each target
+// hub over its management listener — hub i toward hub i+2, crossing the
+// outer cycle while the same hubs absorb the hostile floods — then
+// polls lsp.list until every one is established or the deadline passes.
+func provisionRuntime(mgmtAddrs map[string]string, targets []int, rings int, deadline time.Time) error {
+	for _, i := range targets {
+		ingress := hub(i)
+		cl, err := mgmt.Dial(mgmtAddrs[ingress], 2*time.Second)
+		if err != nil {
+			return fmt.Errorf("dial %s: %w", ingress, err)
+		}
+		params := make([]any, runtimeBatch)
+		for j := range params {
+			params[j] = config.LSP{
+				ID:  fmt.Sprintf("chaos%d-%d", i, j),
+				Dst: fmt.Sprintf("10.3.%d.%d", i, j+1),
+				To:  hub((i + 2) % rings),
+				CoS: 5,
+			}
+		}
+		_, err = cl.Batch("lsp.provision", params)
+		cl.Close()
+		if err != nil {
+			return fmt.Errorf("provision at %s: %w", ingress, err)
+		}
+	}
+	fmt.Printf("provisioned %d runtime LSPs across %d hubs under fire\n",
+		runtimeBatch*len(targets), len(targets))
+	for {
+		missing := 0
+		var lastErr error
+		for _, i := range targets {
+			ingress := hub(i)
+			up := 0
+			cl, err := mgmt.Dial(mgmtAddrs[ingress], 2*time.Second)
+			if err == nil {
+				var res mgmt.LSPListResult
+				if err = cl.Call("lsp.list", nil, &res); err == nil {
+					prefix := fmt.Sprintf("chaos%d-", i)
+					for _, l := range res.LSPs {
+						if strings.HasPrefix(l.ID, prefix) && l.Established {
+							up++
+						}
+					}
+				}
+				cl.Close()
+			}
+			if err != nil {
+				lastErr = fmt.Errorf("%s: %w", ingress, err)
+			}
+			missing += runtimeBatch - up
+		}
+		if missing == 0 {
+			fmt.Printf("runtime LSP batch converged: all %d established\n", runtimeBatch*len(targets))
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%d of %d runtime LSPs not established at the convergence bound (last error: %v)",
+				missing, runtimeBatch*len(targets), lastErr)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
 }
 
 // floodPlan parameterises one hostile sender.
@@ -446,6 +562,19 @@ func runChild(cfgPath, node, dead string, duration float64) int {
 	if b.Guard == nil {
 		log.Print("scenario has no guard section; the soak is pointless")
 		return 1
+	}
+
+	// Serve the management plane when the scenario maps this node to an
+	// address — exactly what mplsnode does — so the parent can provision
+	// runtime LSPs into the soak.
+	if addr := scenario.Transport.Mgmt[node]; addr != "" {
+		srv := mgmt.NewServer(b.Net)
+		mgmt.NewNode(b, cfgPath, &config.Overrides{}).Attach(srv)
+		if err := srv.Serve(addr); err != nil {
+			log.Print(err)
+			return 1
+		}
+		defer srv.Close()
 	}
 
 	deadSet := map[string]bool{}

@@ -1,0 +1,493 @@
+// mplsctl drives a fleet of mplsnode processes through their management
+// plane (internal/mgmt): JSON-RPC over TCP, one connection per node,
+// requests pipelined in batches. The cluster is named by the same
+// scenario file the nodes run — its transport mgmt map says who listens
+// where — or by a plain {"node":"host:port"} JSON object:
+//
+//	mplsctl -cluster scenario.json status
+//	mplsctl -cluster scenario.json -node a lsp provision -id burst -dst 10.9.0.1 -to c -count 100000
+//	mplsctl -cluster scenario.json lsp list
+//	mplsctl -cluster scenario.json -node a infobase
+//	mplsctl -cluster scenario.json scrape
+//	mplsctl -cluster scenario.json -node a guard set rate_pps=500,burst=64
+//	mplsctl -cluster scenario.json -node a reload
+//	mplsctl -cluster scenario.json watch drops
+//
+// Commands run against every node in the cluster unless -node narrows
+// the target. Exit status is non-zero if any node errored.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"embeddedmpls/internal/config"
+	"embeddedmpls/internal/mgmt"
+	"embeddedmpls/internal/packet"
+)
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: mplsctl -cluster <file> [-node NAME] [-json] <command>
+
+commands:
+  status                      node.status from each target node
+  lsp provision [flags]       signal LSPs at runtime (see lsp provision -h)
+  lsp teardown -id ID [-count N]
+  lsp list                    dump signalled LSPs
+  session list                dump signaling sessions
+  infobase [-level N]         dump label information bases (1=FTN, 2=ILM)
+  scrape                      Prometheus text exposition from each node
+  guard set <spec>            retune the admission guard ("rate_pps=500,burst=64")
+  reload [-path FILE]         re-load the scenario file, apply additive delta
+  watch drops [-interval D] [-n N]   poll drop counters, print deltas
+`)
+	os.Exit(2)
+}
+
+// cluster maps node names to management addresses, iterated in sorted
+// order so output and batch fan-out are deterministic.
+type cluster map[string]string
+
+func (c cluster) names() []string {
+	out := make([]string, 0, len(c))
+	for n := range c {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// loadCluster accepts either a full scenario file (management addresses
+// from transport.mgmt) or a bare {"node":"host:port"} map.
+func loadCluster(path string) (cluster, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bare map[string]string
+	if err := json.Unmarshal(raw, &bare); err == nil && len(bare) > 0 {
+		return cluster(bare), nil
+	}
+	s, err := config.Load(strings.NewReader(string(raw)))
+	if err != nil {
+		return nil, fmt.Errorf("%s is neither a node->addr map nor a scenario: %w", path, err)
+	}
+	if s.Transport == nil || len(s.Transport.Mgmt) == 0 {
+		return nil, fmt.Errorf("scenario %s has no transport mgmt map", path)
+	}
+	return cluster(s.Transport.Mgmt), nil
+}
+
+// ctl carries the resolved invocation context into each command.
+type ctl struct {
+	cluster cluster
+	node    string // -node narrowing, "" = all
+	rawJSON bool
+	timeout time.Duration
+	failed  bool
+}
+
+// targets resolves which nodes a command runs against.
+func (c *ctl) targets() []string {
+	if c.node != "" {
+		if _, ok := c.cluster[c.node]; !ok {
+			log.Fatalf("node %q is not in the cluster (have %v)", c.node, c.cluster.names())
+		}
+		return []string{c.node}
+	}
+	return c.cluster.names()
+}
+
+// dial connects to one node's management address.
+func (c *ctl) dial(node string) (*mgmt.Client, error) {
+	return mgmt.Dial(c.cluster[node], c.timeout)
+}
+
+// eachNode runs fn against every target node on its own connection,
+// reporting per-node failures without aborting the sweep.
+func (c *ctl) eachNode(fn func(node string, cl *mgmt.Client) error) {
+	for _, node := range c.targets() {
+		cl, err := c.dial(node)
+		if err != nil {
+			fmt.Printf("%s: %v\n", node, err)
+			c.failed = true
+			continue
+		}
+		if err := fn(node, cl); err != nil {
+			fmt.Printf("%s: %v\n", node, err)
+			c.failed = true
+		}
+		cl.Close()
+	}
+}
+
+// callEach performs the same no-param RPC on every target and hands the
+// decoded result to show.
+func callEach[T any](c *ctl, method string, show func(node string, res T)) {
+	c.eachNode(func(node string, cl *mgmt.Client) error {
+		if c.rawJSON {
+			var raw json.RawMessage
+			if err := cl.Call(method, nil, &raw); err != nil {
+				return err
+			}
+			fmt.Printf("%s\n", raw)
+			return nil
+		}
+		var res T
+		if err := cl.Call(method, nil, &res); err != nil {
+			return err
+		}
+		show(node, res)
+		return nil
+	})
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mplsctl: ")
+	clusterPath := flag.String("cluster", "", "scenario file or {\"node\":\"host:port\"} map naming the fleet (required)")
+	node := flag.String("node", "", "narrow commands to one node")
+	rawJSON := flag.Bool("json", false, "print raw JSON results instead of text")
+	timeout := flag.Duration("timeout", 5*time.Second, "TCP connect timeout per node")
+	flag.Usage = usage
+	flag.Parse()
+	if *clusterPath == "" || flag.NArg() == 0 {
+		usage()
+	}
+	cl, err := loadCluster(*clusterPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := &ctl{cluster: cl, node: *node, rawJSON: *rawJSON, timeout: *timeout}
+
+	args := flag.Args()
+	switch args[0] {
+	case "status":
+		c.status()
+	case "lsp":
+		if len(args) < 2 {
+			usage()
+		}
+		switch args[1] {
+		case "provision":
+			c.lspProvision(args[2:])
+		case "teardown":
+			c.lspTeardown(args[2:])
+		case "list":
+			c.lspList()
+		default:
+			usage()
+		}
+	case "session":
+		if len(args) < 2 || args[1] != "list" {
+			usage()
+		}
+		c.sessionList()
+	case "infobase":
+		c.infobase(args[1:])
+	case "scrape":
+		c.scrape()
+	case "guard":
+		if len(args) < 3 || args[1] != "set" {
+			usage()
+		}
+		c.guardSet(args[2])
+	case "reload":
+		c.reload(args[1:])
+	case "watch":
+		if len(args) < 2 || args[1] != "drops" {
+			usage()
+		}
+		c.watchDrops(args[2:])
+	default:
+		usage()
+	}
+	if c.failed {
+		os.Exit(1)
+	}
+}
+
+func (c *ctl) status() {
+	callEach(c, mgmt.StatusMethod, func(node string, st mgmt.StatusResult) {
+		state := "up"
+		if st.Draining {
+			state = "draining"
+		}
+		fmt.Printf("%s: %s t=%.3fs sessions %d/%d up, %d LSPs (%d ingress, %d established)\n",
+			node, state, st.SimTime, st.SessionsUp, st.Sessions, st.LSPs, st.Ingress, st.Established)
+	})
+}
+
+// lspProvision signals -count LSPs in one pipelined batch at their
+// ingress. With -count > 1 the id gains a -N suffix and the destination
+// address increments per LSP, so every generated LSP carries a distinct
+// FEC.
+func (c *ctl) lspProvision(args []string) {
+	fs := flag.NewFlagSet("lsp provision", flag.ExitOnError)
+	var l config.LSP
+	fs.StringVar(&l.ID, "id", "", "LSP id (suffixed -N when -count > 1; required)")
+	fs.StringVar(&l.Dst, "dst", "", "FEC destination, dotted quad (required; increments per LSP when -count > 1)")
+	fs.IntVar(&l.PrefixLen, "prefix-len", 0, "FEC prefix length (default 32)")
+	fs.StringVar(&l.From, "from", "", "ingress node (default: the -node target)")
+	fs.StringVar(&l.To, "to", "", "egress node (CSPF computes the path)")
+	path := fs.String("path", "", "explicit hop list, comma-separated (overrides -to)")
+	fs.Float64Var(&l.BandwidthMbps, "bandwidth", 0, "reserved bandwidth in Mbps")
+	cos := fs.Int("cos", 0, "class of service (0-7)")
+	fs.BoolVar(&l.PHP, "php", false, "penultimate-hop popping")
+	count := fs.Int("count", 1, "how many LSPs to provision in one batch")
+	fs.Parse(args)
+	l.CoS = uint8(*cos)
+	if *path != "" {
+		l.Path = strings.Split(*path, ",")
+	}
+	target := c.node
+	if target == "" {
+		target = l.From
+	}
+	if target == "" {
+		log.Fatal("lsp provision: need -node or -from to pick the ingress")
+	}
+	if l.ID == "" || l.Dst == "" {
+		log.Fatal("lsp provision: need -id and -dst")
+	}
+	base, err := config.ParseAddr(l.Dst)
+	if err != nil {
+		log.Fatalf("lsp provision: %v", err)
+	}
+	params := make([]any, *count)
+	for i := range params {
+		li := l
+		if *count > 1 {
+			li.ID = fmt.Sprintf("%s-%d", l.ID, i)
+			li.Dst = (base + packet.Addr(i)).String()
+		}
+		params[i] = li
+	}
+	cli, err := c.dial(target)
+	if err != nil {
+		log.Fatalf("%s: %v", target, err)
+	}
+	defer cli.Close()
+	start := time.Now()
+	results, err := cli.Batch("lsp.provision", params)
+	ok := 0
+	for _, r := range results {
+		if r != nil {
+			ok++
+		}
+	}
+	fmt.Printf("%s: %d/%d LSPs signalled in %v\n", target, ok, len(params), time.Since(start).Round(time.Millisecond))
+	if err != nil {
+		fmt.Printf("%s: first error: %v\n", target, err)
+		c.failed = true
+	}
+}
+
+func (c *ctl) lspTeardown(args []string) {
+	fs := flag.NewFlagSet("lsp teardown", flag.ExitOnError)
+	id := fs.String("id", "", "LSP id (required; -N suffixes when -count > 1)")
+	count := fs.Int("count", 1, "tear down id-0..id-N-1, matching a batched provision")
+	fs.Parse(args)
+	if *id == "" {
+		log.Fatal("lsp teardown: need -id")
+	}
+	if c.node == "" {
+		log.Fatal("lsp teardown: need -node to pick the ingress")
+	}
+	params := make([]any, *count)
+	for i := range params {
+		p := mgmt.TeardownParams{ID: *id}
+		if *count > 1 {
+			p.ID = fmt.Sprintf("%s-%d", *id, i)
+		}
+		params[i] = p
+	}
+	cli, err := c.dial(c.node)
+	if err != nil {
+		log.Fatalf("%s: %v", c.node, err)
+	}
+	defer cli.Close()
+	results, err := cli.Batch("lsp.teardown", params)
+	ok := 0
+	for _, r := range results {
+		if r != nil {
+			ok++
+		}
+	}
+	fmt.Printf("%s: %d/%d LSPs released\n", c.node, ok, len(params))
+	if err != nil {
+		fmt.Printf("%s: first error: %v\n", c.node, err)
+		c.failed = true
+	}
+}
+
+func (c *ctl) lspList() {
+	callEach(c, "lsp.list", func(node string, res mgmt.LSPListResult) {
+		fmt.Printf("%s: %d LSPs\n", node, len(res.LSPs))
+		for _, l := range res.LSPs {
+			state := "signalled"
+			switch {
+			case l.Pending:
+				state = "pending"
+			case l.Established:
+				state = "established"
+			}
+			fmt.Printf("  %s gen %d %s %s fec %s in %d out %d via %v\n",
+				l.ID, l.Gen, l.Role, state, l.FEC, l.InLabel, l.OutLabel, l.Route)
+		}
+	})
+}
+
+func (c *ctl) sessionList() {
+	callEach(c, "session.list", func(node string, res mgmt.SessionListResult) {
+		for _, s := range res.Sessions {
+			fmt.Printf("%s -> %s: %s\n", node, s.Peer, s.State)
+		}
+	})
+}
+
+func (c *ctl) infobase(args []string) {
+	fs := flag.NewFlagSet("infobase", flag.ExitOnError)
+	level := fs.Int("level", 0, "information-base level to dump (1=FTN, 2=ILM, 0=both)")
+	fs.Parse(args)
+	c.eachNode(func(node string, cl *mgmt.Client) error {
+		if c.rawJSON {
+			var raw json.RawMessage
+			if err := cl.Call("infobase.get", mgmt.InfobaseParams{Level: *level}, &raw); err != nil {
+				return err
+			}
+			fmt.Printf("%s\n", raw)
+			return nil
+		}
+		var res mgmt.InfobaseResult
+		if err := cl.Call("infobase.get", mgmt.InfobaseParams{Level: *level}, &res); err != nil {
+			return err
+		}
+		for _, lvl := range res.Levels {
+			kind := "FTN"
+			if lvl.Level == 2 {
+				kind = "ILM"
+			}
+			fmt.Printf("%s: level %d (%s), %d entries\n", node, lvl.Level, kind, len(lvl.Entries))
+			for _, e := range lvl.Entries {
+				key := e.FEC
+				if lvl.Level == 2 {
+					key = fmt.Sprintf("label %d", e.InLabel)
+				}
+				fmt.Printf("  %s -> %s %s %v", key, e.NextHop, e.Op, e.Labels)
+				if e.CoS != 0 {
+					fmt.Printf(" cos %d", e.CoS)
+				}
+				fmt.Println()
+			}
+		}
+		return nil
+	})
+}
+
+func (c *ctl) scrape() {
+	c.eachNode(func(node string, cl *mgmt.Client) error {
+		var res mgmt.ScrapeResult
+		if err := cl.Call("telemetry.scrape", nil, &res); err != nil {
+			return err
+		}
+		if c.rawJSON {
+			raw, _ := json.Marshal(res)
+			fmt.Printf("%s\n", raw)
+			return nil
+		}
+		fmt.Printf("# node %s\n%s", node, res.Text)
+		return nil
+	})
+}
+
+func (c *ctl) guardSet(spec string) {
+	c.eachNode(func(node string, cl *mgmt.Client) error {
+		var res mgmt.GuardSetResult
+		if err := cl.Call("guard.set", mgmt.GuardSetParams{Spec: spec}, &res); err != nil {
+			return err
+		}
+		if c.rawJSON {
+			raw, _ := json.Marshal(res)
+			fmt.Printf("%s\n", raw)
+			return nil
+		}
+		fmt.Printf("%s: guard updated\n", node)
+		return nil
+	})
+}
+
+func (c *ctl) reload(args []string) {
+	fs := flag.NewFlagSet("reload", flag.ExitOnError)
+	path := fs.String("path", "", "scenario file to load (default: the node's own path)")
+	fs.Parse(args)
+	c.eachNode(func(node string, cl *mgmt.Client) error {
+		var res mgmt.ReloadResult
+		if err := cl.Call("config.reload", mgmt.ReloadParams{Path: *path}, &res); err != nil {
+			return err
+		}
+		if c.rawJSON {
+			raw, _ := json.Marshal(res)
+			fmt.Printf("%s\n", raw)
+			return nil
+		}
+		r := res.Report
+		if r.Empty() {
+			fmt.Printf("%s: no changes\n", node)
+			return nil
+		}
+		fmt.Printf("%s: +%d LSPs %v, -%d LSPs %v, changed %v, +%d flows %v, guard=%v\n",
+			node, len(r.AddedLSPs), r.AddedLSPs, len(r.RemovedLSPs), r.RemovedLSPs,
+			r.ChangedLSPs, len(r.AddedFlows), r.AddedFlows, r.GuardUpdated)
+		for _, s := range r.Skipped {
+			fmt.Printf("%s: skipped: %s\n", node, s)
+		}
+		return nil
+	})
+}
+
+// watchDrops polls node.status across the fleet and prints per-reason
+// drop-count deltas as they happen — the fleet-wide "is anything
+// bleeding" view.
+func (c *ctl) watchDrops(args []string) {
+	fs := flag.NewFlagSet("watch drops", flag.ExitOnError)
+	interval := fs.Duration("interval", time.Second, "poll interval")
+	iters := fs.Int("n", 0, "stop after N polls (0 = until interrupted)")
+	fs.Parse(args)
+	prev := map[string]map[string]uint64{}
+	for i := 0; *iters == 0 || i < *iters; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+		}
+		c.eachNode(func(node string, cl *mgmt.Client) error {
+			var st mgmt.StatusResult
+			if err := cl.Call(mgmt.StatusMethod, nil, &st); err != nil {
+				return err
+			}
+			last := prev[node]
+			if last == nil {
+				last = map[string]uint64{}
+				prev[node] = last
+			}
+			reasons := make([]string, 0, len(st.Drops))
+			for r := range st.Drops {
+				reasons = append(reasons, r)
+			}
+			sort.Strings(reasons)
+			for _, r := range reasons {
+				total := st.Drops[r]
+				if d := total - last[r]; d > 0 || i == 0 {
+					fmt.Printf("t=%.3fs %s: %s +%d (total %d)\n", st.SimTime, node, r, total-last[r], total)
+				}
+				last[r] = total
+			}
+			return nil
+		})
+	}
+}

@@ -16,10 +16,18 @@
 //	mplsnode -config scenario.json -node a &
 //	mplsnode -config scenario.json -node b
 //
+// When the scenario's transport section maps this node to a management
+// address (or -mgmt is set), the process also serves the mplsctl RPC
+// surface: runtime LSP provisioning, infobase dumps, telemetry scrape,
+// guard retune and config reload — see internal/mgmt.
+//
 // Traffic generators run only on the process that owns their source
 // node; delivery statistics print on the process that owns the LSP
 // egress. The run lasts -duration wall-clock seconds (default: the
-// scenario duration plus half a second of drain slack).
+// scenario duration plus half a second of drain slack); SIGINT or
+// SIGTERM ends it early through the same graceful path — management
+// plane drains first (answering a final node.status), then the network
+// tears down.
 package main
 
 import (
@@ -27,55 +35,18 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"strconv"
-	"strings"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"embeddedmpls/internal/config"
-	"embeddedmpls/internal/telemetry"
+	"embeddedmpls/internal/mgmt"
 )
 
-// applyGuardOverrides folds a "key=value,key=value" -guard flag into the
-// scenario's guard section (creating one if the file has none), so a
-// node can be hardened — or loosened — without editing the shared file.
-func applyGuardOverrides(s *config.Scenario, spec string) error {
-	if s.Guard == nil {
-		s.Guard = &config.GuardSection{}
-	}
-	g := s.Guard
-	for _, kv := range strings.Split(spec, ",") {
-		kv = strings.TrimSpace(kv)
-		if kv == "" {
-			continue
-		}
-		k, v, ok := strings.Cut(kv, "=")
-		if !ok {
-			return fmt.Errorf("guard override %q is not key=value", kv)
-		}
-		var err error
-		switch k {
-		case "spoof_filter":
-			g.SpoofFilter, err = strconv.ParseBool(v)
-		case "ttl_min":
-			g.TTLMin, err = strconv.Atoi(v)
-		case "rate_pps":
-			g.RatePPS, err = strconv.ParseFloat(v, 64)
-		case "burst":
-			g.Burst, err = strconv.Atoi(v)
-		case "quarantine_threshold":
-			g.QuarantineThreshold, err = strconv.Atoi(v)
-		case "quarantine_window_s":
-			g.QuarantineWindowS, err = strconv.ParseFloat(v, 64)
-		case "quarantine_hold_s":
-			g.QuarantineHoldS, err = strconv.ParseFloat(v, 64)
-		default:
-			return fmt.Errorf("unknown guard key %q", k)
-		}
-		if err != nil {
-			return fmt.Errorf("guard override %q: %v", kv, err)
-		}
-	}
-	return nil
-}
+// drainWindow is how long the management listener keeps answering
+// node.status after the run ends, so a fleet controller polling the
+// node observes "draining" instead of a reset connection.
+const drainWindow = 200 * time.Millisecond
 
 func main() {
 	log.SetFlags(0)
@@ -83,13 +54,18 @@ func main() {
 	configPath := flag.String("config", "", "JSON scenario file with a transport section (required)")
 	node := flag.String("node", "", "name of the router this process runs (required)")
 	duration := flag.Float64("duration", 0, "wall-clock seconds to run (default scenario duration + 0.5s)")
-	coalesce := flag.Int("coalesce", 0, "packets per datagram on inter-process links (overrides scenario transport section)")
-	sysBatch := flag.Int("sysbatch", 0, "datagrams per send/receive syscall (overrides scenario transport section)")
-	guardSpec := flag.String("guard", "", `admission-guard overrides, "spoof_filter=true,ttl_min=2,rate_pps=1000,..." (merged over the scenario guard section)`)
+	mgmtAddr := flag.String("mgmt", "", "management-plane TCP listen address (default: this node's entry in the scenario's transport mgmt map; \"none\" disables)")
+	var ov config.Overrides
+	flag.IntVar(&ov.Coalesce, "coalesce", 0, "packets per datagram on inter-process links (overrides scenario transport section)")
+	flag.IntVar(&ov.SysBatch, "sysbatch", 0, "datagrams per send/receive syscall (overrides scenario transport section)")
+	flag.StringVar(&ov.Guard, "guard", "", `admission-guard overrides, "spoof_filter=true,ttl_min=2,rate_pps=1000,..." (merged over the scenario guard section)`)
 	flag.Parse()
 	if *configPath == "" || *node == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if err := ov.Validate(); err != nil {
+		log.Fatal(err)
 	}
 
 	f, err := os.Open(*configPath)
@@ -101,19 +77,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	if scenario.Transport != nil {
-		if *coalesce > 0 {
-			scenario.Transport.Coalesce = *coalesce
-		}
-		if *sysBatch > 0 {
-			scenario.Transport.SysBatch = *sysBatch
-		}
-	}
-	if *guardSpec != "" {
-		if err := applyGuardOverrides(scenario, *guardSpec); err != nil {
-			log.Fatal(err)
-		}
+	if err := ov.Apply(scenario); err != nil {
+		log.Fatal(err)
 	}
 
 	b, err := scenario.BuildNode(*node)
@@ -121,8 +86,6 @@ func main() {
 		log.Fatal(err)
 	}
 	defer b.Net.Close()
-	var drops telemetry.DropCounters
-	b.Net.SetTelemetry(telemetry.Sink{Drops: &drops})
 
 	// Narrate the control plane as it converges; the hooks run in the
 	// delivery path, under this node's network lock. BuildNode already
@@ -146,13 +109,50 @@ func main() {
 	}
 	b.Net.Unlock()
 
+	// Management plane: explicit flag wins, then the scenario's
+	// transport mgmt map; "none" (or neither source) runs without one.
+	addr := *mgmtAddr
+	if addr == "" && scenario.Transport != nil {
+		addr = scenario.Transport.Mgmt[*node]
+	}
+	var srv *mgmt.Server
+	if addr != "" && addr != "none" {
+		srv = mgmt.NewServer(b.Net)
+		mgmt.NewNode(b, *configPath, &ov).Attach(srv)
+		if err := srv.Serve(addr); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("node %s management on %s\n", *node, srv.Addr())
+	}
+
+	stop := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		fmt.Printf("node %s caught %v, shutting down\n", *node, sig)
+		close(stop)
+	}()
+
 	d := *duration
 	if d <= 0 {
 		d = scenario.DurationS + 0.5
 	}
 	fmt.Printf("node %s up (scenario %q, %.2fs, signaling to %v)\n",
 		*node, scenario.Name, d, b.Speaker.Peers())
-	b.Net.RunReal(d)
+	b.Net.RunRealStop(d, stop)
+
+	// Graceful shutdown ordering: the management plane goes first —
+	// flip to draining (new RPCs get CodeDraining, node.status still
+	// answers), hold the drain window open for controllers to read the
+	// final status, then close the listener and wait out in-flight
+	// requests. Only after that does the network tear down, so no RPC
+	// ever observes a half-destroyed node.
+	if srv != nil {
+		srv.Drain()
+		time.Sleep(drainWindow)
+		srv.Close()
+	}
 
 	b.Net.Lock()
 	defer b.Net.Unlock()
@@ -165,8 +165,8 @@ func main() {
 	}
 	fmt.Printf("  %v\n", b.Net.Wire)
 	fmt.Printf("  %v\n", b.Events)
-	if drops.Total() > 0 {
-		fmt.Printf("  %v\n", &drops)
+	if b.Drops.Total() > 0 {
+		fmt.Printf("  %v\n", b.Drops)
 	}
 	if b.Guard != nil {
 		fmt.Printf("  %v\n", b.Guard)

@@ -59,6 +59,12 @@ type TransportSection struct {
 	// (host:port). All of a node's neighbours must be listed so its
 	// process knows where to dial.
 	Nodes map[string]string `json:"nodes"`
+	// Mgmt maps node names to management-plane TCP listen addresses
+	// (host:port). A node listed here serves the mplsctl RPC surface
+	// (lsp provisioning, infobase dumps, telemetry scrape, config
+	// reload) on that address; nodes absent from the map run without a
+	// management listener.
+	Mgmt map[string]string `json:"mgmt,omitempty"`
 	// Coalesce packs up to this many packets into one datagram on
 	// every inter-process link (transport.WithCoalesce); 0 or 1 sends
 	// one datagram per packet.
@@ -310,6 +316,14 @@ func (s *Scenario) validate() error {
 				return fmt.Errorf("%w: transport node %q has no address", ErrValidation, name)
 			}
 		}
+		for name, addr := range t.Mgmt {
+			if !names[name] {
+				return fmt.Errorf("%w: transport mgmt lists unknown node %q", ErrValidation, name)
+			}
+			if addr == "" {
+				return fmt.Errorf("%w: transport mgmt node %q has no address", ErrValidation, name)
+			}
+		}
 		if t.Coalesce < 0 || t.Coalesce > transport.MaxFramePackets {
 			return fmt.Errorf("%w: transport coalesce %d (max %d)", ErrValidation, t.Coalesce, transport.MaxFramePackets)
 		}
@@ -423,6 +437,16 @@ type Built struct {
 	// Guard is set by BuildNode when the scenario has a guard section:
 	// the node's ingress admission guard, for telemetry inspection.
 	Guard *guard.Guard
+	// Drops is set by BuildNode: the node-level drop counters behind the
+	// network's telemetry sink. Callers may attach their own sink with
+	// Net.SetTelemetry instead, but the management plane's scrape
+	// handler reads these.
+	Drops *telemetry.DropCounters
+	// Registry is set by BuildNode: every mpls_* metric of the node —
+	// forwarding drops, control-plane events, guard rejections,
+	// transport counters, signaling message totals — registered for the
+	// Prometheus text exposition the management plane scrapes.
+	Registry *telemetry.Registry
 }
 
 // Build constructs the network, establishes tunnels and LSPs, installs
@@ -564,7 +588,15 @@ func (s *Scenario) BuildNode(name string) (*Built, error) {
 	if err != nil {
 		return nil, err
 	}
-	b := &Built{Scenario: s, Net: net, LocalNode: name, Events: &telemetry.EventCounters{}}
+	b := &Built{
+		Scenario:  s,
+		Net:       net,
+		LocalNode: name,
+		Events:    &telemetry.EventCounters{},
+		Drops:     &telemetry.DropCounters{},
+		Registry:  telemetry.NewRegistry(),
+	}
+	net.SetTelemetry(telemetry.Sink{Drops: b.Drops})
 
 	// The datagram's source-node id indexes the scenario's node order —
 	// the same table in every process, shared by transport framing and
@@ -596,6 +628,7 @@ func (s *Scenario) BuildNode(name string) (*Built, error) {
 		b.Guard = guard.New(gopts...)
 		net.SetGuard(b.Guard)
 	}
+	b.registerMetrics(name)
 
 	base := append(net.TransportOptions(), s.Transport.options()...)
 	rcv, err := transport.Listen(laddr, net.DeliverTo(name),
@@ -840,4 +873,41 @@ func (s *Scenario) generator(f Flow) (trafficgen.Generator, error) {
 func (b *Built) Run() netsim.Time {
 	b.Net.Sim.Run()
 	return b.Net.Sim.Now()
+}
+
+// registerMetrics populates the node's Registry with every mpls_*
+// series the management plane exposes via telemetry.scrape. Counter
+// values are read through callbacks at scrape time; the speaker's plain
+// counters are only read under the network lock, which the scrape
+// handler holds.
+func (b *Built) registerMetrics(name string) {
+	reg, labels := b.Registry, telemetry.Labels{"node": name}
+	reg.Drops("mpls_node_drops_total",
+		"Packets dropped by this node, by reason (forwarding, wire decode, admission).",
+		labels, b.Drops)
+	reg.Events("mpls_events_total",
+		"Control-plane fault and recovery events on this node.",
+		labels, b.Events)
+	b.Net.Wire.Register(reg, labels)
+	if b.Guard != nil {
+		b.Guard.RegisterMetrics(reg, name)
+	}
+	reg.Gauge("mpls_sim_time_seconds", "Node clock (wall-tracking in distributed mode).",
+		labels, func() float64 { return float64(b.Net.Sim.Now()) })
+	speakerCounter := func(read func(*signaling.Speaker) uint64) func() uint64 {
+		return func() uint64 {
+			if b.Speaker == nil {
+				return 0
+			}
+			return read(b.Speaker)
+		}
+	}
+	reg.Counter("mpls_signaling_tx_total", "Signaling messages sent.",
+		labels, speakerCounter(func(sp *signaling.Speaker) uint64 { return sp.Stats.Tx }))
+	reg.Counter("mpls_signaling_rx_total", "Signaling messages received and decoded.",
+		labels, speakerCounter(func(sp *signaling.Speaker) uint64 { return sp.Stats.Rx }))
+	reg.Counter("mpls_signaling_map_rx_total", "Label mappings received.",
+		labels, speakerCounter(func(sp *signaling.Speaker) uint64 { return sp.Stats.MapRx }))
+	reg.Counter("mpls_signaling_withdraw_rx_total", "Label withdraws received.",
+		labels, speakerCounter(func(sp *signaling.Speaker) uint64 { return sp.Stats.WithdrawRx }))
 }

@@ -1,0 +1,112 @@
+package config
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Overrides is the consolidated runtime-override surface: every knob a
+// node accepts outside its scenario file — CLI flags on mplsnode, the
+// management plane's guard.set and config.reload RPCs — is expressed as
+// one of these and folded into the scenario through the single Apply
+// merge path. Before the management plane existed, mplsnode carried a
+// bespoke parser per flag (-guard, -coalesce, -sysbatch); those parsers
+// are gone and everything converges here, so file config, CLI flags and
+// runtime RPCs cannot drift apart in how they mutate a scenario.
+type Overrides struct {
+	// Coalesce, when > 0, overrides the transport section's packets per
+	// datagram on inter-process links.
+	Coalesce int `json:"coalesce,omitempty"`
+	// SysBatch, when > 0, overrides the transport section's datagrams
+	// per send/receive syscall.
+	SysBatch int `json:"sys_batch,omitempty"`
+	// Guard holds "key=value,key=value" admission-guard assignments
+	// (spoof_filter, ttl_min, rate_pps, burst, quarantine_threshold,
+	// quarantine_window_s, quarantine_hold_s), merged over the
+	// scenario's guard section — only the keys present are touched, so
+	// "spoof_filter=false" is expressible and unmentioned knobs keep
+	// their file-configured values.
+	Guard string `json:"guard,omitempty"`
+}
+
+// Empty reports whether the overrides change nothing.
+func (o *Overrides) Empty() bool {
+	return o == nil || (o.Coalesce <= 0 && o.SysBatch <= 0 && o.Guard == "")
+}
+
+// Validate parses the override strings without touching any scenario,
+// so flag errors surface at startup rather than on first Apply.
+func (o *Overrides) Validate() error {
+	if o == nil {
+		return nil
+	}
+	var probe GuardSection
+	return applyGuardSpec(&probe, o.Guard)
+}
+
+// Apply folds the overrides into s: batching knobs onto the transport
+// section (when one exists) and guard assignments onto the guard
+// section (created when the spec names any key and the file has none).
+// This is the one merge path — mplsnode's flags at boot, guard.set and
+// config.reload at runtime all go through it.
+func (o *Overrides) Apply(s *Scenario) error {
+	if o == nil {
+		return nil
+	}
+	if s.Transport != nil {
+		if o.Coalesce > 0 {
+			s.Transport.Coalesce = o.Coalesce
+		}
+		if o.SysBatch > 0 {
+			s.Transport.SysBatch = o.SysBatch
+		}
+	}
+	if o.Guard != "" {
+		if s.Guard == nil {
+			s.Guard = &GuardSection{}
+		}
+		if err := applyGuardSpec(s.Guard, o.Guard); err != nil {
+			return err
+		}
+	}
+	return s.validate()
+}
+
+// applyGuardSpec assigns a "key=value,key=value" spec onto g. Only the
+// keys present in the spec are assigned.
+func applyGuardSpec(g *GuardSection, spec string) error {
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return fmt.Errorf("%w: guard override %q is not key=value", ErrValidation, kv)
+		}
+		var err error
+		switch k {
+		case "spoof_filter":
+			g.SpoofFilter, err = strconv.ParseBool(v)
+		case "ttl_min":
+			g.TTLMin, err = strconv.Atoi(v)
+		case "rate_pps":
+			g.RatePPS, err = strconv.ParseFloat(v, 64)
+		case "burst":
+			g.Burst, err = strconv.Atoi(v)
+		case "quarantine_threshold":
+			g.QuarantineThreshold, err = strconv.Atoi(v)
+		case "quarantine_window_s":
+			g.QuarantineWindowS, err = strconv.ParseFloat(v, 64)
+		case "quarantine_hold_s":
+			g.QuarantineHoldS, err = strconv.ParseFloat(v, 64)
+		default:
+			return fmt.Errorf("%w: unknown guard key %q", ErrValidation, k)
+		}
+		if err != nil {
+			return fmt.Errorf("%w: guard override %q: %v", ErrValidation, kv, err)
+		}
+	}
+	return nil
+}

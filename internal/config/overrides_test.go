@@ -1,0 +1,125 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+func loadScenario(t *testing.T, js string) *Scenario {
+	t.Helper()
+	s, err := Load(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+const overridesBase = `{
+  "name": "ov",
+  "duration_s": 1,
+  "nodes": [{"name": "a"}, {"name": "b"}],
+  "links": [{"a": "a", "b": "b", "rate_mbps": 10, "delay_ms": 0.1}],
+  "transport": {"kind": "udp", "coalesce": 2,
+    "nodes": {"a": "127.0.0.1:19001", "b": "127.0.0.1:19002"}},
+  "guard": {"spoof_filter": true, "rate_pps": 100}
+}`
+
+// TestOverridesApply checks the single merge path: batching knobs onto
+// the transport section, guard keys onto the guard section, untouched
+// keys preserved.
+func TestOverridesApply(t *testing.T) {
+	s := loadScenario(t, overridesBase)
+	o := &Overrides{Coalesce: 8, SysBatch: 16, Guard: "rate_pps=500,ttl_min=2"}
+	if o.Empty() {
+		t.Fatal("non-trivial overrides reported Empty")
+	}
+	if err := o.Apply(s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Transport.Coalesce != 8 || s.Transport.SysBatch != 16 {
+		t.Errorf("transport = %+v, want coalesce 8 sysbatch 16", s.Transport)
+	}
+	if s.Guard.RatePPS != 500 || s.Guard.TTLMin != 2 {
+		t.Errorf("guard = %+v, want rate_pps 500 ttl_min 2", s.Guard)
+	}
+	// Unmentioned guard keys keep their file-configured values.
+	if !s.Guard.SpoofFilter {
+		t.Error("override clobbered spoof_filter")
+	}
+}
+
+// TestOverridesZeroValuesLeaveScenarioAlone checks zero-valued knobs do
+// not zero out file configuration.
+func TestOverridesZeroValuesLeaveScenarioAlone(t *testing.T) {
+	s := loadScenario(t, overridesBase)
+	var o Overrides
+	if !o.Empty() {
+		t.Error("zero overrides not Empty")
+	}
+	if err := o.Apply(s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Transport.Coalesce != 2 {
+		t.Errorf("coalesce = %d, want the file's 2", s.Transport.Coalesce)
+	}
+	if s.Guard.RatePPS != 100 {
+		t.Errorf("rate_pps = %v, want the file's 100", s.Guard.RatePPS)
+	}
+	if err := (*Overrides)(nil).Apply(s); err != nil {
+		t.Errorf("nil overrides: %v", err)
+	}
+}
+
+// TestOverridesGuardCreatesSection applies a guard spec to a scenario
+// whose file has no guard section.
+func TestOverridesGuardCreatesSection(t *testing.T) {
+	s := loadScenario(t, overridesBase)
+	s.Guard = nil
+	o := &Overrides{Guard: "spoof_filter=true"}
+	if err := o.Apply(s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Guard == nil || !s.Guard.SpoofFilter {
+		t.Errorf("guard = %+v, want a created section with spoof_filter", s.Guard)
+	}
+	// Booleans are assignable both ways.
+	if err := (&Overrides{Guard: "spoof_filter=false"}).Apply(s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Guard.SpoofFilter {
+		t.Error("spoof_filter=false did not apply")
+	}
+}
+
+// TestOverridesRejectBadSpecs checks Validate and Apply agree on what a
+// bad spec is.
+func TestOverridesRejectBadSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"nonsense",      // not key=value
+		"bogus_key=1",   // unknown key
+		"rate_pps=fast", // unparseable value
+		"ttl_min=not-an-int",
+	} {
+		o := &Overrides{Guard: spec}
+		if err := o.Validate(); err == nil {
+			t.Errorf("Validate(%q) passed", spec)
+		}
+		s := loadScenario(t, overridesBase)
+		if err := o.Apply(s); err == nil {
+			t.Errorf("Apply(%q) passed", spec)
+		}
+	}
+}
+
+// TestOverridesNoTransportSection applies batching overrides to a
+// scenario without a transport section — they are a no-op, not a panic.
+func TestOverridesNoTransportSection(t *testing.T) {
+	s := loadScenario(t, overridesBase)
+	s.Transport = nil
+	if err := (&Overrides{Coalesce: 4, SysBatch: 8}).Apply(s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Transport != nil {
+		t.Error("Apply invented a transport section")
+	}
+}

@@ -1,0 +1,322 @@
+package config
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// reloadScenario renders the reload-test line topology. extraLSPs,
+// extraFlows and guard are JSON fragments spliced into the respective
+// arrays/sections ("" for none).
+func reloadScenario(addrs []string, extraLSP, extraFlow, guard string) string {
+	if extraLSP != "" {
+		extraLSP = ", " + extraLSP
+	}
+	if extraFlow != "" {
+		extraFlow = ", " + extraFlow
+	}
+	if guard != "" {
+		guard = `, "guard": ` + guard
+	}
+	return fmt.Sprintf(`{
+  "name": "reload-test",
+  "duration_s": 2,
+  "nodes": [{"name": "in"}, {"name": "core"}, {"name": "out"}],
+  "links": [
+    {"a": "in", "b": "core", "rate_mbps": 10, "delay_ms": 0.1},
+    {"a": "core", "b": "out", "rate_mbps": 10, "delay_ms": 0.1}
+  ],
+  "lsps": [
+    {"id": "l1", "dst": "10.0.0.9", "path": ["in", "core", "out"]}%s
+  ],
+  "flows": [
+    {"id": 1, "kind": "cbr", "from": "in", "dst": "10.0.0.9",
+     "size_bytes": 256, "interval_ms": 5}%s
+  ],
+  "transport": {"kind": "udp", "nodes": {"in": %q, "core": %q, "out": %q}}%s
+}`, extraLSP, extraFlow, addrs[0], addrs[1], addrs[2], guard)
+}
+
+// TestApplyDeltaLive runs the three-node line over real loopback
+// sockets and reloads the ingress mid-run with a scenario that adds an
+// LSP, a flow riding it, and a guard section. The added flow must
+// deliver end to end — through the runtime-signalled LSP — without any
+// restart.
+func TestApplyDeltaLive(t *testing.T) {
+	addrs := loopbackAddrs(t, 3)
+	s := loadScenario(t, reloadScenario(addrs, "", "", ""))
+	next := loadScenario(t, reloadScenario(addrs,
+		`{"id": "l2", "dst": "10.0.0.8", "path": ["in", "core", "out"]}`,
+		`{"id": 2, "kind": "cbr", "from": "in", "dst": "10.0.0.8", "size_bytes": 256, "interval_ms": 5}`,
+		`{"rate_pps": 50000}`))
+
+	names := []string{"in", "core", "out"}
+	built := map[string]*Built{}
+	for _, name := range names {
+		b, err := s.BuildNode(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer b.Net.Close()
+		built[name] = b
+	}
+	in, out := built["in"], built["out"]
+
+	var wg sync.WaitGroup
+	var rep *ReloadReport
+	var repErr error
+	for _, name := range names {
+		wg.Add(1)
+		go func(b *Built) {
+			defer wg.Done()
+			b.Net.RunReal(2.3)
+		}(built[name])
+	}
+	// Let sessions converge and l1 establish, then reload the ingress
+	// while every node keeps forwarding.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(800 * time.Millisecond)
+		in.Net.Lock()
+		rep, repErr = in.ApplyDelta(next)
+		in.Net.Unlock()
+	}()
+	wg.Wait()
+
+	if repErr != nil {
+		t.Fatalf("ApplyDelta: %v", repErr)
+	}
+	if strings.Join(rep.AddedLSPs, ",") != "l2" {
+		t.Errorf("AddedLSPs = %v, want [l2]", rep.AddedLSPs)
+	}
+	if len(rep.AddedFlows) != 1 || rep.AddedFlows[0] != 2 {
+		t.Errorf("AddedFlows = %v, want [2]", rep.AddedFlows)
+	}
+	if !rep.GuardUpdated {
+		t.Error("GuardUpdated = false, want the section to arm a guard")
+	}
+	if len(rep.Skipped) != 0 {
+		t.Errorf("Skipped = %v, want none", rep.Skipped)
+	}
+	in.Net.Lock()
+	if in.Guard == nil {
+		t.Error("reload did not arm the guard")
+	}
+	if in.Scenario != next {
+		t.Error("reload did not adopt the new scenario")
+	}
+	lsps := in.Speaker.List()
+	in.Net.Unlock()
+	found := false
+	for _, l := range lsps {
+		if l.ID == "l2" && l.Established {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("l2 never established: %+v", lsps)
+	}
+
+	in.Net.Lock()
+	sent := in.Collector.Flow(2).Sent.Events
+	in.Net.Unlock()
+	out.Net.Lock()
+	delivered := out.Collector.Flow(2).Delivered.Events
+	out.Net.Unlock()
+	if sent == 0 {
+		t.Fatal("added flow generated nothing")
+	}
+	if delivered == 0 {
+		t.Fatalf("added flow delivered nothing of %d sent", sent)
+	}
+	t.Logf("added flow: %d sent, %d delivered through the runtime LSP", sent, delivered)
+}
+
+// TestApplyDeltaStructuralSkips changes topology, transport and running
+// flows; every one must be reported, none applied.
+func TestApplyDeltaStructuralSkips(t *testing.T) {
+	addrs := loopbackAddrs(t, 3)
+	s := loadScenario(t, reloadScenario(addrs, "", "", ""))
+	b, err := s.BuildNode("in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Net.Close()
+
+	next := loadScenario(t, reloadScenario(addrs, "", "", ""))
+	next.Links[0].RateMbps = 99   // topology change
+	next.Transport.Coalesce = 7   // wiring change
+	next.Flows[0].IntervalMs = 50 // running generator change
+	b.Net.Lock()
+	rep, err := b.ApplyDelta(next)
+	b.Net.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Skipped) != 3 {
+		t.Fatalf("Skipped = %v, want 3 entries", rep.Skipped)
+	}
+	for _, want := range []string{"links", "transport", "flow 1"} {
+		ok := false
+		for _, got := range rep.Skipped {
+			if strings.Contains(got, want) {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("Skipped %v does not mention %s", rep.Skipped, want)
+		}
+	}
+	if len(rep.AddedLSPs)+len(rep.ChangedLSPs)+len(rep.RemovedLSPs) != 0 {
+		t.Errorf("structural reload touched LSPs: %+v", rep)
+	}
+	// Idempotence: reloading what is now current is a no-op... except
+	// the flow-change skip persists, because the running generator still
+	// differs from the file.
+	b.Net.Lock()
+	rep2, err := b.ApplyDelta(next)
+	b.Net.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.AddedLSPs) != 0 || len(rep2.AddedFlows) != 0 || rep2.GuardUpdated {
+		t.Errorf("second reload applied changes: %+v", rep2)
+	}
+}
+
+// TestApplyDeltaRemovesLSP drops an LSP from the file and expects the
+// ingress to tear it down.
+func TestApplyDeltaRemovesLSP(t *testing.T) {
+	addrs := loopbackAddrs(t, 3)
+	s := loadScenario(t, reloadScenario(addrs,
+		`{"id": "l2", "dst": "10.0.0.8", "path": ["in", "core", "out"]}`, "", ""))
+	b, err := s.BuildNode("in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Net.Close()
+	next := loadScenario(t, reloadScenario(addrs, "", "", ""))
+	b.Net.Lock()
+	rep, err := b.ApplyDelta(next)
+	b.Net.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(rep.RemovedLSPs, ",") != "l2" {
+		t.Errorf("RemovedLSPs = %v, want [l2]", rep.RemovedLSPs)
+	}
+	b.Net.Lock()
+	lsps := b.Speaker.List()
+	b.Net.Unlock()
+	for _, l := range lsps {
+		if l.ID == "l2" {
+			t.Errorf("l2 still present after removal reload: %+v", l)
+		}
+	}
+}
+
+// TestApplyDeltaChangesLSP edits an LSP's declaration and expects a
+// make-before-break re-signal.
+func TestApplyDeltaChangesLSP(t *testing.T) {
+	addrs := loopbackAddrs(t, 3)
+	s := loadScenario(t, reloadScenario(addrs, "", "", ""))
+	b, err := s.BuildNode("in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Net.Close()
+	next := loadScenario(t, reloadScenario(addrs, "", "", ""))
+	next.LSPs[0].CoS = 5
+	b.Net.Lock()
+	rep, err := b.ApplyDelta(next)
+	b.Net.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(rep.ChangedLSPs, ",") != "l1" {
+		t.Errorf("ChangedLSPs = %v, want [l1]", rep.ChangedLSPs)
+	}
+}
+
+// TestSetGuardSpecArmsAndMerges checks the guard.set path: arming a
+// guard on a node that booted open, then merging a second spec over the
+// stored section.
+func TestSetGuardSpecArmsAndMerges(t *testing.T) {
+	addrs := loopbackAddrs(t, 3)
+	s := loadScenario(t, reloadScenario(addrs, "", "", ""))
+	b, err := s.BuildNode("in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Net.Close()
+	if b.Guard != nil {
+		t.Fatal("node booted with a guard despite no section")
+	}
+	b.Net.Lock()
+	g, err := b.SetGuardSpec("rate_pps=100")
+	b.Net.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.RatePPS != 100 {
+		t.Errorf("returned section = %+v", g)
+	}
+	if b.Guard == nil {
+		t.Fatal("guard.set did not arm a guard")
+	}
+	if got := b.Guard.DefaultPolicy().RatePPS; got != 100 {
+		t.Errorf("armed RatePPS = %v, want 100", got)
+	}
+	// Second spec merges over the stored section: rate survives.
+	b.Net.Lock()
+	g, err = b.SetGuardSpec("ttl_min=3")
+	b.Net.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.RatePPS != 100 || g.TTLMin != 3 {
+		t.Errorf("merged section = %+v, want rate_pps 100 ttl_min 3", g)
+	}
+	pol := b.Guard.DefaultPolicy()
+	if pol.RatePPS != 100 || pol.MinTTL != 3 {
+		t.Errorf("retuned policy = %+v", pol)
+	}
+	// A bad spec leaves the stored section untouched.
+	b.Net.Lock()
+	_, err = b.SetGuardSpec("bogus=1")
+	b.Net.Unlock()
+	if err == nil {
+		t.Fatal("bad spec accepted")
+	}
+	if b.Scenario.Guard.TTLMin != 3 {
+		t.Errorf("bad spec corrupted the stored section: %+v", b.Scenario.Guard)
+	}
+}
+
+// TestProvisionLSPValidation checks the RPC-path provisioner rejects
+// what it must.
+func TestProvisionLSPValidation(t *testing.T) {
+	addrs := loopbackAddrs(t, 3)
+	s := loadScenario(t, reloadScenario(addrs, "", "", ""))
+	b, err := s.BuildNode("in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Net.Close()
+	b.Net.Lock()
+	defer b.Net.Unlock()
+	if err := b.ProvisionLSP(LSP{ID: "x", Dst: "10.0.0.7", Path: []string{"core", "out"}}); err == nil {
+		t.Error("provision of a foreign-ingress LSP accepted")
+	}
+	if err := b.ProvisionLSP(LSP{ID: "x", Dst: "not-an-addr", To: "out"}); err == nil {
+		t.Error("provision with junk dst accepted")
+	}
+	// CSPF-routed with From defaulted to the local node.
+	if err := b.ProvisionLSP(LSP{ID: "x", Dst: "10.0.0.7", To: "out"}); err != nil {
+		t.Errorf("CSPF provision: %v", err)
+	}
+}

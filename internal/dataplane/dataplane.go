@@ -336,6 +336,15 @@ func (e *Engine) RemoveFEC(dst packet.Addr, prefixLen int) {
 	_ = e.Update(func(f *swmpls.Forwarder) error { f.RemoveFEC(dst, prefixLen); return nil })
 }
 
+// TableSnapshot returns the engine's current forwarding-table
+// snapshot. The snapshot is immutable once published (updates clone
+// and replace it), so callers may read it — including the dump
+// methods ILMEntries/FECEntries — without any synchronisation against
+// forwarding or table programming.
+func (e *Engine) TableSnapshot() *swmpls.Forwarder {
+	return e.table.Load()
+}
+
 // forward applies the full label program to one packet against a table
 // snapshot. Like the router's engine loop, one packet may need several
 // passes (a tunnel tail pops, then re-examines the inner label);

@@ -424,6 +424,58 @@ func (g *Guard) Advertised(peer string, l label.Label) bool {
 	return ok
 }
 
+// SetDefaultPolicy replaces the default admission policy at runtime —
+// the guard.set RPC path. Peers without a per-link override retune to
+// the new policy in place: their advertised label sets and any open
+// quarantine hold survive, only the knobs change.
+func (g *Guard) SetDefaultPolicy(p Policy) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.cfg.def = p
+	for peer, st := range g.links {
+		if _, override := g.cfg.links[peer]; override {
+			continue
+		}
+		st.retune(p, g.cfg.now())
+	}
+}
+
+// SetLinkPolicy sets (or replaces) the per-link override for one
+// inbound peer at runtime, retuning existing state in place.
+func (g *Guard) SetLinkPolicy(peer string, p Policy) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.cfg.links[peer] = p
+	if st, ok := g.links[peer]; ok {
+		st.retune(p, g.cfg.now())
+	} else {
+		g.links[peer] = newLinkState(p, g.cfg.now())
+	}
+}
+
+// DefaultPolicy returns the current default admission policy (as
+// configured, before per-link defaults are applied).
+func (g *Guard) DefaultPolicy() Policy {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cfg.def
+}
+
+// retune swaps a live link's policy without discarding learned state:
+// the advertised set and quarantine bookkeeping carry over. The token
+// bucket refills from scratch when rate limiting turns on, and is
+// capped to the new burst when it shrinks. Callers hold g.mu.
+func (st *linkState) retune(p Policy, now float64) {
+	prev := st.pol
+	st.pol = p.withDefaults()
+	switch {
+	case prev.RatePPS <= 0 && st.pol.RatePPS > 0:
+		st.tokens, st.lastRefill = float64(st.pol.Burst), now
+	case st.tokens > float64(st.pol.Burst):
+		st.tokens = float64(st.pol.Burst)
+	}
+}
+
 // RegisterMetrics exposes the guard's drop counters on reg as
 // mpls_guard_drops_total{node=...,reason=...}.
 func (g *Guard) RegisterMetrics(reg *telemetry.Registry, node string) {

@@ -1,0 +1,119 @@
+package guard
+
+import "testing"
+
+// TestRetuneEnablesRateLimit arms a rate limit on a guard built without
+// one: the bucket must start full (a retune is not a penalty) and then
+// actually limit.
+func TestRetuneEnablesRateLimit(t *testing.T) {
+	clk := &manualClock{}
+	g := New(WithClock(clk.now))
+	g.Advertise("b", 100)
+	if !g.Admit(labelled(t, 100, 0, 64), "b") {
+		t.Fatal("unlimited guard rejected a clean packet")
+	}
+
+	g.SetDefaultPolicy(Policy{RatePPS: 1, Burst: 2})
+	admitted := 0
+	for i := 0; i < 5; i++ {
+		if g.Admit(labelled(t, 100, 0, 64), "b") {
+			admitted++
+		}
+	}
+	if admitted != 2 {
+		t.Errorf("admitted %d of 5 at burst 2, want 2", admitted)
+	}
+	// Refill: one token per second.
+	clk.advance(1)
+	if !g.Admit(labelled(t, 100, 0, 64), "b") {
+		t.Error("no admit after a full refill interval")
+	}
+}
+
+// TestRetuneShrinkingBurstCapsTokens shrinks the burst and expects the
+// bucket clamped, not left holding the old credit.
+func TestRetuneShrinkingBurstCapsTokens(t *testing.T) {
+	clk := &manualClock{}
+	g := New(WithClock(clk.now), WithDefaultPolicy(Policy{RatePPS: 1, Burst: 100}))
+	g.Advertise("b", 100)
+	// Touch the link state so the bucket exists at 100 tokens.
+	if !g.Admit(labelled(t, 100, 0, 64), "b") {
+		t.Fatal("first packet rejected")
+	}
+	g.SetDefaultPolicy(Policy{RatePPS: 1, Burst: 2})
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if g.Admit(labelled(t, 100, 0, 64), "b") {
+			admitted++
+		}
+	}
+	if admitted != 2 {
+		t.Errorf("admitted %d of 10 after shrink to burst 2, want 2", admitted)
+	}
+}
+
+// TestRetunePreservesAdvertisedAndQuarantine checks a retune keeps the
+// label filter state: advertised labels stay admitted and a
+// quarantined peer stays quarantined until its hold expires.
+func TestRetunePreservesAdvertisedAndQuarantine(t *testing.T) {
+	clk := &manualClock{}
+	g := New(
+		WithClock(clk.now),
+		WithDefaultPolicy(Policy{QuarantineThreshold: 2, QuarantineWindow: 1, QuarantineHold: 10}),
+	)
+	g.Advertise("b", 100)
+	g.Malformed("b")
+	g.Malformed("b")
+	if !g.Quarantined("b") {
+		t.Fatal("peer not quarantined after threshold malformed frames")
+	}
+
+	g.SetLinkPolicy("b", Policy{RatePPS: 1000, Burst: 100, QuarantineThreshold: 2, QuarantineWindow: 1, QuarantineHold: 10})
+	if !g.Quarantined("b") {
+		t.Error("retune cleared quarantine")
+	}
+	if !g.Advertised("b", 100) {
+		t.Error("retune dropped the advertised label")
+	}
+	// Past the hold the peer recovers and the new rate policy governs.
+	clk.advance(11)
+	if g.Quarantined("b") {
+		t.Error("quarantine did not expire")
+	}
+	if !g.Admit(labelled(t, 100, 0, 64), "b") {
+		t.Error("advertised label rejected after quarantine expiry")
+	}
+}
+
+// TestSetLinkPolicyCreatesState retunes a peer the guard has never seen
+// and expects the override to stick.
+func TestSetLinkPolicyCreatesState(t *testing.T) {
+	clk := &manualClock{}
+	g := New(WithClock(clk.now))
+	g.SetLinkPolicy("new-peer", Policy{MinTTL: 5})
+	g.Advertise("new-peer", 100)
+	if !g.Admit(labelled(t, 100, 0, 8), "new-peer") {
+		t.Error("TTL 8 rejected with floor 5")
+	}
+	if g.Admit(labelled(t, 100, 0, 2), "new-peer") {
+		t.Error("TTL 2 admitted with floor 5")
+	}
+}
+
+// TestDefaultPolicyReadback checks SetDefaultPolicy round-trips
+// as-configured through DefaultPolicy, while link state runs with
+// defaults applied.
+func TestDefaultPolicyReadback(t *testing.T) {
+	g := New()
+	g.SetDefaultPolicy(Policy{RatePPS: 250})
+	got := g.DefaultPolicy()
+	if got.RatePPS != 250 {
+		t.Errorf("RatePPS = %v, want 250", got.RatePPS)
+	}
+	if got.Burst != 0 {
+		t.Errorf("Burst = %d, want 0 (as configured, defaults apply per link)", got.Burst)
+	}
+	if eff := got.withDefaults(); eff.Burst <= 0 {
+		t.Errorf("effective Burst = %d, want a positive default", eff.Burst)
+	}
+}

@@ -1,0 +1,137 @@
+package mgmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Client speaks the management protocol over one TCP connection.
+// Responses arrive in request order, so Call is a write-then-read and
+// Batch pipelines many requests before reading any response. A Client
+// is not safe for concurrent use; mplsctl runs one per node.
+type Client struct {
+	conn   net.Conn
+	w      *bufio.Writer
+	sc     *bufio.Scanner
+	nextID uint64
+}
+
+// Dial connects to a node's management address. timeout bounds the
+// TCP connect; zero means no bound.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("mgmt: dial %s: %w", addr, err)
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 4096), maxLine)
+	return &Client{conn: conn, w: bufio.NewWriter(conn), sc: sc}, nil
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Call performs one RPC: params is marshalled into the request,
+// the response's result is unmarshalled into result (when non-nil).
+// An error envelope comes back as *Error.
+func (c *Client) Call(method string, params, result any) error {
+	id, err := c.send(method, params)
+	if err != nil {
+		return err
+	}
+	if err := c.w.Flush(); err != nil {
+		return fmt.Errorf("mgmt: %s: %w", method, err)
+	}
+	raw, err := c.recv(id, method)
+	if err != nil {
+		return err
+	}
+	if result == nil || raw == nil {
+		return nil
+	}
+	if err := json.Unmarshal(raw, result); err != nil {
+		return fmt.Errorf("mgmt: %s: decoding result: %w", method, err)
+	}
+	return nil
+}
+
+// Batch pipelines one request per element of params under the same
+// method, then reads every response. It returns the raw results in
+// request order; the first error envelope aborts and is returned (the
+// remaining responses are drained so the connection stays usable).
+func (c *Client) Batch(method string, params []any) ([]json.RawMessage, error) {
+	ids := make([]uint64, len(params))
+	for i, p := range params {
+		id, err := c.send(method, p)
+		if err != nil {
+			return nil, err
+		}
+		ids[i] = id
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, fmt.Errorf("mgmt: %s: %w", method, err)
+	}
+	out := make([]json.RawMessage, len(params))
+	var firstErr error
+	for i, id := range ids {
+		raw, err := c.recv(id, method)
+		if err != nil {
+			if _, isEnvelope := err.(*Error); !isEnvelope {
+				return nil, err // transport failure: connection is gone
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		out[i] = raw
+	}
+	if firstErr != nil {
+		return out, firstErr
+	}
+	return out, nil
+}
+
+func (c *Client) send(method string, params any) (uint64, error) {
+	c.nextID++
+	req := Request{V: Version, ID: c.nextID, Method: method}
+	if params != nil {
+		raw, err := json.Marshal(params)
+		if err != nil {
+			return 0, fmt.Errorf("mgmt: %s: encoding params: %w", method, err)
+		}
+		req.Params = raw
+	}
+	line, err := json.Marshal(&req)
+	if err != nil {
+		return 0, fmt.Errorf("mgmt: %s: %w", method, err)
+	}
+	line = append(line, '\n')
+	if _, err := c.w.Write(line); err != nil {
+		return 0, fmt.Errorf("mgmt: %s: %w", method, err)
+	}
+	return req.ID, nil
+}
+
+func (c *Client) recv(id uint64, method string) (json.RawMessage, error) {
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return nil, fmt.Errorf("mgmt: %s: %w", method, err)
+		}
+		return nil, fmt.Errorf("mgmt: %s: connection closed", method)
+	}
+	var resp Response
+	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		return nil, fmt.Errorf("mgmt: %s: decoding response: %w", method, err)
+	}
+	if resp.ID != id {
+		return nil, fmt.Errorf("mgmt: %s: response id %d, want %d", method, resp.ID, id)
+	}
+	if resp.Error != nil {
+		return nil, resp.Error
+	}
+	return resp.Result, nil
+}

@@ -1,0 +1,169 @@
+package mgmt
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"embeddedmpls/internal/config"
+	"embeddedmpls/internal/signaling"
+)
+
+var update = flag.Bool("update", false, "rewrite golden fixtures")
+
+// goldenServer serves every management method with fixed, fully
+// deterministic results shaped by the real result types, so the
+// fixtures pin both the envelope and the per-method payload schema on
+// the wire. A handler change that alters any JSON shape fails here
+// before it breaks a fleet controller.
+func goldenServer(t *testing.T) *Server {
+	t.Helper()
+	s := NewServer(nil)
+	s.Register(StatusMethod, func(json.RawMessage) (any, error) {
+		return StatusResult{
+			Node: "in", SimTime: 1.5,
+			Sessions: 2, SessionsUp: 2,
+			LSPs: 3, Ingress: 2, Established: 2,
+			Drops:      map[string]uint64{"ttl_expired": 4},
+			GuardDrops: map[string]uint64{"guard_rate": 17},
+			Methods:    []string{"lsp.list", "node.status"},
+		}, nil
+	})
+	s.Register("lsp.provision", func(json.RawMessage) (any, error) {
+		return ProvisionResult{ID: "l9", Signalled: true}, nil
+	})
+	s.Register("lsp.teardown", func(json.RawMessage) (any, error) {
+		return map[string]any{"id": "l9", "released": true}, nil
+	})
+	s.Register("lsp.list", func(json.RawMessage) (any, error) {
+		return LSPListResult{Node: "in", LSPs: []signaling.LSPInfo{{
+			ID: "l9", Gen: 2, Role: "ingress", FEC: "10.9.0.1/32",
+			Route: []string{"in", "core", "out"}, Established: true,
+			OutLabel: 1037, Downstream: "core", Bandwidth: 1e6,
+		}}}, nil
+	})
+	s.Register("session.list", func(json.RawMessage) (any, error) {
+		return SessionListResult{Node: "in", Sessions: []signaling.SessionInfo{
+			{Peer: "core", State: "operational", Up: true},
+		}}, nil
+	})
+	s.Register("infobase.get", func(json.RawMessage) (any, error) {
+		return InfobaseResult{Node: "in", Levels: []InfobaseLevel{
+			{Level: 1, Entries: []InfobaseEntry{{
+				FEC: "10.9.0.1/32", NextHop: "core", Op: "push", Labels: []uint32{1037}, CoS: 5,
+			}}},
+			{Level: 2, Entries: []InfobaseEntry{{
+				InLabel: 1044, NextHop: "core", Op: "swap", Labels: []uint32{1037},
+			}}},
+		}}, nil
+	})
+	s.Register("telemetry.scrape", func(json.RawMessage) (any, error) {
+		return ScrapeResult{Text: "# TYPE mpls_node_drops_total counter\nmpls_node_drops_total{node=\"in\",reason=\"ttl_expired\"} 4\n"}, nil
+	})
+	s.Register("guard.set", func(json.RawMessage) (any, error) {
+		return GuardSetResult{Node: "in", Guard: &config.GuardSection{RatePPS: 500, Burst: 64}}, nil
+	})
+	s.Register("config.reload", func(json.RawMessage) (any, error) {
+		return ReloadResult{Node: "in", Path: "scenario.json", Report: &config.ReloadReport{
+			AddedLSPs:  []string{"l2"},
+			AddedFlows: []uint16{2},
+			Skipped:    []string{"links: topology changes need a restart"},
+		}}, nil
+	})
+	if err := s.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestGoldenFixtures replays one canonical request per method against
+// the golden server and compares the exact wire bytes of both
+// directions with testdata. Regenerate with: go test ./internal/mgmt
+// -run Golden -update
+func TestGoldenFixtures(t *testing.T) {
+	requests := []struct {
+		name   string
+		method string
+		params any
+	}{
+		{"node_status", StatusMethod, nil},
+		{"lsp_provision", "lsp.provision", config.LSP{
+			ID: "l9", Dst: "10.9.0.1", Path: []string{"in", "core", "out"}, BandwidthMbps: 1, CoS: 5,
+		}},
+		{"lsp_teardown", "lsp.teardown", TeardownParams{ID: "l9"}},
+		{"lsp_list", "lsp.list", nil},
+		{"session_list", "session.list", nil},
+		{"infobase_get", "infobase.get", InfobaseParams{}},
+		{"telemetry_scrape", "telemetry.scrape", nil},
+		{"guard_set", "guard.set", GuardSetParams{Spec: "rate_pps=500,burst=64"}},
+		{"config_reload", "config.reload", ReloadParams{Path: "scenario.json"}},
+	}
+	s := goldenServer(t)
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	rd := bufio.NewScanner(conn)
+	rd.Buffer(make([]byte, 4096), maxLine)
+
+	for i, req := range requests {
+		t.Run(req.name, func(t *testing.T) {
+			reqPath := filepath.Join("testdata", req.name+".request.json")
+			respPath := filepath.Join("testdata", req.name+".response.json")
+
+			var line []byte
+			if *update {
+				env := Request{V: Version, ID: uint64(i + 1), Method: req.method}
+				if req.params != nil {
+					raw, err := json.Marshal(req.params)
+					if err != nil {
+						t.Fatal(err)
+					}
+					env.Params = raw
+				}
+				line, err = json.Marshal(&env)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(reqPath, append(line, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				line, err = os.ReadFile(reqPath)
+				if err != nil {
+					t.Fatalf("%v (regenerate with -update)", err)
+				}
+				line = bytes.TrimRight(line, "\n")
+			}
+
+			if _, err := conn.Write(append(line, '\n')); err != nil {
+				t.Fatal(err)
+			}
+			if !rd.Scan() {
+				t.Fatalf("no response: %v", rd.Err())
+			}
+			got := append([]byte{}, rd.Bytes()...)
+
+			if *update {
+				if err := os.WriteFile(respPath, append(got, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(respPath)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update)", err)
+			}
+			if !bytes.Equal(got, bytes.TrimRight(want, "\n")) {
+				t.Errorf("wire response drifted from fixture.\ngot:  %s\nwant: %s", got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,389 @@
+package mgmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"embeddedmpls/internal/config"
+	"embeddedmpls/internal/signaling"
+	"embeddedmpls/internal/telemetry"
+)
+
+// Node adapts one built distributed node (config.BuildNode's output)
+// to the RPC surface: every handler below closes over the same Built
+// the daemon runs, so RPCs mutate the live speaker, guard and tables —
+// there is no shadow state to drift.
+type Node struct {
+	B *config.Built
+	// ScenarioPath is the file config.reload re-Loads; empty disables
+	// the method.
+	ScenarioPath string
+	// Overrides are the boot-time flag overrides, re-applied to every
+	// reloaded scenario so a reload cannot silently revert what the
+	// operator set on the command line.
+	Overrides *config.Overrides
+
+	srv *Server
+}
+
+// NewNode wraps a built node for RPC service.
+func NewNode(b *config.Built, scenarioPath string, o *config.Overrides) *Node {
+	return &Node{B: b, ScenarioPath: scenarioPath, Overrides: o}
+}
+
+// Attach registers every handler on srv. The server's lock must be the
+// node's network lock (the daemon passes b.Net).
+func (n *Node) Attach(srv *Server) {
+	n.srv = srv
+	srv.Register(StatusMethod, n.status)
+	srv.Register("lsp.provision", n.lspProvision)
+	srv.Register("lsp.teardown", n.lspTeardown)
+	srv.Register("lsp.list", n.lspList)
+	srv.Register("session.list", n.sessionList)
+	srv.Register("infobase.get", n.infobaseGet)
+	srv.Register("telemetry.scrape", n.telemetryScrape)
+	srv.Register("guard.set", n.guardSet)
+	srv.Register("config.reload", n.configReload)
+}
+
+// ---- node.status ----
+
+// StatusResult is the node.status payload — the one answer a node
+// still gives while draining.
+type StatusResult struct {
+	Node     string `json:"node"`
+	Draining bool   `json:"draining"`
+	// SimTime is the node clock (wall-tracking in distributed mode).
+	SimTime float64 `json:"sim_time_s"`
+	// Sessions / SessionsUp count signaling sessions.
+	Sessions   int `json:"sessions"`
+	SessionsUp int `json:"sessions_up"`
+	// LSPs counts generations with local state; Ingress and Established
+	// count this node's own bases and how many are mapped end to end.
+	LSPs        int `json:"lsps"`
+	Ingress     int `json:"ingress_lsps"`
+	Established int `json:"established_lsps"`
+	// Drops snapshots the node-level drop counters by reason (zero
+	// reasons omitted) — what mplsctl watch drops polls.
+	Drops map[string]uint64 `json:"drops,omitempty"`
+	// GuardDrops snapshots the admission guard's own counters, when one
+	// is armed.
+	GuardDrops map[string]uint64 `json:"guard_drops,omitempty"`
+	// Methods lists the RPC surface, so a controller can probe
+	// capabilities across mixed-version fleets.
+	Methods []string `json:"methods,omitempty"`
+}
+
+func (n *Node) status(json.RawMessage) (any, error) {
+	st := StatusResult{
+		Node:    n.B.LocalNode,
+		SimTime: float64(n.B.Net.Sim.Now()),
+		Drops:   dropsMap(n.B.Drops),
+	}
+	if n.srv != nil {
+		st.Draining = n.srv.Draining()
+		st.Methods = n.srv.Methods()
+	}
+	if sp := n.B.Speaker; sp != nil {
+		for _, s := range sp.Sessions() {
+			st.Sessions++
+			if s.Up {
+				st.SessionsUp++
+			}
+		}
+		for _, l := range sp.List() {
+			st.LSPs++
+			if l.Role == "ingress" {
+				st.Ingress++
+				if l.Established {
+					st.Established++
+				}
+			}
+		}
+	}
+	if g := n.B.Guard; g != nil {
+		st.GuardDrops = dropsMap(g.Drops())
+	}
+	return st, nil
+}
+
+func dropsMap(c *telemetry.DropCounters) map[string]uint64 {
+	if c == nil {
+		return nil
+	}
+	snap := c.Snapshot()
+	out := map[string]uint64{}
+	for r := telemetry.Reason(0); r < telemetry.NumReasons; r++ {
+		if snap[r] > 0 {
+			out[r.String()] = snap[r]
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// ---- lsp.* ----
+
+// ProvisionResult acknowledges a signalled (not yet established) LSP.
+type ProvisionResult struct {
+	ID string `json:"id"`
+	// Signalled means the request was accepted and sent downstream;
+	// establishment is asynchronous — poll lsp.list.
+	Signalled bool `json:"signalled"`
+}
+
+// lspProvision takes a scenario-shaped LSP declaration (the same JSON
+// the scenario file's lsps array holds) and signals it at runtime.
+// Re-provisioning an existing id switches it make-before-break.
+func (n *Node) lspProvision(params json.RawMessage) (any, error) {
+	var l config.LSP
+	if err := strictUnmarshal(params, &l); err != nil {
+		return nil, err
+	}
+	if l.ID == "" || l.Dst == "" {
+		return nil, Errorf(CodeBadParams, "lsp.provision needs id and dst")
+	}
+	if err := n.B.ProvisionLSP(l); err != nil {
+		return nil, BadParams(err)
+	}
+	return ProvisionResult{ID: l.ID, Signalled: true}, nil
+}
+
+// TeardownParams names the LSP to release.
+type TeardownParams struct {
+	ID string `json:"id"`
+}
+
+func (n *Node) lspTeardown(params json.RawMessage) (any, error) {
+	var p TeardownParams
+	if err := strictUnmarshal(params, &p); err != nil {
+		return nil, err
+	}
+	if p.ID == "" {
+		return nil, Errorf(CodeBadParams, "lsp.teardown needs id")
+	}
+	if err := n.B.Speaker.Teardown(p.ID); err != nil {
+		return nil, BadParams(err)
+	}
+	return map[string]any{"id": p.ID, "released": true}, nil
+}
+
+// LSPListResult is the lsp.list payload.
+type LSPListResult struct {
+	Node string              `json:"node"`
+	LSPs []signaling.LSPInfo `json:"lsps"`
+}
+
+func (n *Node) lspList(json.RawMessage) (any, error) {
+	return LSPListResult{Node: n.B.LocalNode, LSPs: n.B.Speaker.List()}, nil
+}
+
+// SessionListResult is the session.list payload.
+type SessionListResult struct {
+	Node     string                  `json:"node"`
+	Sessions []signaling.SessionInfo `json:"sessions"`
+}
+
+func (n *Node) sessionList(json.RawMessage) (any, error) {
+	return SessionListResult{Node: n.B.LocalNode, Sessions: n.B.Speaker.Sessions()}, nil
+}
+
+// ---- infobase.get ----
+
+// InfobaseParams selects which level to dump; 0 dumps all.
+// Level 1 is the ingress FTN (FEC → push), matching the paper's
+// level-1 information base; level 2 is the ILM (incoming label →
+// NHLFE), which the software forwarder keeps depth-independent.
+type InfobaseParams struct {
+	Level int `json:"level,omitempty"`
+}
+
+// InfobaseEntry is one table binding rendered for operators.
+type InfobaseEntry struct {
+	// FEC is set on level-1 entries ("a.b.c.d/len").
+	FEC string `json:"fec,omitempty"`
+	// InLabel is set on level-2 entries.
+	InLabel uint32 `json:"in_label,omitempty"`
+	NextHop string `json:"next_hop,omitempty"`
+	Op      string `json:"op"`
+	// Labels are pushed (or swapped-in) on the way out.
+	Labels []uint32 `json:"labels,omitempty"`
+	CoS    uint8    `json:"cos,omitempty"`
+}
+
+// InfobaseLevel groups one level's entries.
+type InfobaseLevel struct {
+	Level   int             `json:"level"`
+	Entries []InfobaseEntry `json:"entries"`
+}
+
+// InfobaseResult is the infobase.get payload.
+type InfobaseResult struct {
+	Node   string          `json:"node"`
+	Levels []InfobaseLevel `json:"levels"`
+}
+
+func (n *Node) infobaseGet(params json.RawMessage) (any, error) {
+	var p InfobaseParams
+	if err := strictUnmarshal(params, &p); err != nil {
+		return nil, err
+	}
+	if p.Level < 0 || p.Level > 2 {
+		return nil, Errorf(CodeBadParams, "infobase.get level %d (want 0, 1 or 2)", p.Level)
+	}
+	tr, ok := n.B.Net.Router(n.B.LocalNode).Tables()
+	if !ok {
+		return nil, Errorf(CodeInternal, "node %s: data plane does not expose its tables", n.B.LocalNode)
+	}
+	res := InfobaseResult{Node: n.B.LocalNode}
+	if p.Level == 0 || p.Level == 1 {
+		lvl := InfobaseLevel{Level: 1, Entries: []InfobaseEntry{}}
+		for _, e := range tr.FECEntries() {
+			lvl.Entries = append(lvl.Entries, InfobaseEntry{
+				FEC:     fmt.Sprintf("%v/%d", e.Dst, e.PrefixLen),
+				NextHop: e.NHLFE.NextHop,
+				Op:      e.NHLFE.Op.String(),
+				Labels:  labelValues(e.NHLFE.PushLabels),
+				CoS:     uint8(e.NHLFE.CoS),
+			})
+		}
+		res.Levels = append(res.Levels, lvl)
+	}
+	if p.Level == 0 || p.Level == 2 {
+		lvl := InfobaseLevel{Level: 2, Entries: []InfobaseEntry{}}
+		for _, e := range tr.ILMEntries() {
+			lvl.Entries = append(lvl.Entries, InfobaseEntry{
+				InLabel: uint32(e.In),
+				NextHop: e.NHLFE.NextHop,
+				Op:      e.NHLFE.Op.String(),
+				Labels:  labelValues(e.NHLFE.PushLabels),
+			})
+		}
+		res.Levels = append(res.Levels, lvl)
+	}
+	return res, nil
+}
+
+func labelValues[T ~uint32](ls []T) []uint32 {
+	if len(ls) == 0 {
+		return nil
+	}
+	out := make([]uint32, len(ls))
+	for i, l := range ls {
+		out[i] = uint32(l)
+	}
+	return out
+}
+
+// ---- telemetry.scrape ----
+
+// ScrapeResult carries the Prometheus text exposition of every mpls_*
+// series the node registers.
+type ScrapeResult struct {
+	Text string `json:"text"`
+}
+
+func (n *Node) telemetryScrape(json.RawMessage) (any, error) {
+	var sb strings.Builder
+	if err := n.B.Registry.WriteText(&sb); err != nil {
+		return nil, err
+	}
+	return ScrapeResult{Text: sb.String()}, nil
+}
+
+// ---- guard.set ----
+
+// GuardSetParams carries the same "key=value,key=value" spec the
+// -guard boot flag takes; both funnel through config.Overrides.Apply,
+// so there is exactly one parser and one merge path.
+type GuardSetParams struct {
+	Spec string `json:"spec"`
+}
+
+// GuardSetResult reports the merged section now in force.
+type GuardSetResult struct {
+	Node  string               `json:"node"`
+	Guard *config.GuardSection `json:"guard"`
+}
+
+func (n *Node) guardSet(params json.RawMessage) (any, error) {
+	var p GuardSetParams
+	if err := strictUnmarshal(params, &p); err != nil {
+		return nil, err
+	}
+	if p.Spec == "" {
+		return nil, Errorf(CodeBadParams, "guard.set needs spec")
+	}
+	g, err := n.B.SetGuardSpec(p.Spec)
+	if err != nil {
+		return nil, BadParams(err)
+	}
+	return GuardSetResult{Node: n.B.LocalNode, Guard: g}, nil
+}
+
+// ---- config.reload ----
+
+// ReloadParams optionally overrides the scenario path for this one
+// reload (the node's configured path is the default).
+type ReloadParams struct {
+	Path string `json:"path,omitempty"`
+}
+
+// ReloadResult wraps the delta report.
+type ReloadResult struct {
+	Node   string               `json:"node"`
+	Path   string               `json:"path"`
+	Report *config.ReloadReport `json:"report"`
+}
+
+func (n *Node) configReload(params json.RawMessage) (any, error) {
+	var p ReloadParams
+	if err := strictUnmarshal(params, &p); err != nil {
+		return nil, err
+	}
+	path := p.Path
+	if path == "" {
+		path = n.ScenarioPath
+	}
+	if path == "" {
+		return nil, Errorf(CodeBadParams, "config.reload: node has no scenario path")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, Errorf(CodeBadParams, "config.reload: %v", err)
+	}
+	defer f.Close()
+	next, err := config.Load(f)
+	if err != nil {
+		return nil, BadParams(err)
+	}
+	// The same boot-time overrides apply to every generation of the
+	// file: a reload must not silently revert -coalesce/-guard flags.
+	if err := n.Overrides.Apply(next); err != nil {
+		return nil, BadParams(err)
+	}
+	rep, err := n.B.ApplyDelta(next)
+	if err != nil {
+		return nil, BadParams(err)
+	}
+	return ReloadResult{Node: n.B.LocalNode, Path: path, Report: rep}, nil
+}
+
+// strictUnmarshal decodes params rejecting unknown fields, so a typo'd
+// knob fails loudly instead of silently doing nothing. Nil params
+// decode as the zero value.
+func strictUnmarshal(params json.RawMessage, into any) error {
+	if len(params) == 0 {
+		return nil
+	}
+	dec := json.NewDecoder(strings.NewReader(string(params)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return BadParams(err)
+	}
+	return nil
+}

@@ -1,0 +1,361 @@
+package mgmt
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"embeddedmpls/internal/config"
+)
+
+// testScenario renders the three-node line onto the given transport
+// addresses; extraLSP/extraFlow are JSON fragments for reload tests.
+func testScenario(addrs []string, extraLSP, extraFlow string) string {
+	if extraLSP != "" {
+		extraLSP = ", " + extraLSP
+	}
+	if extraFlow != "" {
+		extraFlow = ", " + extraFlow
+	}
+	return fmt.Sprintf(`{
+  "name": "mgmt-test",
+  "duration_s": 3,
+  "nodes": [{"name": "in"}, {"name": "core"}, {"name": "out"}],
+  "links": [
+    {"a": "in", "b": "core", "rate_mbps": 10, "delay_ms": 0.1},
+    {"a": "core", "b": "out", "rate_mbps": 10, "delay_ms": 0.1}
+  ],
+  "lsps": [
+    {"id": "l1", "dst": "10.0.0.9", "path": ["in", "core", "out"]}%s
+  ],
+  "flows": [
+    {"id": 1, "kind": "cbr", "from": "in", "dst": "10.0.0.9",
+     "size_bytes": 256, "interval_ms": 5}%s
+  ],
+  "transport": {"kind": "udp", "nodes": {"in": %q, "core": %q, "out": %q}}
+}`, extraLSP, extraFlow, addrs[0], addrs[1], addrs[2])
+}
+
+func freeUDPAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = c.LocalAddr().String()
+		c.Close()
+	}
+	return addrs
+}
+
+// liveCluster builds the three-node line in-process, serves the ingress
+// node's management plane on a loopback TCP port, and runs every node
+// until stop closes. This is the -race workhorse: RPC handlers mutate
+// speaker and tables while all three dataplanes forward.
+type liveCluster struct {
+	built map[string]*config.Built
+	srv   *Server
+	node  *Node
+	stop  chan struct{}
+	wg    sync.WaitGroup
+}
+
+func startLiveCluster(t *testing.T, scenarioPath string) *liveCluster {
+	t.Helper()
+	f, err := os.Open(scenarioPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := config.Load(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc := &liveCluster{built: map[string]*config.Built{}, stop: make(chan struct{})}
+	for _, name := range []string{"in", "core", "out"} {
+		b, err := s.BuildNode(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { b.Net.Close() })
+		lc.built[name] = b
+	}
+	in := lc.built["in"]
+	lc.srv = NewServer(in.Net)
+	lc.node = NewNode(in, scenarioPath, &config.Overrides{})
+	lc.node.Attach(lc.srv)
+	if err := lc.srv.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lc.srv.Close() })
+	for _, b := range lc.built {
+		lc.wg.Add(1)
+		go func(b *config.Built) {
+			defer lc.wg.Done()
+			b.Net.RunRealStop(10, lc.stop)
+		}(b)
+	}
+	t.Cleanup(func() {
+		select {
+		case <-lc.stop:
+		default:
+			close(lc.stop)
+		}
+		lc.wg.Wait()
+	})
+	return lc
+}
+
+func (lc *liveCluster) dial(t *testing.T) *Client {
+	t.Helper()
+	c, err := Dial(lc.srv.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// waitEstablished polls lsp.list until id reports established.
+func waitEstablished(t *testing.T, c *Client, id string) LSPListResult {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		var res LSPListResult
+		if err := c.Call("lsp.list", nil, &res); err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range res.LSPs {
+			if l.ID == id && l.Established {
+				return res
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("LSP %s never established", id)
+	return LSPListResult{}
+}
+
+// TestNodeRPCsUnderTraffic is the management plane's end-to-end test:
+// a live three-node network forwards a CBR flow while every RPC runs
+// against the ingress over a real TCP socket. Run with -race.
+func TestNodeRPCsUnderTraffic(t *testing.T) {
+	dir := t.TempDir()
+	scenarioPath := filepath.Join(dir, "scenario.json")
+	addrs := freeUDPAddrs(t, 3)
+	if err := os.WriteFile(scenarioPath, []byte(testScenario(addrs, "", "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lc := startLiveCluster(t, scenarioPath)
+	c := lc.dial(t)
+
+	// The boot LSP establishes and the node reports it.
+	waitEstablished(t, c, "l1")
+	var st StatusResult
+	if err := c.Call(StatusMethod, nil, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Node != "in" || st.Draining {
+		t.Errorf("status = %+v", st)
+	}
+	if st.SessionsUp == 0 {
+		t.Error("status reports no session up after an LSP established")
+	}
+	if st.Established == 0 {
+		t.Errorf("status reports no established LSPs: %+v", st)
+	}
+	if len(st.Methods) == 0 {
+		t.Error("status lists no methods")
+	}
+
+	// Runtime provisioning: a batch of LSPs to fresh FECs.
+	params := make([]any, 10)
+	for i := range params {
+		params[i] = config.LSP{
+			ID:   fmt.Sprintf("rt-%d", i),
+			Dst:  fmt.Sprintf("10.7.0.%d", i+1),
+			Path: []string{"in", "core", "out"},
+		}
+	}
+	results, err := c.Batch("lsp.provision", params)
+	if err != nil {
+		t.Fatalf("batch provision: %v", err)
+	}
+	if len(results) != len(params) {
+		t.Fatalf("%d results for %d requests", len(results), len(params))
+	}
+	waitEstablished(t, c, "rt-9")
+
+	// The ingress infobase now holds the new FECs at level 1.
+	var ib InfobaseResult
+	if err := c.Call("infobase.get", InfobaseParams{Level: 1}, &ib); err != nil {
+		t.Fatal(err)
+	}
+	if len(ib.Levels) != 1 || ib.Levels[0].Level != 1 {
+		t.Fatalf("infobase levels = %+v", ib.Levels)
+	}
+	fecs := map[string]bool{}
+	for _, e := range ib.Levels[0].Entries {
+		fecs[e.FEC] = true
+		if e.Op != "push" {
+			t.Errorf("ingress FTN entry with op %q: %+v", e.Op, e)
+		}
+	}
+	if !fecs["10.0.0.9/32"] || !fecs["10.7.0.10/32"] {
+		t.Errorf("FTN missing expected FECs: %v", fecs)
+	}
+
+	// Tear one down; it must leave the list.
+	if err := c.Call("lsp.teardown", TeardownParams{ID: "rt-3"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	var lst LSPListResult
+	if err := c.Call("lsp.list", nil, &lst); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range lst.LSPs {
+		if l.ID == "rt-3" {
+			t.Errorf("rt-3 still listed after teardown: %+v", l)
+		}
+	}
+
+	// Sessions.
+	var sl SessionListResult
+	if err := c.Call("session.list", nil, &sl); err != nil {
+		t.Fatal(err)
+	}
+	if len(sl.Sessions) != 1 || sl.Sessions[0].Peer != "core" || !sl.Sessions[0].Up {
+		t.Errorf("sessions = %+v", sl.Sessions)
+	}
+
+	// Telemetry scrape carries mpls_* series.
+	var sc ScrapeResult
+	if err := c.Call("telemetry.scrape", nil, &sc); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sc.Text, "mpls_") {
+		t.Errorf("scrape has no mpls_ series:\n%.400s", sc.Text)
+	}
+	if !strings.Contains(sc.Text, `node="in"`) {
+		t.Errorf("scrape not labelled with the node:\n%.400s", sc.Text)
+	}
+
+	// Arm a guard at runtime.
+	var gs GuardSetResult
+	if err := c.Call("guard.set", GuardSetParams{Spec: "rate_pps=100000"}, &gs); err != nil {
+		t.Fatal(err)
+	}
+	if gs.Guard == nil || gs.Guard.RatePPS != 100000 {
+		t.Errorf("guard.set returned %+v", gs.Guard)
+	}
+
+	// config.reload: the file gains a flow and an LSP; the node applies
+	// both live.
+	nextPath := filepath.Join(dir, "next.json")
+	next := testScenario(addrs,
+		`{"id": "l2", "dst": "10.0.0.8", "path": ["in", "core", "out"]}`,
+		`{"id": 2, "kind": "cbr", "from": "in", "dst": "10.0.0.8", "size_bytes": 256, "interval_ms": 5}`)
+	if err := os.WriteFile(nextPath, []byte(next), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var rl ReloadResult
+	if err := c.Call("config.reload", ReloadParams{Path: nextPath}, &rl); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(rl.Report.AddedLSPs, ",") != "l2" {
+		t.Errorf("reload added LSPs %v, want [l2]", rl.Report.AddedLSPs)
+	}
+	if len(rl.Report.AddedFlows) != 1 || rl.Report.AddedFlows[0] != 2 {
+		t.Errorf("reload added flows %v, want [2]", rl.Report.AddedFlows)
+	}
+	waitEstablished(t, c, "l2")
+
+	// The new flow must actually deliver end to end through the
+	// reloaded LSP — no restart happened.
+	deadline := time.Now().Add(5 * time.Second)
+	out := lc.built["out"]
+	for {
+		out.Net.Lock()
+		delivered := out.Collector.Flow(2).Delivered.Events
+		out.Net.Unlock()
+		if delivered > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("reloaded flow 2 never delivered at the egress")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Error paths speak proper envelopes.
+	err = c.Call("lsp.provision", config.LSP{ID: "bad"}, nil)
+	wantCode(t, err, CodeBadParams)
+	err = c.Call("lsp.teardown", TeardownParams{ID: "never-existed"}, nil)
+	wantCode(t, err, CodeBadParams)
+	err = c.Call("infobase.get", InfobaseParams{Level: 9}, nil)
+	wantCode(t, err, CodeBadParams)
+	err = c.Call("guard.set", GuardSetParams{Spec: "junk"}, nil)
+	wantCode(t, err, CodeBadParams)
+	err = c.Call("lsp.provision", map[string]any{"id": "x", "dst": "10.0.0.1", "typo_field": 1}, nil)
+	wantCode(t, err, CodeBadParams)
+
+	// Drain: everything but node.status refuses, status says draining.
+	lc.srv.Drain()
+	wantCode(t, c.Call("lsp.list", nil, nil), CodeDraining)
+	if err := c.Call(StatusMethod, nil, &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Draining {
+		t.Error("status not draining after Drain")
+	}
+}
+
+// TestInfobaseTransitView checks level-2 dumps on a transit node: the
+// ILM holds swap entries installed purely by signaling.
+func TestInfobaseTransitView(t *testing.T) {
+	dir := t.TempDir()
+	scenarioPath := filepath.Join(dir, "scenario.json")
+	addrs := freeUDPAddrs(t, 3)
+	if err := os.WriteFile(scenarioPath, []byte(testScenario(addrs, "", "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lc := startLiveCluster(t, scenarioPath)
+	c := lc.dial(t)
+	waitEstablished(t, c, "l1")
+
+	// Attach a second server to the transit node.
+	core := lc.built["core"]
+	srv2 := NewServer(core.Net)
+	NewNode(core, scenarioPath, nil).Attach(srv2)
+	if err := srv2.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	c2, err := Dial(srv2.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+
+	var ib InfobaseResult
+	if err := c2.Call("infobase.get", InfobaseParams{Level: 2}, &ib); err != nil {
+		t.Fatal(err)
+	}
+	if len(ib.Levels) != 1 || ib.Levels[0].Level != 2 {
+		t.Fatalf("levels = %+v", ib.Levels)
+	}
+	if len(ib.Levels[0].Entries) == 0 {
+		t.Fatal("transit ILM is empty with an established LSP crossing it")
+	}
+	e := ib.Levels[0].Entries[0]
+	if e.Op != "swap" || e.InLabel == 0 || e.NextHop != "out" {
+		t.Errorf("transit ILM entry = %+v, want a swap toward out", e)
+	}
+}

@@ -1,0 +1,85 @@
+// Package mgmt is the node's management plane: a JSON-RPC-over-TCP
+// listener embedded in mplsnode, a per-feature handler registry, and
+// the client mplsctl drives it with. The shape follows the NETCONF
+// agents the ROADMAP names — an RPC router dispatching versioned
+// requests to per-feature handlers — with the envelope kept to
+// newline-delimited JSON so a fleet controller (or netcat) can speak
+// it without a schema compiler.
+//
+// Wire format: one JSON object per line in each direction.
+//
+//	-> {"v":1,"id":7,"method":"lsp.provision","params":{"id":"l9","to":"egress","dst":"10.0.0.9"}}
+//	<- {"v":1,"id":7,"result":{"ok":true}}
+//
+// Requests on one connection are answered in order, so clients may
+// pipeline: write a batch, then read a batch — how mplsctl provisions
+// tens of thousands of LSPs over a handful of round trips.
+//
+// Every handler runs under the node's network lock, serialised against
+// packet delivery and the simulator exactly like a transport arrival;
+// handlers therefore never block on network progress (lsp.provision
+// returns once the request is signalled, not once the path maps — poll
+// lsp.list for establishment).
+package mgmt
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Version is the envelope version this package speaks. Requests
+// carrying any other version are rejected with CodeVersion, so an old
+// mplsctl fails loudly against a new node instead of misparsing it.
+const Version = 1
+
+// Error codes, loosely following HTTP semantics so they read without
+// a decoder ring.
+const (
+	// CodeParse: the request line was not valid JSON (or not an object).
+	CodeParse = 400
+	// CodeUnknownMethod: no handler registered under that name.
+	CodeUnknownMethod = 404
+	// CodeBadParams: the params did not decode or failed validation.
+	CodeBadParams = 422
+	// CodeVersion: envelope version mismatch.
+	CodeVersion = 426
+	// CodeInternal: the handler failed.
+	CodeInternal = 500
+	// CodeDraining: the node is shutting down; only node.status answers.
+	CodeDraining = 503
+)
+
+// Request is the versioned RPC envelope.
+type Request struct {
+	V      int             `json:"v"`
+	ID     uint64          `json:"id"`
+	Method string          `json:"method"`
+	Params json.RawMessage `json:"params,omitempty"`
+}
+
+// Response answers one Request, echoing its id. Exactly one of Result
+// and Error is set.
+type Response struct {
+	V      int             `json:"v"`
+	ID     uint64          `json:"id"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  *Error          `json:"error,omitempty"`
+}
+
+// Error is the RPC error envelope; it doubles as a Go error so
+// handlers and clients pass it around directly.
+type Error struct {
+	Code    int    `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("mgmt: %s (code %d)", e.Message, e.Code) }
+
+// Errorf builds an RPC error with the given code.
+func Errorf(code int, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// BadParams wraps a params decode/validation failure.
+func BadParams(err error) *Error { return Errorf(CodeBadParams, "%v", err) }

@@ -1,0 +1,226 @@
+package mgmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// maxLine bounds one request line; a batch of provision requests is
+// many lines, not one big one, so 1 MiB is generous.
+const maxLine = 1 << 20
+
+// StatusMethod is the one method that still answers while the server
+// drains — the final "I am going down cleanly" a fleet controller
+// polls during rollout.
+const StatusMethod = "node.status"
+
+// Handler answers one RPC. It runs under the lock the server was built
+// with (the node's network lock), so it may touch speaker, router and
+// simulator state freely — and must not block waiting for network
+// progress, which needs that same lock.
+type Handler func(params json.RawMessage) (any, error)
+
+// Server is the management listener: a TCP accept loop, a method
+// registry, and drain-aware shutdown. One Server serves one node.
+type Server struct {
+	lock     sync.Locker
+	handlers map[string]Handler
+
+	ln       net.Listener
+	draining atomic.Bool
+	inflight sync.WaitGroup // accepted connections
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// NewServer builds a server whose handlers run under lock — pass the
+// node's network lock (router.Network satisfies sync.Locker via
+// Lock/Unlock). A nil lock runs handlers unserialised (tests only).
+func NewServer(lock sync.Locker) *Server {
+	if lock == nil {
+		lock = noopLock{}
+	}
+	return &Server{
+		lock:     lock,
+		handlers: map[string]Handler{},
+		conns:    map[net.Conn]struct{}{},
+	}
+}
+
+type noopLock struct{}
+
+func (noopLock) Lock()   {}
+func (noopLock) Unlock() {}
+
+// Register adds a method to the registry. Registration happens before
+// Serve; there is no locking against concurrent dispatch.
+func (s *Server) Register(method string, h Handler) { s.handlers[method] = h }
+
+// Methods lists the registered method names, sorted.
+func (s *Server) Methods() []string {
+	out := make([]string, 0, len(s.handlers))
+	for m := range s.handlers {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Serve binds addr and starts the accept loop in the background. It
+// returns once the listener is bound, so the caller can read Addr()
+// (":0" resolves to a real port).
+func (s *Server) Serve(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.connMu.Lock()
+	if s.closed {
+		s.connMu.Unlock()
+		ln.Close()
+		return errors.New("mgmt: server already closed")
+	}
+	s.ln = ln
+	s.connMu.Unlock()
+	go s.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the bound listener address ("" before Serve).
+func (s *Server) Addr() string {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.connMu.Lock()
+		if s.closed {
+			s.connMu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
+		s.inflight.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+		conn.Close()
+		s.inflight.Done()
+	}()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 4096), maxLine)
+	w := bufio.NewWriter(conn)
+	enc := json.NewEncoder(w)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		resp := s.dispatch(line)
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch parses one request line and runs its handler under the
+// server's lock. Every failure mode maps to an error envelope; the
+// response always echoes the request id when one was parseable.
+func (s *Server) dispatch(line []byte) Response {
+	var req Request
+	if err := json.Unmarshal(line, &req); err != nil {
+		return Response{V: Version, Error: Errorf(CodeParse, "bad request: %v", err)}
+	}
+	resp := Response{V: Version, ID: req.ID}
+	if req.V != Version {
+		resp.Error = Errorf(CodeVersion, "envelope version %d, this node speaks %d", req.V, Version)
+		return resp
+	}
+	if s.draining.Load() && req.Method != StatusMethod {
+		resp.Error = Errorf(CodeDraining, "node is draining")
+		return resp
+	}
+	h, ok := s.handlers[req.Method]
+	if !ok {
+		resp.Error = Errorf(CodeUnknownMethod, "unknown method %q", req.Method)
+		return resp
+	}
+	s.lock.Lock()
+	result, err := h(req.Params)
+	s.lock.Unlock()
+	if err != nil {
+		var rpcErr *Error
+		if errors.As(err, &rpcErr) {
+			resp.Error = rpcErr
+		} else {
+			resp.Error = Errorf(CodeInternal, "%v", err)
+		}
+		return resp
+	}
+	raw, err := json.Marshal(result)
+	if err != nil {
+		resp.Error = Errorf(CodeInternal, "encoding result: %v", err)
+		return resp
+	}
+	resp.Result = raw
+	return resp
+}
+
+// Drain puts the server in drain mode: established connections keep
+// being served, but every method except node.status answers
+// CodeDraining. Called at the top of graceful shutdown, before the
+// network starts tearing down, so a fleet controller watching the node
+// sees "draining" instead of a reset connection.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Draining reports whether Drain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close stops accepting, closes every live connection, and waits for
+// their in-flight request loops to finish. Idempotent. Callers wanting
+// graceful shutdown call Drain first, give clients a beat to read
+// their final statuses, then Close.
+func (s *Server) Close() error {
+	s.connMu.Lock()
+	if s.closed {
+		s.connMu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.connMu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.inflight.Wait()
+	return nil
+}

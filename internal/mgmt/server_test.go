@@ -1,0 +1,248 @@
+package mgmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoServer serves a few deterministic handlers for protocol tests.
+func echoServer(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	s := NewServer(nil)
+	s.Register("echo", func(p json.RawMessage) (any, error) {
+		var v any
+		if err := strictUnmarshal(p, &v); err != nil {
+			return nil, err
+		}
+		return v, nil
+	})
+	s.Register("add", func(p json.RawMessage) (any, error) {
+		var in struct{ A, B int }
+		if err := json.Unmarshal(p, &in); err != nil {
+			return nil, BadParams(err)
+		}
+		return map[string]int{"sum": in.A + in.B}, nil
+	})
+	s.Register("boom", func(json.RawMessage) (any, error) {
+		return nil, fmt.Errorf("kaboom")
+	})
+	s.Register(StatusMethod, func(json.RawMessage) (any, error) {
+		return map[string]bool{"draining": s.Draining()}, nil
+	})
+	if err := s.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	c, err := Dial(s.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return s, c
+}
+
+func wantCode(t *testing.T, err error, code int) {
+	t.Helper()
+	rpcErr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error = %v (%T), want *mgmt.Error", err, err)
+	}
+	if rpcErr.Code != code {
+		t.Fatalf("code = %d (%s), want %d", rpcErr.Code, rpcErr.Message, code)
+	}
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	_, c := echoServer(t)
+	var out struct {
+		Sum int `json:"sum"`
+	}
+	if err := c.Call("add", map[string]int{"a": 2, "b": 40}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Sum != 42 {
+		t.Errorf("sum = %d, want 42", out.Sum)
+	}
+}
+
+func TestErrorEnvelopes(t *testing.T) {
+	s, c := echoServer(t)
+
+	// Unknown method.
+	wantCode(t, c.Call("no.such.method", nil, nil), CodeUnknownMethod)
+
+	// Handler failure surfaces as internal.
+	wantCode(t, c.Call("boom", nil, nil), CodeInternal)
+
+	// Bad params.
+	wantCode(t, c.Call("add", json.RawMessage(`"not an object"`), nil), CodeBadParams)
+
+	// Version mismatch: speak the wire directly with a wrong envelope.
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, `{"v":99,"id":1,"method":"echo"}`+"\n")
+	var resp Response
+	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error == nil || resp.Error.Code != CodeVersion {
+		t.Errorf("version mismatch answered %+v, want code %d", resp, CodeVersion)
+	}
+	if resp.ID != 1 {
+		t.Errorf("response id = %d, want the echoed 1", resp.ID)
+	}
+
+	// Parse failure.
+	fmt.Fprintf(conn, "this is not json\n")
+	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error == nil || resp.Error.Code != CodeParse {
+		t.Errorf("junk line answered %+v, want code %d", resp, CodeParse)
+	}
+}
+
+func TestDrainingRejectsAllButStatus(t *testing.T) {
+	s, c := echoServer(t)
+	s.Drain()
+	wantCode(t, c.Call("echo", "hi", nil), CodeDraining)
+	var st struct {
+		Draining bool `json:"draining"`
+	}
+	if err := c.Call(StatusMethod, nil, &st); err != nil {
+		t.Fatalf("node.status during drain: %v", err)
+	}
+	if !st.Draining {
+		t.Error("status does not report draining")
+	}
+}
+
+// TestBatchPipelining writes a burst of requests before reading any
+// response and checks results come back in request order, including an
+// error envelope in the middle that must not derail the rest.
+func TestBatchPipelining(t *testing.T) {
+	_, c := echoServer(t)
+	const n = 500
+	params := make([]any, n)
+	for i := range params {
+		if i == 250 {
+			params[i] = "not an object" // add will reject this one
+			continue
+		}
+		params[i] = map[string]int{"a": i, "b": 1}
+	}
+	results, err := c.Batch("add", params)
+	if err == nil {
+		t.Fatal("batch with one bad request reported no error")
+	}
+	wantCode(t, err, CodeBadParams)
+	if len(results) != n {
+		t.Fatalf("got %d results, want %d", len(results), n)
+	}
+	for i, raw := range results {
+		if i == 250 {
+			if raw != nil {
+				t.Errorf("bad request %d produced a result", i)
+			}
+			continue
+		}
+		var out struct {
+			Sum int `json:"sum"`
+		}
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatalf("result %d: %v", i, err)
+		}
+		if out.Sum != i+1 {
+			t.Errorf("result %d = %d, want %d (order broken)", i, out.Sum, i+1)
+		}
+	}
+	// The connection survives the mid-batch error.
+	if err := c.Call("echo", "still alive", nil); err != nil {
+		t.Errorf("connection dead after batch error: %v", err)
+	}
+}
+
+// TestConcurrentConnections hammers the server from many connections at
+// once; handlers run under the shared lock. Run with -race.
+func TestConcurrentConnections(t *testing.T) {
+	var mu sync.Mutex
+	counter := 0
+	s := NewServer(&mu)
+	s.Register("inc", func(json.RawMessage) (any, error) {
+		counter++ // protected by the server's lock
+		return counter, nil
+	})
+	if err := s.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const conns, calls = 8, 50
+	var wg sync.WaitGroup
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(s.Addr(), time.Second)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for j := 0; j < calls; j++ {
+				if err := c.Call("inc", nil, nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if counter != conns*calls {
+		t.Errorf("counter = %d, want %d", counter, conns*calls)
+	}
+}
+
+func TestCloseIsIdempotentAndWakesClients(t *testing.T) {
+	s, c := echoServer(t)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if err := c.Call("echo", "x", nil); err == nil {
+		t.Error("call succeeded against a closed server")
+	}
+	if _, ok := err2code(c.Call("echo", "y", nil)); ok {
+		t.Error("closed connection produced an RPC error envelope")
+	}
+}
+
+func err2code(err error) (int, bool) {
+	if rpcErr, ok := err.(*Error); ok {
+		return rpcErr.Code, true
+	}
+	return 0, false
+}
+
+func TestMethodsSorted(t *testing.T) {
+	s := NewServer(nil)
+	s.Register("b.two", nil)
+	s.Register("a.one", nil)
+	s.Register("c.three", nil)
+	got := strings.Join(s.Methods(), ",")
+	if got != "a.one,b.two,c.three" {
+		t.Errorf("Methods() = %s", got)
+	}
+}

@@ -59,6 +59,18 @@ func (e *EnginePlane) Close() error {
 	return nil
 }
 
+// ILMEntries implements TableReader against the engine's current RCU
+// snapshot (immutable once published, so no locking is needed).
+func (e *EnginePlane) ILMEntries() []swmpls.ILMEntry {
+	return e.Engine.TableSnapshot().ILMEntries()
+}
+
+// FECEntries implements TableReader against the engine's current RCU
+// snapshot.
+func (e *EnginePlane) FECEntries() []swmpls.FECEntry {
+	return e.Engine.TableSnapshot().FECEntries()
+}
+
 // InstallFEC implements ldp.Installer by publishing a new snapshot.
 func (e *EnginePlane) InstallFEC(dst packet.Addr, prefixLen int, n swmpls.NHLFE) error {
 	return e.Engine.InstallFEC(dst, prefixLen, n)

@@ -429,7 +429,15 @@ func (n *Network) Drop(reason telemetry.Reason) { n.wireDrop(reason) }
 // arrivals. Topologies with UDP links must be driven this way —
 // Sim.Run would race the socket goroutines and, with no pending
 // events, return before any datagram arrives.
-func (n *Network) RunReal(d netsim.Time) {
+func (n *Network) RunReal(d netsim.Time) { n.RunRealStop(d, nil) }
+
+// RunRealStop is RunReal with early termination: it returns at the
+// deadline or as soon as stop is closed, whichever comes first — the
+// shape a daemon needs to run "forever" yet exit promptly on a
+// shutdown signal. The simulator is left quiescent at whatever virtual
+// time the last slice reached, so post-run inspection under Lock sees
+// a consistent state. A nil stop never fires.
+func (n *Network) RunRealStop(d netsim.Time, stop <-chan struct{}) {
 	const slice = 200 * time.Microsecond
 	start := time.Now()
 	for {
@@ -442,6 +450,11 @@ func (n *Network) RunReal(d netsim.Time) {
 		n.mu.Unlock()
 		if elapsed >= d {
 			return
+		}
+		select {
+		case <-stop:
+			return
+		default:
 		}
 		time.Sleep(slice)
 	}

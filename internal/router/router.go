@@ -39,6 +39,23 @@ type DataPlane interface {
 	Close() error
 }
 
+// TableReader is the optional inspection half of a data plane:
+// ordered dumps of the installed ILM and FTN, consumed by the
+// management plane's infobase.get handler. SoftwarePlane (via the
+// embedded forwarder) and EnginePlane (via an RCU snapshot) implement
+// it; the hardware cycle model does not expose its tables.
+type TableReader interface {
+	ILMEntries() []swmpls.ILMEntry
+	FECEntries() []swmpls.FECEntry
+}
+
+// Tables returns the data plane's table reader, or ok=false when this
+// plane cannot be inspected.
+func (r *Router) Tables() (TableReader, bool) {
+	tr, ok := r.plane.(TableReader)
+	return tr, ok
+}
+
 // SoftwarePlane runs the software forwarder with a fixed per-packet
 // processing cost (the "entirely software based" baseline the paper
 // contrasts with). The embedded Forwarder provides the plane.Plane

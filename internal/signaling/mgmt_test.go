@@ -1,0 +1,212 @@
+package signaling
+
+import (
+	"strings"
+	"testing"
+
+	"embeddedmpls/internal/ldp"
+	"embeddedmpls/internal/packet"
+)
+
+// TestProvisionFreshAndList provisions a brand-new LSP through the
+// management surface and checks every node's List view of it.
+func TestProvisionFreshAndList(t *testing.T) {
+	net := diamond(t)
+	speakers, err := Deploy(net, WithUntil(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := packet.AddrFrom(10, 0, 0, 9)
+	net.Sim.RunUntil(0.3)
+	if err := speakers["a"].Provision(ldp.SetupRequest{
+		ID:   "m1",
+		FEC:  ldp.FEC{Dst: dst, PrefixLen: 32},
+		Path: []string{"a", "b", "d"},
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	net.Sim.RunUntil(0.6)
+
+	la := speakers["a"].List()
+	if len(la) != 1 {
+		t.Fatalf("ingress List = %d LSPs, want 1", len(la))
+	}
+	got := la[0]
+	if got.ID != "m1" || got.Gen != 1 || got.Role != "ingress" || !got.Established || got.Pending {
+		t.Errorf("ingress view = %+v", got)
+	}
+	if got.FEC != "10.0.0.9/32" {
+		t.Errorf("FEC = %q, want 10.0.0.9/32", got.FEC)
+	}
+	if strings.Join(got.Route, ",") != "a,b,d" {
+		t.Errorf("route = %v", got.Route)
+	}
+	lb := speakers["b"].List()
+	if len(lb) != 1 || lb[0].Role != "transit" {
+		t.Errorf("transit view = %+v", lb)
+	}
+	ld := speakers["d"].List()
+	if len(ld) != 1 || ld[0].Role != "egress" {
+		t.Errorf("egress view = %+v", ld)
+	}
+}
+
+// TestProvisionMakeBeforeBreak re-provisions a live LSP onto the backup
+// path and checks the generation bumps, traffic switches, and the old
+// generation's transit state drains away.
+func TestProvisionMakeBeforeBreak(t *testing.T) {
+	net := diamond(t)
+	speakers, err := Deploy(net, WithUntil(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := packet.AddrFrom(10, 0, 0, 9)
+	delivered := deliveredCounter(t, net, "d", dst)
+	net.Sim.RunUntil(0.3)
+	if err := speakers["a"].Provision(ldp.SetupRequest{
+		ID:   "m2",
+		FEC:  ldp.FEC{Dst: dst, PrefixLen: 32},
+		Path: []string{"a", "b", "d"},
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	net.Sim.RunUntil(0.6)
+
+	// Operator-driven re-provision onto the expensive path.
+	if err := speakers["a"].Provision(ldp.SetupRequest{
+		ID:   "m2",
+		FEC:  ldp.FEC{Dst: dst, PrefixLen: 32},
+		Path: []string{"a", "c", "d"},
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	net.Sim.RunUntil(1.2) // map + drain delay
+
+	la := speakers["a"].List()
+	if len(la) != 1 {
+		t.Fatalf("ingress List = %+v, want exactly the new generation", la)
+	}
+	if la[0].Gen != 2 || strings.Join(la[0].Route, ",") != "a,c,d" || !la[0].Established {
+		t.Errorf("after MBB: %+v", la[0])
+	}
+	// The superseded generation must be gone from the old transit hop.
+	if lb := speakers["b"].List(); len(lb) != 0 {
+		t.Errorf("old transit b still holds %+v", lb)
+	}
+	// And the new path forwards.
+	if lc := speakers["c"].List(); len(lc) != 1 {
+		t.Errorf("new transit c holds %+v, want 1 LSP", lc)
+	}
+	sendProbePacket(net, "a", dst)
+	net.Sim.RunUntil(1.3)
+	if *delivered != 1 {
+		t.Errorf("delivered = %d, want 1 via the re-provisioned path", *delivered)
+	}
+}
+
+// TestTeardownReleasesEveryHop tears a live LSP down and checks label
+// state evaporates on all three hops and the id becomes reusable.
+func TestTeardownReleasesEveryHop(t *testing.T) {
+	net := diamond(t)
+	speakers, err := Deploy(net, WithUntil(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := packet.AddrFrom(10, 0, 0, 9)
+	net.Sim.RunUntil(0.3)
+	req := ldp.SetupRequest{
+		ID:   "m3",
+		FEC:  ldp.FEC{Dst: dst, PrefixLen: 32},
+		Path: []string{"a", "b", "d"},
+	}
+	if err := speakers["a"].Provision(req, nil); err != nil {
+		t.Fatal(err)
+	}
+	net.Sim.RunUntil(0.6)
+	if err := speakers["a"].Teardown("m3"); err != nil {
+		t.Fatal(err)
+	}
+	net.Sim.RunUntil(0.9)
+	for _, n := range []string{"a", "b", "d"} {
+		if l := speakers[n].List(); len(l) != 0 {
+			t.Errorf("%s still holds %+v after teardown", n, l)
+		}
+	}
+	if err := speakers["a"].Teardown("m3"); err == nil {
+		t.Error("second teardown of the same id succeeded")
+	}
+	// The base id is free again.
+	if err := speakers["a"].Provision(req, nil); err != nil {
+		t.Errorf("re-provision after teardown: %v", err)
+	}
+}
+
+// TestProvisionValidation exercises the request checks shared with
+// Setup.
+func TestProvisionValidation(t *testing.T) {
+	net := diamond(t)
+	speakers, err := Deploy(net, WithUntil(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := ldp.FEC{Dst: packet.AddrFrom(10, 0, 0, 9), PrefixLen: 32}
+	cases := []struct {
+		name string
+		req  ldp.SetupRequest
+	}{
+		{"empty id", ldp.SetupRequest{FEC: dst, Path: []string{"a", "b"}}},
+		{"short path", ldp.SetupRequest{ID: "x", FEC: dst, Path: []string{"a"}}},
+		{"wrong head", ldp.SetupRequest{ID: "x", FEC: dst, Path: []string{"b", "d"}}},
+		{"unknown node", ldp.SetupRequest{ID: "x", FEC: dst, Path: []string{"a", "nope"}}},
+		{"php too short", ldp.SetupRequest{ID: "x", FEC: dst, Path: []string{"a", "b"}, PHP: true}},
+	}
+	for _, c := range cases {
+		if err := speakers["a"].Provision(c.req, nil); err == nil {
+			t.Errorf("%s: provision accepted", c.name)
+		}
+	}
+}
+
+// TestSessionsReport checks the Sessions dump tracks convergence.
+func TestSessionsReport(t *testing.T) {
+	net := diamond(t)
+	speakers, err := Deploy(net, WithUntil(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := speakers["a"].Sessions()
+	if len(before) != 2 {
+		t.Fatalf("a has %d sessions, want 2", len(before))
+	}
+	for _, s := range before {
+		if s.Up {
+			t.Errorf("session to %s up before any hello", s.Peer)
+		}
+	}
+	net.Sim.RunUntil(0.5)
+	for _, s := range speakers["a"].Sessions() {
+		if !s.Up {
+			t.Errorf("session to %s is %s, want operational", s.Peer, s.State)
+		}
+	}
+}
+
+// TestPathCSPF checks the management surface's path computation honours
+// metrics and rejects unknown egresses.
+func TestPathCSPF(t *testing.T) {
+	net := diamond(t)
+	speakers, err := Deploy(net, WithUntil(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := speakers["a"].Path("d", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(p, ",") != "a,b,d" {
+		t.Errorf("CSPF path = %v, want the cheap a,b,d", p)
+	}
+	if _, err := speakers["a"].Path("nope", 0); err == nil {
+		t.Error("Path to unknown node succeeded")
+	}
+}

@@ -469,28 +469,11 @@ func (s *Speaker) sortedBases() []string {
 // failure. The call itself only validates and sends the request; the
 // LSP is usable when done (or OnEstablished) reports it.
 func (s *Speaker) Setup(req ldp.SetupRequest, done func(error)) error {
-	if req.ID == "" {
-		return fmt.Errorf("signaling: LSP needs an id")
-	}
-	if len(req.ID) > MaxIDLen-4 {
-		return fmt.Errorf("signaling: LSP id %q longer than %d", req.ID, MaxIDLen-4)
+	if err := s.validateSetup(req); err != nil {
+		return err
 	}
 	if _, dup := s.byBase[req.ID]; dup {
 		return fmt.Errorf("signaling: duplicate LSP id %q", req.ID)
-	}
-	if len(req.Path) < 2 {
-		return fmt.Errorf("signaling: path needs at least 2 nodes")
-	}
-	if req.Path[0] != s.name {
-		return fmt.Errorf("signaling: path starts at %q, speaker is %q", req.Path[0], s.name)
-	}
-	if req.PHP && len(req.Path) < 3 {
-		return fmt.Errorf("signaling: PHP needs at least 3 hops")
-	}
-	for _, n := range req.Path {
-		if _, ok := s.ids[n]; !ok {
-			return fmt.Errorf("signaling: unknown node %q in path", n)
-		}
 	}
 	l := &lsp{
 		id:         req.ID + "#1",
@@ -656,6 +639,11 @@ func (s *Speaker) handleRequest(m *Message) {
 	}
 	if l.egress() {
 		s.lsps[id] = l
+		// The egress delivers the FEC's traffic locally. Build-time LSPs
+		// get this binding from the scenario loader; a runtime-provisioned
+		// LSP's destination was never in the file, so bind it here
+		// (idempotent when both happen).
+		s.r.AddLocal(l.fec.Dst)
 		if l.php {
 			// With PHP the egress receives unlabelled packets: advertise
 			// implicit null and install nothing.

@@ -1,0 +1,86 @@
+package swmpls
+
+import (
+	"sort"
+
+	"embeddedmpls/internal/label"
+	"embeddedmpls/internal/packet"
+)
+
+// This file is the forwarder's inspection surface: ordered dumps of
+// the installed tables, consumed by the management plane's
+// infobase.get handler. Dumps read the same structures the forwarding
+// path does, so callers must hold whatever snapshot or lock protects
+// the forwarder — the dataplane engine dumps an RCU snapshot, the
+// in-process router dumps under the network lock.
+
+// ILMEntry is one installed incoming-label binding.
+type ILMEntry struct {
+	In    label.Label
+	NHLFE NHLFE
+}
+
+// FECEntry is one installed FTN binding.
+type FECEntry struct {
+	Dst       packet.Addr
+	PrefixLen int
+	NHLFE     NHLFE
+}
+
+// ILMEntries dumps the incoming label map sorted by label.
+func (f *Forwarder) ILMEntries() []ILMEntry {
+	out := f.ilm.entries()
+	sort.Slice(out, func(i, j int) bool { return out[i].In < out[j].In })
+	return out
+}
+
+// FECEntries dumps the FTN sorted by (address, prefix length).
+func (f *Forwarder) FECEntries() []FECEntry {
+	var out []FECEntry
+	f.ftn.walk(func(dst packet.Addr, prefixLen int, n NHLFE) {
+		out = append(out, FECEntry{Dst: dst, PrefixLen: prefixLen, NHLFE: n})
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dst != out[j].Dst {
+			return out[i].Dst < out[j].Dst
+		}
+		return out[i].PrefixLen < out[j].PrefixLen
+	})
+	return out
+}
+
+func (m mapILM) entries() []ILMEntry {
+	out := make([]ILMEntry, 0, len(m))
+	for in, n := range m {
+		out = append(out, ILMEntry{In: in, NHLFE: n})
+	}
+	return out
+}
+
+func (t *ibILM) entries() []ILMEntry {
+	out := make([]ILMEntry, 0, len(t.meta))
+	for in, n := range t.meta {
+		out = append(out, ILMEntry{In: in, NHLFE: n})
+	}
+	return out
+}
+
+// walk visits every installed FTN binding, reconstructing each prefix
+// from its trie position.
+func (t *prefixTable) walk(fn func(dst packet.Addr, prefixLen int, n NHLFE)) {
+	t.root.walk(0, 0, fn)
+}
+
+func (n *trieNode) walk(addr packet.Addr, depth int, fn func(packet.Addr, int, NHLFE)) {
+	if n == nil {
+		return
+	}
+	if n.entry != nil {
+		fn(addr, depth, *n.entry)
+	}
+	if depth == 32 {
+		return
+	}
+	n.child[0].walk(addr, depth+1, fn)
+	n.child[1].walk(addr|1<<(31-depth), depth+1, fn)
+}

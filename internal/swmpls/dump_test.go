@@ -1,0 +1,95 @@
+package swmpls
+
+import (
+	"testing"
+
+	"embeddedmpls/internal/label"
+	"embeddedmpls/internal/packet"
+)
+
+// TestILMEntriesSorted checks the dump is sorted by incoming label and
+// identical across every ILM backing.
+func TestILMEntriesSorted(t *testing.T) {
+	for _, kind := range []ILMKind{ILMMap, ILMLinear, ILMIndexed} {
+		f := New(WithILM(kind))
+		want := []label.Label{17, 42, 1000, 99}
+		for _, in := range want {
+			if err := f.MapLabel(in, NHLFE{NextHop: "b", Op: label.OpSwap, PushLabels: []label.Label{in + 1}}); err != nil {
+				t.Fatalf("%v: %v", kind, err)
+			}
+		}
+		got := f.ILMEntries()
+		if len(got) != len(want) {
+			t.Fatalf("%v: %d entries, want %d", kind, len(got), len(want))
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i-1].In >= got[i].In {
+				t.Errorf("%v: entries not sorted: %d before %d", kind, got[i-1].In, got[i].In)
+			}
+		}
+		for _, e := range got {
+			if e.NHLFE.Op != label.OpSwap || len(e.NHLFE.PushLabels) != 1 || e.NHLFE.PushLabels[0] != e.In+1 {
+				t.Errorf("%v: entry %d carries wrong NHLFE %+v", kind, e.In, e.NHLFE)
+			}
+		}
+	}
+}
+
+// TestFECEntriesWalk checks the FTN dump reconstructs prefixes from the
+// trie, sorted by address then prefix length.
+func TestFECEntriesWalk(t *testing.T) {
+	f := New()
+	type fec struct {
+		dst  packet.Addr
+		plen int
+	}
+	fecs := []fec{
+		{packet.AddrFrom(10, 0, 0, 9), 32},
+		{packet.AddrFrom(10, 0, 0, 0), 8},
+		{packet.AddrFrom(192, 168, 1, 0), 24},
+		{packet.AddrFrom(10, 0, 0, 8), 30},
+	}
+	for i, x := range fecs {
+		n := NHLFE{NextHop: "b", Op: label.OpPush, PushLabels: []label.Label{label.Label(100 + i)}}
+		if err := f.MapFEC(x.dst, x.plen, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := f.FECEntries()
+	if len(got) != len(fecs) {
+		t.Fatalf("%d entries, want %d", len(got), len(fecs))
+	}
+	for i := 1; i < len(got); i++ {
+		a, b := got[i-1], got[i]
+		if a.Dst > b.Dst || (a.Dst == b.Dst && a.PrefixLen >= b.PrefixLen) {
+			t.Errorf("entries not sorted at %d: %v/%d before %v/%d", i, a.Dst, a.PrefixLen, b.Dst, b.PrefixLen)
+		}
+	}
+	// Every mapped FEC reappears exactly, address bits reconstructed
+	// from the trie path.
+	seen := map[fec]bool{}
+	for _, e := range got {
+		seen[fec{e.Dst, e.PrefixLen}] = true
+	}
+	for _, x := range fecs {
+		if !seen[x] {
+			t.Errorf("FEC %v/%d missing from dump", x.dst, x.plen)
+		}
+	}
+	// Unmapping removes from the dump.
+	f.UnmapFEC(packet.AddrFrom(10, 0, 0, 0), 8)
+	if got := f.FECEntries(); len(got) != len(fecs)-1 {
+		t.Errorf("after unmap: %d entries, want %d", len(got), len(fecs)-1)
+	}
+}
+
+// TestDumpsEmpty checks empty tables dump as empty, not nil-panic.
+func TestDumpsEmpty(t *testing.T) {
+	f := New()
+	if got := f.ILMEntries(); len(got) != 0 {
+		t.Errorf("empty ILM dumped %d entries", len(got))
+	}
+	if got := f.FECEntries(); len(got) != 0 {
+		t.Errorf("empty FTN dumped %d entries", len(got))
+	}
+}

@@ -63,6 +63,7 @@ type ilmTable interface {
 	size() int
 	clone() ilmTable
 	kind() ILMKind
+	entries() []ILMEntry
 }
 
 func newILMTable(kind ILMKind) ilmTable {
