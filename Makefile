@@ -78,7 +78,7 @@ race:
 	go test -race ./...
 	go test -race -count=2 ./internal/dataplane ./internal/faults ./internal/resilience ./internal/signaling ./internal/transport ./internal/mgmt
 	go test -race -count=2 -run 'FlowCache|Concurrent|Telemetry' ./internal/dataplane ./internal/infobase ./internal/swmpls
-	go test -race -count=2 -run 'Close|Distributed|Differential' ./internal/router ./internal/integration
+	go test -race -count=2 -run 'Close|Distributed|Differential|Egress' ./internal/router ./internal/integration ./internal/dataplane
 
 # Seeded chaos runs with the self-healing layer on: each seed injects a
 # different fault schedule — link flaps, corruption, delay spikes and a

@@ -122,7 +122,7 @@ func dpRun(w *dpWorkload, workers, batch int, kind swmpls.ILMKind) (dpResult, er
 		if end > len(w.packets) {
 			end = len(w.packets)
 		}
-		e.SubmitBatch(w.packets[off:end], true)
+		e.Submit(w.packets[off:end], dataplane.SubmitOpts{Wait: true})
 	}
 	e.Close()
 	wall := time.Since(start).Seconds()

@@ -31,7 +31,7 @@ func runDataplaneMetrics(promPath string) error {
 		dataplane.WithNode("bench-lsr"), dataplane.WithTrace(trace),
 		// A deliberately slow sink so non-blocking submits can outrun
 		// the workers and overflow the shard queues.
-		dataplane.WithDeliver(func(*packet.Packet, swmpls.Result) { time.Sleep(5 * time.Microsecond) }),
+		dataplane.WithEgress(slowSink{5 * time.Microsecond}),
 	)
 	if err := e.Update(func(f *swmpls.Forwarder) error {
 		if err := f.InstallILM(100, swmpls.NHLFE{
@@ -54,31 +54,34 @@ func runDataplaneMetrics(promPath string) error {
 	}
 
 	const per = 200
+	one := make([]*packet.Packet, 1)
+	wait := func(p *packet.Packet) { one[0] = p; e.Submit(one, dataplane.SubmitOpts{Wait: true}) }
 	for i := 0; i < per; i++ {
 		// Forwarded traffic: ingress pushes and transit swaps.
 		u := packet.New(packet.AddrFrom(192, 0, 2, 1), packet.AddrFrom(10, 1, 2, 3), 64, nil)
 		u.Header.FlowID = uint16(i)
-		e.SubmitWait(u)
-		e.SubmitWait(benchLabelled(100, uint16(i), 64))
+		wait(u)
+		wait(benchLabelled(100, uint16(i), 64))
 		// Lookup miss: no ILM binding for label 999.
-		e.SubmitWait(benchLabelled(999, uint16(i), 64))
+		wait(benchLabelled(999, uint16(i), 64))
 		// TTL expiry: a mapped label arriving with TTL 1.
-		e.SubmitWait(benchLabelled(100, uint16(i), 1))
+		wait(benchLabelled(100, uint16(i), 1))
 		// Inconsistent operation: label 300 wants a push but the stack
 		// is already at MaxDepth.
 		full := benchLabelled(20, uint16(i), 64)
 		_ = full.Stack.Push(label.Entry{Label: 21, TTL: 64})
 		_ = full.Stack.Push(label.Entry{Label: 300, TTL: 64})
-		e.SubmitWait(full)
+		wait(full)
 		// No route: unlabelled with no FEC covering the destination.
 		n := packet.New(packet.AddrFrom(192, 0, 2, 1), packet.AddrFrom(172, 16, 0, 1), 64, nil)
 		n.Header.FlowID = uint16(i)
-		e.SubmitWait(n)
+		wait(n)
 	}
 	// Queue overflow: non-blocking submits against the slow sink until
 	// an admission rejection lands (bounded so a fast host cannot hang).
 	for i := 0; i < 100000 && e.Drops().Get(telemetry.ReasonQueueOverfull) == 0; i++ {
-		e.Submit(benchLabelled(100, uint16(i), 64))
+		one[0] = benchLabelled(100, uint16(i), 64)
+		e.Submit(one, dataplane.SubmitOpts{})
 	}
 	e.Close()
 
@@ -146,6 +149,18 @@ func runDataplaneMetrics(promPath string) error {
 		}
 	}
 	return nil
+}
+
+// slowSink is a deliberately slow batch egress sink: it burns a fixed
+// per-packet cost on the worker goroutine, so offered load can outrun
+// the service rate deterministically (the overflow scenario above
+// depends on that backpressure).
+type slowSink struct{ perPacket time.Duration }
+
+func (s slowSink) Flush(_ string, ps []*packet.Packet) { time.Sleep(time.Duration(len(ps)) * s.perPacket) }
+func (s slowSink) Deliver(ps []*packet.Packet)         { time.Sleep(time.Duration(len(ps)) * s.perPacket) }
+func (s slowSink) Discard(ps []*packet.Packet, _ []swmpls.DropReason) {
+	time.Sleep(time.Duration(len(ps)) * s.perPacket)
 }
 
 func benchLabelled(lbl label.Label, flow uint16, ttl uint8) *packet.Packet {

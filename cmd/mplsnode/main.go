@@ -58,6 +58,7 @@ func main() {
 	var ov config.Overrides
 	flag.IntVar(&ov.Coalesce, "coalesce", 0, "packets per datagram on inter-process links (overrides scenario transport section)")
 	flag.IntVar(&ov.SysBatch, "sysbatch", 0, "datagrams per send/receive syscall (overrides scenario transport section)")
+	flag.IntVar(&ov.Shards, "shards", 0, "engine shard workers with batch egress pump, 1 = serial path (overrides scenario transport section)")
 	flag.StringVar(&ov.Guard, "guard", "", `admission-guard overrides, "spoof_filter=true,ttl_min=2,rate_pps=1000,..." (merged over the scenario guard section)`)
 	flag.Parse()
 	if *configPath == "" || *node == "" {

@@ -1,10 +1,11 @@
 // Example dataplane builds the 4-node line of the basic LSP scenario —
 // ingress LER, two transit LSRs, egress LER — but runs every node as a
 // concurrent forwarding engine with 4 shard workers, chained through
-// their delivery callbacks: a worker on one node submits straight into
-// the next node's shard queues, like line cards pushing onto a
-// backplane. 100k packets across 256 flows enter unlabelled, get a
-// label pushed, swapped twice, popped, and counted at the far end.
+// their batch egress sinks: a worker on one node flushes its staged
+// egress ring straight into the next node's shard queues, whole
+// batches at a time, like line cards pushing onto a backplane. 100k
+// packets across 256 flows enter unlabelled, get a label pushed,
+// swapped twice, popped, and counted at the far end.
 package main
 
 import (
@@ -32,14 +33,10 @@ func main() {
 	var received atomic.Uint64
 
 	// Build back to front so each node can hand off to the next.
-	egress := newNode("egress", func(p *packet.Packet, res swmpls.Result) {
-		if res.Action == swmpls.Deliver {
-			received.Add(1)
-		}
-	})
-	lsr2 := newNode("lsr2", handoff(egress))
-	lsr1 := newNode("lsr1", handoff(lsr2))
-	ingress := newNode("ingress", handoff(lsr1))
+	egress := newNode("egress", counter{&received})
+	lsr2 := newNode("lsr2", handoff{egress})
+	lsr1 := newNode("lsr1", handoff{lsr2})
+	ingress := newNode("ingress", handoff{lsr1})
 	nodes := []*node{ingress, lsr1, lsr2, egress}
 
 	// Program the LSP: push 100 at the ingress, swap 100->200->300
@@ -58,10 +55,12 @@ func main() {
 	fmt.Printf("4-node line, %d shard workers per node, %d packets over %d flows\n\n",
 		workers, count, flows)
 	start := time.Now()
+	one := make([]*packet.Packet, 1)
 	for i := 0; i < count; i++ {
 		p := packet.New(packet.AddrFrom(192, 0, 2, byte(i%flows)), dst, 64, nil)
 		p.Header.FlowID = uint16(i % flows)
-		ingress.eng.SubmitWait(p)
+		one[0] = p
+		ingress.eng.Submit(one, dataplane.SubmitOpts{Wait: true})
 	}
 	// Close front to back: each Close drains that node's queues, so
 	// everything in flight lands before the next node shuts.
@@ -101,23 +100,31 @@ type node struct {
 	eng  *dataplane.Engine
 }
 
-func newNode(name string, deliver func(*packet.Packet, swmpls.Result)) *node {
+func newNode(name string, sink dataplane.Egress) *node {
 	return &node{name: name, eng: dataplane.New(
 		dataplane.WithWorkers(workers),
 		dataplane.WithNode(name),
-		dataplane.WithDeliver(deliver),
+		dataplane.WithEgress(sink),
 	)}
 }
 
-// handoff forwards one node's output into the next node's queues,
-// blocking for space so the line applies backpressure instead of loss.
-func handoff(next *node) func(*packet.Packet, swmpls.Result) {
-	return func(p *packet.Packet, res swmpls.Result) {
-		if res.Action == swmpls.Forward {
-			next.eng.SubmitWait(p)
-		}
-	}
+// handoff forwards one node's flushed egress batches into the next
+// node's queues, blocking for space so the line applies backpressure
+// instead of loss.
+type handoff struct{ next *node }
+
+func (h handoff) Flush(_ string, ps []*packet.Packet) {
+	h.next.eng.Submit(ps, dataplane.SubmitOpts{Wait: true})
 }
+func (h handoff) Deliver([]*packet.Packet) {}
+func (h handoff) Discard([]*packet.Packet, []swmpls.DropReason) {}
+
+// counter tallies the packets the egress LER delivers to the IP side.
+type counter struct{ received *atomic.Uint64 }
+
+func (c counter) Flush(string, []*packet.Packet) {}
+func (c counter) Deliver(ps []*packet.Packet)    { c.received.Add(uint64(len(ps))) }
+func (c counter) Discard([]*packet.Packet, []swmpls.DropReason) {}
 
 func check(err error) {
 	if err != nil {

@@ -72,6 +72,14 @@ type TransportSection struct {
 	// SysBatch sets how many datagrams one send/receive syscall moves
 	// (transport.WithSysBatch); 0 keeps the transport default.
 	SysBatch int `json:"sys_batch,omitempty"`
+	// Shards, when > 1, runs each software-plane node's forwarder as a
+	// concurrent engine with that many shard workers and binds it to the
+	// wire batch-first in both directions: arrivals land on a sharded
+	// SO_REUSEPORT listener feeding pinned shard queues, and the engine's
+	// egress pump flushes staged batches straight onto the links'
+	// SendBatch path. 0 or 1 keeps the serial per-packet path. Ignored
+	// for hardware-plane nodes.
+	Shards int `json:"shards,omitempty"`
 }
 
 // options renders the section's batching knobs as transport options.
@@ -330,6 +338,9 @@ func (s *Scenario) validate() error {
 		if t.SysBatch < 0 || t.SysBatch > 128 {
 			return fmt.Errorf("%w: transport sys_batch %d (max 128)", ErrValidation, t.SysBatch)
 		}
+		if t.Shards < 0 || t.Shards > 64 {
+			return fmt.Errorf("%w: transport shards %d (max 64)", ErrValidation, t.Shards)
+		}
 	}
 	for _, l := range s.LSPs {
 		if l.ID == "" || l.Dst == "" {
@@ -584,6 +595,18 @@ func (s *Scenario) BuildNode(name string) (*Built, error) {
 		return nil, fmt.Errorf("%w: tunnels are not supported in distributed mode", ErrValidation)
 	}
 	nodes, links := s.specs()
+	// transport.shards upgrades the local software plane to the
+	// concurrent engine, one worker per listener shard, so the kernel's
+	// SO_REUSEPORT hash demultiplexes straight into pinned shard queues.
+	pumped := false
+	if s.Transport.Shards > 1 {
+		for i := range nodes {
+			if nodes[i].Name == name && !nodes[i].Hardware {
+				nodes[i].EngineWorkers = s.Transport.Shards
+				pumped = true
+			}
+		}
+	}
 	net, err := router.BuildLocal(nodes, links, name)
 	if err != nil {
 		return nil, err
@@ -631,8 +654,20 @@ func (s *Scenario) BuildNode(name string) (*Built, error) {
 	b.registerMetrics(name)
 
 	base := append(net.TransportOptions(), s.Transport.options()...)
-	rcv, err := transport.Listen(laddr, net.DeliverTo(name),
-		append(append([]transport.Option{}, base...), transport.WithNames(names))...)
+	lopts := append(append([]transport.Option{}, base...), transport.WithNames(names))
+	var rcv io.Closer
+	if pumped {
+		// The egress pump attaches before the listener opens so the first
+		// arrival already finds the batch path armed end to end.
+		if err := net.AttachEgressPump(name); err != nil {
+			net.Close()
+			return nil, fmt.Errorf("config: node %s: %w", name, err)
+		}
+		rcv, err = transport.ListenSharded(laddr, s.Transport.Shards,
+			func(i int) func(batch []transport.Inbound) { return net.FeedTo(name, i) }, lopts...)
+	} else {
+		rcv, err = transport.Listen(laddr, net.DeliverTo(name), lopts...)
+	}
 	if err != nil {
 		net.Close()
 		return nil, fmt.Errorf("config: node %s: %w", name, err)

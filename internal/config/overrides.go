@@ -21,6 +21,9 @@ type Overrides struct {
 	// SysBatch, when > 0, overrides the transport section's datagrams
 	// per send/receive syscall.
 	SysBatch int `json:"sys_batch,omitempty"`
+	// Shards, when > 0, overrides the transport section's engine shard
+	// count (1 forces the serial per-packet path).
+	Shards int `json:"shards,omitempty"`
 	// Guard holds "key=value,key=value" admission-guard assignments
 	// (spoof_filter, ttl_min, rate_pps, burst, quarantine_threshold,
 	// quarantine_window_s, quarantine_hold_s), merged over the
@@ -32,7 +35,7 @@ type Overrides struct {
 
 // Empty reports whether the overrides change nothing.
 func (o *Overrides) Empty() bool {
-	return o == nil || (o.Coalesce <= 0 && o.SysBatch <= 0 && o.Guard == "")
+	return o == nil || (o.Coalesce <= 0 && o.SysBatch <= 0 && o.Shards <= 0 && o.Guard == "")
 }
 
 // Validate parses the override strings without touching any scenario,
@@ -60,6 +63,9 @@ func (o *Overrides) Apply(s *Scenario) error {
 		}
 		if o.SysBatch > 0 {
 			s.Transport.SysBatch = o.SysBatch
+		}
+		if o.Shards > 0 {
+			s.Transport.Shards = o.Shards
 		}
 	}
 	if o.Guard != "" {

@@ -34,21 +34,23 @@ func BenchmarkProcessInline(b *testing.B) {
 func BenchmarkEngineThroughput(b *testing.B) {
 	pool := make(chan *packet.Packet, 4096)
 	entry := label.Entry{Label: 100, TTL: 64}
-	e := New(WithDeliver(func(p *packet.Packet, res swmpls.Result) {
+	e := New(WithEgress(funcEgress{forward: func(_ string, p *packet.Packet) {
 		p.Stack.Reset()
 		_ = p.Stack.Push(entry)
 		pool <- p
-	}))
+	}}))
 	if err := e.InstallILM(100, swapNHLFE(200, "b")); err != nil {
 		b.Fatal(err)
 	}
 	for i := 0; i < cap(pool); i++ {
 		pool <- labelled(100, uint16(i), 0)
 	}
+	one := make([]*packet.Packet, 1)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if !e.SubmitWait(<-pool) {
+		one[0] = <-pool
+		if e.Submit(one, SubmitOpts{Wait: true}) != 1 {
 			b.Fatal("engine closed")
 		}
 	}

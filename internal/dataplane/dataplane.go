@@ -51,8 +51,9 @@ const (
 )
 
 // Engine is the concurrent forwarding engine. Create one with New, feed
-// it with Submit/SubmitWait/SubmitBatch, reprogram it at any time with
-// Update or the ldp.Installer methods, and stop it with Close.
+// it with Submit, attach a batch egress sink with WithEgress/SetEgress,
+// reprogram it at any time with Update or the ldp.Installer methods,
+// and stop it with Close.
 type Engine struct {
 	table   atomic.Pointer[swmpls.Forwarder]
 	updates atomic.Uint64 // published snapshots, for observability/tests
@@ -68,9 +69,15 @@ type Engine struct {
 
 	shards  []*shard
 	batch   int
-	deliver func(*packet.Packet, swmpls.Result)
 	seed    maphash.Seed
 	noCache bool
+
+	// egress is the batch egress sink (atomic so SetEgress can attach
+	// one after construction, before traffic); egressN/egressIvl are the
+	// staging rings' size and idle-flush triggers.
+	egress    atomic.Pointer[Egress]
+	egressN   int
+	egressIvl time.Duration
 
 	// drops is the engine-wide per-reason drop accounting. It is
 	// attached to the root forwarding table, and Clone carries the
@@ -95,7 +102,7 @@ type traceSink struct {
 }
 
 // New starts an engine with an empty forwarding table, configured by
-// functional options (WithWorkers, WithBatch, WithDeliver, ...).
+// functional options (WithWorkers, WithBatch, WithEgress, ...).
 func New(opts ...Option) *Engine {
 	var cfg config
 	for _, opt := range opts {
@@ -117,13 +124,25 @@ func New(opts ...Option) *Engine {
 	if node == "" {
 		node = "dataplane"
 	}
+	egressN := cfg.egressN
+	if egressN <= 0 {
+		egressN = batch
+	}
+	egressIvl := cfg.egressIvl
+	if egressIvl <= 0 {
+		egressIvl = 200 * time.Microsecond
+	}
 	e := &Engine{
-		shards:  make([]*shard, workers),
-		batch:   batch,
-		deliver: cfg.deliver,
-		seed:    maphash.MakeSeed(),
-		node:    node,
-		noCache: cfg.disableCache,
+		shards:    make([]*shard, workers),
+		batch:     batch,
+		egressN:   egressN,
+		egressIvl: egressIvl,
+		seed:      maphash.MakeSeed(),
+		node:      node,
+		noCache:   cfg.disableCache,
+	}
+	if cfg.egress != nil {
+		e.SetEgress(cfg.egress)
 	}
 	drops := new(telemetry.DropCounters)
 	e.drops.Store(drops)
@@ -234,32 +253,42 @@ func (e *Engine) shardOf(p *packet.Packet) *shard {
 	return e.shards[h%uint64(len(e.shards))]
 }
 
-// Submit offers one packet to the engine without blocking. It reports
-// false when the shard queue's drop policy rejected the packet (or the
-// engine is closed); the drop is counted in the snapshot.
-func (e *Engine) Submit(p *packet.Packet) bool {
-	if e.closed.Load() {
-		return false
-	}
-	return e.shardOf(p).enqueue(p, false)
+// SubmitOpts selects how Submit admits a batch. The zero value is the
+// default path: flow-hash distribution across shards, drop-policy
+// admission (loss under overload, counted in the snapshot).
+type SubmitOpts struct {
+	// Wait blocks while a shard queue is full — backpressure instead of
+	// loss. Packets are then refused only when the engine is closed.
+	Wait bool
+	// Pin bypasses the flow-hash distribution and offers the whole
+	// batch to shard Shard — the ingestion path for transport-level
+	// sharding, where an SO_REUSEPORT socket already partitioned
+	// arrivals by flow and shard i's socket feeds shard i's worker with
+	// no cross-shard handoff. An out-of-range Shard rejects the batch.
+	Pin   bool
+	Shard int
 }
 
-// SubmitWait offers one packet, blocking while the shard queue is full
-// (backpressure instead of loss). It reports false only when the engine
-// is closed.
-func (e *Engine) SubmitWait(p *packet.Packet) bool {
-	if e.closed.Load() {
-		return false
+// Submit offers a batch of packets to the engine — the single ingress
+// entry point; a one-packet submit is just a batch of one. Packets are
+// grouped by shard so each shard's lock is taken once per group rather
+// than once per packet. It returns how many packets were accepted;
+// rejections (drop policy, closed engine, bad pin) are counted in the
+// snapshot where applicable.
+func (e *Engine) Submit(ps []*packet.Packet, opts SubmitOpts) int {
+	if e.closed.Load() || len(ps) == 0 {
+		return 0
 	}
-	return e.shardOf(p).enqueue(p, true)
-}
-
-// SubmitBatch offers many packets, grouped by shard so each shard's lock
-// is taken once per group rather than once per packet. With wait set it
-// applies backpressure; otherwise the drop policy decides. It returns
-// how many packets were accepted.
-func (e *Engine) SubmitBatch(ps []*packet.Packet, wait bool) int {
-	if e.closed.Load() {
+	if opts.Pin {
+		if opts.Shard < 0 || opts.Shard >= len(e.shards) {
+			return 0
+		}
+		return e.shards[opts.Shard].enqueueBatch(ps, opts.Wait)
+	}
+	if len(ps) == 1 {
+		if e.shardOf(ps[0]).enqueue(ps[0], opts.Wait) {
+			return 1
+		}
 		return 0
 	}
 	groups := make(map[*shard][]*packet.Packet, len(e.shards))
@@ -269,23 +298,30 @@ func (e *Engine) SubmitBatch(ps []*packet.Packet, wait bool) int {
 	}
 	accepted := 0
 	for s, group := range groups {
-		accepted += s.enqueueBatch(group, wait)
+		accepted += s.enqueueBatch(group, opts.Wait)
 	}
 	return accepted
 }
 
-// SubmitBatchTo offers a whole batch to one specific shard, bypassing
-// the flow-hash distribution — the ingestion path for transport-level
-// sharding, where an SO_REUSEPORT socket already partitioned arrivals
-// by flow and shard i's socket feeds shard i's worker with no
-// cross-shard handoff. Out-of-range shards reject the batch. With wait
-// set it applies backpressure; otherwise the drop policy decides. It
-// returns how many packets were accepted.
-func (e *Engine) SubmitBatchTo(shard int, ps []*packet.Packet, wait bool) int {
-	if e.closed.Load() || shard < 0 || shard >= len(e.shards) {
-		return 0
+// SetEgress attaches the batch egress sink (replacing any current one);
+// nil detaches it, after which processed packets are discarded once
+// accounted. Workers observe the change at their next batch. Attach the
+// sink before traffic flows when packets must not be lost to the
+// transition.
+func (e *Engine) SetEgress(sink Egress) {
+	if sink == nil {
+		e.egress.Store(nil)
+		return
 	}
-	return e.shards[shard].enqueueBatch(ps, wait)
+	e.egress.Store(&sink)
+}
+
+// loadEgress returns the current egress sink, or nil.
+func (e *Engine) loadEgress() Egress {
+	if p := e.egress.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // Update publishes a new forwarding-table snapshot: the current table is
@@ -389,9 +425,16 @@ func (e *Engine) ProcessPacket(p *packet.Packet) swmpls.Result {
 }
 
 // worker drains one shard until the engine closes and the queue empties.
-// The table snapshot and trace sink are loaded once per batch — the
-// batching amortises the atomic loads — and the worker-private flow
-// cache is revalidated against the snapshot at the same point.
+// The table snapshot, trace sink and egress sink are loaded once per
+// batch — the batching amortises the atomic loads — and the
+// worker-private flow cache is revalidated against the snapshot at the
+// same point. Processed packets stage into the worker's egress rings;
+// while anything is staged the worker polls the queue instead of
+// parking on it, so an idle interval flushes the rings (trigger=timer)
+// and a closed, drained queue flushes them one last time
+// (trigger=close) before the worker exits — which is ordered before
+// wg.Done, so Close returns only after every staged packet reached the
+// sink.
 func (e *Engine) worker(id int, s *shard) {
 	defer e.wg.Done()
 	batch := make([]*packet.Packet, 0, e.batch)
@@ -400,10 +443,40 @@ func (e *Engine) worker(id int, s *shard) {
 		fc = newFlowCache()
 	}
 	var acc batchAcc
+	st := newEgressStage(s, e.egressN)
 	for {
-		batch = s.drain(batch[:0], e.batch)
-		if batch == nil {
-			return
+		sink := e.loadEgress()
+		if st.pending == 0 {
+			// Nothing staged: park on the queue like any blocking
+			// consumer. A nil return means closed and drained.
+			batch = s.drain(batch[:0], e.batch)
+			if batch == nil {
+				return
+			}
+		} else {
+			var stop bool
+			batch, stop = s.tryDrain(batch[:0], e.batch)
+			if stop {
+				st.flushAll(sink, egressTriggerClose)
+				return
+			}
+			if len(batch) == 0 {
+				// Queue idle with packets staged: give arrivals one
+				// flush interval to top the rings up, then flush what
+				// we have so no packet waits longer than the interval.
+				// The wait is close-aware, so a generous interval does
+				// not hold Close hostage.
+				s.waitArrival(e.egressIvl)
+				batch, stop = s.tryDrain(batch[:0], e.batch)
+				if stop {
+					st.flushAll(sink, egressTriggerClose)
+					return
+				}
+				if len(batch) == 0 {
+					st.flushAll(sink, egressTriggerTimer)
+					continue
+				}
+			}
 		}
 		if h := e.stallHook.Load(); h != nil {
 			(*h)(id)
@@ -432,8 +505,8 @@ func (e *Engine) worker(id int, s *shard) {
 			if ts.ring != nil {
 				ts.traceResult(depth, inLabel, res)
 			}
-			if e.deliver != nil {
-				e.deliver(p, res)
+			if sink != nil {
+				st.stage(sink, p, res)
 			}
 		}
 		acc.busy = time.Since(start).Seconds()
@@ -510,6 +583,15 @@ type Snapshot struct {
 	// seconds per worker batch, and label stack depth per packet.
 	Latency    telemetry.HistSnapshot
 	StackDepth telemetry.HistSnapshot
+	// EgressFlushSize/Timer/Close count egress staging-ring flushes by
+	// trigger: the ring reached the flush size, the flush interval
+	// expired on an idle queue, or the engine closed and drained.
+	// EgressBatch is the flushed-batch occupancy histogram — together
+	// they make the egress amortisation observable.
+	EgressFlushSize  uint64
+	EgressFlushTimer uint64
+	EgressFlushClose uint64
+	EgressBatch      telemetry.HistSnapshot
 }
 
 // Processed returns how many packets the workers have finished.
@@ -542,10 +624,14 @@ func (e *Engine) Snapshot() Snapshot {
 		out.CacheHits += s.agg.cacheHits
 		out.CacheMisses += s.agg.cacheMisses
 		s.mu.Unlock()
+		out.EgressFlushSize += s.egFlush[egressTriggerSize].Load()
+		out.EgressFlushTimer += s.egFlush[egressTriggerTimer].Load()
+		out.EgressFlushClose += s.egFlush[egressTriggerClose].Load()
 	}
 	out.Reasons = e.drops.Load().Snapshot()
 	out.Latency = e.latencyHist().Snapshot()
 	out.StackDepth = e.depthHist().Snapshot()
+	out.EgressBatch = e.egressHist().Snapshot()
 	return out
 }
 
@@ -565,6 +651,24 @@ func (e *Engine) depthHist() *telemetry.Histogram {
 		m.Merge(s.depth)
 	}
 	return m
+}
+
+// egressHist merges the shards' egress batch-size histograms.
+func (e *Engine) egressHist() *telemetry.Histogram {
+	m := telemetry.NewHistogram(telemetry.BatchBounds()...)
+	for _, s := range e.shards {
+		m.Merge(s.egBatch)
+	}
+	return m
+}
+
+// egressFlushes sums one flush-trigger counter across shards.
+func (e *Engine) egressFlushes(trigger int) uint64 {
+	var n uint64
+	for _, s := range e.shards {
+		n += s.egFlush[trigger].Load()
+	}
+	return n
 }
 
 // queueLen sums the instantaneous shard queue depths.
@@ -616,6 +720,23 @@ func (e *Engine) RegisterMetrics(reg *telemetry.Registry, labels telemetry.Label
 	reg.Histogram("mpls_dataplane_stack_depth",
 		"Label stack depth of packets entering the forwarding step.", ls,
 		func() telemetry.HistSnapshot { return e.depthHist().Snapshot() })
+	for trigger, name := range map[int]string{
+		egressTriggerSize:  "size",
+		egressTriggerTimer: "timer",
+		egressTriggerClose: "close",
+	} {
+		tls := telemetry.Labels{"trigger": name}
+		for k, v := range ls {
+			tls[k] = v
+		}
+		trigger := trigger
+		reg.Counter("mpls_egress_flush_total",
+			"Egress staging-ring flushes by trigger (size, timer, close).", tls,
+			func() uint64 { return e.egressFlushes(trigger) })
+	}
+	reg.Histogram("mpls_egress_batch_packets",
+		"Packets per egress flush handed to the batch sink.", ls,
+		func() telemetry.HistSnapshot { return e.egressHist().Snapshot() })
 }
 
 // String summarises the snapshot for logs.

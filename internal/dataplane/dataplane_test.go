@@ -32,7 +32,17 @@ func labelled(lbl label.Label, flow uint16, seq uint64) *packet.Packet {
 	return p
 }
 
-// sink records delivered results for assertions.
+// submit and submitWait are the batch-of-one helpers most tests use.
+func submit(e *Engine, p *packet.Packet) bool {
+	return e.Submit([]*packet.Packet{p}, SubmitOpts{}) == 1
+}
+
+func submitWait(e *Engine, p *packet.Packet) bool {
+	return e.Submit([]*packet.Packet{p}, SubmitOpts{Wait: true}) == 1
+}
+
+// sink is a batch egress sink recording per-packet outcomes for
+// assertions, reconstructing a Result per packet from the batch call.
 type sink struct {
 	mu      sync.Mutex
 	results []swmpls.Result
@@ -41,16 +51,66 @@ type sink struct {
 
 func newSink() *sink { return &sink{perFlow: make(map[uint16][]uint64)} }
 
-func (s *sink) deliver(p *packet.Packet, res swmpls.Result) {
+func (s *sink) record(p *packet.Packet, res swmpls.Result) {
 	s.mu.Lock()
 	s.results = append(s.results, res)
 	s.perFlow[p.Header.FlowID] = append(s.perFlow[p.Header.FlowID], p.SeqNo)
 	s.mu.Unlock()
 }
 
+func (s *sink) Flush(nextHop string, ps []*packet.Packet) {
+	for _, p := range ps {
+		s.record(p, swmpls.Result{Action: swmpls.Forward, NextHop: nextHop})
+	}
+}
+
+func (s *sink) Deliver(ps []*packet.Packet) {
+	for _, p := range ps {
+		s.record(p, swmpls.Result{Action: swmpls.Deliver})
+	}
+}
+
+func (s *sink) Discard(ps []*packet.Packet, reasons []swmpls.DropReason) {
+	for i, p := range ps {
+		s.record(p, swmpls.Result{Action: swmpls.Drop, Drop: reasons[i]})
+	}
+}
+
+// funcEgress adapts per-packet callbacks to the batch Egress contract
+// for tests that only care about one class of outcome.
+type funcEgress struct {
+	forward func(nextHop string, p *packet.Packet)
+	deliver func(p *packet.Packet)
+	discard func(p *packet.Packet, reason swmpls.DropReason)
+}
+
+func (f funcEgress) Flush(nextHop string, ps []*packet.Packet) {
+	if f.forward != nil {
+		for _, p := range ps {
+			f.forward(nextHop, p)
+		}
+	}
+}
+
+func (f funcEgress) Deliver(ps []*packet.Packet) {
+	if f.deliver != nil {
+		for _, p := range ps {
+			f.deliver(p)
+		}
+	}
+}
+
+func (f funcEgress) Discard(ps []*packet.Packet, reasons []swmpls.DropReason) {
+	if f.discard != nil {
+		for i, p := range ps {
+			f.discard(p, reasons[i])
+		}
+	}
+}
+
 func TestForwardAndAccount(t *testing.T) {
 	sk := newSink()
-	e := New(WithWorkers(4), WithDeliver(sk.deliver))
+	e := New(WithWorkers(4), WithEgress(sk))
 	if err := e.Update(func(f *swmpls.Forwarder) error {
 		if err := f.InstallFEC(packet.AddrFrom(10, 0, 0, 0), 8, swmpls.NHLFE{
 			NextHop: "b", Op: label.OpPush, PushLabels: []label.Label{100},
@@ -68,17 +128,17 @@ func TestForwardAndAccount(t *testing.T) {
 		case 0: // ingress push via the FTN
 			p := packet.New(packet.AddrFrom(192, 0, 2, 1), packet.AddrFrom(10, 1, 2, 3), 64, nil)
 			p.Header.FlowID = uint16(i)
-			if !e.SubmitWait(p) {
+			if !submitWait(e, p) {
 				t.Fatal("SubmitWait refused while open")
 			}
 		case 1: // transit swap via the ILM
-			if !e.SubmitWait(labelled(100, uint16(i), 0)) {
+			if !submitWait(e, labelled(100, uint16(i), 0)) {
 				t.Fatal("SubmitWait refused while open")
 			}
 		default: // unroutable -> forwarding drop
 			p := packet.New(packet.AddrFrom(192, 0, 2, 1), packet.AddrFrom(172, 16, 0, 1), 64, nil)
 			p.Header.FlowID = uint16(i)
-			if !e.SubmitWait(p) {
+			if !submitWait(e, p) {
 				t.Fatal("SubmitWait refused while open")
 			}
 		}
@@ -120,7 +180,7 @@ func TestForwardAndAccount(t *testing.T) {
 	}
 
 	// The engine is closed: nothing is accepted any more.
-	if e.Submit(labelled(100, 0, 0)) || e.SubmitWait(labelled(100, 0, 0)) {
+	if submit(e, labelled(100, 0, 0)) || submitWait(e, labelled(100, 0, 0)) {
 		t.Error("submit accepted after Close")
 	}
 	e.Close() // idempotent
@@ -135,10 +195,12 @@ func TestForwardAndAccount(t *testing.T) {
 func TestConcurrentChurn(t *testing.T) {
 	var mu sync.Mutex
 	hops := make(map[string]uint64)
-	e := New(WithWorkers(4), WithQueueCap(256), WithDeliver(func(p *packet.Packet, res swmpls.Result) {
-		mu.Lock()
-		hops[res.NextHop]++
-		mu.Unlock()
+	e := New(WithWorkers(4), WithQueueCap(256), WithEgress(funcEgress{
+		forward: func(nextHop string, p *packet.Packet) {
+			mu.Lock()
+			hops[nextHop]++
+			mu.Unlock()
+		},
 	}))
 	if err := e.InstallILM(100, swapNHLFE(200, "A")); err != nil {
 		t.Fatal(err)
@@ -149,7 +211,7 @@ func TestConcurrentChurn(t *testing.T) {
 	go func() {
 		defer close(done)
 		for i := 0; i < packets; i++ {
-			if !e.SubmitWait(labelled(100, uint16(i%64), 0)) {
+			if !submitWait(e, labelled(100, uint16(i%64), 0)) {
 				t.Error("SubmitWait refused while open")
 				return
 			}
@@ -206,7 +268,7 @@ func TestConcurrentChurn(t *testing.T) {
 // engine and asserts each flow's packets come out in submission order.
 func TestFlowOrderPreserved(t *testing.T) {
 	sk := newSink()
-	e := New(WithWorkers(4), WithDeliver(sk.deliver))
+	e := New(WithWorkers(4), WithEgress(sk))
 	for i := 0; i < 8; i++ {
 		if err := e.InstallILM(label.Label(16+i), swapNHLFE(label.Label(100+i), "b")); err != nil {
 			t.Fatal(err)
@@ -219,7 +281,7 @@ func TestFlowOrderPreserved(t *testing.T) {
 			// Several flows share each label, so per-flow order must
 			// survive both the hashing and the per-shard queueing.
 			p := labelled(label.Label(16+f%8), uint16(f), uint64(seq))
-			if !e.SubmitWait(p) {
+			if !submitWait(e, p) {
 				t.Fatal("SubmitWait refused while open")
 			}
 		}
@@ -245,8 +307,8 @@ func TestFlowOrderPreserved(t *testing.T) {
 // offered packet is accounted for exactly once: processed or dropped at
 // admission.
 func TestTailDropAccounting(t *testing.T) {
-	e := New(WithWorkers(1), WithQueueCap(8), WithBatch(4), WithDeliver(func(*packet.Packet, swmpls.Result) {
-		time.Sleep(20 * time.Microsecond)
+	e := New(WithWorkers(1), WithQueueCap(8), WithBatch(4), WithEgress(funcEgress{
+		forward: func(string, *packet.Packet) { time.Sleep(20 * time.Microsecond) },
 	}))
 	if err := e.InstallILM(100, swapNHLFE(200, "b")); err != nil {
 		t.Fatal(err)
@@ -254,7 +316,7 @@ func TestTailDropAccounting(t *testing.T) {
 	const offered = 500
 	accepted := 0
 	for i := 0; i < offered; i++ {
-		if e.Submit(labelled(100, uint16(i), 0)) {
+		if submit(e, labelled(100, uint16(i), 0)) {
 			accepted++
 		}
 	}
@@ -291,7 +353,8 @@ func TestCoSAwarePreferentialDrop(t *testing.T) {
 	var mu sync.Mutex
 	byClass := make(map[label.CoS]uint64)
 	e := New(WithWorkers(1), WithQueueCap(64), WithBatch(4), WithPolicy(CoSAware),
-		WithDeliver(func(p *packet.Packet, res swmpls.Result) {
+		WithEgressFlush(1, 200*time.Microsecond),
+		WithEgress(funcEgress{forward: func(_ string, p *packet.Packet) {
 			<-tokens
 			top, err := p.Stack.Top()
 			if err != nil {
@@ -301,7 +364,7 @@ func TestCoSAwarePreferentialDrop(t *testing.T) {
 			mu.Lock()
 			byClass[top.CoS]++
 			mu.Unlock()
-		}))
+		}}))
 	if err := e.InstallILM(100, swapNHLFE(200, "b")); err != nil {
 		t.Fatal(err)
 	}
@@ -318,14 +381,14 @@ func TestCoSAwarePreferentialDrop(t *testing.T) {
 	// the worker is allowed to finish: a 2x overload shared equally
 	// between the classes.
 	for i := 0; i < 150; i++ {
-		e.Submit(mk(0, uint16(i)))
-		e.Submit(mk(7, uint16(i)))
+		submit(e, mk(0, uint16(i)))
+		submit(e, mk(7, uint16(i)))
 	}
 	const served = 200
 	for i := 0; i < served; i++ {
 		tokens <- struct{}{}
-		e.Submit(mk(0, uint16(i)))
-		e.Submit(mk(7, uint16(i)))
+		submit(e, mk(0, uint16(i)))
+		submit(e, mk(7, uint16(i)))
 	}
 	close(tokens) // let the drain on Close run free
 	e.Close()
@@ -373,7 +436,7 @@ func TestUpdateFailureLeavesTable(t *testing.T) {
 // in the router's engine loop.
 func TestPenultimatePopMultiPass(t *testing.T) {
 	sk := newSink()
-	e := New(WithWorkers(2), WithDeliver(sk.deliver))
+	e := New(WithWorkers(2), WithEgress(sk))
 	if err := e.Update(func(f *swmpls.Forwarder) error {
 		if err := f.InstallILM(100, swmpls.NHLFE{Op: label.OpPop}); err != nil {
 			return err
@@ -389,7 +452,7 @@ func TestPenultimatePopMultiPass(t *testing.T) {
 	if err := p.Stack.Push(label.Entry{Label: 100, TTL: 64}); err != nil {
 		t.Fatal(err)
 	}
-	if !e.SubmitWait(p) {
+	if !submitWait(e, p) {
 		t.Fatal("SubmitWait refused while open")
 	}
 	e.Close()
@@ -426,7 +489,7 @@ func TestDropReasonTelemetry(t *testing.T) {
 	const per = 10
 	for i := 0; i < per; i++ {
 		// Lookup miss: a label with no ILM binding.
-		if !e.SubmitWait(labelled(999, uint16(i), 0)) {
+		if !submitWait(e, labelled(999, uint16(i), 0)) {
 			t.Fatal("SubmitWait refused while open")
 		}
 		// TTL expiry: a mapped label arriving with TTL 1.
@@ -436,7 +499,7 @@ func TestDropReasonTelemetry(t *testing.T) {
 		if err := p.Stack.Push(top); err != nil {
 			t.Fatal(err)
 		}
-		if !e.SubmitWait(p) {
+		if !submitWait(e, p) {
 			t.Fatal("SubmitWait refused while open")
 		}
 		// Inconsistent operation: label 300 wants a push, but the stack
@@ -447,17 +510,17 @@ func TestDropReasonTelemetry(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		if !e.SubmitWait(full) {
+		if !submitWait(e, full) {
 			t.Fatal("SubmitWait refused while open")
 		}
 		// No route: an unlabelled packet with no FEC binding.
 		u := packet.New(packet.AddrFrom(192, 0, 2, 1), packet.AddrFrom(172, 16, 0, 1), 64, nil)
 		u.Header.FlowID = uint16(i)
-		if !e.SubmitWait(u) {
+		if !submitWait(e, u) {
 			t.Fatal("SubmitWait refused while open")
 		}
 		// And one forwardable packet so ops are traced too.
-		if !e.SubmitWait(labelled(100, uint16(i), 3)) {
+		if !submitWait(e, labelled(100, uint16(i), 3)) {
 			t.Fatal("SubmitWait refused while open")
 		}
 	}
@@ -547,7 +610,7 @@ func TestConcurrentMetricsScrape(t *testing.T) {
 			if i%4 == 3 {
 				lbl = 999 // lookup miss
 			}
-			if !e.SubmitWait(labelled(lbl, uint16(i%64), uint64(i))) {
+			if !submitWait(e, labelled(lbl, uint16(i%64), uint64(i))) {
 				t.Error("SubmitWait refused while open")
 				return
 			}
@@ -661,7 +724,7 @@ func TestSubmitBatch(t *testing.T) {
 	for i := range ps {
 		ps[i] = labelled(100, uint16(i), 0)
 	}
-	if got := e.SubmitBatch(ps, true); got != len(ps) {
+	if got := e.Submit(ps, SubmitOpts{Wait: true}); got != len(ps) {
 		t.Fatalf("batch accepted %d, want %d", got, len(ps))
 	}
 	e.Close()

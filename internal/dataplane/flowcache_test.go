@@ -74,7 +74,7 @@ func TestFlowCacheDeterministicInvalidation(t *testing.T) {
 func TestFlowCacheEngineEquivalence(t *testing.T) {
 	run := func(disable bool) Snapshot {
 		sk := newSink()
-		opts := []Option{WithWorkers(2), WithBatch(16), WithDeliver(sk.deliver)}
+		opts := []Option{WithWorkers(2), WithBatch(16), WithEgress(sk)}
 		if disable {
 			opts = append(opts, WithFlowCacheDisabled())
 		}
@@ -97,7 +97,7 @@ func TestFlowCacheEngineEquivalence(t *testing.T) {
 			default:
 				p = labelled(999, uint16(i%8), uint64(i)) // ILM miss
 			}
-			if !e.SubmitWait(p) {
+			if !submitWait(e, p) {
 				t.Fatal("submit failed")
 			}
 		}
@@ -133,19 +133,18 @@ func TestFlowCachePublishRace(t *testing.T) {
 	valid := make(map[label.Label]bool)
 	var validMu sync.Mutex
 	var bad []label.Label
-	e := New(WithWorkers(4), WithBatch(8), WithDeliver(func(p *packet.Packet, res swmpls.Result) {
-		if res.Action != swmpls.Forward {
-			return
-		}
-		top, err := p.Stack.Top()
-		if err != nil {
-			return
-		}
-		validMu.Lock()
-		if !valid[top.Label] {
-			bad = append(bad, top.Label)
-		}
-		validMu.Unlock()
+	e := New(WithWorkers(4), WithBatch(8), WithEgress(funcEgress{
+		forward: func(_ string, p *packet.Packet) {
+			top, err := p.Stack.Top()
+			if err != nil {
+				return
+			}
+			validMu.Lock()
+			if !valid[top.Label] {
+				bad = append(bad, top.Label)
+			}
+			validMu.Unlock()
+		},
 	}))
 	publish := func(out label.Label) {
 		validMu.Lock()
@@ -182,7 +181,7 @@ func TestFlowCachePublishRace(t *testing.T) {
 				return
 			default:
 			}
-			e.SubmitWait(labelled(100, uint16(i%16), uint64(i)))
+			submitWait(e, labelled(100, uint16(i%16), uint64(i)))
 		}
 	}()
 	time.Sleep(100 * time.Millisecond)
@@ -214,8 +213,8 @@ func TestEngineSetTelemetry(t *testing.T) {
 	if err := e.InstallILM(100, swapNHLFE(200, "b")); err != nil {
 		t.Fatal(err)
 	}
-	e.SubmitWait(labelled(100, 0, 0)) // swap: traced op
-	e.SubmitWait(labelled(999, 0, 1)) // miss: drop + discard event
+	submitWait(e, labelled(100, 0, 0)) // swap: traced op
+	submitWait(e, labelled(999, 0, 1)) // miss: drop + discard event
 	deadline := time.Now().Add(2 * time.Second)
 	for drops.Total() == 0 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)

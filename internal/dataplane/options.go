@@ -1,7 +1,8 @@
 package dataplane
 
 import (
-	"embeddedmpls/internal/packet"
+	"time"
+
 	"embeddedmpls/internal/swmpls"
 	"embeddedmpls/internal/telemetry"
 )
@@ -15,7 +16,9 @@ type config struct {
 	queueCap     int
 	batch        int
 	policy       DropPolicy
-	deliver      func(p *packet.Packet, res swmpls.Result)
+	egress       Egress
+	egressN      int
+	egressIvl    time.Duration
 	node         string
 	trace        *telemetry.Ring
 	newTable     func() *swmpls.Forwarder
@@ -50,13 +53,20 @@ func WithPolicy(p DropPolicy) Option {
 	return func(c *config) { c.policy = p }
 }
 
-// WithDeliver installs the sink receiving every processed packet and
-// its forwarding result. It is invoked on worker goroutines —
-// concurrently across shards, sequentially (and in per-flow order)
-// within one — so it must be safe for concurrent use. Nil discards
-// packets after accounting.
-func WithDeliver(fn func(p *packet.Packet, res swmpls.Result)) Option {
-	return func(c *config) { c.deliver = fn }
+// WithEgress installs the batch egress sink receiving every processed
+// packet (see the Egress contract). Nil discards packets after
+// accounting. SetEgress can attach or replace the sink later — the
+// path a router takes when the engine is built before its links exist.
+func WithEgress(sink Egress) Option {
+	return func(c *config) { c.egress = sink }
+}
+
+// WithEgressFlush tunes the egress staging rings: a ring flushes to
+// the sink when it holds n packets (<=0 means the worker batch size),
+// or after ivl of queue idleness (<=0 means 200µs) so a trickle never
+// strands packets in a ring.
+func WithEgressFlush(n int, ivl time.Duration) Option {
+	return func(c *config) { c.egressN = n; c.egressIvl = ivl }
 }
 
 // WithNode names this engine in telemetry (trace events, metric

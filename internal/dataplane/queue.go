@@ -2,6 +2,8 @@ package dataplane
 
 import (
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"embeddedmpls/internal/packet"
 	"embeddedmpls/internal/qos"
@@ -24,12 +26,16 @@ type shard struct {
 	agg      shardAgg
 
 	// drops is the engine-wide reason accounting; admission rejections
-	// land here as queue-overfull. lat and depth are this shard's
-	// lock-free histograms (batch seconds, per-packet stack depth),
-	// written only by the shard's worker and merged at Snapshot time.
-	drops *telemetry.DropCounters
-	lat   *telemetry.Histogram
-	depth *telemetry.Histogram
+	// land here as queue-overfull. lat, depth and egBatch are this
+	// shard's lock-free histograms (batch seconds, per-packet stack
+	// depth, egress flush sizes), written only by the shard's worker and
+	// merged at Snapshot time. egFlush counts egress flushes by trigger
+	// (size, timer, close) the same single-writer way.
+	drops   *telemetry.DropCounters
+	lat     *telemetry.Histogram
+	depth   *telemetry.Histogram
+	egBatch *telemetry.Histogram
+	egFlush [numEgressTriggers]atomic.Uint64
 }
 
 // shardAgg is the shard's accumulated accounting, guarded by shard.mu.
@@ -58,10 +64,11 @@ func newShard(policy DropPolicy, queueCap int, drops *telemetry.DropCounters) *s
 		sched = qos.NewFIFO(queueCap)
 	}
 	s := &shard{
-		sched: sched,
-		drops: drops,
-		lat:   telemetry.NewHistogram(telemetry.LatencyBounds()...),
-		depth: telemetry.NewHistogram(telemetry.DepthBounds()...),
+		sched:   sched,
+		drops:   drops,
+		lat:     telemetry.NewHistogram(telemetry.LatencyBounds()...),
+		depth:   telemetry.NewHistogram(telemetry.DepthBounds()...),
+		egBatch: telemetry.NewHistogram(telemetry.BatchBounds()...),
 	}
 	s.notEmpty = sync.NewCond(&s.mu)
 	s.notFull = sync.NewCond(&s.mu)
@@ -131,6 +138,67 @@ func (s *shard) drain(buf []*packet.Packet, max int) []*packet.Packet {
 	s.notFull.Broadcast()
 	s.mu.Unlock()
 	return buf
+}
+
+// tryDrain moves up to max queued packets into buf without blocking —
+// the worker's poll while egress staging holds packets, where parking
+// on the condition variable would leave them stranded. stop reports
+// that the shard is closed with nothing left to drain.
+func (s *shard) tryDrain(buf []*packet.Packet, max int) (out []*packet.Packet, stop bool) {
+	s.mu.Lock()
+	if s.sched.Len() == 0 {
+		closed := s.closed
+		s.mu.Unlock()
+		return buf, closed
+	}
+	for len(buf) < max {
+		p, ok := s.sched.Dequeue()
+		if !ok {
+			break
+		}
+		buf = append(buf, p)
+	}
+	s.notFull.Broadcast()
+	s.mu.Unlock()
+	return buf, false
+}
+
+// waitArrival blocks for up to ivl waiting for the queue to gain a
+// packet or the shard to close — the worker's pause while egress
+// staging holds packets and the queue is momentarily idle. It polls
+// with an escalating step rather than sleeping the whole interval, so
+// a generous flush interval cannot stall Close (or delay a fresh
+// arrival) by more than one step.
+func (s *shard) waitArrival(ivl time.Duration) {
+	const maxStep = 5 * time.Millisecond
+	step := 50 * time.Microsecond
+	deadline := time.Now().Add(ivl)
+	for {
+		s.mu.Lock()
+		ready := s.sched.Len() > 0 || s.closed
+		s.mu.Unlock()
+		if ready {
+			return
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return
+		}
+		if remain > step {
+			remain = step
+		}
+		time.Sleep(remain)
+		if step < maxStep {
+			step *= 2
+		}
+	}
+}
+
+// observeEgress records one egress flush: the batch size into the
+// shard's single-writer histogram, the trigger into its counter.
+func (s *shard) observeEgress(n, trigger int) {
+	s.egBatch.Observe(float64(n))
+	s.egFlush[trigger].Add(1)
 }
 
 // fold merges one processed batch's accounting into the shard, one lock

@@ -46,7 +46,7 @@ func TestCloseUnderFire(t *testing.T) {
 			go func(g int) {
 				defer wg.Done()
 				for i := 0; i < 300; i++ {
-					if e.Submit(mk(i)) {
+					if submit(e, mk(i)) {
 						accepted.Add(1)
 					}
 				}
@@ -54,7 +54,7 @@ func TestCloseUnderFire(t *testing.T) {
 			go func(g int) {
 				defer wg.Done()
 				for i := 0; i < 300; i++ {
-					if e.SubmitWait(mk(i)) {
+					if submitWait(e, mk(i)) {
 						accepted.Add(1)
 					}
 				}
@@ -69,7 +69,7 @@ func TestCloseUnderFire(t *testing.T) {
 				for j := range batch {
 					batch[j] = mk(i*8 + j)
 				}
-				accepted.Add(uint64(e.SubmitBatch(batch, i%2 == 0)))
+				accepted.Add(uint64(e.Submit(batch, SubmitOpts{Wait: i%2 == 0})))
 			}
 		}()
 		// Table publisher racing the shutdown.

@@ -196,7 +196,7 @@ func TestShardStallStillProcesses(t *testing.T) {
 		if err := p.Stack.Push(label.Entry{Label: 100, TTL: 64}); err != nil {
 			t.Fatal(err)
 		}
-		e.SubmitWait(p)
+		e.Submit([]*packet.Packet{p}, dataplane.SubmitOpts{Wait: true})
 	}
 	e.Close()
 	s := e.Snapshot()

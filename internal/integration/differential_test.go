@@ -10,13 +10,15 @@ import (
 	"embeddedmpls/internal/telemetry"
 )
 
-// differentialScenario renders one three-node line scenario in three
+// differentialScenario renders one three-node line scenario in four
 // transport dresses: the pure simulator ("sim"), per-packet loopback
-// UDP ("udp", the legacy wire), and coalesced/batched loopback UDP
-// ("batched"). Everything above the wire — topology, LSP, flow timing —
-// is byte-identical, so any divergence in what arrives is the wire's
-// doing. The flow starts after signaling has converged so every variant
-// carries exactly the same packets.
+// UDP ("udp", the legacy wire), coalesced/batched loopback UDP
+// ("batched"), and the batched wire driven end to end by sharded
+// engines with the egress pump ("pumped"). Everything above the wire —
+// topology, LSP, flow timing — is byte-identical, so any divergence in
+// what arrives is the wire's (or the pump's) doing. The flow starts
+// after signaling has converged so every variant carries exactly the
+// same packets.
 func differentialScenario(variant string, addrs []string) string {
 	transport := ""
 	switch variant {
@@ -28,6 +30,11 @@ func differentialScenario(variant string, addrs []string) string {
 	case "batched":
 		transport = fmt.Sprintf(`,
   "transport": {"kind": "udp", "coalesce": 32, "sys_batch": 32,
+    "nodes": {"ingress": %q, "core": %q, "egress": %q}}`,
+			addrs[0], addrs[1], addrs[2])
+	case "pumped":
+		transport = fmt.Sprintf(`,
+  "transport": {"kind": "udp", "coalesce": 32, "sys_batch": 32, "shards": 2,
     "nodes": {"ingress": %q, "core": %q, "egress": %q}}`,
 			addrs[0], addrs[1], addrs[2])
 	}
@@ -142,17 +149,19 @@ func dropMap(d *telemetry.DropCounters) map[telemetry.Reason]uint64 {
 }
 
 // TestDifferentialTransports runs one scenario over the simulator, the
-// legacy one-datagram-per-packet UDP wire, and the batched
-// coalesced-frame wire, and demands the three agree: same packets sent,
-// every one delivered, and zero drops in every taxonomy bucket. A
-// coalescing bug (lost tail frame, miscounted segment, spurious decode
-// drop) shows up as a divergence here before it shows up in production
-// topologies.
+// legacy one-datagram-per-packet UDP wire, the batched coalesced-frame
+// wire, and the sharded-engine egress pump on that batched wire, and
+// demands all four agree: same packets sent, every one delivered, and
+// zero drops in every taxonomy bucket. A coalescing bug (lost tail
+// frame, miscounted segment, spurious decode drop) or a pump bug (a
+// packet stranded in a staging ring, a batch flushed twice) shows up as
+// a divergence here before it shows up in production topologies.
 func TestDifferentialTransports(t *testing.T) {
 	results := map[string]wireResult{
 		"sim":     runDifferentialSim(t, differentialScenario("sim", nil)),
 		"udp":     runDifferentialUDP(t, differentialScenario("udp", freeUDPAddrs(t, 3))),
 		"batched": runDifferentialUDP(t, differentialScenario("batched", freeUDPAddrs(t, 3))),
+		"pumped":  runDifferentialUDP(t, differentialScenario("pumped", freeUDPAddrs(t, 3))),
 	}
 
 	ref := results["sim"]

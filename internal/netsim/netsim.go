@@ -134,8 +134,15 @@ type Verdict struct {
 type Wire interface {
 	// To names the receiving node.
 	To() string
-	// Send hands one packet to the link; loss (down link, full queue,
+	// SendBatch is the primary egress path: it moves a whole slice of
+	// packets through the link in one call, so links that can amortise
+	// per-packet dispatch (coalesced frames, batched syscalls) do.
+	// Semantics match N calls to Send: loss (down link, full queue,
 	// failed socket write) is counted, never reported to the caller.
+	// The caller may reuse the slice after SendBatch returns.
+	SendBatch(ps []*packet.Packet)
+	// Send is the one-packet helper for callers without a ready batch
+	// (keepalive probes, control messages, generators).
 	Send(p *packet.Packet)
 	// SetDown fails or restores the link; Down reports the state.
 	SetDown(down bool)
@@ -151,18 +158,6 @@ type Wire interface {
 	// for transport links, nothing for simulated ones. Close is
 	// idempotent; Send after Close counts the packet as lost.
 	Close() error
-}
-
-// BatchWire is the bulk-egress extension of Wire: links that can move
-// many packets in one call implement it so callers with a ready batch
-// (an engine egress pump, a benchmark sender) amortise per-packet
-// dispatch. The transport package's UDP link turns one SendBatch into
-// coalesced frames and batched syscalls; the simulated Link simply
-// loops, keeping the two substitutable. Semantics match N calls to
-// Send: loss is counted, never reported.
-type BatchWire interface {
-	Wire
-	SendBatch(ps []*packet.Packet)
 }
 
 // Link is a unidirectional link: a bounded output queue feeding a
@@ -256,7 +251,7 @@ func (l *Link) SetOnDrop(fn func(p *packet.Packet, reason telemetry.Reason)) { l
 // Close implements Wire; a simulated link holds no resources.
 func (l *Link) Close() error { return nil }
 
-// SendBatch implements BatchWire by queueing each packet in turn; the
+// SendBatch implements Wire by queueing each packet in turn; the
 // simulator's event queue is the batching layer here, so there is
 // nothing to amortise beyond the call itself.
 func (l *Link) SendBatch(ps []*packet.Packet) {
@@ -266,7 +261,6 @@ func (l *Link) SendBatch(ps []*packet.Packet) {
 }
 
 var _ Wire = (*Link)(nil)
-var _ BatchWire = (*Link)(nil)
 
 // Send queues p for transmission; it is dropped silently (but counted) if
 // the queue is full or the link is down.

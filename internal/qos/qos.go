@@ -50,15 +50,22 @@ type Scheduler interface {
 	Full(p *packet.Packet) bool
 }
 
-// fifo is the no-QoS baseline: one tail-drop queue for every class.
+// fifo is the no-QoS baseline: one tail-drop queue for every class. It
+// is a ring buffer whose backing array grows toward cap and is then
+// reused forever — the dataplane's ingress shards drain it to empty on
+// every batch, and a slice-based queue would reallocate on each refill
+// (the steady-state egress pump pins this path at zero allocations).
 type fifo struct {
-	q       []*packet.Packet
-	cap     int
+	q       []*packet.Packet // ring storage; len(q) is the grown capacity
+	head    int              // index of the oldest packet
+	n       int              // queued packets
+	cap     int              // admission bound
 	dropped uint64
 }
 
 // NewFIFO returns a single tail-drop queue holding at most capacity
-// packets.
+// packets. Storage grows on demand, so a generous capacity costs only
+// what the high-water mark actually used.
 func NewFIFO(capacity int) Scheduler {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("qos: FIFO capacity %d", capacity))
@@ -67,29 +74,61 @@ func NewFIFO(capacity int) Scheduler {
 }
 
 func (f *fifo) Enqueue(p *packet.Packet) bool {
-	if len(f.q) >= f.cap {
+	if f.n >= f.cap {
 		f.dropped++
 		return false
 	}
-	f.q = append(f.q, p)
+	if f.n == len(f.q) {
+		f.grow()
+	}
+	i := f.head + f.n
+	if i >= len(f.q) {
+		i -= len(f.q)
+	}
+	f.q[i] = p
+	f.n++
 	return true
 }
 
+// grow doubles the ring (bounded by cap), unwrapping the queued
+// packets to the front of the new storage.
+func (f *fifo) grow() {
+	newLen := 2 * len(f.q)
+	if newLen == 0 {
+		newLen = 64
+	}
+	if newLen > f.cap {
+		newLen = f.cap
+	}
+	nq := make([]*packet.Packet, newLen)
+	for i := 0; i < f.n; i++ {
+		j := f.head + i
+		if j >= len(f.q) {
+			j -= len(f.q)
+		}
+		nq[i] = f.q[j]
+	}
+	f.q = nq
+	f.head = 0
+}
+
 func (f *fifo) Dequeue() (*packet.Packet, bool) {
-	if len(f.q) == 0 {
+	if f.n == 0 {
 		return nil, false
 	}
-	p := f.q[0]
-	f.q = f.q[1:]
-	if len(f.q) == 0 {
-		f.q = nil // allow the backing array to be reclaimed
+	p := f.q[f.head]
+	f.q[f.head] = nil // drop the reference so the packet can be reclaimed
+	f.head++
+	if f.head == len(f.q) {
+		f.head = 0
 	}
+	f.n--
 	return p, true
 }
 
-func (f *fifo) Len() int                 { return len(f.q) }
+func (f *fifo) Len() int                 { return f.n }
 func (f *fifo) Dropped() uint64          { return f.dropped }
-func (f *fifo) Full(*packet.Packet) bool { return len(f.q) >= f.cap }
+func (f *fifo) Full(*packet.Packet) bool { return f.n >= f.cap }
 
 // classQueues is the shared per-class storage of the CoS schedulers.
 type classQueues struct {

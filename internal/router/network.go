@@ -470,17 +470,20 @@ func (n *Network) Unlock() { n.mu.Unlock() }
 
 // Close releases every router's data plane through the shared
 // DataPlane contract — engine-backed planes stop their workers, serial
-// planes are no-ops — and tears down any transport sockets. It is
+// planes are no-ops — and tears down any transport sockets. Planes
+// close first: a pumped engine drains its egress staging rings through
+// the wires on Close, so the wires must still be up (and the network
+// lock must not be held — the pump takes it per flush). It is
 // idempotent and safe to call while sends are still in flight:
 // transport links count packets racing the teardown as lost, and
 // receivers finish their final batch before Close returns.
 func (n *Network) Close() {
 	n.closing.Do(func() {
-		for _, c := range n.closers {
-			_ = c.Close()
-		}
 		for _, r := range n.Routers {
 			_ = r.Plane().Close()
+		}
+		for _, c := range n.closers {
+			_ = c.Close()
 		}
 	})
 }

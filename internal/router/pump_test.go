@@ -1,0 +1,95 @@
+package router
+
+import (
+	"testing"
+
+	"embeddedmpls/internal/dataplane"
+	"embeddedmpls/internal/label"
+	"embeddedmpls/internal/packet"
+	"embeddedmpls/internal/swmpls"
+)
+
+func pumpPacket(lbl label.Label, flow uint16) *packet.Packet {
+	p := packet.New(packet.AddrFrom(192, 0, 2, 1), packet.AddrFrom(10, 0, 0, 9), 64, nil)
+	p.Header.FlowID = flow
+	if err := p.Stack.Push(label.Entry{Label: lbl, TTL: 64}); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// TestEgressPumpForwardedConsistency drives a pumped multi-worker
+// engine over simulated wires and checks the per-batch accounting:
+// the router's Forwarded counter (merged once per flushed batch) must
+// equal the packets offered, and equal what the link itself counted —
+// batch-granular accounting may not lose or double-count packets under
+// concurrent flushes.
+func TestEgressPumpForwardedConsistency(t *testing.T) {
+	n, err := Build([]NodeSpec{
+		{Name: "a", EngineWorkers: 4},
+		{Name: "b"},
+	}, []LinkSpec{{A: "a", B: "b", RateBPS: 1e12, QueueCap: 1 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AttachEgressPump("a"); err != nil {
+		t.Fatal(err)
+	}
+	ra := n.Router("a")
+	eng := ra.plane.(*EnginePlane).Engine
+	if err := eng.InstallILM(100, swmpls.NHLFE{
+		NextHop: "b", Op: label.OpSwap, PushLabels: []label.Label{200},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A second binding whose next hop has no attached link: those
+	// packets must land in the router's drop accounting, not vanish.
+	if err := eng.InstallILM(300, swmpls.NHLFE{
+		NextHop: "ghost", Op: label.OpSwap, PushLabels: []label.Label{301},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	const forwarded, unrouted, missed = 2000, 200, 100
+	submit := func(lbl label.Label, count int) {
+		one := make([]*packet.Packet, 1)
+		for i := 0; i < count; i++ {
+			one[0] = pumpPacket(lbl, uint16(i%32))
+			if eng.Submit(one, dataplane.SubmitOpts{Wait: true}) != 1 {
+				t.Fatal("submit refused")
+			}
+		}
+	}
+	submit(100, forwarded)
+	submit(300, unrouted)
+	submit(999, missed) // no ILM binding: engine discard
+	n.Close()
+
+	if got := ra.Stats.Forwarded.Events; got != forwarded {
+		t.Errorf("router forwarded %d, want %d", got, forwarded)
+	}
+	if got := ra.Stats.Dropped.Events; got != unrouted+missed {
+		t.Errorf("router dropped %d, want %d", got, unrouted+missed)
+	}
+	if got := ra.Stats.DropsByReason[swmpls.DropNoRoute]; got != unrouted {
+		t.Errorf("no-route drops %d, want %d", got, unrouted)
+	}
+	l, ok := ra.SimLink("b")
+	if !ok {
+		t.Fatal("no sim link a->b")
+	}
+	if got := l.Sent.Events; got != forwarded {
+		t.Errorf("link counted %d sent, router forwarded %d", got, forwarded)
+	}
+	// Byte accounting must match too — the per-batch merge carries sizes.
+	if ra.Stats.Forwarded.Bytes != l.Sent.Bytes {
+		t.Errorf("router forwarded %d bytes, link sent %d", ra.Stats.Forwarded.Bytes, l.Sent.Bytes)
+	}
+	snap := eng.Snapshot()
+	if snap.Processed() != forwarded+unrouted+missed {
+		t.Errorf("engine processed %d, offered %d", snap.Processed(), forwarded+unrouted+missed)
+	}
+	if snap.EgressFlushSize+snap.EgressFlushTimer+snap.EgressFlushClose == 0 {
+		t.Error("no egress flushes recorded")
+	}
+}

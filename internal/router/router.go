@@ -163,6 +163,12 @@ type Router struct {
 	drops *telemetry.DropCounters
 	trace *telemetry.Ring
 
+	// pumped marks a router whose engine-backed plane flushes egress
+	// batches straight onto the wires (Network.AttachEgressPump). The
+	// engine then owns per-operation tracing, so SetTelemetry forwards
+	// the trace ring to the plane instead of tracing at the router.
+	pumped bool
+
 	Stats Stats
 }
 
@@ -238,10 +244,16 @@ func (r *Router) Links() []netsim.Wire {
 // own name (the sink's Node field is ignored — a router always knows
 // who it is). Accounting happens at the router level, where link and
 // next-hop failures are visible; the sink is deliberately not pushed
-// into the data plane, which would double-count forwarding drops.
+// into the data plane, which would double-count forwarding drops. The
+// one exception is a pumped router, whose engine applies the label
+// operations on its own workers: the trace ring (and only the trace
+// ring — drop counts stay router-level) is forwarded to the plane.
 func (r *Router) SetTelemetry(s telemetry.Sink) {
 	r.drops = s.Drops
 	r.trace = s.Trace
+	if r.pumped {
+		r.plane.SetTelemetry(telemetry.Sink{Trace: s.Trace, Node: r.name})
+	}
 }
 
 // SetAdmission installs (or, with nil, removes) the ingress admission
@@ -399,21 +411,26 @@ func (r *Router) deliver(p *packet.Packet) {
 }
 
 func (r *Router) drop(p *packet.Packet, reason swmpls.DropReason) {
-	r.Stats.Dropped.Add(p.Size())
-	r.Stats.DropsByReason[reason]++
+	r.dropNoTrace(p, reason)
 	tr, ok := reason.Telemetry()
-	if !ok {
+	if !ok || r.trace == nil {
 		return
 	}
-	if r.drops != nil {
-		r.drops.Inc(tr)
+	var top uint32
+	if e, err := p.Stack.Top(); err == nil {
+		top = uint32(e.Label)
 	}
-	if r.trace != nil {
-		var top uint32
-		if e, err := p.Stack.Top(); err == nil {
-			top = uint32(e.Label)
-		}
-		r.trace.RecordDiscard(r.name, uint8(p.Stack.Depth()), top, tr)
+	r.trace.RecordDiscard(r.name, uint8(p.Stack.Depth()), top, tr)
+}
+
+// dropNoTrace accounts a drop in the router-level counters without
+// emitting a trace event — the egress pump path, where the engine has
+// already traced the discard on its worker.
+func (r *Router) dropNoTrace(p *packet.Packet, reason swmpls.DropReason) {
+	r.Stats.Dropped.Add(p.Size())
+	r.Stats.DropsByReason[reason]++
+	if tr, ok := reason.Telemetry(); ok && r.drops != nil {
+		r.drops.Inc(tr)
 	}
 }
 

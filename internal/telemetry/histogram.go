@@ -57,6 +57,13 @@ func LatencyBounds() []float64 {
 // per depth the embedded architecture supports (0..label.MaxDepth).
 func DepthBounds() []float64 { return []float64{0, 1, 2, 3} }
 
+// BatchBounds is the bucket layout for batch occupancy (packets per
+// egress flush, per coalesced frame): powers of two up to 512, so the
+// histogram shows directly how well batching amortises.
+func BatchBounds() []float64 {
+	return []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+}
+
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v, or overflow

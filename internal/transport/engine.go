@@ -6,9 +6,9 @@ import (
 )
 
 // FeedEngine returns a receiver sink that pushes decoded batches into a
-// dataplane engine via SubmitBatch, so batched socket reads flow into
-// batched shard ingestion without per-packet dispatch. The engine keeps
-// packets beyond the sink call, so each one is cloned off the
+// dataplane engine via batched Submit, so batched socket reads flow
+// into batched shard ingestion without per-packet dispatch. The engine
+// keeps packets beyond the sink call, so each one is cloned off the
 // receiver's reusable storage; with wait set, a full shard queue
 // exerts backpressure on the socket loop instead of dropping.
 func FeedEngine(e *dataplane.Engine, wait bool) func(batch []Inbound) {
@@ -17,7 +17,7 @@ func FeedEngine(e *dataplane.Engine, wait bool) func(batch []Inbound) {
 		for i, in := range batch {
 			ps[i] = in.P.Clone()
 		}
-		e.SubmitBatch(ps, wait)
+		e.Submit(ps, dataplane.SubmitOpts{Wait: wait})
 	}
 }
 
@@ -36,6 +36,6 @@ func FeedEngineShard(e *dataplane.Engine, shard int, wait bool) func(batch []Inb
 		for i, in := range batch {
 			ps[i] = in.P.Clone()
 		}
-		e.SubmitBatchTo(shard, ps, wait)
+		e.Submit(ps, dataplane.SubmitOpts{Wait: wait, Pin: true, Shard: shard})
 	}
 }

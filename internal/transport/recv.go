@@ -30,7 +30,7 @@ type Inbound struct {
 // datagrams off the kernel queue, each datagram may be a coalesced
 // frame carrying many packets, and arrivals accumulate until the batch
 // is full or the flush interval expires, then go to the sink in one
-// call — the socket-side mirror of dataplane.Engine's SubmitBatch, so
+// call — the socket-side mirror of dataplane.Engine's batched Submit, so
 // a node's receive path amortises per-packet dispatch the same way its
 // forwarding path does.
 //

@@ -21,13 +21,14 @@ import (
 // probes and failover all behave identically, except that loss and
 // delay now also come from a real network path.
 //
-// Two batching layers sit under the same contract. With WithCoalesce,
-// packets handed to Send are packed into coalesced frame datagrams
-// (many packets per datagram, flushed on count or after the flush
-// interval); SendBatch packs and writes a whole slice at once, moving
-// up to WithSysBatch datagrams per sendmmsg syscall where the platform
-// has it. Both paths reuse link-owned buffers, so steady-state batched
-// sends allocate nothing.
+// SendBatch is the primary egress path; Send is a batch of one.
+// Both feed one coalescer: with WithCoalesce, packets pack into
+// coalesced frame datagrams (many packets per datagram, sealed on
+// count or after the flush interval — a partial frame stays open
+// across calls), and sealed frames move up to WithSysBatch datagrams
+// per sendmmsg syscall where the platform has it. The whole path
+// reuses link-owned buffers, so steady-state batched sends allocate
+// nothing.
 //
 // Fault semantics mirror netsim.Link: the hook sees the packet when
 // its transmission starts, a Drop verdict eats it, ExtraDelay defers
@@ -62,21 +63,23 @@ type UDPLink struct {
 	sysBatch int
 	flushIvl time.Duration
 
-	// smu guards all batching state below: the Send-path coalescer
-	// (pend*) and the SendBatch scratch (frames, views). One lock keeps
-	// Send and SendBatch safely mixable on one link.
+	// smu guards the batching state below. Send and SendBatch share one
+	// coalescer: both feed the open frame (frBuf/fr), sealed frames
+	// become datagram views, and views drain through batched syscalls. A
+	// partially filled frame stays open across calls and is flushed by
+	// the timer, so single-packet Sends coalesce with batches.
 	smu       sync.Mutex
-	pendBuf   *[]byte
-	pend      FrameEncoder
 	pendTimer *time.Timer
 
 	frames   []*[]byte // per-view encode buffers, grown once, reused
 	views    [][]byte
 	viewPkts []int
 	nview    int
+	frBuf    *[]byte // dedicated buffer behind the open frame
 	frOpen   bool
 	fr       FrameEncoder
 	frPkts   int
+	one      [1]*packet.Packet // Send's batch-of-one scratch
 
 	io     *mmsgIO
 	sendFn func(fd uintptr) bool // stored once: no per-write closure alloc
@@ -130,7 +133,7 @@ func Dial(from, to, raddr string, opts ...Option) (*UDPLink, error) {
 		l.io = newMmsgIO(l.sysBatch)
 	}
 	l.sendFn = l.sendStep
-	l.pendTimer = time.AfterFunc(time.Hour, l.flushPending)
+	l.pendTimer = time.AfterFunc(time.Hour, l.flushOpen)
 	l.pendTimer.Stop()
 	return l, nil
 }
@@ -241,11 +244,12 @@ func (l *UDPLink) encodeOne(p *packet.Packet, fault netsim.Fault) (*[]byte, floa
 	return buf, extra
 }
 
-// Send implements netsim.Wire: encode and write one packet. Loss is
-// counted, never reported — exactly the simulated link's contract.
-// Send is safe to call concurrently with Close. With coalescing
-// enabled the packet joins the pending frame and reaches the socket
-// when the frame fills or the flush interval expires.
+// Send implements netsim.Wire: the one-packet helper. It is a
+// batch-of-one through the same coalescer as SendBatch, so loss is
+// counted, never reported — exactly the simulated link's contract —
+// and with coalescing enabled the packet joins the open frame and
+// reaches the socket when the frame fills or the flush interval
+// expires. Send is safe to call concurrently with Close.
 func (l *UDPLink) Send(p *packet.Packet) {
 	if l.closed.Load() || l.down.Load() {
 		l.lost(p, telemetry.ReasonNoRoute)
@@ -254,108 +258,38 @@ func (l *UDPLink) Send(p *packet.Packet) {
 	l.mu.Lock()
 	fault := l.fault
 	l.mu.Unlock()
-	buf, extra := l.encodeOne(p, fault)
-	if buf == nil {
-		return
-	}
-	if extra > 0 {
-		// A delayed packet travels as its own datagram when its timer
-		// fires; holding a coalesced frame open for it would delay its
-		// batch-mates too.
-		l.inflight.Add(1)
-		time.AfterFunc(time.Duration(extra*float64(time.Second)), func() { l.write(buf) })
-		return
-	}
-	if l.coalesce > 1 {
-		l.smu.Lock()
-		l.appendPending(buf)
-		l.smu.Unlock()
-		return
-	}
-	l.inflight.Add(1)
-	l.write(buf)
-}
-
-// appendPending adds one encoded packet to the pending coalesced
-// frame, flushing it when full. Callers hold smu.
-func (l *UDPLink) appendPending(buf *[]byte) {
-	if l.pendBuf == nil {
-		l.pendBuf = getBuf()
-		l.pend = BeginFrame((*l.pendBuf)[:0])
-	}
-	if err := l.pend.AppendEncoded(*buf); err != nil {
-		// Frame full beyond the coalesce setting (oversized segment):
-		// flush what we have and retry in a fresh frame.
-		l.flushPendingLocked()
-		l.pendBuf = getBuf()
-		l.pend = BeginFrame((*l.pendBuf)[:0])
-		if err := l.pend.AppendEncoded(*buf); err != nil {
-			l.m.EncodeErrors.Add(1)
-			putBuf(buf)
-			return
-		}
-	}
-	putBuf(buf)
-	if l.pend.Count() >= l.coalesce || l.pend.Size() >= maxFrameSize-MaxDatagram {
-		l.flushPendingLocked()
-		return
-	}
-	if l.pend.Count() == 1 {
-		l.pendTimer.Reset(l.flushIvl)
-	}
-}
-
-// flushPending is the coalesce timer's callback.
-func (l *UDPLink) flushPending() {
 	l.smu.Lock()
-	l.flushPendingLocked()
+	l.one[0] = p
+	l.sendBatchLocked(l.one[:], fault)
+	l.one[0] = nil
 	l.smu.Unlock()
 }
 
-// flushPendingLocked writes the pending coalesced frame synchronously.
-// Callers hold smu. Writes racing Close surface as socket errors and
-// are counted, so no packet disappears unaccounted.
-func (l *UDPLink) flushPendingLocked() {
-	if l.pendBuf == nil || l.pend.Count() == 0 {
-		return
-	}
-	buf := l.pendBuf
-	pkts := l.pend.Count()
-	l.pendBuf = nil
-	frame, err := l.pend.Finish()
-	if err != nil {
-		putBuf(buf)
-		return
-	}
-	*buf = frame
-	n, werr := l.conn.Write(*buf)
-	putBuf(buf)
-	if werr != nil {
-		l.m.TxErrors.Add(1)
-		return
-	}
-	l.m.TxSyscalls.Add(1)
-	l.m.TxDatagrams.Add(1)
-	l.m.TxPackets.Add(uint64(pkts))
-	l.m.TxBytes.Add(uint64(n))
-}
-
-// SendBatch moves a whole slice of packets through the link in one
-// call: packets are packed into coalesced frames (per WithCoalesce)
-// and the frames written with batched syscalls (up to WithSysBatch
-// datagrams per sendmmsg). Per-packet down/closed/fault semantics
-// match Send, except the fault hook is sampled once per call. The
-// steady-state path allocates nothing: encode buffers, scatter/gather
-// state and the syscall closure are all link-owned and reused.
+// SendBatch implements netsim.Wire: it moves a whole slice of packets
+// through the link in one call. Packets are packed into coalesced
+// frames (per WithCoalesce) and full frames written with batched
+// syscalls (up to WithSysBatch datagrams per sendmmsg). A partially
+// filled tail frame stays open for the next Send/SendBatch and is
+// otherwise flushed when the flush interval expires, so sub-batch
+// callers still coalesce across calls. Per-packet down/closed/fault
+// semantics match Send, except the fault hook is sampled once per
+// call. The steady-state path allocates nothing: encode buffers,
+// scatter/gather state and the syscall closure are all link-owned and
+// reused.
 func (l *UDPLink) SendBatch(ps []*packet.Packet) {
 	l.mu.Lock()
 	fault := l.fault
 	l.mu.Unlock()
-
 	l.smu.Lock()
-	defer l.smu.Unlock()
-	l.nview = 0
-	l.frOpen = false
+	l.sendBatchLocked(ps, fault)
+	l.smu.Unlock()
+}
+
+// sendBatchLocked is the single egress path: every packet — from Send
+// or SendBatch — joins the open coalesced frame (or its own datagram
+// view when coalescing is off), sealed frames become views, and views
+// drain through writeViews. Callers hold smu.
+func (l *UDPLink) sendBatchLocked(ps []*packet.Packet, fault netsim.Fault) {
 	for _, p := range ps {
 		if l.closed.Load() || l.down.Load() {
 			l.lost(p, telemetry.ReasonNoRoute)
@@ -372,9 +306,7 @@ func (l *UDPLink) SendBatch(ps []*packet.Packet) {
 				continue
 			}
 			l.frPkts++
-			if l.fr.Count() >= l.coalesce || l.fr.Size() >= maxFrameSize-MaxDatagram {
-				l.sealFrame()
-			}
+			l.frameAppended()
 			continue
 		}
 		buf, extra := l.encodeOne(p, fault)
@@ -401,9 +333,7 @@ func (l *UDPLink) SendBatch(ps []*packet.Packet) {
 			}
 			putBuf(buf)
 			l.frPkts++
-			if l.fr.Count() >= l.coalesce || l.fr.Size() >= maxFrameSize-MaxDatagram {
-				l.sealFrame()
-			}
+			l.frameAppended()
 			continue
 		}
 		// Single-datagram views: copy the encoding into the view buffer
@@ -413,32 +343,55 @@ func (l *UDPLink) SendBatch(ps []*packet.Packet) {
 		putBuf(buf)
 		l.pushView(*vb, 1)
 	}
-	if l.frOpen && l.fr.Count() > 0 {
-		l.sealFrame()
-	}
+	// Sealed frames go to the socket now; a partially filled open frame
+	// stays pending for the next call or the flush timer.
 	l.writeViews()
 }
 
-// openFrame starts a coalesced frame in the next view buffer. Callers
-// hold smu.
+// openFrame starts a coalesced frame in the link-owned frame buffer —
+// deliberately not a view slot, so the frame can stay open across
+// calls while sealed views drain underneath it. Callers hold smu.
 func (l *UDPLink) openFrame() {
-	vb := l.viewBuf()
-	l.fr = BeginFrame((*vb)[:0])
+	if l.frBuf == nil {
+		b := make([]byte, 0, MaxDatagram)
+		l.frBuf = &b
+	}
+	l.fr = BeginFrame((*l.frBuf)[:0])
 	l.frOpen = true
 	l.frPkts = 0
 }
 
+// frameAppended runs the post-append triggers: seal when the frame is
+// full, arm the flush timer when a fresh frame received its first
+// packet (arming on the empty->nonempty transition bounds how long any
+// packet waits, even under a steady trickle that never fills frames).
+// Callers hold smu.
+func (l *UDPLink) frameAppended() {
+	if l.fr.Count() >= l.coalesce || l.fr.Size() >= maxFrameSize-MaxDatagram {
+		l.sealFrame()
+		return
+	}
+	if l.fr.Count() == 1 {
+		l.pendTimer.Reset(l.flushIvl)
+	}
+}
+
 // sealFrame finishes the open frame and registers it as a view,
 // flushing the view batch to the socket when it reaches the syscall
-// batch size. Callers hold smu.
+// batch size. The finished frame keeps its backing buffer: the buffer
+// swaps into the view slot and the slot's old buffer becomes the next
+// frame's backing store, so no copy and no allocation. Callers hold
+// smu.
 func (l *UDPLink) sealFrame() {
 	frame, err := l.fr.Finish()
 	l.frOpen = false
 	if err != nil {
 		return
 	}
-	vb := l.frames[l.nview]
-	*vb = frame
+	vb := l.viewBuf()
+	*l.frBuf = frame
+	l.frames[l.nview] = l.frBuf
+	l.frBuf = vb
 	l.pushView(frame, l.frPkts)
 }
 
@@ -521,9 +474,20 @@ func (l *UDPLink) writeViews() {
 	l.m.TxBytes.Add(sentBytes)
 }
 
+// flushOpen is the flush timer's callback: seal and write whatever the
+// coalescer holds so no packet waits longer than the flush interval.
+func (l *UDPLink) flushOpen() {
+	l.smu.Lock()
+	if l.frOpen && l.fr.Count() > 0 {
+		l.sealFrame()
+	}
+	l.writeViews()
+	l.smu.Unlock()
+}
+
 // write pushes one encoded single-packet datagram to the socket and
-// recycles the buffer — the unbatched path (coalescing off, delayed
-// fault re-sends).
+// recycles the buffer — the deferred path for delayed fault re-sends,
+// which travel as their own datagram when their timer fires.
 func (l *UDPLink) write(buf *[]byte) {
 	defer l.inflight.Done()
 	defer putBuf(buf)
@@ -551,7 +515,10 @@ func (l *UDPLink) Close() error {
 	l.closing.Do(func() {
 		l.closed.Store(true)
 		l.smu.Lock()
-		l.flushPendingLocked()
+		if l.frOpen && l.fr.Count() > 0 {
+			l.sealFrame()
+		}
+		l.writeViews()
 		l.pendTimer.Stop()
 		l.smu.Unlock()
 		err = l.conn.Close()
@@ -561,4 +528,3 @@ func (l *UDPLink) Close() error {
 }
 
 var _ netsim.Wire = (*UDPLink)(nil)
-var _ netsim.BatchWire = (*UDPLink)(nil)
